@@ -1,0 +1,120 @@
+// Fig. 2 — the motivating AoA pictures: (a) a stationary tag reflects over
+// several multipath rays; (b) a second, moving person blocks one path,
+// lowering its peak and perturbing the others; (c) many tags multiply the
+// number of rays. This bench regenerates the three panels as ground-truth
+// path tables plus the MUSIC pseudospectrum peaks the pipeline extracts.
+#include <cmath>
+
+#include "bench_common.hpp"
+#include "core/frames.hpp"
+#include "dsp/music.hpp"
+#include "dsp/phase.hpp"
+#include "sim/reader.hpp"
+
+using namespace m2ai;
+
+namespace {
+
+struct Panel {
+  sim::Scene scene;
+  std::string title;
+};
+
+void report_panel(sim::Scene& scene, const std::string& title, util::CsvWriter& csv,
+                  const std::string& panel_id) {
+  std::printf("\n--- %s ---\n", title.c_str());
+
+  // Ground-truth rays for every tag toward antenna 0.
+  util::Table truth({"tag", "kind", "AoA (deg)", "length (m)", "gain", "blocked"});
+  int total_paths = 0;
+  for (std::size_t tag = 0; tag < scene.tags().size(); ++tag) {
+    for (const auto& p : scene.paths_at(tag, 0, 0.0)) {
+      const char* kind = p.kind == sim::PathKind::kDirect ? "direct"
+                         : p.kind == sim::PathKind::kWallReflection ? "wall"
+                                                                     : "scatter";
+      truth.add_row({std::to_string(tag + 1), kind, util::Table::fmt(p.aoa_deg, 1),
+                     util::Table::fmt(p.length_m, 2), util::Table::fmt(p.gain, 4),
+                     std::to_string(p.blocked_by)});
+      ++total_paths;
+    }
+  }
+  truth.print();
+  std::printf("total rays: %d\n", total_paths);
+
+  // Pipeline view: calibrated MUSIC pseudospectrum peaks per tag. The tags
+  // here are STATIONARY, so all rays are fully coherent and the plain
+  // covariance is rank-1; spatial smoothing (subarray 3) restores enough
+  // rank for the dominant rays to separate (see dsp/covariance.hpp).
+  core::PipelineConfig config;
+  config.windows_per_sample = 1;
+  config.covariance.smoothing_subarray = 3;
+  sim::Reader reader(sim::ReaderConfig{}, 4, static_cast<int>(scene.tags().size()),
+                     util::Rng(404));
+  scene.set_motion_frozen(true);
+  const auto boot = reader.run(scene, 0.0, 20.0);
+  dsp::PhaseCalibrator cal;
+  for (const auto& r : boot) cal.add_sample(r.tag_id, r.antenna, r.channel, r.phase_rad);
+  cal.finalize();
+  const auto reports = reader.run(scene, 20.0, 20.4);
+
+  core::FrameBuilder builder(config, &cal, static_cast<int>(scene.tags().size()));
+  const auto frames = builder.build(reports, 20.0);
+  for (std::size_t tag = 0; tag < scene.tags().size(); ++tag) {
+    std::vector<double> spectrum(180);
+    for (int b = 0; b < 180; ++b) {
+      spectrum[static_cast<std::size_t>(b)] = frames[0].pseudo.at(static_cast<int>(tag), b);
+    }
+    const auto peaks = dsp::find_peaks(spectrum, 3, 0.2);
+    std::printf("tag %zu pseudospectrum peaks:", tag + 1);
+    for (const int p : peaks) {
+      std::printf(" %d deg (%.2f)", p, spectrum[static_cast<std::size_t>(p)]);
+      csv.add_row({panel_id, std::to_string(tag + 1), std::to_string(p),
+                   util::Table::fmt(spectrum[static_cast<std::size_t>(p)], 3)});
+    }
+    std::printf("\n");
+  }
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("Fig. 2", "AoA spectra: single tag, blocking person, many tags");
+  util::CsvWriter csv(bench::results_dir() + "/fig02_aoa.csv",
+                      {"panel", "tag", "peak_deg", "height"});
+
+  const sim::Environment env = sim::Environment::laboratory();
+  sim::ArrayGeometry array;
+  array.center = sim::Vec3{env.width / 2.0, 0.4, 1.25};
+
+  sim::BodyParams body;  // deterministic default volunteer
+  sim::MotionSpec still;
+
+  // (a) one stationary tag.
+  {
+    sim::Person person(body, {env.width / 2.0 + 1.2, 4.0}, -M_PI / 2.0, still);
+    sim::Scene scene(env, {person}, array, 1);
+    report_panel(scene, "(a) single stationary tag: multipath rays", csv, "a");
+  }
+
+  // (b) the same tag plus another person standing on the direct path.
+  {
+    sim::Person person(body, {env.width / 2.0 + 1.2, 4.0}, -M_PI / 2.0, still);
+    sim::BodyParams blocker_body;
+    blocker_body.body_radius_m = 0.25;
+    sim::Person blocker(blocker_body, {env.width / 2.0 + 0.8, 2.2}, -M_PI / 2.0, still);
+    sim::Scene scene(env, {person, blocker}, array, 1);
+    report_panel(scene, "(b) a second person blocks the direct path", csv, "b");
+  }
+
+  // (c) two persons, three tags each: many rays.
+  {
+    sim::Person p1(body, {env.width / 2.0 - 1.0, 4.0}, -M_PI / 2.0, still);
+    sim::Person p2(body, {env.width / 2.0 + 1.3, 4.5}, -M_PI / 2.0, still);
+    sim::Scene scene(env, {p1, p2}, array, 3);
+    report_panel(scene, "(c) multiple objects, multiple tags", csv, "c");
+  }
+
+  std::printf("\n(paper: blocking reduces the blocked peak and shifts the others;\n"
+              " more tags multiply the observable rays)\n");
+  return 0;
+}

@@ -1,0 +1,145 @@
+// Microbenchmarks behind the paper's realtime claim: per-stage throughput of
+// the DSP pipeline and per-sequence inference latency of the deep model.
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include "core/model.hpp"
+#include "core/pipeline.hpp"
+#include "dsp/eig.hpp"
+#include "dsp/fft.hpp"
+#include "dsp/music.hpp"
+#include "dsp/periodogram.hpp"
+#include "nn/optimizer.hpp"
+#include "rf/steering.hpp"
+#include "util/rng.hpp"
+
+using namespace m2ai;
+
+namespace {
+
+std::vector<std::vector<dsp::cdouble>> make_snapshots(int n_ant, int count,
+                                                      std::uint64_t seed) {
+  util::Rng rng(seed);
+  const auto a = rf::steering_vector(70.0, n_ant, 0.08, 0.33);
+  std::vector<std::vector<dsp::cdouble>> snaps(static_cast<std::size_t>(count));
+  for (auto& snap : snaps) {
+    const auto s = std::polar(1.0, rng.uniform(0.0, 2.0 * M_PI));
+    snap.resize(a.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      snap[i] = s * a[i] + dsp::cdouble{rng.normal(0.0, 0.05), rng.normal(0.0, 0.05)};
+    }
+  }
+  return snaps;
+}
+
+void BM_Fft1024(benchmark::State& state) {
+  util::Rng rng(1);
+  std::vector<dsp::cdouble> x(1024);
+  for (auto& v : x) v = dsp::cdouble{rng.normal(), rng.normal()};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dsp::fft(x));
+  }
+}
+BENCHMARK(BM_Fft1024);
+
+void BM_FftBluestein180(benchmark::State& state) {
+  util::Rng rng(2);
+  std::vector<dsp::cdouble> x(180);
+  for (auto& v : x) v = dsp::cdouble{rng.normal(), rng.normal()};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dsp::fft(x));
+  }
+}
+BENCHMARK(BM_FftBluestein180);
+
+void BM_EigHermitian4x4(benchmark::State& state) {
+  const auto snaps = make_snapshots(4, 16, 3);
+  const auto r = dsp::sample_covariance(snaps);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dsp::eig_hermitian(r));
+  }
+}
+BENCHMARK(BM_EigHermitian4x4);
+
+void BM_MusicSpectrum(benchmark::State& state) {
+  dsp::MusicOptions opts;
+  opts.num_antennas = 4;
+  dsp::MusicEstimator music(opts);
+  const auto snaps = make_snapshots(4, static_cast<int>(state.range(0)), 4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(music.estimate(snaps));
+  }
+}
+BENCHMARK(BM_MusicSpectrum)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_Periodogram(benchmark::State& state) {
+  const auto snaps = make_snapshots(4, 16, 5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dsp::averaged_periodogram(snaps));
+  }
+}
+BENCHMARK(BM_Periodogram);
+
+void BM_SimulateSample(benchmark::State& state) {
+  core::PipelineConfig config;
+  config.windows_per_sample = 16;
+  config.bootstrap_sec = 4.0;
+  core::Pipeline pipeline(config, 99);
+  int activity = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pipeline.simulate_sample(activity));
+    activity = activity % 12 + 1;
+  }
+}
+BENCHMARK(BM_SimulateSample)->Unit(benchmark::kMillisecond);
+
+void BM_InferenceLatency(benchmark::State& state) {
+  // Realtime claim: classifying one 16-frame sequence must be far faster
+  // than the 6.4 s it spans.
+  core::ModelConfig model;
+  core::M2AINetwork net(model, core::FeatureMode::kM2AI, 6, 4, 12);
+  util::Rng rng(7);
+  core::FrameSequence frames;
+  for (int t = 0; t < 16; ++t) {
+    core::SpectrumFrame f;
+    f.has_pseudo = true;
+    f.has_aux = true;
+    f.pseudo = nn::Tensor({6, 180});
+    f.pseudo.randomize_uniform(rng, 0.0f, 1.0f);
+    f.aux = nn::Tensor({6, 4});
+    f.aux.randomize_uniform(rng, 0.0f, 1.0f);
+    frames.push_back(std::move(f));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net.predict(frames));
+  }
+}
+BENCHMARK(BM_InferenceLatency)->Unit(benchmark::kMicrosecond);
+
+void BM_TrainStep(benchmark::State& state) {
+  core::ModelConfig model;
+  core::M2AINetwork net(model, core::FeatureMode::kM2AI, 6, 4, 12);
+  util::Rng rng(8);
+  core::Sample sample;
+  sample.label = 3;
+  for (int t = 0; t < 16; ++t) {
+    core::SpectrumFrame f;
+    f.has_pseudo = true;
+    f.has_aux = true;
+    f.pseudo = nn::Tensor({6, 180});
+    f.pseudo.randomize_uniform(rng, 0.0f, 1.0f);
+    f.aux = nn::Tensor({6, 4});
+    f.aux.randomize_uniform(rng, 0.0f, 1.0f);
+    sample.frames.push_back(std::move(f));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net.train_step(sample));
+    nn::zero_gradients(net.params());
+  }
+}
+BENCHMARK(BM_TrainStep)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,77 @@
+#include "bench_common.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+
+#include "util/log.hpp"
+
+namespace m2ai::bench {
+
+double env_scale() {
+  const char* raw = std::getenv("M2AI_BENCH_SCALE");
+  if (raw == nullptr) return 1.0;
+  const double v = std::atof(raw);
+  if (v <= 0.0) return 1.0;
+  return std::clamp(v, 0.05, 4.0);
+}
+
+namespace {
+void apply_scale(core::ExperimentConfig& config) {
+  const double s = env_scale();
+  config.samples_per_class =
+      std::max(4, static_cast<int>(config.samples_per_class * s + 0.5));
+  config.train.epochs = std::max(3, static_cast<int>(config.train.epochs * s + 0.5));
+}
+}  // namespace
+
+core::ExperimentConfig headline_config() {
+  core::ExperimentConfig config;
+  config.samples_per_class = 64;
+  config.train.epochs = 36;
+  config.pipeline.windows_per_sample = 24;
+  config.train.crop_frames = 16;
+  apply_scale(config);
+  return config;
+}
+
+core::ExperimentConfig sweep_config() {
+  core::ExperimentConfig config;
+  config.samples_per_class = 36;
+  config.train.epochs = 30;
+  config.pipeline.windows_per_sample = 24;
+  config.train.crop_frames = 16;
+  apply_scale(config);
+  return config;
+}
+
+void print_header(const std::string& experiment_id, const std::string& title) {
+  std::printf("================================================================\n");
+  std::printf("M2AI reproduction — %s\n", experiment_id.c_str());
+  std::printf("%s\n", title.c_str());
+  if (env_scale() != 1.0) {
+    std::printf("(M2AI_BENCH_SCALE=%.2f — reduced-budget run)\n", env_scale());
+  }
+  std::printf("================================================================\n");
+}
+
+core::M2AIResult run_m2ai(const core::ExperimentConfig& config,
+                          const core::DataSplit& split) {
+  util::log_info() << "training M2AI (" << core::network_arch_name(config.model.arch)
+                   << ", " << core::feature_mode_name(config.pipeline.feature_mode)
+                   << ", " << config.train.epochs << " epochs)";
+  const core::M2AIResult result = core::train_and_evaluate(config, split);
+  util::log_info() << "accuracy " << result.accuracy << " in "
+                   << result.train_seconds << " s";
+  return result;
+}
+
+std::string results_dir() {
+  const std::string dir = "bench_results";
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  return dir;
+}
+
+}  // namespace m2ai::bench

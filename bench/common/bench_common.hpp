@@ -1,0 +1,37 @@
+// Shared experiment harness for the per-figure bench binaries.
+//
+// Every binary prints the paper's rows/series as an aligned table and also
+// writes a CSV next to the binary (./bench_results/<id>.csv). Scale can be
+// reduced for smoke runs with M2AI_BENCH_SCALE (e.g. 0.25), which shrinks
+// both the dataset and the epoch budget.
+#pragma once
+
+#include <string>
+
+#include "core/experiment.hpp"
+#include "util/csv.hpp"
+#include "util/table.hpp"
+
+namespace m2ai::bench {
+
+// Scale factor from M2AI_BENCH_SCALE (default 1.0, clamped to [0.05, 4]).
+double env_scale();
+
+// Headline configuration (Fig. 9 / Table I): the paper's default setup.
+core::ExperimentConfig headline_config();
+
+// Sweep configuration: slightly smaller budget for the multi-run figures.
+core::ExperimentConfig sweep_config();
+
+// Banner printed at the top of each bench binary.
+void print_header(const std::string& experiment_id, const std::string& title);
+
+// Runs the full M2AI path on `config` and returns the result, logging
+// progress to stderr.
+core::M2AIResult run_m2ai(const core::ExperimentConfig& config,
+                          const core::DataSplit& split);
+
+// Directory for CSV artifacts (created on demand): "bench_results".
+std::string results_dir();
+
+}  // namespace m2ai::bench

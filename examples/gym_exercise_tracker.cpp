@@ -1,0 +1,92 @@
+// Gym exercise tracker: a FEMO-style free-exercise monitor (the paper's
+// Sec. VIII comparison point) built on the M2AI public API.
+//
+// Two athletes share the covered area; the tracker counts repetitions of
+// periodic whole-body exercises (squats, jumps, arm marches) by tracking
+// the dominant modulation frequency of each athlete's tag power, and uses
+// the trained classifier to label WHICH exercise is in progress.
+#include <cstdio>
+
+#include "core/experiment.hpp"
+#include "dsp/periodogram.hpp"
+#include "sim/activities.hpp"
+#include "util/log.hpp"
+
+using namespace m2ai;
+
+namespace {
+
+// Repetition counting: dominant non-DC frequency of the per-frame power of
+// one person's tags, via the library's time periodogram.
+double dominant_rep_rate_hz(const core::Sample& sample, int first_tag, int num_tags,
+                            double frame_period_sec) {
+  std::vector<double> power_series;
+  for (const auto& frame : sample.frames) {
+    double p = 0.0;
+    for (int tag = first_tag; tag < first_tag + num_tags; ++tag) {
+      for (int a = 0; a < frame.aux.dim(1); ++a) p += frame.aux.at(tag, a);
+    }
+    power_series.push_back(p);
+  }
+  // Remove the mean so bin 0 does not dominate.
+  double mean = 0.0;
+  for (double v : power_series) mean += v;
+  mean /= static_cast<double>(power_series.size());
+  for (double& v : power_series) v -= mean;
+
+  const auto spectrum = dsp::time_periodogram(power_series);
+  std::size_t best = 1;
+  for (std::size_t k = 2; k < spectrum.size(); ++k) {
+    if (spectrum[k] > spectrum[best]) best = k;
+  }
+  const double resolution =
+      1.0 / (frame_period_sec * static_cast<double>(power_series.size()));
+  return static_cast<double>(best) * resolution;
+}
+
+}  // namespace
+
+int main() {
+  util::set_log_level(util::LogLevel::kWarn);
+  std::printf("Gym exercise tracker (2 athletes, 3 tags each)\n");
+  std::printf("-----------------------------------------------\n");
+
+  core::ExperimentConfig config;
+  config.samples_per_class = 24;
+  config.pipeline.windows_per_sample = 24;  // 9.6 s sets
+  config.train.epochs = 20;
+  config.train.crop_frames = 16;
+
+  std::printf("calibrating the recognizer...\n");
+  const core::DataSplit split = core::generate_dataset(config);
+  std::unique_ptr<core::M2AINetwork> network;
+  const core::M2AIResult trained = core::train_and_evaluate(config, split, &network);
+  std::printf("recognizer ready (offline accuracy %.0f%%)\n\n", trained.accuracy * 100.0);
+
+  const auto& catalog = sim::activity_catalog();
+  core::Pipeline pipeline(config.pipeline, /*seed=*/2024);
+
+  // Exercise-like scenarios: squats (A_04), jumps (A_06), arm march (A_09).
+  for (const int activity : {4, 6, 9}) {
+    const core::Sample set = pipeline.simulate_sample(activity);
+    const int predicted = network->predict(set.frames);
+    const double set_seconds =
+        config.pipeline.window_sec * static_cast<double>(set.frames.size());
+
+    std::printf(">> set: ground truth '%s'\n",
+                catalog[static_cast<std::size_t>(activity - 1)].description.c_str());
+    std::printf("   recognized as:   '%s'\n",
+                catalog[static_cast<std::size_t>(predicted)].description.c_str());
+    for (int athlete = 0; athlete < config.pipeline.num_persons; ++athlete) {
+      const double rate = dominant_rep_rate_hz(
+          set, athlete * config.pipeline.tags_per_person,
+          config.pipeline.tags_per_person, config.pipeline.window_sec);
+      std::printf("   athlete %d: ~%.1f reps over %.0f s (%.2f Hz)\n", athlete + 1,
+                  rate * set_seconds, set_seconds, rate);
+    }
+    std::printf("\n");
+  }
+
+  std::printf("session summary complete.\n");
+  return 0;
+}

@@ -1,0 +1,103 @@
+// Smart-home monitor: the paper's motivating IoT scenario (Sec. I).
+//
+// A trained M2AI model watches a living room in (simulated) real time: the
+// reader streams LLRP reports, the monitor slides a window over the stream,
+// rebuilds spectrum frames on the fly, and raises human-readable events —
+// including a fall-like alert when "one sits down" style posture drops are
+// detected with low confidence spread.
+#include <cstdio>
+#include <deque>
+
+#include "core/experiment.hpp"
+#include "sim/activities.hpp"
+#include "util/log.hpp"
+
+using namespace m2ai;
+
+namespace {
+
+// Streaming recognizer: keeps the last `window_frames` frames and emits a
+// prediction with confidence after each new frame.
+class StreamingMonitor {
+ public:
+  StreamingMonitor(core::M2AINetwork& network, int window_frames)
+      : network_(network), window_frames_(window_frames) {}
+
+  struct Event {
+    int label = -1;
+    double confidence = 0.0;
+    bool ready = false;
+  };
+
+  Event push(core::SpectrumFrame frame) {
+    buffer_.push_back(std::move(frame));
+    if (static_cast<int>(buffer_.size()) > window_frames_) buffer_.pop_front();
+    Event event;
+    if (static_cast<int>(buffer_.size()) < window_frames_ / 2) return event;
+    const core::FrameSequence seq(buffer_.begin(), buffer_.end());
+    const auto probs = network_.predict_proba(seq);
+    event.ready = true;
+    for (std::size_t c = 0; c < probs.size(); ++c) {
+      if (event.label < 0 || probs[c] > event.confidence) {
+        event.label = static_cast<int>(c);
+        event.confidence = probs[c];
+      }
+    }
+    return event;
+  }
+
+ private:
+  core::M2AINetwork& network_;
+  int window_frames_;
+  std::deque<core::SpectrumFrame> buffer_;
+};
+
+}  // namespace
+
+int main() {
+  util::set_log_level(util::LogLevel::kWarn);
+  std::printf("Smart-home activity monitor (simulated living room)\n");
+  std::printf("----------------------------------------------------\n");
+
+  core::ExperimentConfig config;
+  config.samples_per_class = 24;
+  config.pipeline.windows_per_sample = 20;
+  config.train.epochs = 20;
+  config.train.crop_frames = 16;
+
+  std::printf("training the recognizer on %d samples/activity...\n",
+              config.samples_per_class);
+  const core::DataSplit split = core::generate_dataset(config);
+  std::unique_ptr<core::M2AINetwork> network;
+  const core::M2AIResult trained = core::train_and_evaluate(config, split, &network);
+  std::printf("recognizer ready (offline accuracy %.0f%%)\n\n",
+              trained.accuracy * 100.0);
+
+  // Live phase: stream three scenes through the monitor.
+  const auto& catalog = sim::activity_catalog();
+  StreamingMonitor monitor(*network, config.pipeline.windows_per_sample);
+  core::Pipeline pipeline(config.pipeline, /*seed=*/31337);
+
+  for (const int activity : {1, 8, 6}) {
+    std::printf(">> scene: residents start '%s'\n",
+                catalog[static_cast<std::size_t>(activity - 1)].description.c_str());
+    const core::Sample sample = pipeline.simulate_sample(activity);
+    int frame_index = 0;
+    for (const auto& frame : sample.frames) {
+      const auto event = monitor.push(frame);
+      ++frame_index;
+      if (!event.ready || frame_index % 4 != 0) continue;
+      const auto& meta = catalog[static_cast<std::size_t>(event.label)];
+      std::printf("   t=%4.1fs  monitor: %-38s (confidence %.0f%%)%s\n",
+                  frame_index * config.pipeline.window_sec, meta.description.c_str(),
+                  event.confidence * 100.0,
+                  (meta.id == 8 && event.confidence > 0.3)
+                      ? "  [posture-drop watch: resident seated]"
+                      : "");
+    }
+    std::printf("\n");
+  }
+
+  std::printf("monitor session complete.\n");
+  return 0;
+}

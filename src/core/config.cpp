@@ -1,0 +1,33 @@
+#include "core/config.hpp"
+
+namespace m2ai::core {
+
+const char* feature_mode_name(FeatureMode mode) {
+  switch (mode) {
+    case FeatureMode::kM2AI: return "M2AI";
+    case FeatureMode::kMusicOnly: return "MUSIC-based";
+    case FeatureMode::kFftOnly: return "FFT-based";
+    case FeatureMode::kPhaseOnly: return "Phase-based";
+    case FeatureMode::kRssiOnly: return "RSSI-based";
+  }
+  return "?";
+}
+
+const char* network_arch_name(NetworkArch arch) {
+  switch (arch) {
+    case NetworkArch::kCnnLstm: return "CNN+LSTM (M2AI)";
+    case NetworkArch::kCnnOnly: return "CNN only";
+    case NetworkArch::kLstmOnly: return "LSTM only";
+  }
+  return "?";
+}
+
+const char* environment_name(EnvironmentKind kind) {
+  switch (kind) {
+    case EnvironmentKind::kLaboratory: return "laboratory";
+    case EnvironmentKind::kHall: return "hall";
+  }
+  return "?";
+}
+
+}  // namespace m2ai::core

@@ -1,0 +1,88 @@
+// Configuration types shared across the M2AI pipeline, model factory, and
+// experiment harness. Defaults reproduce the paper's default setup: 2
+// persons x 3 tags, 4 antennas, laboratory environment, phase calibration
+// on, full M2AI features, CNN+LSTM network.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "dsp/covariance.hpp"
+#include "rf/constants.hpp"
+
+namespace m2ai::core {
+
+// Which preprocessed inputs feed the learning engine (Fig. 16 ablation).
+enum class FeatureMode {
+  kM2AI,       // pseudospectrum + periodogram (the paper's design)
+  kMusicOnly,  // pseudospectrum only
+  kFftOnly,    // periodogram only
+  kPhaseOnly,  // calibrated per-antenna phases, no decoupling
+  kRssiOnly,   // per-antenna RSSI only
+};
+const char* feature_mode_name(FeatureMode mode);
+
+// Network architecture (Fig. 17 ablation).
+enum class NetworkArch {
+  kCnnLstm,   // the paper's integrated design
+  kCnnOnly,   // spatial features, per-frame softmax, no temporal memory
+  kLstmOnly,  // raw frames straight into the LSTM, no spatial extraction
+};
+const char* network_arch_name(NetworkArch arch);
+
+enum class EnvironmentKind { kLaboratory, kHall };
+const char* environment_name(EnvironmentKind kind);
+
+struct PipelineConfig {
+  // Scene ------------------------------------------------------------
+  EnvironmentKind environment = EnvironmentKind::kLaboratory;
+  int num_persons = 2;
+  int tags_per_person = 3;
+  double distance_m = 4.0;  // persons-to-array nominal distance
+
+  // Reader ------------------------------------------------------------
+  int num_antennas = 4;
+  bool frequency_hopping = true;
+
+  // Preprocessing ------------------------------------------------------
+  bool phase_calibration = true;
+  double bootstrap_sec = 20.0;  // stationary interval for Eq. 1 medians
+  FeatureMode feature_mode = FeatureMode::kM2AI;
+  dsp::CovarianceOptions covariance = {};  // FB averaging + smoothing flags
+  // Signal-subspace dimension for MUSIC; <= 0 selects automatically from the
+  // eigenvalue profile per window.
+  int music_num_sources = 2;
+
+  // Framing --------------------------------------------------------------
+  double window_sec = 0.4;      // one spectrum frame per window
+  int windows_per_sample = 16;  // sequence length T fed to the LSTM
+
+  double sample_duration_sec() const { return window_sec * windows_per_sample; }
+};
+
+struct ModelConfig {
+  NetworkArch arch = NetworkArch::kCnnLstm;
+  int lstm_hidden = 32;  // paper: two stacked LSTM layers, 32 cells each
+  int merge_features = 48;
+  double dropout = 0.25;  // on the merged per-frame features
+  std::uint64_t seed = 7;
+};
+
+struct TrainConfig {
+  int epochs = 40;
+  int batch_size = 8;
+  double learning_rate = 2e-3;
+  double weight_decay = 1e-4;
+  double clip_norm = 5.0;  // paper: "we scale the norm of the gradient"
+  bool use_adam = true;    // false: plain SGD + momentum as in the paper
+  // LR is multiplied by 0.3 at 60% and 85% of the epoch budget.
+  bool lr_schedule = true;
+  // Temporal-crop augmentation: train on random contiguous crops of this
+  // many frames (0 disables). Evaluation always sees full sequences. This
+  // teaches invariance to where in its cycle an activity is caught.
+  int crop_frames = 0;
+  std::uint64_t seed = 11;
+  bool verbose = false;
+};
+
+}  // namespace m2ai::core

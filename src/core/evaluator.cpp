@@ -1,0 +1,80 @@
+#include "core/evaluator.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "util/table.hpp"
+
+namespace m2ai::core {
+
+ConfusionMatrix::ConfusionMatrix(int num_classes)
+    : num_classes_(num_classes),
+      counts_(static_cast<std::size_t>(num_classes) * num_classes, 0) {}
+
+void ConfusionMatrix::add(int actual, int predicted) {
+  if (actual < 0 || actual >= num_classes_ || predicted < 0 ||
+      predicted >= num_classes_) {
+    throw std::out_of_range("ConfusionMatrix::add");
+  }
+  ++counts_[static_cast<std::size_t>(actual) * num_classes_ + predicted];
+  ++total_;
+}
+
+int ConfusionMatrix::count(int actual, int predicted) const {
+  return counts_[static_cast<std::size_t>(actual) * num_classes_ + predicted];
+}
+
+double ConfusionMatrix::rate(int actual, int predicted) const {
+  int row = 0;
+  for (int p = 0; p < num_classes_; ++p) row += count(actual, p);
+  if (row == 0) return 0.0;
+  return static_cast<double>(count(actual, predicted)) / static_cast<double>(row);
+}
+
+double ConfusionMatrix::accuracy() const {
+  if (total_ == 0) return 0.0;
+  int diag = 0;
+  for (int c = 0; c < num_classes_; ++c) diag += count(c, c);
+  return static_cast<double>(diag) / static_cast<double>(total_);
+}
+
+double ConfusionMatrix::class_accuracy(int actual) const { return rate(actual, actual); }
+
+double ConfusionMatrix::min_class_accuracy() const {
+  double mn = 1.0;
+  for (int c = 0; c < num_classes_; ++c) mn = std::min(mn, class_accuracy(c));
+  return mn;
+}
+
+std::string ConfusionMatrix::to_string(const std::vector<std::string>& labels) const {
+  std::vector<std::string> header;
+  header.push_back("actual\\pred");
+  for (int c = 0; c < num_classes_; ++c) {
+    header.push_back(c < static_cast<int>(labels.size())
+                         ? labels[static_cast<std::size_t>(c)]
+                         : std::to_string(c));
+  }
+  util::Table table(header);
+  for (int a = 0; a < num_classes_; ++a) {
+    std::vector<std::string> row;
+    row.push_back(a < static_cast<int>(labels.size())
+                      ? labels[static_cast<std::size_t>(a)]
+                      : std::to_string(a));
+    for (int p = 0; p < num_classes_; ++p) {
+      const double r = rate(a, p);
+      row.push_back(r == 0.0 ? "0" : util::Table::pct(r, 0));
+    }
+    table.add_row(std::move(row));
+  }
+  return table.to_string();
+}
+
+ConfusionMatrix evaluate(M2AINetwork& network, const std::vector<Sample>& test) {
+  int num_classes = 1;
+  for (const Sample& s : test) num_classes = std::max(num_classes, s.label + 1);
+  ConfusionMatrix cm(num_classes);
+  for (const Sample& s : test) cm.add(s.label, network.predict(s.frames));
+  return cm;
+}
+
+}  // namespace m2ai::core

@@ -1,0 +1,39 @@
+// Evaluation: accuracy and the Table I style confusion matrix.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/model.hpp"
+
+namespace m2ai::core {
+
+class ConfusionMatrix {
+ public:
+  explicit ConfusionMatrix(int num_classes);
+
+  void add(int actual, int predicted);
+  int count(int actual, int predicted) const;
+  int total() const { return total_; }
+
+  // Fraction of class `actual` predicted as `predicted` (column-normalized
+  // per actual class, like Table I).
+  double rate(int actual, int predicted) const;
+  double accuracy() const;
+  // Per-class recall; the paper reports >= 93% for every activity.
+  double class_accuracy(int actual) const;
+  double min_class_accuracy() const;
+
+  // Render as a Table I style grid with given class labels.
+  std::string to_string(const std::vector<std::string>& labels) const;
+
+ private:
+  int num_classes_;
+  int total_ = 0;
+  std::vector<int> counts_;  // [actual * num_classes + predicted]
+};
+
+// Evaluate a trained network over test samples.
+ConfusionMatrix evaluate(M2AINetwork& network, const std::vector<Sample>& test);
+
+}  // namespace m2ai::core

@@ -1,0 +1,107 @@
+#include "core/experiment.hpp"
+
+#include <chrono>
+
+#include "core/features.hpp"
+#include "ml/hmm.hpp"
+#include "util/log.hpp"
+
+namespace m2ai::core {
+
+DataSplit generate_dataset(const ExperimentConfig& config) {
+  Pipeline pipeline(config.pipeline, config.seed);
+  util::Rng split_rng(config.seed ^ 0xabcdef12345ULL);
+
+  DataSplit split;
+  split.num_classes = sim::num_activities();
+  for (int activity = 1; activity <= sim::num_activities(); ++activity) {
+    std::vector<Sample> samples;
+    samples.reserve(static_cast<std::size_t>(config.samples_per_class));
+    for (int i = 0; i < config.samples_per_class; ++i) {
+      samples.push_back(pipeline.simulate_sample(activity));
+    }
+    split_rng.shuffle(samples);
+    const auto train_count = static_cast<std::size_t>(
+        config.train_fraction * static_cast<double>(samples.size()) + 0.5);
+    for (std::size_t i = 0; i < samples.size(); ++i) {
+      (i < train_count ? split.train : split.test).push_back(std::move(samples[i]));
+    }
+  }
+  split_rng.shuffle(split.train);
+  split_rng.shuffle(split.test);
+  util::log_info() << "dataset: " << split.train.size() << " train / "
+                   << split.test.size() << " test sequences, "
+                   << split.num_classes << " classes";
+  return split;
+}
+
+M2AIResult train_and_evaluate(const ExperimentConfig& config, const DataSplit& split,
+                              std::unique_ptr<M2AINetwork>* out_network) {
+  auto network = std::make_unique<M2AINetwork>(
+      config.model, config.pipeline.feature_mode,
+      config.pipeline.num_persons * config.pipeline.tags_per_person,
+      config.pipeline.num_antennas, split.num_classes);
+
+  M2AIResult result;
+  result.num_parameters = network->num_parameters();
+
+  const auto start = std::chrono::steady_clock::now();
+  Trainer trainer(*network, config.train);
+  trainer.fit(split.train);
+  result.train_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+
+  result.confusion = evaluate(*network, split.test);
+  result.accuracy = result.confusion.accuracy();
+  if (out_network) *out_network = std::move(network);
+  return result;
+}
+
+double hmm_baseline_accuracy(const DataSplit& split, int num_states, int iterations) {
+  // Frame-feature sequences, standardized with a scaler fit on train frames.
+  ml::Dataset scale_fit;
+  scale_fit.num_classes = split.num_classes;
+  for (const Sample& s : split.train) {
+    for (const SpectrumFrame& f : s.frames) {
+      scale_fit.add(frame_feature_vector(f), s.label);
+    }
+  }
+  ml::StandardScaler scaler;
+  scaler.fit(scale_fit);
+
+  auto to_sequences = [&](const std::vector<Sample>& samples,
+                          std::vector<ml::FeatureSequence>* seqs,
+                          std::vector<int>* labels) {
+    for (const Sample& s : samples) {
+      ml::FeatureSequence seq;
+      for (const SpectrumFrame& f : s.frames) {
+        seq.push_back(scaler.transform(frame_feature_vector(f)));
+      }
+      seqs->push_back(std::move(seq));
+      labels->push_back(s.label);
+    }
+  };
+
+  std::vector<ml::FeatureSequence> train_seqs, test_seqs;
+  std::vector<int> train_labels, test_labels;
+  to_sequences(split.train, &train_seqs, &train_labels);
+  to_sequences(split.test, &test_seqs, &test_labels);
+
+  ml::HmmSequenceClassifier hmm(num_states, iterations);
+  hmm.fit(train_seqs, train_labels, split.num_classes);
+  return hmm.accuracy(test_seqs, test_labels);
+}
+
+double baseline_accuracy(ml::Classifier& classifier, const DataSplit& split,
+                         std::uint64_t seed, std::size_t frame_cap) {
+  util::Rng rng(seed);
+  ml::Dataset train_frames =
+      frames_to_dataset(split.train, split.num_classes, /*frame_stride=*/2,
+                        frame_cap, rng);
+  ml::StandardScaler scaler;
+  scaler.fit(train_frames);
+  classifier.fit(scaler.transform(train_frames));
+  return sequence_accuracy(classifier, scaler, split.test, split.num_classes);
+}
+
+}  // namespace m2ai::core

@@ -1,0 +1,60 @@
+// The experiment harness behind every bench binary: dataset generation with
+// a stratified 80/20 split (Sec. VI-A), M2AI training/evaluation, and the
+// common path for running a conventional baseline over the same data.
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "core/evaluator.hpp"
+#include "core/pipeline.hpp"
+#include "core/trainer.hpp"
+#include "ml/dataset.hpp"
+
+namespace m2ai::core {
+
+struct ExperimentConfig {
+  PipelineConfig pipeline;
+  ModelConfig model;
+  TrainConfig train;
+  int samples_per_class = 20;
+  double train_fraction = 0.8;  // paper: 80% train / 20% test
+  std::uint64_t seed = 20180545;
+};
+
+struct DataSplit {
+  std::vector<Sample> train;
+  std::vector<Sample> test;
+  int num_classes = 0;
+};
+
+// Simulate samples_per_class examples of every cataloged activity and split
+// them stratified by class.
+DataSplit generate_dataset(const ExperimentConfig& config);
+
+struct M2AIResult {
+  ConfusionMatrix confusion;
+  double accuracy = 0.0;
+  double train_seconds = 0.0;
+  std::size_t num_parameters = 0;
+
+  M2AIResult() : confusion(1) {}
+};
+
+// Build the configured network, train on the split, evaluate on its test
+// side. `out_network` (optional) receives the trained model.
+M2AIResult train_and_evaluate(const ExperimentConfig& config, const DataSplit& split,
+                              std::unique_ptr<M2AINetwork>* out_network = nullptr);
+
+// Fit one conventional classifier on per-frame features of the train split
+// and score it per-sequence by majority vote.
+double baseline_accuracy(ml::Classifier& classifier, const DataSplit& split,
+                         std::uint64_t seed, std::size_t frame_cap = 2000);
+
+// Fit the HMM sequence baseline (per-class Gaussian HMMs over frame-feature
+// sequences — the prior-art approach of Secs. I/VIII) and score it on the
+// test split. Unlike the frame classifiers, the HMM sees whole sequences.
+double hmm_baseline_accuracy(const DataSplit& split, int num_states = 4,
+                             int iterations = 10);
+
+}  // namespace m2ai::core

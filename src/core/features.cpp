@@ -1,0 +1,61 @@
+#include "core/features.hpp"
+
+#include <algorithm>
+
+namespace m2ai::core {
+
+std::vector<float> frame_feature_vector(const SpectrumFrame& frame, int pool_deg) {
+  std::vector<float> out;
+  if (frame.has_pseudo) {
+    const int tags = frame.pseudo.dim(0);
+    const int bins = frame.pseudo.dim(1);
+    const int pooled = (bins + pool_deg - 1) / pool_deg;
+    for (int t = 0; t < tags; ++t) {
+      for (int p = 0; p < pooled; ++p) {
+        float mx = 0.0f;
+        for (int b = p * pool_deg; b < std::min(bins, (p + 1) * pool_deg); ++b) {
+          mx = std::max(mx, frame.pseudo.at(t, b));
+        }
+        out.push_back(mx);
+      }
+    }
+  }
+  if (frame.has_aux) {
+    for (std::size_t i = 0; i < frame.aux.size(); ++i) out.push_back(frame.aux[i]);
+  }
+  return out;
+}
+
+ml::Dataset frames_to_dataset(const std::vector<Sample>& samples, int num_classes,
+                              int frame_stride, std::size_t cap, util::Rng& rng) {
+  ml::Dataset data;
+  data.num_classes = num_classes;
+  for (const Sample& sample : samples) {
+    for (std::size_t t = 0; t < sample.frames.size();
+         t += static_cast<std::size_t>(std::max(frame_stride, 1))) {
+      data.add(frame_feature_vector(sample.frames[t]), sample.label);
+    }
+  }
+  if (data.size() > cap) data = data.subsample(cap, rng);
+  return data;
+}
+
+double sequence_accuracy(const ml::Classifier& classifier,
+                         const ml::StandardScaler& scaler,
+                         const std::vector<Sample>& test, int num_classes,
+                         int pool_deg) {
+  if (test.empty()) return 0.0;
+  std::size_t correct = 0;
+  for (const Sample& sample : test) {
+    std::vector<int> votes;
+    votes.reserve(sample.frames.size());
+    for (const SpectrumFrame& frame : sample.frames) {
+      votes.push_back(
+          classifier.predict(scaler.transform(frame_feature_vector(frame, pool_deg))));
+    }
+    if (ml::majority_vote(votes, num_classes) == sample.label) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(test.size());
+}
+
+}  // namespace m2ai::core

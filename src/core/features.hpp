@@ -1,0 +1,29 @@
+// Adapters that feed the conventional (Fig. 9) classifiers.
+//
+// Conventional classifiers see individual spectrum frames, not sequences —
+// exactly the paper's framing of why they underperform ("each individual
+// spectrum frame forms only a small part of the human activities"). A
+// sequence is scored by majority vote over its per-frame predictions.
+#pragma once
+
+#include "core/frames.hpp"
+#include "ml/dataset.hpp"
+
+namespace m2ai::core {
+
+// Flatten one frame into a feature vector. The 180-bin pseudospectrum is
+// max-pooled into `pool_deg`-degree bins to keep kernel methods tractable.
+std::vector<float> frame_feature_vector(const SpectrumFrame& frame, int pool_deg = 5);
+
+// Per-frame dataset over all samples, keeping every `frame_stride`-th frame
+// and capping the total via reservoir-free subsampling.
+ml::Dataset frames_to_dataset(const std::vector<Sample>& samples, int num_classes,
+                              int frame_stride, std::size_t cap, util::Rng& rng);
+
+// Sequence-level accuracy of a fitted frame classifier via majority vote.
+double sequence_accuracy(const ml::Classifier& classifier,
+                         const ml::StandardScaler& scaler,
+                         const std::vector<Sample>& test, int num_classes,
+                         int pool_deg = 5);
+
+}  // namespace m2ai::core

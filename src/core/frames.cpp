@@ -1,0 +1,161 @@
+#include "core/frames.hpp"
+
+#include <cmath>
+
+#include "dsp/periodogram.hpp"
+#include "dsp/phase.hpp"
+#include "rf/steering.hpp"
+
+namespace m2ai::core {
+
+namespace {
+
+dsp::MusicOptions music_options(const PipelineConfig& config) {
+  dsp::MusicOptions opts;
+  opts.num_antennas = config.num_antennas;
+  opts.effective_separation_m = rf::effective_separation(rf::kAntennaSeparationM);
+  opts.wavelength_m = rf::kTypicalWavelengthM;
+  opts.num_angle_bins = rf::kNumAngleBins;
+  opts.covariance = config.covariance;
+  // A fixed signal-subspace dimension keeps consecutive frames comparable;
+  // the auto-count's per-window jitter otherwise changes spectrum sharpness
+  // and reads as feature noise to the network.
+  opts.num_sources = std::min(config.music_num_sources, config.num_antennas - 1);
+  return opts;
+}
+
+// RSSI (dBm) to a linear amplitude with a fixed reference so the
+// periodogram keeps absolute power information.
+double rssi_to_amplitude(double rssi_dbm) {
+  return std::pow(10.0, (rssi_dbm + 60.0) / 20.0);
+}
+
+// Compress periodogram power for the network input.
+float compress_power(double p) { return static_cast<float>(std::log10(1.0 + p)); }
+
+}  // namespace
+
+FrameBuilder::FrameBuilder(const PipelineConfig& config,
+                           const dsp::PhaseCalibrator* calibrator, int num_tags)
+    : config_(config),
+      calibrator_(calibrator),
+      num_tags_(num_tags),
+      music_(music_options(config)) {}
+
+FrameSequence FrameBuilder::build(const std::vector<sim::TagReport>& reports,
+                                  double t_begin) const {
+  const int num_windows = config_.windows_per_sample;
+  const int num_ant = config_.num_antennas;
+
+  // windows[w][tag] accumulators.
+  std::vector<std::vector<TagWindow>> windows(
+      static_cast<std::size_t>(num_windows),
+      std::vector<TagWindow>(static_cast<std::size_t>(num_tags_)));
+  for (auto& per_window : windows) {
+    for (auto& tw : per_window) {
+      tw.phases.resize(static_cast<std::size_t>(num_ant));
+      tw.amplitudes.resize(static_cast<std::size_t>(num_ant));
+      tw.rssis.resize(static_cast<std::size_t>(num_ant));
+    }
+  }
+
+  for (const sim::TagReport& report : reports) {
+    const double rel = report.time_sec - t_begin;
+    const int w = static_cast<int>(std::floor(rel / config_.window_sec));
+    if (w < 0 || w >= num_windows) continue;
+    const int tag = static_cast<int>(report.tag_id) - 1;
+    if (tag < 0 || tag >= num_tags_) continue;
+    if (report.antenna < 0 || report.antenna >= num_ant) continue;
+
+    // Remove the per-channel hardware offset — including the reader's
+    // half-cycle reporting offset — via Eq. 1 when calibration is enabled.
+    double psi = report.phase_rad;
+    if (calibrator_ != nullptr) {
+      psi = calibrator_->apply(report.tag_id, report.antenna, report.channel, psi);
+    }
+    auto& tw = windows[static_cast<std::size_t>(w)][static_cast<std::size_t>(tag)];
+    const auto ant = static_cast<std::size_t>(report.antenna);
+    tw.phases[ant].push_back(psi);
+    tw.amplitudes[ant].push_back(rssi_to_amplitude(report.rssi_dbm));
+    tw.rssis[ant].push_back(report.rssi_dbm);
+  }
+
+  FrameSequence frames;
+  frames.reserve(static_cast<std::size_t>(num_windows));
+  for (const auto& per_window : windows) frames.push_back(make_frame(per_window));
+  return frames;
+}
+
+SpectrumFrame FrameBuilder::make_frame(const std::vector<TagWindow>& tags) const {
+  const int num_ant = config_.num_antennas;
+  const FeatureMode mode = config_.feature_mode;
+  SpectrumFrame frame;
+  frame.has_pseudo =
+      (mode == FeatureMode::kM2AI || mode == FeatureMode::kMusicOnly);
+  frame.has_aux = (mode != FeatureMode::kMusicOnly);
+
+  if (frame.has_pseudo) frame.pseudo = nn::Tensor({num_tags_, rf::kNumAngleBins});
+  if (frame.has_aux) frame.aux = nn::Tensor({num_tags_, num_ant});
+
+  for (int tag = 0; tag < num_tags_; ++tag) {
+    const TagWindow& tw = tags[static_cast<std::size_t>(tag)];
+
+    if (mode == FeatureMode::kPhaseOnly) {
+      // Circular mean of the calibrated phase per antenna, scaled to [0, 1).
+      for (int a = 0; a < num_ant; ++a) {
+        const auto& ph = tw.phases[static_cast<std::size_t>(a)];
+        if (ph.empty()) continue;
+        frame.aux.at(tag, a) = static_cast<float>(
+            dsp::wrap_2pi(dsp::circular_mean(ph)) / (2.0 * M_PI));
+      }
+      continue;
+    }
+    if (mode == FeatureMode::kRssiOnly) {
+      for (int a = 0; a < num_ant; ++a) {
+        const auto& r = tw.rssis[static_cast<std::size_t>(a)];
+        if (r.empty()) continue;
+        double s = 0.0;
+        for (double v : r) s += v;
+        // Map typical -90..-30 dBm to ~[0, 1].
+        frame.aux.at(tag, a) =
+            static_cast<float>((s / static_cast<double>(r.size()) + 90.0) / 60.0);
+      }
+      continue;
+    }
+
+    // Spectral modes need aligned snapshots across antennas.
+    std::size_t num_snapshots = SIZE_MAX;
+    for (int a = 0; a < num_ant; ++a) {
+      num_snapshots =
+          std::min(num_snapshots, tw.phases[static_cast<std::size_t>(a)].size());
+    }
+    if (num_snapshots == SIZE_MAX || num_snapshots < 2) continue;  // zero row
+
+    std::vector<std::vector<dsp::cdouble>> snapshots(num_snapshots);
+    for (std::size_t k = 0; k < num_snapshots; ++k) {
+      auto& snap = snapshots[k];
+      snap.resize(static_cast<std::size_t>(num_ant));
+      for (int a = 0; a < num_ant; ++a) {
+        const auto aa = static_cast<std::size_t>(a);
+        snap[aa] = std::polar(tw.amplitudes[aa][k], tw.phases[aa][k]);
+      }
+    }
+
+    if (frame.has_pseudo) {
+      const dsp::MusicResult music = music_.estimate(snapshots);
+      for (int bin = 0; bin < rf::kNumAngleBins; ++bin) {
+        frame.pseudo.at(tag, bin) =
+            static_cast<float>(music.spectrum[static_cast<std::size_t>(bin)]);
+      }
+    }
+    if (frame.has_aux) {
+      const std::vector<double> period = dsp::averaged_periodogram(snapshots);
+      for (int a = 0; a < num_ant; ++a) {
+        frame.aux.at(tag, a) = compress_power(period[static_cast<std::size_t>(a)]);
+      }
+    }
+  }
+  return frame;
+}
+
+}  // namespace m2ai::core

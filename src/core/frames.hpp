@@ -1,0 +1,72 @@
+// Spectrum frames: the bridge between the LLRP report stream and the
+// learning engine (Sec. IV-A).
+//
+// Per time window and per tag the FrameBuilder produces
+//   * a pseudospectrum row (180 angle bins, MUSIC, Eq. 12) and
+//   * a periodogram row (one power bin per antenna, Eq. 16),
+// stacked over tags into the n x 180 and n x N frames of Fig. 5(c)/(d).
+// Feature-mode ablations (Fig. 16) swap these for raw phase or RSSI rows.
+#pragma once
+
+#include <vector>
+
+#include "core/config.hpp"
+#include "dsp/calibration.hpp"
+#include "dsp/music.hpp"
+#include "nn/tensor.hpp"
+#include "sim/reader.hpp"
+
+namespace m2ai::core {
+
+// One time step of the model input. Depending on FeatureMode either tensor
+// may be unused (size 0 is represented by an empty rank check on use).
+struct SpectrumFrame {
+  nn::Tensor pseudo;  // [n_tags, 180]  (kM2AI, kMusicOnly)
+  nn::Tensor aux;     // [n_tags, N]    (periodogram / phase / RSSI rows)
+  bool has_pseudo = false;
+  bool has_aux = false;
+};
+
+using FrameSequence = std::vector<SpectrumFrame>;
+
+// A labelled training/evaluation example.
+struct Sample {
+  FrameSequence frames;
+  int label = 0;        // activity id - 1
+  int activity_id = 0;  // 1-based catalog id
+};
+
+class FrameBuilder {
+ public:
+  // `calibrator` may be null (Fig. 10's no-calibration ablation); it must be
+  // finalized otherwise. `num_tags` fixes the frame height even if some tag
+  // is never read in a window.
+  FrameBuilder(const PipelineConfig& config, const dsp::PhaseCalibrator* calibrator,
+               int num_tags);
+
+  // Consume reports covering [t_begin, t_begin + T*window) and produce the
+  // T-frame sequence. Missing (tag, window) data yields zero rows.
+  FrameSequence build(const std::vector<sim::TagReport>& reports,
+                      double t_begin) const;
+
+  const dsp::MusicEstimator& music() const { return music_; }
+
+ private:
+  // Per (tag, window) accumulation of calibrated readings.
+  struct TagWindow {
+    // Per antenna: calibrated doubled phases and linear amplitudes, in
+    // arrival order.
+    std::vector<std::vector<double>> phases;
+    std::vector<std::vector<double>> amplitudes;
+    std::vector<std::vector<double>> rssis;
+  };
+
+  SpectrumFrame make_frame(const std::vector<TagWindow>& tags) const;
+
+  PipelineConfig config_;
+  const dsp::PhaseCalibrator* calibrator_;
+  int num_tags_;
+  dsp::MusicEstimator music_;
+};
+
+}  // namespace m2ai::core

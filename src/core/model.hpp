@@ -1,0 +1,77 @@
+// The M2AI deep-learning engine (Fig. 6): per-frame CNN feature extraction
+// over the pseudospectrum and periodogram branches, a fully-connected merge,
+// two stacked LSTM layers (32 cells each), and a per-frame softmax head.
+// The Fig. 17 ablations (CNN-only / LSTM-only) reuse the same parts.
+#pragma once
+
+#include <memory>
+
+#include "core/frames.hpp"
+#include "nn/dense.hpp"
+#include "nn/lstm.hpp"
+#include "nn/sequential.hpp"
+#include "nn/softmax.hpp"
+
+namespace m2ai::core {
+
+class M2AINetwork {
+ public:
+  M2AINetwork(const ModelConfig& model, FeatureMode mode, int num_tags,
+              int num_antennas, int num_classes);
+
+  struct StepResult {
+    double loss = 0.0;
+    int predicted = 0;
+  };
+
+  // Forward + backward on one sequence; parameter gradients accumulate
+  // (optimizer consumes them). Loss is the mean per-frame cross entropy —
+  // the paper's "prediction at every spectrum frame".
+  StepResult train_step(const Sample& sample);
+
+  // Inference: per-frame softmax probabilities summed over the sequence.
+  int predict(const FrameSequence& frames);
+  // Per-class summed probabilities (normalized); useful for examples.
+  std::vector<double> predict_proba(const FrameSequence& frames);
+
+  std::vector<nn::Param*> params();
+  std::size_t num_parameters();
+
+  const ModelConfig& model_config() const { return model_; }
+
+ private:
+  // CNN branches + merge for one frame. Returns the per-frame feature
+  // vector; with train=true, caches are pushed for the matching backward.
+  nn::Tensor frame_features(const SpectrumFrame& frame, bool train);
+  // Backward through merge + branches for the most recent un-popped
+  // frame_features(train=true) call.
+  void frame_backward(const nn::Tensor& grad_features);
+
+  // Raw flattened frame (LSTM-only ablation input).
+  nn::Tensor raw_features(const SpectrumFrame& frame) const;
+
+  // Sequence forward shared by train/predict paths.
+  std::vector<nn::Tensor> forward_sequence(const FrameSequence& frames, bool train);
+
+  ModelConfig model_;
+  FeatureMode mode_;
+  int num_tags_;
+  int num_antennas_;
+  int num_classes_;
+
+  bool use_pseudo_ = false;
+  bool use_aux_ = false;
+  int pseudo_flat_ = 0;  // flattened branch output sizes
+  int aux_flat_ = 0;
+  std::vector<int> pseudo_out_shape_;
+  std::vector<int> aux_out_shape_;
+
+  std::unique_ptr<nn::Sequential> pseudo_branch_;
+  std::unique_ptr<nn::Sequential> aux_branch_;
+  std::unique_ptr<nn::Sequential> merge_;  // Dense + ReLU
+  std::unique_ptr<nn::Lstm> lstm1_;
+  std::unique_ptr<nn::Lstm> lstm2_;
+  std::unique_ptr<nn::Dense> head_;
+};
+
+}  // namespace m2ai::core

@@ -1,0 +1,76 @@
+#include "core/pipeline.hpp"
+
+#include "dsp/phase.hpp"
+
+namespace m2ai::core {
+
+sim::Environment make_environment(EnvironmentKind kind) {
+  switch (kind) {
+    case EnvironmentKind::kLaboratory: return sim::Environment::laboratory();
+    case EnvironmentKind::kHall: return sim::Environment::hall();
+  }
+  return sim::Environment::laboratory();
+}
+
+Pipeline::Pipeline(PipelineConfig config, std::uint64_t seed)
+    : config_(config), rng_(seed) {}
+
+Sample Pipeline::simulate_sample(int activity_id) {
+  const sim::Environment env = make_environment(config_.environment);
+
+  // Array against the y=0 wall, centered in x, facing into the room.
+  sim::ArrayGeometry array;
+  array.center = sim::Vec3{env.width / 2.0, 0.4, 1.25};
+  array.axis = rf::Vec2{1.0, 0.0};
+  array.num_antennas = config_.num_antennas;
+
+  sim::PlacementOptions placement;
+  placement.distance_m = config_.distance_m;
+
+  util::Rng sample_rng = rng_.fork();
+  std::vector<sim::Person> persons = sim::instantiate_activity(
+      activity_id, config_.num_persons, env, array.origin2d(), placement, sample_rng);
+
+  sim::Scene scene(env, std::move(persons), array, config_.tags_per_person);
+
+  sim::ReaderConfig reader_config;
+  reader_config.hopping = config_.frequency_hopping;
+  // The M2AI pipeline consumes phase + RSSI only; skip the Doppler
+  // estimation's extra propagation evaluations.
+  reader_config.report_doppler = false;
+  sim::Reader reader(reader_config, config_.num_antennas,
+                     static_cast<int>(scene.tags().size()), sample_rng.fork());
+
+  // Stationary calibration bootstrap (Eq. 1): persons hold their start pose
+  // while the reader sweeps its hop cycle.
+  //
+  // The activity recording starts half a frame-window after a hop boundary,
+  // so every window pools readings from TWO hop channels — the situation
+  // Eq. 1 calibration exists to handle. Without calibration the
+  // inter-channel offsets scramble each window's snapshots and the spatial
+  // covariance with them (the Fig. 10 collapse).
+  calibrator_.reset();
+  double t0 = 0.5 * config_.window_sec;
+  if (config_.phase_calibration) {
+    calibrator_ = std::make_unique<dsp::PhaseCalibrator>();
+    scene.set_motion_frozen(true);
+    const auto boot = reader.run(scene, 0.0, config_.bootstrap_sec);
+    for (const sim::TagReport& r : boot) {
+      calibrator_->add_sample(r.tag_id, r.antenna, r.channel, r.phase_rad);
+    }
+    calibrator_->finalize();
+    scene.set_motion_frozen(false);
+    t0 = config_.bootstrap_sec + 0.5 * config_.window_sec;
+  }
+
+  last_reports_ = reader.run(scene, t0, t0 + config_.sample_duration_sec());
+
+  FrameBuilder builder(config_, calibrator_.get(), num_tags());
+  Sample sample;
+  sample.frames = builder.build(last_reports_, t0);
+  sample.activity_id = activity_id;
+  sample.label = activity_id - 1;
+  return sample;
+}
+
+}  // namespace m2ai::core

@@ -1,0 +1,40 @@
+// End-to-end M2AI pipeline over the simulated substrate: instantiate a
+// scene for an activity, run the stationary calibration bootstrap (Eq. 1),
+// inventory the tags through the reader model, and build the spectrum-frame
+// sequence that feeds the learning engine.
+#pragma once
+
+#include <memory>
+
+#include "core/frames.hpp"
+#include "sim/activities.hpp"
+
+namespace m2ai::core {
+
+sim::Environment make_environment(EnvironmentKind kind);
+
+class Pipeline {
+ public:
+  Pipeline(PipelineConfig config, std::uint64_t seed);
+
+  // Simulate one labelled sample of `activity_id` (1-based catalog id):
+  // fresh volunteers, fresh reader hardware, fresh bootstrap, then
+  // windows_per_sample frames of activity.
+  Sample simulate_sample(int activity_id);
+
+  // Lower-level access for tests and the Fig. 2/3 benches: the raw reports
+  // and the calibrator of the last simulate_sample() call.
+  const std::vector<sim::TagReport>& last_reports() const { return last_reports_; }
+  const dsp::PhaseCalibrator* last_calibrator() const { return calibrator_.get(); }
+
+  const PipelineConfig& config() const { return config_; }
+  int num_tags() const { return config_.num_persons * config_.tags_per_person; }
+
+ private:
+  PipelineConfig config_;
+  util::Rng rng_;
+  std::vector<sim::TagReport> last_reports_;
+  std::unique_ptr<dsp::PhaseCalibrator> calibrator_;
+};
+
+}  // namespace m2ai::core

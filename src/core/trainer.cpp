@@ -1,0 +1,84 @@
+#include "core/trainer.hpp"
+
+#include <numeric>
+
+#include "nn/optimizer.hpp"
+#include "util/log.hpp"
+
+namespace m2ai::core {
+
+Trainer::Trainer(M2AINetwork& network, TrainConfig config)
+    : network_(network), config_(config), rng_(config.seed) {
+  if (config_.use_adam) {
+    optimizer_ = std::make_unique<nn::Adam>(config_.learning_rate, 0.9, 0.999, 1e-8,
+                                            config_.weight_decay);
+  } else {
+    optimizer_ = std::make_unique<nn::Sgd>(config_.learning_rate, /*momentum=*/0.9,
+                                           config_.weight_decay);
+  }
+}
+
+EpochStats Trainer::run_epoch(const std::vector<Sample>& train) {
+  const auto params = network_.params();
+  std::vector<std::size_t> order(train.size());
+  std::iota(order.begin(), order.end(), 0);
+  rng_.shuffle(order);
+
+  EpochStats stats;
+  std::size_t correct = 0;
+  int in_batch = 0;
+  Sample cropped;
+  for (std::size_t idx : order) {
+    const Sample* sample = &train[idx];
+    const std::size_t crop = static_cast<std::size_t>(config_.crop_frames);
+    if (crop > 0 && sample->frames.size() > crop) {
+      const std::size_t start = static_cast<std::size_t>(
+          rng_.uniform_int(static_cast<std::uint64_t>(sample->frames.size() - crop + 1)));
+      cropped.label = sample->label;
+      cropped.activity_id = sample->activity_id;
+      cropped.frames.assign(sample->frames.begin() + static_cast<std::ptrdiff_t>(start),
+                            sample->frames.begin() + static_cast<std::ptrdiff_t>(start + crop));
+      sample = &cropped;
+    }
+    const auto step = network_.train_step(*sample);
+    stats.mean_loss += step.loss;
+    if (step.predicted == sample->label) ++correct;
+    if (++in_batch == config_.batch_size) {
+      nn::clip_gradient_norm(params, config_.clip_norm);
+      optimizer_->step(params);
+      in_batch = 0;
+    }
+  }
+  if (in_batch > 0) {
+    nn::clip_gradient_norm(params, config_.clip_norm);
+    optimizer_->step(params);
+  }
+  stats.mean_loss /= static_cast<double>(std::max<std::size_t>(train.size(), 1));
+  stats.train_accuracy =
+      static_cast<double>(correct) / static_cast<double>(std::max<std::size_t>(train.size(), 1));
+  return stats;
+}
+
+EpochStats Trainer::fit(const std::vector<Sample>& train) {
+  EpochStats stats;
+  for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    if (config_.lr_schedule) {
+      double lr = config_.learning_rate;
+      if (epoch >= config_.epochs * 85 / 100) {
+        lr *= 0.09;
+      } else if (epoch >= config_.epochs * 60 / 100) {
+        lr *= 0.3;
+      }
+      optimizer_->set_lr(lr);
+    }
+    stats = run_epoch(train);
+    if (config_.verbose) {
+      util::log_info() << "epoch " << (epoch + 1) << "/" << config_.epochs
+                       << " loss=" << stats.mean_loss
+                       << " train_acc=" << stats.train_accuracy;
+    }
+  }
+  return stats;
+}
+
+}  // namespace m2ai::core

@@ -1,0 +1,32 @@
+// Training loop for the M2AI network: shuffled mini-batches of whole
+// sequences, gradient-norm clipping (Sec. VI-A), SGD+momentum or Adam.
+#pragma once
+
+#include "core/model.hpp"
+#include "nn/optimizer.hpp"
+
+namespace m2ai::core {
+
+struct EpochStats {
+  double mean_loss = 0.0;
+  double train_accuracy = 0.0;
+};
+
+class Trainer {
+ public:
+  Trainer(M2AINetwork& network, TrainConfig config);
+
+  // One pass over the (shuffled) training samples.
+  EpochStats run_epoch(const std::vector<Sample>& train);
+
+  // Full training run; returns stats of the final epoch.
+  EpochStats fit(const std::vector<Sample>& train);
+
+ private:
+  M2AINetwork& network_;
+  TrainConfig config_;
+  std::unique_ptr<nn::Optimizer> optimizer_;
+  util::Rng rng_;
+};
+
+}  // namespace m2ai::core

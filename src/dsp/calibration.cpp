@@ -1,0 +1,128 @@
+#include "dsp/calibration.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "dsp/phase.hpp"
+#include "rf/channel_plan.hpp"
+#include "util/stats.hpp"
+
+namespace m2ai::dsp {
+
+CalibrationTable::CalibrationTable(int num_channels)
+    : samples_(static_cast<std::size_t>(num_channels)),
+      offsets_(static_cast<std::size_t>(num_channels), 0.0) {}
+
+void CalibrationTable::add_sample(int channel, double phase_rad) {
+  if (channel < 0 || channel >= static_cast<int>(samples_.size())) {
+    throw std::out_of_range("CalibrationTable: bad channel");
+  }
+  samples_[static_cast<std::size_t>(channel)].push_back(wrap_2pi(phase_rad));
+  ++total_samples_;
+}
+
+void CalibrationTable::finalize(int common_channel) {
+  const std::size_t n = samples_.size();
+  if (common_channel < 0 || common_channel >= static_cast<int>(n)) {
+    throw std::out_of_range("CalibrationTable: bad common channel");
+  }
+  std::vector<double> medians(n, 0.0);
+  std::vector<bool> seen(n, false);
+  for (std::size_t c = 0; c < n; ++c) {
+    if (!samples_[c].empty()) {
+      medians[c] = circular_median(samples_[c]);
+      seen[c] = true;
+    }
+  }
+
+  // Reference median: prefer the common channel's own bootstrap data; fall
+  // back to the nearest observed channel.
+  double median_r = 0.0;
+  if (seen[static_cast<std::size_t>(common_channel)]) {
+    median_r = medians[static_cast<std::size_t>(common_channel)];
+  } else {
+    int best = -1;
+    for (std::size_t c = 0; c < n; ++c) {
+      if (seen[c] && (best < 0 || std::abs(static_cast<int>(c) - common_channel) <
+                                      std::abs(best - common_channel))) {
+        best = static_cast<int>(c);
+      }
+    }
+    if (best >= 0) median_r = medians[static_cast<std::size_t>(best)];
+  }
+
+  for (std::size_t c = 0; c < n; ++c) {
+    if (seen[c]) {
+      offsets_[c] = wrap_pi(medians[c] - median_r);
+    }
+  }
+
+  // Unseen channels: linear extrapolation in frequency (Fig. 3 linearity),
+  // fit on the wrapped offsets of seen channels via their unwrapped version
+  // ordered by channel index.
+  std::vector<double> xs, ys;
+  std::vector<double> wrapped;
+  std::vector<std::size_t> idx;
+  for (std::size_t c = 0; c < n; ++c) {
+    if (seen[c]) {
+      idx.push_back(c);
+      wrapped.push_back(offsets_[c]);
+    }
+  }
+  if (!idx.empty()) {
+    const std::vector<double> un = unwrap(wrapped);
+    for (std::size_t k = 0; k < idx.size(); ++k) {
+      xs.push_back(static_cast<double>(idx[k]));
+      ys.push_back(un[k]);
+    }
+    if (xs.size() >= 2) {
+      const util::LinearFit fit = util::linear_fit(xs, ys);
+      for (std::size_t c = 0; c < n; ++c) {
+        if (!seen[c]) {
+          offsets_[c] = wrap_pi(fit.slope * static_cast<double>(c) + fit.intercept);
+        }
+      }
+    }
+  }
+  finalized_ = true;
+}
+
+double CalibrationTable::apply(int channel, double phase_rad) const {
+  if (!finalized_) throw std::logic_error("CalibrationTable: not finalized");
+  if (channel < 0 || channel >= static_cast<int>(offsets_.size())) {
+    throw std::out_of_range("CalibrationTable: bad channel");
+  }
+  return wrap_2pi(phase_rad - offsets_[static_cast<std::size_t>(channel)]);
+}
+
+double CalibrationTable::offset(int channel) const {
+  if (!finalized_) throw std::logic_error("CalibrationTable: not finalized");
+  return offsets_[static_cast<std::size_t>(channel)];
+}
+
+PhaseCalibrator::PhaseCalibrator(int common_channel)
+    : common_channel_(common_channel >= 0 ? common_channel : rf::common_channel()) {}
+
+void PhaseCalibrator::add_sample(std::uint32_t tag_id, int antenna, int channel,
+                                 double phase_rad) {
+  tables_.try_emplace({tag_id, antenna}).first->second.add_sample(channel, phase_rad);
+}
+
+void PhaseCalibrator::finalize() {
+  for (auto& [key, table] : tables_) table.finalize(common_channel_);
+  finalized_ = true;
+}
+
+double PhaseCalibrator::apply(std::uint32_t tag_id, int antenna, int channel,
+                              double phase_rad) const {
+  const auto it = tables_.find({tag_id, antenna});
+  if (it == tables_.end() || !it->second.finalized()) return phase_rad;
+  return it->second.apply(channel, phase_rad);
+}
+
+const CalibrationTable* PhaseCalibrator::table(std::uint32_t tag_id, int antenna) const {
+  const auto it = tables_.find({tag_id, antenna});
+  return it == tables_.end() ? nullptr : &it->second;
+}
+
+}  // namespace m2ai::dsp

@@ -1,0 +1,77 @@
+// Phase calibration across frequency-hopping channels (Sec. III-A, Eq. 1).
+//
+// Each hop channel f_j induces a constant phase offset (reader oscillator +
+// tag antenna frequency response; linear in frequency, Fig. 3). During a
+// short stationary bootstrap the calibrator records the circular median
+// phase per channel, then maps every subsequent reading to the common
+// channel f_r:  phi(t) = phi_j(t) - median_j + median_r.
+//
+// The offsets differ per tag AND per reader antenna, so one table is kept
+// per (tag, antenna) pair. The calibrator is agnostic to whether the caller
+// feeds raw or doubled phases; the M2AI pipeline feeds doubled phases so the
+// reader's pi ambiguity is already cancelled (see dsp/phase.hpp).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "rf/constants.hpp"
+
+namespace m2ai::dsp {
+
+// Offset table for one (tag, antenna) pair.
+class CalibrationTable {
+ public:
+  explicit CalibrationTable(int num_channels = rf::kNumChannels);
+
+  // Record one bootstrap sample (stationary tag).
+  void add_sample(int channel, double phase_rad);
+
+  // Freeze medians. `common_channel` is the reference f_r. Channels with no
+  // bootstrap samples fall back to a linear fit over observed channels
+  // (phase-vs-frequency is linear, Fig. 3), or to a zero offset if fewer
+  // than two channels were seen.
+  void finalize(int common_channel);
+
+  bool finalized() const { return finalized_; }
+  std::size_t sample_count() const { return total_samples_; }
+
+  // Eq. 1. Requires finalize() first.
+  double apply(int channel, double phase_rad) const;
+
+  // The per-channel offset (median_j - median_r) after finalize; useful for
+  // inspecting Fig. 3 style linearity.
+  double offset(int channel) const;
+
+ private:
+  std::vector<std::vector<double>> samples_;  // per channel
+  std::vector<double> offsets_;               // median_j - median_r, unwrapped
+  std::size_t total_samples_ = 0;
+  bool finalized_ = false;
+};
+
+// Registry of tables keyed by (tag id, antenna index).
+class PhaseCalibrator {
+ public:
+  explicit PhaseCalibrator(int common_channel = -1);
+
+  void add_sample(std::uint32_t tag_id, int antenna, int channel, double phase_rad);
+  void finalize();
+  bool finalized() const { return finalized_; }
+
+  // Calibrated phase; if no table exists for the pair (tag never seen during
+  // bootstrap), the raw phase is returned unchanged.
+  double apply(std::uint32_t tag_id, int antenna, int channel, double phase_rad) const;
+
+  const CalibrationTable* table(std::uint32_t tag_id, int antenna) const;
+
+ private:
+  int common_channel_;
+  bool finalized_ = false;
+  std::map<std::pair<std::uint32_t, int>, CalibrationTable> tables_;
+};
+
+}  // namespace m2ai::dsp

@@ -1,0 +1,101 @@
+// Small dense complex matrix used by the covariance / subspace code.
+// Sizes here are tiny (antenna counts, <= 8), so clarity wins over blocking.
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <stdexcept>
+#include <vector>
+
+namespace m2ai::dsp {
+
+using cdouble = std::complex<double>;
+
+class CMatrix {
+ public:
+  CMatrix() = default;
+  CMatrix(std::size_t rows, std::size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, cdouble{0.0, 0.0}) {}
+
+  static CMatrix identity(std::size_t n) {
+    CMatrix m(n, n);
+    for (std::size_t i = 0; i < n; ++i) m(i, i) = cdouble{1.0, 0.0};
+    return m;
+  }
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+
+  cdouble& operator()(std::size_t r, std::size_t c) { return data_[r * cols_ + c]; }
+  const cdouble& operator()(std::size_t r, std::size_t c) const {
+    return data_[r * cols_ + c];
+  }
+
+  // Hermitian (conjugate) transpose.
+  CMatrix hermitian() const {
+    CMatrix out(cols_, rows_);
+    for (std::size_t r = 0; r < rows_; ++r) {
+      for (std::size_t c = 0; c < cols_; ++c) out(c, r) = std::conj((*this)(r, c));
+    }
+    return out;
+  }
+
+  CMatrix operator*(const CMatrix& o) const {
+    if (cols_ != o.rows_) throw std::invalid_argument("CMatrix: shape mismatch");
+    CMatrix out(rows_, o.cols_);
+    for (std::size_t r = 0; r < rows_; ++r) {
+      for (std::size_t k = 0; k < cols_; ++k) {
+        const cdouble a = (*this)(r, k);
+        if (a == cdouble{0.0, 0.0}) continue;
+        for (std::size_t c = 0; c < o.cols_; ++c) out(r, c) += a * o(k, c);
+      }
+    }
+    return out;
+  }
+
+  CMatrix operator+(const CMatrix& o) const {
+    if (rows_ != o.rows_ || cols_ != o.cols_) {
+      throw std::invalid_argument("CMatrix: shape mismatch");
+    }
+    CMatrix out = *this;
+    for (std::size_t i = 0; i < data_.size(); ++i) out.data_[i] += o.data_[i];
+    return out;
+  }
+
+  CMatrix operator*(double s) const {
+    CMatrix out = *this;
+    for (auto& x : out.data_) x *= s;
+    return out;
+  }
+
+  std::vector<cdouble> column(std::size_t c) const {
+    std::vector<cdouble> v(rows_);
+    for (std::size_t r = 0; r < rows_; ++r) v[r] = (*this)(r, c);
+    return v;
+  }
+
+  // Frobenius norm of the strictly off-diagonal part (square matrices).
+  double offdiag_norm() const {
+    double s = 0.0;
+    for (std::size_t r = 0; r < rows_; ++r) {
+      for (std::size_t c = 0; c < cols_; ++c) {
+        if (r != c) s += std::norm((*this)(r, c));
+      }
+    }
+    return std::sqrt(s);
+  }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<cdouble> data_;
+};
+
+// v^H * w for equal-length vectors.
+inline cdouble inner(const std::vector<cdouble>& v, const std::vector<cdouble>& w) {
+  cdouble s{0.0, 0.0};
+  for (std::size_t i = 0; i < v.size(); ++i) s += std::conj(v[i]) * w[i];
+  return s;
+}
+
+}  // namespace m2ai::dsp

@@ -1,0 +1,83 @@
+#include "dsp/covariance.hpp"
+
+#include <stdexcept>
+
+namespace m2ai::dsp {
+
+namespace {
+
+// Plain covariance of full-aperture snapshots.
+CMatrix outer_average(const std::vector<std::vector<cdouble>>& snapshots,
+                      std::size_t offset, std::size_t len) {
+  CMatrix r(len, len);
+  for (const auto& snap : snapshots) {
+    for (std::size_t i = 0; i < len; ++i) {
+      for (std::size_t j = 0; j < len; ++j) {
+        r(i, j) += snap[offset + i] * std::conj(snap[offset + j]);
+      }
+    }
+  }
+  const double inv = 1.0 / static_cast<double>(snapshots.size());
+  for (std::size_t i = 0; i < len; ++i) {
+    for (std::size_t j = 0; j < len; ++j) r(i, j) *= inv;
+  }
+  return r;
+}
+
+// Backward (exchange-conjugate) transform: R_b = J * conj(R) * J where J is
+// the exchange matrix. Written out directly.
+CMatrix backward(const CMatrix& r) {
+  const std::size_t n = r.rows();
+  CMatrix b(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      b(i, j) = std::conj(r(n - 1 - i, n - 1 - j));
+    }
+  }
+  return b;
+}
+
+}  // namespace
+
+CMatrix sample_covariance(const std::vector<std::vector<cdouble>>& snapshots,
+                          const CovarianceOptions& options) {
+  if (snapshots.empty()) {
+    throw std::invalid_argument("sample_covariance: no snapshots");
+  }
+  const std::size_t n = snapshots.front().size();
+  for (const auto& s : snapshots) {
+    if (s.size() != n) {
+      throw std::invalid_argument("sample_covariance: ragged snapshots");
+    }
+  }
+
+  const std::size_t sub = options.smoothing_subarray > 0
+                              ? static_cast<std::size_t>(options.smoothing_subarray)
+                              : n;
+  if (sub > n) {
+    throw std::invalid_argument("sample_covariance: subarray larger than array");
+  }
+
+  // Average covariances of all overlapping subarrays of length `sub`
+  // (sub == n reduces to the plain full-aperture covariance).
+  const std::size_t num_sub = n - sub + 1;
+  CMatrix r(sub, sub);
+  for (std::size_t o = 0; o < num_sub; ++o) {
+    r = r + outer_average(snapshots, o, sub);
+  }
+  r = r * (1.0 / static_cast<double>(num_sub));
+
+  if (options.forward_backward) {
+    r = (r + backward(r)) * 0.5;
+  }
+
+  if (options.diagonal_loading > 0.0) {
+    double trace = 0.0;
+    for (std::size_t i = 0; i < sub; ++i) trace += r(i, i).real();
+    const double load = options.diagonal_loading * trace / static_cast<double>(sub);
+    for (std::size_t i = 0; i < sub; ++i) r(i, i) += load;
+  }
+  return r;
+}
+
+}  // namespace m2ai::dsp

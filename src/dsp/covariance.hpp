@@ -1,0 +1,32 @@
+// Spatial covariance estimation for the antenna array (Eq. 10 of the paper),
+// with the two standard fixes for coherent multipath:
+//
+//  * forward-backward averaging — exploits the ULA's persymmetry to double
+//    the effective snapshot count and partially decorrelate coherent rays;
+//  * spatial smoothing — averages covariances of overlapping subarrays,
+//    restoring rank when several paths of the SAME backscatter signal (fully
+//    coherent) impinge on the array.
+//
+// Both are config flags so their contribution can be ablated (DESIGN.md §5).
+#pragma once
+
+#include "dsp/cmatrix.hpp"
+
+namespace m2ai::dsp {
+
+struct CovarianceOptions {
+  bool forward_backward = true;
+  // Subarray length for spatial smoothing; 0 disables smoothing and keeps
+  // the full aperture. Must be <= number of antennas.
+  int smoothing_subarray = 0;
+  // Diagonal loading added to keep the matrix well conditioned (relative to
+  // the average diagonal power).
+  double diagonal_loading = 1e-6;
+};
+
+// Sample covariance R = E{ r r^H } from `snapshots`, each an N-element
+// antenna vector. Output is N x N, or L x L when smoothing with subarray L.
+CMatrix sample_covariance(const std::vector<std::vector<cdouble>>& snapshots,
+                          const CovarianceOptions& options = {});
+
+}  // namespace m2ai::dsp

@@ -1,0 +1,93 @@
+#include "dsp/eig.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace m2ai::dsp {
+
+namespace {
+
+// One complex Jacobi rotation annihilating a(p, q). Updates `a` in place and
+// accumulates the rotation into `v` (v <- v * J).
+void rotate(CMatrix& a, CMatrix& v, std::size_t p, std::size_t q) {
+  const cdouble apq = a(p, q);
+  const double mag = std::abs(apq);
+  if (mag == 0.0) return;
+  const double app = a(p, p).real();
+  const double aqq = a(q, q).real();
+  const double tau = (aqq - app) / (2.0 * mag);
+  // Root of t^2 - 2*tau*t - 1 = 0 with the smaller magnitude (stable).
+  double t;
+  if (tau >= 0.0) {
+    t = -1.0 / (tau + std::sqrt(1.0 + tau * tau));
+  } else {
+    t = 1.0 / (-tau + std::sqrt(1.0 + tau * tau));
+  }
+  const double c = 1.0 / std::sqrt(1.0 + t * t);
+  const double s = t * c;
+  const cdouble eip = apq / mag;  // e^{i*phi}
+
+  const std::size_t n = a.rows();
+  // a <- a * J    (J(p,p)=c, J(p,q)=-s e^{i phi}, J(q,p)=s e^{-i phi}, J(q,q)=c)
+  for (std::size_t k = 0; k < n; ++k) {
+    const cdouble akp = a(k, p);
+    const cdouble akq = a(k, q);
+    a(k, p) = c * akp + s * std::conj(eip) * akq;
+    a(k, q) = -s * eip * akp + c * akq;
+  }
+  // a <- J^H * a
+  for (std::size_t k = 0; k < n; ++k) {
+    const cdouble apk = a(p, k);
+    const cdouble aqk = a(q, k);
+    a(p, k) = c * apk + s * eip * aqk;
+    a(q, k) = -s * std::conj(eip) * apk + c * aqk;
+  }
+  // v <- v * J
+  for (std::size_t k = 0; k < v.rows(); ++k) {
+    const cdouble vkp = v(k, p);
+    const cdouble vkq = v(k, q);
+    v(k, p) = c * vkp + s * std::conj(eip) * vkq;
+    v(k, q) = -s * eip * vkp + c * vkq;
+  }
+}
+
+}  // namespace
+
+EigResult eig_hermitian(const CMatrix& input, double tol, int max_sweeps) {
+  if (input.rows() != input.cols()) {
+    throw std::invalid_argument("eig_hermitian: matrix must be square");
+  }
+  const std::size_t n = input.rows();
+  // Enforce exact Hermitian symmetry: a <- (a + a^H)/2.
+  CMatrix a = (input + input.hermitian()) * 0.5;
+  CMatrix v = CMatrix::identity(n);
+
+  for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+    if (a.offdiag_norm() < tol) break;
+    for (std::size_t p = 0; p + 1 < n; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) {
+        if (std::abs(a(p, q)) > tol / static_cast<double>(n * n)) rotate(a, v, p, q);
+      }
+    }
+  }
+
+  // Collect and sort descending by eigenvalue.
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t i, std::size_t j) {
+    return a(i, i).real() > a(j, j).real();
+  });
+
+  EigResult result;
+  result.values.resize(n);
+  result.vectors = CMatrix(n, n);
+  for (std::size_t k = 0; k < n; ++k) {
+    result.values[k] = a(order[k], order[k]).real();
+    for (std::size_t r = 0; r < n; ++r) result.vectors(r, k) = v(r, order[k]);
+  }
+  return result;
+}
+
+}  // namespace m2ai::dsp

@@ -1,0 +1,24 @@
+// Eigendecomposition of complex Hermitian matrices via the cyclic Jacobi
+// method. This is the numerical core of the MUSIC estimator (Eq. 11 of the
+// paper): the sample covariance of the antenna-array signal is Hermitian and
+// tiny (N = number of antennas <= 8), for which Jacobi is simple, accurate,
+// and plenty fast.
+#pragma once
+
+#include "dsp/cmatrix.hpp"
+
+namespace m2ai::dsp {
+
+struct EigResult {
+  // Eigenvalues sorted descending (real; the input is Hermitian).
+  std::vector<double> values;
+  // Column k of `vectors` is the unit eigenvector for values[k].
+  CMatrix vectors;
+};
+
+// Decompose Hermitian `a`. Throws if `a` is not square. Symmetry is enforced
+// by averaging a with a^H before iterating, so mild numerical asymmetry in a
+// sample covariance is tolerated.
+EigResult eig_hermitian(const CMatrix& a, double tol = 1e-12, int max_sweeps = 64);
+
+}  // namespace m2ai::dsp

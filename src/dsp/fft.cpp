@@ -1,0 +1,103 @@
+#include "dsp/fft.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace m2ai::dsp {
+
+bool is_power_of_two(std::size_t n) { return n >= 1 && (n & (n - 1)) == 0; }
+
+std::size_t next_power_of_two(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+void fft_radix2(std::vector<cdouble>& data, bool inverse) {
+  const std::size_t n = data.size();
+  if (!is_power_of_two(n)) {
+    throw std::invalid_argument("fft_radix2: size must be a power of two");
+  }
+  // Bit-reversal permutation.
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(data[i], data[j]);
+  }
+  // Butterflies.
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double ang = (inverse ? 2.0 : -2.0) * M_PI / static_cast<double>(len);
+    const cdouble wl = std::polar(1.0, ang);
+    for (std::size_t i = 0; i < n; i += len) {
+      cdouble w{1.0, 0.0};
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        const cdouble u = data[i + k];
+        const cdouble v = data[i + k + len / 2] * w;
+        data[i + k] = u + v;
+        data[i + k + len / 2] = u - v;
+        w *= wl;
+      }
+    }
+  }
+  if (inverse) {
+    for (auto& x : data) x /= static_cast<double>(n);
+  }
+}
+
+namespace {
+// Bluestein's chirp-z transform: express an arbitrary-size DFT as a
+// convolution, evaluated with a power-of-two FFT.
+std::vector<cdouble> bluestein(const std::vector<cdouble>& data, bool inverse) {
+  const std::size_t n = data.size();
+  const double sign = inverse ? 1.0 : -1.0;
+  std::vector<cdouble> chirp(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    // k^2 mod 2n keeps the angle argument bounded for large n.
+    const std::size_t k2 = (k * k) % (2 * n);
+    chirp[k] = std::polar(1.0, sign * M_PI * static_cast<double>(k2) / static_cast<double>(n));
+  }
+  const std::size_t m = next_power_of_two(2 * n - 1);
+  std::vector<cdouble> a(m, cdouble{0.0, 0.0});
+  std::vector<cdouble> b(m, cdouble{0.0, 0.0});
+  for (std::size_t k = 0; k < n; ++k) a[k] = data[k] * chirp[k];
+  b[0] = std::conj(chirp[0]);
+  for (std::size_t k = 1; k < n; ++k) b[k] = b[m - k] = std::conj(chirp[k]);
+  fft_radix2(a, false);
+  fft_radix2(b, false);
+  for (std::size_t k = 0; k < m; ++k) a[k] *= b[k];
+  fft_radix2(a, true);
+  std::vector<cdouble> out(n);
+  for (std::size_t k = 0; k < n; ++k) out[k] = a[k] * chirp[k];
+  if (inverse) {
+    for (auto& x : out) x /= static_cast<double>(n);
+  }
+  return out;
+}
+}  // namespace
+
+std::vector<cdouble> fft(const std::vector<cdouble>& data, bool inverse) {
+  if (data.empty()) return {};
+  if (is_power_of_two(data.size())) {
+    std::vector<cdouble> out = data;
+    fft_radix2(out, inverse);
+    return out;
+  }
+  return bluestein(data, inverse);
+}
+
+std::vector<cdouble> dft(const std::vector<cdouble>& data, bool inverse) {
+  const std::size_t n = data.size();
+  std::vector<cdouble> out(n, cdouble{0.0, 0.0});
+  const double sign = inverse ? 2.0 : -2.0;
+  for (std::size_t k = 0; k < n; ++k) {
+    for (std::size_t t = 0; t < n; ++t) {
+      const double ang = sign * M_PI * static_cast<double>(k * t) / static_cast<double>(n);
+      out[k] += data[t] * std::polar(1.0, ang);
+    }
+    if (inverse) out[k] /= static_cast<double>(n);
+  }
+  return out;
+}
+
+}  // namespace m2ai::dsp

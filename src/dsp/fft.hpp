@@ -1,0 +1,29 @@
+// Fast Fourier Transform: iterative radix-2 for power-of-two sizes and
+// Bluestein's algorithm for arbitrary sizes, plus a direct DFT used for
+// cross-checking and for the tiny spatial transforms of the periodogram.
+#pragma once
+
+#include <complex>
+#include <vector>
+
+namespace m2ai::dsp {
+
+using cdouble = std::complex<double>;
+
+// In-place radix-2 FFT. `data.size()` must be a power of two.
+// `inverse` applies the conjugate transform and divides by N.
+void fft_radix2(std::vector<cdouble>& data, bool inverse = false);
+
+// Arbitrary-size FFT (Bluestein when N is not a power of two).
+std::vector<cdouble> fft(const std::vector<cdouble>& data, bool inverse = false);
+
+// Direct O(N^2) DFT, definition Eq. 16 of the paper. Reference/check path.
+std::vector<cdouble> dft(const std::vector<cdouble>& data, bool inverse = false);
+
+// True if n is a power of two (n >= 1).
+bool is_power_of_two(std::size_t n);
+
+// Smallest power of two >= n.
+std::size_t next_power_of_two(std::size_t n);
+
+}  // namespace m2ai::dsp

@@ -1,0 +1,93 @@
+#include "dsp/music.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "dsp/eig.hpp"
+#include "rf/steering.hpp"
+
+namespace m2ai::dsp {
+
+std::vector<int> find_peaks(const std::vector<double>& spectrum, int max_peaks,
+                            double min_height) {
+  std::vector<int> candidates;
+  const int n = static_cast<int>(spectrum.size());
+  double top = 0.0;
+  for (double v : spectrum) top = std::max(top, v);
+  for (int i = 0; i < n; ++i) {
+    const double left = (i > 0) ? spectrum[static_cast<std::size_t>(i - 1)] : -1.0;
+    const double right = (i + 1 < n) ? spectrum[static_cast<std::size_t>(i + 1)] : -1.0;
+    const double v = spectrum[static_cast<std::size_t>(i)];
+    if (v >= left && v > right && v >= min_height * top) candidates.push_back(i);
+  }
+  std::sort(candidates.begin(), candidates.end(), [&](int a, int b) {
+    return spectrum[static_cast<std::size_t>(a)] > spectrum[static_cast<std::size_t>(b)];
+  });
+  if (static_cast<int>(candidates.size()) > max_peaks) {
+    candidates.resize(static_cast<std::size_t>(max_peaks));
+  }
+  return candidates;
+}
+
+MusicEstimator::MusicEstimator(MusicOptions options) : options_(options) {
+  const int aperture = options_.covariance.smoothing_subarray > 0
+                           ? options_.covariance.smoothing_subarray
+                           : options_.num_antennas;
+  steering_.reserve(static_cast<std::size_t>(options_.num_angle_bins));
+  for (int deg = 0; deg < options_.num_angle_bins; ++deg) {
+    steering_.push_back(rf::steering_vector(static_cast<double>(deg), aperture,
+                                            options_.effective_separation_m,
+                                            options_.wavelength_m));
+  }
+}
+
+MusicResult MusicEstimator::estimate(
+    const std::vector<std::vector<cdouble>>& snapshots) const {
+  return estimate_from_covariance(sample_covariance(snapshots, options_.covariance));
+}
+
+MusicResult MusicEstimator::estimate_from_covariance(const CMatrix& r) const {
+  const std::size_t n = r.rows();
+  if (n != steering_.front().size()) {
+    throw std::invalid_argument("MusicEstimator: covariance size mismatch");
+  }
+  const EigResult eig = eig_hermitian(r);
+
+  MusicResult result;
+  result.eigenvalues = eig.values;
+
+  // Signal-subspace dimension: fixed, or from the eigenvalue profile.
+  int m = options_.num_sources;
+  if (m <= 0) {
+    m = 0;
+    const double top = std::max(eig.values.front(), 1e-30);
+    for (double v : eig.values) {
+      if (v > options_.source_eigenvalue_ratio * top) ++m;
+    }
+    m = std::clamp(m, 1, static_cast<int>(n) - 1);
+  }
+  m = std::clamp(m, 1, static_cast<int>(n) - 1);
+  result.num_sources = m;
+
+  // Noise-subspace projector Un Un^H applied per steering vector:
+  // P(theta) = 1 / sum_{k=m..n-1} |u_k^H a(theta)|^2     (Eq. 12)
+  result.spectrum.resize(steering_.size());
+  double peak = 0.0;
+  for (std::size_t bin = 0; bin < steering_.size(); ++bin) {
+    const auto& a = steering_[bin];
+    double denom = 0.0;
+    for (std::size_t k = static_cast<std::size_t>(m); k < n; ++k) {
+      denom += std::norm(inner(eig.vectors.column(k), a));
+    }
+    const double p = 1.0 / std::max(denom, 1e-12);
+    result.spectrum[bin] = p;
+    peak = std::max(peak, p);
+  }
+  if (peak > 0.0) {
+    for (double& v : result.spectrum) v /= peak;
+  }
+  return result;
+}
+
+}  // namespace m2ai::dsp

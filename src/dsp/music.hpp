@@ -1,0 +1,61 @@
+// MUSIC pseudospectrum estimation (Sec. III-C.1, Eqs. 7-12 of the paper).
+//
+// Given the spatial covariance of the calibrated antenna-array signal, the
+// eigenvectors split into a signal subspace (largest M eigenvalues) and a
+// noise subspace; the pseudospectrum 1 / (a^H(theta) Un Un^H a(theta)) peaks
+// at the arrival angles of the (multipath) rays.
+#pragma once
+
+#include <vector>
+
+#include "dsp/cmatrix.hpp"
+#include "dsp/covariance.hpp"
+
+namespace m2ai::dsp {
+
+struct MusicOptions {
+  int num_antennas = 4;
+  double effective_separation_m = 0.16;  // 4 * physical d (see rf/steering.hpp)
+  double wavelength_m = 0.3293;          // at the common frequency
+  int num_angle_bins = 180;              // theta = 0..179 degrees
+  // Number of signal-subspace dimensions. <= 0 selects automatically from
+  // the eigenvalue profile (threshold relative to the largest eigenvalue).
+  int num_sources = -1;
+  double source_eigenvalue_ratio = 0.08;  // auto-selection threshold
+  CovarianceOptions covariance;
+};
+
+struct MusicResult {
+  // Pseudospectrum over the angle grid, normalized to a unit maximum.
+  std::vector<double> spectrum;
+  // Number of signal dimensions used.
+  int num_sources = 0;
+  // Eigenvalues of the covariance, descending.
+  std::vector<double> eigenvalues;
+};
+
+// Index (degrees) of local maxima of a spectrum, strongest first, at most
+// `max_peaks` and only peaks above `min_height` * global max.
+std::vector<int> find_peaks(const std::vector<double>& spectrum, int max_peaks,
+                            double min_height = 0.05);
+
+class MusicEstimator {
+ public:
+  explicit MusicEstimator(MusicOptions options);
+
+  // Full pipeline: snapshots -> covariance -> subspace -> pseudospectrum.
+  MusicResult estimate(const std::vector<std::vector<cdouble>>& snapshots) const;
+
+  // Pseudospectrum from an existing covariance matrix.
+  MusicResult estimate_from_covariance(const CMatrix& r) const;
+
+  const MusicOptions& options() const { return options_; }
+
+ private:
+  MusicOptions options_;
+  // Precomputed steering vectors per angle bin (for the subarray size
+  // actually used after smoothing).
+  std::vector<std::vector<cdouble>> steering_;
+};
+
+}  // namespace m2ai::dsp

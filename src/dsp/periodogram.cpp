@@ -1,0 +1,53 @@
+#include "dsp/periodogram.hpp"
+
+#include <stdexcept>
+
+#include "dsp/fft.hpp"
+
+namespace m2ai::dsp {
+
+std::vector<double> periodogram(const std::vector<cdouble>& snapshot) {
+  const std::size_t n = snapshot.size();
+  if (n == 0) throw std::invalid_argument("periodogram: empty snapshot");
+  const std::vector<cdouble> spec = fft(snapshot, false);
+  std::vector<double> p(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    p[k] = std::norm(spec[k]) / static_cast<double>(n);
+  }
+  return p;
+}
+
+std::vector<double> averaged_periodogram(
+    const std::vector<std::vector<cdouble>>& snapshots) {
+  if (snapshots.empty()) {
+    throw std::invalid_argument("averaged_periodogram: no snapshots");
+  }
+  const std::size_t n = snapshots.front().size();
+  std::vector<double> acc(n, 0.0);
+  for (const auto& snap : snapshots) {
+    if (snap.size() != n) {
+      throw std::invalid_argument("averaged_periodogram: ragged snapshots");
+    }
+    const std::vector<double> p = periodogram(snap);
+    for (std::size_t k = 0; k < n; ++k) acc[k] += p[k];
+  }
+  const double inv = 1.0 / static_cast<double>(snapshots.size());
+  for (double& v : acc) v *= inv;
+  return acc;
+}
+
+std::vector<double> time_periodogram(const std::vector<double>& series) {
+  const std::size_t n = series.size();
+  if (n == 0) throw std::invalid_argument("time_periodogram: empty series");
+  std::vector<cdouble> x(n);
+  for (std::size_t i = 0; i < n; ++i) x[i] = cdouble{series[i], 0.0};
+  const std::vector<cdouble> spec = fft(x, false);
+  const std::size_t bins = n / 2 + 1;
+  std::vector<double> p(bins);
+  for (std::size_t k = 0; k < bins; ++k) {
+    p[k] = std::norm(spec[k]) / static_cast<double>(n);
+  }
+  return p;
+}
+
+}  // namespace m2ai::dsp

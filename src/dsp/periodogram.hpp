@@ -1,0 +1,29 @@
+// Periodogram power-spectral-density estimation (Sec. III-C.2, Eqs. 13-16).
+//
+// The paper complements the MUSIC pseudospectrum (which has sharp angular
+// resolution but discards absolute power) with the classical periodogram of
+// the antenna-aperture samples, which retains the true power distribution:
+// "we can get four values in the periodogram" with a 4-antenna array.
+#pragma once
+
+#include <vector>
+
+#include "dsp/cmatrix.hpp"
+
+namespace m2ai::dsp {
+
+// Periodogram of one spatial snapshot: P(k) = |Y(k)|^2 / N where Y is the
+// DFT of the N antenna samples (Eqs. 14-16). Output has N bins.
+std::vector<double> periodogram(const std::vector<cdouble>& snapshot);
+
+// Average periodogram over many snapshots (Bartlett averaging) — the power
+// frame fed to the learning engine for one tag and one time window.
+std::vector<double> averaged_periodogram(
+    const std::vector<std::vector<cdouble>>& snapshots);
+
+// Periodogram of a real-valued time series (used for Doppler-style feature
+// extraction in the FFT-based ablation of Fig. 16). Output has
+// `num_bins` = floor(n/2)+1 one-sided bins.
+std::vector<double> time_periodogram(const std::vector<double>& series);
+
+}  // namespace m2ai::dsp

@@ -1,0 +1,64 @@
+#include "dsp/phase.hpp"
+
+#include <cmath>
+
+namespace m2ai::dsp {
+
+double wrap_pi(double phase_rad) {
+  double w = std::fmod(phase_rad + M_PI, 2.0 * M_PI);
+  if (w < 0.0) w += 2.0 * M_PI;
+  return w - M_PI;
+}
+
+double wrap_2pi(double phase_rad) {
+  double w = std::fmod(phase_rad, 2.0 * M_PI);
+  if (w < 0.0) w += 2.0 * M_PI;
+  return w;
+}
+
+double double_phase(double phase_rad) { return wrap_2pi(2.0 * phase_rad); }
+
+std::vector<double> unwrap(const std::vector<double>& wrapped) {
+  std::vector<double> out;
+  out.reserve(wrapped.size());
+  double offset = 0.0;
+  for (std::size_t i = 0; i < wrapped.size(); ++i) {
+    if (i > 0) {
+      const double d = wrapped[i] - wrapped[i - 1];
+      if (d > M_PI) offset -= 2.0 * M_PI;
+      else if (d < -M_PI) offset += 2.0 * M_PI;
+    }
+    out.push_back(wrapped[i] + offset);
+  }
+  return out;
+}
+
+double circular_mean(const std::vector<double>& phases) {
+  double s = 0.0, c = 0.0;
+  for (double p : phases) {
+    s += std::sin(p);
+    c += std::cos(p);
+  }
+  return std::atan2(s, c);
+}
+
+double circular_distance(double a, double b) { return std::abs(wrap_pi(a - b)); }
+
+double circular_median(const std::vector<double>& phases) {
+  if (phases.empty()) return 0.0;
+  // O(n^2) candidate scan is fine at calibration-bootstrap sizes (tens of
+  // samples per channel).
+  double best = phases.front();
+  double best_cost = -1.0;
+  for (double cand : phases) {
+    double cost = 0.0;
+    for (double p : phases) cost += circular_distance(cand, p);
+    if (best_cost < 0.0 || cost < best_cost) {
+      best_cost = cost;
+      best = cand;
+    }
+  }
+  return best;
+}
+
+}  // namespace m2ai::dsp

@@ -1,0 +1,40 @@
+// Phase arithmetic: principal values, unwrapping, and the pi-ambiguity
+// cancellation used before AoA estimation.
+//
+// The Impinj reader reports either the true phase phi or phi + pi at random
+// (Sec. V of the paper). Doubling the phase modulo 2*pi maps both cases to
+// the same value (2*phi and 2*phi + 2*pi coincide), which removes the
+// ambiguity at the cost of doubling the effective array separation; the
+// physical spacing d = lambda/8 was chosen by the authors precisely so that
+// the doubled round-trip aperture stays below lambda/2 and AoA remains
+// unambiguous over [0, 180] degrees.
+#pragma once
+
+#include <vector>
+
+namespace m2ai::dsp {
+
+// Wrap into (-pi, pi].
+double wrap_pi(double phase_rad);
+
+// Wrap into [0, 2*pi).
+double wrap_2pi(double phase_rad);
+
+// Doubled phase, wrapped to [0, 2*pi): cancels a +pi ambiguity.
+double double_phase(double phase_rad);
+
+// Classic 1-D unwrap: adds multiples of 2*pi so successive samples differ by
+// less than pi.
+std::vector<double> unwrap(const std::vector<double>& wrapped);
+
+// Circular mean of a set of phases (radians).
+double circular_mean(const std::vector<double>& phases);
+
+// Circular median: the phase minimizing the summed absolute circular
+// distance; robust to outliers, used by the calibration bootstrap.
+double circular_median(const std::vector<double>& phases);
+
+// Absolute circular distance between two phases, in [0, pi].
+double circular_distance(double a, double b);
+
+}  // namespace m2ai::dsp

@@ -1,0 +1,76 @@
+#include "ml/adaboost.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace m2ai::ml {
+
+void AdaBoost::fit(const Dataset& train) {
+  if (train.size() == 0) throw std::invalid_argument("AdaBoost: empty train set");
+  num_classes_ = train.num_classes;
+  learners_.clear();
+  alphas_.clear();
+
+  const std::size_t n = train.size();
+  std::vector<double> w(n, 1.0 / static_cast<double>(n));
+  util::Rng rng(seed_);
+
+  for (int round = 0; round < num_rounds_; ++round) {
+    TreeOptions opts;
+    opts.max_depth = stump_depth_;
+    opts.min_samples_split = 2;
+    opts.seed = rng.next_u64();
+    auto learner = std::make_unique<DecisionTree>(opts);
+    learner->fit_weighted(train, w);
+
+    double err = 0.0;
+    std::vector<bool> wrong(n, false);
+    for (std::size_t i = 0; i < n; ++i) {
+      wrong[i] = learner->predict(train.features[i]) != train.labels[i];
+      if (wrong[i]) err += w[i];
+    }
+    // SAMME: valid while err < 1 - 1/K.
+    const double guard = 1.0 - 1.0 / static_cast<double>(num_classes_);
+    if (err >= guard) break;
+    err = std::max(err, 1e-10);
+    const double alpha =
+        std::log((1.0 - err) / err) + std::log(static_cast<double>(num_classes_) - 1.0);
+
+    double z = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (wrong[i]) w[i] *= std::exp(alpha);
+      z += w[i];
+    }
+    for (double& wi : w) wi /= z;
+
+    learners_.push_back(std::move(learner));
+    alphas_.push_back(alpha);
+    if (err < 1e-9) break;  // perfect learner: further rounds are no-ops
+  }
+
+  // Degenerate case: keep at least one learner.
+  if (learners_.empty()) {
+    TreeOptions opts;
+    opts.max_depth = stump_depth_;
+    opts.seed = rng.next_u64();
+    auto learner = std::make_unique<DecisionTree>(opts);
+    learner->fit(train);
+    learners_.push_back(std::move(learner));
+    alphas_.push_back(1.0);
+  }
+}
+
+int AdaBoost::predict(const std::vector<float>& x) const {
+  if (learners_.empty()) throw std::logic_error("AdaBoost: not fitted");
+  std::vector<double> score(static_cast<std::size_t>(num_classes_), 0.0);
+  for (std::size_t t = 0; t < learners_.size(); ++t) {
+    score[static_cast<std::size_t>(learners_[t]->predict(x))] += alphas_[t];
+  }
+  int best = 0;
+  for (int c = 1; c < num_classes_; ++c) {
+    if (score[static_cast<std::size_t>(c)] > score[static_cast<std::size_t>(best)]) best = c;
+  }
+  return best;
+}
+
+}  // namespace m2ai::ml

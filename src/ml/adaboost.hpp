@@ -1,0 +1,29 @@
+// Multi-class AdaBoost (SAMME) over shallow decision trees.
+#pragma once
+
+#include <memory>
+
+#include "ml/decision_tree.hpp"
+
+namespace m2ai::ml {
+
+class AdaBoost : public Classifier {
+ public:
+  explicit AdaBoost(int num_rounds = 40, int stump_depth = 2,
+                    std::uint64_t seed = 47)
+      : num_rounds_(num_rounds), stump_depth_(stump_depth), seed_(seed) {}
+
+  void fit(const Dataset& train) override;
+  int predict(const std::vector<float>& x) const override;
+  std::string name() const override { return "AdaBoost"; }
+
+ private:
+  int num_rounds_;
+  int stump_depth_;
+  std::uint64_t seed_;
+  int num_classes_ = 0;
+  std::vector<std::unique_ptr<DecisionTree>> learners_;
+  std::vector<double> alphas_;
+};
+
+}  // namespace m2ai::ml

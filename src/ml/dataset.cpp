@@ -1,0 +1,102 @@
+#include "ml/dataset.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace m2ai::ml {
+
+void Dataset::add(std::vector<float> x, int y) {
+  if (!features.empty() && x.size() != features.front().size()) {
+    throw std::invalid_argument("Dataset::add: inconsistent feature dimension");
+  }
+  features.push_back(std::move(x));
+  labels.push_back(y);
+  num_classes = std::max(num_classes, y + 1);
+}
+
+Dataset Dataset::shuffled(util::Rng& rng) const {
+  std::vector<std::size_t> order(size());
+  std::iota(order.begin(), order.end(), 0);
+  rng.shuffle(order);
+  Dataset out;
+  out.num_classes = num_classes;
+  for (std::size_t i : order) out.add(features[i], labels[i]);
+  return out;
+}
+
+Dataset Dataset::subsample(std::size_t max_examples, util::Rng& rng) const {
+  if (size() <= max_examples) return *this;
+  std::vector<std::size_t> order(size());
+  std::iota(order.begin(), order.end(), 0);
+  rng.shuffle(order);
+  Dataset out;
+  out.num_classes = num_classes;
+  for (std::size_t i = 0; i < max_examples; ++i) {
+    out.add(features[order[i]], labels[order[i]]);
+  }
+  return out;
+}
+
+void StandardScaler::fit(const Dataset& data) {
+  if (data.size() == 0) throw std::invalid_argument("StandardScaler: empty dataset");
+  const std::size_t d = data.dim();
+  mean_.assign(d, 0.0f);
+  inv_std_.assign(d, 1.0f);
+  for (const auto& x : data.features) {
+    for (std::size_t j = 0; j < d; ++j) mean_[j] += x[j];
+  }
+  for (auto& m : mean_) m /= static_cast<float>(data.size());
+  std::vector<double> var(d, 0.0);
+  for (const auto& x : data.features) {
+    for (std::size_t j = 0; j < d; ++j) {
+      const double dev = x[j] - mean_[j];
+      var[j] += dev * dev;
+    }
+  }
+  for (std::size_t j = 0; j < d; ++j) {
+    const double s = std::sqrt(var[j] / static_cast<double>(data.size()));
+    inv_std_[j] = s > 1e-8 ? static_cast<float>(1.0 / s) : 1.0f;
+  }
+}
+
+std::vector<float> StandardScaler::transform(const std::vector<float>& x) const {
+  std::vector<float> out(x.size());
+  for (std::size_t j = 0; j < x.size(); ++j) out[j] = (x[j] - mean_[j]) * inv_std_[j];
+  return out;
+}
+
+Dataset StandardScaler::transform(const Dataset& data) const {
+  Dataset out;
+  out.num_classes = data.num_classes;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    out.add(transform(data.features[i]), data.labels[i]);
+  }
+  return out;
+}
+
+double Classifier::accuracy(const Dataset& test) const {
+  if (test.size() == 0) return 0.0;
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < test.size(); ++i) {
+    if (predict(test.features[i]) == test.labels[i]) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(test.size());
+}
+
+int majority_vote(const std::vector<int>& votes, int num_classes) {
+  std::vector<int> counts(static_cast<std::size_t>(std::max(num_classes, 1)), 0);
+  for (int v : votes) {
+    if (v >= 0 && v < num_classes) ++counts[static_cast<std::size_t>(v)];
+  }
+  int best = 0;
+  for (int c = 1; c < num_classes; ++c) {
+    if (counts[static_cast<std::size_t>(c)] > counts[static_cast<std::size_t>(best)]) {
+      best = c;
+    }
+  }
+  return best;
+}
+
+}  // namespace m2ai::ml

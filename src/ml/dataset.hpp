@@ -1,0 +1,54 @@
+// Feature-vector dataset and the common classifier interface shared by the
+// ten conventional baselines of Fig. 9.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace m2ai::ml {
+
+struct Dataset {
+  std::vector<std::vector<float>> features;
+  std::vector<int> labels;
+  int num_classes = 0;
+
+  std::size_t size() const { return features.size(); }
+  std::size_t dim() const { return features.empty() ? 0 : features.front().size(); }
+  void add(std::vector<float> x, int y);
+  // Deterministic shuffled copy.
+  Dataset shuffled(util::Rng& rng) const;
+  // At most `max_examples`, sampled without replacement.
+  Dataset subsample(std::size_t max_examples, util::Rng& rng) const;
+};
+
+// Z-score feature scaling fit on train, applied to both splits. Features
+// with zero variance pass through unchanged.
+class StandardScaler {
+ public:
+  void fit(const Dataset& data);
+  std::vector<float> transform(const std::vector<float>& x) const;
+  Dataset transform(const Dataset& data) const;
+
+ private:
+  std::vector<float> mean_;
+  std::vector<float> inv_std_;
+};
+
+class Classifier {
+ public:
+  virtual ~Classifier() = default;
+  virtual void fit(const Dataset& train) = 0;
+  virtual int predict(const std::vector<float>& x) const = 0;
+  virtual std::string name() const = 0;
+
+  // Fraction of correctly classified examples.
+  double accuracy(const Dataset& test) const;
+};
+
+// Majority vote over per-frame predictions; ties break toward the smaller
+// label (deterministic).
+int majority_vote(const std::vector<int>& votes, int num_classes);
+
+}  // namespace m2ai::ml

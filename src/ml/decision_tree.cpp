@@ -1,0 +1,154 @@
+#include "ml/decision_tree.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace m2ai::ml {
+
+namespace {
+
+// Weighted majority label among `indices`.
+int weighted_majority(const Dataset& data, const std::vector<double>& weights,
+                      const std::vector<std::size_t>& indices, int num_classes) {
+  std::vector<double> mass(static_cast<std::size_t>(num_classes), 0.0);
+  for (std::size_t i : indices) mass[static_cast<std::size_t>(data.labels[i])] += weights[i];
+  int best = 0;
+  for (int c = 1; c < num_classes; ++c) {
+    if (mass[static_cast<std::size_t>(c)] > mass[static_cast<std::size_t>(best)]) best = c;
+  }
+  return best;
+}
+
+double gini(const std::vector<double>& mass, double total) {
+  if (total <= 0.0) return 0.0;
+  double g = 1.0;
+  for (double m : mass) {
+    const double p = m / total;
+    g -= p * p;
+  }
+  return g;
+}
+
+}  // namespace
+
+void DecisionTree::fit(const Dataset& train) {
+  const std::vector<double> uniform(train.size(), 1.0 / static_cast<double>(train.size()));
+  fit_weighted(train, uniform);
+}
+
+void DecisionTree::fit_weighted(const Dataset& train, const std::vector<double>& weights) {
+  if (train.size() == 0) throw std::invalid_argument("DecisionTree: empty train set");
+  if (weights.size() != train.size()) {
+    throw std::invalid_argument("DecisionTree: weight/example count mismatch");
+  }
+  num_classes_ = train.num_classes;
+  std::vector<std::size_t> indices(train.size());
+  std::iota(indices.begin(), indices.end(), 0);
+  util::Rng rng(options_.seed);
+  root_ = build(train, weights, indices, 0, rng);
+}
+
+std::unique_ptr<DecisionTree::Node> DecisionTree::build(
+    const Dataset& data, const std::vector<double>& weights,
+    const std::vector<std::size_t>& indices, int depth, util::Rng& rng) const {
+  auto node = std::make_unique<Node>();
+  node->label = weighted_majority(data, weights, indices, num_classes_);
+
+  // Stop: depth, size, or purity.
+  bool pure = true;
+  for (std::size_t i : indices) {
+    if (data.labels[i] != data.labels[indices.front()]) {
+      pure = false;
+      break;
+    }
+  }
+  if (pure || depth >= options_.max_depth ||
+      static_cast<int>(indices.size()) < options_.min_samples_split) {
+    return node;
+  }
+
+  const int dim = static_cast<int>(data.dim());
+  // Candidate feature subset.
+  std::vector<int> feats(static_cast<std::size_t>(dim));
+  std::iota(feats.begin(), feats.end(), 0);
+  int num_feats = options_.max_features > 0 ? std::min(options_.max_features, dim) : dim;
+  if (num_feats < dim) rng.shuffle(feats);
+
+  double best_score = 1e18;
+  int best_feature = -1;
+  float best_threshold = 0.0f;
+
+  std::vector<std::pair<float, std::size_t>> sorted;
+  sorted.reserve(indices.size());
+  for (int fi = 0; fi < num_feats; ++fi) {
+    const int f = feats[static_cast<std::size_t>(fi)];
+    sorted.clear();
+    for (std::size_t i : indices) sorted.emplace_back(data.features[i][static_cast<std::size_t>(f)], i);
+    std::sort(sorted.begin(), sorted.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+
+    // Sweep split points, maintaining left/right class mass.
+    std::vector<double> left_mass(static_cast<std::size_t>(num_classes_), 0.0);
+    std::vector<double> right_mass(static_cast<std::size_t>(num_classes_), 0.0);
+    double left_total = 0.0, right_total = 0.0;
+    for (const auto& [v, i] : sorted) {
+      right_mass[static_cast<std::size_t>(data.labels[i])] += weights[i];
+      right_total += weights[i];
+    }
+    for (std::size_t k = 0; k + 1 < sorted.size(); ++k) {
+      const std::size_t i = sorted[k].second;
+      const double w = weights[i];
+      left_mass[static_cast<std::size_t>(data.labels[i])] += w;
+      left_total += w;
+      right_mass[static_cast<std::size_t>(data.labels[i])] -= w;
+      right_total -= w;
+      if (sorted[k].first == sorted[k + 1].first) continue;  // no split between ties
+      const double score =
+          left_total * gini(left_mass, left_total) + right_total * gini(right_mass, right_total);
+      if (score < best_score) {
+        best_score = score;
+        best_feature = f;
+        best_threshold = 0.5f * (sorted[k].first + sorted[k + 1].first);
+      }
+    }
+  }
+
+  if (best_feature < 0) return node;  // all candidate features constant
+
+  std::vector<std::size_t> left_idx, right_idx;
+  for (std::size_t i : indices) {
+    if (data.features[i][static_cast<std::size_t>(best_feature)] <= best_threshold) {
+      left_idx.push_back(i);
+    } else {
+      right_idx.push_back(i);
+    }
+  }
+  if (left_idx.empty() || right_idx.empty()) return node;
+
+  node->feature = best_feature;
+  node->threshold = best_threshold;
+  node->left = build(data, weights, left_idx, depth + 1, rng);
+  node->right = build(data, weights, right_idx, depth + 1, rng);
+  return node;
+}
+
+int DecisionTree::predict(const std::vector<float>& x) const {
+  if (!root_) throw std::logic_error("DecisionTree: not fitted");
+  const Node* node = root_.get();
+  while (node->feature >= 0) {
+    node = (x[static_cast<std::size_t>(node->feature)] <= node->threshold)
+               ? node->left.get()
+               : node->right.get();
+  }
+  return node->label;
+}
+
+int DecisionTree::node_depth(const Node* node) {
+  if (!node || node->feature < 0) return 0;
+  return 1 + std::max(node_depth(node->left.get()), node_depth(node->right.get()));
+}
+
+int DecisionTree::depth() const { return node_depth(root_.get()); }
+
+}  // namespace m2ai::ml

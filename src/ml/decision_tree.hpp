@@ -1,0 +1,51 @@
+// CART decision tree (Gini impurity, axis-aligned splits) — also the base
+// learner for the random forest and, in stump form, AdaBoost.
+#pragma once
+
+#include <memory>
+
+#include "ml/dataset.hpp"
+
+namespace m2ai::ml {
+
+struct TreeOptions {
+  int max_depth = 12;
+  int min_samples_split = 4;
+  // Features examined per split; <= 0 means all (set to sqrt(d) by forests).
+  int max_features = -1;
+  std::uint64_t seed = 31;
+};
+
+class DecisionTree : public Classifier {
+ public:
+  explicit DecisionTree(TreeOptions options = {}) : options_(options) {}
+
+  void fit(const Dataset& train) override;
+  // Weighted fit used by AdaBoost; `weights` must sum to ~1.
+  void fit_weighted(const Dataset& train, const std::vector<double>& weights);
+  int predict(const std::vector<float>& x) const override;
+  std::string name() const override { return "Decision Tree"; }
+
+  int depth() const;
+
+ private:
+  struct Node {
+    int feature = -1;           // -1 for leaves
+    float threshold = 0.0f;
+    int label = 0;              // leaf prediction
+    std::unique_ptr<Node> left;   // feature <= threshold
+    std::unique_ptr<Node> right;  // feature  > threshold
+  };
+
+  std::unique_ptr<Node> build(const Dataset& data,
+                              const std::vector<double>& weights,
+                              const std::vector<std::size_t>& indices, int depth,
+                              util::Rng& rng) const;
+  static int node_depth(const Node* node);
+
+  TreeOptions options_;
+  std::unique_ptr<Node> root_;
+  int num_classes_ = 0;
+};
+
+}  // namespace m2ai::ml

@@ -1,0 +1,84 @@
+#include "ml/gaussian_process.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "ml/linalg.hpp"
+
+namespace m2ai::ml {
+
+double GaussianProcessClassifier::kernel(const std::vector<float>& a,
+                                         const std::vector<float>& b) const {
+  double d2 = 0.0;
+  for (std::size_t j = 0; j < a.size(); ++j) {
+    const double diff = a[j] - b[j];
+    d2 += diff * diff;
+  }
+  return std::exp(-gamma_ * d2);
+}
+
+void GaussianProcessClassifier::fit(const Dataset& train) {
+  if (train.size() == 0) {
+    throw std::invalid_argument("GaussianProcessClassifier: empty train set");
+  }
+  train_ = train;
+  num_classes_ = train.num_classes;
+  const std::size_t n = train.size();
+
+  if (gamma_ <= 0.0) {
+    double var = 0.0, mean = 0.0;
+    std::size_t count = 0;
+    for (const auto& x : train.features) {
+      for (float v : x) {
+        mean += v;
+        ++count;
+      }
+    }
+    mean /= static_cast<double>(count);
+    for (const auto& x : train.features) {
+      for (float v : x) var += (v - mean) * (v - mean);
+    }
+    var /= static_cast<double>(count);
+    gamma_ = 1.0 / (static_cast<double>(train.dim()) * std::max(var, 1e-9));
+  }
+
+  std::vector<double> k(n * n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i; j < n; ++j) {
+      const double v = kernel(train.features[i], train.features[j]);
+      k[i * n + j] = v;
+      k[j * n + i] = v;
+    }
+    k[i * n + i] += noise_;
+  }
+  const std::vector<double> chol = robust_cholesky(std::move(k), n);
+
+  alpha_.assign(static_cast<std::size_t>(num_classes_), {});
+  for (int c = 0; c < num_classes_; ++c) {
+    std::vector<double> y(n);
+    for (std::size_t i = 0; i < n; ++i) y[i] = train.labels[i] == c ? 1.0 : -1.0;
+    alpha_[static_cast<std::size_t>(c)] = cholesky_solve(chol, n, std::move(y));
+  }
+}
+
+int GaussianProcessClassifier::predict(const std::vector<float>& x) const {
+  if (alpha_.empty()) throw std::logic_error("GaussianProcessClassifier: not fitted");
+  const std::size_t n = train_.size();
+  std::vector<double> kx(n);
+  for (std::size_t j = 0; j < n; ++j) kx[j] = kernel(x, train_.features[j]);
+
+  int best = 0;
+  double best_score = -1e300;
+  for (int c = 0; c < num_classes_; ++c) {
+    double mean = 0.0;
+    const auto& a = alpha_[static_cast<std::size_t>(c)];
+    for (std::size_t j = 0; j < n; ++j) mean += a[j] * kx[j];
+    if (mean > best_score) {
+      best_score = mean;
+      best = c;
+    }
+  }
+  return best;
+}
+
+}  // namespace m2ai::ml

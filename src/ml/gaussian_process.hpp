@@ -1,0 +1,37 @@
+// Gaussian process classifier, one-vs-rest with an RBF kernel.
+//
+// Exact GP classification needs a non-Gaussian likelihood (Laplace/EP); for
+// the Fig. 9 baseline comparison we use the standard label-regression
+// approximation: GP regression on +-1 targets per class, predicting the
+// class with the largest posterior mean. The kernel matrix solve is exact
+// (Cholesky), so this inherits the O(n^3) cost that makes GPs practical
+// only on the subsampled frame sets the experiment harness feeds baselines.
+#pragma once
+
+#include "ml/dataset.hpp"
+
+namespace m2ai::ml {
+
+class GaussianProcessClassifier : public Classifier {
+ public:
+  // gamma <= 0 selects 1/(dim * feature variance). `noise` is the diagonal
+  // observation noise added to the kernel matrix.
+  explicit GaussianProcessClassifier(double gamma = -1.0, double noise = 1e-2)
+      : gamma_(gamma), noise_(noise) {}
+
+  void fit(const Dataset& train) override;
+  int predict(const std::vector<float>& x) const override;
+  std::string name() const override { return "Gaussian Process"; }
+
+ private:
+  double kernel(const std::vector<float>& a, const std::vector<float>& b) const;
+
+  double gamma_;
+  double noise_;
+  int num_classes_ = 0;
+  Dataset train_;
+  // alpha_[c] = (K + noise I)^-1 y_c, y_c in {-1,+1}.
+  std::vector<std::vector<double>> alpha_;
+};
+
+}  // namespace m2ai::ml

@@ -1,0 +1,281 @@
+#include "ml/hmm.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace m2ai::ml {
+
+namespace {
+constexpr double kMinVariance = 1e-4;
+constexpr double kMinProb = 1e-8;
+}  // namespace
+
+GaussianHmm::GaussianHmm(int num_states, int feature_dim, std::uint64_t seed)
+    : num_states_(num_states), feature_dim_(feature_dim) {
+  if (num_states < 1 || feature_dim < 1) {
+    throw std::invalid_argument("GaussianHmm: bad dimensions");
+  }
+  util::Rng rng(seed);
+  const auto s = static_cast<std::size_t>(num_states);
+  const auto d = static_cast<std::size_t>(feature_dim);
+
+  // Left-to-right bias: start in early states, prefer self/next transitions.
+  initial_.assign(s, 0.0);
+  for (std::size_t i = 0; i < s; ++i) {
+    initial_[i] = (i == 0) ? 0.7 : 0.3 / static_cast<double>(std::max<std::size_t>(s - 1, 1));
+  }
+  transition_.assign(s, std::vector<double>(s, 0.0));
+  for (std::size_t i = 0; i < s; ++i) {
+    for (std::size_t j = 0; j < s; ++j) {
+      if (j == i) transition_[i][j] = 0.6;
+      else if (j == (i + 1) % s) transition_[i][j] = 0.3;
+      else transition_[i][j] = 0.1 / static_cast<double>(std::max<std::size_t>(s - 2, 1));
+    }
+    // Normalize.
+    double row = 0.0;
+    for (double v : transition_[i]) row += v;
+    for (double& v : transition_[i]) v /= row;
+  }
+  mean_.assign(s, std::vector<double>(d, 0.0));
+  variance_.assign(s, std::vector<double>(d, 1.0));
+  for (auto& m : mean_) {
+    for (auto& v : m) v = rng.normal(0.0, 0.1);
+  }
+}
+
+double GaussianHmm::emission_log_prob(int s, const std::vector<float>& x) const {
+  const auto ss = static_cast<std::size_t>(s);
+  double lp = 0.0;
+  for (std::size_t j = 0; j < x.size(); ++j) {
+    const double var = variance_[ss][j];
+    const double dev = x[j] - mean_[ss][j];
+    lp -= 0.5 * (dev * dev / var + std::log(2.0 * M_PI * var));
+  }
+  return lp;
+}
+
+double GaussianHmm::forward(const FeatureSequence& seq,
+                            std::vector<std::vector<double>>* alpha_out,
+                            std::vector<double>* scales_out) const {
+  const std::size_t t_len = seq.size();
+  const auto s = static_cast<std::size_t>(num_states_);
+  std::vector<std::vector<double>> alpha(t_len, std::vector<double>(s, 0.0));
+  std::vector<double> scales(t_len, 0.0);
+
+  double log_like = 0.0;
+  for (std::size_t t = 0; t < t_len; ++t) {
+    // Emission probabilities normalized per step for numerical stability.
+    std::vector<double> logb(s);
+    double max_logb = -std::numeric_limits<double>::infinity();
+    for (std::size_t i = 0; i < s; ++i) {
+      logb[i] = emission_log_prob(static_cast<int>(i), seq[t]);
+      max_logb = std::max(max_logb, logb[i]);
+    }
+    double scale = 0.0;
+    for (std::size_t i = 0; i < s; ++i) {
+      const double b = std::exp(logb[i] - max_logb);
+      double prior;
+      if (t == 0) {
+        prior = initial_[i];
+      } else {
+        prior = 0.0;
+        for (std::size_t j = 0; j < s; ++j) prior += alpha[t - 1][j] * transition_[j][i];
+      }
+      alpha[t][i] = prior * b;
+      scale += alpha[t][i];
+    }
+    scale = std::max(scale, kMinProb);
+    for (std::size_t i = 0; i < s; ++i) alpha[t][i] /= scale;
+    scales[t] = scale;
+    log_like += std::log(scale) + max_logb;
+  }
+  if (alpha_out) *alpha_out = std::move(alpha);
+  if (scales_out) *scales_out = std::move(scales);
+  return log_like;
+}
+
+double GaussianHmm::log_likelihood(const FeatureSequence& sequence) const {
+  if (sequence.empty()) return -std::numeric_limits<double>::infinity();
+  return forward(sequence, nullptr, nullptr);
+}
+
+void GaussianHmm::fit(const std::vector<FeatureSequence>& sequences, int iterations) {
+  if (sequences.empty()) throw std::invalid_argument("GaussianHmm: no sequences");
+  const auto s = static_cast<std::size_t>(num_states_);
+  const auto d = static_cast<std::size_t>(feature_dim_);
+
+  // Seed emissions from the data: segment each sequence into S chunks and
+  // average (the left-to-right prior).
+  {
+    std::vector<std::vector<double>> sum(s, std::vector<double>(d, 0.0));
+    std::vector<std::vector<double>> sum2(s, std::vector<double>(d, 0.0));
+    std::vector<double> count(s, 0.0);
+    for (const auto& seq : sequences) {
+      for (std::size_t t = 0; t < seq.size(); ++t) {
+        const std::size_t state =
+            std::min(s - 1, t * s / std::max<std::size_t>(seq.size(), 1));
+        for (std::size_t j = 0; j < d; ++j) {
+          sum[state][j] += seq[t][j];
+          sum2[state][j] += static_cast<double>(seq[t][j]) * seq[t][j];
+        }
+        count[state] += 1.0;
+      }
+    }
+    for (std::size_t i = 0; i < s; ++i) {
+      if (count[i] < 1.0) continue;
+      for (std::size_t j = 0; j < d; ++j) {
+        mean_[i][j] = sum[i][j] / count[i];
+        variance_[i][j] =
+            std::max(kMinVariance, sum2[i][j] / count[i] - mean_[i][j] * mean_[i][j]);
+      }
+    }
+  }
+
+  for (int iter = 0; iter < iterations; ++iter) {
+    std::vector<double> new_initial(s, kMinProb);
+    std::vector<std::vector<double>> trans_num(s, std::vector<double>(s, kMinProb));
+    std::vector<double> trans_den(s, kMinProb * static_cast<double>(num_states_));
+    std::vector<std::vector<double>> mean_num(s, std::vector<double>(d, 0.0));
+    std::vector<std::vector<double>> var_num(s, std::vector<double>(d, 0.0));
+    std::vector<double> gamma_sum(s, kMinProb);
+
+    for (const auto& seq : sequences) {
+      if (seq.empty()) continue;
+      const std::size_t t_len = seq.size();
+      std::vector<std::vector<double>> alpha;
+      std::vector<double> scales;
+      forward(seq, &alpha, &scales);
+
+      // Scaled backward pass.
+      std::vector<std::vector<double>> beta(t_len, std::vector<double>(s, 0.0));
+      for (std::size_t i = 0; i < s; ++i) beta[t_len - 1][i] = 1.0;
+      for (std::size_t t = t_len - 1; t-- > 0;) {
+        std::vector<double> b_next(s);
+        double max_logb = -std::numeric_limits<double>::infinity();
+        std::vector<double> logb(s);
+        for (std::size_t i = 0; i < s; ++i) {
+          logb[i] = emission_log_prob(static_cast<int>(i), seq[t + 1]);
+          max_logb = std::max(max_logb, logb[i]);
+        }
+        for (std::size_t i = 0; i < s; ++i) b_next[i] = std::exp(logb[i] - max_logb);
+        double norm = 0.0;
+        for (std::size_t i = 0; i < s; ++i) {
+          double acc = 0.0;
+          for (std::size_t j = 0; j < s; ++j) {
+            acc += transition_[i][j] * b_next[j] * beta[t + 1][j];
+          }
+          beta[t][i] = acc;
+          norm = std::max(norm, acc);
+        }
+        norm = std::max(norm, kMinProb);
+        for (std::size_t i = 0; i < s; ++i) beta[t][i] /= norm;
+      }
+
+      // Accumulate statistics.
+      for (std::size_t t = 0; t < t_len; ++t) {
+        std::vector<double> gamma(s);
+        double z = 0.0;
+        for (std::size_t i = 0; i < s; ++i) {
+          gamma[i] = alpha[t][i] * beta[t][i];
+          z += gamma[i];
+        }
+        z = std::max(z, kMinProb);
+        for (std::size_t i = 0; i < s; ++i) {
+          gamma[i] /= z;
+          gamma_sum[i] += gamma[i];
+          if (t == 0) new_initial[i] += gamma[i];
+          for (std::size_t j = 0; j < d; ++j) {
+            mean_num[i][j] += gamma[i] * seq[t][j];
+            const double dev = seq[t][j] - mean_[i][j];
+            var_num[i][j] += gamma[i] * dev * dev;
+          }
+        }
+        if (t + 1 < t_len) {
+          // Xi(i, j) proportional to alpha_t(i) a_ij b_j(o_{t+1}) beta_{t+1}(j).
+          std::vector<double> logb(s);
+          double max_logb = -std::numeric_limits<double>::infinity();
+          for (std::size_t j = 0; j < s; ++j) {
+            logb[j] = emission_log_prob(static_cast<int>(j), seq[t + 1]);
+            max_logb = std::max(max_logb, logb[j]);
+          }
+          double xi_z = 0.0;
+          std::vector<std::vector<double>> xi(s, std::vector<double>(s, 0.0));
+          for (std::size_t i = 0; i < s; ++i) {
+            for (std::size_t j = 0; j < s; ++j) {
+              xi[i][j] = alpha[t][i] * transition_[i][j] *
+                         std::exp(logb[j] - max_logb) * beta[t + 1][j];
+              xi_z += xi[i][j];
+            }
+          }
+          xi_z = std::max(xi_z, kMinProb);
+          for (std::size_t i = 0; i < s; ++i) {
+            for (std::size_t j = 0; j < s; ++j) {
+              trans_num[i][j] += xi[i][j] / xi_z;
+              trans_den[i] += xi[i][j] / xi_z;
+            }
+          }
+        }
+      }
+    }
+
+    // M step.
+    double init_z = 0.0;
+    for (double v : new_initial) init_z += v;
+    for (std::size_t i = 0; i < s; ++i) {
+      initial_[i] = new_initial[i] / init_z;
+      for (std::size_t j = 0; j < s; ++j) {
+        transition_[i][j] = trans_num[i][j] / trans_den[i];
+      }
+      for (std::size_t j = 0; j < d; ++j) {
+        mean_[i][j] = mean_num[i][j] / gamma_sum[i];
+        variance_[i][j] = std::max(kMinVariance, var_num[i][j] / gamma_sum[i]);
+      }
+    }
+  }
+}
+
+void HmmSequenceClassifier::fit(const std::vector<FeatureSequence>& sequences,
+                                const std::vector<int>& labels, int num_classes) {
+  if (sequences.empty() || sequences.size() != labels.size()) {
+    throw std::invalid_argument("HmmSequenceClassifier: bad training data");
+  }
+  const int dim = static_cast<int>(sequences.front().front().size());
+  models_.clear();
+  for (int c = 0; c < num_classes; ++c) {
+    std::vector<FeatureSequence> members;
+    for (std::size_t i = 0; i < sequences.size(); ++i) {
+      if (labels[i] == c) members.push_back(sequences[i]);
+    }
+    GaussianHmm model(num_states_, dim, seed_ + static_cast<std::uint64_t>(c));
+    if (!members.empty()) model.fit(members, iterations_);
+    models_.push_back(std::move(model));
+  }
+}
+
+int HmmSequenceClassifier::predict(const FeatureSequence& sequence) const {
+  if (models_.empty()) throw std::logic_error("HmmSequenceClassifier: not fitted");
+  int best = 0;
+  double best_ll = -std::numeric_limits<double>::infinity();
+  for (std::size_t c = 0; c < models_.size(); ++c) {
+    const double ll = models_[c].log_likelihood(sequence);
+    if (ll > best_ll) {
+      best_ll = ll;
+      best = static_cast<int>(c);
+    }
+  }
+  return best;
+}
+
+double HmmSequenceClassifier::accuracy(const std::vector<FeatureSequence>& sequences,
+                                       const std::vector<int>& labels) const {
+  if (sequences.empty()) return 0.0;
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < sequences.size(); ++i) {
+    if (predict(sequences[i]) == labels[i]) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(sequences.size());
+}
+
+}  // namespace m2ai::ml

@@ -1,0 +1,75 @@
+// Hidden Markov Model sequence classifier — the tool prior RFID activity
+// work leaned on (FEMO [10], discussed in Secs. I and VIII of the paper).
+// One left-to-right-initialized Gaussian HMM per activity class, trained
+// with Baum-Welch (scaled forward-backward); a sequence is classified by
+// the class whose model gives the highest log-likelihood.
+//
+// This is the eleventh baseline of the Fig. 9 comparison: unlike the
+// frame-level classifiers it DOES see temporal structure, but with
+// hand-fixed emission families and no learned feature extraction — exactly
+// the limitation the paper argues makes HMMs insufficient here.
+#pragma once
+
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace m2ai::ml {
+
+// Feature sequence: seq[t] is the frame-feature vector at step t.
+using FeatureSequence = std::vector<std::vector<float>>;
+
+// A single Gaussian HMM with diagonal covariances.
+class GaussianHmm {
+ public:
+  GaussianHmm(int num_states, int feature_dim, std::uint64_t seed);
+
+  // Baum-Welch over the given sequences.
+  void fit(const std::vector<FeatureSequence>& sequences, int iterations = 12);
+
+  // Scaled log-likelihood of one sequence (-inf for empty input).
+  double log_likelihood(const FeatureSequence& sequence) const;
+
+  int num_states() const { return num_states_; }
+
+ private:
+  // Emission log-density of observation `x` under state `s`.
+  double emission_log_prob(int s, const std::vector<float>& x) const;
+  // Scaled forward pass; returns per-step scale factors (their log-sum is
+  // the sequence log-likelihood) and fills alpha (normalized).
+  double forward(const FeatureSequence& seq, std::vector<std::vector<double>>* alpha,
+                 std::vector<double>* scales) const;
+
+  int num_states_;
+  int feature_dim_;
+  std::vector<double> initial_;                    // [S]
+  std::vector<std::vector<double>> transition_;    // [S][S]
+  std::vector<std::vector<double>> mean_;          // [S][D]
+  std::vector<std::vector<double>> variance_;      // [S][D]
+};
+
+// One-vs-rest bank of per-class HMMs.
+class HmmSequenceClassifier {
+ public:
+  explicit HmmSequenceClassifier(int num_states = 4, int iterations = 12,
+                                 std::uint64_t seed = 61)
+      : num_states_(num_states), iterations_(iterations), seed_(seed) {}
+
+  void fit(const std::vector<FeatureSequence>& sequences,
+           const std::vector<int>& labels, int num_classes);
+
+  int predict(const FeatureSequence& sequence) const;
+
+  double accuracy(const std::vector<FeatureSequence>& sequences,
+                  const std::vector<int>& labels) const;
+
+  const char* name() const { return "HMM (Gaussian)"; }
+
+ private:
+  int num_states_;
+  int iterations_;
+  std::uint64_t seed_;
+  std::vector<GaussianHmm> models_;  // one per class
+};
+
+}  // namespace m2ai::ml

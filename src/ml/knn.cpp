@@ -1,0 +1,36 @@
+#include "ml/knn.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace m2ai::ml {
+
+void KnnClassifier::fit(const Dataset& train) {
+  if (train.size() == 0) throw std::invalid_argument("KnnClassifier: empty train set");
+  train_ = train;
+}
+
+int KnnClassifier::predict(const std::vector<float>& x) const {
+  const std::size_t n = train_.size();
+  const int k = std::min<int>(k_, static_cast<int>(n));
+  // Partial selection of the k nearest squared distances.
+  std::vector<std::pair<double, int>> dist;
+  dist.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto& f = train_.features[i];
+    double d = 0.0;
+    for (std::size_t j = 0; j < f.size(); ++j) {
+      const double diff = f[j] - x[j];
+      d += diff * diff;
+    }
+    dist.emplace_back(d, train_.labels[i]);
+  }
+  std::nth_element(dist.begin(), dist.begin() + (k - 1), dist.end());
+  std::vector<int> votes;
+  votes.reserve(static_cast<std::size_t>(k));
+  for (int i = 0; i < k; ++i) votes.push_back(dist[static_cast<std::size_t>(i)].second);
+  return majority_vote(votes, train_.num_classes);
+}
+
+}  // namespace m2ai::ml

@@ -1,0 +1,21 @@
+// k-Nearest Neighbors (Euclidean, majority vote among the k closest).
+#pragma once
+
+#include "ml/dataset.hpp"
+
+namespace m2ai::ml {
+
+class KnnClassifier : public Classifier {
+ public:
+  explicit KnnClassifier(int k = 5) : k_(k) {}
+
+  void fit(const Dataset& train) override;
+  int predict(const std::vector<float>& x) const override;
+  std::string name() const override { return "Nearest Neighbors"; }
+
+ private:
+  int k_;
+  Dataset train_;
+};
+
+}  // namespace m2ai::ml

@@ -1,0 +1,71 @@
+// Small real dense linear algebra for the statistical baselines (QDA,
+// Gaussian process): symmetric positive-definite solves via Cholesky.
+// Header-only; matrices are row-major vector<double> with explicit n.
+#pragma once
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace m2ai::ml {
+
+// In-place Cholesky A = L L^T on the lower triangle. Returns false if the
+// matrix is not positive definite (caller should add regularization).
+inline bool cholesky(std::vector<double>& a, std::size_t n) {
+  for (std::size_t j = 0; j < n; ++j) {
+    double d = a[j * n + j];
+    for (std::size_t k = 0; k < j; ++k) d -= a[j * n + k] * a[j * n + k];
+    if (d <= 0.0) return false;
+    const double ljj = std::sqrt(d);
+    a[j * n + j] = ljj;
+    for (std::size_t i = j + 1; i < n; ++i) {
+      double s = a[i * n + j];
+      for (std::size_t k = 0; k < j; ++k) s -= a[i * n + k] * a[j * n + k];
+      a[i * n + j] = s / ljj;
+    }
+  }
+  return true;
+}
+
+// Solve L y = b then L^T x = y given the Cholesky factor in `l`.
+inline std::vector<double> cholesky_solve(const std::vector<double>& l, std::size_t n,
+                                          std::vector<double> b) {
+  for (std::size_t i = 0; i < n; ++i) {
+    double s = b[i];
+    for (std::size_t k = 0; k < i; ++k) s -= l[i * n + k] * b[k];
+    b[i] = s / l[i * n + i];
+  }
+  for (std::size_t ii = n; ii-- > 0;) {
+    double s = b[ii];
+    for (std::size_t k = ii + 1; k < n; ++k) s -= l[k * n + ii] * b[k];
+    b[ii] = s / l[ii * n + ii];
+  }
+  return b;
+}
+
+// log det(A) = 2 * sum log L_ii from the Cholesky factor.
+inline double cholesky_log_det(const std::vector<double>& l, std::size_t n) {
+  double s = 0.0;
+  for (std::size_t i = 0; i < n; ++i) s += std::log(l[i * n + i]);
+  return 2.0 * s;
+}
+
+// Cholesky with escalating ridge regularization; throws only if the matrix
+// stays indefinite after heavy loading.
+inline std::vector<double> robust_cholesky(std::vector<double> a, std::size_t n) {
+  double ridge = 0.0;
+  double scale = 0.0;
+  for (std::size_t i = 0; i < n; ++i) scale = std::max(scale, std::abs(a[i * n + i]));
+  if (scale <= 0.0) scale = 1.0;
+  for (int attempt = 0; attempt < 12; ++attempt) {
+    std::vector<double> work = a;
+    if (ridge > 0.0) {
+      for (std::size_t i = 0; i < n; ++i) work[i * n + i] += ridge;
+    }
+    if (cholesky(work, n)) return work;
+    ridge = (ridge == 0.0) ? 1e-10 * scale : ridge * 10.0;
+  }
+  throw std::runtime_error("robust_cholesky: matrix not positive definite");
+}
+
+}  // namespace m2ai::ml

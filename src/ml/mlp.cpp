@@ -1,0 +1,63 @@
+#include "ml/mlp.hpp"
+
+#include <numeric>
+#include <stdexcept>
+
+#include "nn/activations.hpp"
+#include "nn/dense.hpp"
+#include "nn/optimizer.hpp"
+#include "nn/softmax.hpp"
+
+namespace m2ai::ml {
+
+void MlpClassifier::fit(const Dataset& train) {
+  if (train.size() == 0) throw std::invalid_argument("MlpClassifier: empty train set");
+  num_classes_ = train.num_classes;
+  util::Rng rng(seed_);
+
+  net_ = std::make_unique<nn::Sequential>();
+  net_->emplace<nn::Dense>(static_cast<int>(train.dim()), hidden_, rng);
+  net_->emplace<nn::ReLU>();
+  net_->emplace<nn::Dense>(hidden_, num_classes_, rng);
+
+  nn::Adam opt(lr_);
+  const auto params = net_->params();
+  std::vector<std::size_t> order(train.size());
+  std::iota(order.begin(), order.end(), 0);
+
+  constexpr int kBatch = 16;
+  for (int epoch = 0; epoch < epochs_; ++epoch) {
+    rng.shuffle(order);
+    int in_batch = 0;
+    for (std::size_t idx : order) {
+      nn::Tensor x = nn::Tensor::from(std::vector<float>(train.features[idx].begin(),
+                                                         train.features[idx].end()));
+      const nn::Tensor logits = net_->forward(x, /*train=*/true);
+      const auto lag = nn::softmax_cross_entropy(logits, train.labels[idx]);
+      net_->backward(lag.grad_logits);
+      if (++in_batch == kBatch) {
+        nn::clip_gradient_norm(params, 5.0);
+        opt.step(params);
+        in_batch = 0;
+      }
+    }
+    if (in_batch > 0) {
+      nn::clip_gradient_norm(params, 5.0);
+      opt.step(params);
+    }
+  }
+}
+
+int MlpClassifier::predict(const std::vector<float>& x) const {
+  if (!net_) throw std::logic_error("MlpClassifier: not fitted");
+  nn::Tensor input = nn::Tensor::from(std::vector<float>(x.begin(), x.end()));
+  const nn::Tensor logits =
+      const_cast<nn::Sequential&>(*net_).forward(input, /*train=*/false);
+  int best = 0;
+  for (std::size_t i = 1; i < logits.size(); ++i) {
+    if (logits[i] > logits[static_cast<std::size_t>(best)]) best = static_cast<int>(i);
+  }
+  return best;
+}
+
+}  // namespace m2ai::ml

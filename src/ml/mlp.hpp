@@ -1,0 +1,31 @@
+// Multi-layer perceptron baseline (Fig. 9's "Neural Net"): one hidden ReLU
+// layer trained per-frame with Adam, built on the nn library.
+#pragma once
+
+#include <memory>
+
+#include "ml/dataset.hpp"
+#include "nn/sequential.hpp"
+
+namespace m2ai::ml {
+
+class MlpClassifier : public Classifier {
+ public:
+  explicit MlpClassifier(int hidden = 64, int epochs = 25, double lr = 1e-3,
+                         std::uint64_t seed = 53)
+      : hidden_(hidden), epochs_(epochs), lr_(lr), seed_(seed) {}
+
+  void fit(const Dataset& train) override;
+  int predict(const std::vector<float>& x) const override;
+  std::string name() const override { return "Neural Net (MLP)"; }
+
+ private:
+  int hidden_;
+  int epochs_;
+  double lr_;
+  std::uint64_t seed_;
+  int num_classes_ = 0;
+  std::unique_ptr<nn::Sequential> net_;
+};
+
+}  // namespace m2ai::ml

@@ -1,0 +1,78 @@
+#include "ml/naive_bayes.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace m2ai::ml {
+
+void GaussianNaiveBayes::fit(const Dataset& train) {
+  if (train.size() == 0) throw std::invalid_argument("GaussianNaiveBayes: empty train set");
+  num_classes_ = train.num_classes;
+  const std::size_t d = train.dim();
+
+  std::vector<std::size_t> count(static_cast<std::size_t>(num_classes_), 0);
+  mean_.assign(static_cast<std::size_t>(num_classes_), std::vector<double>(d, 0.0));
+  for (std::size_t i = 0; i < train.size(); ++i) {
+    const auto c = static_cast<std::size_t>(train.labels[i]);
+    ++count[c];
+    for (std::size_t j = 0; j < d; ++j) mean_[c][j] += train.features[i][j];
+  }
+  for (std::size_t c = 0; c < mean_.size(); ++c) {
+    for (auto& m : mean_[c]) m /= std::max<std::size_t>(count[c], 1);
+  }
+
+  std::vector<std::vector<double>> var(static_cast<std::size_t>(num_classes_),
+                                       std::vector<double>(d, 0.0));
+  double max_var = 0.0;
+  for (std::size_t i = 0; i < train.size(); ++i) {
+    const auto c = static_cast<std::size_t>(train.labels[i]);
+    for (std::size_t j = 0; j < d; ++j) {
+      const double dev = train.features[i][j] - mean_[c][j];
+      var[c][j] += dev * dev;
+    }
+  }
+  for (std::size_t c = 0; c < var.size(); ++c) {
+    for (std::size_t j = 0; j < d; ++j) {
+      var[c][j] /= std::max<std::size_t>(count[c], 1);
+      max_var = std::max(max_var, var[c][j]);
+    }
+  }
+  const double eps = var_smoothing_ * std::max(max_var, 1e-9);
+
+  inv_var_.assign(static_cast<std::size_t>(num_classes_), std::vector<double>(d, 0.0));
+  log_var_.assign(static_cast<std::size_t>(num_classes_), std::vector<double>(d, 0.0));
+  log_prior_.assign(static_cast<std::size_t>(num_classes_), -1e18);
+  for (int c = 0; c < num_classes_; ++c) {
+    const auto cc = static_cast<std::size_t>(c);
+    if (count[cc] == 0) continue;
+    log_prior_[cc] = std::log(static_cast<double>(count[cc]) /
+                              static_cast<double>(train.size()));
+    for (std::size_t j = 0; j < d; ++j) {
+      const double v = var[cc][j] + eps;
+      inv_var_[cc][j] = 1.0 / v;
+      log_var_[cc][j] = std::log(v);
+    }
+  }
+}
+
+int GaussianNaiveBayes::predict(const std::vector<float>& x) const {
+  if (mean_.empty()) throw std::logic_error("GaussianNaiveBayes: not fitted");
+  int best = 0;
+  double best_ll = -1e300;
+  for (int c = 0; c < num_classes_; ++c) {
+    const auto cc = static_cast<std::size_t>(c);
+    double ll = log_prior_[cc];
+    if (ll <= -1e17) continue;
+    for (std::size_t j = 0; j < x.size(); ++j) {
+      const double dev = x[j] - mean_[cc][j];
+      ll -= 0.5 * (dev * dev * inv_var_[cc][j] + log_var_[cc][j]);
+    }
+    if (ll > best_ll) {
+      best_ll = ll;
+      best = c;
+    }
+  }
+  return best;
+}
+
+}  // namespace m2ai::ml

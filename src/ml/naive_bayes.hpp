@@ -1,0 +1,27 @@
+// Gaussian naive Bayes ("Bayesian Net" in Fig. 9): per-class independent
+// Gaussians per feature with variance smoothing.
+#pragma once
+
+#include "ml/dataset.hpp"
+
+namespace m2ai::ml {
+
+class GaussianNaiveBayes : public Classifier {
+ public:
+  explicit GaussianNaiveBayes(double var_smoothing = 1e-6)
+      : var_smoothing_(var_smoothing) {}
+
+  void fit(const Dataset& train) override;
+  int predict(const std::vector<float>& x) const override;
+  std::string name() const override { return "Naive Bayes"; }
+
+ private:
+  double var_smoothing_;
+  int num_classes_ = 0;
+  std::vector<double> log_prior_;
+  std::vector<std::vector<double>> mean_;     // [class][feature]
+  std::vector<std::vector<double>> inv_var_;  // [class][feature]
+  std::vector<std::vector<double>> log_var_;  // [class][feature]
+};
+
+}  // namespace m2ai::ml

@@ -1,0 +1,91 @@
+#include "ml/qda.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "ml/linalg.hpp"
+
+namespace m2ai::ml {
+
+void Qda::fit(const Dataset& train) {
+  if (train.size() == 0) throw std::invalid_argument("Qda: empty train set");
+  num_classes_ = train.num_classes;
+  dim_ = train.dim();
+  const std::size_t d = dim_;
+
+  mean_.assign(static_cast<std::size_t>(num_classes_), std::vector<double>(d, 0.0));
+  chol_.assign(static_cast<std::size_t>(num_classes_), {});
+  log_det_.assign(static_cast<std::size_t>(num_classes_), 0.0);
+  log_prior_.assign(static_cast<std::size_t>(num_classes_), -1e18);
+
+  std::vector<std::vector<std::size_t>> members(static_cast<std::size_t>(num_classes_));
+  for (std::size_t i = 0; i < train.size(); ++i) {
+    members[static_cast<std::size_t>(train.labels[i])].push_back(i);
+  }
+
+  for (int c = 0; c < num_classes_; ++c) {
+    const auto cc = static_cast<std::size_t>(c);
+    const auto& idx = members[cc];
+    if (idx.empty()) continue;
+    log_prior_[cc] = std::log(static_cast<double>(idx.size()) /
+                              static_cast<double>(train.size()));
+    for (std::size_t i : idx) {
+      for (std::size_t j = 0; j < d; ++j) mean_[cc][j] += train.features[i][j];
+    }
+    for (auto& m : mean_[cc]) m /= static_cast<double>(idx.size());
+
+    std::vector<double> cov(d * d, 0.0);
+    for (std::size_t i : idx) {
+      for (std::size_t a = 0; a < d; ++a) {
+        const double da = train.features[i][a] - mean_[cc][a];
+        for (std::size_t b = a; b < d; ++b) {
+          cov[a * d + b] += da * (train.features[i][b] - mean_[cc][b]);
+        }
+      }
+    }
+    const double denom = std::max<double>(static_cast<double>(idx.size()) - 1.0, 1.0);
+    double avg_diag = 0.0;
+    for (std::size_t a = 0; a < d; ++a) {
+      for (std::size_t b = a; b < d; ++b) {
+        cov[a * d + b] /= denom;
+        cov[b * d + a] = cov[a * d + b];
+      }
+      avg_diag += cov[a * d + a];
+    }
+    avg_diag /= static_cast<double>(d);
+
+    // Shrink off-diagonals and add ridge.
+    for (std::size_t a = 0; a < d; ++a) {
+      for (std::size_t b = 0; b < d; ++b) {
+        if (a != b) cov[a * d + b] *= (1.0 - shrinkage_);
+      }
+      cov[a * d + a] += ridge_ * std::max(avg_diag, 1e-9);
+    }
+
+    chol_[cc] = robust_cholesky(std::move(cov), d);
+    log_det_[cc] = cholesky_log_det(chol_[cc], d);
+  }
+}
+
+int Qda::predict(const std::vector<float>& x) const {
+  if (mean_.empty()) throw std::logic_error("Qda: not fitted");
+  int best = 0;
+  double best_score = -1e300;
+  std::vector<double> dev(dim_);
+  for (int c = 0; c < num_classes_; ++c) {
+    const auto cc = static_cast<std::size_t>(c);
+    if (log_prior_[cc] <= -1e17 || chol_[cc].empty()) continue;
+    for (std::size_t j = 0; j < dim_; ++j) dev[j] = x[j] - mean_[cc][j];
+    const std::vector<double> solved = cholesky_solve(chol_[cc], dim_, dev);
+    double maha = 0.0;
+    for (std::size_t j = 0; j < dim_; ++j) maha += dev[j] * solved[j];
+    const double score = log_prior_[cc] - 0.5 * (maha + log_det_[cc]);
+    if (score > best_score) {
+      best_score = score;
+      best = c;
+    }
+  }
+  return best;
+}
+
+}  // namespace m2ai::ml

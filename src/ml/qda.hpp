@@ -1,0 +1,31 @@
+// Quadratic Discriminant Analysis with shrinkage-regularized per-class
+// covariances (needed because spectral frame features are high-dimensional
+// relative to the per-class sample count).
+#pragma once
+
+#include "ml/dataset.hpp"
+
+namespace m2ai::ml {
+
+class Qda : public Classifier {
+ public:
+  // `shrinkage` blends the full covariance toward its diagonal.
+  explicit Qda(double shrinkage = 0.2, double ridge = 1e-4)
+      : shrinkage_(shrinkage), ridge_(ridge) {}
+
+  void fit(const Dataset& train) override;
+  int predict(const std::vector<float>& x) const override;
+  std::string name() const override { return "QDA"; }
+
+ private:
+  double shrinkage_;
+  double ridge_;
+  int num_classes_ = 0;
+  std::size_t dim_ = 0;
+  std::vector<double> log_prior_;
+  std::vector<std::vector<double>> mean_;      // [class][feature]
+  std::vector<std::vector<double>> chol_;      // [class][d*d] Cholesky factor
+  std::vector<double> log_det_;                // [class]
+};
+
+}  // namespace m2ai::ml

@@ -1,0 +1,44 @@
+#include "ml/random_forest.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace m2ai::ml {
+
+void RandomForest::fit(const Dataset& train) {
+  if (train.size() == 0) throw std::invalid_argument("RandomForest: empty train set");
+  num_classes_ = train.num_classes;
+  trees_.clear();
+  util::Rng rng(seed_);
+  const int max_features =
+      std::max(1, static_cast<int>(std::sqrt(static_cast<double>(train.dim()))));
+
+  for (int t = 0; t < num_trees_; ++t) {
+    // Bootstrap sample.
+    Dataset boot;
+    boot.num_classes = train.num_classes;
+    for (std::size_t i = 0; i < train.size(); ++i) {
+      const std::size_t pick = static_cast<std::size_t>(rng.uniform_int(
+          static_cast<std::uint64_t>(train.size())));
+      boot.add(train.features[pick], train.labels[pick]);
+    }
+    TreeOptions opts;
+    opts.max_depth = max_depth_;
+    opts.min_samples_split = 4;
+    opts.max_features = max_features;
+    opts.seed = rng.next_u64();
+    auto tree = std::make_unique<DecisionTree>(opts);
+    tree->fit(boot);
+    trees_.push_back(std::move(tree));
+  }
+}
+
+int RandomForest::predict(const std::vector<float>& x) const {
+  if (trees_.empty()) throw std::logic_error("RandomForest: not fitted");
+  std::vector<int> votes;
+  votes.reserve(trees_.size());
+  for (const auto& tree : trees_) votes.push_back(tree->predict(x));
+  return majority_vote(votes, num_classes_);
+}
+
+}  // namespace m2ai::ml

@@ -1,0 +1,29 @@
+// Random forest: bagged CART trees over bootstrap samples with sqrt(d)
+// feature subsampling per split.
+#pragma once
+
+#include <memory>
+
+#include "ml/decision_tree.hpp"
+
+namespace m2ai::ml {
+
+class RandomForest : public Classifier {
+ public:
+  explicit RandomForest(int num_trees = 30, int max_depth = 14,
+                        std::uint64_t seed = 41)
+      : num_trees_(num_trees), max_depth_(max_depth), seed_(seed) {}
+
+  void fit(const Dataset& train) override;
+  int predict(const std::vector<float>& x) const override;
+  std::string name() const override { return "Random Forest"; }
+
+ private:
+  int num_trees_;
+  int max_depth_;
+  std::uint64_t seed_;
+  int num_classes_ = 0;
+  std::vector<std::unique_ptr<DecisionTree>> trees_;
+};
+
+}  // namespace m2ai::ml

@@ -1,0 +1,64 @@
+#include "ml/svm_linear.hpp"
+
+#include <numeric>
+#include <stdexcept>
+
+namespace m2ai::ml {
+
+void LinearSvm::fit(const Dataset& train) {
+  if (train.size() == 0) throw std::invalid_argument("LinearSvm: empty train set");
+  num_classes_ = train.num_classes;
+  dim_ = train.dim();
+  weights_.assign(static_cast<std::size_t>(num_classes_), std::vector<double>(dim_, 0.0));
+  biases_.assign(static_cast<std::size_t>(num_classes_), 0.0);
+
+  util::Rng rng(seed_);
+  std::vector<std::size_t> order(train.size());
+  std::iota(order.begin(), order.end(), 0);
+
+  long t = 0;
+  for (int epoch = 0; epoch < epochs_; ++epoch) {
+    rng.shuffle(order);
+    for (std::size_t idx : order) {
+      ++t;
+      const double eta = 1.0 / (lambda_ * static_cast<double>(t));
+      const auto& x = train.features[idx];
+      for (int c = 0; c < num_classes_; ++c) {
+        auto& w = weights_[static_cast<std::size_t>(c)];
+        const double y = (train.labels[idx] == c) ? 1.0 : -1.0;
+        double margin = biases_[static_cast<std::size_t>(c)];
+        for (std::size_t j = 0; j < dim_; ++j) margin += w[j] * x[j];
+        margin *= y;
+        // Pegasos step: shrink, then add the subgradient if inside margin.
+        const double shrink = 1.0 - eta * lambda_;
+        for (std::size_t j = 0; j < dim_; ++j) w[j] *= shrink;
+        if (margin < 1.0) {
+          for (std::size_t j = 0; j < dim_; ++j) w[j] += eta * y * x[j];
+          biases_[static_cast<std::size_t>(c)] += eta * y;
+        }
+      }
+    }
+  }
+}
+
+double LinearSvm::score(const std::vector<float>& x, int c) const {
+  const auto& w = weights_.at(static_cast<std::size_t>(c));
+  double s = biases_[static_cast<std::size_t>(c)];
+  for (std::size_t j = 0; j < dim_; ++j) s += w[j] * x[j];
+  return s;
+}
+
+int LinearSvm::predict(const std::vector<float>& x) const {
+  int best = 0;
+  double best_score = score(x, 0);
+  for (int c = 1; c < num_classes_; ++c) {
+    const double s = score(x, c);
+    if (s > best_score) {
+      best_score = s;
+      best = c;
+    }
+  }
+  return best;
+}
+
+}  // namespace m2ai::ml

@@ -1,0 +1,32 @@
+// One-vs-rest linear SVM trained with Pegasos (primal SGD on the hinge
+// loss with lambda-regularization) — the runner-up of Fig. 9.
+#pragma once
+
+#include "ml/dataset.hpp"
+
+namespace m2ai::ml {
+
+class LinearSvm : public Classifier {
+ public:
+  explicit LinearSvm(double lambda = 1e-4, int epochs = 30,
+                     std::uint64_t seed = 17)
+      : lambda_(lambda), epochs_(epochs), seed_(seed) {}
+
+  void fit(const Dataset& train) override;
+  int predict(const std::vector<float>& x) const override;
+  std::string name() const override { return "Linear SVM"; }
+
+  // Decision score of class c for x (used by tests).
+  double score(const std::vector<float>& x, int c) const;
+
+ private:
+  double lambda_;
+  int epochs_;
+  std::uint64_t seed_;
+  int num_classes_ = 0;
+  std::size_t dim_ = 0;
+  std::vector<std::vector<double>> weights_;  // per class
+  std::vector<double> biases_;
+};
+
+}  // namespace m2ai::ml

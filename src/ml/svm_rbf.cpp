@@ -1,0 +1,111 @@
+#include "ml/svm_rbf.hpp"
+
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace m2ai::ml {
+
+double RbfSvm::kernel(const std::vector<float>& a, const std::vector<float>& b) const {
+  double d2 = 0.0;
+  for (std::size_t j = 0; j < a.size(); ++j) {
+    const double diff = a[j] - b[j];
+    d2 += diff * diff;
+  }
+  return std::exp(-gamma_ * d2);
+}
+
+void RbfSvm::fit(const Dataset& train) {
+  if (train.size() == 0) throw std::invalid_argument("RbfSvm: empty train set");
+  support_ = train;
+  num_classes_ = train.num_classes;
+  const std::size_t n = train.size();
+
+  if (gamma_ <= 0.0) {
+    // "scale": 1 / (dim * var(features)).
+    double var = 0.0, mean = 0.0;
+    std::size_t count = 0;
+    for (const auto& x : train.features) {
+      for (float v : x) {
+        mean += v;
+        ++count;
+      }
+    }
+    mean /= static_cast<double>(count);
+    for (const auto& x : train.features) {
+      for (float v : x) var += (v - mean) * (v - mean);
+    }
+    var /= static_cast<double>(count);
+    gamma_ = 1.0 / (static_cast<double>(train.dim()) * std::max(var, 1e-9));
+  }
+
+  alpha_.assign(static_cast<std::size_t>(num_classes_), std::vector<double>(n, 0.0));
+
+  // Precompute the kernel matrix (training sets are capped by the caller).
+  std::vector<std::vector<double>> k(n, std::vector<double>(n, 0.0));
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i; j < n; ++j) {
+      k[i][j] = k[j][i] = kernel(train.features[i], train.features[j]);
+    }
+  }
+
+  util::Rng rng(seed_);
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+
+  long t = 0;
+  for (int epoch = 0; epoch < epochs_; ++epoch) {
+    rng.shuffle(order);
+    for (std::size_t idx : order) {
+      ++t;
+      for (int c = 0; c < num_classes_; ++c) {
+        const double y = (train.labels[idx] == c) ? 1.0 : -1.0;
+        // f(x_idx) under the current (scaled) kernel expansion.
+        double f = 0.0;
+        const auto& a = alpha_[static_cast<std::size_t>(c)];
+        for (std::size_t j = 0; j < n; ++j) {
+          if (a[j] != 0.0) f += a[j] * k[idx][j];
+        }
+        f /= (lambda_ * static_cast<double>(t));
+        if (y * f < 1.0) {
+          alpha_[static_cast<std::size_t>(c)][idx] += y;
+        }
+      }
+    }
+  }
+  steps_ = t;
+}
+
+double RbfSvm::decision(const std::vector<float>& x, int c) const {
+  const auto& a = alpha_[static_cast<std::size_t>(c)];
+  double f = 0.0;
+  for (std::size_t j = 0; j < support_.size(); ++j) {
+    if (a[j] != 0.0) f += a[j] * kernel(x, support_.features[j]);
+  }
+  return f / (lambda_ * static_cast<double>(steps_));
+}
+
+int RbfSvm::predict(const std::vector<float>& x) const {
+  // Evaluate the kernel against each support point once, shared by all
+  // one-vs-rest machines.
+  const std::size_t n = support_.size();
+  std::vector<double> kx(n);
+  for (std::size_t j = 0; j < n; ++j) kx[j] = kernel(x, support_.features[j]);
+
+  int best = 0;
+  double best_score = 0.0;
+  for (int c = 0; c < num_classes_; ++c) {
+    const auto& a = alpha_[static_cast<std::size_t>(c)];
+    double f = 0.0;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (a[j] != 0.0) f += a[j] * kx[j];
+    }
+    if (c == 0 || f > best_score) {
+      best_score = f;
+      best = c;
+    }
+  }
+  return best;
+}
+
+}  // namespace m2ai::ml

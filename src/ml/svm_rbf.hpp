@@ -1,0 +1,36 @@
+// One-vs-rest RBF-kernel SVM trained with kernelized Pegasos: the model is
+// a sparse combination of training points whose coefficients grow when the
+// point violates the margin. Suited to the few-thousand-frame training sets
+// used by the Fig. 9 baselines.
+#pragma once
+
+#include "ml/dataset.hpp"
+
+namespace m2ai::ml {
+
+class RbfSvm : public Classifier {
+ public:
+  // gamma <= 0 selects 1/(dim * feature variance), scikit-style "scale".
+  explicit RbfSvm(double lambda = 1e-3, double gamma = -1.0, int epochs = 8,
+                  std::uint64_t seed = 23)
+      : lambda_(lambda), gamma_(gamma), epochs_(epochs), seed_(seed) {}
+
+  void fit(const Dataset& train) override;
+  int predict(const std::vector<float>& x) const override;
+  std::string name() const override { return "RBF SVM"; }
+
+ private:
+  double kernel(const std::vector<float>& a, const std::vector<float>& b) const;
+  double decision(const std::vector<float>& x, int c) const;
+
+  double lambda_;
+  double gamma_;
+  int epochs_;
+  std::uint64_t seed_;
+  int num_classes_ = 0;
+  Dataset support_;                       // all training points
+  std::vector<std::vector<double>> alpha_;  // [class][train index]
+  long steps_ = 1;
+};
+
+}  // namespace m2ai::ml

@@ -1,0 +1,32 @@
+// Element-wise activation layers.
+#pragma once
+
+#include <deque>
+
+#include "nn/layer.hpp"
+
+namespace m2ai::nn {
+
+class ReLU : public Layer {
+ public:
+  Tensor forward(const Tensor& input, bool train) override;
+  Tensor backward(const Tensor& grad_output) override;
+  void clear_cache() override { cache_.clear(); }
+  std::string name() const override { return "ReLU"; }
+
+ private:
+  std::deque<Tensor> cache_;  // inputs
+};
+
+class Tanh : public Layer {
+ public:
+  Tensor forward(const Tensor& input, bool train) override;
+  Tensor backward(const Tensor& grad_output) override;
+  void clear_cache() override { cache_.clear(); }
+  std::string name() const override { return "Tanh"; }
+
+ private:
+  std::deque<Tensor> cache_;  // outputs (tanh'(x) = 1 - y^2)
+};
+
+}  // namespace m2ai::nn

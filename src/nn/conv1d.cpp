@@ -1,0 +1,110 @@
+#include "nn/conv1d.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace m2ai::nn {
+
+Conv1d::Conv1d(int in_channels, int out_channels, int kernel, int stride,
+               int padding, util::Rng& rng)
+    : in_channels_(in_channels),
+      out_channels_(out_channels),
+      kernel_(kernel),
+      stride_(stride),
+      padding_(padding),
+      weight_("conv1d.weight", {out_channels, in_channels, kernel}),
+      bias_("conv1d.bias", {out_channels}) {
+  if (stride < 1 || kernel < 1) throw std::invalid_argument("Conv1d: bad geometry");
+  const float std = std::sqrt(2.0f / static_cast<float>(in_channels * kernel));
+  weight_.value.randomize_normal(rng, std);
+}
+
+int Conv1d::output_length(int input_length) const {
+  const int span = input_length + 2 * padding_ - kernel_;
+  if (span < 0) throw std::invalid_argument("Conv1d: input shorter than kernel");
+  return span / stride_ + 1;
+}
+
+Tensor Conv1d::forward(const Tensor& input, bool train) {
+  if (input.rank() != 2 || input.dim(0) != in_channels_) {
+    throw std::invalid_argument("Conv1d::forward: expected [" +
+                                std::to_string(in_channels_) + ", L], got " +
+                                input.shape_string());
+  }
+  const int len = input.dim(1);
+  const int out_len = output_length(len);
+  Tensor y({out_channels_, out_len});
+
+  const float* x = input.data();
+  const float* w = weight_.value.data();
+  float* out = y.data();
+  for (int oc = 0; oc < out_channels_; ++oc) {
+    float* y_oc = out + static_cast<std::size_t>(oc) * out_len;
+    const float b = bias_.value[static_cast<std::size_t>(oc)];
+    for (int ol = 0; ol < out_len; ++ol) y_oc[ol] = b;
+    for (int ic = 0; ic < in_channels_; ++ic) {
+      const float* x_ic = x + static_cast<std::size_t>(ic) * len;
+      const float* w_row =
+          w + (static_cast<std::size_t>(oc) * in_channels_ + ic) * kernel_;
+      for (int ol = 0; ol < out_len; ++ol) {
+        const int start = ol * stride_ - padding_;
+        const int k_lo = start < 0 ? -start : 0;
+        const int k_hi = std::min(kernel_, len - start);
+        float acc = 0.0f;
+        const float* xs = x_ic + start;
+        for (int k = k_lo; k < k_hi; ++k) acc += w_row[k] * xs[k];
+        y_oc[ol] += acc;
+      }
+    }
+  }
+  if (train) cache_.push_back(input);
+  return y;
+}
+
+Tensor Conv1d::backward(const Tensor& grad_output) {
+  if (cache_.empty()) throw std::logic_error("Conv1d::backward: no cached forward");
+  const Tensor xt = std::move(cache_.back());
+  cache_.pop_back();
+
+  const int len = xt.dim(1);
+  const int out_len = grad_output.dim(1);
+  Tensor grad_in({in_channels_, len});
+
+  const float* x = xt.data();
+  const float* g = grad_output.data();
+  const float* w = weight_.value.data();
+  float* wg = weight_.grad.data();
+  float* gi = grad_in.data();
+
+  for (int oc = 0; oc < out_channels_; ++oc) {
+    const float* g_oc = g + static_cast<std::size_t>(oc) * out_len;
+    float bias_acc = 0.0f;
+    for (int ol = 0; ol < out_len; ++ol) bias_acc += g_oc[ol];
+    bias_.grad[static_cast<std::size_t>(oc)] += bias_acc;
+
+    for (int ic = 0; ic < in_channels_; ++ic) {
+      const float* x_ic = x + static_cast<std::size_t>(ic) * len;
+      float* gi_ic = gi + static_cast<std::size_t>(ic) * len;
+      const std::size_t row = (static_cast<std::size_t>(oc) * in_channels_ + ic) *
+                              static_cast<std::size_t>(kernel_);
+      const float* w_row = w + row;
+      float* wg_row = wg + row;
+      for (int ol = 0; ol < out_len; ++ol) {
+        const float go = g_oc[ol];
+        if (go == 0.0f) continue;
+        const int start = ol * stride_ - padding_;
+        const int k_lo = start < 0 ? -start : 0;
+        const int k_hi = std::min(kernel_, len - start);
+        const float* xs = x_ic + start;
+        float* gs = gi_ic + start;
+        for (int k = k_lo; k < k_hi; ++k) {
+          wg_row[k] += go * xs[k];
+          gs[k] += go * w_row[k];
+        }
+      }
+    }
+  }
+  return grad_in;
+}
+
+}  // namespace m2ai::nn

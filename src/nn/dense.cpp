@@ -1,0 +1,55 @@
+#include "nn/dense.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace m2ai::nn {
+
+Dense::Dense(int in_features, int out_features, util::Rng& rng)
+    : in_(in_features),
+      out_(out_features),
+      weight_("dense.weight", {out_features, in_features}),
+      bias_("dense.bias", {out_features}) {
+  // He initialization (layers are followed by ReLU in this codebase).
+  const float std = std::sqrt(2.0f / static_cast<float>(in_features));
+  weight_.value.randomize_normal(rng, std);
+}
+
+Tensor Dense::forward(const Tensor& input, bool train) {
+  const Tensor x = input.rank() == 1 ? input : input.flattened();
+  if (static_cast<int>(x.size()) != in_) {
+    throw std::invalid_argument("Dense::forward: expected " + std::to_string(in_) +
+                                " features, got " + x.shape_string());
+  }
+  Tensor y({out_});
+  for (int o = 0; o < out_; ++o) {
+    float acc = bias_.value.at(o);
+    const float* w = weight_.value.data() + static_cast<std::size_t>(o) * in_;
+    const float* xi = x.data();
+    for (int i = 0; i < in_; ++i) acc += w[i] * xi[i];
+    y.at(o) = acc;
+  }
+  if (train) cache_.push_back(x);
+  return y;
+}
+
+Tensor Dense::backward(const Tensor& grad_output) {
+  if (cache_.empty()) throw std::logic_error("Dense::backward: no cached forward");
+  const Tensor x = std::move(cache_.back());
+  cache_.pop_back();
+
+  Tensor grad_in({in_});
+  for (int o = 0; o < out_; ++o) {
+    const float g = grad_output.at(o);
+    bias_.grad.at(o) += g;
+    float* wg = weight_.grad.data() + static_cast<std::size_t>(o) * in_;
+    const float* w = weight_.value.data() + static_cast<std::size_t>(o) * in_;
+    for (int i = 0; i < in_; ++i) {
+      wg[i] += g * x[static_cast<std::size_t>(i)];
+      grad_in.at(i) += g * w[i];
+    }
+  }
+  return grad_in;
+}
+
+}  // namespace m2ai::nn

@@ -1,0 +1,29 @@
+#include "nn/dropout.hpp"
+
+#include <stdexcept>
+
+namespace m2ai::nn {
+
+Tensor Dropout::forward(const Tensor& input, bool train) {
+  if (!train || rate_ <= 0.0) return input;
+  const float keep_scale = static_cast<float>(1.0 / (1.0 - rate_));
+  Tensor y = input;
+  std::vector<float> mask(input.size());
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    mask[i] = rng_.bernoulli(rate_) ? 0.0f : keep_scale;
+    y[i] *= mask[i];
+  }
+  cache_.push_back(std::move(mask));
+  return y;
+}
+
+Tensor Dropout::backward(const Tensor& grad_output) {
+  if (cache_.empty()) throw std::logic_error("Dropout::backward: no cached forward");
+  const std::vector<float> mask = std::move(cache_.back());
+  cache_.pop_back();
+  Tensor g = grad_output;
+  for (std::size_t i = 0; i < g.size(); ++i) g[i] *= mask[i];
+  return g;
+}
+
+}  // namespace m2ai::nn

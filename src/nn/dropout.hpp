@@ -1,0 +1,25 @@
+// Inverted dropout: active only when train=true; inference is a no-op.
+#pragma once
+
+#include <deque>
+
+#include "nn/layer.hpp"
+
+namespace m2ai::nn {
+
+class Dropout : public Layer {
+ public:
+  Dropout(double rate, util::Rng rng) : rate_(rate), rng_(rng) {}
+
+  Tensor forward(const Tensor& input, bool train) override;
+  Tensor backward(const Tensor& grad_output) override;
+  void clear_cache() override { cache_.clear(); }
+  std::string name() const override { return "Dropout"; }
+
+ private:
+  double rate_;
+  util::Rng rng_;
+  std::deque<std::vector<float>> cache_;  // per-element keep scale
+};
+
+}  // namespace m2ai::nn

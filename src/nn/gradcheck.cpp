@@ -1,0 +1,85 @@
+#include "nn/gradcheck.hpp"
+
+#include <cmath>
+
+#include "nn/optimizer.hpp"
+
+namespace m2ai::nn {
+
+namespace {
+struct ErrorTally {
+  std::size_t total = 0;
+  std::size_t within = 0;
+};
+
+void update_errors(double analytic, double numeric, double tolerance,
+                   GradCheckResult& result, ErrorTally& tally) {
+  const double abs_err = std::abs(analytic - numeric);
+  const double denom = std::max({std::abs(analytic), std::abs(numeric), 1e-4});
+  result.max_abs_error = std::max(result.max_abs_error, abs_err);
+  result.max_rel_error = std::max(result.max_rel_error, abs_err / denom);
+  ++tally.total;
+  if (abs_err / denom < tolerance) ++tally.within;
+}
+}  // namespace
+
+GradCheckResult check_param_gradients(const std::function<double()>& loss_fn,
+                                      const std::vector<Param*>& params,
+                                      double epsilon, double tolerance) {
+  GradCheckResult result;
+
+  // Capture analytic gradients from one clean pass.
+  zero_gradients(params);
+  (void)loss_fn();
+  std::vector<Tensor> analytic;
+  analytic.reserve(params.size());
+  for (Param* p : params) analytic.push_back(p->grad);
+
+  ErrorTally tally;
+  for (std::size_t pi = 0; pi < params.size(); ++pi) {
+    Param* p = params[pi];
+    for (std::size_t i = 0; i < p->value.size(); ++i) {
+      const float saved = p->value[i];
+      p->value[i] = saved + static_cast<float>(epsilon);
+      zero_gradients(params);
+      const double loss_plus = loss_fn();
+      p->value[i] = saved - static_cast<float>(epsilon);
+      zero_gradients(params);
+      const double loss_minus = loss_fn();
+      p->value[i] = saved;
+      const double numeric = (loss_plus - loss_minus) / (2.0 * epsilon);
+      update_errors(analytic[pi][i], numeric, tolerance, result, tally);
+    }
+  }
+  zero_gradients(params);
+  result.fraction_within =
+      tally.total ? static_cast<double>(tally.within) / static_cast<double>(tally.total)
+                  : 0.0;
+  result.ok = result.max_rel_error < tolerance;
+  return result;
+}
+
+GradCheckResult check_input_gradient(const std::function<double(const Tensor&)>& run,
+                                     const Tensor& input, const Tensor& analytic_grad,
+                                     double epsilon, double tolerance) {
+  GradCheckResult result;
+  ErrorTally tally;
+  Tensor x = input;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const float saved = x[i];
+    x[i] = saved + static_cast<float>(epsilon);
+    const double loss_plus = run(x);
+    x[i] = saved - static_cast<float>(epsilon);
+    const double loss_minus = run(x);
+    x[i] = saved;
+    const double numeric = (loss_plus - loss_minus) / (2.0 * epsilon);
+    update_errors(analytic_grad[i], numeric, tolerance, result, tally);
+  }
+  result.fraction_within =
+      tally.total ? static_cast<double>(tally.within) / static_cast<double>(tally.total)
+                  : 0.0;
+  result.ok = result.max_rel_error < tolerance;
+  return result;
+}
+
+}  // namespace m2ai::nn

@@ -1,0 +1,35 @@
+// Numerical gradient checking: the property test that keeps every layer's
+// backward pass honest.
+#pragma once
+
+#include <functional>
+
+#include "nn/layer.hpp"
+
+namespace m2ai::nn {
+
+struct GradCheckResult {
+  double max_abs_error = 0.0;
+  double max_rel_error = 0.0;
+  // Fraction of checked components whose relative error is within the
+  // tolerance. Networks with ReLU kinks legitimately fail the max-error
+  // criterion on a few components (finite differences straddle the kink);
+  // the fraction metric stays meaningful there.
+  double fraction_within = 0.0;
+  bool ok = false;
+};
+
+// Compares the analytic parameter gradients of `loss_fn` (which must run a
+// full forward+backward and return the scalar loss, leaving gradients
+// accumulated in `params`) against central finite differences.
+GradCheckResult check_param_gradients(const std::function<double()>& loss_fn,
+                                      const std::vector<Param*>& params,
+                                      double epsilon = 1e-3, double tolerance = 2e-2);
+
+// Checks dLoss/dInput for a layer on a given input via finite differences.
+// `run` must evaluate loss(input) WITHOUT touching layer gradients.
+GradCheckResult check_input_gradient(const std::function<double(const Tensor&)>& run,
+                                     const Tensor& input, const Tensor& analytic_grad,
+                                     double epsilon = 1e-3, double tolerance = 2e-2);
+
+}  // namespace m2ai::nn

@@ -1,0 +1,49 @@
+// Layer interface of the learning engine.
+//
+// Weight sharing over time (the same CNN applied to every spectrum frame of
+// a sequence) is supported through a LIFO cache discipline: each forward()
+// pushes its activation cache, each backward() pops the most recent one.
+// The training loop therefore runs forward over t = 0..T-1 and backward over
+// t = T-1..0, and parameter gradients ACCUMULATE across those calls until
+// the optimizer consumes and clears them.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/tensor.hpp"
+
+namespace m2ai::nn {
+
+// A learnable parameter and its accumulated gradient.
+struct Param {
+  std::string name;
+  Tensor value;
+  Tensor grad;
+
+  explicit Param(std::string param_name, std::vector<int> shape)
+      : name(std::move(param_name)), value(shape), grad(shape) {}
+};
+
+class Layer {
+ public:
+  virtual ~Layer() = default;
+
+  // Forward pass on one example; pushes a cache entry when `train` is true.
+  virtual Tensor forward(const Tensor& input, bool train) = 0;
+
+  // Backward pass for the most recent un-popped forward() call; returns the
+  // gradient w.r.t. that call's input and accumulates parameter gradients.
+  virtual Tensor backward(const Tensor& grad_output) = 0;
+
+  // Learnable parameters (may be empty).
+  virtual std::vector<Param*> params() { return {}; }
+
+  // Drop any cached activations (e.g. after an aborted sequence).
+  virtual void clear_cache() {}
+
+  virtual std::string name() const = 0;
+};
+
+}  // namespace m2ai::nn

@@ -1,0 +1,145 @@
+#include "nn/lstm.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace m2ai::nn {
+
+namespace {
+inline float sigmoid(float x) { return 1.0f / (1.0f + std::exp(-x)); }
+}  // namespace
+
+Lstm::Lstm(int input_size, int hidden_size, util::Rng& rng)
+    : input_size_(input_size),
+      hidden_size_(hidden_size),
+      weight_("lstm.weight", {4 * hidden_size, input_size + hidden_size}),
+      bias_("lstm.bias", {4 * hidden_size}) {
+  const float std = std::sqrt(1.0f / static_cast<float>(input_size + hidden_size));
+  weight_.value.randomize_normal(rng, std);
+  // Forget-gate bias starts at 1 so early training keeps memory by default.
+  for (int h = 0; h < hidden_size; ++h) bias_.value.at(hidden_size + h) = 1.0f;
+}
+
+std::vector<Tensor> Lstm::forward(const std::vector<Tensor>& inputs, bool train) {
+  const int h_size = hidden_size_;
+  const int in_size = input_size_;
+  const int joint = in_size + h_size;
+
+  Tensor h({h_size});
+  Tensor c({h_size});
+  std::vector<Tensor> outputs;
+  outputs.reserve(inputs.size());
+
+  for (const Tensor& input : inputs) {
+    const Tensor x = input.rank() == 1 ? input : input.flattened();
+    if (static_cast<int>(x.size()) != in_size) {
+      throw std::invalid_argument("Lstm::forward: bad input size " + x.shape_string());
+    }
+    StepCache step;
+    step.x = x;
+    step.h_prev = h;
+    step.c_prev = c;
+    step.i = Tensor({h_size});
+    step.f = Tensor({h_size});
+    step.g = Tensor({h_size});
+    step.o = Tensor({h_size});
+    step.c = Tensor({h_size});
+    step.tanh_c = Tensor({h_size});
+
+    // z = W [x; h_prev] + b, gate blocks [i; f; g; o].
+    for (int gate = 0; gate < 4; ++gate) {
+      for (int u = 0; u < h_size; ++u) {
+        const int row = gate * h_size + u;
+        const float* w = weight_.value.data() + static_cast<std::size_t>(row) * joint;
+        float acc = bias_.value.at(row);
+        for (int k = 0; k < in_size; ++k) acc += w[k] * x[static_cast<std::size_t>(k)];
+        for (int k = 0; k < h_size; ++k) {
+          acc += w[in_size + k] * h[static_cast<std::size_t>(k)];
+        }
+        switch (gate) {
+          case 0: step.i.at(u) = sigmoid(acc); break;
+          case 1: step.f.at(u) = sigmoid(acc); break;
+          case 2: step.g.at(u) = std::tanh(acc); break;
+          case 3: step.o.at(u) = sigmoid(acc); break;
+        }
+      }
+    }
+    for (int u = 0; u < h_size; ++u) {
+      step.c.at(u) = step.f.at(u) * c.at(u) + step.i.at(u) * step.g.at(u);
+      step.tanh_c.at(u) = std::tanh(step.c.at(u));
+    }
+    c = step.c;
+    Tensor h_new({h_size});
+    for (int u = 0; u < h_size; ++u) h_new.at(u) = step.o.at(u) * step.tanh_c.at(u);
+    h = h_new;
+    outputs.push_back(h);
+    if (train) steps_.push_back(std::move(step));
+  }
+  return outputs;
+}
+
+std::vector<Tensor> Lstm::backward(const std::vector<Tensor>& grad_outputs) {
+  if (steps_.size() != grad_outputs.size()) {
+    throw std::logic_error("Lstm::backward: cache/grad length mismatch");
+  }
+  const int h_size = hidden_size_;
+  const int in_size = input_size_;
+  const int joint = in_size + h_size;
+  const std::size_t t_len = steps_.size();
+
+  std::vector<Tensor> grad_inputs(t_len);
+  Tensor dh_next({h_size});
+  Tensor dc_next({h_size});
+
+  for (std::size_t rt = t_len; rt-- > 0;) {
+    const StepCache& step = steps_[rt];
+    Tensor dh = grad_outputs[rt];
+    dh.add_scaled(dh_next, 1.0f);
+
+    // Through h_t = o * tanh(c_t) and c_t = f*c_prev + i*g.
+    Tensor dz({4 * h_size});  // pre-activation gradients [di; df; dg; do]
+    Tensor dc({h_size});
+    for (int u = 0; u < h_size; ++u) {
+      const float do_ = dh.at(u) * step.tanh_c.at(u);
+      const float dtanh_c = dh.at(u) * step.o.at(u);
+      const float dcu = dtanh_c * (1.0f - step.tanh_c.at(u) * step.tanh_c.at(u)) +
+                        dc_next.at(u);
+      dc.at(u) = dcu;
+      const float di = dcu * step.g.at(u);
+      const float df = dcu * step.c_prev.at(u);
+      const float dg = dcu * step.i.at(u);
+      dz.at(0 * h_size + u) = di * step.i.at(u) * (1.0f - step.i.at(u));
+      dz.at(1 * h_size + u) = df * step.f.at(u) * (1.0f - step.f.at(u));
+      dz.at(2 * h_size + u) = dg * (1.0f - step.g.at(u) * step.g.at(u));
+      dz.at(3 * h_size + u) = do_ * step.o.at(u) * (1.0f - step.o.at(u));
+    }
+
+    // Parameter and input/recurrent gradients: z = W [x; h_prev] + b.
+    Tensor dx({in_size});
+    Tensor dh_prev({h_size});
+    for (int row = 0; row < 4 * h_size; ++row) {
+      const float g = dz.at(row);
+      if (g == 0.0f) continue;
+      bias_.grad.at(row) += g;
+      float* wg = weight_.grad.data() + static_cast<std::size_t>(row) * joint;
+      const float* w = weight_.value.data() + static_cast<std::size_t>(row) * joint;
+      for (int k = 0; k < in_size; ++k) {
+        wg[k] += g * step.x[static_cast<std::size_t>(k)];
+        dx.at(k) += g * w[k];
+      }
+      for (int k = 0; k < h_size; ++k) {
+        wg[in_size + k] += g * step.h_prev[static_cast<std::size_t>(k)];
+        dh_prev.at(k) += g * w[in_size + k];
+      }
+    }
+
+    grad_inputs[rt] = std::move(dx);
+    dh_next = std::move(dh_prev);
+    // dc_prev = dc * f.
+    for (int u = 0; u < h_size; ++u) dc_next.at(u) = dc.at(u) * step.f.at(u);
+  }
+  steps_.clear();
+  return grad_inputs;
+}
+
+}  // namespace m2ai::nn

@@ -1,0 +1,52 @@
+// Long Short-Term Memory layer (Hochreiter & Schmidhuber 1997), the temporal
+// half of the paper's engine (Sec. IV-B.2): gates i/f/o control overwrite,
+// keep, and retrieval of the memory cell c_t; full backpropagation through
+// time. Stacked pairs of these (2 x 32 cells in the paper) encode the CNN
+// features frame by frame.
+#pragma once
+
+#include <vector>
+
+#include "nn/layer.hpp"
+
+namespace m2ai::nn {
+
+class Lstm {
+ public:
+  Lstm(int input_size, int hidden_size, util::Rng& rng);
+
+  // Process a whole sequence from zero initial state; returns the hidden
+  // state h_t per step. With train=true, caches for backward() are kept.
+  std::vector<Tensor> forward(const std::vector<Tensor>& inputs, bool train);
+
+  // BPTT for the most recent forward(). `grad_outputs[t]` is dLoss/dh_t
+  // (zero tensors are fine for steps without loss). Returns dLoss/dx_t and
+  // accumulates parameter gradients.
+  std::vector<Tensor> backward(const std::vector<Tensor>& grad_outputs);
+
+  std::vector<Param*> params() { return {&weight_, &bias_}; }
+  void clear_cache() { steps_.clear(); }
+
+  int input_size() const { return input_size_; }
+  int hidden_size() const { return hidden_size_; }
+
+ private:
+  struct StepCache {
+    Tensor x;       // [I]
+    Tensor h_prev;  // [H]
+    Tensor c_prev;  // [H]
+    Tensor i, f, g, o;  // gate activations, [H] each
+    Tensor c;       // [H]
+    Tensor tanh_c;  // [H]
+  };
+
+  int input_size_;
+  int hidden_size_;
+  // Gate order in the stacked weight: [i; f; g; o], each H rows over (I+H)
+  // inputs ([x; h_prev]).
+  Param weight_;  // [4H, I+H]
+  Param bias_;    // [4H]
+  std::vector<StepCache> steps_;
+};
+
+}  // namespace m2ai::nn

@@ -1,0 +1,57 @@
+#include "nn/optimizer.hpp"
+
+#include <cmath>
+
+namespace m2ai::nn {
+
+double clip_gradient_norm(const std::vector<Param*>& params, double max_norm) {
+  double total = 0.0;
+  for (const Param* p : params) {
+    const double n = p->grad.l2_norm();
+    total += n * n;
+  }
+  total = std::sqrt(total);
+  if (total > max_norm && total > 0.0) {
+    const float scale = static_cast<float>(max_norm / total);
+    for (Param* p : params) p->grad.scale(scale);
+  }
+  return total;
+}
+
+void zero_gradients(const std::vector<Param*>& params) {
+  for (Param* p : params) p->grad.zero();
+}
+
+void Sgd::step(const std::vector<Param*>& params) {
+  for (Param* p : params) {
+    auto [it, inserted] = velocity_.try_emplace(p, Tensor(p->value.shape()));
+    Tensor& vel = it->second;
+    for (std::size_t i = 0; i < p->value.size(); ++i) {
+      float g = p->grad[i] + static_cast<float>(weight_decay_) * p->value[i];
+      vel[i] = static_cast<float>(momentum_) * vel[i] - static_cast<float>(lr_) * g;
+      p->value[i] += vel[i];
+    }
+    p->grad.zero();
+  }
+}
+
+void Adam::step(const std::vector<Param*>& params) {
+  ++t_;
+  const double bc1 = 1.0 - std::pow(beta1_, static_cast<double>(t_));
+  const double bc2 = 1.0 - std::pow(beta2_, static_cast<double>(t_));
+  for (Param* p : params) {
+    Tensor& m = m_.try_emplace(p, Tensor(p->value.shape())).first->second;
+    Tensor& v = v_.try_emplace(p, Tensor(p->value.shape())).first->second;
+    for (std::size_t i = 0; i < p->value.size(); ++i) {
+      const double g = p->grad[i] + weight_decay_ * p->value[i];
+      m[i] = static_cast<float>(beta1_ * m[i] + (1.0 - beta1_) * g);
+      v[i] = static_cast<float>(beta2_ * v[i] + (1.0 - beta2_) * g * g);
+      const double mh = m[i] / bc1;
+      const double vh = v[i] / bc2;
+      p->value[i] -= static_cast<float>(lr_ * mh / (std::sqrt(vh) + eps_));
+    }
+    p->grad.zero();
+  }
+}
+
+}  // namespace m2ai::nn

@@ -1,0 +1,60 @@
+// Optimizers. The paper trains with stochastic gradient descent and scales
+// the gradient norm to combat exploding gradients (Sec. VI-A); Adam is
+// provided as a faster-converging alternative for CPU-budget runs.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "nn/layer.hpp"
+
+namespace m2ai::nn {
+
+// Global-norm gradient clipping: scales all grads so the joint L2 norm is
+// at most `max_norm`. Returns the pre-clip norm.
+double clip_gradient_norm(const std::vector<Param*>& params, double max_norm);
+
+// Zero all accumulated gradients.
+void zero_gradients(const std::vector<Param*>& params);
+
+class Optimizer {
+ public:
+  virtual ~Optimizer() = default;
+  // Apply one update using the accumulated gradients, then zero them.
+  virtual void step(const std::vector<Param*>& params) = 0;
+  // Learning-rate schedule hook.
+  virtual void set_lr(double lr) = 0;
+  virtual double lr() const = 0;
+};
+
+class Sgd : public Optimizer {
+ public:
+  explicit Sgd(double lr, double momentum = 0.9, double weight_decay = 0.0)
+      : lr_(lr), momentum_(momentum), weight_decay_(weight_decay) {}
+  void step(const std::vector<Param*>& params) override;
+  void set_lr(double lr) override { lr_ = lr; }
+  double lr() const override { return lr_; }
+
+ private:
+  double lr_;
+  double momentum_;
+  double weight_decay_;
+  std::map<Param*, Tensor> velocity_;
+};
+
+class Adam : public Optimizer {
+ public:
+  explicit Adam(double lr, double beta1 = 0.9, double beta2 = 0.999,
+                double eps = 1e-8, double weight_decay = 0.0)
+      : lr_(lr), beta1_(beta1), beta2_(beta2), eps_(eps), weight_decay_(weight_decay) {}
+  void step(const std::vector<Param*>& params) override;
+  void set_lr(double lr) override { lr_ = lr; }
+  double lr() const override { return lr_; }
+
+ private:
+  double lr_, beta1_, beta2_, eps_, weight_decay_;
+  long t_ = 0;
+  std::map<Param*, Tensor> m_, v_;
+};
+
+}  // namespace m2ai::nn

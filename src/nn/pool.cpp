@@ -1,0 +1,53 @@
+#include "nn/pool.hpp"
+
+#include <stdexcept>
+
+namespace m2ai::nn {
+
+Tensor MaxPool1d::forward(const Tensor& input, bool train) {
+  if (input.rank() != 2) throw std::invalid_argument("MaxPool1d: expected [C, L]");
+  const int channels = input.dim(0);
+  const int len = input.dim(1);
+  const int out_len = (len - window_) / stride_ + 1;
+  if (out_len < 1) throw std::invalid_argument("MaxPool1d: input shorter than window");
+
+  Tensor y({channels, out_len});
+  Cache cache;
+  cache.in_channels = channels;
+  cache.in_len = len;
+  cache.argmax.resize(static_cast<std::size_t>(channels) * out_len);
+  for (int c = 0; c < channels; ++c) {
+    for (int o = 0; o < out_len; ++o) {
+      int best = o * stride_;
+      float best_v = input.at(c, best);
+      for (int k = 1; k < window_; ++k) {
+        const int pos = o * stride_ + k;
+        if (input.at(c, pos) > best_v) {
+          best_v = input.at(c, pos);
+          best = pos;
+        }
+      }
+      y.at(c, o) = best_v;
+      cache.argmax[static_cast<std::size_t>(c) * out_len + o] = best;
+    }
+  }
+  if (train) cache_.push_back(std::move(cache));
+  return y;
+}
+
+Tensor MaxPool1d::backward(const Tensor& grad_output) {
+  if (cache_.empty()) throw std::logic_error("MaxPool1d::backward: no cached forward");
+  const Cache cache = std::move(cache_.back());
+  cache_.pop_back();
+  const int out_len = grad_output.dim(1);
+  Tensor grad_in({cache.in_channels, cache.in_len});
+  for (int c = 0; c < cache.in_channels; ++c) {
+    for (int o = 0; o < out_len; ++o) {
+      grad_in.at(c, cache.argmax[static_cast<std::size_t>(c) * out_len + o]) +=
+          grad_output.at(c, o);
+    }
+  }
+  return grad_in;
+}
+
+}  // namespace m2ai::nn

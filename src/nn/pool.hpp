@@ -1,0 +1,31 @@
+// 1-D max pooling over the length axis of a [C, L] frame.
+#pragma once
+
+#include <deque>
+
+#include "nn/layer.hpp"
+
+namespace m2ai::nn {
+
+class MaxPool1d : public Layer {
+ public:
+  explicit MaxPool1d(int window, int stride = -1)
+      : window_(window), stride_(stride > 0 ? stride : window) {}
+
+  Tensor forward(const Tensor& input, bool train) override;
+  Tensor backward(const Tensor& grad_output) override;
+  void clear_cache() override { cache_.clear(); }
+  std::string name() const override { return "MaxPool1d"; }
+
+ private:
+  struct Cache {
+    std::vector<int> argmax;  // flat index per output element
+    int in_channels = 0;
+    int in_len = 0;
+  };
+  int window_;
+  int stride_;
+  std::deque<Cache> cache_;
+};
+
+}  // namespace m2ai::nn

@@ -1,0 +1,2 @@
+// Sequential is header-only; this translation unit anchors it in the build.
+#include "nn/sequential.hpp"

@@ -1,0 +1,59 @@
+// A simple layer stack with the same LIFO cache discipline as Layer, so a
+// Sequential can itself be applied once per time step with shared weights.
+#pragma once
+
+#include <memory>
+
+#include "nn/layer.hpp"
+
+namespace m2ai::nn {
+
+class Sequential : public Layer {
+ public:
+  Sequential() = default;
+
+  Sequential& add(std::unique_ptr<Layer> layer) {
+    layers_.push_back(std::move(layer));
+    return *this;
+  }
+
+  template <typename L, typename... Args>
+  Sequential& emplace(Args&&... args) {
+    layers_.push_back(std::make_unique<L>(std::forward<Args>(args)...));
+    return *this;
+  }
+
+  Tensor forward(const Tensor& input, bool train) override {
+    Tensor x = input;
+    for (auto& layer : layers_) x = layer->forward(x, train);
+    return x;
+  }
+
+  Tensor backward(const Tensor& grad_output) override {
+    Tensor g = grad_output;
+    for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) {
+      g = (*it)->backward(g);
+    }
+    return g;
+  }
+
+  std::vector<Param*> params() override {
+    std::vector<Param*> out;
+    for (auto& layer : layers_) {
+      for (Param* p : layer->params()) out.push_back(p);
+    }
+    return out;
+  }
+
+  void clear_cache() override {
+    for (auto& layer : layers_) layer->clear_cache();
+  }
+
+  std::string name() const override { return "Sequential"; }
+  std::size_t num_layers() const { return layers_.size(); }
+
+ private:
+  std::vector<std::unique_ptr<Layer>> layers_;
+};
+
+}  // namespace m2ai::nn

@@ -1,0 +1,83 @@
+#include "nn/serialize.hpp"
+
+#include <cstdint>
+#include <fstream>
+#include <stdexcept>
+
+#include "util/log.hpp"
+
+namespace m2ai::nn {
+
+namespace {
+constexpr std::uint32_t kMagic = 0x4d324149;  // "M2AI"
+constexpr std::uint32_t kVersion = 1;
+
+void write_u32(std::ostream& out, std::uint32_t v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+std::uint32_t read_u32(std::istream& in) {
+  std::uint32_t v = 0;
+  in.read(reinterpret_cast<char*>(&v), sizeof(v));
+  if (!in) throw std::runtime_error("load_params: truncated file");
+  return v;
+}
+
+void write_string(std::ostream& out, const std::string& s) {
+  write_u32(out, static_cast<std::uint32_t>(s.size()));
+  out.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+std::string read_string(std::istream& in) {
+  const std::uint32_t len = read_u32(in);
+  std::string s(len, '\0');
+  in.read(s.data(), static_cast<std::streamsize>(len));
+  if (!in) throw std::runtime_error("load_params: truncated file");
+  return s;
+}
+}  // namespace
+
+void save_params(const std::string& path, const std::vector<Param*>& params) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("save_params: cannot open " + path);
+  write_u32(out, kMagic);
+  write_u32(out, kVersion);
+  write_u32(out, static_cast<std::uint32_t>(params.size()));
+  for (const Param* p : params) {
+    write_string(out, p->name);
+    write_u32(out, static_cast<std::uint32_t>(p->value.shape().size()));
+    for (int d : p->value.shape()) write_u32(out, static_cast<std::uint32_t>(d));
+    out.write(reinterpret_cast<const char*>(p->value.data()),
+              static_cast<std::streamsize>(p->value.size() * sizeof(float)));
+  }
+  if (!out) throw std::runtime_error("save_params: write failed for " + path);
+}
+
+void load_params(const std::string& path, const std::vector<Param*>& params) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("load_params: cannot open " + path);
+  if (read_u32(in) != kMagic) throw std::runtime_error("load_params: bad magic");
+  if (read_u32(in) != kVersion) throw std::runtime_error("load_params: bad version");
+  const std::uint32_t count = read_u32(in);
+  if (count != params.size()) {
+    throw std::runtime_error("load_params: parameter count mismatch");
+  }
+  for (Param* p : params) {
+    const std::string name = read_string(in);
+    if (name != p->name) {
+      util::log_warn() << "load_params: name mismatch (" << name << " vs " << p->name
+                       << "), shapes control";
+    }
+    const std::uint32_t rank = read_u32(in);
+    std::vector<int> shape(rank);
+    for (auto& d : shape) d = static_cast<int>(read_u32(in));
+    if (shape != p->value.shape()) {
+      throw std::runtime_error("load_params: shape mismatch for " + p->name);
+    }
+    in.read(reinterpret_cast<char*>(p->value.data()),
+            static_cast<std::streamsize>(p->value.size() * sizeof(float)));
+    if (!in) throw std::runtime_error("load_params: truncated tensor data");
+  }
+}
+
+}  // namespace m2ai::nn

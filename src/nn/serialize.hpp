@@ -1,0 +1,21 @@
+// Binary checkpointing of model parameters: a tagged stream of named
+// tensors, validated on load against the live parameter set (name, shape).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "nn/layer.hpp"
+
+namespace m2ai::nn {
+
+// Write all parameter values to `path`. Throws on I/O failure.
+void save_params(const std::string& path, const std::vector<Param*>& params);
+
+// Load values into the given parameters. The file must contain the same
+// number of tensors with matching shapes, in order. Names are advisory
+// (logged on mismatch but not fatal: two models built identically may label
+// layers differently).
+void load_params(const std::string& path, const std::vector<Param*>& params);
+
+}  // namespace m2ai::nn

@@ -1,0 +1,20 @@
+// Softmax probabilities and the cross-entropy objective (Eq. 17).
+#pragma once
+
+#include "nn/tensor.hpp"
+
+namespace m2ai::nn {
+
+// Numerically stable softmax of a rank-1 logits tensor.
+Tensor softmax(const Tensor& logits);
+
+struct LossAndGrad {
+  double loss = 0.0;   // -log p(label)
+  Tensor grad_logits;  // d loss / d logits = p - onehot(label)
+  int predicted = 0;   // argmax class
+};
+
+// Cross-entropy of softmax(logits) against an integer label.
+LossAndGrad softmax_cross_entropy(const Tensor& logits, int label);
+
+}  // namespace m2ai::nn

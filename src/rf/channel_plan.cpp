@@ -1,0 +1,46 @@
+#include "rf/channel_plan.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace m2ai::rf {
+
+double channel_frequency_hz(int ch) {
+  return kBandLowHz + kBandStepHz * static_cast<double>(ch);
+}
+
+double channel_wavelength_m(int ch) {
+  return kSpeedOfLight / channel_frequency_hz(ch);
+}
+
+int nearest_channel(double freq_hz) {
+  const double raw = (freq_hz - kBandLowHz) / kBandStepHz;
+  const int ch = static_cast<int>(std::lround(raw));
+  return std::clamp(ch, 0, kNumChannels - 1);
+}
+
+int common_channel() { return nearest_channel(kCommonFrequencyHz); }
+
+HopSequence::HopSequence(util::Rng rng) : rng_(rng), base_seed_(rng_.next_u64()) {}
+
+long HopSequence::hop_index(double t_sec) const {
+  return static_cast<long>(std::floor(t_sec / kDwellTimeSec));
+}
+
+std::vector<int> HopSequence::cycle_order(long cycle) const {
+  std::vector<int> order(kNumChannels);
+  std::iota(order.begin(), order.end(), 0);
+  util::Rng cycle_rng(base_seed_ ^ (0x5851f42d4c957f2dULL * static_cast<std::uint64_t>(cycle + 1)));
+  cycle_rng.shuffle(order);
+  return order;
+}
+
+int HopSequence::channel_at(double t_sec) const {
+  const long hop = hop_index(t_sec);
+  const long cycle = hop / kNumChannels;
+  const long pos = hop % kNumChannels;
+  return cycle_order(cycle)[static_cast<std::size_t>(pos)];
+}
+
+}  // namespace m2ai::rf

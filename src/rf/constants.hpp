@@ -1,0 +1,35 @@
+// Physical and regulatory constants used throughout the RF substrate.
+#pragma once
+
+namespace m2ai::rf {
+
+// Speed of light (m/s).
+inline constexpr double kSpeedOfLight = 299'792'458.0;
+
+// FCC UHF RFID band (Hz). Readers hop between 902.75 and 927.25 MHz in
+// 500 kHz steps -> 50 channels (Sec. III-A and Sec. V of the paper).
+inline constexpr double kBandLowHz = 902.75e6;
+inline constexpr double kBandStepHz = 0.5e6;
+inline constexpr int kNumChannels = 50;
+
+// Common (reference) frequency all phases are calibrated to (Sec. V).
+inline constexpr double kCommonFrequencyHz = 910.25e6;
+
+// Channel dwell time before the reader hops (Sec. V: 400 ms).
+inline constexpr double kDwellTimeSec = 0.4;
+
+// Inventory duration per antenna port in the TDM antenna array (Sec. V: 25 ms).
+inline constexpr double kAntennaSlotSec = 0.025;
+
+// Wavelength at the common frequency ("the typical wavelength λ is 0.32 m").
+inline constexpr double kTypicalWavelengthM = kSpeedOfLight / kCommonFrequencyHz;
+
+// Antenna pair separation d = λ/8 = 0.04 m (Sec. V "Antennas Settings"):
+// λ/2 for grating-lobe-free AoA, halved once because backscatter phase is
+// round-trip, halved again because the Impinj phase report has a π ambiguity.
+inline constexpr double kAntennaSeparationM = 0.04;
+
+// Number of AoA bins in the pseudospectrum frame (0..179 degrees).
+inline constexpr int kNumAngleBins = 180;
+
+}  // namespace m2ai::rf

@@ -1,0 +1,47 @@
+#include "rf/geometry.hpp"
+
+#include <algorithm>
+
+namespace m2ai::rf {
+
+double distance(Vec2 a, Vec2 b) { return (a - b).norm(); }
+
+Vec2 mirror(Vec2 p, const Wall& wall) {
+  if (wall.vertical) return {2.0 * wall.position - p.x, p.y};
+  return {p.x, 2.0 * wall.position - p.y};
+}
+
+std::optional<Vec2> wall_intersection(Vec2 a, Vec2 b, const Wall& wall) {
+  // Parametrize a + t*(b-a), find t where the fixed coordinate equals the
+  // wall position, then check both the segment range and the wall extent.
+  const double fa = wall.vertical ? a.x : a.y;
+  const double fb = wall.vertical ? b.x : b.y;
+  const double denom = fb - fa;
+  if (std::abs(denom) < 1e-12) return std::nullopt;  // parallel to the wall
+  const double t = (wall.position - fa) / denom;
+  if (t < 0.0 || t > 1.0) return std::nullopt;
+  const Vec2 hit = a + (b - a) * t;
+  const double free = wall.vertical ? hit.y : hit.x;
+  if (free < wall.lo || free > wall.hi) return std::nullopt;
+  return hit;
+}
+
+double point_segment_distance(Vec2 p, Vec2 a, Vec2 b) {
+  const Vec2 ab = b - a;
+  const double len2 = ab.norm2();
+  if (len2 <= 0.0) return distance(p, a);
+  const double t = std::clamp((p - a).dot(ab) / len2, 0.0, 1.0);
+  return distance(p, a + ab * t);
+}
+
+bool segment_hits_circle(Vec2 a, Vec2 b, Vec2 center, double radius) {
+  return point_segment_distance(center, a, b) < radius;
+}
+
+double bearing_deg(Vec2 origin, Vec2 axis, Vec2 p) {
+  const Vec2 d = (p - origin).normalized();
+  const double c = std::clamp(d.dot(axis.normalized()), -1.0, 1.0);
+  return std::acos(c) * 180.0 / M_PI;
+}
+
+}  // namespace m2ai::rf

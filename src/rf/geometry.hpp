@@ -1,0 +1,60 @@
+// 2-D geometry used by the propagation model. The antenna array is
+// horizontal, so AoA lives in the horizontal plane; heights enter only as a
+// fixed contribution folded into path lengths by the caller.
+#pragma once
+
+#include <cmath>
+#include <optional>
+#include <vector>
+
+namespace m2ai::rf {
+
+struct Vec2 {
+  double x = 0.0;
+  double y = 0.0;
+
+  Vec2 operator+(Vec2 o) const { return {x + o.x, y + o.y}; }
+  Vec2 operator-(Vec2 o) const { return {x - o.x, y - o.y}; }
+  Vec2 operator*(double s) const { return {x * s, y * s}; }
+  double dot(Vec2 o) const { return x * o.x + y * o.y; }
+  double norm() const { return std::sqrt(x * x + y * y); }
+  double norm2() const { return x * x + y * y; }
+  Vec2 normalized() const {
+    const double n = norm();
+    return n > 0.0 ? Vec2{x / n, y / n} : Vec2{0.0, 0.0};
+  }
+};
+
+inline Vec2 operator*(double s, Vec2 v) { return v * s; }
+
+double distance(Vec2 a, Vec2 b);
+
+// An axis-aligned wall segment, described by which coordinate is fixed.
+struct Wall {
+  bool vertical = false;  // vertical wall: fixed x; horizontal wall: fixed y
+  double position = 0.0;  // the fixed coordinate
+  double lo = 0.0;        // extent along the free coordinate
+  double hi = 0.0;
+  double reflection_loss_db = 6.0;  // attenuation added on specular reflection
+};
+
+// Mirror image of point `p` across the (infinite line through the) wall.
+Vec2 mirror(Vec2 p, const Wall& wall);
+
+// Point where segment a->b crosses the wall's line, if the crossing lies
+// within both the segment and the wall's extent.
+std::optional<Vec2> wall_intersection(Vec2 a, Vec2 b, const Wall& wall);
+
+// Shortest distance from point `p` to segment a->b.
+double point_segment_distance(Vec2 p, Vec2 a, Vec2 b);
+
+// True if the segment a->b passes within `radius` of `center`, excluding
+// endpoints that ARE the obstacle (caller filters those).
+bool segment_hits_circle(Vec2 a, Vec2 b, Vec2 center, double radius);
+
+// Angle of point `p` as seen from `origin`, measured in degrees in [0, 180]
+// against the array axis direction `axis` (unit vector): the AoA convention
+// of a uniform linear array (broadside = 90 degrees).
+double bearing_deg(Vec2 origin, Vec2 axis, Vec2 p);
+
+}  // namespace m2ai::rf

@@ -1,0 +1,26 @@
+#include "rf/steering.hpp"
+
+#include <cmath>
+
+namespace m2ai::rf {
+
+std::vector<cdouble> steering_vector(double theta_deg, int num_antennas,
+                                     double effective_separation_m,
+                                     double wavelength_m) {
+  std::vector<cdouble> a(static_cast<std::size_t>(num_antennas));
+  const double phi = 2.0 * M_PI * effective_separation_m / wavelength_m *
+                     std::cos(theta_deg * M_PI / 180.0);
+  // Element n sits at +n*d along the array axis, so a wave from angle theta
+  // (measured from the axis) arrives EARLIER at higher-index elements:
+  // phase +n * 2*pi*(d_eff/lambda)*cos(theta).
+  for (int n = 0; n < num_antennas; ++n) {
+    a[static_cast<std::size_t>(n)] = std::polar(1.0, phi * static_cast<double>(n));
+  }
+  return a;
+}
+
+double effective_separation(double physical_separation_m) {
+  return 2.0 * physical_separation_m;
+}
+
+}  // namespace m2ai::rf

@@ -1,0 +1,33 @@
+// Uniform-linear-array (ULA) steering vectors (Eq. 8 of the paper).
+//
+// Convention: element n (n = 0..N-1) sits at +n*d_eff along the array axis;
+// a plane wave from angle theta (degrees, 0..180 measured from the axis,
+// broadside = 90) arrives earlier at higher-index elements, so the response
+// is exp(+j * 2*pi * n * (d_eff / lambda) * cos(theta)).
+//
+// `d_eff` is the EFFECTIVE element separation seen by the phase data fed to
+// the estimator. Backscatter phases are round trip, so a physical spacing d
+// gives d_eff = 2*d; the paper's d = lambda/8 keeps the round-trip aperture
+// at lambda/4, i.e. inter-element increments within [-pi/2, pi/2] — immune
+// to the reader's half-cycle (pi) reporting offset, which is constant per
+// channel and removed by Eq. 1 calibration (see DESIGN.md).
+#pragma once
+
+#include <complex>
+#include <vector>
+
+namespace m2ai::rf {
+
+using cdouble = std::complex<double>;
+
+// Steering vector a(theta) for an N-element ULA.
+std::vector<cdouble> steering_vector(double theta_deg, int num_antennas,
+                                     double effective_separation_m,
+                                     double wavelength_m);
+
+// Effective separation produced by the round-trip backscatter channel plus
+// the phase doubling used to cancel the reader's pi ambiguity:
+// one-way physical d -> 2d (round trip) -> 4d (doubling).
+double effective_separation(double physical_separation_m);
+
+}  // namespace m2ai::rf

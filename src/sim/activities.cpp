@@ -1,0 +1,157 @@
+#include "sim/activities.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace m2ai::sim {
+
+namespace {
+
+// Scripted motion for one actor slot of a scenario.
+struct ActorScript {
+  MotionSpec motion;
+};
+
+// Up to three actor slots per scenario (slot 2 reuses slot 0's script with
+// fresh randomization when only two are scripted).
+struct Script {
+  ActivityScenario meta;
+  std::vector<ActorScript> actors;
+};
+
+MotionSpec spec(GaitType g, double gf, double ga, TorsoType t, double tf,
+                LimbType l, double lf) {
+  MotionSpec m;
+  m.gait = g;
+  m.gait_freq_hz = gf;
+  m.gait_amplitude_m = ga;
+  m.torso = t;
+  m.torso_freq_hz = tf;
+  m.limb = l;
+  m.limb_freq_hz = lf;
+  return m;
+}
+
+const std::vector<Script>& scripts() {
+  static const std::vector<Script> kScripts = [] {
+    std::vector<Script> s;
+    auto add = [&s](std::string desc, MotionSpec a, MotionSpec b) {
+      Script sc;
+      sc.meta.id = static_cast<int>(s.size()) + 1;
+      char label[16];
+      std::snprintf(label, sizeof(label), "A_%02d", sc.meta.id);
+      sc.meta.label = label;
+      sc.meta.description = std::move(desc);
+      sc.actors = {{a}, {b}};
+      s.push_back(std::move(sc));
+    };
+
+    // A_01: both stand in place and wave.
+    add("both wave while standing",
+        spec(GaitType::kStand, 0.25, 1.0, TorsoType::kNone, 0.5, LimbType::kWave, 1.0),
+        spec(GaitType::kStand, 0.25, 1.0, TorsoType::kNone, 0.5, LimbType::kWave, 0.85));
+    // A_02: one paces toward/away from the reader, the other stands still.
+    add("one paces to/from reader, one stands",
+        spec(GaitType::kWalkLine, 0.22, 1.1, TorsoType::kNone, 0.5, LimbType::kSwingArms, 0.7),
+        spec(GaitType::kStand, 0.25, 1.0, TorsoType::kNone, 0.5, LimbType::kNone, 1.0));
+    // A_03: both walk parallel lateral lines (crossing in front of the array).
+    add("both pace laterally",
+        spec(GaitType::kWalkLateral, 0.20, 1.2, TorsoType::kNone, 0.5, LimbType::kSwingArms, 0.6),
+        spec(GaitType::kWalkLateral, 0.24, 1.0, TorsoType::kNone, 0.5, LimbType::kSwingArms, 1.0));
+    // A_04: one squats repeatedly, the other stands and waves.
+    add("one squats, one waves",
+        spec(GaitType::kStand, 0.25, 1.0, TorsoType::kSquat, 0.35, LimbType::kNone, 1.0),
+        spec(GaitType::kStand, 0.25, 1.0, TorsoType::kNone, 0.5, LimbType::kWave, 1.0));
+    // A_05: one orbits the other (periodic body occlusion of paths).
+    add("one circles around the other",
+        spec(GaitType::kWalkCircle, 0.14, 1.0, TorsoType::kNone, 0.5, LimbType::kNone, 1.0),
+        spec(GaitType::kStand, 0.25, 1.0, TorsoType::kNone, 0.5, LimbType::kNone, 1.0));
+    // A_06: both jump in place.
+    add("both jump",
+        spec(GaitType::kStand, 0.25, 1.0, TorsoType::kJump, 0.6, LimbType::kNone, 1.0),
+        spec(GaitType::kStand, 0.25, 1.0, TorsoType::kJump, 0.7, LimbType::kNone, 1.0));
+    // A_07: push-pull interaction: one pushes toward the other, who bends away.
+    add("one pushes, one leans away",
+        spec(GaitType::kStand, 0.25, 1.0, TorsoType::kNone, 0.5, LimbType::kPushPull, 1.1),
+        spec(GaitType::kStand, 0.25, 1.0, TorsoType::kBend, 0.5, LimbType::kNone, 1.0));
+    // A_08: one sits down and stays seated, the other paces.
+    add("one sits down, one paces",
+        spec(GaitType::kSitDown, 0.25, 1.0, TorsoType::kNone, 0.5, LimbType::kNone, 1.0),
+        spec(GaitType::kWalkLine, 0.20, 1.0, TorsoType::kNone, 0.5, LimbType::kSwingArms, 0.7));
+    // A_09: both exercise with alternating arm swings (march in place).
+    add("both swing arms (march)",
+        spec(GaitType::kStand, 0.25, 1.0, TorsoType::kNone, 0.5, LimbType::kSwingArms, 1.0),
+        spec(GaitType::kStand, 0.25, 1.0, TorsoType::kNone, 0.5, LimbType::kSwingArms, 1.15));
+    // A_10: one repeatedly bends to pick something up, the other circles.
+    add("one bends to pick up, one circles",
+        spec(GaitType::kStand, 0.25, 1.0, TorsoType::kBend, 0.4, LimbType::kNone, 1.0),
+        spec(GaitType::kWalkCircle, 0.16, 0.9, TorsoType::kNone, 0.5, LimbType::kNone, 1.0));
+    // A_11: one turns in place, the other does push-pull reaching.
+    add("one spins in place, one reaches",
+        spec(GaitType::kStand, 0.25, 1.0, TorsoType::kTurn, 0.30, LimbType::kNone, 1.0),
+        spec(GaitType::kStand, 0.25, 1.0, TorsoType::kNone, 0.5, LimbType::kPushPull, 0.9));
+    // A_12: one paces while waving, the other raises/lowers a hand.
+    add("one paces and waves, one raises hand",
+        spec(GaitType::kWalkLine, 0.20, 0.9, TorsoType::kNone, 0.5, LimbType::kWave, 1.0),
+        spec(GaitType::kStand, 0.25, 1.0, TorsoType::kNone, 0.5, LimbType::kRaiseLower, 0.5));
+    return s;
+  }();
+  return kScripts;
+}
+
+}  // namespace
+
+const std::vector<ActivityScenario>& activity_catalog() {
+  static const std::vector<ActivityScenario> kCatalog = [] {
+    std::vector<ActivityScenario> c;
+    for (const Script& s : scripts()) c.push_back(s.meta);
+    return c;
+  }();
+  return kCatalog;
+}
+
+int num_activities() { return static_cast<int>(activity_catalog().size()); }
+
+std::vector<Person> instantiate_activity(int activity_id, int num_persons,
+                                         const Environment& env,
+                                         rf::Vec2 array_front,
+                                         const PlacementOptions& placement,
+                                         util::Rng& rng) {
+  if (activity_id < 1 || activity_id > num_activities()) {
+    throw std::out_of_range("instantiate_activity: bad activity id");
+  }
+  if (num_persons < 1 || num_persons > 3) {
+    throw std::out_of_range("instantiate_activity: 1..3 persons supported");
+  }
+  const Script& script = scripts()[static_cast<std::size_t>(activity_id - 1)];
+
+  std::vector<Person> persons;
+  persons.reserve(static_cast<std::size_t>(num_persons));
+  for (int i = 0; i < num_persons; ++i) {
+    const ActorScript& actor =
+        script.actors[static_cast<std::size_t>(i) % script.actors.size()];
+    BodyParams body = BodyParams::random_volunteer(rng);
+
+    // Place actors on a lateral line `distance_m` in front of the array,
+    // facing it, with jittered spacing; keep them inside the room.
+    const double jitter_d = placement.jitter ? rng.uniform(-0.15, 0.15) : 0.0;
+    const double jitter_l = placement.jitter ? rng.uniform(-0.12, 0.12) : 0.0;
+    const double lateral =
+        (static_cast<double>(i) - 0.5 * static_cast<double>(num_persons - 1)) *
+            placement.lateral_spread_m +
+        jitter_l;
+    rf::Vec2 start{array_front.x + lateral,
+                   array_front.y + placement.distance_m * (1.0 + jitter_d * 0.25)};
+    start.x = std::clamp(start.x, 0.6, env.width - 0.6);
+    start.y = std::clamp(start.y, 0.8, env.depth - 0.6);
+
+    // Face the array (which sits toward -y from the person).
+    const double heading =
+        std::atan2(array_front.y - start.y, array_front.x - start.x);
+    persons.emplace_back(body, start, heading, actor.motion);
+  }
+  return persons;
+}
+
+}  // namespace m2ai::sim

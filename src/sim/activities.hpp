@@ -1,0 +1,47 @@
+// The 12 multi-person activity scenarios of Sec. VI-A (Fig. 8). The paper's
+// sketches are unlabeled, so the catalog below instantiates 12 distinct
+// two-person interaction patterns built from the motion primitives in
+// person.hpp; each run randomizes volunteer body parameters, start poses,
+// and phase offsets, giving realistic intra-class variance.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/environment.hpp"
+#include "sim/person.hpp"
+#include "util/rng.hpp"
+
+namespace m2ai::sim {
+
+struct ActivityScenario {
+  int id = 0;               // 1-based: A_01 .. A_12
+  std::string label;        // "A_01"
+  std::string description;  // human-readable summary
+};
+
+// The fixed 12-scenario catalog.
+const std::vector<ActivityScenario>& activity_catalog();
+int num_activities();
+
+struct PlacementOptions {
+  // Nominal distance from the antenna array to the persons (m). The paper
+  // places volunteers 3-6 m away by default and sweeps 1-4 m in Fig. 13.
+  double distance_m = 4.0;
+  // Lateral spread between persons (m).
+  double lateral_spread_m = 1.4;
+  // Randomize placement within +-30% of the nominal values.
+  bool jitter = true;
+};
+
+// Instantiate persons for `activity_id` (1-based) with `num_persons` actors
+// (1..3). Persons beyond the scenario's scripted pair repeat the pattern
+// with independent randomization. `array_front` is the point on the floor in
+// front of the antenna array toward which persons face.
+std::vector<Person> instantiate_activity(int activity_id, int num_persons,
+                                         const Environment& env,
+                                         rf::Vec2 array_front,
+                                         const PlacementOptions& placement,
+                                         util::Rng& rng);
+
+}  // namespace m2ai::sim

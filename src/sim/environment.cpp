@@ -1,0 +1,52 @@
+#include "sim/environment.hpp"
+
+namespace m2ai::sim {
+
+namespace {
+// Four perimeter walls for a w x d room with the origin at a corner.
+std::vector<rf::Wall> perimeter(double width, double depth, double loss_db) {
+  return {
+      {/*vertical=*/false, /*position=*/0.0, /*lo=*/0.0, /*hi=*/width, loss_db},
+      {/*vertical=*/false, /*position=*/depth, /*lo=*/0.0, /*hi=*/width, loss_db},
+      {/*vertical=*/true, /*position=*/0.0, /*lo=*/0.0, /*hi=*/depth, loss_db},
+      {/*vertical=*/true, /*position=*/width, /*lo=*/0.0, /*hi=*/depth, loss_db},
+  };
+}
+}  // namespace
+
+Environment Environment::laboratory() {
+  Environment env;
+  env.name = "laboratory";
+  env.width = 13.75;
+  env.depth = 10.50;
+  env.walls = perimeter(env.width, env.depth, /*loss_db=*/5.0);
+  // File cabinets and writing desks (Sec. VI-A) scattered through the room.
+  env.scatterers = {
+      {{2.0, 2.5}, 0.35, 9.0},  {{11.5, 2.0}, 0.35, 9.0},
+      {{3.5, 6.0}, 0.40, 10.0}, {{10.0, 6.5}, 0.40, 10.0},
+      {{6.8, 8.5}, 0.45, 11.0}, {{1.5, 8.8}, 0.35, 9.0},
+      {{12.3, 8.2}, 0.35, 9.0}, {{7.2, 3.2}, 0.30, 12.0},
+  };
+  return env;
+}
+
+Environment Environment::hall() {
+  Environment env;
+  env.name = "hall";
+  env.width = 8.75;
+  env.depth = 7.50;
+  // Bare walls only; slightly more reflective (hard surfaces) but no clutter.
+  env.walls = perimeter(env.width, env.depth, /*loss_db=*/4.0);
+  env.scatterers = {};
+  return env;
+}
+
+Environment Environment::open_space(double width, double depth) {
+  Environment env;
+  env.name = "open-space";
+  env.width = width;
+  env.depth = depth;
+  return env;
+}
+
+}  // namespace m2ai::sim

@@ -1,0 +1,36 @@
+// Indoor environments: room geometry, reflective walls, and furniture
+// scatterers. Two presets mirror the paper's testbeds (Sec. VI-A): a
+// 13.75 m x 10.50 m laboratory dense with cabinets/desks (high multipath)
+// and an 8.75 m x 7.50 m empty hall (low multipath).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "rf/geometry.hpp"
+
+namespace m2ai::sim {
+
+// A furniture-scale scatterer: deflects signals tag -> scatterer -> antenna.
+struct Scatterer {
+  rf::Vec2 position;
+  double radius = 0.3;          // occlusion radius (m)
+  double scatter_loss_db = 10.0;  // extra loss on the deflected path
+};
+
+struct Environment {
+  std::string name;
+  double width = 10.0;   // x extent (m); the antenna array sits on y = 0 side
+  double depth = 8.0;    // y extent (m)
+  std::vector<rf::Wall> walls;
+  std::vector<Scatterer> scatterers;
+
+  // Paper's high-multipath laboratory.
+  static Environment laboratory();
+  // Paper's low-multipath empty hall.
+  static Environment hall();
+  // Free space: no walls, no scatterers (useful in unit tests).
+  static Environment open_space(double width = 20.0, double depth = 20.0);
+};
+
+}  // namespace m2ai::sim

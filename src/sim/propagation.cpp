@@ -1,0 +1,116 @@
+#include "sim/propagation.hpp"
+
+#include <cmath>
+
+namespace m2ai::sim {
+
+namespace {
+
+// Free-space one-way amplitude gain at distance L (Friis, amplitude form),
+// normalized so gain(1 m) = 1.
+double friis_gain(double length_m) { return 1.0 / std::max(length_m, 0.5); }
+
+double db_to_amplitude(double loss_db) { return std::pow(10.0, -loss_db / 20.0); }
+
+// 3-D length of a path whose 2-D ground projection has length `ground_m`
+// and whose endpoints differ in height by `dz`.
+double path_length_3d(double ground_m, double dz) {
+  return std::sqrt(ground_m * ground_m + dz * dz);
+}
+
+}  // namespace
+
+PropagationModel::PropagationModel(const Environment& env, PropagationOptions options)
+    : env_(env), options_(options) {}
+
+int PropagationModel::count_blockers(rf::Vec2 a, rf::Vec2 b,
+                                     const std::vector<BodyDisk>& bodies,
+                                     int skip_person_near_a) const {
+  int blockers = 0;
+  for (const BodyDisk& body : bodies) {
+    // Never let the wearer's own cylinder block the segment right at the
+    // tag: the tag sits on the body surface.
+    if (body.person_index == skip_person_near_a &&
+        rf::distance(a, body.center) < body.radius + 0.15) {
+      continue;
+    }
+    if (rf::segment_hits_circle(a, b, body.center, body.radius)) ++blockers;
+  }
+  return blockers;
+}
+
+std::vector<PathContribution> PropagationModel::paths(
+    const Vec3& tag, const Vec3& antenna, const std::vector<BodyDisk>& bodies,
+    int owner_index, rf::Vec2 array_origin, rf::Vec2 array_axis) const {
+  const rf::Vec2 tag2{tag.x, tag.y};
+  const rf::Vec2 ant2{antenna.x, antenna.y};
+  const double dz = tag.z - antenna.z;
+
+  std::vector<PathContribution> out;
+  const double floor_gain = options_.min_relative_gain;
+
+  auto push = [&](PathKind kind, double ground_len, double extra_loss_db,
+                  rf::Vec2 arrival_from, int blockers) {
+    const double len = path_length_3d(ground_len, dz);
+    double gain = friis_gain(len) * db_to_amplitude(extra_loss_db);
+    gain *= db_to_amplitude(options_.body_loss_db * blockers);
+    if (gain < floor_gain) return;
+    PathContribution p;
+    p.kind = kind;
+    p.length_m = len;
+    p.gain = gain;
+    p.aoa_deg = rf::bearing_deg(array_origin, array_axis, arrival_from);
+    p.blocked_by = blockers;
+    out.push_back(p);
+  };
+
+  // Direct path.
+  {
+    const int blockers = count_blockers(tag2, ant2, bodies, owner_index);
+    push(PathKind::kDirect, rf::distance(tag2, ant2), 0.0, tag2, blockers);
+  }
+
+  // First-order wall reflections: mirror the tag across each wall; the ray
+  // antenna -> image crosses the wall at the specular point.
+  if (options_.enable_wall_reflections) {
+    for (const rf::Wall& wall : env_.walls) {
+      const rf::Vec2 image = rf::mirror(tag2, wall);
+      const auto hit = rf::wall_intersection(ant2, image, wall);
+      if (!hit) continue;
+      // Occlusion on both legs: tag -> wall point, wall point -> antenna.
+      const int blockers = count_blockers(tag2, *hit, bodies, owner_index) +
+                           count_blockers(*hit, ant2, bodies, -1);
+      const double ground = rf::distance(tag2, *hit) + rf::distance(*hit, ant2);
+      // The reflected wave arrives from the direction of the specular point.
+      push(PathKind::kWallReflection, ground, wall.reflection_loss_db, *hit,
+           blockers);
+    }
+  }
+
+  // Scatterer deflections.
+  if (options_.enable_scatterers) {
+    for (const Scatterer& sc : env_.scatterers) {
+      const int blockers =
+          count_blockers(tag2, sc.position, bodies, owner_index) +
+          count_blockers(sc.position, ant2, bodies, -1);
+      const double ground =
+          rf::distance(tag2, sc.position) + rf::distance(sc.position, ant2);
+      push(PathKind::kScatterer, ground, sc.scatter_loss_db, sc.position, blockers);
+    }
+  }
+
+  return out;
+}
+
+std::complex<double> PropagationModel::channel(
+    const std::vector<PathContribution>& paths, double wavelength_m) const {
+  std::complex<double> h{0.0, 0.0};
+  for (const PathContribution& p : paths) {
+    // Round-trip phase along the ray's own path (see header).
+    const double phase = -2.0 * M_PI * (2.0 * p.length_m) / wavelength_m;
+    h += p.gain * std::polar(1.0, phase);
+  }
+  return h;
+}
+
+}  // namespace m2ai::sim

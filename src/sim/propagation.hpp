@@ -1,0 +1,87 @@
+// Multipath propagation between a tag and a reader antenna.
+//
+// Paths modelled per (tag, antenna) pair:
+//   * the direct (line-of-sight) path;
+//   * first-order specular reflections off each wall (image method);
+//   * deflections via furniture scatterers (tag -> scatterer -> antenna).
+//
+// Any path segment passing through a person's body cylinder is attenuated
+// (body occlusion), which is exactly the Fig. 2(b) effect: a moving person
+// blocks a path, lowering its peak and perturbing the others.
+//
+// Following the paper's own signal model (Sec. III-B treats the tag as a
+// narrowband source with per-path one-way geometry, phases counted round
+// trip), the channel for antenna n is
+//     h_n = sum_p g_p * exp(-j * 2*pi * (2 * L_p) / lambda),
+// i.e. each ray carries the round-trip phase of its own path. Cross-path
+// forward/backward products of a full monostatic model are second-order and
+// omitted, matching Eqs. 3-6 of the paper (see DESIGN.md).
+#pragma once
+
+#include <complex>
+#include <vector>
+
+#include "rf/geometry.hpp"
+#include "sim/environment.hpp"
+#include "sim/person.hpp"
+
+namespace m2ai::sim {
+
+enum class PathKind { kDirect, kWallReflection, kScatterer };
+
+struct PathContribution {
+  PathKind kind = PathKind::kDirect;
+  double length_m = 0.0;    // one-way 3-D path length
+  double gain = 0.0;        // linear amplitude gain (includes occlusion)
+  double aoa_deg = 0.0;     // arrival angle at the array (ground truth)
+  int blocked_by = 0;       // number of body cylinders intersected
+};
+
+// Snapshot of every body cylinder in the scene at one instant.
+struct BodyDisk {
+  rf::Vec2 center;
+  double radius = 0.0;
+  int person_index = -1;
+};
+
+struct PropagationOptions {
+  // Extra attenuation per intersected body cylinder (dB). ~10 dB is typical
+  // for a human torso at 900 MHz.
+  double body_loss_db = 11.0;
+  // Paths weaker than this fraction of the direct free-space gain at 1 m
+  // are dropped.
+  double min_relative_gain = 1e-4;
+  bool enable_wall_reflections = true;
+  bool enable_scatterers = true;
+};
+
+class PropagationModel {
+ public:
+  PropagationModel(const Environment& env, PropagationOptions options = {});
+
+  // All propagation paths from `tag` to `antenna` given the current body
+  // disks. `owner_index` is the person wearing the tag: their own cylinder
+  // never occludes the segment end at the tag (the tag sits on their body),
+  // but can still occlude scatterer legs on the far side.
+  std::vector<PathContribution> paths(const Vec3& tag, const Vec3& antenna,
+                                      const std::vector<BodyDisk>& bodies,
+                                      int owner_index,
+                                      rf::Vec2 array_origin,
+                                      rf::Vec2 array_axis) const;
+
+  // Complex one-way-summed channel with round-trip phases at `wavelength`.
+  std::complex<double> channel(const std::vector<PathContribution>& paths,
+                               double wavelength_m) const;
+
+  const Environment& environment() const { return env_; }
+  const PropagationOptions& options() const { return options_; }
+
+ private:
+  int count_blockers(rf::Vec2 a, rf::Vec2 b, const std::vector<BodyDisk>& bodies,
+                     int skip_person_near_a) const;
+
+  Environment env_;
+  PropagationOptions options_;
+};
+
+}  // namespace m2ai::sim

@@ -1,0 +1,142 @@
+#include "sim/reader.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "dsp/phase.hpp"
+#include "rf/constants.hpp"
+
+namespace m2ai::sim {
+
+Reader::Reader(ReaderConfig config, int num_antennas, int max_tags, util::Rng rng)
+    : config_(config), num_antennas_(num_antennas), hops_(rng.fork()), rng_(rng.fork()) {
+  if (num_antennas < 1) throw std::invalid_argument("Reader: need >= 1 antenna");
+  // Draw the fixed hardware phase response per (tag, antenna): a linear
+  // slope over frequency plus a small per-channel ripple (Fig. 3).
+  util::Rng hw = rng.fork();
+  offsets_.resize(static_cast<std::size_t>(max_tags));
+  for (auto& per_tag : offsets_) {
+    // Slope and intercept are properties of the tag's antenna response and
+    // the reader oscillator, shared across the reader's (cable-matched)
+    // ports; per-port mismatch is a small residual. Keeping the large terms
+    // common across antennas preserves the inter-antenna coherence that AoA
+    // estimation relies on — matching a calibrated commercial array.
+    const double slope = hw.uniform(config_.offset_slope_min_rad_per_mhz,
+                                    config_.offset_slope_max_rad_per_mhz) *
+                         (hw.bernoulli(0.5) ? 1.0 : -1.0);
+    const double intercept = hw.uniform(0.0, 2.0 * M_PI);
+    per_tag.resize(static_cast<std::size_t>(num_antennas));
+    for (auto& per_ant : per_tag) {
+      const double port_mismatch = hw.normal(0.0, 0.05);
+      per_ant.resize(rf::kNumChannels);
+      for (int ch = 0; ch < rf::kNumChannels; ++ch) {
+        const double df_mhz =
+            (rf::channel_frequency_hz(ch) - rf::kCommonFrequencyHz) / 1e6;
+        // The reader's pi ambiguity is a per-channel half-cycle offset fixed
+        // for the session (Wei & Zhang, MobiCom'16); as a constant it folds
+        // into the hardware offset and is removed by Eq. 1 calibration.
+        const double half_cycle =
+            (config_.pi_ambiguity && hw.bernoulli(0.5)) ? M_PI : 0.0;
+        per_ant[static_cast<std::size_t>(ch)] =
+            dsp::wrap_2pi(slope * df_mhz + intercept + half_cycle + port_mismatch +
+                          hw.normal(0.0, config_.offset_ripple_std_rad));
+      }
+    }
+  }
+}
+
+int Reader::channel_at(double t_sec) const {
+  return config_.hopping ? hops_.channel_at(t_sec) : rf::common_channel();
+}
+
+int Reader::antenna_at(double t_sec) const {
+  const long slot = static_cast<long>(std::floor(t_sec / config_.slot_sec));
+  return static_cast<int>(slot % num_antennas_);
+}
+
+double Reader::hardware_offset(std::uint32_t tag_id, int antenna, int channel) const {
+  return offsets_.at(tag_id - 1)
+      .at(static_cast<std::size_t>(antenna))[static_cast<std::size_t>(channel)];
+}
+
+std::vector<TagReport> Reader::run(const Scene& scene, double t_begin, double t_end) {
+  std::vector<TagReport> reports;
+  const auto& tags = scene.tags();
+  const double slot = config_.slot_sec;
+
+  for (double slot_start = std::floor(t_begin / slot) * slot; slot_start < t_end;
+       slot_start += slot) {
+    const int antenna = antenna_at(slot_start + 1e-9);
+    for (std::size_t ti = 0; ti < tags.size(); ++ti) {
+      for (int read = 0; read < config_.reads_per_tag_per_slot; ++read) {
+        // Reads land at jittered instants inside the slot.
+        const double frac = (static_cast<double>(read) + rng_.uniform(0.1, 0.9)) /
+                            static_cast<double>(config_.reads_per_tag_per_slot);
+        const double t = slot_start + frac * slot;
+        if (t < t_begin || t >= t_end) continue;
+
+        const int channel = channel_at(t);
+        const double lambda = rf::channel_wavelength_m(channel);
+
+        const auto paths = scene.paths_at(ti, antenna, t);
+        if (paths.empty()) continue;
+        const std::complex<double> h = scene.propagation().channel(paths, lambda);
+        const double mag = std::abs(h);
+        if (mag <= 0.0) continue;
+
+        // Weak-signal dropout: below sensitivity the tag cannot harvest
+        // enough energy to respond (Sec. VII: "beyond 6 meters, the RFID tag
+        // may not harvest enough energy").
+        const double power_dbm = config_.rssi_reference_dbm + 20.0 * std::log10(mag);
+        const double margin_db = power_dbm - config_.sensitivity_dbm;
+        if (margin_db < 0.0) {
+          const double p_respond = std::max(0.0, 1.0 + margin_db / 12.0);
+          if (!rng_.bernoulli(p_respond)) continue;
+        }
+
+        double phase = std::arg(h);
+        phase += hardware_offset(tags[ti].id, antenna, channel);
+        phase += rng_.normal(0.0, config_.phase_noise_std_rad);
+        phase = dsp::wrap_2pi(phase);
+
+        double rssi = power_dbm + rng_.normal(0.0, config_.rssi_noise_std_db);
+
+        // Doppler over the read burst: radial velocity of the dominant
+        // (direct) ray via a symmetric finite difference of the channel
+        // phase, f_d = dphi/dt / (2*pi). Deterministic — the estimate's
+        // noise comes from the motion itself at this granularity.
+        double doppler = 0.0;
+        if (config_.report_doppler) {
+          const double dt = 2e-3;  // ~EPC Gen2 read burst duration
+          const auto paths_before = scene.paths_at(ti, antenna, t - dt / 2);
+          const auto paths_after = scene.paths_at(ti, antenna, t + dt / 2);
+          if (!paths_before.empty() && !paths_after.empty()) {
+            const double phi0 =
+                std::arg(scene.propagation().channel(paths_before, lambda));
+            const double phi1 =
+                std::arg(scene.propagation().channel(paths_after, lambda));
+            doppler = dsp::wrap_pi(phi1 - phi0) / dt / (2.0 * M_PI);
+          }
+        }
+
+        if (config_.quantize) {
+          // Impinj reports phase in 1/4096 turn steps, RSSI in 0.5 dB, and
+          // Doppler in 1/16 Hz.
+          const double step = 2.0 * M_PI / 4096.0;
+          phase = std::round(phase / step) * step;
+          rssi = std::round(rssi * 2.0) / 2.0;
+          doppler = std::round(doppler * 16.0) / 16.0;
+        }
+
+        reports.push_back(TagReport{t, tags[ti].id, antenna, channel,
+                                    dsp::wrap_2pi(phase), rssi, doppler});
+      }
+    }
+  }
+  std::sort(reports.begin(), reports.end(),
+            [](const TagReport& a, const TagReport& b) { return a.time_sec < b.time_sec; });
+  return reports;
+}
+
+}  // namespace m2ai::sim

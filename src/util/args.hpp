@@ -1,0 +1,83 @@
+// Minimal command-line flag parser for the tools: --key value and --flag
+// forms, with typed getters and unknown-flag detection.
+#pragma once
+
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace m2ai::util {
+
+class Args {
+ public:
+  // Parses argv[1..]; a token "--name" followed by a non-flag token binds
+  // that value, otherwise it is a boolean flag. Positional arguments are
+  // collected in order.
+  Args(int argc, const char* const* argv) {
+    for (int i = 1; i < argc; ++i) {
+      const std::string token = argv[i];
+      if (token.rfind("--", 0) == 0) {
+        const std::string key = token.substr(2);
+        if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+          values_[key] = argv[++i];
+        } else {
+          values_[key] = "";
+        }
+      } else {
+        positional_.push_back(token);
+      }
+    }
+  }
+
+  bool has(const std::string& key) const { return values_.count(key) > 0; }
+
+  std::string get(const std::string& key, const std::string& fallback) const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? fallback : it->second;
+  }
+
+  int get_int(const std::string& key, int fallback) const {
+    const auto it = values_.find(key);
+    if (it == values_.end()) return fallback;
+    try {
+      return std::stoi(it->second);
+    } catch (const std::exception&) {
+      throw std::invalid_argument("--" + key + " expects an integer, got '" +
+                                  it->second + "'");
+    }
+  }
+
+  double get_double(const std::string& key, double fallback) const {
+    const auto it = values_.find(key);
+    if (it == values_.end()) return fallback;
+    try {
+      return std::stod(it->second);
+    } catch (const std::exception&) {
+      throw std::invalid_argument("--" + key + " expects a number, got '" +
+                                  it->second + "'");
+    }
+  }
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  // Throws if any parsed flag is not in `known` (catches typos).
+  void require_known(const std::vector<std::string>& known) const {
+    for (const auto& [key, value] : values_) {
+      bool found = false;
+      for (const auto& k : known) {
+        if (k == key) {
+          found = true;
+          break;
+        }
+      }
+      if (!found) throw std::invalid_argument("unknown flag --" + key);
+    }
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace m2ai::util

@@ -1,0 +1,43 @@
+#include "util/csv.hpp"
+
+#include <stdexcept>
+
+namespace m2ai::util {
+
+namespace {
+std::string escape(const std::string& field) {
+  if (field.find_first_of(",\"\n") == std::string::npos) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+}  // namespace
+
+CsvWriter::CsvWriter(const std::string& path, std::vector<std::string> header)
+    : out_(path), arity_(header.size()) {
+  if (!out_) throw std::runtime_error("CsvWriter: cannot open " + path);
+  write_row(header);
+}
+
+void CsvWriter::add_row(const std::vector<std::string>& row) {
+  if (row.size() != arity_) {
+    throw std::invalid_argument("CsvWriter::add_row: arity mismatch");
+  }
+  write_row(row);
+}
+
+void CsvWriter::close() { out_.close(); }
+
+void CsvWriter::write_row(const std::vector<std::string>& row) {
+  for (std::size_t i = 0; i < row.size(); ++i) {
+    if (i) out_ << ',';
+    out_ << escape(row[i]);
+  }
+  out_ << '\n';
+}
+
+}  // namespace m2ai::util

@@ -1,0 +1,30 @@
+// CSV writer for machine-readable experiment output alongside the printed
+// tables.
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace m2ai::util {
+
+class CsvWriter {
+ public:
+  // Opens (truncates) `path` and writes the header row. Throws on failure.
+  CsvWriter(const std::string& path, std::vector<std::string> header);
+
+  // Append a row; must match the header arity. Fields containing commas,
+  // quotes, or newlines are quoted per RFC 4180.
+  void add_row(const std::vector<std::string>& row);
+
+  // Flush and close early (also done by the destructor).
+  void close();
+
+ private:
+  void write_row(const std::vector<std::string>& row);
+
+  std::ofstream out_;
+  std::size_t arity_;
+};
+
+}  // namespace m2ai::util

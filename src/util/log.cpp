@@ -1,0 +1,34 @@
+#include "util/log.hpp"
+
+#include <chrono>
+#include <cstdio>
+
+namespace m2ai::util {
+
+namespace {
+LogLevel g_level = LogLevel::kInfo;
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+  }
+  return "?";
+}
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level = level; }
+LogLevel log_level() { return g_level; }
+
+void log_message(LogLevel level, const std::string& msg) {
+  if (static_cast<int>(level) < static_cast<int>(g_level)) return;
+  using clock = std::chrono::steady_clock;
+  static const clock::time_point start = clock::now();
+  const double t =
+      std::chrono::duration<double>(clock::now() - start).count();
+  std::fprintf(stderr, "[%9.3f] %-5s %s\n", t, level_name(level), msg.c_str());
+}
+
+}  // namespace m2ai::util

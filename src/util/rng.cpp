@@ -1,0 +1,23 @@
+#include "util/rng.hpp"
+
+namespace m2ai::util {
+
+double Rng::normal() {
+  if (has_spare_) {
+    has_spare_ = false;
+    return spare_;
+  }
+  // Box-Muller; reject u == 0 so log() is finite.
+  double u = 0.0;
+  do {
+    u = uniform();
+  } while (u <= 0.0);
+  const double v = uniform();
+  const double r = std::sqrt(-2.0 * std::log(u));
+  const double theta = 2.0 * M_PI * v;
+  spare_ = r * std::sin(theta);
+  has_spare_ = true;
+  return r * std::cos(theta);
+}
+
+}  // namespace m2ai::util

@@ -1,0 +1,47 @@
+// Small statistics helpers shared by the DSP pipeline and the evaluators.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace m2ai::util {
+
+// Arithmetic mean; 0 for an empty range.
+double mean(const std::vector<double>& v);
+
+// Unbiased sample standard deviation; 0 for fewer than two samples.
+double stddev(const std::vector<double>& v);
+
+// Median (copies and partially sorts); 0 for an empty range.
+double median(std::vector<double> v);
+
+// p-th percentile, p in [0, 100], linear interpolation between ranks.
+double percentile(std::vector<double> v, double p);
+
+// Pearson correlation coefficient; 0 when either side has no variance.
+double correlation(const std::vector<double>& x, const std::vector<double>& y);
+
+// Least-squares fit y = a*x + b; returns {a, b}. Requires >= 2 points.
+struct LinearFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  double r2 = 0.0;
+};
+LinearFit linear_fit(const std::vector<double>& x, const std::vector<double>& y);
+
+// Streaming mean/variance (Welford).
+class RunningStats {
+ public:
+  void add(double x);
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double variance() const { return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0; }
+  double stddev() const;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+};
+
+}  // namespace m2ai::util

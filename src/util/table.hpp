@@ -1,0 +1,32 @@
+// Aligned text tables for bench output: prints the same rows/series the
+// paper's tables and figures report, in a diff-friendly layout.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace m2ai::util {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  // Append a row; must have the same arity as the header.
+  void add_row(std::vector<std::string> row);
+
+  // Convenience: format doubles with fixed precision.
+  static std::string fmt(double value, int precision = 2);
+  static std::string pct(double fraction, int precision = 1);  // 0.97 -> "97.0%"
+
+  // Render with column alignment and a rule under the header.
+  std::string to_string() const;
+
+  // Render to stdout.
+  void print() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace m2ai::util

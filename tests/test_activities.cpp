@@ -1,0 +1,119 @@
+#include "sim/activities.hpp"
+
+#include <gtest/gtest.h>
+
+namespace m2ai::sim {
+namespace {
+
+TEST(Activities, CatalogHasTwelveScenarios) {
+  EXPECT_EQ(num_activities(), 12);
+  const auto& catalog = activity_catalog();
+  ASSERT_EQ(catalog.size(), 12u);
+  for (int i = 0; i < 12; ++i) {
+    EXPECT_EQ(catalog[static_cast<std::size_t>(i)].id, i + 1);
+    EXPECT_FALSE(catalog[static_cast<std::size_t>(i)].description.empty());
+  }
+}
+
+TEST(Activities, LabelsFormatted) {
+  EXPECT_EQ(activity_catalog()[0].label, "A_01");
+  EXPECT_EQ(activity_catalog()[11].label, "A_12");
+}
+
+TEST(Activities, InstantiatesRequestedPersonCount) {
+  const Environment env = Environment::laboratory();
+  util::Rng rng(3);
+  for (int n = 1; n <= 3; ++n) {
+    const auto persons =
+        instantiate_activity(1, n, env, {env.width / 2, 0.4}, {}, rng);
+    EXPECT_EQ(persons.size(), static_cast<std::size_t>(n));
+  }
+}
+
+TEST(Activities, RejectsBadArguments) {
+  const Environment env = Environment::laboratory();
+  util::Rng rng(4);
+  EXPECT_THROW(instantiate_activity(0, 2, env, {0, 0}, {}, rng), std::out_of_range);
+  EXPECT_THROW(instantiate_activity(13, 2, env, {0, 0}, {}, rng), std::out_of_range);
+  EXPECT_THROW(instantiate_activity(1, 0, env, {0, 0}, {}, rng), std::out_of_range);
+  EXPECT_THROW(instantiate_activity(1, 4, env, {0, 0}, {}, rng), std::out_of_range);
+}
+
+TEST(Activities, PersonsPlacedInsideRoomAtRequestedDistance) {
+  const Environment env = Environment::laboratory();
+  util::Rng rng(5);
+  PlacementOptions placement;
+  placement.distance_m = 4.0;
+  const rf::Vec2 front{env.width / 2, 0.4};
+  for (int act = 1; act <= 12; ++act) {
+    const auto persons = instantiate_activity(act, 2, env, front, placement, rng);
+    for (const Person& p : persons) {
+      const rf::Vec2 c = p.center_at(0.0);
+      EXPECT_GT(c.x, 0.0);
+      EXPECT_LT(c.x, env.width);
+      EXPECT_GT(c.y, 0.0);
+      EXPECT_LT(c.y, env.depth);
+    }
+  }
+}
+
+TEST(Activities, DistanceSweepRespected) {
+  const Environment env = Environment::hall();
+  util::Rng rng(6);
+  const rf::Vec2 front{env.width / 2, 0.4};
+  for (double d : {1.0, 2.0, 3.0, 4.0}) {
+    PlacementOptions placement;
+    placement.distance_m = d;
+    placement.jitter = false;
+    // A_01: both actors stand in place, so center_at(0) tracks the start.
+    const auto persons = instantiate_activity(1, 2, env, front, placement, rng);
+    for (const Person& p : persons) {
+      EXPECT_NEAR(p.center_at(0.0).y - front.y, d, 0.3);
+    }
+  }
+}
+
+TEST(Activities, DifferentDrawsVaryVolunteers) {
+  const Environment env = Environment::laboratory();
+  util::Rng rng(7);
+  const auto a = instantiate_activity(2, 2, env, {6.9, 0.4}, {}, rng);
+  const auto b = instantiate_activity(2, 2, env, {6.9, 0.4}, {}, rng);
+  EXPECT_NE(a[0].params().height_m, b[0].params().height_m);
+}
+
+TEST(Activities, SameSeedReproduces) {
+  const Environment env = Environment::laboratory();
+  util::Rng rng1(8), rng2(8);
+  const auto a = instantiate_activity(5, 2, env, {6.9, 0.4}, {}, rng1);
+  const auto b = instantiate_activity(5, 2, env, {6.9, 0.4}, {}, rng2);
+  EXPECT_DOUBLE_EQ(a[1].params().height_m, b[1].params().height_m);
+  EXPECT_DOUBLE_EQ(a[1].center_at(1.0).x, b[1].center_at(1.0).x);
+}
+
+TEST(Activities, ScenariosProduceDistinctMotion) {
+  // Any two scenarios should differ in at least one actor's motion spec.
+  const Environment env = Environment::laboratory();
+  util::Rng rng(9);
+  PlacementOptions placement;
+  placement.jitter = false;
+  for (int a = 1; a <= 12; ++a) {
+    for (int b = a + 1; b <= 12; ++b) {
+      util::Rng ra(1), rb(1);  // same volunteer randomization
+      const auto pa = instantiate_activity(a, 2, env, {6.9, 0.4}, placement, ra);
+      const auto pb = instantiate_activity(b, 2, env, {6.9, 0.4}, placement, rb);
+      bool differs = false;
+      for (int i = 0; i < 2 && !differs; ++i) {
+        const MotionSpec& ma = pa[static_cast<std::size_t>(i)].motion();
+        const MotionSpec& mb = pb[static_cast<std::size_t>(i)].motion();
+        differs = ma.gait != mb.gait || ma.torso != mb.torso || ma.limb != mb.limb ||
+                  ma.gait_freq_hz != mb.gait_freq_hz ||
+                  ma.torso_freq_hz != mb.torso_freq_hz ||
+                  ma.limb_freq_hz != mb.limb_freq_hz;
+      }
+      EXPECT_TRUE(differs) << "A_" << a << " vs A_" << b;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace m2ai::sim

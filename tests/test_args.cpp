@@ -1,0 +1,67 @@
+#include "util/args.hpp"
+
+#include <gtest/gtest.h>
+
+namespace m2ai::util {
+namespace {
+
+Args make(std::initializer_list<const char*> tokens) {
+  std::vector<const char*> argv{"prog"};
+  argv.insert(argv.end(), tokens.begin(), tokens.end());
+  return Args(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(Args, KeyValuePairs) {
+  const Args args = make({"--samples", "40", "--model", "out.bin"});
+  EXPECT_TRUE(args.has("samples"));
+  EXPECT_EQ(args.get_int("samples", 0), 40);
+  EXPECT_EQ(args.get("model", ""), "out.bin");
+}
+
+TEST(Args, BooleanFlags) {
+  const Args args = make({"--verbose", "--samples", "3"});
+  EXPECT_TRUE(args.has("verbose"));
+  EXPECT_EQ(args.get("verbose", "x"), "");
+  EXPECT_EQ(args.get_int("samples", 0), 3);
+}
+
+TEST(Args, FlagFollowedByFlagIsBoolean) {
+  const Args args = make({"--verbose", "--fast"});
+  EXPECT_TRUE(args.has("verbose"));
+  EXPECT_TRUE(args.has("fast"));
+}
+
+TEST(Args, DefaultsWhenMissing) {
+  const Args args = make({});
+  EXPECT_FALSE(args.has("samples"));
+  EXPECT_EQ(args.get_int("samples", 7), 7);
+  EXPECT_DOUBLE_EQ(args.get_double("distance", 4.5), 4.5);
+  EXPECT_EQ(args.get("model", "fallback"), "fallback");
+}
+
+TEST(Args, Positionals) {
+  const Args args = make({"train", "--epochs", "5", "extra"});
+  ASSERT_EQ(args.positional().size(), 2u);
+  EXPECT_EQ(args.positional()[0], "train");
+  EXPECT_EQ(args.positional()[1], "extra");
+}
+
+TEST(Args, TypeErrorsThrow) {
+  const Args args = make({"--samples", "abc"});
+  EXPECT_THROW(args.get_int("samples", 0), std::invalid_argument);
+  EXPECT_THROW(args.get_double("samples", 0.0), std::invalid_argument);
+}
+
+TEST(Args, UnknownFlagDetection) {
+  const Args args = make({"--samples", "4", "--typo", "1"});
+  EXPECT_THROW(args.require_known({"samples"}), std::invalid_argument);
+  EXPECT_NO_THROW(args.require_known({"samples", "typo"}));
+}
+
+TEST(Args, DoubleParsing) {
+  const Args args = make({"--distance", "3.5"});
+  EXPECT_DOUBLE_EQ(args.get_double("distance", 0.0), 3.5);
+}
+
+}  // namespace
+}  // namespace m2ai::util

@@ -1,0 +1,124 @@
+#include "dsp/calibration.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dsp/phase.hpp"
+#include "rf/channel_plan.hpp"
+#include "util/rng.hpp"
+
+namespace m2ai::dsp {
+namespace {
+
+TEST(CalibrationTable, RemovesPlantedLinearOffsets) {
+  // Offsets linear in channel index (Fig. 3 model).
+  const int common = rf::common_channel();
+  auto offset = [&](int ch) { return 0.11 * (ch - common); };
+
+  CalibrationTable table;
+  util::Rng rng(1);
+  const double true_phase = 1.3;
+  for (int ch = 0; ch < rf::kNumChannels; ++ch) {
+    for (int k = 0; k < 9; ++k) {
+      table.add_sample(ch, wrap_2pi(true_phase + offset(ch) + rng.normal(0.0, 0.02)));
+    }
+  }
+  table.finalize(common);
+  for (int ch = 0; ch < rf::kNumChannels; ++ch) {
+    const double cal = table.apply(ch, wrap_2pi(true_phase + offset(ch)));
+    EXPECT_LT(circular_distance(cal, true_phase), 0.05) << "channel " << ch;
+  }
+}
+
+TEST(CalibrationTable, RemovesHalfCycleOffsets) {
+  // A pi offset on some channels (the reader's half-cycle reporting state)
+  // must be calibrated out like any other constant.
+  const int common = rf::common_channel();
+  CalibrationTable table;
+  const double true_phase = 2.0;
+  auto offset = [&](int ch) { return (ch % 3 == 0) ? M_PI : 0.0; };
+  for (int ch = 0; ch < rf::kNumChannels; ++ch) {
+    for (int k = 0; k < 5; ++k) table.add_sample(ch, wrap_2pi(true_phase + offset(ch)));
+  }
+  table.finalize(common);
+  // Calibration references everything to the common channel, whose own
+  // constant (here possibly pi) is part of the reference — what matters is
+  // that all channels agree after calibration.
+  const double reference =
+      table.apply(common, wrap_2pi(true_phase + offset(common)));
+  for (int ch = 0; ch < rf::kNumChannels; ++ch) {
+    const double cal = table.apply(ch, wrap_2pi(true_phase + offset(ch)));
+    EXPECT_LT(circular_distance(cal, reference), 1e-6);
+  }
+}
+
+TEST(CalibrationTable, ExtrapolatesUnseenChannels) {
+  // Only even channels observed; odd channels must follow the linear fit.
+  const int common = rf::common_channel();
+  auto offset = [&](int ch) { return 0.04 * (ch - common); };
+  CalibrationTable table;
+  const double true_phase = 0.7;
+  for (int ch = 0; ch < rf::kNumChannels; ch += 2) {
+    for (int k = 0; k < 5; ++k) table.add_sample(ch, wrap_2pi(true_phase + offset(ch)));
+  }
+  table.finalize(common);
+  for (int ch = 1; ch < rf::kNumChannels; ch += 2) {
+    const double cal = table.apply(ch, wrap_2pi(true_phase + offset(ch)));
+    EXPECT_LT(circular_distance(cal, true_phase), 0.1) << "channel " << ch;
+  }
+}
+
+TEST(CalibrationTable, ApplyBeforeFinalizeThrows) {
+  CalibrationTable table;
+  table.add_sample(0, 1.0);
+  EXPECT_THROW(table.apply(0, 1.0), std::logic_error);
+  EXPECT_THROW(table.offset(0), std::logic_error);
+}
+
+TEST(CalibrationTable, BadChannelThrows) {
+  CalibrationTable table;
+  EXPECT_THROW(table.add_sample(-1, 0.0), std::out_of_range);
+  EXPECT_THROW(table.add_sample(rf::kNumChannels, 0.0), std::out_of_range);
+}
+
+TEST(CalibrationTable, SampleCountTracks) {
+  CalibrationTable table;
+  table.add_sample(3, 0.1);
+  table.add_sample(3, 0.2);
+  table.add_sample(7, 0.3);
+  EXPECT_EQ(table.sample_count(), 3u);
+}
+
+TEST(PhaseCalibrator, PerTagPerAntennaTables) {
+  PhaseCalibrator cal;
+  // Tag 1 antenna 0: offset +0.5 on channel 4; tag 2 antenna 1: offset -0.3.
+  const int common = rf::common_channel();
+  for (int k = 0; k < 5; ++k) {
+    cal.add_sample(1, 0, common, 1.0);
+    cal.add_sample(1, 0, 4, wrap_2pi(1.0 + 0.5));
+    cal.add_sample(2, 1, common, 2.0);
+    cal.add_sample(2, 1, 4, wrap_2pi(2.0 - 0.3));
+  }
+  cal.finalize();
+  EXPECT_LT(circular_distance(cal.apply(1, 0, 4, wrap_2pi(1.0 + 0.5)), 1.0), 1e-6);
+  EXPECT_LT(circular_distance(cal.apply(2, 1, 4, wrap_2pi(2.0 - 0.3)), 2.0), 1e-6);
+}
+
+TEST(PhaseCalibrator, UnknownTagPassesThrough) {
+  PhaseCalibrator cal;
+  cal.add_sample(1, 0, 0, 0.4);
+  cal.finalize();
+  EXPECT_DOUBLE_EQ(cal.apply(99, 0, 0, 1.234), 1.234);
+}
+
+TEST(PhaseCalibrator, TableLookup) {
+  PhaseCalibrator cal;
+  cal.add_sample(5, 2, 10, 0.1);
+  cal.finalize();
+  EXPECT_NE(cal.table(5, 2), nullptr);
+  EXPECT_EQ(cal.table(5, 3), nullptr);
+}
+
+}  // namespace
+}  // namespace m2ai::dsp

@@ -1,0 +1,84 @@
+#include "rf/channel_plan.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace m2ai::rf {
+namespace {
+
+TEST(ChannelPlan, EndpointFrequencies) {
+  EXPECT_DOUBLE_EQ(channel_frequency_hz(0), 902.75e6);
+  EXPECT_DOUBLE_EQ(channel_frequency_hz(kNumChannels - 1), 927.25e6);
+}
+
+TEST(ChannelPlan, StepIs500kHz) {
+  for (int ch = 1; ch < kNumChannels; ++ch) {
+    EXPECT_DOUBLE_EQ(channel_frequency_hz(ch) - channel_frequency_hz(ch - 1), 0.5e6);
+  }
+}
+
+TEST(ChannelPlan, WavelengthMatchesFrequency) {
+  for (int ch : {0, 10, 25, 49}) {
+    EXPECT_NEAR(channel_wavelength_m(ch) * channel_frequency_hz(ch), kSpeedOfLight, 1.0);
+  }
+}
+
+TEST(ChannelPlan, NearestChannelRoundTrips) {
+  for (int ch = 0; ch < kNumChannels; ++ch) {
+    EXPECT_EQ(nearest_channel(channel_frequency_hz(ch)), ch);
+  }
+}
+
+TEST(ChannelPlan, NearestChannelClamps) {
+  EXPECT_EQ(nearest_channel(800e6), 0);
+  EXPECT_EQ(nearest_channel(1000e6), kNumChannels - 1);
+}
+
+TEST(ChannelPlan, CommonChannelIs910_25MHz) {
+  EXPECT_DOUBLE_EQ(channel_frequency_hz(common_channel()), 910.25e6);
+}
+
+TEST(ChannelPlan, TypicalWavelengthIsAbout32cm) {
+  EXPECT_NEAR(kTypicalWavelengthM, 0.3293, 0.0005);
+}
+
+TEST(HopSequence, DwellSchedule) {
+  HopSequence hops{util::Rng(1)};
+  // Within one dwell the channel is constant.
+  const int ch = hops.channel_at(0.01);
+  EXPECT_EQ(hops.channel_at(0.2), ch);
+  EXPECT_EQ(hops.channel_at(0.399), ch);
+  EXPECT_EQ(hops.hop_index(0.399), 0);
+  EXPECT_EQ(hops.hop_index(0.401), 1);
+}
+
+TEST(HopSequence, EveryChannelOncePerCycle) {
+  HopSequence hops{util::Rng(2)};
+  std::set<int> seen;
+  for (int hop = 0; hop < kNumChannels; ++hop) {
+    seen.insert(hops.channel_at((hop + 0.5) * kDwellTimeSec));
+  }
+  EXPECT_EQ(seen.size(), static_cast<std::size_t>(kNumChannels));
+}
+
+TEST(HopSequence, CyclesDifferInOrder) {
+  HopSequence hops{util::Rng(3)};
+  std::vector<int> cycle1, cycle2;
+  for (int hop = 0; hop < kNumChannels; ++hop) {
+    cycle1.push_back(hops.channel_at((hop + 0.5) * kDwellTimeSec));
+    cycle2.push_back(hops.channel_at((kNumChannels + hop + 0.5) * kDwellTimeSec));
+  }
+  EXPECT_NE(cycle1, cycle2);
+}
+
+TEST(HopSequence, DeterministicForSeed) {
+  HopSequence a{util::Rng(4)}, b{util::Rng(4)};
+  for (int hop = 0; hop < 100; ++hop) {
+    const double t = (hop + 0.3) * kDwellTimeSec;
+    EXPECT_EQ(a.channel_at(t), b.channel_at(t));
+  }
+}
+
+}  // namespace
+}  // namespace m2ai::rf

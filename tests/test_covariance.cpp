@@ -1,0 +1,125 @@
+#include "dsp/covariance.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dsp/eig.hpp"
+#include "rf/steering.hpp"
+#include "util/rng.hpp"
+
+namespace m2ai::dsp {
+namespace {
+
+// Snapshots of a single plane wave with random per-snapshot phase.
+std::vector<std::vector<cdouble>> single_source_snapshots(double theta_deg, int n_ant,
+                                                          int count,
+                                                          std::uint64_t seed) {
+  util::Rng rng(seed);
+  const auto a = rf::steering_vector(theta_deg, n_ant, 0.08, 0.33);
+  std::vector<std::vector<cdouble>> snaps(static_cast<std::size_t>(count));
+  for (auto& snap : snaps) {
+    const cdouble s = std::polar(1.0, rng.uniform(0.0, 2.0 * M_PI));
+    snap.resize(a.size());
+    for (std::size_t i = 0; i < a.size(); ++i) snap[i] = s * a[i];
+  }
+  return snaps;
+}
+
+TEST(Covariance, HermitianOutput) {
+  const auto snaps = single_source_snapshots(70.0, 4, 16, 1);
+  const CMatrix r = sample_covariance(snaps);
+  for (std::size_t i = 0; i < 4; ++i) {
+    for (std::size_t j = 0; j < 4; ++j) {
+      EXPECT_NEAR(std::abs(r(i, j) - std::conj(r(j, i))), 0.0, 1e-12);
+    }
+  }
+}
+
+TEST(Covariance, SingleSourceIsRankOne) {
+  CovarianceOptions opts;
+  opts.forward_backward = false;
+  opts.diagonal_loading = 0.0;
+  const auto snaps = single_source_snapshots(70.0, 4, 32, 2);
+  const CMatrix r = sample_covariance(snaps, opts);
+  const EigResult eig = eig_hermitian(r);
+  EXPECT_GT(eig.values[0], 1.0);
+  for (std::size_t k = 1; k < 4; ++k) EXPECT_NEAR(eig.values[k], 0.0, 1e-9);
+}
+
+TEST(Covariance, DiagonalLoadingRaisesFloor) {
+  CovarianceOptions opts;
+  opts.forward_backward = false;
+  opts.diagonal_loading = 1e-3;
+  const auto snaps = single_source_snapshots(70.0, 4, 32, 3);
+  const CMatrix r = sample_covariance(snaps, opts);
+  const EigResult eig = eig_hermitian(r);
+  EXPECT_GT(eig.values[3], 0.0);
+}
+
+TEST(Covariance, UnitPowerSourceDiagonal) {
+  CovarianceOptions opts;
+  opts.forward_backward = false;
+  opts.diagonal_loading = 0.0;
+  const auto snaps = single_source_snapshots(55.0, 4, 64, 4);
+  const CMatrix r = sample_covariance(snaps, opts);
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_NEAR(r(i, i).real(), 1.0, 1e-9);
+}
+
+TEST(Covariance, SmoothingShrinksAperture) {
+  CovarianceOptions opts;
+  opts.smoothing_subarray = 3;
+  const auto snaps = single_source_snapshots(40.0, 4, 16, 5);
+  const CMatrix r = sample_covariance(snaps, opts);
+  EXPECT_EQ(r.rows(), 3u);
+  EXPECT_EQ(r.cols(), 3u);
+}
+
+TEST(Covariance, SmoothingRestoresRankForCoherentSources) {
+  // Two fully coherent plane waves (fixed relative phase across snapshots).
+  const int n_ant = 4;
+  const auto a1 = rf::steering_vector(45.0, n_ant, 0.08, 0.33);
+  const auto a2 = rf::steering_vector(110.0, n_ant, 0.08, 0.33);
+  std::vector<std::vector<cdouble>> snaps(16);
+  util::Rng rng(6);
+  for (auto& snap : snaps) {
+    const cdouble s = std::polar(1.0, rng.uniform(0.0, 2.0 * M_PI));
+    snap.resize(static_cast<std::size_t>(n_ant));
+    for (int i = 0; i < n_ant; ++i) {
+      snap[static_cast<std::size_t>(i)] =
+          s * (a1[static_cast<std::size_t>(i)] +
+               0.8 * a2[static_cast<std::size_t>(i)]);
+    }
+  }
+  CovarianceOptions plain;
+  plain.forward_backward = false;
+  plain.diagonal_loading = 0.0;
+  const EigResult eig_plain = eig_hermitian(sample_covariance(snaps, plain));
+  // Coherent mixture: rank 1 (second eigenvalue negligible).
+  EXPECT_LT(eig_plain.values[1] / eig_plain.values[0], 1e-9);
+
+  CovarianceOptions smooth;
+  smooth.forward_backward = true;
+  smooth.smoothing_subarray = 3;
+  smooth.diagonal_loading = 0.0;
+  const EigResult eig_smooth = eig_hermitian(sample_covariance(snaps, smooth));
+  // Smoothing + FB separates the coherent pair into a rank-2 subspace.
+  EXPECT_GT(eig_smooth.values[1] / eig_smooth.values[0], 1e-3);
+}
+
+TEST(Covariance, RejectsEmptyAndRagged) {
+  EXPECT_THROW(sample_covariance({}), std::invalid_argument);
+  std::vector<std::vector<cdouble>> ragged{{cdouble{1, 0}, cdouble{0, 0}},
+                                           {cdouble{1, 0}}};
+  EXPECT_THROW(sample_covariance(ragged), std::invalid_argument);
+}
+
+TEST(Covariance, RejectsOversizedSubarray) {
+  CovarianceOptions opts;
+  opts.smoothing_subarray = 5;
+  const auto snaps = single_source_snapshots(70.0, 4, 8, 7);
+  EXPECT_THROW(sample_covariance(snaps, opts), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace m2ai::dsp

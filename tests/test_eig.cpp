@@ -1,0 +1,138 @@
+#include "dsp/eig.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace m2ai::dsp {
+namespace {
+
+CMatrix random_hermitian(std::size_t n, std::uint64_t seed) {
+  util::Rng rng(seed);
+  CMatrix a(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    a(i, i) = cdouble{rng.normal() * 2.0, 0.0};
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const cdouble v{rng.normal(), rng.normal()};
+      a(i, j) = v;
+      a(j, i) = std::conj(v);
+    }
+  }
+  return a;
+}
+
+TEST(Eig, DiagonalMatrix) {
+  CMatrix a(3, 3);
+  a(0, 0) = 1.0;
+  a(1, 1) = 5.0;
+  a(2, 2) = 3.0;
+  const EigResult r = eig_hermitian(a);
+  EXPECT_NEAR(r.values[0], 5.0, 1e-10);
+  EXPECT_NEAR(r.values[1], 3.0, 1e-10);
+  EXPECT_NEAR(r.values[2], 1.0, 1e-10);
+}
+
+TEST(Eig, Known2x2) {
+  // [[2, 1],[1, 2]] -> eigenvalues 3 and 1.
+  CMatrix a(2, 2);
+  a(0, 0) = 2.0;
+  a(1, 1) = 2.0;
+  a(0, 1) = 1.0;
+  a(1, 0) = 1.0;
+  const EigResult r = eig_hermitian(a);
+  EXPECT_NEAR(r.values[0], 3.0, 1e-10);
+  EXPECT_NEAR(r.values[1], 1.0, 1e-10);
+}
+
+TEST(Eig, Complex2x2) {
+  // [[1, i], [-i, 1]] -> eigenvalues 2 and 0.
+  CMatrix a(2, 2);
+  a(0, 0) = 1.0;
+  a(1, 1) = 1.0;
+  a(0, 1) = cdouble{0.0, 1.0};
+  a(1, 0) = cdouble{0.0, -1.0};
+  const EigResult r = eig_hermitian(a);
+  EXPECT_NEAR(r.values[0], 2.0, 1e-10);
+  EXPECT_NEAR(r.values[1], 0.0, 1e-10);
+}
+
+TEST(Eig, RejectsNonSquare) {
+  CMatrix a(2, 3);
+  EXPECT_THROW(eig_hermitian(a), std::invalid_argument);
+}
+
+class EigSizes : public ::testing::TestWithParam<std::size_t> {};
+
+// Property: A v_k = lambda_k v_k for every eigenpair.
+TEST_P(EigSizes, EigenEquationHolds) {
+  const std::size_t n = GetParam();
+  const CMatrix a = random_hermitian(n, 40 + n);
+  const EigResult r = eig_hermitian(a);
+  for (std::size_t k = 0; k < n; ++k) {
+    const auto v = r.vectors.column(k);
+    // ||A v - lambda v||
+    for (std::size_t i = 0; i < n; ++i) {
+      cdouble av{0.0, 0.0};
+      for (std::size_t j = 0; j < n; ++j) av += a(i, j) * v[j];
+      EXPECT_NEAR(std::abs(av - r.values[k] * v[i]), 0.0, 1e-8);
+    }
+  }
+}
+
+// Property: eigenvectors are orthonormal.
+TEST_P(EigSizes, VectorsOrthonormal) {
+  const std::size_t n = GetParam();
+  const CMatrix a = random_hermitian(n, 80 + n);
+  const EigResult r = eig_hermitian(a);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      const cdouble dot = inner(r.vectors.column(i), r.vectors.column(j));
+      const cdouble expected = (i == j) ? cdouble(1.0, 0.0) : cdouble(0.0, 0.0);
+      EXPECT_NEAR(std::abs(dot - expected), 0.0, 1e-9);
+    }
+  }
+}
+
+// Property: trace equals sum of eigenvalues; values sorted descending.
+TEST_P(EigSizes, TraceAndOrdering) {
+  const std::size_t n = GetParam();
+  const CMatrix a = random_hermitian(n, 120 + n);
+  const EigResult r = eig_hermitian(a);
+  double trace = 0.0;
+  for (std::size_t i = 0; i < n; ++i) trace += a(i, i).real();
+  double sum = 0.0;
+  for (std::size_t k = 0; k < n; ++k) {
+    sum += r.values[k];
+    if (k > 0) EXPECT_GE(r.values[k - 1], r.values[k] - 1e-12);
+  }
+  EXPECT_NEAR(sum, trace, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, EigSizes, ::testing::Values(1, 2, 3, 4, 5, 6, 8));
+
+TEST(Eig, ToleratesMildAsymmetry) {
+  CMatrix a = random_hermitian(4, 999);
+  a(1, 2) += cdouble{1e-9, -1e-9};  // sample-covariance style asymmetry
+  const EigResult r = eig_hermitian(a);
+  EXPECT_EQ(r.values.size(), 4u);
+}
+
+TEST(Eig, PsdRankOne) {
+  // Outer product v v^H has one nonzero eigenvalue = |v|^2.
+  const std::size_t n = 4;
+  std::vector<cdouble> v{{1, 0}, {0, 1}, {0.5, -0.5}, {-1, 0.25}};
+  CMatrix a(n, n);
+  double norm2 = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    norm2 += std::norm(v[i]);
+    for (std::size_t j = 0; j < n; ++j) a(i, j) = v[i] * std::conj(v[j]);
+  }
+  const EigResult r = eig_hermitian(a);
+  EXPECT_NEAR(r.values[0], norm2, 1e-9);
+  for (std::size_t k = 1; k < n; ++k) EXPECT_NEAR(r.values[k], 0.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace m2ai::dsp

@@ -1,0 +1,122 @@
+// Integration tests across the whole stack: simulation -> preprocessing ->
+// learning -> evaluation. Sized to stay test-suite friendly (< ~1 min);
+// the bench binaries run the full-scale versions.
+#include <gtest/gtest.h>
+
+#include "core/experiment.hpp"
+#include "core/features.hpp"
+#include "dsp/phase.hpp"
+#include "ml/svm_linear.hpp"
+
+namespace m2ai::core {
+namespace {
+
+ExperimentConfig tiny_config() {
+  ExperimentConfig config;
+  config.samples_per_class = 8;
+  config.pipeline.windows_per_sample = 12;
+  config.pipeline.bootstrap_sec = 4.0;
+  config.train.epochs = 14;
+  config.train.crop_frames = 10;
+  config.seed = 424242;
+  return config;
+}
+
+TEST(EndToEnd, DatasetGenerationStratified) {
+  const ExperimentConfig config = tiny_config();
+  const DataSplit split = generate_dataset(config);
+  EXPECT_EQ(split.num_classes, 12);
+  EXPECT_EQ(split.train.size() + split.test.size(), 12u * 8u);
+  // Stratified: each class appears in both sides.
+  std::vector<int> train_counts(12, 0), test_counts(12, 0);
+  for (const Sample& s : split.train) ++train_counts[static_cast<std::size_t>(s.label)];
+  for (const Sample& s : split.test) ++test_counts[static_cast<std::size_t>(s.label)];
+  for (int c = 0; c < 12; ++c) {
+    EXPECT_EQ(train_counts[static_cast<std::size_t>(c)], 6);
+    EXPECT_EQ(test_counts[static_cast<std::size_t>(c)], 2);
+  }
+}
+
+TEST(EndToEnd, M2AITrainsAboveChance) {
+  const ExperimentConfig config = tiny_config();
+  const DataSplit split = generate_dataset(config);
+  const M2AIResult result = train_and_evaluate(config, split);
+  // Chance on 12 classes is 8.3%; even this tiny run must beat it clearly.
+  EXPECT_GT(result.accuracy, 0.2);
+  EXPECT_GT(result.num_parameters, 1000u);
+  EXPECT_EQ(result.confusion.total(), static_cast<int>(split.test.size()));
+}
+
+TEST(EndToEnd, BaselineHarnessRuns) {
+  const ExperimentConfig config = tiny_config();
+  const DataSplit split = generate_dataset(config);
+  ml::LinearSvm svm;
+  const double acc = baseline_accuracy(svm, split, 1, 600);
+  EXPECT_GE(acc, 0.0);
+  EXPECT_LE(acc, 1.0);
+}
+
+TEST(EndToEnd, FrameFeaturesHaveStableDimension) {
+  const ExperimentConfig config = tiny_config();
+  Pipeline pipeline(config.pipeline, 77);
+  const Sample s1 = pipeline.simulate_sample(1);
+  const Sample s2 = pipeline.simulate_sample(9);
+  const auto f1 = frame_feature_vector(s1.frames[0]);
+  const auto f2 = frame_feature_vector(s2.frames[3]);
+  EXPECT_EQ(f1.size(), f2.size());
+  // 6 tags x (36 pooled pseudo bins + 4 antennas).
+  EXPECT_EQ(f1.size(), 6u * (36u + 4u));
+}
+
+TEST(EndToEnd, CalibrationRemovesHoppingOffsets) {
+  // The core claim behind Fig. 10, tested at the DSP level: calibrated
+  // phases of a stationary tag are far more concentrated across hops than
+  // raw phases.
+  PipelineConfig config;
+  config.windows_per_sample = 8;
+  config.bootstrap_sec = 20.0;
+  Pipeline pipeline(config, 5);
+  pipeline.simulate_sample(1);
+  const auto* cal = pipeline.last_calibrator();
+  ASSERT_NE(cal, nullptr);
+
+  // Collect raw vs calibrated phase spread over the activity reports of a
+  // near-stationary tag (person 2 of A_01 stands in place).
+  double raw_spread = 0.0, cal_spread = 0.0;
+  int count = 0;
+  std::vector<double> raw, calibrated;
+  for (const auto& r : pipeline.last_reports()) {
+    if (r.tag_id != 6 || r.antenna != 0) continue;  // shoulder tag, one port
+    raw.push_back(r.phase_rad);
+    calibrated.push_back(cal->apply(r.tag_id, r.antenna, r.channel, r.phase_rad));
+  }
+  ASSERT_GT(raw.size(), 10u);
+  const double raw_mean = dsp::circular_mean(raw);
+  const double cal_mean = dsp::circular_mean(calibrated);
+  for (std::size_t i = 0; i < raw.size(); ++i) {
+    raw_spread += dsp::circular_distance(raw[i], raw_mean);
+    cal_spread += dsp::circular_distance(calibrated[i], cal_mean);
+    ++count;
+  }
+  raw_spread /= count;
+  cal_spread /= count;
+  EXPECT_LT(cal_spread, raw_spread * 0.5);
+}
+
+TEST(EndToEnd, DeterministicExperiment) {
+  const ExperimentConfig config = tiny_config();
+  const DataSplit a = generate_dataset(config);
+  const DataSplit b = generate_dataset(config);
+  ASSERT_EQ(a.train.size(), b.train.size());
+  for (std::size_t i = 0; i < a.train.size(); ++i) {
+    EXPECT_EQ(a.train[i].label, b.train[i].label);
+    for (std::size_t t = 0; t < a.train[i].frames.size(); ++t) {
+      for (std::size_t k = 0; k < a.train[i].frames[t].aux.size(); ++k) {
+        EXPECT_EQ(a.train[i].frames[t].aux[k], b.train[i].frames[t].aux[k]);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace m2ai::core

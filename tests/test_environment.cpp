@@ -1,0 +1,58 @@
+#include "sim/environment.hpp"
+
+#include <gtest/gtest.h>
+
+namespace m2ai::sim {
+namespace {
+
+TEST(Environment, LaboratoryMatchesPaperDimensions) {
+  const Environment lab = Environment::laboratory();
+  EXPECT_DOUBLE_EQ(lab.width, 13.75);
+  EXPECT_DOUBLE_EQ(lab.depth, 10.50);
+  EXPECT_EQ(lab.walls.size(), 4u);
+  EXPECT_FALSE(lab.scatterers.empty());  // high multipath: cluttered
+}
+
+TEST(Environment, HallMatchesPaperDimensions) {
+  const Environment hall = Environment::hall();
+  EXPECT_DOUBLE_EQ(hall.width, 8.75);
+  EXPECT_DOUBLE_EQ(hall.depth, 7.50);
+  EXPECT_EQ(hall.walls.size(), 4u);
+  EXPECT_TRUE(hall.scatterers.empty());  // low multipath: empty room
+}
+
+TEST(Environment, LabHasMoreMultipathThanHall) {
+  EXPECT_GT(Environment::laboratory().scatterers.size(),
+            Environment::hall().scatterers.size());
+}
+
+TEST(Environment, ScatterersInsideRoom) {
+  const Environment lab = Environment::laboratory();
+  for (const Scatterer& s : lab.scatterers) {
+    EXPECT_GT(s.position.x, 0.0);
+    EXPECT_LT(s.position.x, lab.width);
+    EXPECT_GT(s.position.y, 0.0);
+    EXPECT_LT(s.position.y, lab.depth);
+    EXPECT_GT(s.radius, 0.0);
+  }
+}
+
+TEST(Environment, WallsEncloseRoom) {
+  const Environment lab = Environment::laboratory();
+  int vertical = 0, horizontal = 0;
+  for (const rf::Wall& w : lab.walls) {
+    (w.vertical ? vertical : horizontal)++;
+    EXPECT_GE(w.reflection_loss_db, 0.0);
+  }
+  EXPECT_EQ(vertical, 2);
+  EXPECT_EQ(horizontal, 2);
+}
+
+TEST(Environment, OpenSpaceIsEmpty) {
+  const Environment open = Environment::open_space();
+  EXPECT_TRUE(open.walls.empty());
+  EXPECT_TRUE(open.scatterers.empty());
+}
+
+}  // namespace
+}  // namespace m2ai::sim

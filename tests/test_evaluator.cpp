@@ -1,0 +1,64 @@
+#include "core/evaluator.hpp"
+
+#include <gtest/gtest.h>
+
+namespace m2ai::core {
+namespace {
+
+TEST(ConfusionMatrix, AccountsCounts) {
+  ConfusionMatrix cm(3);
+  cm.add(0, 0);
+  cm.add(0, 0);
+  cm.add(0, 1);
+  cm.add(1, 1);
+  cm.add(2, 0);
+  EXPECT_EQ(cm.total(), 5);
+  EXPECT_EQ(cm.count(0, 0), 2);
+  EXPECT_EQ(cm.count(0, 1), 1);
+  EXPECT_EQ(cm.count(2, 0), 1);
+}
+
+TEST(ConfusionMatrix, RatesRowNormalized) {
+  ConfusionMatrix cm(2);
+  cm.add(0, 0);
+  cm.add(0, 0);
+  cm.add(0, 1);
+  EXPECT_NEAR(cm.rate(0, 0), 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(cm.rate(0, 1), 1.0 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(cm.rate(1, 0), 0.0);  // empty row
+}
+
+TEST(ConfusionMatrix, AccuracyAndPerClass) {
+  ConfusionMatrix cm(2);
+  cm.add(0, 0);
+  cm.add(0, 0);
+  cm.add(1, 0);
+  cm.add(1, 1);
+  EXPECT_NEAR(cm.accuracy(), 0.75, 1e-12);
+  EXPECT_NEAR(cm.class_accuracy(0), 1.0, 1e-12);
+  EXPECT_NEAR(cm.class_accuracy(1), 0.5, 1e-12);
+  EXPECT_NEAR(cm.min_class_accuracy(), 0.5, 1e-12);
+}
+
+TEST(ConfusionMatrix, EmptyAccuracyIsZero) {
+  ConfusionMatrix cm(4);
+  EXPECT_DOUBLE_EQ(cm.accuracy(), 0.0);
+}
+
+TEST(ConfusionMatrix, RejectsOutOfRange) {
+  ConfusionMatrix cm(2);
+  EXPECT_THROW(cm.add(2, 0), std::out_of_range);
+  EXPECT_THROW(cm.add(0, -1), std::out_of_range);
+}
+
+TEST(ConfusionMatrix, RendersTable) {
+  ConfusionMatrix cm(2);
+  cm.add(0, 0);
+  cm.add(1, 0);
+  const std::string s = cm.to_string({"X", "Y"});
+  EXPECT_NE(s.find("X"), std::string::npos);
+  EXPECT_NE(s.find("100%"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace m2ai::core

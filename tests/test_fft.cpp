@@ -1,0 +1,116 @@
+#include "dsp/fft.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace m2ai::dsp {
+namespace {
+
+std::vector<cdouble> random_signal(std::size_t n, std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<cdouble> x(n);
+  for (auto& v : x) v = cdouble{rng.normal(), rng.normal()};
+  return x;
+}
+
+TEST(Fft, PowerOfTwoDetection) {
+  EXPECT_TRUE(is_power_of_two(1));
+  EXPECT_TRUE(is_power_of_two(64));
+  EXPECT_FALSE(is_power_of_two(0));
+  EXPECT_FALSE(is_power_of_two(12));
+  EXPECT_EQ(next_power_of_two(5), 8u);
+  EXPECT_EQ(next_power_of_two(8), 8u);
+}
+
+TEST(Fft, ImpulseGivesFlatSpectrum) {
+  std::vector<cdouble> x(8, cdouble{0.0, 0.0});
+  x[0] = cdouble{1.0, 0.0};
+  const auto spec = fft(x);
+  for (const auto& v : spec) EXPECT_NEAR(std::abs(v - cdouble(1.0, 0.0)), 0.0, 1e-12);
+}
+
+TEST(Fft, SinusoidConcentratesInOneBin) {
+  const std::size_t n = 64;
+  const int k0 = 5;
+  std::vector<cdouble> x(n);
+  for (std::size_t t = 0; t < n; ++t) {
+    x[t] = std::polar(1.0, 2.0 * M_PI * k0 * static_cast<double>(t) / static_cast<double>(n));
+  }
+  const auto spec = fft(x);
+  for (std::size_t k = 0; k < n; ++k) {
+    if (k == static_cast<std::size_t>(k0)) {
+      EXPECT_NEAR(std::abs(spec[k]), static_cast<double>(n), 1e-9);
+    } else {
+      EXPECT_NEAR(std::abs(spec[k]), 0.0, 1e-9);
+    }
+  }
+}
+
+TEST(Fft, RoundTripIdentity) {
+  const auto x = random_signal(128, 7);
+  const auto back = fft(fft(x, false), true);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    EXPECT_NEAR(std::abs(back[i] - x[i]), 0.0, 1e-10);
+  }
+}
+
+TEST(Fft, RadixTwoRejectsOddSize) {
+  std::vector<cdouble> x(6);
+  EXPECT_THROW(fft_radix2(x), std::invalid_argument);
+}
+
+class FftSizes : public ::testing::TestWithParam<std::size_t> {};
+
+// Property: fft must agree with the direct O(N^2) DFT, for power-of-two and
+// Bluestein sizes alike.
+TEST_P(FftSizes, MatchesDirectDft) {
+  const std::size_t n = GetParam();
+  const auto x = random_signal(n, 1000 + n);
+  const auto fast = fft(x);
+  const auto slow = dft(x);
+  for (std::size_t k = 0; k < n; ++k) {
+    EXPECT_NEAR(std::abs(fast[k] - slow[k]), 0.0, 1e-8 * static_cast<double>(n));
+  }
+}
+
+// Property: Parseval's theorem (cited via Eq. 16 context in the paper) —
+// sum |x|^2 == (1/N) sum |X|^2.
+TEST_P(FftSizes, ParsevalHolds) {
+  const std::size_t n = GetParam();
+  const auto x = random_signal(n, 2000 + n);
+  const auto spec = fft(x);
+  double time_energy = 0.0, freq_energy = 0.0;
+  for (const auto& v : x) time_energy += std::norm(v);
+  for (const auto& v : spec) freq_energy += std::norm(v);
+  EXPECT_NEAR(freq_energy / static_cast<double>(n), time_energy,
+              1e-9 * std::max(1.0, time_energy));
+}
+
+TEST_P(FftSizes, InverseRoundTrip) {
+  const std::size_t n = GetParam();
+  const auto x = random_signal(n, 3000 + n);
+  const auto back = fft(fft(x, false), true);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(std::abs(back[i] - x[i]), 0.0, 1e-9 * static_cast<double>(n));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, FftSizes,
+                         ::testing::Values(1, 2, 3, 4, 5, 7, 8, 12, 16, 17, 31, 32,
+                                           45, 64, 100, 128, 180));
+
+TEST(Dft, InverseRoundTrip) {
+  const auto x = random_signal(9, 11);
+  const auto back = dft(dft(x, false), true);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    EXPECT_NEAR(std::abs(back[i] - x[i]), 0.0, 1e-10);
+  }
+}
+
+TEST(Fft, EmptyInput) { EXPECT_TRUE(fft({}).empty()); }
+
+}  // namespace
+}  // namespace m2ai::dsp

@@ -1,0 +1,144 @@
+#include "core/frames.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/pipeline.hpp"
+
+namespace m2ai::core {
+namespace {
+
+PipelineConfig small_config(FeatureMode mode = FeatureMode::kM2AI) {
+  PipelineConfig config;
+  config.windows_per_sample = 4;
+  config.feature_mode = mode;
+  return config;
+}
+
+// Synthetic report stream: every (tag, antenna) pair read 4 times per
+// window on one channel.
+std::vector<sim::TagReport> synthetic_reports(int num_tags, int num_ant,
+                                              int num_windows, double window_sec) {
+  std::vector<sim::TagReport> reports;
+  for (int w = 0; w < num_windows; ++w) {
+    for (int tag = 1; tag <= num_tags; ++tag) {
+      for (int ant = 0; ant < num_ant; ++ant) {
+        for (int k = 0; k < 4; ++k) {
+          sim::TagReport r;
+          r.time_sec = w * window_sec + 0.05 + 0.08 * k;
+          r.tag_id = static_cast<std::uint32_t>(tag);
+          r.antenna = ant;
+          r.channel = 15;
+          r.phase_rad = 0.5 + 0.3 * ant + 0.01 * k;
+          r.rssi_dbm = -55.0 - tag;
+          reports.push_back(r);
+        }
+      }
+    }
+  }
+  return reports;
+}
+
+TEST(FrameBuilder, M2AIFrameShapes) {
+  PipelineConfig config = small_config();
+  FrameBuilder builder(config, nullptr, 6);
+  const auto frames = builder.build(synthetic_reports(6, 4, 4, config.window_sec), 0.0);
+  ASSERT_EQ(frames.size(), 4u);
+  for (const auto& f : frames) {
+    EXPECT_TRUE(f.has_pseudo);
+    EXPECT_TRUE(f.has_aux);
+    EXPECT_EQ(f.pseudo.dim(0), 6);
+    EXPECT_EQ(f.pseudo.dim(1), 180);
+    EXPECT_EQ(f.aux.dim(0), 6);
+    EXPECT_EQ(f.aux.dim(1), 4);
+  }
+}
+
+TEST(FrameBuilder, FeatureModeShapes) {
+  for (FeatureMode mode : {FeatureMode::kMusicOnly, FeatureMode::kFftOnly,
+                           FeatureMode::kPhaseOnly, FeatureMode::kRssiOnly}) {
+    PipelineConfig config = small_config(mode);
+    FrameBuilder builder(config, nullptr, 3);
+    const auto frames =
+        builder.build(synthetic_reports(3, 4, 4, config.window_sec), 0.0);
+    const auto& f = frames.front();
+    EXPECT_EQ(f.has_pseudo, mode == FeatureMode::kMusicOnly);
+    EXPECT_EQ(f.has_aux, mode != FeatureMode::kMusicOnly);
+    if (f.has_aux) {
+      EXPECT_EQ(f.aux.dim(0), 3);
+      EXPECT_EQ(f.aux.dim(1), 4);
+    }
+  }
+}
+
+TEST(FrameBuilder, MissingTagYieldsZeroRow) {
+  PipelineConfig config = small_config();
+  FrameBuilder builder(config, nullptr, 4);  // tag 4 never reported
+  const auto frames = builder.build(synthetic_reports(3, 4, 4, config.window_sec), 0.0);
+  const auto& f = frames.front();
+  float row_sum = 0.0f;
+  for (int b = 0; b < 180; ++b) row_sum += f.pseudo.at(3, b);
+  EXPECT_EQ(row_sum, 0.0f);
+  for (int a = 0; a < 4; ++a) EXPECT_EQ(f.aux.at(3, a), 0.0f);
+}
+
+TEST(FrameBuilder, ReportsOutsideSpanIgnored) {
+  PipelineConfig config = small_config();
+  FrameBuilder builder(config, nullptr, 2);
+  auto reports = synthetic_reports(2, 4, 2, config.window_sec);
+  // Shift to start at t = 100: all reports fall before the span.
+  const auto frames = builder.build(reports, 100.0);
+  ASSERT_EQ(frames.size(), static_cast<std::size_t>(config.windows_per_sample));
+  float total = 0.0f;
+  for (const auto& f : frames) total += f.pseudo.flattened().l2_norm();
+  EXPECT_EQ(total, 0.0f);
+}
+
+TEST(FrameBuilder, PseudoSpectrumNormalizedPerTag) {
+  PipelineConfig config = small_config();
+  FrameBuilder builder(config, nullptr, 2);
+  const auto frames = builder.build(synthetic_reports(2, 4, 4, config.window_sec), 0.0);
+  for (int tag = 0; tag < 2; ++tag) {
+    float mx = 0.0f;
+    for (int b = 0; b < 180; ++b) mx = std::max(mx, frames[0].pseudo.at(tag, b));
+    EXPECT_NEAR(mx, 1.0f, 1e-5);
+  }
+}
+
+TEST(FrameBuilder, RssiModeEncodesPower) {
+  PipelineConfig config = small_config(FeatureMode::kRssiOnly);
+  FrameBuilder builder(config, nullptr, 2);
+  const auto frames = builder.build(synthetic_reports(2, 4, 4, config.window_sec), 0.0);
+  // rssi = -56 (tag 1) -> (−56+90)/60 ≈ 0.567; tag 2 slightly lower.
+  EXPECT_NEAR(frames[0].aux.at(0, 0), (90.0 - 56.0) / 60.0, 1e-5);
+  EXPECT_GT(frames[0].aux.at(0, 0), frames[0].aux.at(1, 0));
+}
+
+TEST(FrameBuilder, PhaseModeUsesCalibratedMean) {
+  PipelineConfig config = small_config(FeatureMode::kPhaseOnly);
+  FrameBuilder builder(config, nullptr, 1);
+  const auto frames = builder.build(synthetic_reports(1, 4, 4, config.window_sec), 0.0);
+  // Antenna 2 phase ≈ 0.5 + 0.6 + ~0.015 -> normalized by 2*pi.
+  EXPECT_NEAR(frames[0].aux.at(0, 2), (0.5 + 0.6 + 0.015) / (2 * M_PI), 0.01);
+}
+
+TEST(FrameBuilder, TooFewSnapshotsGiveZeroRow) {
+  PipelineConfig config = small_config();
+  FrameBuilder builder(config, nullptr, 1);
+  // Single read per antenna -> fewer than 2 aligned snapshots.
+  std::vector<sim::TagReport> reports;
+  for (int ant = 0; ant < 4; ++ant) {
+    sim::TagReport r;
+    r.time_sec = 0.1;
+    r.tag_id = 1;
+    r.antenna = ant;
+    r.channel = 3;
+    r.phase_rad = 1.0;
+    r.rssi_dbm = -50;
+    reports.push_back(r);
+  }
+  const auto frames = builder.build(reports, 0.0);
+  EXPECT_EQ(frames[0].pseudo.flattened().l2_norm(), 0.0f);
+}
+
+}  // namespace
+}  // namespace m2ai::core

@@ -1,0 +1,81 @@
+#include "rf/geometry.hpp"
+
+#include <gtest/gtest.h>
+
+namespace m2ai::rf {
+namespace {
+
+TEST(Vec2, BasicArithmetic) {
+  const Vec2 a{1, 2}, b{3, -1};
+  EXPECT_DOUBLE_EQ((a + b).x, 4.0);
+  EXPECT_DOUBLE_EQ((a - b).y, 3.0);
+  EXPECT_DOUBLE_EQ((a * 2.0).y, 4.0);
+  EXPECT_DOUBLE_EQ(a.dot(b), 1.0);
+  EXPECT_DOUBLE_EQ((Vec2{3, 4}).norm(), 5.0);
+}
+
+TEST(Vec2, NormalizedUnitAndZero) {
+  EXPECT_NEAR((Vec2{3, 4}).normalized().norm(), 1.0, 1e-12);
+  EXPECT_DOUBLE_EQ((Vec2{0, 0}).normalized().norm(), 0.0);
+}
+
+TEST(Geometry, MirrorAcrossWalls) {
+  const Wall horizontal{false, 0.0, 0.0, 10.0, 6.0};
+  const Vec2 m1 = mirror({3.0, 2.0}, horizontal);
+  EXPECT_DOUBLE_EQ(m1.x, 3.0);
+  EXPECT_DOUBLE_EQ(m1.y, -2.0);
+
+  const Wall vertical{true, 5.0, 0.0, 10.0, 6.0};
+  const Vec2 m2 = mirror({3.0, 2.0}, vertical);
+  EXPECT_DOUBLE_EQ(m2.x, 7.0);
+  EXPECT_DOUBLE_EQ(m2.y, 2.0);
+}
+
+TEST(Geometry, WallIntersectionHit) {
+  const Wall wall{false, 0.0, 0.0, 10.0, 6.0};  // y = 0 plane
+  const auto hit = wall_intersection({2.0, 3.0}, {2.0, -3.0}, wall);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_DOUBLE_EQ(hit->x, 2.0);
+  EXPECT_DOUBLE_EQ(hit->y, 0.0);
+}
+
+TEST(Geometry, WallIntersectionMissesOutsideExtent) {
+  const Wall wall{false, 0.0, 0.0, 1.0, 6.0};  // short wall
+  EXPECT_FALSE(wall_intersection({5.0, 3.0}, {5.0, -3.0}, wall).has_value());
+}
+
+TEST(Geometry, WallIntersectionMissesParallel) {
+  const Wall wall{false, 0.0, 0.0, 10.0, 6.0};
+  EXPECT_FALSE(wall_intersection({0.0, 1.0}, {5.0, 1.0}, wall).has_value());
+}
+
+TEST(Geometry, WallIntersectionMissesBeyondSegment) {
+  const Wall wall{false, 0.0, 0.0, 10.0, 6.0};
+  EXPECT_FALSE(wall_intersection({2.0, 3.0}, {2.0, 1.0}, wall).has_value());
+}
+
+TEST(Geometry, PointSegmentDistance) {
+  EXPECT_DOUBLE_EQ(point_segment_distance({0, 1}, {-1, 0}, {1, 0}), 1.0);
+  // Beyond an endpoint the distance is to the endpoint.
+  EXPECT_DOUBLE_EQ(point_segment_distance({3, 0}, {-1, 0}, {1, 0}), 2.0);
+  // Degenerate segment.
+  EXPECT_DOUBLE_EQ(point_segment_distance({0, 3}, {0, 0}, {0, 0}), 3.0);
+}
+
+TEST(Geometry, SegmentHitsCircle) {
+  EXPECT_TRUE(segment_hits_circle({-2, 0}, {2, 0}, {0, 0.2}, 0.5));
+  EXPECT_FALSE(segment_hits_circle({-2, 0}, {2, 0}, {0, 1.0}, 0.5));
+  // Circle beyond the segment end does not block.
+  EXPECT_FALSE(segment_hits_circle({-2, 0}, {-1, 0}, {1, 0}, 0.5));
+}
+
+TEST(Geometry, BearingConvention) {
+  const Vec2 origin{0, 0}, axis{1, 0};
+  EXPECT_NEAR(bearing_deg(origin, axis, {1, 0}), 0.0, 1e-9);     // along axis
+  EXPECT_NEAR(bearing_deg(origin, axis, {0, 5}), 90.0, 1e-9);    // broadside
+  EXPECT_NEAR(bearing_deg(origin, axis, {-1, 0}), 180.0, 1e-9);  // opposite
+  EXPECT_NEAR(bearing_deg(origin, axis, {1, 1}), 45.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace m2ai::rf

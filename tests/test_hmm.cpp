@@ -1,0 +1,111 @@
+#include "ml/hmm.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace m2ai::ml {
+namespace {
+
+// Synthetic sequence family: class decides the emission trajectory.
+//  class 0: features ramp up over time;   class 1: ramp down;
+//  class 2: oscillate.
+FeatureSequence make_sequence(int label, int t_len, util::Rng& rng) {
+  FeatureSequence seq;
+  for (int t = 0; t < t_len; ++t) {
+    const double u = static_cast<double>(t) / static_cast<double>(t_len - 1);
+    double base = 0.0;
+    switch (label) {
+      case 0: base = 2.0 * u - 1.0; break;
+      case 1: base = 1.0 - 2.0 * u; break;
+      default: base = std::sin(4.0 * M_PI * u); break;
+    }
+    seq.push_back({static_cast<float>(base + rng.normal(0.0, 0.2)),
+                   static_cast<float>(0.5 * base + rng.normal(0.0, 0.2))});
+  }
+  return seq;
+}
+
+TEST(GaussianHmm, LikelihoodFiniteAndOrdersSequences) {
+  util::Rng rng(1);
+  std::vector<FeatureSequence> train;
+  for (int i = 0; i < 30; ++i) train.push_back(make_sequence(0, 12, rng));
+  GaussianHmm model(3, 2, 7);
+  model.fit(train);
+
+  const double ll_match = model.log_likelihood(make_sequence(0, 12, rng));
+  const double ll_other = model.log_likelihood(make_sequence(1, 12, rng));
+  EXPECT_TRUE(std::isfinite(ll_match));
+  EXPECT_GT(ll_match, ll_other);  // the model prefers its own class
+}
+
+TEST(GaussianHmm, EmptySequenceIsImpossible) {
+  GaussianHmm model(2, 2, 3);
+  EXPECT_EQ(model.log_likelihood({}), -std::numeric_limits<double>::infinity());
+}
+
+TEST(GaussianHmm, RejectsBadConstruction) {
+  EXPECT_THROW(GaussianHmm(0, 2, 1), std::invalid_argument);
+  EXPECT_THROW(GaussianHmm(2, 0, 1), std::invalid_argument);
+}
+
+TEST(GaussianHmm, RejectsEmptyTraining) {
+  GaussianHmm model(2, 2, 1);
+  EXPECT_THROW(model.fit({}), std::invalid_argument);
+}
+
+TEST(HmmSequenceClassifier, SeparatesTemporalClasses) {
+  util::Rng rng(2);
+  std::vector<FeatureSequence> train, test;
+  std::vector<int> train_labels, test_labels;
+  for (int c = 0; c < 3; ++c) {
+    for (int i = 0; i < 40; ++i) {
+      train.push_back(make_sequence(c, 14, rng));
+      train_labels.push_back(c);
+    }
+    for (int i = 0; i < 15; ++i) {
+      test.push_back(make_sequence(c, 14, rng));
+      test_labels.push_back(c);
+    }
+  }
+  HmmSequenceClassifier hmm(4, 10);
+  hmm.fit(train, train_labels, 3);
+  EXPECT_GT(hmm.accuracy(test, test_labels), 0.9);
+}
+
+TEST(HmmSequenceClassifier, TemporalOrderMatters) {
+  // Classes 0 and 1 have identical marginal feature distributions (one is
+  // the time-reverse of the other): any frame-level classifier is blind,
+  // but the HMM separates them.
+  util::Rng rng(3);
+  std::vector<FeatureSequence> train;
+  std::vector<int> labels;
+  for (int i = 0; i < 40; ++i) {
+    train.push_back(make_sequence(0, 14, rng));
+    labels.push_back(0);
+    train.push_back(make_sequence(1, 14, rng));
+    labels.push_back(1);
+  }
+  HmmSequenceClassifier hmm(4, 10);
+  hmm.fit(train, labels, 2);
+  int correct = 0;
+  for (int i = 0; i < 20; ++i) {
+    const int c = i % 2;
+    if (hmm.predict(make_sequence(c, 14, rng)) == c) ++correct;
+  }
+  EXPECT_GE(correct, 18);
+}
+
+TEST(HmmSequenceClassifier, PredictBeforeFitThrows) {
+  HmmSequenceClassifier hmm;
+  EXPECT_THROW(hmm.predict({{1.0f}}), std::logic_error);
+}
+
+TEST(HmmSequenceClassifier, MismatchedLabelsRejected) {
+  HmmSequenceClassifier hmm;
+  std::vector<FeatureSequence> seqs{{{1.0f, 2.0f}}};
+  EXPECT_THROW(hmm.fit(seqs, {0, 1}, 2), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace m2ai::ml

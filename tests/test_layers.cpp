@@ -1,0 +1,264 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/activations.hpp"
+#include "nn/conv1d.hpp"
+#include "nn/dense.hpp"
+#include "nn/dropout.hpp"
+#include "nn/gradcheck.hpp"
+#include "nn/pool.hpp"
+#include "nn/softmax.hpp"
+
+namespace m2ai::nn {
+namespace {
+
+Tensor random_tensor(std::vector<int> shape, util::Rng& rng) {
+  Tensor t(std::move(shape));
+  t.randomize_normal(rng, 1.0f);
+  return t;
+}
+
+// Scalar pseudo-loss: sum of squares / 2 -> grad is the output itself.
+double half_square(const Tensor& y) {
+  double s = 0.0;
+  for (std::size_t i = 0; i < y.size(); ++i) s += 0.5 * y[i] * y[i];
+  return s;
+}
+
+TEST(Dense, ForwardKnownValues) {
+  util::Rng rng(1);
+  Dense layer(2, 2, rng);
+  auto params = layer.params();
+  // W = [[1, 2], [3, 4]], b = [0.5, -0.5].
+  params[0]->value[0] = 1;
+  params[0]->value[1] = 2;
+  params[0]->value[2] = 3;
+  params[0]->value[3] = 4;
+  params[1]->value[0] = 0.5f;
+  params[1]->value[1] = -0.5f;
+  const Tensor y = layer.forward(Tensor::from({1.0f, 1.0f}), false);
+  EXPECT_FLOAT_EQ(y.at(0), 3.5f);
+  EXPECT_FLOAT_EQ(y.at(1), 6.5f);
+}
+
+TEST(Dense, FlattensHigherRankInput) {
+  util::Rng rng(2);
+  Dense layer(6, 3, rng);
+  Tensor x({2, 3});
+  EXPECT_EQ(layer.forward(x, false).size(), 3u);
+}
+
+TEST(Dense, RejectsWrongSize) {
+  util::Rng rng(3);
+  Dense layer(4, 2, rng);
+  EXPECT_THROW(layer.forward(Tensor({3}), false), std::invalid_argument);
+}
+
+TEST(Dense, GradCheck) {
+  util::Rng rng(4);
+  Dense layer(5, 3, rng);
+  const Tensor x = random_tensor({5}, rng);
+  auto loss_fn = [&]() {
+    layer.clear_cache();
+    const Tensor y = layer.forward(x, true);
+    const double loss = half_square(y);
+    layer.backward(y);
+    return loss;
+  };
+  const auto result = check_param_gradients(loss_fn, layer.params());
+  EXPECT_TRUE(result.ok) << "max rel err " << result.max_rel_error;
+}
+
+TEST(Dense, InputGradCheck) {
+  util::Rng rng(5);
+  Dense layer(4, 4, rng);
+  const Tensor x = random_tensor({4}, rng);
+  layer.clear_cache();
+  const Tensor y = layer.forward(x, true);
+  const Tensor gin = layer.backward(y);
+  auto run = [&](const Tensor& input) {
+    return half_square(layer.forward(input, false));
+  };
+  const auto result = check_input_gradient(run, x, gin);
+  EXPECT_TRUE(result.ok) << "max rel err " << result.max_rel_error;
+}
+
+TEST(Dense, LifoCacheSupportsWeightSharing) {
+  util::Rng rng(6);
+  Dense layer(3, 2, rng);
+  const Tensor x1 = random_tensor({3}, rng);
+  const Tensor x2 = random_tensor({3}, rng);
+  const Tensor y1 = layer.forward(x1, true);
+  const Tensor y2 = layer.forward(x2, true);
+  // Pop in reverse order without error; grads accumulate across pops.
+  layer.backward(y2);
+  layer.backward(y1);
+  EXPECT_GT(layer.params()[0]->grad.l2_norm(), 0.0f);
+  EXPECT_THROW(layer.backward(y1), std::logic_error);  // cache exhausted
+}
+
+TEST(Conv1d, OutputLengthFormula) {
+  util::Rng rng(7);
+  Conv1d conv(1, 1, 3, 2, 1, rng);
+  EXPECT_EQ(conv.output_length(10), 5);
+  Conv1d conv2(1, 1, 7, 2, 3, rng);
+  EXPECT_EQ(conv2.output_length(180), 90);
+}
+
+TEST(Conv1d, IdentityKernel) {
+  util::Rng rng(8);
+  Conv1d conv(1, 1, 1, 1, 0, rng);
+  conv.params()[0]->value[0] = 1.0f;  // single weight
+  conv.params()[1]->value[0] = 0.0f;
+  Tensor x({1, 5});
+  for (int i = 0; i < 5; ++i) x.at(0, i) = static_cast<float>(i);
+  const Tensor y = conv.forward(x, false);
+  for (int i = 0; i < 5; ++i) EXPECT_FLOAT_EQ(y.at(0, i), static_cast<float>(i));
+}
+
+TEST(Conv1d, KnownConvolution) {
+  util::Rng rng(9);
+  Conv1d conv(1, 1, 3, 1, 1, rng);
+  auto* w = conv.params()[0];
+  w->value[0] = 1.0f;
+  w->value[1] = 0.0f;
+  w->value[2] = -1.0f;
+  conv.params()[1]->value[0] = 0.0f;
+  Tensor x({1, 4});
+  x.at(0, 0) = 1;
+  x.at(0, 1) = 2;
+  x.at(0, 2) = 4;
+  x.at(0, 3) = 8;
+  const Tensor y = conv.forward(x, false);
+  // Padded input: 0 1 2 4 8 0 ; y[i] = x[i-1] - x[i+1].
+  EXPECT_FLOAT_EQ(y.at(0, 0), -2.0f);
+  EXPECT_FLOAT_EQ(y.at(0, 1), -3.0f);
+  EXPECT_FLOAT_EQ(y.at(0, 2), -6.0f);
+  EXPECT_FLOAT_EQ(y.at(0, 3), 4.0f);
+}
+
+TEST(Conv1d, GradCheck) {
+  util::Rng rng(10);
+  Conv1d conv(2, 3, 3, 2, 1, rng);
+  const Tensor x = random_tensor({2, 9}, rng);
+  auto loss_fn = [&]() {
+    conv.clear_cache();
+    const Tensor y = conv.forward(x, true);
+    const double loss = half_square(y);
+    conv.backward(y);
+    return loss;
+  };
+  const auto result = check_param_gradients(loss_fn, conv.params());
+  EXPECT_TRUE(result.ok) << "max rel err " << result.max_rel_error;
+}
+
+TEST(Conv1d, InputGradCheck) {
+  util::Rng rng(11);
+  Conv1d conv(2, 2, 3, 1, 1, rng);
+  const Tensor x = random_tensor({2, 6}, rng);
+  conv.clear_cache();
+  const Tensor y = conv.forward(x, true);
+  const Tensor gin = conv.backward(y);
+  auto run = [&](const Tensor& input) {
+    return half_square(conv.forward(input, false));
+  };
+  const auto result = check_input_gradient(run, x, gin);
+  EXPECT_TRUE(result.ok) << "max rel err " << result.max_rel_error;
+}
+
+TEST(ReLU, ForwardClampsNegatives) {
+  ReLU relu;
+  const Tensor y = relu.forward(Tensor::from({-1.0f, 0.0f, 2.0f}), false);
+  EXPECT_FLOAT_EQ(y.at(0), 0.0f);
+  EXPECT_FLOAT_EQ(y.at(1), 0.0f);
+  EXPECT_FLOAT_EQ(y.at(2), 2.0f);
+}
+
+TEST(ReLU, BackwardMasksNegatives) {
+  ReLU relu;
+  const Tensor x = Tensor::from({-1.0f, 3.0f});
+  relu.forward(x, true);
+  const Tensor g = relu.backward(Tensor::from({5.0f, 7.0f}));
+  EXPECT_FLOAT_EQ(g.at(0), 0.0f);
+  EXPECT_FLOAT_EQ(g.at(1), 7.0f);
+}
+
+TEST(Tanh, ForwardAndGradient) {
+  Tanh tanh_layer;
+  const Tensor x = Tensor::from({0.5f});
+  const Tensor y = tanh_layer.forward(x, true);
+  EXPECT_NEAR(y.at(0), std::tanh(0.5f), 1e-6);
+  const Tensor g = tanh_layer.backward(Tensor::from({1.0f}));
+  EXPECT_NEAR(g.at(0), 1.0f - y.at(0) * y.at(0), 1e-6);
+}
+
+TEST(MaxPool1d, ForwardSelectsMax) {
+  MaxPool1d pool(2);
+  Tensor x({1, 4});
+  x.at(0, 0) = 1;
+  x.at(0, 1) = 5;
+  x.at(0, 2) = 2;
+  x.at(0, 3) = 0;
+  const Tensor y = pool.forward(x, false);
+  EXPECT_FLOAT_EQ(y.at(0, 0), 5.0f);
+  EXPECT_FLOAT_EQ(y.at(0, 1), 2.0f);
+}
+
+TEST(MaxPool1d, BackwardRoutesToArgmax) {
+  MaxPool1d pool(2);
+  Tensor x({1, 4});
+  x.at(0, 1) = 5;
+  x.at(0, 2) = 2;
+  pool.forward(x, true);
+  Tensor g({1, 2});
+  g.at(0, 0) = 1.0f;
+  g.at(0, 1) = 2.0f;
+  const Tensor gin = pool.backward(g);
+  EXPECT_FLOAT_EQ(gin.at(0, 0), 0.0f);
+  EXPECT_FLOAT_EQ(gin.at(0, 1), 1.0f);
+  EXPECT_FLOAT_EQ(gin.at(0, 2), 2.0f);
+  EXPECT_FLOAT_EQ(gin.at(0, 3), 0.0f);
+}
+
+TEST(Dropout, InferenceIsIdentity) {
+  Dropout drop(0.5, util::Rng(12));
+  const Tensor x = Tensor::from({1, 2, 3});
+  const Tensor y = drop.forward(x, false);
+  for (std::size_t i = 0; i < 3; ++i) EXPECT_FLOAT_EQ(y[i], x[i]);
+}
+
+TEST(Dropout, TrainDropsAndRescales) {
+  Dropout drop(0.5, util::Rng(13));
+  Tensor x({10000});
+  x.fill(1.0f);
+  const Tensor y = drop.forward(x, true);
+  int zeros = 0;
+  double sum = 0.0;
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    if (y[i] == 0.0f) {
+      ++zeros;
+    } else {
+      EXPECT_FLOAT_EQ(y[i], 2.0f);  // inverted dropout scale 1/(1-0.5)
+    }
+    sum += y[i];
+  }
+  EXPECT_NEAR(zeros / 10000.0, 0.5, 0.03);
+  EXPECT_NEAR(sum / 10000.0, 1.0, 0.06);  // expectation preserved
+}
+
+TEST(Dropout, BackwardUsesSameMask) {
+  Dropout drop(0.5, util::Rng(14));
+  Tensor x({100});
+  x.fill(1.0f);
+  const Tensor y = drop.forward(x, true);
+  Tensor g({100});
+  g.fill(1.0f);
+  const Tensor gin = drop.backward(g);
+  for (std::size_t i = 0; i < 100; ++i) {
+    EXPECT_FLOAT_EQ(gin[i], y[i]);  // same positions dropped / scaled
+  }
+}
+
+}  // namespace
+}  // namespace m2ai::nn

@@ -1,0 +1,80 @@
+#include "ml/linalg.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace m2ai::ml {
+namespace {
+
+TEST(Cholesky, KnownFactorization) {
+  // A = [[4, 2], [2, 3]] -> L = [[2, 0], [1, sqrt(2)]].
+  std::vector<double> a{4, 2, 2, 3};
+  ASSERT_TRUE(cholesky(a, 2));
+  EXPECT_NEAR(a[0], 2.0, 1e-12);
+  EXPECT_NEAR(a[2], 1.0, 1e-12);
+  EXPECT_NEAR(a[3], std::sqrt(2.0), 1e-12);
+}
+
+TEST(Cholesky, RejectsIndefinite) {
+  std::vector<double> a{1, 2, 2, 1};  // eigenvalues 3, -1
+  EXPECT_FALSE(cholesky(a, 2));
+}
+
+TEST(Cholesky, SolveMatchesDirect) {
+  // A x = b with A = [[4,2],[2,3]], b = [10, 8] -> x = [1.75, 1.5].
+  std::vector<double> a{4, 2, 2, 3};
+  ASSERT_TRUE(cholesky(a, 2));
+  const auto x = cholesky_solve(a, 2, {10.0, 8.0});
+  EXPECT_NEAR(x[0], 1.75, 1e-12);
+  EXPECT_NEAR(x[1], 1.5, 1e-12);
+}
+
+TEST(Cholesky, LogDetMatches) {
+  // det([[4,2],[2,3]]) = 8.
+  std::vector<double> a{4, 2, 2, 3};
+  ASSERT_TRUE(cholesky(a, 2));
+  EXPECT_NEAR(cholesky_log_det(a, 2), std::log(8.0), 1e-12);
+}
+
+TEST(Cholesky, RandomSpdRoundTrip) {
+  util::Rng rng(3);
+  const std::size_t n = 12;
+  // A = B B^T + n*I is SPD.
+  std::vector<double> b(n * n);
+  for (auto& v : b) v = rng.normal();
+  std::vector<double> a(n * n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      for (std::size_t k = 0; k < n; ++k) a[i * n + j] += b[i * n + k] * b[j * n + k];
+    }
+    a[i * n + i] += static_cast<double>(n);
+  }
+  std::vector<double> truth(n);
+  for (std::size_t i = 0; i < n; ++i) truth[i] = rng.normal();
+  // rhs = A * truth
+  std::vector<double> rhs(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) rhs[i] += a[i * n + j] * truth[j];
+  }
+  std::vector<double> chol = a;
+  ASSERT_TRUE(cholesky(chol, n));
+  const auto x = cholesky_solve(chol, n, rhs);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(x[i], truth[i], 1e-8);
+}
+
+TEST(RobustCholesky, RegularizesSemidefinite) {
+  // Rank-deficient matrix: [[1,1],[1,1]].
+  std::vector<double> a{1, 1, 1, 1};
+  const auto chol = robust_cholesky(a, 2);
+  // Factor of a slightly-ridged matrix: finite log det.
+  EXPECT_TRUE(std::isfinite(cholesky_log_det(chol, 2)));
+}
+
+TEST(RobustCholesky, ThrowsOnHopelesslyIndefinite) {
+  std::vector<double> a{-1, 0, 0, -1};
+  EXPECT_THROW(robust_cholesky(a, 2), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace m2ai::ml

@@ -1,0 +1,131 @@
+#include "nn/lstm.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/gradcheck.hpp"
+
+namespace m2ai::nn {
+namespace {
+
+std::vector<Tensor> random_sequence(int t_len, int dim, util::Rng& rng) {
+  std::vector<Tensor> seq;
+  for (int t = 0; t < t_len; ++t) {
+    Tensor x({dim});
+    x.randomize_normal(rng, 1.0f);
+    seq.push_back(std::move(x));
+  }
+  return seq;
+}
+
+double sequence_half_square(const std::vector<Tensor>& outputs) {
+  double s = 0.0;
+  for (const Tensor& y : outputs) {
+    for (std::size_t i = 0; i < y.size(); ++i) s += 0.5 * y[i] * y[i];
+  }
+  return s;
+}
+
+TEST(Lstm, OutputShapes) {
+  util::Rng rng(1);
+  Lstm lstm(3, 5, rng);
+  const auto outputs = lstm.forward(random_sequence(7, 3, rng), false);
+  ASSERT_EQ(outputs.size(), 7u);
+  for (const Tensor& h : outputs) EXPECT_EQ(h.size(), 5u);
+}
+
+TEST(Lstm, HiddenStateBounded) {
+  // h = o * tanh(c) keeps |h| < 1.
+  util::Rng rng(2);
+  Lstm lstm(4, 8, rng);
+  const auto outputs = lstm.forward(random_sequence(20, 4, rng), false);
+  for (const Tensor& h : outputs) {
+    for (std::size_t i = 0; i < h.size(); ++i) EXPECT_LT(std::abs(h[i]), 1.0f);
+  }
+}
+
+TEST(Lstm, RejectsWrongInputSize) {
+  util::Rng rng(3);
+  Lstm lstm(4, 4, rng);
+  std::vector<Tensor> bad{Tensor({3})};
+  EXPECT_THROW(lstm.forward(bad, false), std::invalid_argument);
+}
+
+TEST(Lstm, BackwardRequiresMatchingLength) {
+  util::Rng rng(4);
+  Lstm lstm(2, 3, rng);
+  lstm.forward(random_sequence(4, 2, rng), true);
+  std::vector<Tensor> grads(3, Tensor({3}));
+  EXPECT_THROW(lstm.backward(grads), std::logic_error);
+}
+
+TEST(Lstm, BpttGradCheck) {
+  util::Rng rng(5);
+  Lstm lstm(3, 4, rng);
+  const auto inputs = random_sequence(5, 3, rng);
+  auto loss_fn = [&]() {
+    lstm.clear_cache();
+    const auto outputs = lstm.forward(inputs, true);
+    const double loss = sequence_half_square(outputs);
+    lstm.backward(outputs);  // dL/dh_t = h_t
+    return loss;
+  };
+  const auto result = check_param_gradients(loss_fn, lstm.params(), 1e-3, 3e-2);
+  EXPECT_TRUE(result.ok) << "max rel err " << result.max_rel_error;
+}
+
+TEST(Lstm, InputGradientsFlowToEarlySteps) {
+  util::Rng rng(6);
+  Lstm lstm(2, 6, rng);
+  const auto inputs = random_sequence(8, 2, rng);
+  const auto outputs = lstm.forward(inputs, true);
+  // Loss only on the LAST step: gradient must still reach step 0.
+  std::vector<Tensor> grads(8, Tensor({6}));
+  grads.back() = outputs.back();
+  const auto gin = lstm.backward(grads);
+  ASSERT_EQ(gin.size(), 8u);
+  EXPECT_GT(gin.front().l2_norm(), 0.0f);
+}
+
+TEST(Lstm, MemoryDistinguishesEarlyInputs) {
+  // The defining LSTM property (Sec. IV-B.2): the final state depends on an
+  // input seen many steps earlier.
+  util::Rng rng(7);
+  Lstm lstm(1, 8, rng);
+  std::vector<Tensor> seq_a, seq_b;
+  for (int t = 0; t < 12; ++t) {
+    seq_a.push_back(Tensor::from({t == 0 ? 2.0f : 0.1f}));
+    seq_b.push_back(Tensor::from({t == 0 ? -2.0f : 0.1f}));
+  }
+  const auto ha = lstm.forward(seq_a, false);
+  const auto hb = lstm.forward(seq_b, false);
+  Tensor diff = ha.back();
+  diff.add_scaled(hb.back(), -1.0f);
+  EXPECT_GT(diff.l2_norm(), 0.01f);
+}
+
+TEST(Lstm, ForgetBiasStartsAtOne) {
+  util::Rng rng(8);
+  Lstm lstm(2, 4, rng);
+  const Tensor& bias = lstm.params()[1]->value;
+  for (int h = 0; h < 4; ++h) {
+    EXPECT_FLOAT_EQ(bias.at(4 + h), 1.0f);  // forget-gate block
+    EXPECT_FLOAT_EQ(bias.at(h), 0.0f);      // input-gate block
+  }
+}
+
+TEST(Lstm, DeterministicForSeed) {
+  util::Rng rng_a(9), rng_b(9);
+  Lstm a(3, 4, rng_a), b(3, 4, rng_b);
+  util::Rng data_rng(10);
+  const auto inputs = random_sequence(4, 3, data_rng);
+  const auto ha = a.forward(inputs, false);
+  const auto hb = b.forward(inputs, false);
+  for (std::size_t t = 0; t < 4; ++t) {
+    for (std::size_t i = 0; i < 4; ++i) EXPECT_FLOAT_EQ(ha[t][i], hb[t][i]);
+  }
+}
+
+}  // namespace
+}  // namespace m2ai::nn

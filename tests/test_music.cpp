@@ -1,0 +1,152 @@
+#include "dsp/music.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "rf/steering.hpp"
+#include "util/rng.hpp"
+
+namespace m2ai::dsp {
+namespace {
+
+MusicOptions default_options() {
+  MusicOptions opts;
+  opts.num_antennas = 4;
+  opts.effective_separation_m = 0.08;
+  opts.wavelength_m = 0.33;
+  opts.covariance.diagonal_loading = 1e-9;
+  return opts;
+}
+
+// Incoherent sources: independent random phase per source per snapshot.
+std::vector<std::vector<cdouble>> incoherent_snapshots(
+    const std::vector<double>& angles, const std::vector<double>& powers, int n_ant,
+    int count, double noise, std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<std::vector<std::complex<double>>> steer;
+  for (double th : angles) {
+    steer.push_back(rf::steering_vector(th, n_ant, 0.08, 0.33));
+  }
+  std::vector<std::vector<cdouble>> snaps(static_cast<std::size_t>(count));
+  for (auto& snap : snaps) {
+    snap.assign(static_cast<std::size_t>(n_ant), cdouble{0.0, 0.0});
+    for (std::size_t s = 0; s < angles.size(); ++s) {
+      const cdouble amp = std::sqrt(powers[s]) *
+                          std::polar(1.0, rng.uniform(0.0, 2.0 * M_PI));
+      for (int i = 0; i < n_ant; ++i) {
+        snap[static_cast<std::size_t>(i)] += amp * steer[s][static_cast<std::size_t>(i)];
+      }
+    }
+    for (auto& v : snap) v += cdouble{rng.normal(0.0, noise), rng.normal(0.0, noise)};
+  }
+  return snaps;
+}
+
+int argmax(const std::vector<double>& v) {
+  int best = 0;
+  for (int i = 1; i < static_cast<int>(v.size()); ++i) {
+    if (v[static_cast<std::size_t>(i)] > v[static_cast<std::size_t>(best)]) best = i;
+  }
+  return best;
+}
+
+class MusicAngles : public ::testing::TestWithParam<double> {};
+
+// Property: a single source is located within 3 degrees across the usable
+// angular range.
+TEST_P(MusicAngles, SingleSourceLocated) {
+  const double truth = GetParam();
+  MusicOptions opts = default_options();
+  opts.num_sources = 1;
+  MusicEstimator music(opts);
+  const auto snaps = incoherent_snapshots({truth}, {1.0}, 4, 64, 0.02,
+                                          100 + static_cast<std::uint64_t>(truth));
+  const MusicResult r = music.estimate(snaps);
+  EXPECT_NEAR(argmax(r.spectrum), truth, 3.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Angles, MusicAngles,
+                         ::testing::Values(25.0, 40.0, 60.0, 75.0, 90.0, 105.0,
+                                           125.0, 150.0));
+
+TEST(Music, TwoIncoherentSourcesResolved) {
+  MusicOptions opts = default_options();
+  opts.num_sources = 2;
+  MusicEstimator music(opts);
+  const auto snaps = incoherent_snapshots({50.0, 115.0}, {1.0, 0.8}, 4, 128, 0.02, 9);
+  const MusicResult r = music.estimate(snaps);
+  const auto peaks = find_peaks(r.spectrum, 2, 0.01);
+  ASSERT_EQ(peaks.size(), 2u);
+  const double p0 = std::min(peaks[0], peaks[1]);
+  const double p1 = std::max(peaks[0], peaks[1]);
+  EXPECT_NEAR(p0, 50.0, 5.0);
+  EXPECT_NEAR(p1, 115.0, 5.0);
+}
+
+TEST(Music, AutoSourceCountFindsOne) {
+  MusicOptions opts = default_options();
+  opts.num_sources = -1;
+  MusicEstimator music(opts);
+  const auto snaps = incoherent_snapshots({80.0}, {1.0}, 4, 64, 0.01, 11);
+  const MusicResult r = music.estimate(snaps);
+  EXPECT_EQ(r.num_sources, 1);
+}
+
+TEST(Music, SpectrumNormalizedToUnitMax) {
+  MusicOptions opts = default_options();
+  MusicEstimator music(opts);
+  const auto snaps = incoherent_snapshots({70.0}, {1.0}, 4, 32, 0.05, 12);
+  const MusicResult r = music.estimate(snaps);
+  double mx = 0.0;
+  for (double v : r.spectrum) {
+    EXPECT_GE(v, 0.0);
+    mx = std::max(mx, v);
+  }
+  EXPECT_NEAR(mx, 1.0, 1e-12);
+}
+
+TEST(Music, EigenvaluesDescending) {
+  MusicEstimator music(default_options());
+  const auto snaps = incoherent_snapshots({70.0, 100.0}, {1.0, 0.5}, 4, 64, 0.05, 13);
+  const MusicResult r = music.estimate(snaps);
+  for (std::size_t k = 1; k < r.eigenvalues.size(); ++k) {
+    EXPECT_GE(r.eigenvalues[k - 1], r.eigenvalues[k] - 1e-12);
+  }
+}
+
+TEST(Music, CovarianceSizeMismatchThrows) {
+  MusicEstimator music(default_options());
+  EXPECT_THROW(music.estimate_from_covariance(CMatrix(3, 3)), std::invalid_argument);
+}
+
+TEST(FindPeaks, OrdersByHeightAndLimitsCount) {
+  std::vector<double> spec(180, 0.0);
+  spec[30] = 0.5;
+  spec[90] = 1.0;
+  spec[140] = 0.7;
+  const auto peaks = find_peaks(spec, 2, 0.05);
+  ASSERT_EQ(peaks.size(), 2u);
+  EXPECT_EQ(peaks[0], 90);
+  EXPECT_EQ(peaks[1], 140);
+}
+
+TEST(FindPeaks, MinHeightFilters) {
+  std::vector<double> spec(180, 0.0);
+  spec[90] = 1.0;
+  spec[30] = 0.01;
+  const auto peaks = find_peaks(spec, 5, 0.05);
+  ASSERT_EQ(peaks.size(), 1u);
+  EXPECT_EQ(peaks[0], 90);
+}
+
+TEST(FindPeaks, EdgesCanPeak) {
+  std::vector<double> spec(10, 0.0);
+  spec[0] = 1.0;
+  spec[9] = 0.8;
+  const auto peaks = find_peaks(spec, 3, 0.05);
+  EXPECT_EQ(peaks.size(), 2u);
+}
+
+}  // namespace
+}  // namespace m2ai::dsp

@@ -1,0 +1,120 @@
+#include "nn/optimizer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace m2ai::nn {
+namespace {
+
+TEST(Clipping, LeavesSmallGradientsAlone) {
+  Param p("p", {3});
+  p.grad = Tensor::from({0.1f, 0.2f, 0.2f});
+  const double norm = clip_gradient_norm({&p}, 5.0);
+  EXPECT_NEAR(norm, 0.3, 1e-6);
+  EXPECT_FLOAT_EQ(p.grad.at(0), 0.1f);
+}
+
+TEST(Clipping, ScalesLargeGradientsToMaxNorm) {
+  Param p("p", {2});
+  p.grad = Tensor::from({3.0f, 4.0f});  // norm 5
+  clip_gradient_norm({&p}, 1.0);
+  EXPECT_NEAR(p.grad.l2_norm(), 1.0f, 1e-6);
+  // Direction preserved.
+  EXPECT_NEAR(p.grad.at(1) / p.grad.at(0), 4.0 / 3.0, 1e-5);
+}
+
+TEST(Clipping, JointNormAcrossParams) {
+  Param a("a", {1}), b("b", {1});
+  a.grad = Tensor::from({3.0f});
+  b.grad = Tensor::from({4.0f});
+  const double norm = clip_gradient_norm({&a, &b}, 2.5);
+  EXPECT_NEAR(norm, 5.0, 1e-6);
+  EXPECT_NEAR(a.grad.at(0), 1.5f, 1e-5);
+  EXPECT_NEAR(b.grad.at(0), 2.0f, 1e-5);
+}
+
+TEST(ZeroGradients, ClearsAll) {
+  Param p("p", {2});
+  p.grad = Tensor::from({1.0f, 2.0f});
+  zero_gradients({&p});
+  EXPECT_FLOAT_EQ(p.grad.l2_norm(), 0.0f);
+}
+
+TEST(Sgd, PlainStepWithoutMomentum) {
+  Param p("p", {1});
+  p.value = Tensor::from({1.0f});
+  p.grad = Tensor::from({0.5f});
+  Sgd sgd(0.1, /*momentum=*/0.0);
+  sgd.step({&p});
+  EXPECT_NEAR(p.value.at(0), 0.95f, 1e-6);
+  EXPECT_FLOAT_EQ(p.grad.at(0), 0.0f);  // grads consumed
+}
+
+TEST(Sgd, MomentumAccumulates) {
+  Param p("p", {1});
+  p.value = Tensor::from({0.0f});
+  Sgd sgd(0.1, /*momentum=*/0.9);
+  p.grad = Tensor::from({1.0f});
+  sgd.step({&p});
+  const float step1 = -p.value.at(0);
+  p.grad = Tensor::from({1.0f});
+  sgd.step({&p});
+  const float step2 = -p.value.at(0) - step1;
+  EXPECT_GT(step2, step1 * 1.5f);  // momentum grows the step
+}
+
+TEST(Sgd, WeightDecayShrinksWeights) {
+  Param p("p", {1});
+  p.value = Tensor::from({10.0f});
+  p.grad = Tensor::from({0.0f});
+  Sgd sgd(0.1, 0.0, /*weight_decay=*/0.1);
+  sgd.step({&p});
+  EXPECT_LT(p.value.at(0), 10.0f);
+}
+
+TEST(Adam, MovesAgainstGradient) {
+  Param p("p", {2});
+  p.value = Tensor::from({1.0f, -1.0f});
+  p.grad = Tensor::from({1.0f, -1.0f});
+  Adam adam(0.01);
+  adam.step({&p});
+  EXPECT_LT(p.value.at(0), 1.0f);
+  EXPECT_GT(p.value.at(1), -1.0f);
+}
+
+TEST(Adam, FirstStepSizeIsLearningRate) {
+  // With bias correction, the first Adam step is ~lr regardless of scale.
+  Param p("p", {1});
+  p.value = Tensor::from({0.0f});
+  p.grad = Tensor::from({100.0f});
+  Adam adam(0.01);
+  adam.step({&p});
+  EXPECT_NEAR(p.value.at(0), -0.01f, 1e-4);
+}
+
+TEST(Adam, ConvergesOnQuadratic) {
+  // Minimize (x - 3)^2.
+  Param p("p", {1});
+  p.value = Tensor::from({0.0f});
+  Adam adam(0.1);
+  for (int i = 0; i < 500; ++i) {
+    p.grad = Tensor::from({2.0f * (p.value.at(0) - 3.0f)});
+    adam.step({&p});
+  }
+  EXPECT_NEAR(p.value.at(0), 3.0f, 0.05);
+}
+
+TEST(Optimizer, SetLrThroughBase) {
+  Sgd sgd(0.1);
+  Optimizer& base = sgd;
+  base.set_lr(0.5);
+  EXPECT_DOUBLE_EQ(base.lr(), 0.5);
+  Adam adam(0.1);
+  Optimizer& base2 = adam;
+  base2.set_lr(0.01);
+  EXPECT_DOUBLE_EQ(base2.lr(), 0.01);
+}
+
+}  // namespace
+}  // namespace m2ai::nn

@@ -1,0 +1,94 @@
+#include "dsp/periodogram.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace m2ai::dsp {
+namespace {
+
+TEST(Periodogram, FlatForImpulse) {
+  std::vector<cdouble> snap{{1, 0}, {0, 0}, {0, 0}, {0, 0}};
+  const auto p = periodogram(snap);
+  ASSERT_EQ(p.size(), 4u);
+  for (double v : p) EXPECT_NEAR(v, 0.25, 1e-12);
+}
+
+TEST(Periodogram, ConcentratedForSpatialTone) {
+  const std::size_t n = 8;
+  std::vector<cdouble> snap(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    snap[i] = std::polar(1.0, 2.0 * M_PI * 3.0 * static_cast<double>(i) / 8.0);
+  }
+  const auto p = periodogram(snap);
+  EXPECT_NEAR(p[3], 8.0, 1e-9);
+  for (std::size_t k = 0; k < n; ++k) {
+    if (k != 3) EXPECT_NEAR(p[k], 0.0, 1e-9);
+  }
+}
+
+TEST(Periodogram, ParsevalPowerConservation) {
+  util::Rng rng(5);
+  std::vector<cdouble> snap(16);
+  for (auto& v : snap) v = cdouble{rng.normal(), rng.normal()};
+  const auto p = periodogram(snap);
+  double time_power = 0.0, freq_power = 0.0;
+  for (const auto& v : snap) time_power += std::norm(v);
+  for (double v : p) freq_power += v;
+  EXPECT_NEAR(freq_power, time_power, 1e-9);
+}
+
+TEST(Periodogram, AveragedReducesVariance) {
+  util::Rng rng(6);
+  auto make = [&rng]() {
+    std::vector<cdouble> s(4);
+    for (auto& v : s) v = cdouble{rng.normal(), rng.normal()};
+    return s;
+  };
+  std::vector<std::vector<cdouble>> snaps;
+  for (int i = 0; i < 200; ++i) snaps.push_back(make());
+  const auto avg = averaged_periodogram(snaps);
+  // Expected power per bin for unit-variance complex noise: 2.0.
+  for (double v : avg) EXPECT_NEAR(v, 2.0, 0.4);
+}
+
+TEST(Periodogram, AveragedMatchesMeanOfIndividuals) {
+  util::Rng rng(7);
+  std::vector<std::vector<cdouble>> snaps(5, std::vector<cdouble>(4));
+  for (auto& s : snaps) {
+    for (auto& v : s) v = cdouble{rng.normal(), rng.normal()};
+  }
+  const auto avg = averaged_periodogram(snaps);
+  std::vector<double> manual(4, 0.0);
+  for (const auto& s : snaps) {
+    const auto p = periodogram(s);
+    for (std::size_t k = 0; k < 4; ++k) manual[k] += p[k] / 5.0;
+  }
+  for (std::size_t k = 0; k < 4; ++k) EXPECT_NEAR(avg[k], manual[k], 1e-12);
+}
+
+TEST(Periodogram, TimeSeriesPeakAtSignalFrequency) {
+  // 2 Hz tone sampled at 32 Hz for 1 s -> bin 2 of a 32-point series.
+  std::vector<double> series(32);
+  for (int t = 0; t < 32; ++t) {
+    series[static_cast<std::size_t>(t)] = std::sin(2.0 * M_PI * 2.0 * t / 32.0);
+  }
+  const auto p = time_periodogram(series);
+  ASSERT_EQ(p.size(), 17u);
+  int best = 1;
+  for (int k = 1; k < 17; ++k) {
+    if (p[static_cast<std::size_t>(k)] > p[static_cast<std::size_t>(best)]) best = k;
+  }
+  EXPECT_EQ(best, 2);
+}
+
+TEST(Periodogram, RejectsEmpty) {
+  EXPECT_THROW(periodogram({}), std::invalid_argument);
+  EXPECT_THROW(averaged_periodogram({}), std::invalid_argument);
+  EXPECT_THROW(time_periodogram({}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace m2ai::dsp

@@ -1,0 +1,180 @@
+#include "sim/person.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace m2ai::sim {
+namespace {
+
+BodyParams fixed_body() {
+  BodyParams p;
+  p.height_m = 1.70;
+  p.body_radius_m = 0.20;
+  p.arm_length_m = 0.62;
+  p.speed_scale = 1.0;
+  p.amplitude_scale = 1.0;
+  p.phase_offset = 0.0;
+  return p;
+}
+
+MotionSpec motion(GaitType g, TorsoType t = TorsoType::kNone,
+                  LimbType l = LimbType::kNone) {
+  MotionSpec m;
+  m.gait = g;
+  m.torso = t;
+  m.limb = l;
+  return m;
+}
+
+TEST(Person, StandStaysNearStart) {
+  Person p(fixed_body(), {3.0, 4.0}, 0.0, motion(GaitType::kStand));
+  for (double t = 0.0; t < 20.0; t += 0.5) {
+    EXPECT_LT(rf::distance(p.center_at(t), {3.0, 4.0}), 0.10);
+  }
+}
+
+TEST(Person, WalkLineOscillatesAlongHeading) {
+  MotionSpec m = motion(GaitType::kWalkLine);
+  m.gait_freq_hz = 0.25;
+  m.gait_amplitude_m = 1.0;
+  Person p(fixed_body(), {0.0, 0.0}, 0.0, m);  // heading +x
+  double max_x = 0.0, max_y = 0.0;
+  for (double t = 0.0; t < 8.0; t += 0.05) {
+    max_x = std::max(max_x, std::abs(p.center_at(t).x));
+    max_y = std::max(max_y, std::abs(p.center_at(t).y));
+  }
+  EXPECT_NEAR(max_x, 1.0, 0.05);
+  EXPECT_NEAR(max_y, 0.0, 1e-9);
+}
+
+TEST(Person, WalkCircleKeepsOrbitRadius) {
+  MotionSpec m = motion(GaitType::kWalkCircle);
+  m.gait_freq_hz = 0.2;
+  m.gait_amplitude_m = 1.0;
+  Person p(fixed_body(), {0.0, 0.0}, 0.0, m);
+  const rf::Vec2 orbit_center{1.0, 0.0};
+  for (double t = 0.0; t < 10.0; t += 0.25) {
+    EXPECT_NEAR(rf::distance(p.center_at(t), orbit_center), 1.0, 1e-9);
+  }
+}
+
+TEST(Person, TagHeightsOrderedUprights) {
+  Person p(fixed_body(), {0.0, 0.0}, 0.0, motion(GaitType::kStand));
+  const Vec3 hand = p.tag_position(BodySite::kHand, 0.0);
+  const Vec3 arm = p.tag_position(BodySite::kArm, 0.0);
+  const Vec3 shoulder = p.tag_position(BodySite::kShoulder, 0.0);
+  EXPECT_LT(hand.z, arm.z);
+  EXPECT_LT(arm.z, shoulder.z);
+  // Paper: tags sit between 1.0 and 1.5 m for typical adults.
+  EXPECT_GT(hand.z, 0.5);
+  EXPECT_LT(shoulder.z, 1.6);
+}
+
+TEST(Person, SitDownLowersAllTags) {
+  Person p(fixed_body(), {0.0, 0.0}, 0.0, motion(GaitType::kSitDown));
+  const double before = p.tag_position(BodySite::kShoulder, 0.0).z;
+  const double after = p.tag_position(BodySite::kShoulder, 6.0).z;
+  EXPECT_LT(after, before - 0.3);
+}
+
+TEST(Person, SquatIsPeriodic) {
+  MotionSpec m = motion(GaitType::kStand, TorsoType::kSquat);
+  m.torso_freq_hz = 0.5;  // 2 s period
+  Person p(fixed_body(), {0.0, 0.0}, 0.0, m);
+  const double z0 = p.tag_position(BodySite::kShoulder, 0.0).z;
+  const double z_mid = p.tag_position(BodySite::kShoulder, 1.0).z;  // mid squat
+  const double z_full = p.tag_position(BodySite::kShoulder, 2.0).z; // back up
+  EXPECT_LT(z_mid, z0 - 0.15);
+  EXPECT_NEAR(z_full, z0, 0.02);
+}
+
+TEST(Person, JumpLiftsBodyOnlyUpward) {
+  MotionSpec m = motion(GaitType::kStand, TorsoType::kJump);
+  m.torso_freq_hz = 0.5;
+  Person p(fixed_body(), {0.0, 0.0}, 0.0, m);
+  const double base = p.tag_position(BodySite::kShoulder, 0.0).z;
+  double min_z = 1e9, max_z = -1e9;
+  for (double t = 0.0; t < 4.0; t += 0.02) {
+    const double z = p.tag_position(BodySite::kShoulder, t).z;
+    min_z = std::min(min_z, z);
+    max_z = std::max(max_z, z);
+  }
+  EXPECT_GT(max_z, base + 0.2);       // hops up
+  EXPECT_GT(min_z, base - 0.25);      // only the crouch dips, bounded
+}
+
+TEST(Person, BendMovesShoulderForwardAndDown) {
+  MotionSpec m = motion(GaitType::kStand, TorsoType::kBend);
+  m.torso_freq_hz = 0.25;  // bend peaks at t = 2 s
+  Person p(fixed_body(), {0.0, 0.0}, 0.0, m);  // heading +x
+  const Vec3 up = p.tag_position(BodySite::kShoulder, 0.0);
+  const Vec3 bent = p.tag_position(BodySite::kShoulder, 2.0);
+  EXPECT_GT(bent.x, up.x + 0.1);  // forward along heading
+  EXPECT_LT(bent.z, up.z - 0.1);  // down
+}
+
+TEST(Person, WaveMovesHandMoreThanShoulder) {
+  MotionSpec m = motion(GaitType::kStand, TorsoType::kNone, LimbType::kWave);
+  m.limb_freq_hz = 1.0;
+  Person p(fixed_body(), {0.0, 0.0}, 0.0, m);
+  auto travel = [&](BodySite site) {
+    double mx = 0.0;
+    const Vec3 base = p.tag_position(site, 0.0);
+    for (double t = 0.0; t < 2.0; t += 0.02) {
+      const Vec3 v = p.tag_position(site, t);
+      mx = std::max(mx, std::hypot(v.x - base.x, v.y - base.y, v.z - base.z));
+    }
+    return mx;
+  };
+  EXPECT_GT(travel(BodySite::kHand), 3.0 * travel(BodySite::kShoulder));
+}
+
+TEST(Person, TagGainBounds) {
+  for (auto torso : {TorsoType::kNone, TorsoType::kSquat, TorsoType::kJump,
+                     TorsoType::kBend, TorsoType::kTurn}) {
+    MotionSpec m = motion(GaitType::kStand, torso, LimbType::kWave);
+    Person p(fixed_body(), {0.0, 0.0}, 0.0, m);
+    for (double t = 0.0; t < 6.0; t += 0.1) {
+      for (auto site : {BodySite::kHand, BodySite::kArm, BodySite::kShoulder}) {
+        const double g = p.tag_gain(site, t, {5.0, 0.0});
+        EXPECT_GE(g, 0.05);
+        EXPECT_LE(g, 1.0);
+      }
+    }
+  }
+}
+
+TEST(Person, FacingReceiverGainsMoreThanFacingAway) {
+  Person p(fixed_body(), {0.0, 0.0}, 0.0, motion(GaitType::kStand));  // faces +x
+  const double front = p.tag_gain(BodySite::kShoulder, 0.0, {5.0, 0.0});
+  const double back = p.tag_gain(BodySite::kShoulder, 0.0, {-5.0, 0.0});
+  EXPECT_GT(front, back + 0.3);
+}
+
+TEST(Person, TurnSweepsGainPeriodically) {
+  MotionSpec m = motion(GaitType::kStand, TorsoType::kTurn);
+  m.torso_freq_hz = 0.25;  // 4 s per revolution
+  Person p(fixed_body(), {0.0, 0.0}, 0.0, m);
+  const double g0 = p.tag_gain(BodySite::kShoulder, 0.0, {5.0, 0.0});
+  const double g_half = p.tag_gain(BodySite::kShoulder, 2.0, {5.0, 0.0});
+  const double g_full = p.tag_gain(BodySite::kShoulder, 4.0, {5.0, 0.0});
+  EXPECT_LT(g_half, g0 - 0.3);     // facing away mid-revolution
+  EXPECT_NEAR(g_full, g0, 0.05);   // back to facing
+}
+
+TEST(BodyParams, RandomVolunteersWithinRanges) {
+  util::Rng rng(77);
+  for (int i = 0; i < 200; ++i) {
+    const BodyParams p = BodyParams::random_volunteer(rng);
+    EXPECT_GE(p.height_m, 1.55);
+    EXPECT_LE(p.height_m, 1.90);
+    EXPECT_GT(p.body_radius_m, 0.1);
+    EXPECT_LT(p.body_radius_m, 0.3);
+    EXPECT_GT(p.speed_scale, 0.8);
+    EXPECT_LT(p.speed_scale, 1.25);
+  }
+}
+
+}  // namespace
+}  // namespace m2ai::sim

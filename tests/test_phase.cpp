@@ -1,0 +1,88 @@
+#include "dsp/phase.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace m2ai::dsp {
+namespace {
+
+TEST(Phase, WrapPiRange) {
+  for (double p = -20.0; p <= 20.0; p += 0.37) {
+    const double w = wrap_pi(p);
+    EXPECT_GT(w, -M_PI - 1e-12);
+    EXPECT_LE(w, M_PI + 1e-12);
+    // Same angle modulo 2*pi.
+    EXPECT_NEAR(std::sin(w), std::sin(p), 1e-9);
+    EXPECT_NEAR(std::cos(w), std::cos(p), 1e-9);
+  }
+}
+
+TEST(Phase, Wrap2PiRange) {
+  for (double p = -20.0; p <= 20.0; p += 0.31) {
+    const double w = wrap_2pi(p);
+    EXPECT_GE(w, 0.0);
+    EXPECT_LT(w, 2.0 * M_PI);
+    EXPECT_NEAR(std::sin(w), std::sin(p), 1e-9);
+  }
+}
+
+TEST(Phase, DoublePhaseCancelsPiOffset) {
+  for (double p = 0.1; p < 2.0 * M_PI; p += 0.5) {
+    EXPECT_NEAR(double_phase(p), double_phase(wrap_2pi(p + M_PI)), 1e-9);
+  }
+}
+
+TEST(Phase, UnwrapRecoversLinearRamp) {
+  std::vector<double> wrapped;
+  std::vector<double> truth;
+  for (int i = 0; i < 100; ++i) {
+    const double p = 0.4 * i;
+    truth.push_back(p);
+    wrapped.push_back(wrap_pi(p));
+  }
+  const std::vector<double> un = unwrap(wrapped);
+  for (std::size_t i = 1; i < un.size(); ++i) {
+    EXPECT_NEAR(un[i] - un[0], truth[i] - truth[0], 1e-9);
+  }
+}
+
+TEST(Phase, UnwrapHandlesDescendingRamp) {
+  std::vector<double> wrapped;
+  for (int i = 0; i < 60; ++i) wrapped.push_back(wrap_pi(-0.5 * i));
+  const std::vector<double> un = unwrap(wrapped);
+  for (std::size_t i = 1; i < un.size(); ++i) {
+    EXPECT_NEAR(un[i] - un[i - 1], -0.5, 1e-9);
+  }
+}
+
+TEST(Phase, CircularMeanNearWrapBoundary) {
+  // Phases clustered around 0 from both sides.
+  const double m = circular_mean({0.1, -0.1, 0.2, -0.2});
+  EXPECT_NEAR(m, 0.0, 1e-9);
+  const double m2 = circular_mean({M_PI - 0.1, -M_PI + 0.1});
+  EXPECT_NEAR(std::abs(m2), M_PI, 0.01);
+}
+
+TEST(Phase, CircularDistanceSymmetricAndBounded) {
+  EXPECT_NEAR(circular_distance(0.1, 2 * M_PI - 0.1), 0.2, 1e-9);
+  EXPECT_NEAR(circular_distance(0.0, M_PI), M_PI, 1e-9);
+  EXPECT_DOUBLE_EQ(circular_distance(1.0, 1.0), 0.0);
+}
+
+TEST(Phase, CircularMedianRobustToOutlier) {
+  // Cluster at ~0.5 with one outlier at pi.
+  const double med = circular_median({0.45, 0.5, 0.55, 0.5, M_PI});
+  EXPECT_NEAR(med, 0.5, 0.1);
+}
+
+TEST(Phase, CircularMedianOfWrappedCluster) {
+  // Cluster straddling the 0/2pi boundary.
+  const double med = circular_median({0.05, 2 * M_PI - 0.05, 0.1, 2 * M_PI - 0.1});
+  EXPECT_LT(circular_distance(med, 0.0), 0.15);
+}
+
+TEST(Phase, CircularMedianEmpty) { EXPECT_DOUBLE_EQ(circular_median({}), 0.0); }
+
+}  // namespace
+}  // namespace m2ai::dsp

@@ -1,0 +1,112 @@
+#include "core/pipeline.hpp"
+
+#include <gtest/gtest.h>
+
+namespace m2ai::core {
+namespace {
+
+PipelineConfig quick_config() {
+  PipelineConfig config;
+  config.windows_per_sample = 4;
+  config.bootstrap_sec = 4.0;  // short bootstrap keeps the test fast
+  return config;
+}
+
+TEST(Pipeline, SampleHasExpectedShape) {
+  Pipeline pipeline(quick_config(), 1);
+  const Sample s = pipeline.simulate_sample(3);
+  EXPECT_EQ(s.activity_id, 3);
+  EXPECT_EQ(s.label, 2);
+  ASSERT_EQ(s.frames.size(), 4u);
+  EXPECT_EQ(s.frames[0].pseudo.dim(0), 6);  // 2 persons x 3 tags
+  EXPECT_EQ(s.frames[0].pseudo.dim(1), 180);
+  EXPECT_EQ(s.frames[0].aux.dim(1), 4);
+}
+
+TEST(Pipeline, FramesCarrySignal) {
+  Pipeline pipeline(quick_config(), 2);
+  const Sample s = pipeline.simulate_sample(1);
+  float total = 0.0f;
+  for (const auto& f : s.frames) total += f.pseudo.flattened().l2_norm();
+  EXPECT_GT(total, 1.0f);
+}
+
+TEST(Pipeline, DeterministicForSeed) {
+  Pipeline a(quick_config(), 7);
+  Pipeline b(quick_config(), 7);
+  const Sample sa = a.simulate_sample(5);
+  const Sample sb = b.simulate_sample(5);
+  ASSERT_EQ(sa.frames.size(), sb.frames.size());
+  for (std::size_t t = 0; t < sa.frames.size(); ++t) {
+    for (std::size_t i = 0; i < sa.frames[t].pseudo.size(); ++i) {
+      EXPECT_EQ(sa.frames[t].pseudo[i], sb.frames[t].pseudo[i]);
+    }
+  }
+}
+
+TEST(Pipeline, DifferentSeedsVary) {
+  Pipeline a(quick_config(), 7);
+  Pipeline b(quick_config(), 8);
+  const Sample sa = a.simulate_sample(5);
+  const Sample sb = b.simulate_sample(5);
+  float diff = 0.0f;
+  for (std::size_t i = 0; i < sa.frames[0].pseudo.size(); ++i) {
+    diff += std::abs(sa.frames[0].pseudo[i] - sb.frames[0].pseudo[i]);
+  }
+  EXPECT_GT(diff, 0.1f);
+}
+
+TEST(Pipeline, CalibratorBuiltWhenEnabled) {
+  Pipeline pipeline(quick_config(), 3);
+  pipeline.simulate_sample(1);
+  ASSERT_NE(pipeline.last_calibrator(), nullptr);
+  EXPECT_NE(pipeline.last_calibrator()->table(1, 0), nullptr);
+}
+
+TEST(Pipeline, NoCalibratorWhenDisabled) {
+  PipelineConfig config = quick_config();
+  config.phase_calibration = false;
+  Pipeline pipeline(config, 3);
+  pipeline.simulate_sample(1);
+  EXPECT_EQ(pipeline.last_calibrator(), nullptr);
+}
+
+TEST(Pipeline, NumTagsFollowsConfig) {
+  PipelineConfig config = quick_config();
+  config.num_persons = 3;
+  config.tags_per_person = 2;
+  Pipeline pipeline(config, 4);
+  EXPECT_EQ(pipeline.num_tags(), 6);
+  const Sample s = pipeline.simulate_sample(2);
+  EXPECT_EQ(s.frames[0].pseudo.dim(0), 6);
+}
+
+TEST(Pipeline, AntennaCountPropagates) {
+  PipelineConfig config = quick_config();
+  config.num_antennas = 2;
+  Pipeline pipeline(config, 5);
+  const Sample s = pipeline.simulate_sample(1);
+  EXPECT_EQ(s.frames[0].aux.dim(1), 2);
+}
+
+TEST(Pipeline, HallEnvironmentWorks) {
+  PipelineConfig config = quick_config();
+  config.environment = EnvironmentKind::kHall;
+  Pipeline pipeline(config, 6);
+  const Sample s = pipeline.simulate_sample(4);
+  EXPECT_EQ(s.frames.size(), 4u);
+}
+
+TEST(Pipeline, ReportsExposedForInspection) {
+  Pipeline pipeline(quick_config(), 9);
+  pipeline.simulate_sample(1);
+  EXPECT_FALSE(pipeline.last_reports().empty());
+}
+
+TEST(MakeEnvironment, MapsKinds) {
+  EXPECT_EQ(make_environment(EnvironmentKind::kLaboratory).name, "laboratory");
+  EXPECT_EQ(make_environment(EnvironmentKind::kHall).name, "hall");
+}
+
+}  // namespace
+}  // namespace m2ai::core

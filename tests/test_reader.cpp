@@ -1,0 +1,227 @@
+#include "sim/reader.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "dsp/phase.hpp"
+#include "sim/activities.hpp"
+
+namespace m2ai::sim {
+namespace {
+
+Scene make_scene(int num_persons = 1, int tags_per_person = 3,
+                 double distance = 4.0, std::uint64_t seed = 11) {
+  Environment env = Environment::laboratory();
+  ArrayGeometry array;
+  array.center = Vec3{env.width / 2.0, 0.4, 1.25};
+  util::Rng rng(seed);
+  PlacementOptions placement;
+  placement.distance_m = distance;
+  auto persons =
+      instantiate_activity(1, num_persons, env, array.origin2d(), placement, rng);
+  return Scene(env, std::move(persons), array, tags_per_person);
+}
+
+TEST(Reader, ReportsWithinRequestedInterval) {
+  Scene scene = make_scene();
+  Reader reader(ReaderConfig{}, 4, 3, util::Rng(1));
+  const auto reports = reader.run(scene, 2.0, 4.0);
+  EXPECT_FALSE(reports.empty());
+  for (const auto& r : reports) {
+    EXPECT_GE(r.time_sec, 2.0);
+    EXPECT_LT(r.time_sec, 4.0);
+  }
+}
+
+TEST(Reader, ReportsSortedByTime) {
+  Scene scene = make_scene();
+  Reader reader(ReaderConfig{}, 4, 3, util::Rng(2));
+  const auto reports = reader.run(scene, 0.0, 3.0);
+  for (std::size_t i = 1; i < reports.size(); ++i) {
+    EXPECT_LE(reports[i - 1].time_sec, reports[i].time_sec);
+  }
+}
+
+TEST(Reader, PhaseInPrincipalRange) {
+  Scene scene = make_scene();
+  Reader reader(ReaderConfig{}, 4, 3, util::Rng(3));
+  for (const auto& r : reader.run(scene, 0.0, 2.0)) {
+    EXPECT_GE(r.phase_rad, 0.0);
+    EXPECT_LT(r.phase_rad, 2.0 * M_PI);
+  }
+}
+
+TEST(Reader, TdmAntennaSchedule) {
+  Scene scene = make_scene();
+  Reader reader(ReaderConfig{}, 4, 3, util::Rng(4));
+  // Antenna port rotates every 25 ms.
+  EXPECT_EQ(reader.antenna_at(0.010), 0);
+  EXPECT_EQ(reader.antenna_at(0.030), 1);
+  EXPECT_EQ(reader.antenna_at(0.060), 2);
+  EXPECT_EQ(reader.antenna_at(0.080), 3);
+  EXPECT_EQ(reader.antenna_at(0.101), 0);
+  for (const auto& r : reader.run(scene, 0.0, 2.0)) {
+    EXPECT_EQ(r.antenna, reader.antenna_at(r.time_sec));
+  }
+}
+
+TEST(Reader, HoppingDwellIs400ms) {
+  Reader reader(ReaderConfig{}, 4, 3, util::Rng(5));
+  const int ch = reader.channel_at(0.01);
+  EXPECT_EQ(reader.channel_at(0.39), ch);
+  std::set<int> seen;
+  for (int hop = 0; hop < 50; ++hop) {
+    seen.insert(reader.channel_at(hop * 0.4 + 0.2));
+  }
+  EXPECT_EQ(seen.size(), 50u);  // full FCC plan visited in 20 s
+}
+
+TEST(Reader, HoppingDisabledPinsCommonChannel) {
+  ReaderConfig config;
+  config.hopping = false;
+  Reader reader(config, 4, 3, util::Rng(6));
+  for (double t = 0.0; t < 5.0; t += 0.4) {
+    EXPECT_EQ(reader.channel_at(t), rf::common_channel());
+  }
+}
+
+TEST(Reader, PhaseQuantizedTo12Bits) {
+  Scene scene = make_scene();
+  ReaderConfig config;
+  Reader reader(config, 4, 3, util::Rng(7));
+  const double step = 2.0 * M_PI / 4096.0;
+  for (const auto& r : reader.run(scene, 0.0, 1.0)) {
+    const double ratio = r.phase_rad / step;
+    EXPECT_NEAR(ratio, std::round(ratio), 1e-6);
+  }
+}
+
+TEST(Reader, RssiQuantizedToHalfDb) {
+  Scene scene = make_scene();
+  Reader reader(ReaderConfig{}, 4, 3, util::Rng(8));
+  for (const auto& r : reader.run(scene, 0.0, 1.0)) {
+    const double ratio = r.rssi_dbm * 2.0;
+    EXPECT_NEAR(ratio, std::round(ratio), 1e-6);
+  }
+}
+
+TEST(Reader, HardwareOffsetLinearInFrequency) {
+  // Disable the per-channel half-cycle reporting state so the underlying
+  // linear response (Fig. 3) is visible directly.
+  ReaderConfig config;
+  config.pi_ambiguity = false;
+  Reader reader(config, 4, 3, util::Rng(9));
+  // Offsets, unwrapped over channels, should follow a near-linear trend:
+  // check that second differences are small (ripple-scale, not slope-scale).
+  std::vector<double> offs;
+  for (int ch = 0; ch < rf::kNumChannels; ++ch) {
+    offs.push_back(reader.hardware_offset(1, 0, ch));
+  }
+  const std::vector<double> un = dsp::unwrap(offs);
+  for (std::size_t i = 2; i < un.size(); ++i) {
+    const double second_diff = un[i] - 2.0 * un[i - 1] + un[i - 2];
+    EXPECT_LT(std::abs(second_diff), 0.8);
+  }
+}
+
+TEST(Reader, OffsetSharedAcrossAntennasUpToMismatch) {
+  Reader reader(ReaderConfig{}, 4, 3, util::Rng(10));
+  for (int ch = 0; ch < rf::kNumChannels; ch += 7) {
+    const double base = reader.hardware_offset(1, 0, ch);
+    for (int ant = 1; ant < 4; ++ant) {
+      const double diff =
+          dsp::circular_distance(base, reader.hardware_offset(1, ant, ch));
+      // Port mismatch + ripple, modulo the per-port half-cycle state.
+      const double mod_pi = std::min(diff, M_PI - diff);
+      EXPECT_LT(mod_pi, 0.5);
+    }
+  }
+}
+
+TEST(Reader, DistantTagsDropReads) {
+  // At 4 m the tag responds consistently; far beyond the energy budget the
+  // read count collapses.
+  Scene near_scene = make_scene(1, 1, 3.0, 21);
+  Scene far_scene = make_scene(1, 1, 9.5, 21);
+  ReaderConfig config;
+  config.sensitivity_dbm = -62.0;  // tighter budget to exercise dropout
+  Reader near_reader(config, 4, 1, util::Rng(22));
+  Reader far_reader(config, 4, 1, util::Rng(22));
+  const auto near_reports = near_reader.run(near_scene, 0.0, 4.0);
+  const auto far_reports = far_reader.run(far_scene, 0.0, 4.0);
+  EXPECT_GT(near_reports.size(), far_reports.size());
+}
+
+TEST(Reader, DeterministicForSeed) {
+  Scene scene1 = make_scene(2, 3, 4.0, 33);
+  Scene scene2 = make_scene(2, 3, 4.0, 33);
+  Reader r1(ReaderConfig{}, 4, 6, util::Rng(12));
+  Reader r2(ReaderConfig{}, 4, 6, util::Rng(12));
+  const auto a = r1.run(scene1, 0.0, 1.0);
+  const auto b = r2.run(scene2, 0.0, 1.0);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a[i].phase_rad, b[i].phase_rad);
+    EXPECT_DOUBLE_EQ(a[i].rssi_dbm, b[i].rssi_dbm);
+    EXPECT_EQ(a[i].tag_id, b[i].tag_id);
+  }
+}
+
+TEST(Reader, DopplerTracksRadialMotion) {
+  // A person pacing toward/away from the array produces Doppler magnitudes
+  // around 2*v/lambda; a stationary scene stays near zero.
+  Environment env = Environment::open_space();
+  ArrayGeometry array;
+  array.center = Vec3{0.0, 0.4, 1.25};
+  BodyParams body;
+  MotionSpec pace;
+  pace.gait = GaitType::kWalkLine;
+  pace.gait_freq_hz = 0.25;
+  pace.gait_amplitude_m = 1.0;
+  // Heading -y: straight toward the array -> motion is purely radial.
+  Person pacer(body, {0.0, 4.0}, -M_PI / 2.0, pace);
+  Scene moving(env, {pacer}, array, 1);
+
+  MotionSpec still;
+  still.gait_amplitude_m = 0.0;
+  Person stander(body, {0.0, 4.0}, -M_PI / 2.0, still);
+  Scene frozen(env, {stander}, array, 1);
+  frozen.set_motion_frozen(true);
+
+  ReaderConfig config;
+  Reader r1(config, 4, 1, util::Rng(55));
+  Reader r2(config, 4, 1, util::Rng(55));
+  double max_moving = 0.0, max_frozen = 0.0;
+  for (const auto& r : r1.run(moving, 0.0, 4.0)) {
+    max_moving = std::max(max_moving, std::abs(r.doppler_hz));
+  }
+  for (const auto& r : r2.run(frozen, 0.0, 4.0)) {
+    max_frozen = std::max(max_frozen, std::abs(r.doppler_hz));
+  }
+  // Peak walking speed 2*pi*f*A ~ 1.6 m/s -> |f_d| up to ~2*v/lambda ~ 10 Hz.
+  EXPECT_GT(max_moving, 2.0);
+  EXPECT_LT(max_moving, 25.0);
+  EXPECT_LT(max_frozen, 0.5);
+}
+
+TEST(Reader, DopplerQuantizedToSixteenthHz) {
+  Scene scene = make_scene();
+  Reader reader(ReaderConfig{}, 4, 3, util::Rng(56));
+  for (const auto& r : reader.run(scene, 0.0, 1.0)) {
+    const double ratio = r.doppler_hz * 16.0;
+    EXPECT_NEAR(ratio, std::round(ratio), 1e-6);
+  }
+}
+
+TEST(Reader, AllTagsReported) {
+  Scene scene = make_scene(2, 3);
+  Reader reader(ReaderConfig{}, 4, 6, util::Rng(13));
+  std::set<std::uint32_t> seen;
+  for (const auto& r : reader.run(scene, 0.0, 2.0)) seen.insert(r.tag_id);
+  EXPECT_EQ(seen.size(), 6u);
+}
+
+}  // namespace
+}  // namespace m2ai::sim

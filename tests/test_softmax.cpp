@@ -1,0 +1,64 @@
+#include "nn/softmax.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace m2ai::nn {
+namespace {
+
+TEST(Softmax, SumsToOne) {
+  const Tensor p = softmax(Tensor::from({1.0f, 2.0f, 3.0f}));
+  EXPECT_NEAR(p.sum(), 1.0f, 1e-6);
+  // Monotone in the logits.
+  EXPECT_LT(p.at(0), p.at(1));
+  EXPECT_LT(p.at(1), p.at(2));
+}
+
+TEST(Softmax, InvariantToShift) {
+  const Tensor a = softmax(Tensor::from({1.0f, 2.0f}));
+  const Tensor b = softmax(Tensor::from({101.0f, 102.0f}));
+  EXPECT_NEAR(a.at(0), b.at(0), 1e-6);
+}
+
+TEST(Softmax, NumericallyStableForLargeLogits) {
+  const Tensor p = softmax(Tensor::from({1000.0f, 0.0f}));
+  EXPECT_NEAR(p.at(0), 1.0f, 1e-6);
+  EXPECT_FALSE(std::isnan(p.at(1)));
+}
+
+TEST(SoftmaxCrossEntropy, UniformLogitsGiveLogK) {
+  const auto lag = softmax_cross_entropy(Tensor::from({0.0f, 0.0f, 0.0f, 0.0f}), 2);
+  EXPECT_NEAR(lag.loss, std::log(4.0), 1e-6);
+}
+
+TEST(SoftmaxCrossEntropy, GradientIsProbMinusOneHot) {
+  const Tensor logits = Tensor::from({0.3f, -0.2f, 1.1f});
+  const Tensor p = softmax(logits);
+  const auto lag = softmax_cross_entropy(logits, 1);
+  EXPECT_NEAR(lag.grad_logits.at(0), p.at(0), 1e-6);
+  EXPECT_NEAR(lag.grad_logits.at(1), p.at(1) - 1.0f, 1e-6);
+  EXPECT_NEAR(lag.grad_logits.at(2), p.at(2), 1e-6);
+  // Gradient sums to zero.
+  EXPECT_NEAR(lag.grad_logits.sum(), 0.0f, 1e-6);
+}
+
+TEST(SoftmaxCrossEntropy, PredictedIsArgmax) {
+  const auto lag = softmax_cross_entropy(Tensor::from({0.1f, 5.0f, -3.0f}), 0);
+  EXPECT_EQ(lag.predicted, 1);
+}
+
+TEST(SoftmaxCrossEntropy, ConfidentCorrectHasLowLoss) {
+  const auto good = softmax_cross_entropy(Tensor::from({10.0f, 0.0f}), 0);
+  const auto bad = softmax_cross_entropy(Tensor::from({10.0f, 0.0f}), 1);
+  EXPECT_LT(good.loss, 0.01);
+  EXPECT_GT(bad.loss, 5.0);
+}
+
+TEST(SoftmaxCrossEntropy, RejectsBadLabel) {
+  EXPECT_THROW(softmax_cross_entropy(Tensor::from({1.0f, 2.0f}), 2), std::out_of_range);
+  EXPECT_THROW(softmax_cross_entropy(Tensor::from({1.0f, 2.0f}), -1), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace m2ai::nn

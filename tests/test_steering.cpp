@@ -1,0 +1,67 @@
+#include "rf/steering.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "rf/constants.hpp"
+
+namespace m2ai::rf {
+namespace {
+
+TEST(Steering, FirstElementIsUnity) {
+  const auto a = steering_vector(37.0, 4, 0.08, 0.33);
+  const cdouble one{1.0, 0.0};
+  EXPECT_NEAR(std::abs(a[0] - one), 0.0, 1e-12);
+}
+
+TEST(Steering, AllElementsUnitMagnitude) {
+  const auto a = steering_vector(63.0, 6, 0.08, 0.33);
+  for (const auto& v : a) EXPECT_NEAR(std::abs(v), 1.0, 1e-12);
+}
+
+TEST(Steering, BroadsideHasZeroPhaseProgression) {
+  const auto a = steering_vector(90.0, 4, 0.08, 0.33);
+  for (const auto& v : a) {
+    EXPECT_NEAR(std::arg(v), 0.0, 1e-9);
+  }
+}
+
+TEST(Steering, PhaseIncrementMatchesFormula) {
+  const double d = 0.08, lambda = 0.33, theta = 40.0;
+  const auto a = steering_vector(theta, 4, d, lambda);
+  const double expected =
+      2.0 * M_PI * d / lambda * std::cos(theta * M_PI / 180.0);
+  for (int n = 1; n < 4; ++n) {
+    const double inc = std::arg(a[static_cast<std::size_t>(n)] /
+                                a[static_cast<std::size_t>(n - 1)]);
+    EXPECT_NEAR(inc, expected, 1e-9);
+  }
+}
+
+TEST(Steering, EndfireAnglesAreConjugates) {
+  const auto a0 = steering_vector(30.0, 4, 0.08, 0.33);
+  const auto a1 = steering_vector(150.0, 4, 0.08, 0.33);  // cos flips sign
+  for (std::size_t n = 0; n < 4; ++n) {
+    EXPECT_NEAR(std::abs(a0[n] - std::conj(a1[n])), 0.0, 1e-9);
+  }
+}
+
+TEST(Steering, EffectiveSeparationIsRoundTrip) {
+  EXPECT_DOUBLE_EQ(effective_separation(kAntennaSeparationM), 0.08);
+  // Round-trip aperture stays within lambda/4: increments within [-pi/2, pi/2].
+  const double max_inc = 2.0 * M_PI * effective_separation(kAntennaSeparationM) /
+                         kTypicalWavelengthM;
+  EXPECT_LT(max_inc, M_PI / 2.0 * 1.05);
+}
+
+TEST(Steering, DistinctAnglesGiveDistinctVectors) {
+  const auto a = steering_vector(40.0, 4, 0.08, 0.33);
+  const auto b = steering_vector(80.0, 4, 0.08, 0.33);
+  double diff = 0.0;
+  for (std::size_t n = 0; n < 4; ++n) diff += std::abs(a[n] - b[n]);
+  EXPECT_GT(diff, 0.5);
+}
+
+}  // namespace
+}  // namespace m2ai::rf

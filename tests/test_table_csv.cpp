@@ -1,0 +1,88 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "util/csv.hpp"
+#include "util/table.hpp"
+
+namespace m2ai::util {
+namespace {
+
+TEST(Table, FormatsAlignedColumns) {
+  Table t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"b", "22"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("alpha"), std::string::npos);
+  EXPECT_NE(s.find("-----"), std::string::npos);
+  // Each data line starts at a consistent column.
+  std::istringstream in(s);
+  std::string header, rule, r1, r2;
+  std::getline(in, header);
+  std::getline(in, rule);
+  std::getline(in, r1);
+  std::getline(in, r2);
+  EXPECT_EQ(r1.find('1'), r2.find('2'));
+}
+
+TEST(Table, ArityMismatchThrows) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(Table, NumberFormatting) {
+  EXPECT_EQ(Table::fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::pct(0.97, 1), "97.0%");
+  EXPECT_EQ(Table::pct(0.5, 0), "50%");
+}
+
+TEST(Csv, WritesHeaderAndRows) {
+  const std::string path = testing::TempDir() + "m2ai_csv_test.csv";
+  {
+    CsvWriter csv(path, {"x", "y"});
+    csv.add_row({"1", "2"});
+    csv.add_row({"3", "4"});
+  }
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "x,y");
+  std::getline(in, line);
+  EXPECT_EQ(line, "1,2");
+  std::getline(in, line);
+  EXPECT_EQ(line, "3,4");
+  std::remove(path.c_str());
+}
+
+TEST(Csv, EscapesSpecialCharacters) {
+  const std::string path = testing::TempDir() + "m2ai_csv_escape.csv";
+  {
+    CsvWriter csv(path, {"v"});
+    csv.add_row({"has,comma"});
+    csv.add_row({"has\"quote"});
+  }
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  std::getline(in, line);
+  EXPECT_EQ(line, "\"has,comma\"");
+  std::getline(in, line);
+  EXPECT_EQ(line, "\"has\"\"quote\"");
+  std::remove(path.c_str());
+}
+
+TEST(Csv, ArityMismatchThrows) {
+  const std::string path = testing::TempDir() + "m2ai_csv_arity.csv";
+  CsvWriter csv(path, {"a", "b"});
+  EXPECT_THROW(csv.add_row({"1"}), std::invalid_argument);
+  std::remove(path.c_str());
+}
+
+TEST(Csv, BadPathThrows) {
+  EXPECT_THROW(CsvWriter("/nonexistent-dir-m2ai/file.csv", {"a"}), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace m2ai::util

@@ -1,0 +1,96 @@
+#include "nn/tensor.hpp"
+
+#include <gtest/gtest.h>
+
+namespace m2ai::nn {
+namespace {
+
+TEST(Tensor, ShapeAndSize) {
+  Tensor t({2, 3, 4});
+  EXPECT_EQ(t.rank(), 3);
+  EXPECT_EQ(t.size(), 24u);
+  EXPECT_EQ(t.dim(1), 3);
+  EXPECT_EQ(t.shape_string(), "[2x3x4]");
+}
+
+TEST(Tensor, ZeroInitialized) {
+  Tensor t({5, 5});
+  for (std::size_t i = 0; i < t.size(); ++i) EXPECT_EQ(t[i], 0.0f);
+}
+
+TEST(Tensor, RowMajorIndexing) {
+  Tensor t({2, 3});
+  t.at(1, 2) = 7.0f;
+  EXPECT_EQ(t[5], 7.0f);
+  Tensor u({2, 2, 2});
+  u.at(1, 0, 1) = 3.0f;
+  EXPECT_EQ(u[5], 3.0f);
+}
+
+TEST(Tensor, RejectsBadShape) {
+  EXPECT_THROW(Tensor({0}), std::invalid_argument);
+  EXPECT_THROW(Tensor({2, -1}), std::invalid_argument);
+}
+
+TEST(Tensor, FromVector) {
+  Tensor t = Tensor::from({1.0f, 2.0f, 3.0f});
+  EXPECT_EQ(t.rank(), 1);
+  EXPECT_EQ(t.at(2), 3.0f);
+}
+
+TEST(Tensor, ReshapePreservesData) {
+  Tensor t = Tensor::from({1, 2, 3, 4, 5, 6});
+  Tensor r = t.reshaped({2, 3});
+  EXPECT_EQ(r.at(1, 0), 4.0f);
+  EXPECT_THROW(t.reshaped({4, 2}), std::invalid_argument);
+}
+
+TEST(Tensor, FlattenedIsRankOne) {
+  Tensor t({3, 4});
+  t.at(2, 1) = 9.0f;
+  Tensor f = t.flattened();
+  EXPECT_EQ(f.rank(), 1);
+  EXPECT_EQ(f.at(9), 9.0f);
+}
+
+TEST(Tensor, AddScaledAndScale) {
+  Tensor a = Tensor::from({1, 2, 3});
+  Tensor b = Tensor::from({10, 20, 30});
+  a.add_scaled(b, 0.1f);
+  EXPECT_FLOAT_EQ(a.at(0), 2.0f);
+  a.scale(2.0f);
+  EXPECT_FLOAT_EQ(a.at(2), 12.0f);
+  Tensor c({2});
+  EXPECT_THROW(a.add_scaled(c, 1.0f), std::invalid_argument);
+}
+
+TEST(Tensor, Norms) {
+  Tensor t = Tensor::from({3, -4});
+  EXPECT_FLOAT_EQ(t.l2_norm(), 5.0f);
+  EXPECT_FLOAT_EQ(t.max_abs(), 4.0f);
+  EXPECT_FLOAT_EQ(t.sum(), -1.0f);
+}
+
+TEST(Tensor, RandomizeNormalStatistics) {
+  util::Rng rng(3);
+  Tensor t({10000});
+  t.randomize_normal(rng, 2.0f);
+  double sum = 0.0, sum2 = 0.0;
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    sum += t[i];
+    sum2 += static_cast<double>(t[i]) * t[i];
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.0, 0.1);
+  EXPECT_NEAR(sum2 / 10000.0, 4.0, 0.3);
+}
+
+TEST(Tensor, Concat) {
+  Tensor a = Tensor::from({1, 2});
+  Tensor b = Tensor::from({3, 4, 5});
+  Tensor c = concat(a, b);
+  EXPECT_EQ(c.size(), 5u);
+  EXPECT_EQ(c.at(4), 5.0f);
+}
+
+}  // namespace
+}  // namespace m2ai::nn

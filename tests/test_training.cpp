@@ -1,0 +1,147 @@
+// End-to-end learning sanity on the nn library itself: a small network must
+// be able to fit a nonlinear synthetic task, and checkpoints must round-trip.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "nn/activations.hpp"
+#include "nn/dense.hpp"
+#include "nn/optimizer.hpp"
+#include "nn/sequential.hpp"
+#include "nn/serialize.hpp"
+#include "nn/softmax.hpp"
+
+namespace m2ai::nn {
+namespace {
+
+// Two-class XOR-style problem: label = (x0 > 0) XOR (x1 > 0).
+struct Xor {
+  std::vector<Tensor> inputs;
+  std::vector<int> labels;
+};
+
+Xor make_xor(int n, std::uint64_t seed) {
+  util::Rng rng(seed);
+  Xor data;
+  for (int i = 0; i < n; ++i) {
+    const float x0 = static_cast<float>(rng.uniform(-1.0, 1.0));
+    const float x1 = static_cast<float>(rng.uniform(-1.0, 1.0));
+    data.inputs.push_back(Tensor::from({x0, x1}));
+    data.labels.push_back(((x0 > 0) != (x1 > 0)) ? 1 : 0);
+  }
+  return data;
+}
+
+double accuracy(Sequential& net, const Xor& data) {
+  int correct = 0;
+  for (std::size_t i = 0; i < data.inputs.size(); ++i) {
+    const Tensor logits = net.forward(data.inputs[i], false);
+    const int pred = logits.at(0) > logits.at(1) ? 0 : 1;
+    if (pred == data.labels[i]) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(data.inputs.size());
+}
+
+Sequential build_net(std::uint64_t seed) {
+  util::Rng rng(seed);
+  Sequential net;
+  net.emplace<Dense>(2, 16, rng);
+  net.emplace<ReLU>();
+  net.emplace<Dense>(16, 2, rng);
+  return net;
+}
+
+TEST(Training, LearnsXor) {
+  Sequential net = build_net(1);
+  const Xor train = make_xor(400, 2);
+  const Xor test = make_xor(200, 3);
+  Adam opt(0.01);
+  const auto params = net.params();
+  for (int epoch = 0; epoch < 40; ++epoch) {
+    for (std::size_t i = 0; i < train.inputs.size(); ++i) {
+      const Tensor logits = net.forward(train.inputs[i], true);
+      const auto lag = softmax_cross_entropy(logits, train.labels[i]);
+      net.backward(lag.grad_logits);
+      if (i % 8 == 7) {
+        clip_gradient_norm(params, 5.0);
+        opt.step(params);
+      }
+    }
+    clip_gradient_norm(params, 5.0);
+    opt.step(params);
+  }
+  EXPECT_GT(accuracy(net, test), 0.93);
+}
+
+TEST(Training, LossDecreasesMonotonicallyOnAverage) {
+  Sequential net = build_net(4);
+  const Xor train = make_xor(300, 5);
+  Adam opt(0.01);
+  const auto params = net.params();
+  auto epoch_loss = [&]() {
+    double total = 0.0;
+    for (std::size_t i = 0; i < train.inputs.size(); ++i) {
+      const Tensor logits = net.forward(train.inputs[i], true);
+      const auto lag = softmax_cross_entropy(logits, train.labels[i]);
+      total += lag.loss;
+      net.backward(lag.grad_logits);
+      if (i % 8 == 7) opt.step(params);
+    }
+    opt.step(params);
+    return total / static_cast<double>(train.inputs.size());
+  };
+  const double first = epoch_loss();
+  double last = first;
+  for (int e = 0; e < 15; ++e) last = epoch_loss();
+  EXPECT_LT(last, first * 0.6);
+}
+
+TEST(Serialize, RoundTripPreservesPredictions) {
+  Sequential net = build_net(6);
+  const Xor data = make_xor(50, 7);
+  const std::string path = testing::TempDir() + "m2ai_params.bin";
+  save_params(path, net.params());
+
+  Sequential net2 = build_net(999);  // different init
+  load_params(path, net2.params());
+  for (const Tensor& x : data.inputs) {
+    const Tensor a = net.forward(x, false);
+    const Tensor b = net2.forward(x, false);
+    EXPECT_FLOAT_EQ(a.at(0), b.at(0));
+    EXPECT_FLOAT_EQ(a.at(1), b.at(1));
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Serialize, ShapeMismatchRejected) {
+  Sequential net = build_net(8);
+  const std::string path = testing::TempDir() + "m2ai_params_bad.bin";
+  save_params(path, net.params());
+
+  util::Rng rng(9);
+  Sequential other;
+  other.emplace<Dense>(2, 8, rng);  // different hidden size
+  other.emplace<ReLU>();
+  other.emplace<Dense>(8, 2, rng);
+  EXPECT_THROW(load_params(path, other.params()), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(Serialize, MissingFileRejected) {
+  Sequential net = build_net(10);
+  EXPECT_THROW(load_params("/nonexistent/m2ai.bin", net.params()), std::runtime_error);
+}
+
+TEST(Serialize, CountMismatchRejected) {
+  Sequential net = build_net(11);
+  const std::string path = testing::TempDir() + "m2ai_params_count.bin";
+  save_params(path, net.params());
+  util::Rng rng(12);
+  Sequential other;
+  other.emplace<Dense>(2, 16, rng);
+  EXPECT_THROW(load_params(path, other.params()), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace m2ai::nn

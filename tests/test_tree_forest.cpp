@@ -1,0 +1,133 @@
+#include <gtest/gtest.h>
+
+#include "ml/adaboost.hpp"
+#include "ml/decision_tree.hpp"
+#include "ml/random_forest.hpp"
+
+namespace m2ai::ml {
+namespace {
+
+Dataset tiny_split_problem() {
+  // One feature separates the classes at x = 0.5.
+  Dataset data;
+  for (int i = 0; i < 20; ++i) {
+    data.add({static_cast<float>(i) / 20.0f}, i < 10 ? 0 : 1);
+  }
+  return data;
+}
+
+TEST(DecisionTree, FindsObviousThreshold) {
+  DecisionTree tree;
+  tree.fit(tiny_split_problem());
+  EXPECT_EQ(tree.predict({0.1f}), 0);
+  EXPECT_EQ(tree.predict({0.9f}), 1);
+  EXPECT_EQ(tree.depth(), 1);  // a single split suffices
+}
+
+TEST(DecisionTree, DepthLimitRespected) {
+  util::Rng rng(1);
+  Dataset data;
+  for (int i = 0; i < 200; ++i) {
+    std::vector<float> x{static_cast<float>(rng.uniform()),
+                         static_cast<float>(rng.uniform())};
+    const int label = (x[0] > 0.5f) ^ (x[1] > 0.5f) ? 1 : 0;  // needs depth 2
+    data.add(std::move(x), label);
+  }
+  TreeOptions opts;
+  opts.max_depth = 1;
+  DecisionTree stump(opts);
+  stump.fit(data);
+  EXPECT_LE(stump.depth(), 1);
+
+  TreeOptions deep;
+  deep.max_depth = 4;
+  DecisionTree tree(deep);
+  tree.fit(data);
+  EXPECT_GT(tree.accuracy(data), 0.95);
+}
+
+TEST(DecisionTree, WeightedFitFollowsWeights) {
+  // Two conflicting points; weights decide the leaf label.
+  Dataset data;
+  data.add({0.0f}, 0);
+  data.add({0.0f}, 1);
+  DecisionTree tree;
+  tree.fit_weighted(data, {0.9, 0.1});
+  EXPECT_EQ(tree.predict({0.0f}), 0);
+  DecisionTree tree2;
+  tree2.fit_weighted(data, {0.1, 0.9});
+  EXPECT_EQ(tree2.predict({0.0f}), 1);
+}
+
+TEST(DecisionTree, WeightCountMismatchThrows) {
+  Dataset data = tiny_split_problem();
+  DecisionTree tree;
+  EXPECT_THROW(tree.fit_weighted(data, {1.0}), std::invalid_argument);
+}
+
+TEST(DecisionTree, PredictBeforeFitThrows) {
+  DecisionTree tree;
+  EXPECT_THROW(tree.predict({0.0f}), std::logic_error);
+}
+
+TEST(DecisionTree, ConstantFeaturesYieldLeaf) {
+  Dataset data;
+  data.add({1.0f}, 0);
+  data.add({1.0f}, 0);
+  data.add({1.0f}, 1);
+  DecisionTree tree;
+  tree.fit(data);
+  EXPECT_EQ(tree.depth(), 0);
+  EXPECT_EQ(tree.predict({1.0f}), 0);  // majority
+}
+
+TEST(RandomForest, BeatsSingleStumpOnXor) {
+  util::Rng rng(2);
+  Dataset train, test;
+  for (int i = 0; i < 400; ++i) {
+    std::vector<float> x{static_cast<float>(rng.uniform(-1, 1)),
+                         static_cast<float>(rng.uniform(-1, 1))};
+    const int label = (x[0] > 0) ^ (x[1] > 0) ? 1 : 0;
+    (i < 300 ? train : test).add(std::move(x), label);
+  }
+  TreeOptions stump_opts;
+  stump_opts.max_depth = 1;
+  DecisionTree stump(stump_opts);
+  stump.fit(train);
+
+  RandomForest forest(25, 8, 3);
+  forest.fit(train);
+  EXPECT_GT(forest.accuracy(test), stump.accuracy(test) + 0.2);
+  EXPECT_GT(forest.accuracy(test), 0.9);
+}
+
+TEST(AdaBoost, BoostsStumpsBeyondSingleStump) {
+  util::Rng rng(4);
+  Dataset train, test;
+  // Diagonal boundary: x0 + x1 > 0 -> needs many axis-aligned stumps.
+  for (int i = 0; i < 500; ++i) {
+    std::vector<float> x{static_cast<float>(rng.uniform(-1, 1)),
+                         static_cast<float>(rng.uniform(-1, 1))};
+    const int label = (x[0] + x[1] > 0) ? 1 : 0;
+    (i < 350 ? train : test).add(std::move(x), label);
+  }
+  TreeOptions stump_opts;
+  stump_opts.max_depth = 1;
+  DecisionTree stump(stump_opts);
+  stump.fit(train);
+
+  AdaBoost boost(60, 1, 5);
+  boost.fit(train);
+  EXPECT_GT(boost.accuracy(test), stump.accuracy(test) + 0.05);
+  EXPECT_GT(boost.accuracy(test), 0.9);
+}
+
+TEST(AdaBoost, HandlesPerfectWeakLearner) {
+  AdaBoost boost(10, 3, 6);
+  boost.fit(tiny_split_problem());  // stump is perfect -> early stop path
+  EXPECT_EQ(boost.predict({0.1f}), 0);
+  EXPECT_EQ(boost.predict({0.9f}), 1);
+}
+
+}  // namespace
+}  // namespace m2ai::ml
