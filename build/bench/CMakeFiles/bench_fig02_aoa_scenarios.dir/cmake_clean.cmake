@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig02_aoa_scenarios.dir/bench_fig02_aoa_scenarios.cpp.o"
+  "CMakeFiles/bench_fig02_aoa_scenarios.dir/bench_fig02_aoa_scenarios.cpp.o.d"
+  "bench_fig02_aoa_scenarios"
+  "bench_fig02_aoa_scenarios.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig02_aoa_scenarios.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

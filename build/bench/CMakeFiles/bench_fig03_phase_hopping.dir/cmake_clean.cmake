@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig03_phase_hopping.dir/bench_fig03_phase_hopping.cpp.o"
+  "CMakeFiles/bench_fig03_phase_hopping.dir/bench_fig03_phase_hopping.cpp.o.d"
+  "bench_fig03_phase_hopping"
+  "bench_fig03_phase_hopping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig03_phase_hopping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

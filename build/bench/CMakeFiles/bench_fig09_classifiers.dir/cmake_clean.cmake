@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig09_classifiers.dir/bench_fig09_classifiers.cpp.o"
+  "CMakeFiles/bench_fig09_classifiers.dir/bench_fig09_classifiers.cpp.o.d"
+  "bench_fig09_classifiers"
+  "bench_fig09_classifiers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig09_classifiers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_objects.dir/bench_fig11_objects.cpp.o"
+  "CMakeFiles/bench_fig11_objects.dir/bench_fig11_objects.cpp.o.d"
+  "bench_fig11_objects"
+  "bench_fig11_objects.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_objects.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_places.dir/bench_fig12_places.cpp.o"
+  "CMakeFiles/bench_fig12_places.dir/bench_fig12_places.cpp.o.d"
+  "bench_fig12_places"
+  "bench_fig12_places.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_places.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

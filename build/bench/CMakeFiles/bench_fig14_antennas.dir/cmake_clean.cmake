@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_antennas.dir/bench_fig14_antennas.cpp.o"
+  "CMakeFiles/bench_fig14_antennas.dir/bench_fig14_antennas.cpp.o.d"
+  "bench_fig14_antennas"
+  "bench_fig14_antennas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_antennas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

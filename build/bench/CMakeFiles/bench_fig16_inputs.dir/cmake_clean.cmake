@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig16_inputs.dir/bench_fig16_inputs.cpp.o"
+  "CMakeFiles/bench_fig16_inputs.dir/bench_fig16_inputs.cpp.o.d"
+  "bench_fig16_inputs"
+  "bench_fig16_inputs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig16_inputs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

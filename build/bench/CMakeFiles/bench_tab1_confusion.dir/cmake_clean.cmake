@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab1_confusion.dir/bench_tab1_confusion.cpp.o"
+  "CMakeFiles/bench_tab1_confusion.dir/bench_tab1_confusion.cpp.o.d"
+  "bench_tab1_confusion"
+  "bench_tab1_confusion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab1_confusion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/m2ai_bench_common.dir/common/bench_common.cpp.o"
+  "CMakeFiles/m2ai_bench_common.dir/common/bench_common.cpp.o.d"
+  "libm2ai_bench_common.a"
+  "libm2ai_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/m2ai_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

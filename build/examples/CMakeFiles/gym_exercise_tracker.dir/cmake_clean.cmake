@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gym_exercise_tracker.dir/gym_exercise_tracker.cpp.o"
+  "CMakeFiles/gym_exercise_tracker.dir/gym_exercise_tracker.cpp.o.d"
+  "gym_exercise_tracker"
+  "gym_exercise_tracker.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gym_exercise_tracker.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

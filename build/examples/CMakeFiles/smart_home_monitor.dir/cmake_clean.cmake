@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smart_home_monitor.dir/smart_home_monitor.cpp.o"
+  "CMakeFiles/smart_home_monitor.dir/smart_home_monitor.cpp.o.d"
+  "smart_home_monitor"
+  "smart_home_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smart_home_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

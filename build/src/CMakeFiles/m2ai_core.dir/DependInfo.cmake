@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/config.cpp" "src/CMakeFiles/m2ai_core.dir/core/config.cpp.o" "gcc" "src/CMakeFiles/m2ai_core.dir/core/config.cpp.o.d"
+  "/root/repo/src/core/evaluator.cpp" "src/CMakeFiles/m2ai_core.dir/core/evaluator.cpp.o" "gcc" "src/CMakeFiles/m2ai_core.dir/core/evaluator.cpp.o.d"
+  "/root/repo/src/core/experiment.cpp" "src/CMakeFiles/m2ai_core.dir/core/experiment.cpp.o" "gcc" "src/CMakeFiles/m2ai_core.dir/core/experiment.cpp.o.d"
+  "/root/repo/src/core/features.cpp" "src/CMakeFiles/m2ai_core.dir/core/features.cpp.o" "gcc" "src/CMakeFiles/m2ai_core.dir/core/features.cpp.o.d"
+  "/root/repo/src/core/frames.cpp" "src/CMakeFiles/m2ai_core.dir/core/frames.cpp.o" "gcc" "src/CMakeFiles/m2ai_core.dir/core/frames.cpp.o.d"
+  "/root/repo/src/core/model.cpp" "src/CMakeFiles/m2ai_core.dir/core/model.cpp.o" "gcc" "src/CMakeFiles/m2ai_core.dir/core/model.cpp.o.d"
+  "/root/repo/src/core/pipeline.cpp" "src/CMakeFiles/m2ai_core.dir/core/pipeline.cpp.o" "gcc" "src/CMakeFiles/m2ai_core.dir/core/pipeline.cpp.o.d"
+  "/root/repo/src/core/trainer.cpp" "src/CMakeFiles/m2ai_core.dir/core/trainer.cpp.o" "gcc" "src/CMakeFiles/m2ai_core.dir/core/trainer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/m2ai_dsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/m2ai_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/m2ai_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/m2ai_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/m2ai_rf.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/m2ai_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

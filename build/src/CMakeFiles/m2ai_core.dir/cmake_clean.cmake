@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/m2ai_core.dir/core/config.cpp.o"
+  "CMakeFiles/m2ai_core.dir/core/config.cpp.o.d"
+  "CMakeFiles/m2ai_core.dir/core/evaluator.cpp.o"
+  "CMakeFiles/m2ai_core.dir/core/evaluator.cpp.o.d"
+  "CMakeFiles/m2ai_core.dir/core/experiment.cpp.o"
+  "CMakeFiles/m2ai_core.dir/core/experiment.cpp.o.d"
+  "CMakeFiles/m2ai_core.dir/core/features.cpp.o"
+  "CMakeFiles/m2ai_core.dir/core/features.cpp.o.d"
+  "CMakeFiles/m2ai_core.dir/core/frames.cpp.o"
+  "CMakeFiles/m2ai_core.dir/core/frames.cpp.o.d"
+  "CMakeFiles/m2ai_core.dir/core/model.cpp.o"
+  "CMakeFiles/m2ai_core.dir/core/model.cpp.o.d"
+  "CMakeFiles/m2ai_core.dir/core/pipeline.cpp.o"
+  "CMakeFiles/m2ai_core.dir/core/pipeline.cpp.o.d"
+  "CMakeFiles/m2ai_core.dir/core/trainer.cpp.o"
+  "CMakeFiles/m2ai_core.dir/core/trainer.cpp.o.d"
+  "libm2ai_core.a"
+  "libm2ai_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/m2ai_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dsp/calibration.cpp" "src/CMakeFiles/m2ai_dsp.dir/dsp/calibration.cpp.o" "gcc" "src/CMakeFiles/m2ai_dsp.dir/dsp/calibration.cpp.o.d"
+  "/root/repo/src/dsp/covariance.cpp" "src/CMakeFiles/m2ai_dsp.dir/dsp/covariance.cpp.o" "gcc" "src/CMakeFiles/m2ai_dsp.dir/dsp/covariance.cpp.o.d"
+  "/root/repo/src/dsp/eig.cpp" "src/CMakeFiles/m2ai_dsp.dir/dsp/eig.cpp.o" "gcc" "src/CMakeFiles/m2ai_dsp.dir/dsp/eig.cpp.o.d"
+  "/root/repo/src/dsp/fft.cpp" "src/CMakeFiles/m2ai_dsp.dir/dsp/fft.cpp.o" "gcc" "src/CMakeFiles/m2ai_dsp.dir/dsp/fft.cpp.o.d"
+  "/root/repo/src/dsp/music.cpp" "src/CMakeFiles/m2ai_dsp.dir/dsp/music.cpp.o" "gcc" "src/CMakeFiles/m2ai_dsp.dir/dsp/music.cpp.o.d"
+  "/root/repo/src/dsp/periodogram.cpp" "src/CMakeFiles/m2ai_dsp.dir/dsp/periodogram.cpp.o" "gcc" "src/CMakeFiles/m2ai_dsp.dir/dsp/periodogram.cpp.o.d"
+  "/root/repo/src/dsp/phase.cpp" "src/CMakeFiles/m2ai_dsp.dir/dsp/phase.cpp.o" "gcc" "src/CMakeFiles/m2ai_dsp.dir/dsp/phase.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/m2ai_rf.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/m2ai_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/m2ai_dsp.dir/dsp/calibration.cpp.o"
+  "CMakeFiles/m2ai_dsp.dir/dsp/calibration.cpp.o.d"
+  "CMakeFiles/m2ai_dsp.dir/dsp/covariance.cpp.o"
+  "CMakeFiles/m2ai_dsp.dir/dsp/covariance.cpp.o.d"
+  "CMakeFiles/m2ai_dsp.dir/dsp/eig.cpp.o"
+  "CMakeFiles/m2ai_dsp.dir/dsp/eig.cpp.o.d"
+  "CMakeFiles/m2ai_dsp.dir/dsp/fft.cpp.o"
+  "CMakeFiles/m2ai_dsp.dir/dsp/fft.cpp.o.d"
+  "CMakeFiles/m2ai_dsp.dir/dsp/music.cpp.o"
+  "CMakeFiles/m2ai_dsp.dir/dsp/music.cpp.o.d"
+  "CMakeFiles/m2ai_dsp.dir/dsp/periodogram.cpp.o"
+  "CMakeFiles/m2ai_dsp.dir/dsp/periodogram.cpp.o.d"
+  "CMakeFiles/m2ai_dsp.dir/dsp/phase.cpp.o"
+  "CMakeFiles/m2ai_dsp.dir/dsp/phase.cpp.o.d"
+  "libm2ai_dsp.a"
+  "libm2ai_dsp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/m2ai_dsp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for m2ai_dsp.
+# This may be replaced when dependencies are built.

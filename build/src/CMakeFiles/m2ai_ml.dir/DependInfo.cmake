@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ml/adaboost.cpp" "src/CMakeFiles/m2ai_ml.dir/ml/adaboost.cpp.o" "gcc" "src/CMakeFiles/m2ai_ml.dir/ml/adaboost.cpp.o.d"
+  "/root/repo/src/ml/dataset.cpp" "src/CMakeFiles/m2ai_ml.dir/ml/dataset.cpp.o" "gcc" "src/CMakeFiles/m2ai_ml.dir/ml/dataset.cpp.o.d"
+  "/root/repo/src/ml/decision_tree.cpp" "src/CMakeFiles/m2ai_ml.dir/ml/decision_tree.cpp.o" "gcc" "src/CMakeFiles/m2ai_ml.dir/ml/decision_tree.cpp.o.d"
+  "/root/repo/src/ml/gaussian_process.cpp" "src/CMakeFiles/m2ai_ml.dir/ml/gaussian_process.cpp.o" "gcc" "src/CMakeFiles/m2ai_ml.dir/ml/gaussian_process.cpp.o.d"
+  "/root/repo/src/ml/hmm.cpp" "src/CMakeFiles/m2ai_ml.dir/ml/hmm.cpp.o" "gcc" "src/CMakeFiles/m2ai_ml.dir/ml/hmm.cpp.o.d"
+  "/root/repo/src/ml/knn.cpp" "src/CMakeFiles/m2ai_ml.dir/ml/knn.cpp.o" "gcc" "src/CMakeFiles/m2ai_ml.dir/ml/knn.cpp.o.d"
+  "/root/repo/src/ml/mlp.cpp" "src/CMakeFiles/m2ai_ml.dir/ml/mlp.cpp.o" "gcc" "src/CMakeFiles/m2ai_ml.dir/ml/mlp.cpp.o.d"
+  "/root/repo/src/ml/naive_bayes.cpp" "src/CMakeFiles/m2ai_ml.dir/ml/naive_bayes.cpp.o" "gcc" "src/CMakeFiles/m2ai_ml.dir/ml/naive_bayes.cpp.o.d"
+  "/root/repo/src/ml/qda.cpp" "src/CMakeFiles/m2ai_ml.dir/ml/qda.cpp.o" "gcc" "src/CMakeFiles/m2ai_ml.dir/ml/qda.cpp.o.d"
+  "/root/repo/src/ml/random_forest.cpp" "src/CMakeFiles/m2ai_ml.dir/ml/random_forest.cpp.o" "gcc" "src/CMakeFiles/m2ai_ml.dir/ml/random_forest.cpp.o.d"
+  "/root/repo/src/ml/svm_linear.cpp" "src/CMakeFiles/m2ai_ml.dir/ml/svm_linear.cpp.o" "gcc" "src/CMakeFiles/m2ai_ml.dir/ml/svm_linear.cpp.o.d"
+  "/root/repo/src/ml/svm_rbf.cpp" "src/CMakeFiles/m2ai_ml.dir/ml/svm_rbf.cpp.o" "gcc" "src/CMakeFiles/m2ai_ml.dir/ml/svm_rbf.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/m2ai_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/m2ai_nn.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/m2ai_ml.dir/ml/adaboost.cpp.o"
+  "CMakeFiles/m2ai_ml.dir/ml/adaboost.cpp.o.d"
+  "CMakeFiles/m2ai_ml.dir/ml/dataset.cpp.o"
+  "CMakeFiles/m2ai_ml.dir/ml/dataset.cpp.o.d"
+  "CMakeFiles/m2ai_ml.dir/ml/decision_tree.cpp.o"
+  "CMakeFiles/m2ai_ml.dir/ml/decision_tree.cpp.o.d"
+  "CMakeFiles/m2ai_ml.dir/ml/gaussian_process.cpp.o"
+  "CMakeFiles/m2ai_ml.dir/ml/gaussian_process.cpp.o.d"
+  "CMakeFiles/m2ai_ml.dir/ml/hmm.cpp.o"
+  "CMakeFiles/m2ai_ml.dir/ml/hmm.cpp.o.d"
+  "CMakeFiles/m2ai_ml.dir/ml/knn.cpp.o"
+  "CMakeFiles/m2ai_ml.dir/ml/knn.cpp.o.d"
+  "CMakeFiles/m2ai_ml.dir/ml/mlp.cpp.o"
+  "CMakeFiles/m2ai_ml.dir/ml/mlp.cpp.o.d"
+  "CMakeFiles/m2ai_ml.dir/ml/naive_bayes.cpp.o"
+  "CMakeFiles/m2ai_ml.dir/ml/naive_bayes.cpp.o.d"
+  "CMakeFiles/m2ai_ml.dir/ml/qda.cpp.o"
+  "CMakeFiles/m2ai_ml.dir/ml/qda.cpp.o.d"
+  "CMakeFiles/m2ai_ml.dir/ml/random_forest.cpp.o"
+  "CMakeFiles/m2ai_ml.dir/ml/random_forest.cpp.o.d"
+  "CMakeFiles/m2ai_ml.dir/ml/svm_linear.cpp.o"
+  "CMakeFiles/m2ai_ml.dir/ml/svm_linear.cpp.o.d"
+  "CMakeFiles/m2ai_ml.dir/ml/svm_rbf.cpp.o"
+  "CMakeFiles/m2ai_ml.dir/ml/svm_rbf.cpp.o.d"
+  "libm2ai_ml.a"
+  "libm2ai_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/m2ai_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libm2ai_ml.a"
+)

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/activations.cpp" "src/CMakeFiles/m2ai_nn.dir/nn/activations.cpp.o" "gcc" "src/CMakeFiles/m2ai_nn.dir/nn/activations.cpp.o.d"
+  "/root/repo/src/nn/conv1d.cpp" "src/CMakeFiles/m2ai_nn.dir/nn/conv1d.cpp.o" "gcc" "src/CMakeFiles/m2ai_nn.dir/nn/conv1d.cpp.o.d"
+  "/root/repo/src/nn/dense.cpp" "src/CMakeFiles/m2ai_nn.dir/nn/dense.cpp.o" "gcc" "src/CMakeFiles/m2ai_nn.dir/nn/dense.cpp.o.d"
+  "/root/repo/src/nn/dropout.cpp" "src/CMakeFiles/m2ai_nn.dir/nn/dropout.cpp.o" "gcc" "src/CMakeFiles/m2ai_nn.dir/nn/dropout.cpp.o.d"
+  "/root/repo/src/nn/gradcheck.cpp" "src/CMakeFiles/m2ai_nn.dir/nn/gradcheck.cpp.o" "gcc" "src/CMakeFiles/m2ai_nn.dir/nn/gradcheck.cpp.o.d"
+  "/root/repo/src/nn/lstm.cpp" "src/CMakeFiles/m2ai_nn.dir/nn/lstm.cpp.o" "gcc" "src/CMakeFiles/m2ai_nn.dir/nn/lstm.cpp.o.d"
+  "/root/repo/src/nn/optimizer.cpp" "src/CMakeFiles/m2ai_nn.dir/nn/optimizer.cpp.o" "gcc" "src/CMakeFiles/m2ai_nn.dir/nn/optimizer.cpp.o.d"
+  "/root/repo/src/nn/pool.cpp" "src/CMakeFiles/m2ai_nn.dir/nn/pool.cpp.o" "gcc" "src/CMakeFiles/m2ai_nn.dir/nn/pool.cpp.o.d"
+  "/root/repo/src/nn/sequential.cpp" "src/CMakeFiles/m2ai_nn.dir/nn/sequential.cpp.o" "gcc" "src/CMakeFiles/m2ai_nn.dir/nn/sequential.cpp.o.d"
+  "/root/repo/src/nn/serialize.cpp" "src/CMakeFiles/m2ai_nn.dir/nn/serialize.cpp.o" "gcc" "src/CMakeFiles/m2ai_nn.dir/nn/serialize.cpp.o.d"
+  "/root/repo/src/nn/softmax.cpp" "src/CMakeFiles/m2ai_nn.dir/nn/softmax.cpp.o" "gcc" "src/CMakeFiles/m2ai_nn.dir/nn/softmax.cpp.o.d"
+  "/root/repo/src/nn/tensor.cpp" "src/CMakeFiles/m2ai_nn.dir/nn/tensor.cpp.o" "gcc" "src/CMakeFiles/m2ai_nn.dir/nn/tensor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/m2ai_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

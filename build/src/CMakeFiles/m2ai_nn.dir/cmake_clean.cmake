@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/m2ai_nn.dir/nn/activations.cpp.o"
+  "CMakeFiles/m2ai_nn.dir/nn/activations.cpp.o.d"
+  "CMakeFiles/m2ai_nn.dir/nn/conv1d.cpp.o"
+  "CMakeFiles/m2ai_nn.dir/nn/conv1d.cpp.o.d"
+  "CMakeFiles/m2ai_nn.dir/nn/dense.cpp.o"
+  "CMakeFiles/m2ai_nn.dir/nn/dense.cpp.o.d"
+  "CMakeFiles/m2ai_nn.dir/nn/dropout.cpp.o"
+  "CMakeFiles/m2ai_nn.dir/nn/dropout.cpp.o.d"
+  "CMakeFiles/m2ai_nn.dir/nn/gradcheck.cpp.o"
+  "CMakeFiles/m2ai_nn.dir/nn/gradcheck.cpp.o.d"
+  "CMakeFiles/m2ai_nn.dir/nn/lstm.cpp.o"
+  "CMakeFiles/m2ai_nn.dir/nn/lstm.cpp.o.d"
+  "CMakeFiles/m2ai_nn.dir/nn/optimizer.cpp.o"
+  "CMakeFiles/m2ai_nn.dir/nn/optimizer.cpp.o.d"
+  "CMakeFiles/m2ai_nn.dir/nn/pool.cpp.o"
+  "CMakeFiles/m2ai_nn.dir/nn/pool.cpp.o.d"
+  "CMakeFiles/m2ai_nn.dir/nn/sequential.cpp.o"
+  "CMakeFiles/m2ai_nn.dir/nn/sequential.cpp.o.d"
+  "CMakeFiles/m2ai_nn.dir/nn/serialize.cpp.o"
+  "CMakeFiles/m2ai_nn.dir/nn/serialize.cpp.o.d"
+  "CMakeFiles/m2ai_nn.dir/nn/softmax.cpp.o"
+  "CMakeFiles/m2ai_nn.dir/nn/softmax.cpp.o.d"
+  "CMakeFiles/m2ai_nn.dir/nn/tensor.cpp.o"
+  "CMakeFiles/m2ai_nn.dir/nn/tensor.cpp.o.d"
+  "libm2ai_nn.a"
+  "libm2ai_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/m2ai_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rf/channel_plan.cpp" "src/CMakeFiles/m2ai_rf.dir/rf/channel_plan.cpp.o" "gcc" "src/CMakeFiles/m2ai_rf.dir/rf/channel_plan.cpp.o.d"
+  "/root/repo/src/rf/geometry.cpp" "src/CMakeFiles/m2ai_rf.dir/rf/geometry.cpp.o" "gcc" "src/CMakeFiles/m2ai_rf.dir/rf/geometry.cpp.o.d"
+  "/root/repo/src/rf/steering.cpp" "src/CMakeFiles/m2ai_rf.dir/rf/steering.cpp.o" "gcc" "src/CMakeFiles/m2ai_rf.dir/rf/steering.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/m2ai_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

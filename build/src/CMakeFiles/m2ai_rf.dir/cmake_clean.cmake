@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/m2ai_rf.dir/rf/channel_plan.cpp.o"
+  "CMakeFiles/m2ai_rf.dir/rf/channel_plan.cpp.o.d"
+  "CMakeFiles/m2ai_rf.dir/rf/geometry.cpp.o"
+  "CMakeFiles/m2ai_rf.dir/rf/geometry.cpp.o.d"
+  "CMakeFiles/m2ai_rf.dir/rf/steering.cpp.o"
+  "CMakeFiles/m2ai_rf.dir/rf/steering.cpp.o.d"
+  "libm2ai_rf.a"
+  "libm2ai_rf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/m2ai_rf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

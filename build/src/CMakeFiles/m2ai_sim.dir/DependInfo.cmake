@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/activities.cpp" "src/CMakeFiles/m2ai_sim.dir/sim/activities.cpp.o" "gcc" "src/CMakeFiles/m2ai_sim.dir/sim/activities.cpp.o.d"
+  "/root/repo/src/sim/environment.cpp" "src/CMakeFiles/m2ai_sim.dir/sim/environment.cpp.o" "gcc" "src/CMakeFiles/m2ai_sim.dir/sim/environment.cpp.o.d"
+  "/root/repo/src/sim/person.cpp" "src/CMakeFiles/m2ai_sim.dir/sim/person.cpp.o" "gcc" "src/CMakeFiles/m2ai_sim.dir/sim/person.cpp.o.d"
+  "/root/repo/src/sim/propagation.cpp" "src/CMakeFiles/m2ai_sim.dir/sim/propagation.cpp.o" "gcc" "src/CMakeFiles/m2ai_sim.dir/sim/propagation.cpp.o.d"
+  "/root/repo/src/sim/reader.cpp" "src/CMakeFiles/m2ai_sim.dir/sim/reader.cpp.o" "gcc" "src/CMakeFiles/m2ai_sim.dir/sim/reader.cpp.o.d"
+  "/root/repo/src/sim/scene.cpp" "src/CMakeFiles/m2ai_sim.dir/sim/scene.cpp.o" "gcc" "src/CMakeFiles/m2ai_sim.dir/sim/scene.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/m2ai_rf.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/m2ai_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/m2ai_sim.dir/sim/activities.cpp.o"
+  "CMakeFiles/m2ai_sim.dir/sim/activities.cpp.o.d"
+  "CMakeFiles/m2ai_sim.dir/sim/environment.cpp.o"
+  "CMakeFiles/m2ai_sim.dir/sim/environment.cpp.o.d"
+  "CMakeFiles/m2ai_sim.dir/sim/person.cpp.o"
+  "CMakeFiles/m2ai_sim.dir/sim/person.cpp.o.d"
+  "CMakeFiles/m2ai_sim.dir/sim/propagation.cpp.o"
+  "CMakeFiles/m2ai_sim.dir/sim/propagation.cpp.o.d"
+  "CMakeFiles/m2ai_sim.dir/sim/reader.cpp.o"
+  "CMakeFiles/m2ai_sim.dir/sim/reader.cpp.o.d"
+  "CMakeFiles/m2ai_sim.dir/sim/scene.cpp.o"
+  "CMakeFiles/m2ai_sim.dir/sim/scene.cpp.o.d"
+  "libm2ai_sim.a"
+  "libm2ai_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/m2ai_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/m2ai_util.dir/util/csv.cpp.o"
+  "CMakeFiles/m2ai_util.dir/util/csv.cpp.o.d"
+  "CMakeFiles/m2ai_util.dir/util/log.cpp.o"
+  "CMakeFiles/m2ai_util.dir/util/log.cpp.o.d"
+  "CMakeFiles/m2ai_util.dir/util/rng.cpp.o"
+  "CMakeFiles/m2ai_util.dir/util/rng.cpp.o.d"
+  "CMakeFiles/m2ai_util.dir/util/stats.cpp.o"
+  "CMakeFiles/m2ai_util.dir/util/stats.cpp.o.d"
+  "CMakeFiles/m2ai_util.dir/util/table.cpp.o"
+  "CMakeFiles/m2ai_util.dir/util/table.cpp.o.d"
+  "libm2ai_util.a"
+  "libm2ai_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/m2ai_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_activities.dir/test_activities.cpp.o"
+  "CMakeFiles/test_activities.dir/test_activities.cpp.o.d"
+  "test_activities"
+  "test_activities.pdb"
+  "test_activities[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_activities.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

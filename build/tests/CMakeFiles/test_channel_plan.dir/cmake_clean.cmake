@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_channel_plan.dir/test_channel_plan.cpp.o"
+  "CMakeFiles/test_channel_plan.dir/test_channel_plan.cpp.o.d"
+  "test_channel_plan"
+  "test_channel_plan.pdb"
+  "test_channel_plan[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_channel_plan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_music.dir/test_music.cpp.o"
+  "CMakeFiles/test_music.dir/test_music.cpp.o.d"
+  "test_music"
+  "test_music.pdb"
+  "test_music[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_music.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

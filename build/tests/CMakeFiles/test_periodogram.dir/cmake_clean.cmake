@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_periodogram.dir/test_periodogram.cpp.o"
+  "CMakeFiles/test_periodogram.dir/test_periodogram.cpp.o.d"
+  "test_periodogram"
+  "test_periodogram.pdb"
+  "test_periodogram[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_periodogram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_person.dir/test_person.cpp.o"
+  "CMakeFiles/test_person.dir/test_person.cpp.o.d"
+  "test_person"
+  "test_person.pdb"
+  "test_person[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_person.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

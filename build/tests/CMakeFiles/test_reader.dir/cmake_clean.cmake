@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_reader.dir/test_reader.cpp.o"
+  "CMakeFiles/test_reader.dir/test_reader.cpp.o.d"
+  "test_reader"
+  "test_reader.pdb"
+  "test_reader[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_reader.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

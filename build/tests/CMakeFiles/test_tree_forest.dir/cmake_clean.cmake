@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tree_forest.dir/test_tree_forest.cpp.o"
+  "CMakeFiles/test_tree_forest.dir/test_tree_forest.cpp.o.d"
+  "test_tree_forest"
+  "test_tree_forest.pdb"
+  "test_tree_forest[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tree_forest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

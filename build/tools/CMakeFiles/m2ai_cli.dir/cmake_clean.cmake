@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/m2ai_cli.dir/m2ai_cli.cpp.o"
+  "CMakeFiles/m2ai_cli.dir/m2ai_cli.cpp.o.d"
+  "m2ai"
+  "m2ai.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/m2ai_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
