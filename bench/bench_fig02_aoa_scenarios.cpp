@@ -77,7 +77,8 @@ void report_panel(sim::Scene& scene, const std::string& title, util::CsvWriter& 
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::init_observability(argc, argv);
   bench::print_header("Fig. 2", "AoA spectra: single tag, blocking person, many tags");
   util::CsvWriter csv(bench::results_dir() + "/fig02_aoa.csv",
                       {"panel", "tag", "peak_deg", "height"});

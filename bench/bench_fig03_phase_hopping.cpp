@@ -13,7 +13,8 @@
 
 using namespace m2ai;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::init_observability(argc, argv);
   bench::print_header("Fig. 3", "Phase vs hop frequency for a stationary tag (60 s)");
 
   const sim::Environment env = sim::Environment::laboratory();

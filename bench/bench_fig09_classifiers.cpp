@@ -18,7 +18,8 @@
 
 using namespace m2ai;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::init_observability(argc, argv);
   bench::print_header("Fig. 9", "M2AI vs conventional classifiers (12 activities)");
 
   const core::ExperimentConfig config = bench::headline_config();

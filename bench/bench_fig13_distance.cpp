@@ -5,7 +5,8 @@
 
 using namespace m2ai;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::init_observability(argc, argv);
   bench::print_header("Fig. 13", "Impact of distance to the antenna array");
 
   util::Table table({"distance (m)", "accuracy"});

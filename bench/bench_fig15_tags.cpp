@@ -5,7 +5,8 @@
 
 using namespace m2ai;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::init_observability(argc, argv);
   bench::print_header("Fig. 15", "Impact of the number of tags per person");
 
   util::Table table({"tags/person", "accuracy"});

@@ -6,7 +6,8 @@
 
 using namespace m2ai;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::init_observability(argc, argv);
   bench::print_header("Fig. 16", "Impact of preprocessing inputs");
 
   util::Table table({"input", "accuracy"});

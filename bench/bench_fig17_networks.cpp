@@ -5,7 +5,8 @@
 
 using namespace m2ai;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::init_observability(argc, argv);
   bench::print_header("Fig. 17", "Impact of the learning network architecture");
 
   util::Table table({"network", "accuracy"});

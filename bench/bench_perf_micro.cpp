@@ -4,6 +4,7 @@
 
 #include <cmath>
 
+#include "bench_common.hpp"
 #include "core/model.hpp"
 #include "core/pipeline.hpp"
 #include "dsp/eig.hpp"
@@ -142,4 +143,14 @@ BENCHMARK(BM_TrainStep)->Unit(benchmark::kMicrosecond);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Custom main instead of BENCHMARK_MAIN(): --metrics-out/--trace are parsed
+// (and stripped) first so the per-stage spans recorded inside the benchmarked
+// code are exported alongside the google-benchmark table.
+int main(int argc, char** argv) {
+  argc = m2ai::bench::init_observability(argc, argv);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

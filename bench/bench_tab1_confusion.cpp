@@ -5,7 +5,8 @@
 
 using namespace m2ai;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::init_observability(argc, argv);
   bench::print_header("Table I", "Confusion matrix of activity identification");
 
   const core::ExperimentConfig config = bench::headline_config();

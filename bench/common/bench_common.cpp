@@ -4,7 +4,10 @@
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
+#include <string>
 
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
 #include "util/log.hpp"
 
 namespace m2ai::bench {
@@ -18,6 +21,24 @@ double env_scale() {
 }
 
 namespace {
+
+std::string g_metrics_out;
+bool g_trace = false;
+
+void export_observability() {
+  if (!g_metrics_out.empty()) {
+    try {
+      obs::write_report(g_metrics_out);
+      std::fprintf(stderr, "metrics written to %s\n", g_metrics_out.c_str());
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "metrics export failed: %s\n", e.what());
+    }
+  }
+  if (g_trace) {
+    std::fputs(obs::span_tree().c_str(), stderr);
+  }
+}
+
 void apply_scale(core::ExperimentConfig& config) {
   const double s = env_scale();
   config.samples_per_class =
@@ -25,6 +46,28 @@ void apply_scale(core::ExperimentConfig& config) {
   config.train.epochs = std::max(3, static_cast<int>(config.train.epochs * s + 0.5));
 }
 }  // namespace
+
+int init_observability(int argc, char** argv) {
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    const std::string token = argv[i];
+    if (token == "--trace") {
+      g_trace = true;
+    } else if (token == "--metrics-out" && i + 1 < argc) {
+      g_metrics_out = argv[++i];
+    } else if (token.rfind("--metrics-out=", 0) == 0) {
+      g_metrics_out = token.substr(std::string("--metrics-out=").size());
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  argv[out] = nullptr;
+  if (g_trace || !g_metrics_out.empty()) {
+    obs::set_enabled(true);
+    std::atexit(export_observability);
+  }
+  return out;
+}
 
 core::ExperimentConfig headline_config() {
   core::ExperimentConfig config;

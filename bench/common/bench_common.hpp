@@ -4,6 +4,13 @@
 // writes a CSV next to the binary (./bench_results/<id>.csv). Scale can be
 // reduced for smoke runs with M2AI_BENCH_SCALE (e.g. 0.25), which shrinks
 // both the dataset and the epoch budget.
+//
+// Observability: every bench binary accepts
+//   --metrics-out <path>   write a machine-readable timing breakdown (JSON,
+//                          or CSV when the path ends in .csv) at exit
+//   --trace                print the span call tree to stderr at exit
+// Both flags enable the obs layer (off by default, so instrumented hot
+// paths cost one relaxed atomic load per call site).
 #pragma once
 
 #include <string>
@@ -16,6 +23,12 @@ namespace m2ai::bench {
 
 // Scale factor from M2AI_BENCH_SCALE (default 1.0, clamped to [0.05, 4]).
 double env_scale();
+
+// Parses and strips --metrics-out/--trace from argv (argv is compacted in
+// place and re-null-terminated; the new argc is returned). When either flag
+// is present, enables the obs layer and registers the matching export to
+// run at normal process exit. Call first thing in main().
+int init_observability(int argc, char** argv);
 
 // Headline configuration (Fig. 9 / Table I): the paper's default setup.
 core::ExperimentConfig headline_config();

@@ -4,11 +4,13 @@
 
 #include "core/features.hpp"
 #include "ml/hmm.hpp"
+#include "obs/trace.hpp"
 #include "util/log.hpp"
 
 namespace m2ai::core {
 
 DataSplit generate_dataset(const ExperimentConfig& config) {
+  M2AI_OBS_SPAN("dataset_generation");
   Pipeline pipeline(config.pipeline, config.seed);
   util::Rng split_rng(config.seed ^ 0xabcdef12345ULL);
 
@@ -46,12 +48,18 @@ M2AIResult train_and_evaluate(const ExperimentConfig& config, const DataSplit& s
   result.num_parameters = network->num_parameters();
 
   const auto start = std::chrono::steady_clock::now();
-  Trainer trainer(*network, config.train);
-  trainer.fit(split.train);
+  {
+    M2AI_OBS_SPAN("training");
+    Trainer trainer(*network, config.train);
+    trainer.fit(split.train);
+  }
   result.train_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
 
-  result.confusion = evaluate(*network, split.test);
+  {
+    M2AI_OBS_SPAN("evaluation");
+    result.confusion = evaluate(*network, split.test);
+  }
   result.accuracy = result.confusion.accuracy();
   if (out_network) *out_network = std::move(network);
   return result;

@@ -5,6 +5,7 @@
 #include "nn/activations.hpp"
 #include "nn/conv1d.hpp"
 #include "nn/dropout.hpp"
+#include "obs/trace.hpp"
 
 namespace m2ai::core {
 
@@ -43,6 +44,7 @@ M2AINetwork::M2AINetwork(const ModelConfig& model, FeatureMode mode, int num_tag
       pseudo_branch_->emplace<nn::ReLU>();
       pseudo_flat_ = probe_output_size(*pseudo_branch_, {num_tags_, rf::kNumAngleBins},
                                        &pseudo_out_shape_);
+      pseudo_branch_->set_trace_label("cnn_pseudo");
     }
     if (use_aux_) {
       // CONV-F (Fig. 6) over the short antenna axis.
@@ -52,6 +54,7 @@ M2AINetwork::M2AINetwork(const ModelConfig& model, FeatureMode mode, int num_tag
       aux_branch_->emplace<nn::ReLU>();
       aux_flat_ = probe_output_size(*aux_branch_, {num_tags_, num_antennas_},
                                     &aux_out_shape_);
+      aux_branch_->set_trace_label("cnn_aux");
     }
     merge_ = std::make_unique<nn::Sequential>();
     merge_->emplace<nn::Dense>(pseudo_flat_ + aux_flat_, model_.merge_features, rng);
@@ -59,6 +62,7 @@ M2AINetwork::M2AINetwork(const ModelConfig& model, FeatureMode mode, int num_tag
     if (model_.dropout > 0.0) {
       merge_->emplace<nn::Dropout>(model_.dropout, rng.fork());
     }
+    merge_->set_trace_label("cnn_merge");
   }
 
   int lstm_input = 0;
@@ -131,6 +135,7 @@ void M2AINetwork::frame_backward(const nn::Tensor& grad_features) {
 
 std::vector<nn::Tensor> M2AINetwork::forward_sequence(const FrameSequence& frames,
                                                       bool train) {
+  M2AI_OBS_SPAN("nn_forward");
   std::vector<nn::Tensor> feats;
   feats.reserve(frames.size());
   for (const SpectrumFrame& frame : frames) {
@@ -177,6 +182,7 @@ M2AINetwork::StepResult M2AINetwork::train_step(const Sample& sample) {
   }
 
   // Backward: head caches are LIFO, so walk t in reverse.
+  M2AI_OBS_SPAN("nn_backward");
   for (std::size_t t = t_len; t-- > 0;) {
     grad_states[t] = head_->backward(grad_logits[t]);
   }

@@ -1,6 +1,7 @@
 #include "core/pipeline.hpp"
 
 #include "dsp/phase.hpp"
+#include "obs/trace.hpp"
 
 namespace m2ai::core {
 
@@ -16,6 +17,7 @@ Pipeline::Pipeline(PipelineConfig config, std::uint64_t seed)
     : config_(config), rng_(seed) {}
 
 Sample Pipeline::simulate_sample(int activity_id) {
+  M2AI_OBS_SPAN("simulate_sample");
   const sim::Environment env = make_environment(config_.environment);
 
   // Array against the y=0 wall, centered in x, facing into the room.
@@ -52,6 +54,7 @@ Sample Pipeline::simulate_sample(int activity_id) {
   calibrator_.reset();
   double t0 = 0.5 * config_.window_sec;
   if (config_.phase_calibration) {
+    M2AI_OBS_SPAN("calibration");
     calibrator_ = std::make_unique<dsp::PhaseCalibrator>();
     scene.set_motion_frozen(true);
     const auto boot = reader.run(scene, 0.0, config_.bootstrap_sec);
@@ -63,11 +66,17 @@ Sample Pipeline::simulate_sample(int activity_id) {
     t0 = config_.bootstrap_sec + 0.5 * config_.window_sec;
   }
 
-  last_reports_ = reader.run(scene, t0, t0 + config_.sample_duration_sec());
+  {
+    M2AI_OBS_SPAN("reader_run");
+    last_reports_ = reader.run(scene, t0, t0 + config_.sample_duration_sec());
+  }
 
   FrameBuilder builder(config_, calibrator_.get(), num_tags());
   Sample sample;
-  sample.frames = builder.build(last_reports_, t0);
+  {
+    M2AI_OBS_SPAN("frame_assembly");
+    sample.frames = builder.build(last_reports_, t0);
+  }
   sample.activity_id = activity_id;
   sample.label = activity_id - 1;
   return sample;

@@ -1,8 +1,11 @@
 #include "core/trainer.hpp"
 
+#include <chrono>
 #include <numeric>
 
 #include "nn/optimizer.hpp"
+#include "obs/telemetry.hpp"
+#include "obs/trace.hpp"
 #include "util/log.hpp"
 
 namespace m2ai::core {
@@ -19,6 +22,7 @@ Trainer::Trainer(M2AINetwork& network, TrainConfig config)
 }
 
 EpochStats Trainer::run_epoch(const std::vector<Sample>& train) {
+  M2AI_OBS_SPAN("train_epoch");
   const auto params = network_.params();
   std::vector<std::size_t> order(train.size());
   std::iota(order.begin(), order.end(), 0);
@@ -27,6 +31,7 @@ EpochStats Trainer::run_epoch(const std::vector<Sample>& train) {
   EpochStats stats;
   std::size_t correct = 0;
   int in_batch = 0;
+  int num_steps = 0;
   Sample cropped;
   for (std::size_t idx : order) {
     const Sample* sample = &train[idx];
@@ -44,15 +49,18 @@ EpochStats Trainer::run_epoch(const std::vector<Sample>& train) {
     stats.mean_loss += step.loss;
     if (step.predicted == sample->label) ++correct;
     if (++in_batch == config_.batch_size) {
-      nn::clip_gradient_norm(params, config_.clip_norm);
+      stats.mean_grad_norm += nn::clip_gradient_norm(params, config_.clip_norm);
+      ++num_steps;
       optimizer_->step(params);
       in_batch = 0;
     }
   }
   if (in_batch > 0) {
-    nn::clip_gradient_norm(params, config_.clip_norm);
+    stats.mean_grad_norm += nn::clip_gradient_norm(params, config_.clip_norm);
+    ++num_steps;
     optimizer_->step(params);
   }
+  stats.mean_grad_norm /= static_cast<double>(std::max(num_steps, 1));
   stats.mean_loss /= static_cast<double>(std::max<std::size_t>(train.size(), 1));
   stats.train_accuracy =
       static_cast<double>(correct) / static_cast<double>(std::max<std::size_t>(train.size(), 1));
@@ -71,7 +79,14 @@ EpochStats Trainer::fit(const std::vector<Sample>& train) {
       }
       optimizer_->set_lr(lr);
     }
+    const auto epoch_start = std::chrono::steady_clock::now();
     stats = run_epoch(train);
+    const double epoch_seconds = std::chrono::duration<double>(
+                                     std::chrono::steady_clock::now() - epoch_start)
+                                     .count();
+    obs::training().record_epoch({epoch + 1, stats.mean_loss, stats.train_accuracy,
+                                  stats.mean_grad_norm, optimizer_->lr(),
+                                  epoch_seconds});
     if (config_.verbose) {
       util::log_info() << "epoch " << (epoch + 1) << "/" << config_.epochs
                        << " loss=" << stats.mean_loss

@@ -10,6 +10,8 @@ namespace m2ai::core {
 struct EpochStats {
   double mean_loss = 0.0;
   double train_accuracy = 0.0;
+  // Mean pre-clip global gradient norm over the epoch's optimizer steps.
+  double mean_grad_norm = 0.0;
 };
 
 class Trainer {

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "dsp/eig.hpp"
+#include "obs/trace.hpp"
 #include "rf/steering.hpp"
 
 namespace m2ai::dsp {
@@ -44,7 +45,12 @@ MusicEstimator::MusicEstimator(MusicOptions options) : options_(options) {
 
 MusicResult MusicEstimator::estimate(
     const std::vector<std::vector<cdouble>>& snapshots) const {
-  return estimate_from_covariance(sample_covariance(snapshots, options_.covariance));
+  M2AI_OBS_SPAN("music");
+  const CMatrix r = [&] {
+    M2AI_OBS_SPAN("covariance");
+    return sample_covariance(snapshots, options_.covariance);
+  }();
+  return estimate_from_covariance(r);
 }
 
 MusicResult MusicEstimator::estimate_from_covariance(const CMatrix& r) const {
@@ -52,7 +58,10 @@ MusicResult MusicEstimator::estimate_from_covariance(const CMatrix& r) const {
   if (n != steering_.front().size()) {
     throw std::invalid_argument("MusicEstimator: covariance size mismatch");
   }
-  const EigResult eig = eig_hermitian(r);
+  const EigResult eig = [&r] {
+    M2AI_OBS_SPAN("eig");
+    return eig_hermitian(r);
+  }();
 
   MusicResult result;
   result.eigenvalues = eig.values;

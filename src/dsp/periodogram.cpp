@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "dsp/fft.hpp"
+#include "obs/trace.hpp"
 
 namespace m2ai::dsp {
 
@@ -19,6 +20,7 @@ std::vector<double> periodogram(const std::vector<cdouble>& snapshot) {
 
 std::vector<double> averaged_periodogram(
     const std::vector<std::vector<cdouble>>& snapshots) {
+  M2AI_OBS_SPAN("periodogram");
   if (snapshots.empty()) {
     throw std::invalid_argument("averaged_periodogram: no snapshots");
   }

@@ -12,20 +12,26 @@ struct ErrorTally {
   std::size_t within = 0;
 };
 
-void update_errors(double analytic, double numeric, double tolerance,
+void update_errors(double analytic, double numeric, double tolerance, double atol,
                    GradCheckResult& result, ErrorTally& tally) {
   const double abs_err = std::abs(analytic - numeric);
-  const double denom = std::max({std::abs(analytic), std::abs(numeric), 1e-4});
   result.max_abs_error = std::max(result.max_abs_error, abs_err);
-  result.max_rel_error = std::max(result.max_rel_error, abs_err / denom);
   ++tally.total;
+  if (abs_err <= atol) {
+    // Below the float32 finite-difference noise floor: counts as a match,
+    // does not contribute to the relative-error maximum.
+    ++tally.within;
+    return;
+  }
+  const double denom = std::max({std::abs(analytic), std::abs(numeric), 1e-4});
+  result.max_rel_error = std::max(result.max_rel_error, abs_err / denom);
   if (abs_err / denom < tolerance) ++tally.within;
 }
 }  // namespace
 
 GradCheckResult check_param_gradients(const std::function<double()>& loss_fn,
                                       const std::vector<Param*>& params,
-                                      double epsilon, double tolerance) {
+                                      double epsilon, double tolerance, double atol) {
   GradCheckResult result;
 
   // Capture analytic gradients from one clean pass.
@@ -48,7 +54,7 @@ GradCheckResult check_param_gradients(const std::function<double()>& loss_fn,
       const double loss_minus = loss_fn();
       p->value[i] = saved;
       const double numeric = (loss_plus - loss_minus) / (2.0 * epsilon);
-      update_errors(analytic[pi][i], numeric, tolerance, result, tally);
+      update_errors(analytic[pi][i], numeric, tolerance, atol, result, tally);
     }
   }
   zero_gradients(params);
@@ -61,7 +67,7 @@ GradCheckResult check_param_gradients(const std::function<double()>& loss_fn,
 
 GradCheckResult check_input_gradient(const std::function<double(const Tensor&)>& run,
                                      const Tensor& input, const Tensor& analytic_grad,
-                                     double epsilon, double tolerance) {
+                                     double epsilon, double tolerance, double atol) {
   GradCheckResult result;
   ErrorTally tally;
   Tensor x = input;
@@ -73,7 +79,7 @@ GradCheckResult check_input_gradient(const std::function<double(const Tensor&)>&
     const double loss_minus = run(x);
     x[i] = saved;
     const double numeric = (loss_plus - loss_minus) / (2.0 * epsilon);
-    update_errors(analytic_grad[i], numeric, tolerance, result, tally);
+    update_errors(analytic_grad[i], numeric, tolerance, atol, result, tally);
   }
   result.fraction_within =
       tally.total ? static_cast<double>(tally.within) / static_cast<double>(tally.total)

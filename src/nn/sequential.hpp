@@ -3,6 +3,7 @@
 #pragma once
 
 #include <memory>
+#include <string>
 
 #include "nn/layer.hpp"
 
@@ -23,19 +24,13 @@ class Sequential : public Layer {
     return *this;
   }
 
-  Tensor forward(const Tensor& input, bool train) override {
-    Tensor x = input;
-    for (auto& layer : layers_) x = layer->forward(x, train);
-    return x;
-  }
+  // Names this stack in the trace-span output ("cnn_pseudo", ...). Forward
+  // and backward record latency under "<label>" / "<label>_bwd" when
+  // observability is on; unlabeled stacks are never traced.
+  Sequential& set_trace_label(std::string label);
 
-  Tensor backward(const Tensor& grad_output) override {
-    Tensor g = grad_output;
-    for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) {
-      g = (*it)->backward(g);
-    }
-    return g;
-  }
+  Tensor forward(const Tensor& input, bool train) override;
+  Tensor backward(const Tensor& grad_output) override;
 
   std::vector<Param*> params() override {
     std::vector<Param*> out;
@@ -54,6 +49,8 @@ class Sequential : public Layer {
 
  private:
   std::vector<std::unique_ptr<Layer>> layers_;
+  std::string trace_label_;
+  std::string trace_label_bwd_;
 };
 
 }  // namespace m2ai::nn

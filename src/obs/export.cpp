@@ -1,0 +1,257 @@
+#include "obs/export.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+
+#include "obs/telemetry.hpp"
+#include "obs/trace.hpp"
+
+namespace m2ai::obs {
+
+namespace {
+
+void append_escaped(std::string& out, const std::string& s) {
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+std::string num(double v) {
+  if (!std::isfinite(v)) return "0";
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.10g", v);
+  return buf;
+}
+
+void append_histogram_json(std::string& out, const HistogramSnapshot& h) {
+  out += "{\"count\":" + std::to_string(h.count);
+  out += ",\"sum\":" + num(h.sum);
+  out += ",\"min\":" + num(h.min);
+  out += ",\"max\":" + num(h.max);
+  out += ",\"p50\":" + num(h.p50);
+  out += ",\"p95\":" + num(h.p95);
+  out += ",\"p99\":" + num(h.p99);
+  out += "}";
+}
+
+void write_file(const std::string& path, const std::string& content) {
+  std::ofstream f(path, std::ios::binary | std::ios::trunc);
+  if (!f) throw std::runtime_error("obs: cannot open " + path + " for writing");
+  f << content;
+  if (!f.good()) throw std::runtime_error("obs: failed writing " + path);
+}
+
+}  // namespace
+
+std::string to_json() {
+  std::string out = "{\n  \"schema_version\": 1,\n";
+
+  out += "  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, value] : registry().counters()) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    \"";
+    append_escaped(out, name);
+    out += "\": " + std::to_string(value);
+  }
+  out += first ? "},\n" : "\n  },\n";
+
+  out += "  \"gauges\": {";
+  first = true;
+  for (const auto& [name, value] : registry().gauges()) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    \"";
+    append_escaped(out, name);
+    out += "\": " + num(value);
+  }
+  out += first ? "},\n" : "\n  },\n";
+
+  out += "  \"histograms\": {";
+  first = true;
+  for (const auto& [name, snap] : registry().histograms()) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    \"";
+    append_escaped(out, name);
+    out += "\": ";
+    append_histogram_json(out, snap);
+  }
+  out += first ? "},\n" : "\n  },\n";
+
+  out += "  \"spans\": [";
+  first = true;
+  for (const SpanStats& s : spans().snapshot()) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    {\"name\":\"";
+    append_escaped(out, s.name);
+    out += "\",\"parent\":\"";
+    append_escaped(out, s.parent);
+    out += "\",\"depth\":" + std::to_string(s.depth);
+    out += ",\"count\":" + std::to_string(s.latency_ms.count);
+    out += ",\"total_ms\":" + num(s.latency_ms.sum);
+    out += ",\"min_ms\":" + num(s.latency_ms.min);
+    out += ",\"max_ms\":" + num(s.latency_ms.max);
+    out += ",\"p50_ms\":" + num(s.latency_ms.p50);
+    out += ",\"p95_ms\":" + num(s.latency_ms.p95);
+    out += ",\"p99_ms\":" + num(s.latency_ms.p99);
+    out += "}";
+  }
+  out += first ? "],\n" : "\n  ],\n";
+
+  out += "  \"training\": {\"epochs\": [";
+  first = true;
+  for (const EpochRecord& e : training().snapshot()) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    {\"epoch\":" + std::to_string(e.epoch);
+    out += ",\"loss\":" + num(e.loss);
+    out += ",\"train_accuracy\":" + num(e.train_accuracy);
+    out += ",\"grad_norm\":" + num(e.grad_norm);
+    out += ",\"learning_rate\":" + num(e.learning_rate);
+    out += ",\"seconds\":" + num(e.seconds);
+    out += "}";
+  }
+  out += first ? "]}\n" : "\n  ]}\n";
+
+  out += "}\n";
+  return out;
+}
+
+std::string to_csv() {
+  std::string out = "kind,name,field,value\n";
+  auto row = [&out](const std::string& kind, const std::string& name,
+                    const std::string& field, const std::string& value) {
+    // Names are identifier-like; quote defensively if a comma sneaks in.
+    std::string safe = name;
+    if (safe.find(',') != std::string::npos) {
+      safe = "\"" + safe + "\"";
+    }
+    out += kind + "," + safe + "," + field + "," + value + "\n";
+  };
+  auto hist_rows = [&row](const std::string& kind, const std::string& name,
+                          const HistogramSnapshot& h, const std::string& unit) {
+    row(kind, name, "count", std::to_string(h.count));
+    row(kind, name, "sum" + unit, num(h.sum));
+    row(kind, name, "min" + unit, num(h.min));
+    row(kind, name, "max" + unit, num(h.max));
+    row(kind, name, "p50" + unit, num(h.p50));
+    row(kind, name, "p95" + unit, num(h.p95));
+    row(kind, name, "p99" + unit, num(h.p99));
+  };
+
+  for (const auto& [name, value] : registry().counters()) {
+    row("counter", name, "value", std::to_string(value));
+  }
+  for (const auto& [name, value] : registry().gauges()) {
+    row("gauge", name, "value", num(value));
+  }
+  for (const auto& [name, snap] : registry().histograms()) {
+    hist_rows("histogram", name, snap, "");
+  }
+  for (const SpanStats& s : spans().snapshot()) {
+    row("span", s.name, "parent", s.parent);
+    hist_rows("span", s.name, s.latency_ms, "_ms");
+  }
+  for (const EpochRecord& e : training().snapshot()) {
+    const std::string name = std::to_string(e.epoch);
+    row("epoch", name, "loss", num(e.loss));
+    row("epoch", name, "train_accuracy", num(e.train_accuracy));
+    row("epoch", name, "grad_norm", num(e.grad_norm));
+    row("epoch", name, "learning_rate", num(e.learning_rate));
+    row("epoch", name, "seconds", num(e.seconds));
+  }
+  return out;
+}
+
+std::string span_tree() {
+  const std::vector<SpanStats> all = spans().snapshot();
+  std::string out = "trace spans (count / total / p50 / p95, ms):\n";
+
+  // Children grouped under their first-seen parent, ordered by total time.
+  auto children_of = [&all](const std::string& parent) {
+    std::vector<const SpanStats*> kids;
+    for (const SpanStats& s : all) {
+      if (s.parent == parent) kids.push_back(&s);
+    }
+    std::sort(kids.begin(), kids.end(), [](const SpanStats* a, const SpanStats* b) {
+      return a->latency_ms.sum > b->latency_ms.sum;
+    });
+    return kids;
+  };
+
+  // Iterative DFS to keep recursion out of a diagnostics path.
+  struct Item {
+    const SpanStats* span;
+    int indent;
+  };
+  std::vector<Item> stack;
+  // A span whose parent never recorded (or empty) is a root.
+  for (const SpanStats& s : all) {
+    bool parent_known = false;
+    for (const SpanStats& p : all) {
+      if (!s.parent.empty() && p.name == s.parent) {
+        parent_known = true;
+        break;
+      }
+    }
+    if (!parent_known) stack.push_back({&s, 0});
+  }
+  std::sort(stack.begin(), stack.end(), [](const Item& a, const Item& b) {
+    return a.span->latency_ms.sum < b.span->latency_ms.sum;  // popped biggest-first
+  });
+
+  char buf[160];
+  while (!stack.empty()) {
+    const Item item = stack.back();
+    stack.pop_back();
+    const HistogramSnapshot& h = item.span->latency_ms;
+    std::snprintf(buf, sizeof(buf), "%*s%-24s %8llu  %10.2f  %8.3f  %8.3f\n",
+                  item.indent * 2, "", item.span->name.c_str(),
+                  static_cast<unsigned long long>(h.count), h.sum, h.p50, h.p95);
+    out += buf;
+    auto kids = children_of(item.span->name);
+    for (auto it = kids.rbegin(); it != kids.rend(); ++it) {
+      stack.push_back({*it, item.indent + 1});
+    }
+  }
+  return out;
+}
+
+void write_json(const std::string& path) { write_file(path, to_json()); }
+void write_csv(const std::string& path) { write_file(path, to_csv()); }
+
+void write_report(const std::string& path) {
+  const bool csv = path.size() >= 4 && path.rfind(".csv") == path.size() - 4;
+  if (csv) {
+    write_csv(path);
+  } else {
+    write_json(path);
+  }
+}
+
+void reset_all() {
+  registry().clear();
+  spans().clear();
+  training().clear();
+}
+
+}  // namespace m2ai::obs

@@ -1,0 +1,41 @@
+// Exporters for the observability layer: JSON and CSV renderings of the
+// metrics registry, the aggregated trace spans, and the training telemetry,
+// plus a human-readable span tree for --trace output.
+//
+// JSON schema (schema_version 1):
+//   {
+//     "schema_version": 1,
+//     "counters":   {"<name>": <uint>, ...},
+//     "gauges":     {"<name>": <double>, ...},
+//     "histograms": {"<name>": {"count","sum","min","max","p50","p95","p99"}},
+//     "spans": [{"name","parent","depth","count","total_ms","min_ms",
+//                "max_ms","p50_ms","p95_ms","p99_ms"}, ...],
+//     "training": {"epochs": [{"epoch","loss","train_accuracy","grad_norm",
+//                              "learning_rate","seconds"}, ...]}
+//   }
+//
+// CSV is long-format with one scalar per row: kind,name,field,value — e.g.
+//   span,music,p95_ms,0.812
+//   epoch,3,loss,1.492
+#pragma once
+
+#include <string>
+
+namespace m2ai::obs {
+
+std::string to_json();
+std::string to_csv();
+
+// Indented call tree of the recorded spans (count / total / p50 / p95).
+std::string span_tree();
+
+// Write to `path`; throws std::runtime_error if the file cannot be opened.
+void write_json(const std::string& path);
+void write_csv(const std::string& path);
+// Dispatch by extension: ".csv" writes CSV, anything else JSON.
+void write_report(const std::string& path);
+
+// Clears registry, spans, and telemetry (tests, repeated in-process runs).
+void reset_all();
+
+}  // namespace m2ai::obs

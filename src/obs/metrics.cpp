@@ -1,0 +1,118 @@
+#include "obs/metrics.hpp"
+
+#include "util/stats.hpp"
+
+namespace m2ai::obs {
+
+void Histogram::record_always(double v) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (count_ == 0) {
+    min_ = v;
+    max_ = v;
+  } else {
+    if (v < min_) min_ = v;
+    if (v > max_) max_ = v;
+  }
+  ++count_;
+  sum_ += v;
+  if (reservoir_.size() < kReservoirCap) {
+    reservoir_.push_back(v);
+  } else {
+    // Standard reservoir sampling with a deterministic LCG so runs are
+    // reproducible: keep each new value with probability cap/count.
+    lcg_ = lcg_ * 6364136223846793005ULL + 1442695040888963407ULL;
+    const std::uint64_t slot = (lcg_ >> 16) % count_;
+    if (slot < kReservoirCap) reservoir_[static_cast<std::size_t>(slot)] = v;
+  }
+}
+
+HistogramSnapshot Histogram::snapshot() const {
+  std::vector<double> sample;
+  HistogramSnapshot out;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    out.count = count_;
+    out.sum = sum_;
+    out.min = min_;
+    out.max = max_;
+    sample = reservoir_;
+  }
+  if (!sample.empty()) {
+    out.p50 = util::percentile(sample, 50.0);
+    out.p95 = util::percentile(sample, 95.0);
+    out.p99 = util::percentile(sample, 99.0);
+  }
+  return out;
+}
+
+void Histogram::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  count_ = 0;
+  sum_ = min_ = max_ = 0.0;
+  reservoir_.clear();
+}
+
+Counter& Registry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& Registry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& Registry::histogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>();
+  return *slot;
+}
+
+std::vector<std::pair<std::string, std::uint64_t>> Registry::counters() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<std::string, std::uint64_t>> out;
+  out.reserve(counters_.size());
+  for (const auto& [name, c] : counters_) out.emplace_back(name, c->value());
+  return out;
+}
+
+std::vector<std::pair<std::string, double>> Registry::gauges() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<std::string, double>> out;
+  out.reserve(gauges_.size());
+  for (const auto& [name, g] : gauges_) out.emplace_back(name, g->value());
+  return out;
+}
+
+std::vector<std::pair<std::string, HistogramSnapshot>> Registry::histograms() const {
+  std::vector<std::pair<std::string, Histogram*>> hists;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    hists.reserve(histograms_.size());
+    for (const auto& [name, h] : histograms_) hists.emplace_back(name, h.get());
+  }
+  // Snapshots taken outside the registry lock: each histogram has its own.
+  std::vector<std::pair<std::string, HistogramSnapshot>> out;
+  out.reserve(hists.size());
+  for (const auto& [name, h] : hists) out.emplace_back(name, h->snapshot());
+  return out;
+}
+
+void Registry::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  counters_.clear();
+  gauges_.clear();
+  histograms_.clear();
+}
+
+Registry& registry() {
+  static Registry* r = new Registry();  // leaked: usable during static teardown
+  return *r;
+}
+
+}  // namespace m2ai::obs

@@ -1,0 +1,118 @@
+// Thread-safe metrics registry: counters, gauges, and histograms with
+// percentile summaries. Everything is gated by a single global switch so
+// instrumented hot paths pay one relaxed atomic load when observability is
+// off (the default). Instruments are created on first use and live for the
+// process lifetime, so call sites may cache references.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace m2ai::obs {
+
+namespace detail {
+inline std::atomic<bool> g_enabled{false};
+}  // namespace detail
+
+// Global observability switch. Off by default; the CLI/bench --trace and
+// --metrics-out flags (or tests) turn it on.
+inline bool enabled() {
+  return detail::g_enabled.load(std::memory_order_relaxed);
+}
+inline void set_enabled(bool on) {
+  detail::g_enabled.store(on, std::memory_order_relaxed);
+}
+
+// Monotonic event counter.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) {
+    if (enabled()) value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+// Last-value gauge.
+class Gauge {
+ public:
+  void set(double v) {
+    if (enabled()) value_.store(v, std::memory_order_relaxed);
+  }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+  void reset() { value_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+struct HistogramSnapshot {
+  std::uint64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+};
+
+// Value distribution: exact count/sum/min/max plus a bounded reservoir for
+// the percentiles, so unbounded benchmark loops cannot grow memory.
+class Histogram {
+ public:
+  void record(double v) {
+    if (enabled()) record_always(v);
+  }
+  // Bypasses the global switch; used by the trace layer so a span that
+  // started while enabled still lands if the switch flips mid-flight.
+  void record_always(double v);
+  HistogramSnapshot snapshot() const;
+  void reset();
+
+ private:
+  static constexpr std::size_t kReservoirCap = 4096;
+
+  mutable std::mutex mu_;
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  std::vector<double> reservoir_;
+  std::uint64_t lcg_ = 0x9e3779b97f4a7c15ULL;  // deterministic reservoir picks
+};
+
+// Name -> instrument map. References returned by the getters stay valid for
+// the registry's lifetime (instruments are heap-allocated once).
+class Registry {
+ public:
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  Histogram& histogram(const std::string& name);
+
+  std::vector<std::pair<std::string, std::uint64_t>> counters() const;
+  std::vector<std::pair<std::string, double>> gauges() const;
+  std::vector<std::pair<std::string, HistogramSnapshot>> histograms() const;
+
+  // Drops all instruments (tests and repeated in-process runs).
+  void clear();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+// Process-wide registry.
+Registry& registry();
+
+}  // namespace m2ai::obs

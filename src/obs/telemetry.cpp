@@ -1,0 +1,10 @@
+#include "obs/telemetry.hpp"
+
+namespace m2ai::obs {
+
+TrainingTelemetry& training() {
+  static TrainingTelemetry* t = new TrainingTelemetry();
+  return *t;
+}
+
+}  // namespace m2ai::obs

@@ -1,0 +1,50 @@
+// Per-epoch training telemetry: loss curve, train accuracy, gradient norm,
+// learning rate, and wall-clock per epoch. The trainer appends one record
+// per epoch when observability is enabled; the exporter emits the whole
+// curve so the Fig. 9-17 experiments can be compared run to run.
+#pragma once
+
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace m2ai::obs {
+
+struct EpochRecord {
+  int epoch = 0;  // 1-based
+  double loss = 0.0;
+  double train_accuracy = 0.0;
+  double grad_norm = 0.0;  // mean pre-clip global gradient norm
+  double learning_rate = 0.0;
+  double seconds = 0.0;  // wall-clock for the epoch
+};
+
+class TrainingTelemetry {
+ public:
+  void record_epoch(const EpochRecord& record) {
+    if (!enabled()) return;
+    std::lock_guard<std::mutex> lock(mu_);
+    epochs_.push_back(record);
+  }
+
+  std::vector<EpochRecord> snapshot() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return epochs_;
+  }
+
+  void clear() {
+    std::lock_guard<std::mutex> lock(mu_);
+    epochs_.clear();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<EpochRecord> epochs_;
+};
+
+// Process-wide telemetry recorder.
+TrainingTelemetry& training();
+
+}  // namespace m2ai::obs

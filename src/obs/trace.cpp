@@ -1,0 +1,74 @@
+#include "obs/trace.hpp"
+
+namespace m2ai::obs {
+
+namespace {
+// Active-span stack of the current thread; back() is the innermost span.
+thread_local std::vector<const char*> t_span_stack;
+}  // namespace
+
+void SpanRegistry::record(const char* name, const char* parent, int depth,
+                          double ms) {
+  Histogram* hist = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto& slot = spans_[name];
+    if (!slot) {
+      slot = std::make_unique<Agg>();
+      slot->parent = parent ? parent : "";
+      slot->depth = depth;
+    }
+    hist = &slot->latency_ms;
+  }
+  hist->record_always(ms);
+}
+
+std::vector<SpanStats> SpanRegistry::snapshot() const {
+  std::vector<std::pair<std::string, Agg*>> items;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    items.reserve(spans_.size());
+    for (const auto& [name, agg] : spans_) items.emplace_back(name, agg.get());
+  }
+  std::vector<SpanStats> out;
+  out.reserve(items.size());
+  for (const auto& [name, agg] : items) {
+    SpanStats s;
+    s.name = name;
+    s.parent = agg->parent;
+    s.depth = agg->depth;
+    s.latency_ms = agg->latency_ms.snapshot();
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+void SpanRegistry::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  spans_.clear();
+}
+
+SpanRegistry& spans() {
+  static SpanRegistry* r = new SpanRegistry();
+  return *r;
+}
+
+ScopedSpan::ScopedSpan(const char* name) {
+  if (name == nullptr || !enabled()) return;
+  name_ = name;
+  parent_ = t_span_stack.empty() ? nullptr : t_span_stack.back();
+  depth_ = static_cast<int>(t_span_stack.size());
+  t_span_stack.push_back(name);
+  start_ = std::chrono::steady_clock::now();
+}
+
+ScopedSpan::~ScopedSpan() {
+  if (name_ == nullptr) return;
+  const double ms = std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - start_)
+                        .count();
+  t_span_stack.pop_back();
+  spans().record(name_, parent_, depth_, ms);
+}
+
+}  // namespace m2ai::obs

@@ -1,0 +1,71 @@
+// RAII scoped-timer trace spans with parent/child nesting.
+//
+// A ScopedSpan measures the wall-clock time between its construction and
+// destruction and aggregates it under the span's name (count + latency
+// distribution). Nesting is tracked with a thread-local stack: the innermost
+// active span at construction time becomes the parent, so the exporter can
+// render a call tree (see obs::span_tree()).
+//
+// When obs::enabled() is false the constructor is a single relaxed atomic
+// load — no clock reads, no allocation, no locking.
+#pragma once
+
+#include <chrono>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace m2ai::obs {
+
+struct SpanStats {
+  std::string name;
+  std::string parent;  // empty for roots; first-seen parent wins
+  int depth = 0;
+  HistogramSnapshot latency_ms;
+};
+
+// Aggregated span store (one entry per span name).
+class SpanRegistry {
+ public:
+  void record(const char* name, const char* parent, int depth, double ms);
+  std::vector<SpanStats> snapshot() const;
+  void clear();
+
+ private:
+  struct Agg {
+    std::string parent;
+    int depth = 0;
+    Histogram latency_ms;
+  };
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Agg>> spans_;
+};
+
+// Process-wide span registry.
+SpanRegistry& spans();
+
+class ScopedSpan {
+ public:
+  // `name` must outlive the span (string literals at call sites). A null
+  // name, or observability being disabled, makes the span a no-op.
+  explicit ScopedSpan(const char* name);
+  ~ScopedSpan();
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  const char* name_ = nullptr;  // null means inactive
+  const char* parent_ = nullptr;
+  int depth_ = 0;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace m2ai::obs
+
+// Convenience macro for instrumenting a scope:
+//   M2AI_OBS_SPAN("music");
+#define M2AI_OBS_CONCAT_IMPL(a, b) a##b
+#define M2AI_OBS_CONCAT(a, b) M2AI_OBS_CONCAT_IMPL(a, b)
+#define M2AI_OBS_SPAN(name) \
+  ::m2ai::obs::ScopedSpan M2AI_OBS_CONCAT(obs_span_, __LINE__)(name)

@@ -1,10 +1,12 @@
 #include "sim/reader.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <stdexcept>
 
 #include "dsp/phase.hpp"
+#include "obs/metrics.hpp"
 #include "rf/constants.hpp"
 
 namespace m2ai::sim {
@@ -61,6 +63,8 @@ double Reader::hardware_offset(std::uint32_t tag_id, int antenna, int channel) c
 }
 
 std::vector<TagReport> Reader::run(const Scene& scene, double t_begin, double t_end) {
+  const bool observed = obs::enabled();
+  const auto wall_start = std::chrono::steady_clock::now();
   std::vector<TagReport> reports;
   const auto& tags = scene.tags();
   const double slot = config_.slot_sec;
@@ -136,6 +140,17 @@ std::vector<TagReport> Reader::run(const Scene& scene, double t_begin, double t_
   }
   std::sort(reports.begin(), reports.end(),
             [](const TagReport& a, const TagReport& b) { return a.time_sec < b.time_sec; });
+  if (observed) {
+    obs::registry().counter("reader.readings").add(reports.size());
+    obs::registry().counter("reader.runs").add(1);
+    const double wall = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - wall_start)
+                            .count();
+    if (wall > 0.0) {
+      obs::registry().gauge("reader.readings_per_sec").set(
+          static_cast<double>(reports.size()) / wall);
+    }
+  }
   return reports;
 }
 

@@ -1,12 +1,17 @@
 #include "util/log.hpp"
 
+#include <atomic>
+#include <cctype>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <mutex>
 
 namespace m2ai::util {
 
 namespace {
-LogLevel g_level = LogLevel::kInfo;
+std::atomic<LogLevel> g_level{LogLevel::kInfo};
+std::mutex g_sink_mutex;
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -17,17 +22,55 @@ const char* level_name(LogLevel level) {
   }
   return "?";
 }
+
+// M2AI_LOG_LEVEL accepts a level name (debug/info/warn/warning/error, any
+// case) or the numeric value 0-3. Unset or unrecognized keeps the default.
+bool parse_level(const char* raw, LogLevel* out) {
+  if (raw == nullptr || raw[0] == '\0') return false;
+  std::string s;
+  for (const char* p = raw; *p != '\0'; ++p) {
+    s += static_cast<char>(std::tolower(static_cast<unsigned char>(*p)));
+  }
+  if (s == "debug" || s == "0") { *out = LogLevel::kDebug; return true; }
+  if (s == "info" || s == "1") { *out = LogLevel::kInfo; return true; }
+  if (s == "warn" || s == "warning" || s == "2") { *out = LogLevel::kWarn; return true; }
+  if (s == "error" || s == "3") { *out = LogLevel::kError; return true; }
+  return false;
+}
+
+// Applies M2AI_LOG_LEVEL exactly once, before the first threshold read. An
+// explicit set_log_level() call later still overrides it.
+void ensure_env_level() {
+  static const bool applied = [] {
+    LogLevel level;
+    if (parse_level(std::getenv("M2AI_LOG_LEVEL"), &level)) {
+      g_level.store(level, std::memory_order_relaxed);
+    }
+    return true;
+  }();
+  (void)applied;
+}
 }  // namespace
 
-void set_log_level(LogLevel level) { g_level = level; }
-LogLevel log_level() { return g_level; }
+void set_log_level(LogLevel level) {
+  ensure_env_level();
+  g_level.store(level, std::memory_order_relaxed);
+}
+
+LogLevel log_level() {
+  ensure_env_level();
+  return g_level.load(std::memory_order_relaxed);
+}
 
 void log_message(LogLevel level, const std::string& msg) {
-  if (static_cast<int>(level) < static_cast<int>(g_level)) return;
+  if (static_cast<int>(level) < static_cast<int>(log_level())) return;
   using clock = std::chrono::steady_clock;
   static const clock::time_point start = clock::now();
   const double t =
       std::chrono::duration<double>(clock::now() - start).count();
+  // One formatted write per line under a mutex so concurrent threads (the
+  // obs layer made multi-threaded callers legitimate) never interleave.
+  std::lock_guard<std::mutex> lock(g_sink_mutex);
   std::fprintf(stderr, "[%9.3f] %-5s %s\n", t, level_name(level), msg.c_str());
 }
 

@@ -1,5 +1,7 @@
 // Minimal leveled logger. Writes to stderr so experiment tables on stdout
-// stay machine-parsable.
+// stay machine-parsable. Thread-safe: concurrent log lines never interleave.
+// The initial threshold can be set with the M2AI_LOG_LEVEL environment
+// variable (debug/info/warn/error or 0-3); set_log_level() overrides it.
 #pragma once
 
 #include <sstream>

@@ -1,0 +1,151 @@
+#include "obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "obs/export.hpp"
+
+namespace m2ai::obs {
+namespace {
+
+// Global obs state is shared across tests in this binary: every test starts
+// from a clean, enabled registry and leaves the layer disabled again.
+class MetricsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    reset_all();
+    set_enabled(true);
+  }
+  void TearDown() override {
+    set_enabled(false);
+    reset_all();
+  }
+};
+
+TEST_F(MetricsTest, CounterAccumulates) {
+  Counter& c = registry().counter("test.counter");
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42u);
+}
+
+TEST_F(MetricsTest, CounterDisabledIsNoop) {
+  set_enabled(false);
+  Counter& c = registry().counter("test.counter");
+  c.add(100);
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST_F(MetricsTest, RegistryReturnsSameInstrument) {
+  Counter& a = registry().counter("same");
+  Counter& b = registry().counter("same");
+  EXPECT_EQ(&a, &b);
+  a.add(3);
+  EXPECT_EQ(b.value(), 3u);
+}
+
+TEST_F(MetricsTest, CounterIsThreadSafe) {
+  Counter& c = registry().counter("mt.counter");
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&c] {
+      for (int i = 0; i < kPerThread; ++i) c.add();
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(c.value(), static_cast<std::uint64_t>(kThreads) * kPerThread);
+}
+
+TEST_F(MetricsTest, GaugeKeepsLastValue) {
+  Gauge& g = registry().gauge("test.gauge");
+  g.set(1.5);
+  g.set(-2.25);
+  EXPECT_DOUBLE_EQ(g.value(), -2.25);
+}
+
+TEST_F(MetricsTest, GaugeDisabledIsNoop) {
+  set_enabled(false);
+  Gauge& g = registry().gauge("test.gauge");
+  g.set(9.0);
+  EXPECT_DOUBLE_EQ(g.value(), 0.0);
+}
+
+TEST_F(MetricsTest, HistogramBasicStats) {
+  Histogram& h = registry().histogram("test.hist");
+  for (int v = 1; v <= 100; ++v) h.record(static_cast<double>(v));
+  const HistogramSnapshot s = h.snapshot();
+  EXPECT_EQ(s.count, 100u);
+  EXPECT_DOUBLE_EQ(s.sum, 5050.0);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 100.0);
+  // util::percentile interpolates linearly between ranks.
+  EXPECT_NEAR(s.p50, 50.5, 1e-9);
+  EXPECT_NEAR(s.p95, 95.05, 1e-9);
+  EXPECT_NEAR(s.p99, 99.01, 1e-9);
+}
+
+TEST_F(MetricsTest, HistogramDisabledIsNoop) {
+  set_enabled(false);
+  Histogram& h = registry().histogram("test.hist");
+  h.record(5.0);
+  EXPECT_EQ(h.snapshot().count, 0u);
+}
+
+TEST_F(MetricsTest, HistogramReservoirKeepsExactAggregates) {
+  // Far beyond the reservoir cap: count/sum/min/max stay exact and the
+  // percentiles stay inside the recorded range.
+  Histogram& h = registry().histogram("big.hist");
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) h.record(static_cast<double>(i % 1000));
+  const HistogramSnapshot s = h.snapshot();
+  EXPECT_EQ(s.count, static_cast<std::uint64_t>(kN));
+  EXPECT_DOUBLE_EQ(s.min, 0.0);
+  EXPECT_DOUBLE_EQ(s.max, 999.0);
+  EXPECT_GE(s.p50, 0.0);
+  EXPECT_LE(s.p50, 999.0);
+  EXPECT_GE(s.p95, s.p50);
+  EXPECT_GE(s.p99, s.p95);
+}
+
+TEST_F(MetricsTest, HistogramIsThreadSafe) {
+  Histogram& h = registry().histogram("mt.hist");
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 5000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h, t] {
+      for (int i = 0; i < kPerThread; ++i) h.record(static_cast<double>(t));
+    });
+  }
+  for (auto& t : threads) t.join();
+  const HistogramSnapshot s = h.snapshot();
+  EXPECT_EQ(s.count, static_cast<std::uint64_t>(kThreads) * kPerThread);
+  EXPECT_DOUBLE_EQ(s.min, 0.0);
+  EXPECT_DOUBLE_EQ(s.max, 3.0);
+}
+
+TEST_F(MetricsTest, SnapshotListsAreSorted) {
+  registry().counter("b").add(2);
+  registry().counter("a").add(1);
+  const auto counters = registry().counters();
+  ASSERT_EQ(counters.size(), 2u);
+  EXPECT_EQ(counters[0].first, "a");
+  EXPECT_EQ(counters[1].first, "b");
+}
+
+TEST_F(MetricsTest, ResetAllClearsEverything) {
+  registry().counter("x").add(7);
+  registry().gauge("y").set(1.0);
+  registry().histogram("z").record(3.0);
+  reset_all();
+  EXPECT_TRUE(registry().counters().empty());
+  EXPECT_TRUE(registry().gauges().empty());
+  EXPECT_TRUE(registry().histograms().empty());
+}
+
+}  // namespace
+}  // namespace m2ai::obs

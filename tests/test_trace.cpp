@@ -1,0 +1,138 @@
+#include "obs/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "obs/telemetry.hpp"
+
+namespace m2ai::obs {
+namespace {
+
+class TraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    reset_all();
+    set_enabled(true);
+  }
+  void TearDown() override {
+    set_enabled(false);
+    reset_all();
+  }
+};
+
+const SpanStats* find_span(const std::vector<SpanStats>& all, const std::string& name) {
+  for (const SpanStats& s : all) {
+    if (s.name == name) return &s;
+  }
+  return nullptr;
+}
+
+TEST_F(TraceTest, RecordsSingleSpan) {
+  { M2AI_OBS_SPAN("solo"); }
+  const auto all = spans().snapshot();
+  const SpanStats* s = find_span(all, "solo");
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(s->parent, "");
+  EXPECT_EQ(s->depth, 0u);
+  EXPECT_EQ(s->latency_ms.count, 1u);
+  EXPECT_GE(s->latency_ms.min, 0.0);
+}
+
+TEST_F(TraceTest, NestedSpansTrackParentAndDepth) {
+  {
+    M2AI_OBS_SPAN("outer");
+    {
+      M2AI_OBS_SPAN("inner");
+      { M2AI_OBS_SPAN("leaf"); }
+    }
+  }
+  const auto all = spans().snapshot();
+  const SpanStats* outer = find_span(all, "outer");
+  const SpanStats* inner = find_span(all, "inner");
+  const SpanStats* leaf = find_span(all, "leaf");
+  ASSERT_NE(outer, nullptr);
+  ASSERT_NE(inner, nullptr);
+  ASSERT_NE(leaf, nullptr);
+  EXPECT_EQ(outer->depth, 0u);
+  EXPECT_EQ(inner->parent, "outer");
+  EXPECT_EQ(inner->depth, 1u);
+  EXPECT_EQ(leaf->parent, "inner");
+  EXPECT_EQ(leaf->depth, 2u);
+}
+
+TEST_F(TraceTest, RepeatedSpanAggregatesCount) {
+  for (int i = 0; i < 5; ++i) {
+    M2AI_OBS_SPAN("repeat");
+  }
+  const auto all = spans().snapshot();
+  const SpanStats* s = find_span(all, "repeat");
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(s->latency_ms.count, 5u);
+}
+
+TEST_F(TraceTest, DisabledRecordsNothing) {
+  set_enabled(false);
+  { M2AI_OBS_SPAN("ghost"); }
+  EXPECT_TRUE(spans().snapshot().empty());
+}
+
+TEST_F(TraceTest, NullNameIsNoop) {
+  { ScopedSpan span(nullptr); }
+  EXPECT_TRUE(spans().snapshot().empty());
+}
+
+TEST_F(TraceTest, SpanTreeRendersNesting) {
+  {
+    M2AI_OBS_SPAN("root_span");
+    { M2AI_OBS_SPAN("child_span"); }
+  }
+  const std::string tree = span_tree();
+  const auto root_pos = tree.find("root_span");
+  const auto child_pos = tree.find("  child_span");
+  EXPECT_NE(root_pos, std::string::npos);
+  EXPECT_NE(child_pos, std::string::npos) << tree;
+  EXPECT_LT(root_pos, child_pos);
+}
+
+TEST_F(TraceTest, TelemetryRecordsEpochs) {
+  training().record_epoch({1, 0.9, 0.5, 2.0, 1e-3, 0.25});
+  training().record_epoch({2, 0.7, 0.6, 1.5, 1e-3, 0.24});
+  const auto epochs = training().snapshot();
+  ASSERT_EQ(epochs.size(), 2u);
+  EXPECT_EQ(epochs[0].epoch, 1);
+  EXPECT_DOUBLE_EQ(epochs[0].loss, 0.9);
+  EXPECT_DOUBLE_EQ(epochs[1].train_accuracy, 0.6);
+}
+
+TEST_F(TraceTest, TelemetryDisabledIsNoop) {
+  set_enabled(false);
+  training().record_epoch({1, 0.9, 0.5, 2.0, 1e-3, 0.25});
+  EXPECT_TRUE(training().snapshot().empty());
+}
+
+TEST_F(TraceTest, JsonExportContainsInstruments) {
+  registry().counter("reader.readings").add(10);
+  { M2AI_OBS_SPAN("music"); }
+  training().record_epoch({1, 0.5, 0.8, 1.0, 1e-3, 0.1});
+  const std::string json = to_json();
+  EXPECT_NE(json.find("\"schema_version\""), std::string::npos);
+  EXPECT_NE(json.find("\"reader.readings\""), std::string::npos);
+  EXPECT_NE(json.find("\"music\""), std::string::npos);
+  EXPECT_NE(json.find("\"p95_ms\""), std::string::npos);
+  EXPECT_NE(json.find("\"loss\""), std::string::npos) << json;
+}
+
+TEST_F(TraceTest, CsvExportIsLongFormat) {
+  registry().counter("c1").add(4);
+  { M2AI_OBS_SPAN("s1"); }
+  const std::string csv = to_csv();
+  EXPECT_NE(csv.find("kind,name,field,value"), std::string::npos);
+  EXPECT_NE(csv.find("counter,c1,value,4"), std::string::npos) << csv;
+  EXPECT_NE(csv.find("span,s1,count,1"), std::string::npos) << csv;
+}
+
+}  // namespace
+}  // namespace m2ai::obs

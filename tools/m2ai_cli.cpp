@@ -18,6 +18,8 @@
 #include "core/experiment.hpp"
 #include "dsp/music.hpp"
 #include "nn/serialize.hpp"
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
 #include "sim/activities.hpp"
 #include "util/args.hpp"
 #include "util/csv.hpp"
@@ -36,7 +38,9 @@ int usage() {
                "  spectrum --activity N [--seed S]\n"
                "  train    [--samples N] [--epochs E] [--persons P] [--tags T]\n"
                "           [--antennas A] [--seed S] [--model FILE] [--verbose]\n"
-               "  eval     --model FILE [--samples N] [--seed S]\n");
+               "  eval     --model FILE [--samples N] [--seed S]\n"
+               "all commands accept --metrics-out FILE (JSON, or CSV if FILE\n"
+               "ends in .csv) and --trace (span tree on stderr at exit)\n");
   return 2;
 }
 
@@ -66,7 +70,7 @@ int cmd_catalog() {
 
 int cmd_simulate(const util::Args& args) {
   args.require_known({"activity", "persons", "tags", "seed", "out", "distance",
-                      "windows", "antennas"});
+                      "windows", "antennas", "metrics-out", "trace"});
   const int activity = args.get_int("activity", 1);
   core::ExperimentConfig config = config_from(args);
   core::Pipeline pipeline(config.pipeline, config.seed);
@@ -88,7 +92,7 @@ int cmd_simulate(const util::Args& args) {
 
 int cmd_spectrum(const util::Args& args) {
   args.require_known({"activity", "persons", "tags", "seed", "distance", "windows",
-                      "antennas"});
+                      "antennas", "metrics-out", "trace"});
   const int activity = args.get_int("activity", 1);
   core::ExperimentConfig config = config_from(args);
   core::Pipeline pipeline(config.pipeline, config.seed);
@@ -114,7 +118,8 @@ int cmd_spectrum(const util::Args& args) {
 
 int cmd_train(const util::Args& args) {
   args.require_known({"samples", "epochs", "persons", "tags", "antennas", "seed",
-                      "model", "verbose", "distance", "windows"});
+                      "model", "verbose", "distance", "windows", "metrics-out",
+                      "trace"});
   const core::ExperimentConfig config = config_from(args);
   util::log_info() << "simulating " << config.samples_per_class << " samples/class";
   const core::DataSplit split = core::generate_dataset(config);
@@ -138,7 +143,7 @@ int cmd_train(const util::Args& args) {
 
 int cmd_eval(const util::Args& args) {
   args.require_known({"model", "samples", "persons", "tags", "antennas", "seed",
-                      "distance", "windows", "epochs"});
+                      "distance", "windows", "epochs", "metrics-out", "trace"});
   if (!args.has("model")) return usage();
   core::ExperimentConfig config = config_from(args);
   config.seed ^= 0x5eedu;  // evaluate on data the checkpoint never saw
@@ -165,12 +170,41 @@ int cmd_eval(const util::Args& args) {
   return 0;
 }
 
+// Enables the obs layer when --metrics-out/--trace are present; exports on
+// destruction so every command (and early return) gets the report.
+class ObservabilityScope {
+ public:
+  explicit ObservabilityScope(const util::Args& args)
+      : metrics_out_(args.get("metrics-out", "")), trace_(args.has("trace")) {
+    if (args.has("metrics-out") && metrics_out_.empty()) {
+      std::fprintf(stderr, "warning: --metrics-out requires a file path; ignoring\n");
+    }
+    if (!metrics_out_.empty() || trace_) obs::set_enabled(true);
+  }
+  ~ObservabilityScope() {
+    if (!metrics_out_.empty()) {
+      try {
+        obs::write_report(metrics_out_);
+        std::fprintf(stderr, "metrics written to %s\n", metrics_out_.c_str());
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "metrics export failed: %s\n", e.what());
+      }
+    }
+    if (trace_) std::fputs(obs::span_tree().c_str(), stderr);
+  }
+
+ private:
+  std::string metrics_out_;
+  bool trace_;
+};
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 2) return usage();
   const std::string command = argv[1];
   const util::Args args(argc - 1, argv + 1);
+  ObservabilityScope obs_scope(args);
   try {
     if (command == "catalog") return cmd_catalog();
     if (command == "simulate") return cmd_simulate(args);
