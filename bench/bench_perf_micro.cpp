@@ -2,7 +2,12 @@
 // the DSP pipeline and per-sequence inference latency of the deep model.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <chrono>
 #include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <string>
 
 #include "bench_common.hpp"
 #include "core/model.hpp"
@@ -11,7 +16,10 @@
 #include "dsp/fft.hpp"
 #include "dsp/music.hpp"
 #include "dsp/periodogram.hpp"
+#include "core/experiment.hpp"
 #include "nn/optimizer.hpp"
+#include "obs/metrics.hpp"
+#include "par/parallel_for.hpp"
 #include "rf/steering.hpp"
 #include "util/rng.hpp"
 
@@ -141,6 +149,80 @@ void BM_TrainStep(benchmark::State& state) {
 }
 BENCHMARK(BM_TrainStep)->Unit(benchmark::kMicrosecond);
 
+// Parallel-scaling section: dataset generation (the dominant cost of every
+// figure bench) at 1/2/4/8 threads, with a determinism cross-check. Results
+// land in the obs registry so --metrics-out exports a machine-readable
+// speedup trajectory (the committed BENCH_*.json files).
+std::uint64_t dataset_fingerprint(const core::DataSplit& split) {
+  // FNV-1a over every tensor byte pattern of every frame, order-sensitive.
+  std::uint64_t h = 1469598103934665603ULL;
+  auto mix = [&h](std::uint64_t v) {
+    h ^= v;
+    h *= 1099511628211ULL;
+  };
+  auto mix_tensor = [&](const nn::Tensor& t) {
+    for (std::size_t i = 0; i < t.size(); ++i) {
+      std::uint32_t bits;
+      const float f = t[i];
+      std::memcpy(&bits, &f, sizeof(bits));
+      mix(bits);
+    }
+  };
+  for (const auto* side : {&split.train, &split.test}) {
+    for (const core::Sample& s : *side) {
+      mix(static_cast<std::uint64_t>(s.label));
+      for (const core::SpectrumFrame& f : s.frames) {
+        if (f.has_pseudo) mix_tensor(f.pseudo);
+        if (f.has_aux) mix_tensor(f.aux);
+      }
+    }
+  }
+  return h;
+}
+
+void run_parallel_scaling() {
+  core::ExperimentConfig config;
+  config.samples_per_class = std::max(2, static_cast<int>(4 * bench::env_scale()));
+  config.pipeline.windows_per_sample = 12;
+  config.pipeline.bootstrap_sec = 6.0;
+
+  const int hw = par::hardware_threads();
+  std::printf("parallel scaling — dataset generation (%d samples, %d hardware threads)\n",
+              config.samples_per_class * 12, hw);
+  std::printf("%8s %12s %10s %14s\n", "threads", "seconds", "speedup", "fingerprint");
+
+  const int saved = par::num_threads();
+  double serial_seconds = 0.0;
+  std::uint64_t serial_fp = 0;
+  bool deterministic = true;
+  for (int threads : {1, 2, 4, 8}) {
+    if (threads > 2 * hw) break;  // oversubscription beyond 2x tells us nothing
+    par::set_num_threads(threads);
+    const auto start = std::chrono::steady_clock::now();
+    const core::DataSplit split = core::generate_dataset(config);
+    const double seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+    const std::uint64_t fp = dataset_fingerprint(split);
+    if (threads == 1) {
+      serial_seconds = seconds;
+      serial_fp = fp;
+    } else if (fp != serial_fp) {
+      deterministic = false;
+    }
+    const double speedup = seconds > 0.0 ? serial_seconds / seconds : 0.0;
+    std::printf("%8d %12.3f %9.2fx %14llx\n", threads, seconds, speedup,
+                static_cast<unsigned long long>(fp));
+    const std::string tag = "par.dataset_gen.t" + std::to_string(threads);
+    obs::registry().gauge(tag + ".seconds").set(seconds);
+    obs::registry().gauge(tag + ".speedup").set(speedup);
+  }
+  par::set_num_threads(saved);
+  obs::registry().gauge("par.hardware_threads").set(static_cast<double>(hw));
+  obs::registry().gauge("par.deterministic").set(deterministic ? 1.0 : 0.0);
+  std::printf("determinism across thread counts: %s\n\n",
+              deterministic ? "bitwise-identical" : "MISMATCH");
+}
+
 }  // namespace
 
 // Custom main instead of BENCHMARK_MAIN(): --metrics-out/--trace are parsed
@@ -150,6 +232,7 @@ int main(int argc, char** argv) {
   argc = m2ai::bench::init_observability(argc, argv);
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  run_parallel_scaling();
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   return 0;

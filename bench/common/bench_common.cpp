@@ -8,6 +8,7 @@
 
 #include "obs/export.hpp"
 #include "obs/metrics.hpp"
+#include "par/parallel_for.hpp"
 #include "util/log.hpp"
 
 namespace m2ai::bench {
@@ -57,6 +58,10 @@ int init_observability(int argc, char** argv) {
       g_metrics_out = argv[++i];
     } else if (token.rfind("--metrics-out=", 0) == 0) {
       g_metrics_out = token.substr(std::string("--metrics-out=").size());
+    } else if (token == "--threads" && i + 1 < argc) {
+      par::set_num_threads(std::atoi(argv[++i]));
+    } else if (token.rfind("--threads=", 0) == 0) {
+      par::set_num_threads(std::atoi(token.c_str() + std::string("--threads=").size()));
     } else {
       argv[out++] = argv[i];
     }

@@ -11,6 +11,11 @@
 //   --trace                print the span call tree to stderr at exit
 // Both flags enable the obs layer (off by default, so instrumented hot
 // paths cost one relaxed atomic load per call site).
+//
+// Parallelism: every bench binary accepts
+//   --threads <N>          worker threads for the deterministic parallel
+//                          layer (default: hardware concurrency; results
+//                          are bitwise-identical at any N)
 #pragma once
 
 #include <string>
@@ -24,10 +29,11 @@ namespace m2ai::bench {
 // Scale factor from M2AI_BENCH_SCALE (default 1.0, clamped to [0.05, 4]).
 double env_scale();
 
-// Parses and strips --metrics-out/--trace from argv (argv is compacted in
-// place and re-null-terminated; the new argc is returned). When either flag
-// is present, enables the obs layer and registers the matching export to
-// run at normal process exit. Call first thing in main().
+// Parses and strips --metrics-out/--trace/--threads from argv (argv is
+// compacted in place and re-null-terminated; the new argc is returned).
+// When an obs flag is present, enables the obs layer and registers the
+// matching export to run at normal process exit; --threads configures the
+// parallel layer. Call first thing in main().
 int init_observability(int argc, char** argv);
 
 // Headline configuration (Fig. 9 / Table I): the paper's default setup.

@@ -1,8 +1,10 @@
 #include "core/evaluator.hpp"
 
+#include <algorithm>
 #include <sstream>
 #include <stdexcept>
 
+#include "par/parallel_for.hpp"
 #include "util/table.hpp"
 
 namespace m2ai::core {
@@ -73,7 +75,31 @@ ConfusionMatrix evaluate(M2AINetwork& network, const std::vector<Sample>& test) 
   int num_classes = 1;
   for (const Sample& s : test) num_classes = std::max(num_classes, s.label + 1);
   ConfusionMatrix cm(num_classes);
-  for (const Sample& s : test) cm.add(s.label, network.predict(s.frames));
+
+  // Forward passes mutate per-layer caches, so the fan-out works on one
+  // clone per worker over a contiguous slice of the test set. Predictions
+  // land in index-addressed slots and are merged in order, so the matrix is
+  // identical at any thread count (and to the serial loop).
+  const std::size_t n = test.size();
+  const std::size_t workers = std::min<std::size_t>(
+      static_cast<std::size_t>(par::num_threads()), std::max<std::size_t>(n, 1));
+  std::vector<int> predicted(n, 0);
+  if (workers <= 1 || par::in_parallel_region()) {
+    for (std::size_t i = 0; i < n; ++i) predicted[i] = network.predict(test[i].frames);
+  } else {
+    std::vector<std::unique_ptr<M2AINetwork>> clones;
+    clones.reserve(workers);
+    for (std::size_t w = 0; w < workers; ++w) clones.push_back(network.clone());
+    const std::size_t chunk = (n + workers - 1) / workers;
+    par::parallel_for(workers, [&](std::size_t w) {
+      const std::size_t begin = w * chunk;
+      const std::size_t end = std::min(n, begin + chunk);
+      for (std::size_t i = begin; i < end; ++i) {
+        predicted[i] = clones[w]->predict(test[i].frames);
+      }
+    });
+  }
+  for (std::size_t i = 0; i < n; ++i) cm.add(test[i].label, predicted[i]);
   return cm;
 }
 

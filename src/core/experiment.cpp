@@ -5,6 +5,7 @@
 #include "core/features.hpp"
 #include "ml/hmm.hpp"
 #include "obs/trace.hpp"
+#include "par/parallel_for.hpp"
 #include "util/log.hpp"
 
 namespace m2ai::core {
@@ -14,13 +15,31 @@ DataSplit generate_dataset(const ExperimentConfig& config) {
   Pipeline pipeline(config.pipeline, config.seed);
   util::Rng split_rng(config.seed ^ 0xabcdef12345ULL);
 
+  // Fan the per-sample simulations out over the configured threads. The
+  // per-sample RNGs are forked in the serial call order (activity-major), so
+  // every sample is bitwise-identical to the single-threaded loop no matter
+  // how the work is scheduled.
+  const int num_activities = sim::num_activities();
+  const std::size_t per_class = static_cast<std::size_t>(config.samples_per_class);
+  const std::size_t total = per_class * static_cast<std::size_t>(num_activities);
+  std::vector<util::Rng> sample_rngs;
+  sample_rngs.reserve(total);
+  for (std::size_t j = 0; j < total; ++j) {
+    sample_rngs.push_back(pipeline.fork_sample_rng());
+  }
+  std::vector<Sample> all = par::parallel_map<Sample>(total, [&](std::size_t j) {
+    const int activity = static_cast<int>(j / per_class) + 1;
+    return pipeline.run_sample(activity, sample_rngs[j]).sample;
+  });
+
   DataSplit split;
-  split.num_classes = sim::num_activities();
-  for (int activity = 1; activity <= sim::num_activities(); ++activity) {
+  split.num_classes = num_activities;
+  for (int activity = 1; activity <= num_activities; ++activity) {
     std::vector<Sample> samples;
-    samples.reserve(static_cast<std::size_t>(config.samples_per_class));
-    for (int i = 0; i < config.samples_per_class; ++i) {
-      samples.push_back(pipeline.simulate_sample(activity));
+    samples.reserve(per_class);
+    const std::size_t base = static_cast<std::size_t>(activity - 1) * per_class;
+    for (std::size_t i = 0; i < per_class; ++i) {
+      samples.push_back(std::move(all[base + i]));
     }
     split_rng.shuffle(samples);
     const auto train_count = static_cast<std::size_t>(

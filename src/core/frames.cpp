@@ -4,6 +4,7 @@
 
 #include "dsp/periodogram.hpp"
 #include "dsp/phase.hpp"
+#include "par/parallel_for.hpp"
 #include "rf/steering.hpp"
 
 namespace m2ai::core {
@@ -80,10 +81,13 @@ FrameSequence FrameBuilder::build(const std::vector<sim::TagReport>& reports,
     tw.rssis[ant].push_back(report.rssi_dbm);
   }
 
-  FrameSequence frames;
-  frames.reserve(static_cast<std::size_t>(num_windows));
-  for (const auto& per_window : windows) frames.push_back(make_frame(per_window));
-  return frames;
+  // Each window's MUSIC pseudospectrum + periodogram stack is independent
+  // (per-tag eigendecompositions, no shared mutable state), so fan the
+  // windows out. Inside dataset generation this runs serially — the outer
+  // per-sample parallel_for already owns the threads.
+  return par::parallel_map<SpectrumFrame>(
+      windows.size(),
+      [&](std::size_t w) { return make_frame(windows[w]); });
 }
 
 SpectrumFrame FrameBuilder::make_frame(const std::vector<TagWindow>& tags) const {

@@ -250,4 +250,15 @@ std::size_t M2AINetwork::num_parameters() {
   return n;
 }
 
+std::unique_ptr<M2AINetwork> M2AINetwork::clone() {
+  auto copy = std::make_unique<M2AINetwork>(model_, mode_, num_tags_,
+                                            num_antennas_, num_classes_);
+  const std::vector<nn::Param*> src = params();
+  const std::vector<nn::Param*> dst = copy->params();
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    dst[i]->value = src[i]->value;
+  }
+  return copy;
+}
+
 }  // namespace m2ai::core

@@ -37,6 +37,11 @@ class M2AINetwork {
   std::vector<nn::Param*> params();
   std::size_t num_parameters();
 
+  // A structurally identical network with this network's current weights.
+  // Forward passes mutate per-layer caches, so concurrent inference needs
+  // one clone per worker (see core::evaluate).
+  std::unique_ptr<M2AINetwork> clone();
+
   const ModelConfig& model_config() const { return model_; }
 
  private:

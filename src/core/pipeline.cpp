@@ -17,6 +17,13 @@ Pipeline::Pipeline(PipelineConfig config, std::uint64_t seed)
     : config_(config), rng_(seed) {}
 
 Sample Pipeline::simulate_sample(int activity_id) {
+  SampleRun run = run_sample(activity_id, rng_.fork());
+  last_reports_ = std::move(run.reports);
+  calibrator_ = std::move(run.calibrator);
+  return std::move(run.sample);
+}
+
+SampleRun Pipeline::run_sample(int activity_id, util::Rng sample_rng) const {
   M2AI_OBS_SPAN("simulate_sample");
   const sim::Environment env = make_environment(config_.environment);
 
@@ -29,7 +36,6 @@ Sample Pipeline::simulate_sample(int activity_id) {
   sim::PlacementOptions placement;
   placement.distance_m = config_.distance_m;
 
-  util::Rng sample_rng = rng_.fork();
   std::vector<sim::Person> persons = sim::instantiate_activity(
       activity_id, config_.num_persons, env, array.origin2d(), placement, sample_rng);
 
@@ -43,6 +49,8 @@ Sample Pipeline::simulate_sample(int activity_id) {
   sim::Reader reader(reader_config, config_.num_antennas,
                      static_cast<int>(scene.tags().size()), sample_rng.fork());
 
+  SampleRun run;
+
   // Stationary calibration bootstrap (Eq. 1): persons hold their start pose
   // while the reader sweeps its hop cycle.
   //
@@ -51,35 +59,33 @@ Sample Pipeline::simulate_sample(int activity_id) {
   // Eq. 1 calibration exists to handle. Without calibration the
   // inter-channel offsets scramble each window's snapshots and the spatial
   // covariance with them (the Fig. 10 collapse).
-  calibrator_.reset();
   double t0 = 0.5 * config_.window_sec;
   if (config_.phase_calibration) {
     M2AI_OBS_SPAN("calibration");
-    calibrator_ = std::make_unique<dsp::PhaseCalibrator>();
+    run.calibrator = std::make_unique<dsp::PhaseCalibrator>();
     scene.set_motion_frozen(true);
     const auto boot = reader.run(scene, 0.0, config_.bootstrap_sec);
     for (const sim::TagReport& r : boot) {
-      calibrator_->add_sample(r.tag_id, r.antenna, r.channel, r.phase_rad);
+      run.calibrator->add_sample(r.tag_id, r.antenna, r.channel, r.phase_rad);
     }
-    calibrator_->finalize();
+    run.calibrator->finalize();
     scene.set_motion_frozen(false);
     t0 = config_.bootstrap_sec + 0.5 * config_.window_sec;
   }
 
   {
     M2AI_OBS_SPAN("reader_run");
-    last_reports_ = reader.run(scene, t0, t0 + config_.sample_duration_sec());
+    run.reports = reader.run(scene, t0, t0 + config_.sample_duration_sec());
   }
 
-  FrameBuilder builder(config_, calibrator_.get(), num_tags());
-  Sample sample;
+  FrameBuilder builder(config_, run.calibrator.get(), num_tags());
   {
     M2AI_OBS_SPAN("frame_assembly");
-    sample.frames = builder.build(last_reports_, t0);
+    run.sample.frames = builder.build(run.reports, t0);
   }
-  sample.activity_id = activity_id;
-  sample.label = activity_id - 1;
-  return sample;
+  run.sample.activity_id = activity_id;
+  run.sample.label = activity_id - 1;
+  return run;
 }
 
 }  // namespace m2ai::core

@@ -13,14 +13,36 @@ namespace m2ai::core {
 
 sim::Environment make_environment(EnvironmentKind kind);
 
+// Everything one simulate_sample run produces: the labelled sample plus the
+// raw report stream and calibrator behind it (tests and the Fig. 2/3
+// benches inspect those).
+struct SampleRun {
+  Sample sample;
+  std::vector<sim::TagReport> reports;
+  std::unique_ptr<dsp::PhaseCalibrator> calibrator;
+};
+
 class Pipeline {
  public:
   Pipeline(PipelineConfig config, std::uint64_t seed);
 
   // Simulate one labelled sample of `activity_id` (1-based catalog id):
   // fresh volunteers, fresh reader hardware, fresh bootstrap, then
-  // windows_per_sample frames of activity.
+  // windows_per_sample frames of activity. Advances the pipeline's RNG by
+  // one fork per call.
   Sample simulate_sample(int activity_id);
+
+  // Stateless core of simulate_sample: all per-sample state (calibrator,
+  // report stream, randomness) lives in the returned SampleRun and the
+  // caller-supplied RNG, so concurrent calls on one Pipeline are safe.
+  // Forking `sample_rng`s from one stream in index order makes any-thread-
+  // count runs bitwise-identical to the serial loop (see par/parallel_for).
+  SampleRun run_sample(int activity_id, util::Rng sample_rng) const;
+
+  // One fork of the pipeline's sample stream, in call order — the RNG the
+  // next simulate_sample() would have used. Lets dataset generation pre-fork
+  // per-sample streams before fanning out.
+  util::Rng fork_sample_rng() { return rng_.fork(); }
 
   // Lower-level access for tests and the Fig. 2/3 benches: the raw reports
   // and the calibrator of the last simulate_sample() call.

@@ -1,5 +1,6 @@
 #include "core/trainer.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <numeric>
 
@@ -33,6 +34,17 @@ EpochStats Trainer::run_epoch(const std::vector<Sample>& train) {
   int in_batch = 0;
   int num_steps = 0;
   Sample cropped;
+  // Gradients accumulate across the batch inside train_step; normalizing by
+  // the number of samples actually in the batch makes the step size
+  // batch-size-invariant and keeps the final partial batch from stepping
+  // with a systematically smaller (or, unnormalized, larger) gradient.
+  auto step_batch = [&](int batch_samples) {
+    const float inv = 1.0f / static_cast<float>(batch_samples);
+    for (nn::Param* p : params) p->grad.scale(inv);
+    stats.mean_grad_norm += nn::clip_gradient_norm(params, config_.clip_norm);
+    ++num_steps;
+    optimizer_->step(params);
+  };
   for (std::size_t idx : order) {
     const Sample* sample = &train[idx];
     const std::size_t crop = static_cast<std::size_t>(config_.crop_frames);
@@ -49,17 +61,11 @@ EpochStats Trainer::run_epoch(const std::vector<Sample>& train) {
     stats.mean_loss += step.loss;
     if (step.predicted == sample->label) ++correct;
     if (++in_batch == config_.batch_size) {
-      stats.mean_grad_norm += nn::clip_gradient_norm(params, config_.clip_norm);
-      ++num_steps;
-      optimizer_->step(params);
+      step_batch(in_batch);
       in_batch = 0;
     }
   }
-  if (in_batch > 0) {
-    stats.mean_grad_norm += nn::clip_gradient_norm(params, config_.clip_norm);
-    ++num_steps;
-    optimizer_->step(params);
-  }
+  if (in_batch > 0) step_batch(in_batch);
   stats.mean_grad_norm /= static_cast<double>(std::max(num_steps, 1));
   stats.mean_loss /= static_cast<double>(std::max<std::size_t>(train.size(), 1));
   stats.train_accuracy =
@@ -71,10 +77,16 @@ EpochStats Trainer::fit(const std::vector<Sample>& train) {
   EpochStats stats;
   for (int epoch = 0; epoch < config_.epochs; ++epoch) {
     if (config_.lr_schedule) {
+      // Integer-math breakpoints truncate toward zero, so tiny epoch
+      // budgets (epochs=1) would otherwise put even the first epoch in the
+      // decayed regime; clamp both breakpoints to >= 1 so epoch 0 always
+      // trains at the full learning rate.
+      const int decay_85 = std::max(1, config_.epochs * 85 / 100);
+      const int decay_60 = std::max(1, config_.epochs * 60 / 100);
       double lr = config_.learning_rate;
-      if (epoch >= config_.epochs * 85 / 100) {
+      if (epoch >= decay_85) {
         lr *= 0.09;
-      } else if (epoch >= config_.epochs * 60 / 100) {
+      } else if (epoch >= decay_60) {
         lr *= 0.3;
       }
       optimizer_->set_lr(lr);

@@ -14,16 +14,37 @@ std::vector<int> find_peaks(const std::vector<double>& spectrum, int max_peaks,
                             double min_height) {
   std::vector<int> candidates;
   const int n = static_cast<int>(spectrum.size());
-  double top = 0.0;
+  if (n == 0 || max_peaks <= 0) return candidates;
+  double top = spectrum.front();
   for (double v : spectrum) top = std::max(top, v);
-  for (int i = 0; i < n; ++i) {
-    const double left = (i > 0) ? spectrum[static_cast<std::size_t>(i - 1)] : -1.0;
-    const double right = (i + 1 < n) ? spectrum[static_cast<std::size_t>(i + 1)] : -1.0;
+  // The relative min_height filter only makes sense for a positive maximum
+  // (MUSIC/periodogram spectra); for all-negative inputs fall back to shape
+  // alone instead of scaling a negative threshold past the maximum.
+  const bool use_height = top > 0.0;
+
+  // Scan plateaus (maximal runs of one value) as units: a run is one peak —
+  // reported at its midpoint — iff the sample before it is strictly lower
+  // (or it starts the array) and the sample after it is strictly lower (or
+  // it ends the array). Per-bin left/right tests with an out-of-range
+  // sentinel would instead report plateau bins individually and misread
+  // spectra that dip below the sentinel.
+  int i = 0;
+  while (i < n) {
     const double v = spectrum[static_cast<std::size_t>(i)];
-    if (v >= left && v > right && v >= min_height * top) candidates.push_back(i);
+    int j = i;
+    while (j + 1 < n && spectrum[static_cast<std::size_t>(j + 1)] == v) ++j;
+    const bool rises_left = (i == 0) || spectrum[static_cast<std::size_t>(i - 1)] < v;
+    const bool falls_right = (j == n - 1) || spectrum[static_cast<std::size_t>(j + 1)] < v;
+    if (rises_left && falls_right && (!use_height || v >= min_height * top)) {
+      candidates.push_back((i + j) / 2);
+    }
+    i = j + 1;
   }
   std::sort(candidates.begin(), candidates.end(), [&](int a, int b) {
-    return spectrum[static_cast<std::size_t>(a)] > spectrum[static_cast<std::size_t>(b)];
+    const double va = spectrum[static_cast<std::size_t>(a)];
+    const double vb = spectrum[static_cast<std::size_t>(b)];
+    if (va != vb) return va > vb;
+    return a < b;  // deterministic order for equal-height peaks
   });
   if (static_cast<int>(candidates.size()) > max_peaks) {
     candidates.resize(static_cast<std::size_t>(max_peaks));

@@ -35,7 +35,9 @@ struct MusicResult {
 };
 
 // Index (degrees) of local maxima of a spectrum, strongest first, at most
-// `max_peaks` and only peaks above `min_height` * global max.
+// `max_peaks` and only peaks above `min_height` * global max (the height
+// filter is skipped when the global max is non-positive). A flat plateau
+// counts as a single peak, reported at its midpoint; array edges can peak.
 std::vector<int> find_peaks(const std::vector<double>& spectrum, int max_peaks,
                             double min_height = 0.05);
 

@@ -1,0 +1,128 @@
+#include "par/parallel_for.hpp"
+
+#include <atomic>
+#include <condition_variable>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include "obs/metrics.hpp"
+#include "par/thread_pool.hpp"
+
+namespace m2ai::par {
+
+namespace {
+
+std::atomic<int> g_threads{0};  // 0 = hardware default
+thread_local bool tl_in_region = false;
+
+// The shared pool holds num_threads() - 1 workers; the calling thread is
+// the remaining worker. Resizing (rare: a --threads change between runs)
+// swaps the pool under the mutex; the old pool drains gracefully.
+std::mutex g_pool_mu;
+std::unique_ptr<ThreadPool> g_pool;
+
+}  // namespace
+
+int hardware_threads() {
+  const unsigned hc = std::thread::hardware_concurrency();
+  return hc == 0 ? 1 : static_cast<int>(hc);
+}
+
+void set_num_threads(int n) {
+  g_threads.store(n <= 0 ? 0 : n, std::memory_order_relaxed);
+  if (obs::enabled()) {
+    obs::registry().gauge("par.threads").set(static_cast<double>(num_threads()));
+  }
+}
+
+int num_threads() {
+  const int t = g_threads.load(std::memory_order_relaxed);
+  return t == 0 ? hardware_threads() : t;
+}
+
+bool in_parallel_region() { return tl_in_region; }
+
+void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  const int threads = num_threads();
+
+  // Serial path: configured serial, trivially small, or nested inside
+  // another parallel region (workers must never block on the shared pool).
+  if (threads <= 1 || n == 1 || tl_in_region) {
+    const bool was_in_region = tl_in_region;
+    tl_in_region = true;
+    try {
+      for (std::size_t i = 0; i < n; ++i) fn(i);
+    } catch (...) {
+      tl_in_region = was_in_region;
+      throw;
+    }
+    tl_in_region = was_in_region;
+    return;
+  }
+
+  if (obs::enabled()) {
+    obs::registry().counter("par.parallel_for_calls").add(1);
+    obs::registry().counter("par.parallel_for_items").add(n);
+  }
+
+  const int drivers =
+      static_cast<int>(std::min<std::size_t>(static_cast<std::size_t>(threads), n));
+
+  // Shared work-claiming state. Dynamic index claiming balances uneven
+  // bodies; determinism is unaffected because every result lands in its
+  // index's slot regardless of which thread claims it.
+  std::atomic<std::size_t> next{0};
+  std::atomic<bool> failed{false};
+  std::mutex err_mu;
+  std::exception_ptr first_error;
+
+  auto drive = [&] {
+    tl_in_region = true;
+    while (!failed.load(std::memory_order_relaxed)) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) break;
+      try {
+        fn(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(err_mu);
+        if (!first_error) first_error = std::current_exception();
+        failed.store(true, std::memory_order_relaxed);
+      }
+    }
+    tl_in_region = false;
+  };
+
+  // Per-call completion latch for the pool-side drivers.
+  std::mutex done_mu;
+  std::condition_variable done_cv;
+  int remaining = drivers - 1;
+
+  {
+    std::lock_guard<std::mutex> lock(g_pool_mu);
+    if (!g_pool || g_pool->size() != threads - 1) {
+      g_pool = std::make_unique<ThreadPool>(threads - 1);
+    }
+    for (int d = 0; d < drivers - 1; ++d) {
+      g_pool->submit([&] {
+        drive();
+        {
+          std::lock_guard<std::mutex> dl(done_mu);
+          --remaining;
+        }
+        done_cv.notify_one();
+      });
+    }
+  }
+
+  drive();  // the caller is a worker too
+
+  std::unique_lock<std::mutex> lock(done_mu);
+  done_cv.wait(lock, [&] { return remaining == 0; });
+
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace m2ai::par

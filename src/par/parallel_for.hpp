@@ -1,0 +1,68 @@
+// Deterministic data parallelism: parallel_for / parallel_map over an index
+// range, bitwise-identical to the serial loop at any thread count.
+//
+// The contract that buys determinism: the body must be a pure function of
+// its index `i` (plus read-only captures). Results are written into
+// index-addressed slots, so the scheduling order — which *is*
+// nondeterministic — cannot reorder anything observable. Stochastic bodies
+// get their randomness from an Rng pre-forked per index in index order
+// (parallel_map_seeded), never from a shared generator.
+//
+// Thread count comes from a process-wide setting (set_num_threads, the
+// CLI's --threads flag); the default is the hardware concurrency. Nested
+// calls — a parallel body that itself calls parallel_for — run serially
+// inline, so composed layers (dataset generation over samples, frame
+// building over windows) cannot deadlock or oversubscribe.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace m2ai::par {
+
+// Hardware concurrency, clamped to >= 1.
+int hardware_threads();
+
+// Sets the process-wide thread count for subsequent parallel_for calls.
+// n <= 0 restores the default (hardware_threads()).
+void set_num_threads(int n);
+
+// Currently configured thread count (>= 1).
+int num_threads();
+
+// True while executing inside a parallel_for body (on any participating
+// thread, including the caller). Nested regions run serially.
+bool in_parallel_region();
+
+// Runs fn(i) for every i in [0, n). Indices are claimed dynamically for
+// load balance; the caller participates as one worker. The first exception
+// thrown by any body is rethrown in the calling thread after all workers
+// stop claiming new indices.
+void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+// Maps [0, n) through fn into a vector, in index order.
+template <typename T, typename Fn>
+std::vector<T> parallel_map(std::size_t n, Fn&& fn) {
+  std::vector<T> out(n);
+  parallel_for(n, [&](std::size_t i) { out[i] = fn(i); });
+  return out;
+}
+
+// parallel_map with per-index randomness: forks one Rng per index from
+// `base` in index order (advancing `base` exactly n forks), then runs
+// fn(i, rng_i). The fork order is fixed regardless of thread count, so the
+// result matches the serial loop `for i: fn(i, base.fork())` bit for bit.
+template <typename T, typename Fn>
+std::vector<T> parallel_map_seeded(std::size_t n, util::Rng& base, Fn&& fn) {
+  std::vector<util::Rng> rngs;
+  rngs.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) rngs.push_back(base.fork());
+  std::vector<T> out(n);
+  parallel_for(n, [&](std::size_t i) { out[i] = fn(i, rngs[i]); });
+  return out;
+}
+
+}  // namespace m2ai::par

@@ -1,0 +1,57 @@
+#include "par/thread_pool.hpp"
+
+#include <algorithm>
+
+namespace m2ai::par {
+
+ThreadPool::ThreadPool(int num_threads) {
+  const int n = std::max(1, num_threads);
+  workers_.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  cv_work_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(task));
+    ++in_flight_;
+  }
+  cv_work_.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_idle_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_work_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      // Graceful shutdown: drain the queue before exiting.
+      if (queue_.empty()) return;
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();  // exceptions are handled inside the task wrapper (parallel_for)
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (--in_flight_ == 0) cv_idle_.notify_all();
+    }
+  }
+}
+
+}  // namespace m2ai::par

@@ -1,0 +1,54 @@
+// Fixed-size worker pool behind the deterministic parallel layer.
+//
+// The pool owns N threads blocked on a shared work queue. Tasks are opaque
+// closures; scheduling is first-come-first-served and intentionally carries
+// no ordering guarantee — determinism is the responsibility of the
+// parallel_for layer, which makes every task a pure function of its index.
+//
+// Shutdown is graceful: the destructor lets already-queued tasks finish,
+// then joins every worker. Exceptions thrown inside a task are caught and
+// handed to the submitter-provided sink (parallel_for rethrows the first
+// one in the calling thread).
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace m2ai::par {
+
+class ThreadPool {
+ public:
+  // Spawns `num_threads` workers (clamped to >= 1).
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int size() const { return static_cast<int>(workers_.size()); }
+
+  // Enqueue one task. Tasks must not touch the pool itself (no recursive
+  // submit-and-wait — that is what parallel_for's caller participation and
+  // nested-region serial fallback are for).
+  void submit(std::function<void()> task);
+
+  // Blocks until every task submitted so far has finished.
+  void wait_idle();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_work_;   // queue became non-empty / stopping
+  std::condition_variable cv_idle_;   // all work drained
+  std::size_t in_flight_ = 0;         // queued + currently executing tasks
+  bool stopping_ = false;
+};
+
+}  // namespace m2ai::par

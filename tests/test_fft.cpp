@@ -4,6 +4,7 @@
 
 #include <cmath>
 
+#include "dsp/periodogram.hpp"
 #include "util/rng.hpp"
 
 namespace m2ai::dsp {
@@ -99,8 +100,67 @@ TEST_P(FftSizes, InverseRoundTrip) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Sizes, FftSizes,
-                         ::testing::Values(1, 2, 3, 4, 5, 7, 8, 12, 16, 17, 31, 32,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 12, 16, 17, 31, 32,
                                            45, 64, 100, 128, 180));
+
+// Independent O(n^2) reference, written out longhand on purpose — it shares
+// no code with dsp::fft/dsp::dft, so a Bluestein regression cannot cancel
+// out of both sides of the comparison.
+std::vector<cdouble> naive_dft(const std::vector<cdouble>& x) {
+  const std::size_t n = x.size();
+  std::vector<cdouble> out(n, cdouble{0.0, 0.0});
+  for (std::size_t k = 0; k < n; ++k) {
+    for (std::size_t t = 0; t < n; ++t) {
+      const double angle = -2.0 * M_PI * static_cast<double>(k) *
+                           static_cast<double>(t) / static_cast<double>(n);
+      out[k] += x[t] * std::polar(1.0, angle);
+    }
+  }
+  return out;
+}
+
+// The Fig. 14 antenna sweep feeds the periodogram snapshots of 3..7 antennas
+// — all non-power-of-two sizes except 4, so every bin goes through the
+// Bluestein path. Check each bin against the naive reference and the total
+// energy against Parseval (P(k) = |Y(k)|^2 / N sums to sum |x|^2).
+class PeriodogramAntennaSizes : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(PeriodogramAntennaSizes, MatchesNaiveDftEnergy) {
+  const std::size_t n = GetParam();
+  const auto snapshot = random_signal(n, 4000 + n);
+  const auto p = periodogram(snapshot);
+  const auto ref = naive_dft(snapshot);
+  ASSERT_EQ(p.size(), n);
+  for (std::size_t k = 0; k < n; ++k) {
+    EXPECT_NEAR(p[k], std::norm(ref[k]) / static_cast<double>(n), 1e-9)
+        << "bin " << k << " of n=" << n;
+  }
+  double signal_energy = 0.0, periodogram_energy = 0.0;
+  for (const auto& v : snapshot) signal_energy += std::norm(v);
+  for (const double v : p) periodogram_energy += v;
+  EXPECT_NEAR(periodogram_energy, signal_energy, 1e-9 * std::max(1.0, signal_energy));
+}
+
+TEST_P(PeriodogramAntennaSizes, BartlettAverageMatchesNaiveMean) {
+  const std::size_t n = GetParam();
+  std::vector<std::vector<cdouble>> snapshots;
+  for (std::uint64_t s = 0; s < 5; ++s) {
+    snapshots.push_back(random_signal(n, 5000 + 10 * n + s));
+  }
+  const auto averaged = averaged_periodogram(snapshots);
+  ASSERT_EQ(averaged.size(), n);
+  for (std::size_t k = 0; k < n; ++k) {
+    double mean = 0.0;
+    for (const auto& snap : snapshots) {
+      mean += std::norm(naive_dft(snap)[k]) / static_cast<double>(n);
+    }
+    mean /= static_cast<double>(snapshots.size());
+    EXPECT_NEAR(averaged[k], mean, 1e-9) << "bin " << k << " of n=" << n;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AntennaCounts, PeriodogramAntennaSizes,
+                         ::testing::Values(3, 5, 6, 7));
 
 TEST(Dft, InverseRoundTrip) {
   const auto x = random_signal(9, 11);

@@ -148,5 +148,62 @@ TEST(FindPeaks, EdgesCanPeak) {
   EXPECT_EQ(peaks.size(), 2u);
 }
 
+TEST(FindPeaks, PlateauReportsSingleMidpointPeak) {
+  // Equal-valued maximal run must produce exactly one peak at its midpoint,
+  // not one per plateau sample (quantized spectra hit this constantly).
+  std::vector<double> spec(20, 0.0);
+  for (int i = 8; i <= 12; ++i) spec[i] = 1.0;
+  const auto peaks = find_peaks(spec, 5, 0.05);
+  ASSERT_EQ(peaks.size(), 1u);
+  EXPECT_EQ(peaks[0], 10);
+}
+
+TEST(FindPeaks, EdgePlateausPeakAtMidpoint) {
+  std::vector<double> spec = {1.0, 1.0, 1.0, 0.4, 0.2, 0.2, 0.9, 0.9};
+  const auto peaks = find_peaks(spec, 5, 0.05);
+  ASSERT_EQ(peaks.size(), 2u);
+  EXPECT_EQ(peaks[0], 1);  // run [0..2], strongest first
+  EXPECT_EQ(peaks[1], 6);  // run [6..7] at the right edge, midpoint (6+7)/2
+}
+
+TEST(FindPeaks, RisingStepIsNotAPeak) {
+  // A flat shoulder on the way up must not count; only the summit does.
+  const std::vector<double> spec = {0.0, 1.0, 1.0, 2.0, 0.0};
+  const auto peaks = find_peaks(spec, 5, 0.05);
+  ASSERT_EQ(peaks.size(), 1u);
+  EXPECT_EQ(peaks[0], 3);
+}
+
+TEST(FindPeaks, AllFlatSpectrumIsOnePeak) {
+  const std::vector<double> flat(11, 0.5);
+  const auto peaks = find_peaks(flat, 5, 0.05);
+  ASSERT_EQ(peaks.size(), 1u);
+  EXPECT_EQ(peaks[0], 5);
+}
+
+TEST(FindPeaks, NegativeSpectraSkipHeightFilter) {
+  // dB-scaled spectra are entirely negative; the relative-height filter
+  // (v >= min_height * top) is meaningless there and must be skipped —
+  // the old code compared against -1.0 sentinels and dropped everything.
+  const std::vector<double> spec = {-10.0, -5.0, -8.0, -3.0, -9.0};
+  const auto peaks = find_peaks(spec, 5, 0.05);
+  ASSERT_EQ(peaks.size(), 2u);
+  EXPECT_EQ(peaks[0], 3);
+  EXPECT_EQ(peaks[1], 1);
+}
+
+TEST(FindPeaks, AllFlatZeroSpectrumHandled) {
+  const std::vector<double> flat(8, 0.0);
+  const auto peaks = find_peaks(flat, 3, 0.05);
+  ASSERT_EQ(peaks.size(), 1u);
+  EXPECT_EQ(peaks[0], 3);
+}
+
+TEST(FindPeaks, EmptyInputAndZeroBudgetReturnNothing) {
+  EXPECT_TRUE(find_peaks({}, 3, 0.05).empty());
+  const std::vector<double> spec = {0.0, 1.0, 0.0};
+  EXPECT_TRUE(find_peaks(spec, 0, 0.05).empty());
+}
+
 }  // namespace
 }  // namespace m2ai::dsp

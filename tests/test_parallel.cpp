@@ -1,0 +1,292 @@
+// The deterministic parallel layer: pool mechanics, exception propagation,
+// nesting, and the headline guarantee — parallel results are bitwise
+// identical to the serial path at any thread count, for raw parallel_map,
+// full pipeline samples, dataset generation, and evaluation.
+#include "par/parallel_for.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "core/evaluator.hpp"
+#include "core/experiment.hpp"
+#include "obs/metrics.hpp"
+#include "par/thread_pool.hpp"
+
+namespace m2ai {
+namespace {
+
+// RAII thread-count override so a failing test cannot leak its setting.
+class ScopedThreads {
+ public:
+  explicit ScopedThreads(int n) : saved_(par::num_threads()) {
+    par::set_num_threads(n);
+  }
+  ~ScopedThreads() { par::set_num_threads(saved_); }
+
+ private:
+  int saved_;
+};
+
+TEST(ThreadPool, RunsAllSubmittedTasks) {
+  std::atomic<int> count{0};
+  {
+    par::ThreadPool pool(3);
+    for (int i = 0; i < 100; ++i) {
+      pool.submit([&count] { count.fetch_add(1); });
+    }
+    pool.wait_idle();
+    EXPECT_EQ(count.load(), 100);
+  }
+}
+
+TEST(ThreadPool, DestructorDrainsQueuedTasks) {
+  std::atomic<int> count{0};
+  {
+    par::ThreadPool pool(2);
+    for (int i = 0; i < 50; ++i) {
+      pool.submit([&count] { count.fetch_add(1); });
+    }
+    // No wait_idle: graceful shutdown must still run every queued task.
+  }
+  EXPECT_EQ(count.load(), 50);
+}
+
+TEST(ThreadPool, SizeClampedToOne) {
+  par::ThreadPool pool(0);
+  EXPECT_EQ(pool.size(), 1);
+}
+
+TEST(ParallelFor, CoversEveryIndexExactlyOnce) {
+  ScopedThreads t(4);
+  std::vector<std::atomic<int>> hits(997);
+  par::parallel_for(hits.size(), [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelFor, ZeroIterationsIsANoop) {
+  ScopedThreads t(4);
+  bool ran = false;
+  par::parallel_for(0, [&](std::size_t) { ran = true; });
+  EXPECT_FALSE(ran);
+}
+
+TEST(ParallelFor, PropagatesFirstException) {
+  ScopedThreads t(4);
+  EXPECT_THROW(
+      par::parallel_for(64,
+                        [](std::size_t i) {
+                          if (i == 13) throw std::runtime_error("boom");
+                        }),
+      std::runtime_error);
+}
+
+TEST(ParallelFor, ExceptionOnSerialPathPropagates) {
+  ScopedThreads t(1);
+  EXPECT_THROW(
+      par::parallel_for(4, [](std::size_t) { throw std::runtime_error("boom"); }),
+      std::runtime_error);
+}
+
+TEST(ParallelFor, NestedRegionsRunSeriallyAndCover) {
+  ScopedThreads t(4);
+  std::vector<std::atomic<int>> hits(64);
+  par::parallel_for(8, [&](std::size_t outer) {
+    EXPECT_TRUE(par::in_parallel_region());
+    par::parallel_for(8, [&](std::size_t inner) {
+      hits[outer * 8 + inner].fetch_add(1);
+    });
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+  EXPECT_FALSE(par::in_parallel_region());
+}
+
+TEST(ParallelFor, ThreadCountConfigRoundTrips) {
+  ScopedThreads t(3);
+  EXPECT_EQ(par::num_threads(), 3);
+  par::set_num_threads(0);
+  EXPECT_EQ(par::num_threads(), par::hardware_threads());
+  EXPECT_GE(par::hardware_threads(), 1);
+}
+
+TEST(ParallelMap, MatchesSerialMap) {
+  std::vector<double> serial;
+  {
+    ScopedThreads t(1);
+    serial = par::parallel_map<double>(
+        200, [](std::size_t i) { return std::sin(static_cast<double>(i)) * 3.25; });
+  }
+  ScopedThreads t(5);
+  const auto parallel = par::parallel_map<double>(
+      200, [](std::size_t i) { return std::sin(static_cast<double>(i)) * 3.25; });
+  ASSERT_EQ(parallel.size(), serial.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(parallel[i], serial[i]);  // bitwise, not approximately
+  }
+}
+
+TEST(ParallelMapSeeded, ForkOrderIndependentOfThreadCount) {
+  auto run = [](int threads) {
+    ScopedThreads t(threads);
+    util::Rng base(42);
+    return par::parallel_map_seeded<std::uint64_t>(
+        64, base, [](std::size_t, util::Rng& rng) { return rng.next_u64(); });
+  };
+  const auto one = run(1);
+  const auto four = run(4);
+  ASSERT_EQ(one.size(), four.size());
+  for (std::size_t i = 0; i < one.size(); ++i) EXPECT_EQ(one[i], four[i]);
+}
+
+// Hammer the metrics registry from many threads while enabled — the CI
+// TSan job runs this to catch races in obs under contention.
+TEST(ParallelFor, ObsRegistryIsRaceFreeUnderContention) {
+  const bool was_enabled = obs::enabled();
+  obs::set_enabled(true);
+  {
+    ScopedThreads t(8);
+    par::parallel_for(512, [&](std::size_t i) {
+      obs::registry().counter("par_test.counter").add(1);
+      obs::registry().gauge("par_test.gauge").set(static_cast<double>(i));
+      obs::registry().histogram("par_test.hist").record(static_cast<double>(i));
+    });
+  }
+  EXPECT_GE(obs::registry().counter("par_test.counter").value(), 512u);
+  EXPECT_EQ(obs::registry().histogram("par_test.hist").snapshot().count, 512u);
+  obs::set_enabled(was_enabled);
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end determinism through the wired layers.
+
+core::ExperimentConfig tiny_config() {
+  core::ExperimentConfig config;
+  config.samples_per_class = 2;
+  config.pipeline.windows_per_sample = 6;
+  config.pipeline.bootstrap_sec = 4.0;
+  config.train.epochs = 1;
+  return config;
+}
+
+void expect_frames_equal(const core::FrameSequence& a, const core::FrameSequence& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t w = 0; w < a.size(); ++w) {
+    ASSERT_EQ(a[w].has_pseudo, b[w].has_pseudo);
+    ASSERT_EQ(a[w].has_aux, b[w].has_aux);
+    if (a[w].has_pseudo) {
+      ASSERT_EQ(a[w].pseudo.size(), b[w].pseudo.size());
+      for (std::size_t i = 0; i < a[w].pseudo.size(); ++i) {
+        ASSERT_EQ(a[w].pseudo[i], b[w].pseudo[i]) << "window " << w << " bin " << i;
+      }
+    }
+    if (a[w].has_aux) {
+      ASSERT_EQ(a[w].aux.size(), b[w].aux.size());
+      for (std::size_t i = 0; i < a[w].aux.size(); ++i) {
+        ASSERT_EQ(a[w].aux[i], b[w].aux[i]) << "window " << w << " bin " << i;
+      }
+    }
+  }
+}
+
+TEST(ParallelDeterminism, PipelineSampleIsThreadCountInvariant) {
+  const core::PipelineConfig config = tiny_config().pipeline;
+  core::Sample serial, parallel;
+  {
+    ScopedThreads t(1);
+    core::Pipeline pipeline(config, 77);
+    serial = pipeline.simulate_sample(3);
+  }
+  {
+    ScopedThreads t(4);
+    core::Pipeline pipeline(config, 77);
+    parallel = pipeline.simulate_sample(3);
+  }
+  EXPECT_EQ(serial.label, parallel.label);
+  expect_frames_equal(serial.frames, parallel.frames);
+}
+
+TEST(ParallelDeterminism, DatasetGenerationIsThreadCountInvariant) {
+  const core::ExperimentConfig config = tiny_config();
+  core::DataSplit serial, parallel;
+  {
+    ScopedThreads t(1);
+    serial = core::generate_dataset(config);
+  }
+  {
+    ScopedThreads t(4);
+    parallel = core::generate_dataset(config);
+  }
+  ASSERT_EQ(serial.train.size(), parallel.train.size());
+  ASSERT_EQ(serial.test.size(), parallel.test.size());
+  for (std::size_t i = 0; i < serial.train.size(); ++i) {
+    ASSERT_EQ(serial.train[i].label, parallel.train[i].label) << "train " << i;
+    expect_frames_equal(serial.train[i].frames, parallel.train[i].frames);
+  }
+  for (std::size_t i = 0; i < serial.test.size(); ++i) {
+    ASSERT_EQ(serial.test[i].label, parallel.test[i].label) << "test " << i;
+    expect_frames_equal(serial.test[i].frames, parallel.test[i].frames);
+  }
+}
+
+TEST(ParallelDeterminism, EvaluationIsThreadCountInvariant) {
+  const core::ExperimentConfig config = tiny_config();
+  core::DataSplit split;
+  {
+    ScopedThreads t(1);
+    split = core::generate_dataset(config);
+  }
+  core::ModelConfig model;
+  model.lstm_hidden = 8;
+  model.merge_features = 12;
+  model.dropout = 0.0;
+  core::M2AINetwork network(model, config.pipeline.feature_mode,
+                            config.pipeline.num_persons * config.pipeline.tags_per_person,
+                            config.pipeline.num_antennas, split.num_classes);
+  core::ConfusionMatrix serial(1), parallel(1);
+  {
+    ScopedThreads t(1);
+    serial = core::evaluate(network, split.test);
+  }
+  {
+    ScopedThreads t(4);
+    parallel = core::evaluate(network, split.test);
+  }
+  ASSERT_EQ(serial.total(), parallel.total());
+  // evaluate() sizes the matrix by the max label present in `test`, which
+  // can be < num_classes on this tiny split — stay inside that range.
+  int present = 1;
+  for (const core::Sample& s : split.test) present = std::max(present, s.label + 1);
+  for (int a = 0; a < present; ++a) {
+    for (int p = 0; p < present; ++p) {
+      EXPECT_EQ(serial.count(a, p), parallel.count(a, p)) << a << "," << p;
+    }
+  }
+}
+
+TEST(ParallelDeterminism, NetworkCloneReproducesPredictions) {
+  const core::ExperimentConfig config = tiny_config();
+  core::DataSplit split;
+  {
+    ScopedThreads t(1);
+    split = core::generate_dataset(config);
+  }
+  core::ModelConfig model;
+  model.lstm_hidden = 8;
+  model.merge_features = 12;
+  core::M2AINetwork network(model, config.pipeline.feature_mode,
+                            config.pipeline.num_persons * config.pipeline.tags_per_person,
+                            config.pipeline.num_antennas, split.num_classes);
+  const auto clone = network.clone();
+  ASSERT_EQ(clone->num_parameters(), network.num_parameters());
+  for (const core::Sample& s : split.test) {
+    EXPECT_EQ(network.predict(s.frames), clone->predict(s.frames));
+  }
+}
+
+}  // namespace
+}  // namespace m2ai

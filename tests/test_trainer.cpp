@@ -1,0 +1,182 @@
+// Trainer-level regressions: batch-size-invariant gradient scaling (the
+// accumulated batch gradient must be divided by the number of samples that
+// actually contributed before clip+step) and the LR-schedule breakpoint
+// clamp (epochs=1 must train its single epoch at the full learning rate).
+#include "core/trainer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "obs/telemetry.hpp"
+#include "util/rng.hpp"
+
+namespace m2ai::core {
+namespace {
+
+constexpr int kTags = 2;
+constexpr int kAntennas = 4;
+constexpr int kClasses = 3;
+
+Sample make_sample(int label, std::uint64_t seed) {
+  util::Rng rng(seed);
+  Sample sample;
+  sample.label = label;
+  for (int t = 0; t < 6; ++t) {
+    SpectrumFrame f;
+    f.has_pseudo = true;
+    f.has_aux = true;
+    f.pseudo = nn::Tensor({kTags, 180});
+    f.pseudo.randomize_uniform(rng, 0.0f, 1.0f);
+    f.aux = nn::Tensor({kTags, kAntennas});
+    f.aux.randomize_uniform(rng, 0.0f, 1.0f);
+    sample.frames.push_back(std::move(f));
+  }
+  return sample;
+}
+
+ModelConfig small_model() {
+  ModelConfig model;
+  model.lstm_hidden = 8;
+  model.merge_features = 12;
+  model.dropout = 0.0;  // dropout would break run-to-run comparability
+  return model;
+}
+
+TrainConfig plain_train(int batch_size, int epochs = 1) {
+  TrainConfig config;
+  config.batch_size = batch_size;
+  config.epochs = epochs;
+  config.lr_schedule = false;
+  config.crop_frames = 0;
+  return config;
+}
+
+std::vector<float> snapshot_params(M2AINetwork& network) {
+  std::vector<float> values;
+  for (const nn::Param* p : network.params()) {
+    for (std::size_t i = 0; i < p->value.size(); ++i) values.push_back(p->value[i]);
+  }
+  return values;
+}
+
+void expect_params_near(M2AINetwork& a, M2AINetwork& b, float tol) {
+  const auto va = snapshot_params(a);
+  const auto vb = snapshot_params(b);
+  ASSERT_EQ(va.size(), vb.size());
+  float max_diff = 0.0f;
+  for (std::size_t i = 0; i < va.size(); ++i) {
+    max_diff = std::max(max_diff, std::abs(va[i] - vb[i]));
+  }
+  EXPECT_LE(max_diff, tol);
+}
+
+// With N copies of one sample and batch_size=N, the accumulated gradient is
+// N*g; normalized by N it must reproduce the batch_size=1 single-sample
+// step. EXPECT tolerance (not equality) because ((g+g)+g)+g)/4 rounds
+// differently than g in float.
+TEST(Trainer, StepIsBatchSizeInvariant) {
+  M2AINetwork net_b4(small_model(), FeatureMode::kM2AI, kTags, kAntennas, kClasses);
+  M2AINetwork net_b1(small_model(), FeatureMode::kM2AI, kTags, kAntennas, kClasses);
+
+  const Sample sample = make_sample(1, 21);
+  {
+    Trainer trainer(net_b4, plain_train(/*batch_size=*/4));
+    trainer.run_epoch({sample, sample, sample, sample});  // one step of mean grad
+  }
+  {
+    Trainer trainer(net_b1, plain_train(/*batch_size=*/1));
+    trainer.run_epoch({sample});  // one step of the same grad
+  }
+  expect_params_near(net_b4, net_b1, 1e-5f);
+}
+
+// 5 samples at batch_size=4 take two steps: a full batch of 4 and a partial
+// batch of 1. Both must be normalized by their own sample count, so the
+// trajectory matches two batch_size=1 steps on the same sample.
+TEST(Trainer, PartialFinalBatchIsNormalizedByItsOwnCount) {
+  M2AINetwork net_partial(small_model(), FeatureMode::kM2AI, kTags, kAntennas, kClasses);
+  M2AINetwork net_single(small_model(), FeatureMode::kM2AI, kTags, kAntennas, kClasses);
+
+  const Sample sample = make_sample(2, 22);
+  {
+    Trainer trainer(net_partial, plain_train(/*batch_size=*/4));
+    trainer.run_epoch({sample, sample, sample, sample, sample});
+  }
+  {
+    Trainer trainer(net_single, plain_train(/*batch_size=*/1));
+    trainer.run_epoch({sample, sample});
+  }
+  expect_params_near(net_partial, net_single, 1e-4f);
+}
+
+// Regression for the integer-math breakpoints: epochs * 85 / 100 == 0 for
+// epochs=1 used to put the only epoch straight into the 0.09x regime.
+TEST(Trainer, SingleEpochBudgetTrainsAtFullLearningRate) {
+  const bool was_enabled = obs::enabled();
+  obs::set_enabled(true);
+  obs::training().clear();
+
+  M2AINetwork net(small_model(), FeatureMode::kM2AI, kTags, kAntennas, kClasses);
+  TrainConfig config = plain_train(/*batch_size=*/2, /*epochs=*/1);
+  config.lr_schedule = true;
+  Trainer trainer(net, config);
+  trainer.fit({make_sample(0, 23), make_sample(1, 24)});
+
+  const auto epochs = obs::training().snapshot();
+  ASSERT_EQ(epochs.size(), 1u);
+  EXPECT_DOUBLE_EQ(epochs[0].learning_rate, config.learning_rate);
+
+  obs::training().clear();
+  obs::set_enabled(was_enabled);
+}
+
+// With epochs=3 the clamped breakpoints are 60% -> 1 and 85% -> 2, giving
+// the full three-stage schedule lr, 0.3*lr, 0.09*lr.
+TEST(Trainer, ThreeEpochBudgetWalksTheFullSchedule) {
+  const bool was_enabled = obs::enabled();
+  obs::set_enabled(true);
+  obs::training().clear();
+
+  M2AINetwork net(small_model(), FeatureMode::kM2AI, kTags, kAntennas, kClasses);
+  TrainConfig config = plain_train(/*batch_size=*/2, /*epochs=*/3);
+  config.lr_schedule = true;
+  Trainer trainer(net, config);
+  trainer.fit({make_sample(0, 25), make_sample(2, 26)});
+
+  const auto epochs = obs::training().snapshot();
+  ASSERT_EQ(epochs.size(), 3u);
+  EXPECT_DOUBLE_EQ(epochs[0].learning_rate, config.learning_rate);
+  EXPECT_DOUBLE_EQ(epochs[1].learning_rate, config.learning_rate * 0.3);
+  EXPECT_DOUBLE_EQ(epochs[2].learning_rate, config.learning_rate * 0.09);
+
+  obs::training().clear();
+  obs::set_enabled(was_enabled);
+}
+
+// The clamp only rescues tiny budgets: at epochs=5 the integer breakpoints
+// (3 and 4) are already >= 1 and must be left exactly as before.
+TEST(Trainer, LargerBudgetBreakpointsUnchanged) {
+  const bool was_enabled = obs::enabled();
+  obs::set_enabled(true);
+  obs::training().clear();
+
+  M2AINetwork net(small_model(), FeatureMode::kM2AI, kTags, kAntennas, kClasses);
+  TrainConfig config = plain_train(/*batch_size=*/2, /*epochs=*/5);
+  config.lr_schedule = true;
+  Trainer trainer(net, config);
+  trainer.fit({make_sample(0, 27), make_sample(1, 28)});
+
+  // epochs=5: 60% -> 3, 85% -> 4 (no clamping involved).
+  const auto epochs = obs::training().snapshot();
+  ASSERT_EQ(epochs.size(), 5u);
+  EXPECT_DOUBLE_EQ(epochs[2].learning_rate, config.learning_rate);
+  EXPECT_DOUBLE_EQ(epochs[3].learning_rate, config.learning_rate * 0.3);
+  EXPECT_DOUBLE_EQ(epochs[4].learning_rate, config.learning_rate * 0.09);
+
+  obs::training().clear();
+  obs::set_enabled(was_enabled);
+}
+
+}  // namespace
+}  // namespace m2ai::core

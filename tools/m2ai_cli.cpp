@@ -20,6 +20,7 @@
 #include "nn/serialize.hpp"
 #include "obs/export.hpp"
 #include "obs/metrics.hpp"
+#include "par/parallel_for.hpp"
 #include "sim/activities.hpp"
 #include "util/args.hpp"
 #include "util/csv.hpp"
@@ -39,8 +40,10 @@ int usage() {
                "  train    [--samples N] [--epochs E] [--persons P] [--tags T]\n"
                "           [--antennas A] [--seed S] [--model FILE] [--verbose]\n"
                "  eval     --model FILE [--samples N] [--seed S]\n"
-               "all commands accept --metrics-out FILE (JSON, or CSV if FILE\n"
-               "ends in .csv) and --trace (span tree on stderr at exit)\n");
+               "all commands accept --threads N (worker threads; default: all\n"
+               "hardware threads; results are identical at any N),\n"
+               "--metrics-out FILE (JSON, or CSV if FILE ends in .csv) and\n"
+               "--trace (span tree on stderr at exit)\n");
   return 2;
 }
 
@@ -70,7 +73,7 @@ int cmd_catalog() {
 
 int cmd_simulate(const util::Args& args) {
   args.require_known({"activity", "persons", "tags", "seed", "out", "distance",
-                      "windows", "antennas", "metrics-out", "trace"});
+                      "windows", "antennas", "metrics-out", "trace", "threads"});
   const int activity = args.get_int("activity", 1);
   core::ExperimentConfig config = config_from(args);
   core::Pipeline pipeline(config.pipeline, config.seed);
@@ -92,7 +95,7 @@ int cmd_simulate(const util::Args& args) {
 
 int cmd_spectrum(const util::Args& args) {
   args.require_known({"activity", "persons", "tags", "seed", "distance", "windows",
-                      "antennas", "metrics-out", "trace"});
+                      "antennas", "metrics-out", "trace", "threads"});
   const int activity = args.get_int("activity", 1);
   core::ExperimentConfig config = config_from(args);
   core::Pipeline pipeline(config.pipeline, config.seed);
@@ -119,7 +122,7 @@ int cmd_spectrum(const util::Args& args) {
 int cmd_train(const util::Args& args) {
   args.require_known({"samples", "epochs", "persons", "tags", "antennas", "seed",
                       "model", "verbose", "distance", "windows", "metrics-out",
-                      "trace"});
+                      "trace", "threads"});
   const core::ExperimentConfig config = config_from(args);
   util::log_info() << "simulating " << config.samples_per_class << " samples/class";
   const core::DataSplit split = core::generate_dataset(config);
@@ -143,7 +146,7 @@ int cmd_train(const util::Args& args) {
 
 int cmd_eval(const util::Args& args) {
   args.require_known({"model", "samples", "persons", "tags", "antennas", "seed",
-                      "distance", "windows", "epochs", "metrics-out", "trace"});
+                      "distance", "windows", "epochs", "metrics-out", "trace", "threads"});
   if (!args.has("model")) return usage();
   core::ExperimentConfig config = config_from(args);
   config.seed ^= 0x5eedu;  // evaluate on data the checkpoint never saw
@@ -205,6 +208,9 @@ int main(int argc, char** argv) {
   const std::string command = argv[1];
   const util::Args args(argc - 1, argv + 1);
   ObservabilityScope obs_scope(args);
+  // 0 = hardware default. The parallel layer is deterministic, so any
+  // thread count reproduces --threads 1 bit for bit.
+  par::set_num_threads(args.get_int("threads", 0));
   try {
     if (command == "catalog") return cmd_catalog();
     if (command == "simulate") return cmd_simulate(args);
