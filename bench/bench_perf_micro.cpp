@@ -12,6 +12,7 @@
 #include "bench_common.hpp"
 #include "core/model.hpp"
 #include "core/pipeline.hpp"
+#include "core/trainer.hpp"
 #include "dsp/eig.hpp"
 #include "dsp/fft.hpp"
 #include "dsp/music.hpp"
@@ -223,6 +224,79 @@ void run_parallel_scaling() {
               deterministic ? "bitwise-identical" : "MISMATCH");
 }
 
+std::uint64_t params_fingerprint(core::M2AINetwork& net) {
+  std::uint64_t h = 1469598103934665603ULL;
+  auto mix = [&h](std::uint64_t v) {
+    h ^= v;
+    h *= 1099511628211ULL;
+  };
+  for (const nn::Param* p : net.params()) {
+    for (std::size_t i = 0; i < p->value.size(); ++i) {
+      std::uint32_t bits;
+      const float f = p->value[i];
+      std::memcpy(&bits, &f, sizeof(bits));
+      mix(bits);
+    }
+  }
+  return h;
+}
+
+// Training-scaling section: the data-parallel trainer (per-sample gradients
+// sharded across network replicas, reduced in index order) at 1/2/4/8
+// threads, with a checkpoint fingerprint cross-check. One dataset is
+// generated up front (generation is itself thread-count-invariant), then
+// each thread count trains an identically-seeded network from scratch.
+void run_training_scaling() {
+  core::ExperimentConfig config;
+  config.samples_per_class = std::max(2, static_cast<int>(2 * bench::env_scale()));
+  config.pipeline.windows_per_sample = 10;
+  config.pipeline.bootstrap_sec = 6.0;
+  config.train.epochs = std::max(2, static_cast<int>(3 * bench::env_scale()));
+  config.train.batch_size = 8;
+  config.train.crop_frames = 8;
+
+  const core::DataSplit split = core::generate_dataset(config);
+
+  const int hw = par::hardware_threads();
+  std::printf("parallel scaling — LSTM training (%zu train sequences, %d epochs, %d hardware threads)\n",
+              split.train.size(), config.train.epochs, hw);
+  std::printf("%8s %12s %10s %14s\n", "threads", "seconds", "speedup", "fingerprint");
+
+  const int saved = par::num_threads();
+  double serial_seconds = 0.0;
+  std::uint64_t serial_fp = 0;
+  bool deterministic = true;
+  for (int threads : {1, 2, 4, 8}) {
+    if (threads > 2 * hw) break;  // oversubscription beyond 2x tells us nothing
+    par::set_num_threads(threads);
+    core::M2AINetwork net(config.model, config.pipeline.feature_mode,
+                          config.pipeline.num_persons * config.pipeline.tags_per_person,
+                          config.pipeline.num_antennas, split.num_classes);
+    core::Trainer trainer(net, config.train);
+    const auto start = std::chrono::steady_clock::now();
+    trainer.fit(split.train);
+    const double seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+    const std::uint64_t fp = params_fingerprint(net);
+    if (threads == 1) {
+      serial_seconds = seconds;
+      serial_fp = fp;
+    } else if (fp != serial_fp) {
+      deterministic = false;
+    }
+    const double speedup = seconds > 0.0 ? serial_seconds / seconds : 0.0;
+    std::printf("%8d %12.3f %9.2fx %14llx\n", threads, seconds, speedup,
+                static_cast<unsigned long long>(fp));
+    const std::string tag = "par.train.t" + std::to_string(threads);
+    obs::registry().gauge(tag + ".seconds").set(seconds);
+    obs::registry().gauge(tag + ".speedup").set(speedup);
+  }
+  par::set_num_threads(saved);
+  obs::registry().gauge("par.train.deterministic").set(deterministic ? 1.0 : 0.0);
+  std::printf("checkpoint determinism across thread counts: %s\n\n",
+              deterministic ? "bitwise-identical" : "MISMATCH");
+}
+
 }  // namespace
 
 // Custom main instead of BENCHMARK_MAIN(): --metrics-out/--trace are parsed
@@ -233,6 +307,7 @@ int main(int argc, char** argv) {
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   run_parallel_scaling();
+  run_training_scaling();
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   return 0;

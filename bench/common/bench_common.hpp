@@ -14,8 +14,10 @@
 //
 // Parallelism: every bench binary accepts
 //   --threads <N>          worker threads for the deterministic parallel
-//                          layer (default: hardware concurrency; results
-//                          are bitwise-identical at any N)
+//                          layer — dataset generation, training (replica
+//                          gradient reduction), and evaluation (default:
+//                          hardware concurrency; results and trained
+//                          checkpoints are bitwise-identical at any N)
 #pragma once
 
 #include <string>

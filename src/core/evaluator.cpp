@@ -81,21 +81,17 @@ ConfusionMatrix evaluate(M2AINetwork& network, const std::vector<Sample>& test) 
   // land in index-addressed slots and are merged in order, so the matrix is
   // identical at any thread count (and to the serial loop).
   const std::size_t n = test.size();
-  const std::size_t workers = std::min<std::size_t>(
-      static_cast<std::size_t>(par::num_threads()), std::max<std::size_t>(n, 1));
+  const int workers = par::chunk_workers(n);
   std::vector<int> predicted(n, 0);
-  if (workers <= 1 || par::in_parallel_region()) {
+  if (workers <= 1) {
     for (std::size_t i = 0; i < n; ++i) predicted[i] = network.predict(test[i].frames);
   } else {
     std::vector<std::unique_ptr<M2AINetwork>> clones;
-    clones.reserve(workers);
-    for (std::size_t w = 0; w < workers; ++w) clones.push_back(network.clone());
-    const std::size_t chunk = (n + workers - 1) / workers;
-    par::parallel_for(workers, [&](std::size_t w) {
-      const std::size_t begin = w * chunk;
-      const std::size_t end = std::min(n, begin + chunk);
+    clones.reserve(static_cast<std::size_t>(workers));
+    for (int w = 0; w < workers; ++w) clones.push_back(network.clone());
+    par::parallel_chunks(n, workers, [&](int w, std::size_t begin, std::size_t end) {
       for (std::size_t i = begin; i < end; ++i) {
-        predicted[i] = clones[w]->predict(test[i].frames);
+        predicted[i] = clones[static_cast<std::size_t>(w)]->predict(test[i].frames);
       }
     });
   }

@@ -153,6 +153,7 @@ std::vector<nn::Tensor> M2AINetwork::forward_sequence(const FrameSequence& frame
 M2AINetwork::StepResult M2AINetwork::train_step(const Sample& sample) {
   const std::size_t t_len = sample.frames.size();
   if (t_len == 0) throw std::invalid_argument("M2AINetwork: empty sample");
+  clear_caches();
 
   const std::vector<nn::Tensor> states = forward_sequence(sample.frames, /*train=*/true);
 
@@ -257,8 +258,24 @@ std::unique_ptr<M2AINetwork> M2AINetwork::clone() {
   const std::vector<nn::Param*> dst = copy->params();
   for (std::size_t i = 0; i < src.size(); ++i) {
     dst[i]->value = src[i]->value;
+    dst[i]->grad = src[i]->grad;
   }
   return copy;
+}
+
+void M2AINetwork::reseed_dropout(util::Rng base) {
+  if (pseudo_branch_) pseudo_branch_->reseed(base);
+  if (aux_branch_) aux_branch_->reseed(base);
+  if (merge_) merge_->reseed(base);
+}
+
+void M2AINetwork::clear_caches() {
+  if (pseudo_branch_) pseudo_branch_->clear_cache();
+  if (aux_branch_) aux_branch_->clear_cache();
+  if (merge_) merge_->clear_cache();
+  if (lstm1_) lstm1_->clear_cache();
+  if (lstm2_) lstm2_->clear_cache();
+  head_->clear_cache();
 }
 
 }  // namespace m2ai::core

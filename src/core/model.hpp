@@ -37,10 +37,21 @@ class M2AINetwork {
   std::vector<nn::Param*> params();
   std::size_t num_parameters();
 
-  // A structurally identical network with this network's current weights.
-  // Forward passes mutate per-layer caches, so concurrent inference needs
-  // one clone per worker (see core::evaluate).
+  // A structurally identical network with this network's current weights and
+  // gradient buffers. Forward passes mutate per-layer caches, so concurrent
+  // work needs one clone per worker (see core::evaluate and core::Trainer's
+  // data-parallel replicas).
   std::unique_ptr<M2AINetwork> clone();
+
+  // Re-derives every stochastic layer's RNG (dropout) from `base`, forking
+  // in fixed layer order. The trainer seeds each replica from a per-sample
+  // stream so dropout masks are thread-count-invariant.
+  void reseed_dropout(util::Rng base);
+
+  // Drops all cached activations in every layer. train_step calls this
+  // first, so a previous step abandoned mid-flight (e.g. by an exception
+  // between forward and backward) cannot poison the next one's BPTT pairing.
+  void clear_caches();
 
   const ModelConfig& model_config() const { return model_; }
 

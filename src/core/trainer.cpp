@@ -5,14 +5,19 @@
 #include <numeric>
 
 #include "nn/optimizer.hpp"
+#include "obs/metrics.hpp"
 #include "obs/telemetry.hpp"
 #include "obs/trace.hpp"
+#include "par/parallel_for.hpp"
 #include "util/log.hpp"
 
 namespace m2ai::core {
 
 Trainer::Trainer(M2AINetwork& network, TrainConfig config)
-    : network_(network), config_(config), rng_(config.seed) {
+    : network_(network),
+      config_(config),
+      rng_(config.seed),
+      dropout_rng_(config.seed ^ 0xd40b0075ULL) {
   if (config_.use_adam) {
     optimizer_ = std::make_unique<nn::Adam>(config_.learning_rate, 0.9, 0.999, 1e-8,
                                             config_.weight_decay);
@@ -22,50 +27,146 @@ Trainer::Trainer(M2AINetwork& network, TrainConfig config)
   }
 }
 
+void Trainer::sync_replicas(int workers) {
+  while (static_cast<int>(replicas_.size()) < workers) {
+    replicas_.push_back(network_.clone());
+  }
+  const std::vector<nn::Param*> master = network_.params();
+  for (int w = 0; w < workers; ++w) {
+    const std::vector<nn::Param*> dst = replicas_[static_cast<std::size_t>(w)]->params();
+    for (std::size_t p = 0; p < master.size(); ++p) {
+      dst[p]->value = master[p]->value;
+    }
+  }
+}
+
+void Trainer::process_batch(const std::vector<const Sample*>& batch,
+                            const std::vector<util::Rng>& dropout_rngs,
+                            const std::vector<nn::Param*>& master, EpochStats& stats,
+                            std::size_t& correct, int& num_steps) {
+  const std::size_t m = batch.size();
+  if (m == 0) return;
+
+  // The worker count may vary with the thread setting, but chunk boundaries
+  // only decide WHICH replica computes a sample — every sample's gradient is
+  // a pure function of (synced weights, sample, its pre-forked RNG), so the
+  // values are thread-count-invariant.
+  const int workers = std::max(1, par::chunk_workers(m));
+  sync_replicas(workers);
+
+  std::vector<double> losses(m, 0.0);
+  std::vector<int> predicted(m, 0);
+  std::vector<std::vector<nn::Tensor>> grads(m);
+  std::vector<double> busy(static_cast<std::size_t>(workers), 0.0);
+
+  par::parallel_chunks(m, workers, [&](int w, std::size_t begin, std::size_t end) {
+    const auto start = std::chrono::steady_clock::now();
+    M2AINetwork& replica = *replicas_[static_cast<std::size_t>(w)];
+    const std::vector<nn::Param*> rparams = replica.params();
+    for (std::size_t i = begin; i < end; ++i) {
+      nn::zero_gradients(rparams);
+      replica.reseed_dropout(dropout_rngs[i]);
+      const auto step = replica.train_step(*batch[i]);
+      losses[i] = step.loss;
+      predicted[i] = step.predicted;
+      std::vector<nn::Tensor> g;
+      g.reserve(rparams.size());
+      for (const nn::Param* p : rparams) g.push_back(p->grad);
+      grads[i] = std::move(g);
+    }
+    busy[static_cast<std::size_t>(w)] =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  });
+
+  // Deterministic reduction: per-sample gradients fold into the master in
+  // strict sample-index order, never in completion order.
+  nn::zero_gradients(master);
+  par::reduce_in_order(grads, [&](std::size_t, std::vector<nn::Tensor>& g) {
+    for (std::size_t p = 0; p < master.size(); ++p) {
+      master[p]->grad.add_scaled(g[p], 1.0f);
+    }
+  });
+
+  for (std::size_t i = 0; i < m; ++i) {
+    stats.mean_loss += losses[i];
+    if (predicted[i] == batch[i]->label) ++correct;
+  }
+
+  // Normalizing by the number of samples actually in the batch makes the
+  // step size batch-size-invariant and keeps the final partial batch from
+  // stepping with a systematically smaller (or, unnormalized, larger)
+  // gradient.
+  const float inv = 1.0f / static_cast<float>(m);
+  for (nn::Param* p : master) p->grad.scale(inv);
+  stats.mean_grad_norm += nn::clip_gradient_norm(master, config_.clip_norm);
+  ++num_steps;
+  optimizer_->step(master);
+
+  stats.replicas = std::max(stats.replicas, workers);
+  for (int w = 0; w < workers; ++w) {
+    stats.replica_busy_seconds += busy[static_cast<std::size_t>(w)];
+  }
+  if (obs::enabled()) {
+    for (int w = 0; w < workers; ++w) {
+      obs::registry()
+          .histogram("train.replica_batch_seconds")
+          .record(busy[static_cast<std::size_t>(w)]);
+    }
+  }
+}
+
 EpochStats Trainer::run_epoch(const std::vector<Sample>& train) {
   M2AI_OBS_SPAN("train_epoch");
-  const auto params = network_.params();
+  const std::vector<nn::Param*> params = network_.params();
   std::vector<std::size_t> order(train.size());
   std::iota(order.begin(), order.end(), 0);
   rng_.shuffle(order);
 
   EpochStats stats;
   std::size_t correct = 0;
-  int in_batch = 0;
   int num_steps = 0;
-  Sample cropped;
-  // Gradients accumulate across the batch inside train_step; normalizing by
-  // the number of samples actually in the batch makes the step size
-  // batch-size-invariant and keeps the final partial batch from stepping
-  // with a systematically smaller (or, unnormalized, larger) gradient.
-  auto step_batch = [&](int batch_samples) {
-    const float inv = 1.0f / static_cast<float>(batch_samples);
-    for (nn::Param* p : params) p->grad.scale(inv);
-    stats.mean_grad_norm += nn::clip_gradient_norm(params, config_.clip_norm);
-    ++num_steps;
-    optimizer_->step(params);
+
+  // Batch staging. Crop offsets and per-sample dropout streams are drawn
+  // serially in shuffled-sample order BEFORE the fan-out (the same
+  // discipline as par::parallel_map_seeded), so the randomness a sample
+  // sees never depends on scheduling. `crops` is reserved once: batches
+  // never exceed batch_size, so pointers into it stay stable.
+  const std::size_t batch_capacity =
+      static_cast<std::size_t>(std::max(config_.batch_size, 1));
+  std::vector<Sample> crops;
+  crops.reserve(batch_capacity);
+  std::vector<const Sample*> batch;
+  std::vector<util::Rng> batch_dropout;
+  batch.reserve(batch_capacity);
+  batch_dropout.reserve(batch_capacity);
+
+  auto flush = [&] {
+    process_batch(batch, batch_dropout, params, stats, correct, num_steps);
+    batch.clear();
+    batch_dropout.clear();
+    crops.clear();
   };
+
   for (std::size_t idx : order) {
     const Sample* sample = &train[idx];
     const std::size_t crop = static_cast<std::size_t>(config_.crop_frames);
     if (crop > 0 && sample->frames.size() > crop) {
       const std::size_t start = static_cast<std::size_t>(
           rng_.uniform_int(static_cast<std::uint64_t>(sample->frames.size() - crop + 1)));
+      Sample cropped;
       cropped.label = sample->label;
       cropped.activity_id = sample->activity_id;
       cropped.frames.assign(sample->frames.begin() + static_cast<std::ptrdiff_t>(start),
                             sample->frames.begin() + static_cast<std::ptrdiff_t>(start + crop));
-      sample = &cropped;
+      crops.push_back(std::move(cropped));
+      sample = &crops.back();
     }
-    const auto step = network_.train_step(*sample);
-    stats.mean_loss += step.loss;
-    if (step.predicted == sample->label) ++correct;
-    if (++in_batch == config_.batch_size) {
-      step_batch(in_batch);
-      in_batch = 0;
-    }
+    batch.push_back(sample);
+    batch_dropout.push_back(dropout_rng_.fork());
+    if (batch.size() == batch_capacity) flush();
   }
-  if (in_batch > 0) step_batch(in_batch);
+  flush();
+
   stats.mean_grad_norm /= static_cast<double>(std::max(num_steps, 1));
   stats.mean_loss /= static_cast<double>(std::max<std::size_t>(train.size(), 1));
   stats.train_accuracy =
@@ -98,11 +199,13 @@ EpochStats Trainer::fit(const std::vector<Sample>& train) {
                                      .count();
     obs::training().record_epoch({epoch + 1, stats.mean_loss, stats.train_accuracy,
                                   stats.mean_grad_norm, optimizer_->lr(),
-                                  epoch_seconds});
+                                  epoch_seconds, stats.replicas,
+                                  stats.replica_busy_seconds});
     if (config_.verbose) {
       util::log_info() << "epoch " << (epoch + 1) << "/" << config_.epochs
                        << " loss=" << stats.mean_loss
-                       << " train_acc=" << stats.train_accuracy;
+                       << " train_acc=" << stats.train_accuracy
+                       << " replicas=" << stats.replicas;
     }
   }
   return stats;

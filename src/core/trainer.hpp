@@ -1,5 +1,14 @@
 // Training loop for the M2AI network: shuffled mini-batches of whole
 // sequences, gradient-norm clipping (Sec. VI-A), SGD+momentum or Adam.
+//
+// Training is data-parallel and deterministic: each mini-batch is sharded
+// across per-worker network replicas (M2AINetwork::clone()), every sample's
+// gradient is computed independently from zeroed buffers, and the per-sample
+// gradients are reduced into the master parameters in strict sample-index
+// order (par::reduce_in_order). Because each sample's forward/backward is a
+// pure function of (master weights, sample, per-sample RNG stream) and the
+// reduction order is fixed, the trained checkpoint is bitwise-identical at
+// any thread count — the same guarantee the rest of the pipeline gives.
 #pragma once
 
 #include "core/model.hpp"
@@ -12,6 +21,10 @@ struct EpochStats {
   double train_accuracy = 0.0;
   // Mean pre-clip global gradient norm over the epoch's optimizer steps.
   double mean_grad_norm = 0.0;
+  // Widest replica fan-out any batch used this epoch (1 = serial).
+  int replicas = 1;
+  // Summed per-replica busy wall-clock across the epoch's batches.
+  double replica_busy_seconds = 0.0;
 };
 
 class Trainer {
@@ -25,10 +38,24 @@ class Trainer {
   EpochStats fit(const std::vector<Sample>& train);
 
  private:
+  // Forward/backward the staged batch on the replicas, reduce the
+  // per-sample gradients into the master in index order, and take one
+  // optimizer step. `dropout_rngs[i]` is sample i's pre-forked stream.
+  void process_batch(const std::vector<const Sample*>& batch,
+                     const std::vector<util::Rng>& dropout_rngs,
+                     const std::vector<nn::Param*>& master, EpochStats& stats,
+                     std::size_t& correct, int& num_steps);
+
+  // Grows the replica pool to `workers` clones and copies the master's
+  // current parameter values into each (exact copies — no float math).
+  void sync_replicas(int workers);
+
   M2AINetwork& network_;
   TrainConfig config_;
   std::unique_ptr<nn::Optimizer> optimizer_;
-  util::Rng rng_;
+  util::Rng rng_;          // shuffle + crop offsets (same stream as ever)
+  util::Rng dropout_rng_;  // per-sample dropout streams, forked in epoch order
+  std::vector<std::unique_ptr<M2AINetwork>> replicas_;
 };
 
 }  // namespace m2ai::core

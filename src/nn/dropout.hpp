@@ -14,6 +14,7 @@ class Dropout : public Layer {
   Tensor forward(const Tensor& input, bool train) override;
   Tensor backward(const Tensor& grad_output) override;
   void clear_cache() override { cache_.clear(); }
+  void reseed(util::Rng& base) override { rng_ = base.fork(); }
   std::string name() const override { return "Dropout"; }
 
  private:

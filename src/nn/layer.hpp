@@ -43,6 +43,13 @@ class Layer {
   // Drop any cached activations (e.g. after an aborted sequence).
   virtual void clear_cache() {}
 
+  // Re-derive this layer's private random stream from `base` (stochastic
+  // layers fork from it; deterministic layers ignore it). The data-parallel
+  // trainer reseeds every replica from a per-sample stream fixed before the
+  // fan-out, so the randomness a sample sees never depends on which replica
+  // (or thread count) processed it.
+  virtual void reseed(util::Rng& base) { (void)base; }
+
   virtual std::string name() const = 0;
 };
 

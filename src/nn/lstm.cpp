@@ -21,6 +21,11 @@ Lstm::Lstm(int input_size, int hidden_size, util::Rng& rng)
 }
 
 std::vector<Tensor> Lstm::forward(const std::vector<Tensor>& inputs, bool train) {
+  // A training forward always starts a fresh BPTT window (the whole sequence
+  // is processed in one call). Any cache left behind — e.g. an exception
+  // between a previous forward and its backward — would otherwise make the
+  // next backward pair gradients with the wrong timesteps.
+  if (train) steps_.clear();
   const int h_size = hidden_size_;
   const int in_size = input_size_;
   const int joint = in_size + h_size;

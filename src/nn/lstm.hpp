@@ -16,7 +16,8 @@ class Lstm {
   Lstm(int input_size, int hidden_size, util::Rng& rng);
 
   // Process a whole sequence from zero initial state; returns the hidden
-  // state h_t per step. With train=true, caches for backward() are kept.
+  // state h_t per step. With train=true, caches for backward() are kept;
+  // any stale cache from an abandoned training step is discarded first.
   std::vector<Tensor> forward(const std::vector<Tensor>& inputs, bool train);
 
   // BPTT for the most recent forward(). `grad_outputs[t]` is dLoss/dh_t

@@ -44,6 +44,12 @@ class Sequential : public Layer {
     for (auto& layer : layers_) layer->clear_cache();
   }
 
+  // Forwarded in layer order, so every stochastic sublayer forks from `base`
+  // at a fixed position in the stream.
+  void reseed(util::Rng& base) override {
+    for (auto& layer : layers_) layer->reseed(base);
+  }
+
   std::string name() const override { return "Sequential"; }
   std::size_t num_layers() const { return layers_.size(); }
 

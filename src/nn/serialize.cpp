@@ -4,23 +4,17 @@
 #include <fstream>
 #include <stdexcept>
 
-#include "util/log.hpp"
-
 namespace m2ai::nn {
 
 namespace {
 constexpr std::uint32_t kMagic = 0x4d324149;  // "M2AI"
 constexpr std::uint32_t kVersion = 1;
+// No tensor in the library is deeper than rank 3; anything beyond this is a
+// corrupt length field, not a real checkpoint.
+constexpr std::uint32_t kMaxRank = 8;
 
 void write_u32(std::ostream& out, std::uint32_t v) {
   out.write(reinterpret_cast<const char*>(&v), sizeof(v));
-}
-
-std::uint32_t read_u32(std::istream& in) {
-  std::uint32_t v = 0;
-  in.read(reinterpret_cast<char*>(&v), sizeof(v));
-  if (!in) throw std::runtime_error("load_params: truncated file");
-  return v;
 }
 
 void write_string(std::ostream& out, const std::string& s) {
@@ -28,13 +22,51 @@ void write_string(std::ostream& out, const std::string& s) {
   out.write(s.data(), static_cast<std::streamsize>(s.size()));
 }
 
-std::string read_string(std::istream& in) {
-  const std::uint32_t len = read_u32(in);
-  std::string s(len, '\0');
-  in.read(s.data(), static_cast<std::streamsize>(len));
-  if (!in) throw std::runtime_error("load_params: truncated file");
-  return s;
-}
+// Byte-budgeted reader: every length field is validated against the bytes
+// actually left in the file BEFORE any allocation or bulk read, so a
+// corrupt/truncated checkpoint fails with a clean error instead of trying
+// to allocate gigabytes from a garbage length.
+class BoundedReader {
+ public:
+  BoundedReader(std::istream& in, std::uint64_t file_size)
+      : in_(in), remaining_(file_size) {}
+
+  std::uint32_t read_u32(const char* what) {
+    take(sizeof(std::uint32_t), what);
+    std::uint32_t v = 0;
+    in_.read(reinterpret_cast<char*>(&v), sizeof(v));
+    if (!in_) throw std::runtime_error(corrupt(what));
+    return v;
+  }
+
+  std::string read_string(const char* what) {
+    const std::uint32_t len = read_u32(what);
+    take(len, what);
+    std::string s(len, '\0');
+    in_.read(s.data(), static_cast<std::streamsize>(len));
+    if (!in_) throw std::runtime_error(corrupt(what));
+    return s;
+  }
+
+  void read_bytes(void* dst, std::uint64_t bytes, const char* what) {
+    take(bytes, what);
+    in_.read(reinterpret_cast<char*>(dst), static_cast<std::streamsize>(bytes));
+    if (!in_) throw std::runtime_error(corrupt(what));
+  }
+
+ private:
+  void take(std::uint64_t bytes, const char* what) {
+    if (bytes > remaining_) throw std::runtime_error(corrupt(what));
+    remaining_ -= bytes;
+  }
+
+  static std::string corrupt(const char* what) {
+    return std::string("load_params: corrupt or truncated checkpoint (") + what + ")";
+  }
+
+  std::istream& in_;
+  std::uint64_t remaining_;
+};
 }  // namespace
 
 void save_params(const std::string& path, const std::vector<Param*>& params) {
@@ -54,29 +86,41 @@ void save_params(const std::string& path, const std::vector<Param*>& params) {
 }
 
 void load_params(const std::string& path, const std::vector<Param*>& params) {
-  std::ifstream in(path, std::ios::binary);
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
   if (!in) throw std::runtime_error("load_params: cannot open " + path);
-  if (read_u32(in) != kMagic) throw std::runtime_error("load_params: bad magic");
-  if (read_u32(in) != kVersion) throw std::runtime_error("load_params: bad version");
-  const std::uint32_t count = read_u32(in);
+  const auto end_pos = in.tellg();
+  if (end_pos < 0) throw std::runtime_error("load_params: cannot stat " + path);
+  in.seekg(0);
+  BoundedReader reader(in, static_cast<std::uint64_t>(end_pos));
+
+  if (reader.read_u32("magic") != kMagic)
+    throw std::runtime_error("load_params: bad magic");
+  if (reader.read_u32("version") != kVersion)
+    throw std::runtime_error("load_params: bad version");
+  const std::uint32_t count = reader.read_u32("parameter count");
   if (count != params.size()) {
     throw std::runtime_error("load_params: parameter count mismatch");
   }
   for (Param* p : params) {
-    const std::string name = read_string(in);
+    const std::string name = reader.read_string("parameter name");
     if (name != p->name) {
-      util::log_warn() << "load_params: name mismatch (" << name << " vs " << p->name
-                       << "), shapes control";
+      // Same shapes with different names means the checkpoint came from a
+      // different architecture; loading it anyway silently corrupts results.
+      throw std::runtime_error("load_params: parameter name mismatch (checkpoint has \"" +
+                               name + "\", model expects \"" + p->name + "\")");
     }
-    const std::uint32_t rank = read_u32(in);
+    const std::uint32_t rank = reader.read_u32("tensor rank");
+    if (rank > kMaxRank) {
+      throw std::runtime_error("load_params: corrupt or truncated checkpoint (tensor rank)");
+    }
     std::vector<int> shape(rank);
-    for (auto& d : shape) d = static_cast<int>(read_u32(in));
+    for (auto& d : shape) d = static_cast<int>(reader.read_u32("tensor dim"));
     if (shape != p->value.shape()) {
       throw std::runtime_error("load_params: shape mismatch for " + p->name);
     }
-    in.read(reinterpret_cast<char*>(p->value.data()),
-            static_cast<std::streamsize>(p->value.size() * sizeof(float)));
-    if (!in) throw std::runtime_error("load_params: truncated tensor data");
+    reader.read_bytes(p->value.data(),
+                      static_cast<std::uint64_t>(p->value.size()) * sizeof(float),
+                      "tensor data");
   }
 }
 

@@ -13,9 +13,9 @@ namespace m2ai::nn {
 void save_params(const std::string& path, const std::vector<Param*>& params);
 
 // Load values into the given parameters. The file must contain the same
-// number of tensors with matching shapes, in order. Names are advisory
-// (logged on mismatch but not fatal: two models built identically may label
-// layers differently).
+// number of tensors with matching names and shapes, in order; any mismatch
+// (or a corrupt/truncated file — every length field is bounded against the
+// file size before allocating) throws std::runtime_error.
 void load_params(const std::string& path, const std::vector<Param*>& params);
 
 }  // namespace m2ai::nn

@@ -128,6 +128,8 @@ std::string to_json() {
     out += ",\"grad_norm\":" + num(e.grad_norm);
     out += ",\"learning_rate\":" + num(e.learning_rate);
     out += ",\"seconds\":" + num(e.seconds);
+    out += ",\"replicas\":" + std::to_string(e.replicas);
+    out += ",\"replica_busy_seconds\":" + num(e.replica_busy_seconds);
     out += "}";
   }
   out += first ? "]}\n" : "\n  ]}\n";
@@ -178,6 +180,8 @@ std::string to_csv() {
     row("epoch", name, "grad_norm", num(e.grad_norm));
     row("epoch", name, "learning_rate", num(e.learning_rate));
     row("epoch", name, "seconds", num(e.seconds));
+    row("epoch", name, "replicas", std::to_string(e.replicas));
+    row("epoch", name, "replica_busy_seconds", num(e.replica_busy_seconds));
   }
   return out;
 }

@@ -19,6 +19,11 @@ struct EpochRecord {
   double grad_norm = 0.0;  // mean pre-clip global gradient norm
   double learning_rate = 0.0;
   double seconds = 0.0;  // wall-clock for the epoch
+  // Data-parallel training: the widest replica fan-out any batch used, and
+  // the summed per-replica busy wall-clock (busy/(replicas*seconds) is the
+  // epoch's parallel efficiency).
+  int replicas = 1;
+  double replica_busy_seconds = 0.0;
 };
 
 class TrainingTelemetry {

@@ -1,5 +1,6 @@
 #include "par/parallel_for.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <condition_variable>
 #include <exception>
@@ -123,6 +124,26 @@ void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn) {
   done_cv.wait(lock, [&] { return remaining == 0; });
 
   if (first_error) std::rethrow_exception(first_error);
+}
+
+int chunk_workers(std::size_t n) {
+  if (n == 0) return 0;
+  if (tl_in_region) return 1;
+  return static_cast<int>(
+      std::min<std::size_t>(static_cast<std::size_t>(num_threads()), n));
+}
+
+void parallel_chunks(std::size_t n, int workers,
+                     const std::function<void(int, std::size_t, std::size_t)>& body) {
+  if (n == 0) return;
+  const std::size_t w_count = static_cast<std::size_t>(
+      std::min<std::size_t>(static_cast<std::size_t>(std::max(workers, 1)), n));
+  const std::size_t chunk = (n + w_count - 1) / w_count;
+  parallel_for(w_count, [&](std::size_t w) {
+    const std::size_t begin = w * chunk;
+    const std::size_t end = std::min(n, begin + chunk);
+    if (begin < end) body(static_cast<int>(w), begin, end);
+  });
 }
 
 }  // namespace m2ai::par

@@ -51,6 +51,31 @@ std::vector<T> parallel_map(std::size_t n, Fn&& fn) {
   return out;
 }
 
+// Number of chunk workers parallel_chunks would use for n items: 1 when the
+// configured thread count is 1 or the caller is already inside a parallel
+// region (nested fan-outs run serially inline), else min(num_threads(), n).
+// Callers that need per-worker state (network replicas, scratch buffers)
+// size it with this before fanning out.
+int chunk_workers(std::size_t n);
+
+// Splits [0, n) into `workers` contiguous chunks and runs
+// body(worker, begin, end) once per non-empty chunk, in parallel. The
+// worker -> [begin, end) mapping is a pure function of (n, workers), never
+// of scheduling, so per-worker state is safe and chunk results that are
+// pure functions of their indices stay thread-count-invariant.
+void parallel_chunks(std::size_t n, int workers,
+                     const std::function<void(int, std::size_t, std::size_t)>& body);
+
+// The reduction spine of deterministic data parallelism: folds per-index
+// partial results into the caller's accumulator strictly in index order via
+// fold(i, partials[i]). Partials may have been produced in any scheduling
+// order; combining them in fixed index order is what keeps float reductions
+// (gradient sums, merged statistics) bitwise-identical at any thread count.
+template <typename T, typename Fold>
+void reduce_in_order(std::vector<T>& partials, Fold&& fold) {
+  for (std::size_t i = 0; i < partials.size(); ++i) fold(i, partials[i]);
+}
+
 // parallel_map with per-index randomness: forks one Rng per index from
 // `base` in index order (advancing `base` exactly n forks), then runs
 // fn(i, rng_i). The fork order is fixed regardless of thread count, so the

@@ -115,6 +115,37 @@ TEST(Lstm, ForgetBiasStartsAtOne) {
   }
 }
 
+TEST(Lstm, TrainForwardClearsStaleCacheFromAbandonedStep) {
+  // Regression: an abandoned train_step (e.g. an exception between forward
+  // and backward) used to leave its StepCaches behind, so the next backward
+  // paired gradients with the wrong timesteps (or threw on the length
+  // mismatch). A training-mode forward must start from a clean cache.
+  util::Rng rng(11);
+  Lstm lstm(3, 4, rng);
+  util::Rng ref_rng(11);
+  Lstm ref(3, 4, ref_rng);
+  util::Rng data_rng(12);
+  const auto inputs = random_sequence(5, 3, data_rng);
+
+  // Reference gradients from a clean forward/backward pair.
+  const auto ref_outputs = ref.forward(inputs, true);
+  ref.backward(ref_outputs);
+
+  lstm.forward(inputs, true);  // abandoned: no backward consumes this cache
+  const auto outputs = lstm.forward(inputs, true);
+  const auto grad_inputs = lstm.backward(outputs);  // must not mispair or throw
+  ASSERT_EQ(grad_inputs.size(), 5u);
+
+  const auto lhs = lstm.params();
+  const auto rhs = ref.params();
+  for (std::size_t p = 0; p < lhs.size(); ++p) {
+    ASSERT_EQ(lhs[p]->grad.size(), rhs[p]->grad.size());
+    for (std::size_t i = 0; i < lhs[p]->grad.size(); ++i) {
+      EXPECT_FLOAT_EQ(lhs[p]->grad[i], rhs[p]->grad[i]) << "param " << p << " idx " << i;
+    }
+  }
+}
+
 TEST(Lstm, DeterministicForSeed) {
   util::Rng rng_a(9), rng_b(9);
   Lstm a(3, 4, rng_a), b(3, 4, rng_b);

@@ -10,6 +10,7 @@
 #include <atomic>
 #include <cmath>
 #include <cstdint>
+#include <mutex>
 #include <stdexcept>
 #include <vector>
 
@@ -128,6 +129,61 @@ TEST(ParallelMap, MatchesSerialMap) {
   for (std::size_t i = 0; i < serial.size(); ++i) {
     EXPECT_EQ(parallel[i], serial[i]);  // bitwise, not approximately
   }
+}
+
+TEST(ParallelChunks, CoversEveryIndexExactlyOnceWithUnevenChunks) {
+  ScopedThreads t(4);
+  std::vector<std::atomic<int>> hits(103);  // 103 % 4 != 0: last chunk is short
+  const int workers = par::chunk_workers(hits.size());
+  EXPECT_EQ(workers, 4);
+  par::parallel_chunks(hits.size(), workers,
+                       [&](int w, std::size_t begin, std::size_t end) {
+                         EXPECT_GE(w, 0);
+                         EXPECT_LT(w, workers);
+                         EXPECT_LT(begin, end);
+                         for (std::size_t i = begin; i < end; ++i) hits[i].fetch_add(1);
+                       });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelChunks, WorkerCountClampedToItems) {
+  ScopedThreads t(8);
+  EXPECT_EQ(par::chunk_workers(3), 3);
+  EXPECT_EQ(par::chunk_workers(0), 0);
+  std::vector<int> seen_workers;
+  std::mutex mu;
+  par::parallel_chunks(3, par::chunk_workers(3),
+                       [&](int w, std::size_t, std::size_t) {
+                         std::lock_guard<std::mutex> lock(mu);
+                         seen_workers.push_back(w);
+                       });
+  EXPECT_EQ(seen_workers.size(), 3u);
+}
+
+TEST(ParallelChunks, NestedRegionFallsBackToSingleWorker) {
+  ScopedThreads t(4);
+  par::parallel_for(2, [&](std::size_t) {
+    EXPECT_EQ(par::chunk_workers(16), 1);  // nested: serial inline
+  });
+  EXPECT_EQ(par::chunk_workers(16), 4);
+}
+
+TEST(ReduceInOrder, FoldsStrictlyInIndexOrder) {
+  ScopedThreads t(4);
+  // Partials computed in any scheduling order; the fold must still see
+  // index order — the float sum below is order-sensitive by construction.
+  auto partials = par::parallel_map<double>(64, [](std::size_t i) {
+    return (i % 2 == 0 ? 1.0 : -1.0) * std::pow(1.1, static_cast<double>(i % 13));
+  });
+  double folded = 0.0;
+  std::size_t expect_next = 0;
+  par::reduce_in_order(partials, [&](std::size_t i, double v) {
+    EXPECT_EQ(i, expect_next++);
+    folded += v;
+  });
+  double serial = 0.0;
+  for (std::size_t i = 0; i < partials.size(); ++i) serial += partials[i];
+  EXPECT_EQ(folded, serial);  // bitwise: same order, same rounding
 }
 
 TEST(ParallelMapSeeded, ForkOrderIndependentOfThreadCount) {

@@ -1,14 +1,18 @@
 // Trainer-level regressions: batch-size-invariant gradient scaling (the
 // accumulated batch gradient must be divided by the number of samples that
-// actually contributed before clip+step) and the LR-schedule breakpoint
-// clamp (epochs=1 must train its single epoch at the full learning rate).
+// actually contributed before clip+step), the LR-schedule breakpoint clamp
+// (epochs=1 must train its single epoch at the full learning rate), and the
+// data-parallel determinism guarantee (checkpoints and telemetry identical
+// at any thread count, including random-crop and dropout paths).
 #include "core/trainer.hpp"
 
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstring>
 
 #include "obs/telemetry.hpp"
+#include "par/parallel_for.hpp"
 #include "util/rng.hpp"
 
 namespace m2ai::core {
@@ -174,6 +178,125 @@ TEST(Trainer, LargerBudgetBreakpointsUnchanged) {
   EXPECT_DOUBLE_EQ(epochs[3].learning_rate, config.learning_rate * 0.3);
   EXPECT_DOUBLE_EQ(epochs[4].learning_rate, config.learning_rate * 0.09);
 
+  obs::training().clear();
+  obs::set_enabled(was_enabled);
+}
+
+// ---------------------------------------------------------------------------
+// Data-parallel determinism: the replica-sharded trainer must produce the
+// SAME bytes as the serial path at any thread count.
+
+// RAII thread-count override so a failing test cannot leak its setting.
+class ScopedThreads {
+ public:
+  explicit ScopedThreads(int n) : saved_(par::num_threads()) {
+    par::set_num_threads(n);
+  }
+  ~ScopedThreads() { par::set_num_threads(saved_); }
+
+ private:
+  int saved_;
+};
+
+Sample make_sample_frames(int label, int t_len, std::uint64_t seed) {
+  util::Rng rng(seed);
+  Sample sample;
+  sample.label = label;
+  for (int t = 0; t < t_len; ++t) {
+    SpectrumFrame f;
+    f.has_pseudo = true;
+    f.has_aux = true;
+    f.pseudo = nn::Tensor({kTags, 180});
+    f.pseudo.randomize_uniform(rng, 0.0f, 1.0f);
+    f.aux = nn::Tensor({kTags, kAntennas});
+    f.aux.randomize_uniform(rng, 0.0f, 1.0f);
+    sample.frames.push_back(std::move(f));
+  }
+  return sample;
+}
+
+// Mixed-length set so the random-crop branch fires for some samples (8
+// frames > crop) and not others (4 frames), exercising the crop RNG's
+// draw-order invariance.
+std::vector<Sample> mixed_training_set() {
+  std::vector<Sample> train;
+  for (int i = 0; i < 10; ++i) {
+    train.push_back(make_sample_frames(i % kClasses, i % 3 == 0 ? 4 : 8,
+                                       1000 + static_cast<std::uint64_t>(i)));
+  }
+  return train;
+}
+
+std::vector<unsigned char> param_bytes(M2AINetwork& network) {
+  std::vector<unsigned char> bytes;
+  for (const nn::Param* p : network.params()) {
+    const auto* raw = reinterpret_cast<const unsigned char*>(p->value.data());
+    bytes.insert(bytes.end(), raw, raw + p->value.size() * sizeof(float));
+  }
+  return bytes;
+}
+
+// One full fit() at the given thread count; dropout > 0 and crop_frames > 0
+// so both per-sample RNG streams are exercised. Returns the checkpoint
+// bytes and the telemetry records.
+std::pair<std::vector<unsigned char>, std::vector<obs::EpochRecord>> train_at(
+    int threads) {
+  ScopedThreads t(threads);
+  obs::training().clear();
+  ModelConfig model = small_model();
+  model.dropout = 0.25;  // stochastic path must also be thread-count-invariant
+  M2AINetwork net(model, FeatureMode::kM2AI, kTags, kAntennas, kClasses);
+  TrainConfig config = plain_train(/*batch_size=*/4, /*epochs=*/3);
+  config.crop_frames = 6;
+  config.lr_schedule = true;
+  Trainer trainer(net, config);
+  trainer.fit(mixed_training_set());
+  return {param_bytes(net), obs::training().snapshot()};
+}
+
+TEST(TrainerParallel, CheckpointBitwiseIdenticalAcrossThreadCounts) {
+  const bool was_enabled = obs::enabled();
+  obs::set_enabled(true);
+  const auto serial = train_at(1);
+  const auto parallel = train_at(4);
+  ASSERT_EQ(serial.first.size(), parallel.first.size());
+  EXPECT_EQ(0, std::memcmp(serial.first.data(), parallel.first.data(),
+                           serial.first.size()))
+      << "trained checkpoints differ between --threads 1 and --threads 4";
+  obs::training().clear();
+  obs::set_enabled(was_enabled);
+}
+
+TEST(TrainerParallel, EpochTelemetryIdenticalAcrossThreadCounts) {
+  const bool was_enabled = obs::enabled();
+  obs::set_enabled(true);
+  const auto serial = train_at(1);
+  const auto parallel = train_at(4);
+  ASSERT_EQ(serial.second.size(), parallel.second.size());
+  for (std::size_t e = 0; e < serial.second.size(); ++e) {
+    const obs::EpochRecord& a = serial.second[e];
+    const obs::EpochRecord& b = parallel.second[e];
+    EXPECT_EQ(a.epoch, b.epoch);
+    EXPECT_EQ(a.loss, b.loss) << "epoch " << e;  // bitwise, not approximately
+    EXPECT_EQ(a.train_accuracy, b.train_accuracy) << "epoch " << e;
+    EXPECT_EQ(a.grad_norm, b.grad_norm) << "epoch " << e;
+    EXPECT_EQ(a.learning_rate, b.learning_rate) << "epoch " << e;
+  }
+  // The parallelism fields are the one legitimate difference: the 4-thread
+  // run must report the wider replica fan-out (batch_size 4 -> 4 replicas).
+  EXPECT_EQ(serial.second.front().replicas, 1);
+  EXPECT_EQ(parallel.second.front().replicas, 4);
+  obs::training().clear();
+  obs::set_enabled(was_enabled);
+}
+
+TEST(TrainerParallel, ReplicaBusySecondsRecorded) {
+  const bool was_enabled = obs::enabled();
+  obs::set_enabled(true);
+  const auto run = train_at(2);
+  for (const obs::EpochRecord& e : run.second) {
+    EXPECT_GT(e.replica_busy_seconds, 0.0);
+  }
   obs::training().clear();
   obs::set_enabled(was_enabled);
 }

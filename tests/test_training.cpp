@@ -2,7 +2,10 @@
 // be able to fit a nonlinear synthetic task, and checkpoints must round-trip.
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <cstdio>
+#include <fstream>
+#include <vector>
 
 #include "nn/activations.hpp"
 #include "nn/dense.hpp"
@@ -140,6 +143,91 @@ TEST(Serialize, CountMismatchRejected) {
   Sequential other;
   other.emplace<Dense>(2, 16, rng);
   EXPECT_THROW(load_params(path, other.params()), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Hardening: checkpoints from a different architecture and corrupt/truncated
+// files must fail cleanly (no warn-and-continue, no giant allocations from
+// garbage length fields).
+
+void write_raw_u32(std::ofstream& out, std::uint32_t v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+TEST(Serialize, NameMismatchRejected) {
+  // Same shape, different name: a checkpoint from a different architecture
+  // whose shapes coincidentally match must NOT load.
+  Param saved("encoder.weight", {2, 2});
+  saved.value.fill(1.5f);
+  const std::string path = testing::TempDir() + "m2ai_params_name.bin";
+  save_params(path, {&saved});
+
+  Param loaded("decoder.weight", {2, 2});
+  EXPECT_THROW(load_params(path, std::vector<Param*>{&loaded}), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(Serialize, HugeStringLengthRejectedBeforeAllocating) {
+  // A corrupt name length of ~4 GB must be rejected against the file size,
+  // not allocated.
+  const std::string path = testing::TempDir() + "m2ai_params_hugestr.bin";
+  {
+    std::ofstream out(path, std::ios::binary);
+    write_raw_u32(out, 0x4d324149);  // magic "M2AI"
+    write_raw_u32(out, 1);           // version
+    write_raw_u32(out, 1);           // count
+    write_raw_u32(out, 0xfffffff0u); // absurd name length
+  }
+  Param p("dense.weight", {2, 2});
+  EXPECT_THROW(load_params(path, std::vector<Param*>{&p}), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(Serialize, HugeRankRejected) {
+  const std::string path = testing::TempDir() + "m2ai_params_hugerank.bin";
+  {
+    std::ofstream out(path, std::ios::binary);
+    write_raw_u32(out, 0x4d324149);
+    write_raw_u32(out, 1);
+    write_raw_u32(out, 1);
+    const std::string name = "dense.weight";
+    write_raw_u32(out, static_cast<std::uint32_t>(name.size()));
+    out.write(name.data(), static_cast<std::streamsize>(name.size()));
+    write_raw_u32(out, 0x40000000u);  // corrupt rank
+  }
+  Param p("dense.weight", {2, 2});
+  EXPECT_THROW(load_params(path, std::vector<Param*>{&p}), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(Serialize, TruncatedTensorDataRejected) {
+  Sequential net = build_net(13);
+  const std::string path = testing::TempDir() + "m2ai_params_trunc.bin";
+  save_params(path, net.params());
+  // Chop off the tail so the last tensor's data can't be satisfied.
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  const auto size = static_cast<std::size_t>(in.tellg());
+  in.seekg(0);
+  std::vector<char> bytes(size - 8);
+  in.read(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  in.close();
+  std::ofstream(path, std::ios::binary | std::ios::trunc)
+      .write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+
+  Sequential other = build_net(14);
+  EXPECT_THROW(load_params(path, other.params()), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(Serialize, TruncatedHeaderRejected) {
+  const std::string path = testing::TempDir() + "m2ai_params_hdr.bin";
+  {
+    std::ofstream out(path, std::ios::binary);
+    write_raw_u32(out, 0x4d324149);  // magic only, nothing else
+  }
+  Sequential net = build_net(15);
+  EXPECT_THROW(load_params(path, net.params()), std::runtime_error);
   std::remove(path.c_str());
 }
 

@@ -40,8 +40,9 @@ int usage() {
                "  train    [--samples N] [--epochs E] [--persons P] [--tags T]\n"
                "           [--antennas A] [--seed S] [--model FILE] [--verbose]\n"
                "  eval     --model FILE [--samples N] [--seed S]\n"
-               "all commands accept --threads N (worker threads; default: all\n"
-               "hardware threads; results are identical at any N),\n"
+               "all commands accept --threads N (worker threads for dataset\n"
+               "generation, training, and evaluation; default: all hardware\n"
+               "threads; results and checkpoints are identical at any N),\n"
                "--metrics-out FILE (JSON, or CSV if FILE ends in .csv) and\n"
                "--trace (span tree on stderr at exit)\n");
   return 2;
