@@ -1,43 +1,13 @@
-// Ablation (DESIGN.md §5) — coherent-multipath rank restoration in the
-// covariance stage: forward-backward averaging and spatial smoothing are
-// the two standard fixes for fully-coherent rays. This bench measures how
-// much each contributes to end-to-end identification accuracy.
+// Covariance ablation — standalone entry point. The experiment definition
+// lives in bench/experiments/ablation_covariance.cpp.
 #include "bench_common.hpp"
+#include "experiments/experiments.hpp"
 
 using namespace m2ai;
 
 int main(int argc, char** argv) {
   bench::init_observability(argc, argv);
-  bench::print_header("Ablation", "Covariance conditioning: FB averaging & smoothing");
-
-  struct Variant {
-    const char* name;
-    bool forward_backward;
-    int smoothing;
-  };
-  const Variant variants[] = {
-      {"plain covariance", false, 0},
-      {"forward-backward (default)", true, 0},
-      {"FB + spatial smoothing (3)", true, 3},
-  };
-
-  util::Table table({"covariance", "accuracy"});
-  util::CsvWriter csv(bench::results_dir() + "/ablation_covariance.csv",
-                      {"covariance", "accuracy"});
-
-  for (const Variant& v : variants) {
-    core::ExperimentConfig config = bench::sweep_config();
-    config.pipeline.covariance.forward_backward = v.forward_backward;
-    config.pipeline.covariance.smoothing_subarray = v.smoothing;
-    const core::DataSplit split = core::generate_dataset(config);
-    const core::M2AIResult result = bench::run_m2ai(config, split);
-    table.add_row({v.name, util::Table::pct(result.accuracy)});
-    csv.add_row({v.name, util::Table::fmt(result.accuracy, 4)});
-  }
-
-  table.print();
-  std::printf("\n(design note: smoothing trades aperture for decorrelation; with a\n"
-              " 4-element array the default keeps the full aperture and relies on\n"
-              " motion-induced decorrelation plus FB averaging)\n");
-  return 0;
+  exp::Registry registry;
+  bench::register_all_experiments(registry);
+  return bench::run_standalone(registry, "ablation_covariance");
 }

@@ -1,75 +1,15 @@
-// Fig. 9 — Overall activity identification performance: M2AI vs the ten
-// conventional classifiers. Paper result: M2AI 97%, runner-up (linear SVM)
-// ~70%, i.e. a ~27-point gain.
-#include <memory>
-
+// Fig. 9 — standalone entry point. The experiment definition lives in
+// bench/experiments/fig09_classifiers.cpp; this binary runs it through the
+// same sharded runner as the m2ai_bench suite driver, so the CSV is
+// byte-identical either way.
 #include "bench_common.hpp"
-#include "ml/adaboost.hpp"
-#include "ml/decision_tree.hpp"
-#include "ml/gaussian_process.hpp"
-#include "ml/knn.hpp"
-#include "ml/mlp.hpp"
-#include "ml/naive_bayes.hpp"
-#include "ml/qda.hpp"
-#include "ml/random_forest.hpp"
-#include "ml/svm_linear.hpp"
-#include "ml/svm_rbf.hpp"
-#include "util/log.hpp"
+#include "experiments/experiments.hpp"
 
 using namespace m2ai;
 
 int main(int argc, char** argv) {
   bench::init_observability(argc, argv);
-  bench::print_header("Fig. 9", "M2AI vs conventional classifiers (12 activities)");
-
-  const core::ExperimentConfig config = bench::headline_config();
-  const core::DataSplit split = core::generate_dataset(config);
-
-  util::Table table({"classifier", "accuracy"});
-  util::CsvWriter csv(bench::results_dir() + "/fig09_classifiers.csv",
-                      {"classifier", "accuracy"});
-
-  const core::M2AIResult m2ai = bench::run_m2ai(config, split);
-  table.add_row({"M2AI (CNN+LSTM)", util::Table::pct(m2ai.accuracy)});
-  csv.add_row({"M2AI", util::Table::fmt(m2ai.accuracy, 4)});
-
-  std::vector<std::unique_ptr<ml::Classifier>> baselines;
-  baselines.push_back(std::make_unique<ml::KnnClassifier>(5));
-  baselines.push_back(std::make_unique<ml::LinearSvm>());
-  baselines.push_back(std::make_unique<ml::RbfSvm>());
-  baselines.push_back(std::make_unique<ml::GaussianProcessClassifier>());
-  baselines.push_back(std::make_unique<ml::DecisionTree>());
-  baselines.push_back(std::make_unique<ml::RandomForest>());
-  baselines.push_back(std::make_unique<ml::MlpClassifier>());
-  baselines.push_back(std::make_unique<ml::AdaBoost>());
-  baselines.push_back(std::make_unique<ml::GaussianNaiveBayes>());
-  baselines.push_back(std::make_unique<ml::Qda>());
-
-  double best_baseline = 0.0;
-  std::string best_name;
-  for (auto& classifier : baselines) {
-    util::log_info() << "fitting baseline: " << classifier->name();
-    const double acc = core::baseline_accuracy(*classifier, split, config.seed);
-    table.add_row({classifier->name(), util::Table::pct(acc)});
-    csv.add_row({classifier->name(), util::Table::fmt(acc, 4)});
-    if (acc > best_baseline) {
-      best_baseline = acc;
-      best_name = classifier->name();
-    }
-  }
-
-  // The sequence-aware prior art (Secs. I/VIII): per-class Gaussian HMMs.
-  util::log_info() << "fitting baseline: HMM (Gaussian)";
-  const double hmm_acc = core::hmm_baseline_accuracy(split);
-  table.add_row({"HMM (Gaussian)", util::Table::pct(hmm_acc)});
-  csv.add_row({"HMM (Gaussian)", util::Table::fmt(hmm_acc, 4)});
-  if (hmm_acc > best_baseline) {
-    best_baseline = hmm_acc;
-    best_name = "HMM (Gaussian)";
-  }
-
-  table.print();
-  std::printf("\nM2AI gain over runner-up (%s): %+.1f points (paper: +27 at 97%% vs 70%%)\n",
-              best_name.c_str(), (m2ai.accuracy - best_baseline) * 100.0);
-  return 0;
+  exp::Registry registry;
+  bench::register_all_experiments(registry);
+  return bench::run_standalone(registry, "fig09_classifiers");
 }

@@ -1,29 +1,13 @@
-// Fig. 10 — impact of phase calibration. Paper result: 97% with the Eq. 1
-// calibration vs 52% without (raw reader phases are scrambled by the
-// per-channel hopping offsets).
+// Fig. 10 — standalone entry point. The experiment definition lives in
+// bench/experiments/fig10_calibration.cpp.
 #include "bench_common.hpp"
+#include "experiments/experiments.hpp"
 
 using namespace m2ai;
 
 int main(int argc, char** argv) {
   bench::init_observability(argc, argv);
-  bench::print_header("Fig. 10", "Impact of phase calibration");
-
-  util::Table table({"variant", "accuracy"});
-  util::CsvWriter csv(bench::results_dir() + "/fig10_calibration.csv",
-                      {"variant", "accuracy"});
-
-  for (const bool calibration : {true, false}) {
-    core::ExperimentConfig config = bench::sweep_config();
-    config.pipeline.phase_calibration = calibration;
-    const core::DataSplit split = core::generate_dataset(config);
-    const core::M2AIResult result = bench::run_m2ai(config, split);
-    const std::string name = calibration ? "with calibration" : "no calibration";
-    table.add_row({name, util::Table::pct(result.accuracy)});
-    csv.add_row({name, util::Table::fmt(result.accuracy, 4)});
-  }
-
-  table.print();
-  std::printf("\n(paper: 97%% with calibration vs 52%% without)\n");
-  return 0;
+  exp::Registry registry;
+  bench::register_all_experiments(registry);
+  return bench::run_standalone(registry, "fig10_calibration");
 }

@@ -1,28 +1,13 @@
-// Fig. 11 — impact of the number of simultaneously acting persons.
-// Paper result: accuracy degrades gracefully, staying near 80% with three
-// people in the scene.
+// Fig. 11 — standalone entry point. The experiment definition lives in
+// bench/experiments/fig11_objects.cpp.
 #include "bench_common.hpp"
+#include "experiments/experiments.hpp"
 
 using namespace m2ai;
 
 int main(int argc, char** argv) {
   bench::init_observability(argc, argv);
-  bench::print_header("Fig. 11", "Impact of the number of objects (persons)");
-
-  util::Table table({"persons", "accuracy"});
-  util::CsvWriter csv(bench::results_dir() + "/fig11_objects.csv",
-                      {"persons", "accuracy"});
-
-  for (const int persons : {1, 2, 3}) {
-    core::ExperimentConfig config = bench::sweep_config();
-    config.pipeline.num_persons = persons;
-    const core::DataSplit split = core::generate_dataset(config);
-    const core::M2AIResult result = bench::run_m2ai(config, split);
-    table.add_row({std::to_string(persons), util::Table::pct(result.accuracy)});
-    csv.add_row({std::to_string(persons), util::Table::fmt(result.accuracy, 4)});
-  }
-
-  table.print();
-  std::printf("\n(paper: high accuracy at 1-2 persons, ~80%% at 3)\n");
-  return 0;
+  exp::Registry registry;
+  bench::register_all_experiments(registry);
+  return bench::run_standalone(registry, "fig11_objects");
 }

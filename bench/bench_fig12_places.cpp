@@ -1,29 +1,13 @@
-// Fig. 12 — impact of the environment: laboratory (high multipath, cluttered
-// 13.75 x 10.50 m) vs hall (low multipath, empty 8.75 x 7.50 m).
-// Paper result: hall reaches ~95% and the laboratory is close to it.
+// Fig. 12 — standalone entry point. The experiment definition lives in
+// bench/experiments/fig12_places.cpp.
 #include "bench_common.hpp"
+#include "experiments/experiments.hpp"
 
 using namespace m2ai;
 
 int main(int argc, char** argv) {
   bench::init_observability(argc, argv);
-  bench::print_header("Fig. 12", "Impact of the environment (lab vs hall)");
-
-  util::Table table({"environment", "accuracy"});
-  util::CsvWriter csv(bench::results_dir() + "/fig12_places.csv",
-                      {"environment", "accuracy"});
-
-  for (const auto kind :
-       {core::EnvironmentKind::kLaboratory, core::EnvironmentKind::kHall}) {
-    core::ExperimentConfig config = bench::sweep_config();
-    config.pipeline.environment = kind;
-    const core::DataSplit split = core::generate_dataset(config);
-    const core::M2AIResult result = bench::run_m2ai(config, split);
-    table.add_row({core::environment_name(kind), util::Table::pct(result.accuracy)});
-    csv.add_row({core::environment_name(kind), util::Table::fmt(result.accuracy, 4)});
-  }
-
-  table.print();
-  std::printf("\n(paper: hall ~95%%, laboratory close behind)\n");
-  return 0;
+  exp::Registry registry;
+  bench::register_all_experiments(registry);
+  return bench::run_standalone(registry, "fig12_places");
 }

@@ -1,32 +1,13 @@
-// Fig. 13 — impact of the person-to-array distance, 1 m to 4 m.
-// Paper result: no clear correlation with distance.
+// Fig. 13 — standalone entry point. The experiment definition lives in
+// bench/experiments/fig13_distance.cpp.
 #include "bench_common.hpp"
-#include "util/stats.hpp"
+#include "experiments/experiments.hpp"
 
 using namespace m2ai;
 
 int main(int argc, char** argv) {
   bench::init_observability(argc, argv);
-  bench::print_header("Fig. 13", "Impact of distance to the antenna array");
-
-  util::Table table({"distance (m)", "accuracy"});
-  util::CsvWriter csv(bench::results_dir() + "/fig13_distance.csv",
-                      {"distance_m", "accuracy"});
-
-  std::vector<double> xs, ys;
-  for (const double distance : {1.0, 2.0, 3.0, 4.0}) {
-    core::ExperimentConfig config = bench::sweep_config();
-    config.pipeline.distance_m = distance;
-    const core::DataSplit split = core::generate_dataset(config);
-    const core::M2AIResult result = bench::run_m2ai(config, split);
-    table.add_row({util::Table::fmt(distance, 0), util::Table::pct(result.accuracy)});
-    csv.add_row({util::Table::fmt(distance, 1), util::Table::fmt(result.accuracy, 4)});
-    xs.push_back(distance);
-    ys.push_back(result.accuracy);
-  }
-
-  table.print();
-  std::printf("\ncorrelation(accuracy, distance) = %.2f  (paper: no clear correlation)\n",
-              util::correlation(xs, ys));
-  return 0;
+  exp::Registry registry;
+  bench::register_all_experiments(registry);
+  return bench::run_standalone(registry, "fig13_distance");
 }

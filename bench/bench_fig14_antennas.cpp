@@ -1,28 +1,13 @@
-// Fig. 14 — impact of the number of reader antennas (the R420 has at most
-// four ports). Paper result: accuracy rises from 2 to 4 antennas as more
-// multipath angle information becomes resolvable.
+// Fig. 14 — standalone entry point. The experiment definition lives in
+// bench/experiments/fig14_antennas.cpp.
 #include "bench_common.hpp"
+#include "experiments/experiments.hpp"
 
 using namespace m2ai;
 
 int main(int argc, char** argv) {
   bench::init_observability(argc, argv);
-  bench::print_header("Fig. 14", "Impact of the number of antennas");
-
-  util::Table table({"antennas", "accuracy"});
-  util::CsvWriter csv(bench::results_dir() + "/fig14_antennas.csv",
-                      {"antennas", "accuracy"});
-
-  for (const int antennas : {2, 3, 4}) {
-    core::ExperimentConfig config = bench::sweep_config();
-    config.pipeline.num_antennas = antennas;
-    const core::DataSplit split = core::generate_dataset(config);
-    const core::M2AIResult result = bench::run_m2ai(config, split);
-    table.add_row({std::to_string(antennas), util::Table::pct(result.accuracy)});
-    csv.add_row({std::to_string(antennas), util::Table::fmt(result.accuracy, 4)});
-  }
-
-  table.print();
-  std::printf("\n(paper: monotone improvement from 2 to 4 antennas)\n");
-  return 0;
+  exp::Registry registry;
+  bench::register_all_experiments(registry);
+  return bench::run_standalone(registry, "fig14_antennas");
 }

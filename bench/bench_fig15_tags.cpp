@@ -1,28 +1,13 @@
-// Fig. 15 — impact of the number of tags per person (hand / +arm /
-// +shoulder). Paper result: more tags -> more path diversity -> higher
-// accuracy; tags are the cheapest way to buy accuracy.
+// Fig. 15 — standalone entry point. The experiment definition lives in
+// bench/experiments/fig15_tags.cpp.
 #include "bench_common.hpp"
+#include "experiments/experiments.hpp"
 
 using namespace m2ai;
 
 int main(int argc, char** argv) {
   bench::init_observability(argc, argv);
-  bench::print_header("Fig. 15", "Impact of the number of tags per person");
-
-  util::Table table({"tags/person", "accuracy"});
-  util::CsvWriter csv(bench::results_dir() + "/fig15_tags.csv",
-                      {"tags_per_person", "accuracy"});
-
-  for (const int tags : {1, 2, 3}) {
-    core::ExperimentConfig config = bench::sweep_config();
-    config.pipeline.tags_per_person = tags;
-    const core::DataSplit split = core::generate_dataset(config);
-    const core::M2AIResult result = bench::run_m2ai(config, split);
-    table.add_row({std::to_string(tags), util::Table::pct(result.accuracy)});
-    csv.add_row({std::to_string(tags), util::Table::fmt(result.accuracy, 4)});
-  }
-
-  table.print();
-  std::printf("\n(paper: monotone improvement from 1 to 3 tags per person)\n");
-  return 0;
+  exp::Registry registry;
+  bench::register_all_experiments(registry);
+  return bench::run_standalone(registry, "fig15_tags");
 }

@@ -1,32 +1,13 @@
-// Fig. 16 — preprocessing-input ablation: feed the same deep network with
-// MUSIC-based, FFT-based, Phase-based, RSSI-based, or the full M2AI
-// (pseudospectrum + periodogram) inputs. Paper result: M2AI's combined
-// preprocessing wins; RSSI-only is weakest.
+// Fig. 16 — standalone entry point. The experiment definition lives in
+// bench/experiments/fig16_inputs.cpp.
 #include "bench_common.hpp"
+#include "experiments/experiments.hpp"
 
 using namespace m2ai;
 
 int main(int argc, char** argv) {
   bench::init_observability(argc, argv);
-  bench::print_header("Fig. 16", "Impact of preprocessing inputs");
-
-  util::Table table({"input", "accuracy"});
-  util::CsvWriter csv(bench::results_dir() + "/fig16_inputs.csv",
-                      {"input", "accuracy"});
-
-  for (const auto mode :
-       {core::FeatureMode::kRssiOnly, core::FeatureMode::kPhaseOnly,
-        core::FeatureMode::kFftOnly, core::FeatureMode::kMusicOnly,
-        core::FeatureMode::kM2AI}) {
-    core::ExperimentConfig config = bench::sweep_config();
-    config.pipeline.feature_mode = mode;
-    const core::DataSplit split = core::generate_dataset(config);
-    const core::M2AIResult result = bench::run_m2ai(config, split);
-    table.add_row({core::feature_mode_name(mode), util::Table::pct(result.accuracy)});
-    csv.add_row({core::feature_mode_name(mode), util::Table::fmt(result.accuracy, 4)});
-  }
-
-  table.print();
-  std::printf("\n(paper ordering: RSSI < Phase < FFT < MUSIC < M2AI)\n");
-  return 0;
+  exp::Registry registry;
+  bench::register_all_experiments(registry);
+  return bench::run_standalone(registry, "fig16_inputs");
 }

@@ -1,41 +1,13 @@
-// Fig. 17 — network-architecture ablation on the same preprocessed inputs:
-// CNN-only, LSTM-only, and the integrated CNN+LSTM. Paper result: the
-// integrated design beats CNN-only by ~30 points and LSTM-only by ~25.
+// Fig. 17 — standalone entry point. The experiment definition lives in
+// bench/experiments/fig17_networks.cpp.
 #include "bench_common.hpp"
+#include "experiments/experiments.hpp"
 
 using namespace m2ai;
 
 int main(int argc, char** argv) {
   bench::init_observability(argc, argv);
-  bench::print_header("Fig. 17", "Impact of the learning network architecture");
-
-  util::Table table({"network", "accuracy"});
-  util::CsvWriter csv(bench::results_dir() + "/fig17_networks.csv",
-                      {"network", "accuracy"});
-
-  // Same dataset for all three architectures: this ablation is about the
-  // network, not the data.
-  const core::ExperimentConfig base = bench::sweep_config();
-  const core::DataSplit split = core::generate_dataset(base);
-
-  double cnn_lstm = 0.0, cnn_only = 0.0, lstm_only = 0.0;
-  for (const auto arch : {core::NetworkArch::kCnnOnly, core::NetworkArch::kLstmOnly,
-                          core::NetworkArch::kCnnLstm}) {
-    core::ExperimentConfig config = base;
-    config.model.arch = arch;
-    const core::M2AIResult result = bench::run_m2ai(config, split);
-    table.add_row({core::network_arch_name(arch), util::Table::pct(result.accuracy)});
-    csv.add_row({core::network_arch_name(arch), util::Table::fmt(result.accuracy, 4)});
-    switch (arch) {
-      case core::NetworkArch::kCnnLstm: cnn_lstm = result.accuracy; break;
-      case core::NetworkArch::kCnnOnly: cnn_only = result.accuracy; break;
-      case core::NetworkArch::kLstmOnly: lstm_only = result.accuracy; break;
-    }
-  }
-
-  table.print();
-  std::printf("\nCNN+LSTM gain: %+.1f points over CNN-only (paper: ~+30), "
-              "%+.1f over LSTM-only (paper: ~+25)\n",
-              (cnn_lstm - cnn_only) * 100.0, (cnn_lstm - lstm_only) * 100.0);
-  return 0;
+  exp::Registry registry;
+  bench::register_all_experiments(registry);
+  return bench::run_standalone(registry, "fig17_networks");
 }

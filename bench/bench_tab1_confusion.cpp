@@ -1,34 +1,13 @@
-// Table I — confusion matrix of M2AI over the 12 two-person activity
-// scenarios. Paper result: >= 93% per-class accuracy, 97% overall.
+// Table I — standalone entry point. The experiment definition lives in
+// bench/experiments/tab1_confusion.cpp.
 #include "bench_common.hpp"
-#include "sim/activities.hpp"
+#include "experiments/experiments.hpp"
 
 using namespace m2ai;
 
 int main(int argc, char** argv) {
   bench::init_observability(argc, argv);
-  bench::print_header("Table I", "Confusion matrix of activity identification");
-
-  const core::ExperimentConfig config = bench::headline_config();
-  const core::DataSplit split = core::generate_dataset(config);
-  const core::M2AIResult result = bench::run_m2ai(config, split);
-
-  std::vector<std::string> labels;
-  for (const auto& a : sim::activity_catalog()) labels.push_back(a.label);
-  std::printf("%s\n", result.confusion.to_string(labels).c_str());
-
-  util::CsvWriter csv(bench::results_dir() + "/tab1_confusion.csv",
-                      {"actual", "predicted", "rate"});
-  for (int a = 0; a < split.num_classes; ++a) {
-    for (int p = 0; p < split.num_classes; ++p) {
-      csv.add_row({labels[static_cast<std::size_t>(a)],
-                   labels[static_cast<std::size_t>(p)],
-                   util::Table::fmt(result.confusion.rate(a, p), 4)});
-    }
-  }
-
-  std::printf("overall accuracy: %.1f%%  (paper: 97%%)\n", result.accuracy * 100.0);
-  std::printf("minimum per-class accuracy: %.1f%%  (paper: >= 93%%)\n",
-              result.confusion.min_class_accuracy() * 100.0);
-  return 0;
+  exp::Registry registry;
+  bench::register_all_experiments(registry);
+  return bench::run_standalone(registry, "tab1_confusion");
 }

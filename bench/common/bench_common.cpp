@@ -13,7 +13,14 @@
 
 namespace m2ai::bench {
 
+namespace {
+double g_scale_override = 0.0;  // <= 0: use the environment
+}  // namespace
+
+void set_scale_override(double scale) { g_scale_override = scale; }
+
 double env_scale() {
+  if (g_scale_override > 0.0) return std::clamp(g_scale_override, 0.05, 4.0);
   const char* raw = std::getenv("M2AI_BENCH_SCALE");
   if (raw == nullptr) return 1.0;
   const double v = std::atof(raw);
@@ -120,6 +127,41 @@ std::string results_dir() {
   std::error_code ec;
   std::filesystem::create_directories(dir, ec);
   return dir;
+}
+
+void print_experiment_report(const exp::Experiment& experiment,
+                             const std::vector<exp::CellOutcome>& outcomes) {
+  util::Table table(experiment.columns);
+  exp::Rows merged;
+  for (const exp::CellOutcome& outcome : outcomes) {
+    if (outcome.experiment_id != experiment.id) continue;
+    for (const std::vector<std::string>& row : outcome.rows) {
+      table.add_row(row);
+      merged.push_back(row);
+    }
+  }
+  if (experiment.table_in_report) table.print();
+  if (experiment.summarize) experiment.summarize(merged);
+}
+
+int run_standalone(const exp::Registry& registry, const std::string& id) {
+  const exp::Experiment* experiment = registry.find(id);
+  if (experiment == nullptr) {
+    std::fprintf(stderr, "unknown experiment id '%s'\n", id.c_str());
+    return 1;
+  }
+  print_header(experiment->figure, experiment->title);
+  try {
+    exp::RunnerOptions options;
+    const exp::SuiteResult result = exp::run_cells(registry, {id}, options);
+    exp::write_experiment_csvs(registry, result.outcomes, results_dir());
+    print_experiment_report(*experiment, result.outcomes);
+    std::printf("\nCSV written to %s/%s.csv\n", results_dir().c_str(), id.c_str());
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "experiment '%s' failed: %s\n", id.c_str(), e.what());
+    return 1;
+  }
 }
 
 }  // namespace m2ai::bench

@@ -23,6 +23,8 @@
 #include <string>
 
 #include "core/experiment.hpp"
+#include "exp/experiment.hpp"
+#include "exp/runner.hpp"
 #include "util/csv.hpp"
 #include "util/table.hpp"
 
@@ -30,6 +32,11 @@ namespace m2ai::bench {
 
 // Scale factor from M2AI_BENCH_SCALE (default 1.0, clamped to [0.05, 4]).
 double env_scale();
+
+// Process-local override of the scale factor (the suite driver's
+// --smoke/--scale flags); takes precedence over the environment. Call
+// before building experiment configs — registration snapshots the scale.
+void set_scale_override(double scale);
 
 // Parses and strips --metrics-out/--trace/--threads from argv (argv is
 // compacted in place and re-null-terminated; the new argc is returned).
@@ -54,5 +61,16 @@ core::M2AIResult run_m2ai(const core::ExperimentConfig& config,
 
 // Directory for CSV artifacts (created on demand): "bench_results".
 std::string results_dir();
+
+// Prints the experiment's merged rows as an aligned table, then runs its
+// summarize hook (the per-figure paper-comparison lines).
+void print_experiment_report(const exp::Experiment& experiment,
+                             const std::vector<exp::CellOutcome>& outcomes);
+
+// Shared main body of the thin per-figure binaries: runs `id`'s cells
+// through the experiment runner (honoring --threads), writes
+// bench_results/<id>.csv, and prints the table + summary. Returns the
+// process exit code.
+int run_standalone(const exp::Registry& registry, const std::string& id);
 
 }  // namespace m2ai::bench

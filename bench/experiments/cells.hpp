@@ -1,0 +1,31 @@
+// Internal helpers shared by the experiment registrations.
+#pragma once
+
+#include <cstdlib>
+#include <string>
+#include <utility>
+
+#include "bench_common.hpp"
+
+namespace m2ai::bench {
+
+// One full train+evaluate run over the (cached) dataset for `config`; the
+// row is {name, accuracy to 4 decimals} — the historical sweep-CSV schema.
+inline exp::Cell m2ai_accuracy_cell(std::string name, core::ExperimentConfig config) {
+  exp::Cell cell;
+  cell.label = name;
+  cell.config = std::move(config);
+  cell.run = [name](exp::CellContext& ctx) {
+    const auto split = ctx.split();
+    const core::M2AIResult result = run_m2ai(ctx.config, *split);
+    return exp::Rows{{name, util::Table::fmt(result.accuracy, 4)}};
+  };
+  return cell;
+}
+
+// The accuracy column of a merged sweep row.
+inline double row_accuracy(const std::vector<std::string>& row) {
+  return std::atof(row.back().c_str());
+}
+
+}  // namespace m2ai::bench

@@ -1,0 +1,34 @@
+// Registrations for the full evaluation suite: Figs. 9-17, Table I, and
+// the covariance ablation, expressed as exp::Experiment cell lists.
+//
+// Each register_* function appends one experiment; register_all_experiments
+// installs the whole suite in the canonical order (the order the CSV merge
+// and shard split are defined over). The standalone bench binaries and the
+// m2ai_bench driver both register everything and then select, so cell
+// indices — and therefore CSV bytes — agree across entry points.
+//
+// Cell rows reproduce the historical per-figure CSV schemas exactly
+// (same columns, same Table::fmt precision), so refactoring the benches
+// onto the runner changed no committed artifact.
+#pragma once
+
+#include "exp/experiment.hpp"
+
+namespace m2ai::bench {
+
+void register_fig09_classifiers(exp::Registry& registry);
+void register_tab1_confusion(exp::Registry& registry);
+void register_fig10_calibration(exp::Registry& registry);
+void register_fig11_objects(exp::Registry& registry);
+void register_fig12_places(exp::Registry& registry);
+void register_fig13_distance(exp::Registry& registry);
+void register_fig14_antennas(exp::Registry& registry);
+void register_fig15_tags(exp::Registry& registry);
+void register_fig16_inputs(exp::Registry& registry);
+void register_fig17_networks(exp::Registry& registry);
+void register_ablation_covariance(exp::Registry& registry);
+
+// All of the above, in canonical suite order.
+void register_all_experiments(exp::Registry& registry);
+
+}  // namespace m2ai::bench

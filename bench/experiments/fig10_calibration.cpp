@@ -1,0 +1,31 @@
+// Fig. 10 — impact of phase calibration. Paper result: 97% with the Eq. 1
+// calibration vs 52% without (raw reader phases are scrambled by the
+// per-channel hopping offsets).
+#include <cstdio>
+
+#include "experiments/cells.hpp"
+#include "experiments/experiments.hpp"
+
+namespace m2ai::bench {
+
+void register_fig10_calibration(exp::Registry& registry) {
+  exp::Experiment e;
+  e.id = "fig10_calibration";
+  e.figure = "Fig. 10";
+  e.title = "Impact of phase calibration";
+  e.columns = {"variant", "accuracy"};
+
+  for (const bool calibration : {true, false}) {
+    core::ExperimentConfig config = sweep_config();
+    config.pipeline.phase_calibration = calibration;
+    e.cells.push_back(m2ai_accuracy_cell(
+        calibration ? "with calibration" : "no calibration", config));
+  }
+
+  e.summarize = [](const exp::Rows&) {
+    std::printf("\n(paper: 97%% with calibration vs 52%% without)\n");
+  };
+  registry.add(std::move(e));
+}
+
+}  // namespace m2ai::bench

@@ -1,0 +1,31 @@
+// Fig. 11 — impact of the number of simultaneously acting persons.
+// Paper result: accuracy degrades gracefully, staying near 80% with three
+// people in the scene.
+#include <cstdio>
+#include <string>
+
+#include "experiments/cells.hpp"
+#include "experiments/experiments.hpp"
+
+namespace m2ai::bench {
+
+void register_fig11_objects(exp::Registry& registry) {
+  exp::Experiment e;
+  e.id = "fig11_objects";
+  e.figure = "Fig. 11";
+  e.title = "Impact of the number of objects (persons)";
+  e.columns = {"persons", "accuracy"};
+
+  for (const int persons : {1, 2, 3}) {
+    core::ExperimentConfig config = sweep_config();
+    config.pipeline.num_persons = persons;
+    e.cells.push_back(m2ai_accuracy_cell(std::to_string(persons), config));
+  }
+
+  e.summarize = [](const exp::Rows&) {
+    std::printf("\n(paper: high accuracy at 1-2 persons, ~80%% at 3)\n");
+  };
+  registry.add(std::move(e));
+}
+
+}  // namespace m2ai::bench

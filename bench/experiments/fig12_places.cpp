@@ -1,0 +1,31 @@
+// Fig. 12 — impact of the environment: laboratory (high multipath, cluttered
+// 13.75 x 10.50 m) vs hall (low multipath, empty 8.75 x 7.50 m).
+// Paper result: hall reaches ~95% and the laboratory is close to it.
+#include <cstdio>
+
+#include "experiments/cells.hpp"
+#include "experiments/experiments.hpp"
+
+namespace m2ai::bench {
+
+void register_fig12_places(exp::Registry& registry) {
+  exp::Experiment e;
+  e.id = "fig12_places";
+  e.figure = "Fig. 12";
+  e.title = "Impact of the environment (lab vs hall)";
+  e.columns = {"environment", "accuracy"};
+
+  for (const auto kind :
+       {core::EnvironmentKind::kLaboratory, core::EnvironmentKind::kHall}) {
+    core::ExperimentConfig config = sweep_config();
+    config.pipeline.environment = kind;
+    e.cells.push_back(m2ai_accuracy_cell(core::environment_name(kind), config));
+  }
+
+  e.summarize = [](const exp::Rows&) {
+    std::printf("\n(paper: hall ~95%%, laboratory close behind)\n");
+  };
+  registry.add(std::move(e));
+}
+
+}  // namespace m2ai::bench

@@ -1,0 +1,39 @@
+// Fig. 13 — impact of the person-to-array distance, 1 m to 4 m.
+// Paper result: no clear correlation with distance.
+#include <cstdio>
+#include <vector>
+
+#include "experiments/cells.hpp"
+#include "experiments/experiments.hpp"
+#include "util/stats.hpp"
+
+namespace m2ai::bench {
+
+void register_fig13_distance(exp::Registry& registry) {
+  exp::Experiment e;
+  e.id = "fig13_distance";
+  e.figure = "Fig. 13";
+  e.title = "Impact of distance to the antenna array";
+  e.columns = {"distance_m", "accuracy"};
+
+  for (const double distance : {1.0, 2.0, 3.0, 4.0}) {
+    core::ExperimentConfig config = sweep_config();
+    config.pipeline.distance_m = distance;
+    e.cells.push_back(
+        m2ai_accuracy_cell(util::Table::fmt(distance, 1), config));
+  }
+
+  e.summarize = [](const exp::Rows& rows) {
+    std::vector<double> xs, ys;
+    for (const auto& row : rows) {
+      xs.push_back(std::atof(row.front().c_str()));
+      ys.push_back(row_accuracy(row));
+    }
+    std::printf(
+        "\ncorrelation(accuracy, distance) = %.2f  (paper: no clear correlation)\n",
+        util::correlation(xs, ys));
+  };
+  registry.add(std::move(e));
+}
+
+}  // namespace m2ai::bench

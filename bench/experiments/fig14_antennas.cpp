@@ -1,0 +1,31 @@
+// Fig. 14 — impact of the number of reader antennas (the R420 has at most
+// four ports). Paper result: accuracy rises from 2 to 4 antennas as more
+// multipath angle information becomes resolvable.
+#include <cstdio>
+#include <string>
+
+#include "experiments/cells.hpp"
+#include "experiments/experiments.hpp"
+
+namespace m2ai::bench {
+
+void register_fig14_antennas(exp::Registry& registry) {
+  exp::Experiment e;
+  e.id = "fig14_antennas";
+  e.figure = "Fig. 14";
+  e.title = "Impact of the number of antennas";
+  e.columns = {"antennas", "accuracy"};
+
+  for (const int antennas : {2, 3, 4}) {
+    core::ExperimentConfig config = sweep_config();
+    config.pipeline.num_antennas = antennas;
+    e.cells.push_back(m2ai_accuracy_cell(std::to_string(antennas), config));
+  }
+
+  e.summarize = [](const exp::Rows&) {
+    std::printf("\n(paper: monotone improvement from 2 to 4 antennas)\n");
+  };
+  registry.add(std::move(e));
+}
+
+}  // namespace m2ai::bench

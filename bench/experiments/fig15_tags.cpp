@@ -1,0 +1,31 @@
+// Fig. 15 — impact of the number of tags per person (hand / +arm /
+// +shoulder). Paper result: more tags -> more path diversity -> higher
+// accuracy; tags are the cheapest way to buy accuracy.
+#include <cstdio>
+#include <string>
+
+#include "experiments/cells.hpp"
+#include "experiments/experiments.hpp"
+
+namespace m2ai::bench {
+
+void register_fig15_tags(exp::Registry& registry) {
+  exp::Experiment e;
+  e.id = "fig15_tags";
+  e.figure = "Fig. 15";
+  e.title = "Impact of the number of tags per person";
+  e.columns = {"tags_per_person", "accuracy"};
+
+  for (const int tags : {1, 2, 3}) {
+    core::ExperimentConfig config = sweep_config();
+    config.pipeline.tags_per_person = tags;
+    e.cells.push_back(m2ai_accuracy_cell(std::to_string(tags), config));
+  }
+
+  e.summarize = [](const exp::Rows&) {
+    std::printf("\n(paper: monotone improvement from 1 to 3 tags per person)\n");
+  };
+  registry.add(std::move(e));
+}
+
+}  // namespace m2ai::bench

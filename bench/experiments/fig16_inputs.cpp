@@ -1,0 +1,34 @@
+// Fig. 16 — preprocessing-input ablation: feed the same deep network with
+// MUSIC-based, FFT-based, Phase-based, RSSI-based, or the full M2AI
+// (pseudospectrum + periodogram) inputs. Paper result: M2AI's combined
+// preprocessing wins; RSSI-only is weakest.
+#include <cstdio>
+
+#include "experiments/cells.hpp"
+#include "experiments/experiments.hpp"
+
+namespace m2ai::bench {
+
+void register_fig16_inputs(exp::Registry& registry) {
+  exp::Experiment e;
+  e.id = "fig16_inputs";
+  e.figure = "Fig. 16";
+  e.title = "Impact of preprocessing inputs";
+  e.columns = {"input", "accuracy"};
+
+  for (const auto mode :
+       {core::FeatureMode::kRssiOnly, core::FeatureMode::kPhaseOnly,
+        core::FeatureMode::kFftOnly, core::FeatureMode::kMusicOnly,
+        core::FeatureMode::kM2AI}) {
+    core::ExperimentConfig config = sweep_config();
+    config.pipeline.feature_mode = mode;
+    e.cells.push_back(m2ai_accuracy_cell(core::feature_mode_name(mode), config));
+  }
+
+  e.summarize = [](const exp::Rows&) {
+    std::printf("\n(paper ordering: RSSI < Phase < FFT < MUSIC < M2AI)\n");
+  };
+  registry.add(std::move(e));
+}
+
+}  // namespace m2ai::bench

@@ -1,0 +1,19 @@
+#include "experiments/experiments.hpp"
+
+namespace m2ai::bench {
+
+void register_all_experiments(exp::Registry& registry) {
+  register_fig09_classifiers(registry);
+  register_tab1_confusion(registry);
+  register_fig10_calibration(registry);
+  register_fig11_objects(registry);
+  register_fig12_places(registry);
+  register_fig13_distance(registry);
+  register_fig14_antennas(registry);
+  register_fig15_tags(registry);
+  register_fig16_inputs(registry);
+  register_fig17_networks(registry);
+  register_ablation_covariance(registry);
+}
+
+}  // namespace m2ai::bench

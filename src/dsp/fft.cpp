@@ -1,6 +1,9 @@
 #include "dsp/fft.hpp"
 
 #include <cmath>
+#include <map>
+#include <memory>
+#include <mutex>
 #include <stdexcept>
 
 namespace m2ai::dsp {
@@ -12,6 +15,63 @@ std::size_t next_power_of_two(std::size_t n) {
   while (p < n) p <<= 1;
   return p;
 }
+
+namespace {
+
+// Twiddle factors for one transform size, per butterfly stage:
+// stages[s][k] = w_len^k for len = 2^(s+1), k in [0, len/2). Values are
+// produced by the same incremental recurrence (w *= wl) the in-loop
+// computation used, so cached transforms are bitwise-identical to the
+// uncached ones. Forward and inverse tables are built independently for the
+// same reason (conjugation is exact, but polar() symmetry across libm
+// implementations is not guaranteed).
+struct TwiddleTable {
+  std::vector<std::vector<cdouble>> forward;
+  std::vector<std::vector<cdouble>> inverse;
+};
+
+std::vector<std::vector<cdouble>> build_stages(std::size_t n, bool inverse) {
+  std::vector<std::vector<cdouble>> stages;
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double ang = (inverse ? 2.0 : -2.0) * M_PI / static_cast<double>(len);
+    const cdouble wl = std::polar(1.0, ang);
+    std::vector<cdouble> stage(len / 2);
+    cdouble w{1.0, 0.0};
+    for (std::size_t k = 0; k < len / 2; ++k) {
+      stage[k] = w;
+      w *= wl;
+    }
+    stages.push_back(std::move(stage));
+  }
+  return stages;
+}
+
+// Per-size table cache. The periodogram path calls the FFT once per window
+// per tag, always at the same handful of sizes; recomputing sin/cos chains
+// there dominated the per-window leaf profile. The cache is shared across
+// threads (dataset generation runs windows in parallel), hence the mutex;
+// callers hold a shared_ptr so an entry can never be destroyed under a
+// running transform.
+std::mutex g_twiddle_mu;
+std::map<std::size_t, std::shared_ptr<const TwiddleTable>>& twiddle_cache() {
+  static auto* cache = new std::map<std::size_t, std::shared_ptr<const TwiddleTable>>();
+  return *cache;
+}
+
+std::shared_ptr<const TwiddleTable> twiddles_for(std::size_t n) {
+  std::lock_guard<std::mutex> lock(g_twiddle_mu);
+  auto& cache = twiddle_cache();
+  const auto it = cache.find(n);
+  if (it != cache.end()) return it->second;
+  auto table = std::make_shared<TwiddleTable>();
+  table->forward = build_stages(n, false);
+  table->inverse = build_stages(n, true);
+  auto entry = std::shared_ptr<const TwiddleTable>(std::move(table));
+  cache.emplace(n, entry);
+  return entry;
+}
+
+}  // namespace
 
 void fft_radix2(std::vector<cdouble>& data, bool inverse) {
   const std::size_t n = data.size();
@@ -25,18 +85,18 @@ void fft_radix2(std::vector<cdouble>& data, bool inverse) {
     j ^= bit;
     if (i < j) std::swap(data[i], data[j]);
   }
-  // Butterflies.
-  for (std::size_t len = 2; len <= n; len <<= 1) {
-    const double ang = (inverse ? 2.0 : -2.0) * M_PI / static_cast<double>(len);
-    const cdouble wl = std::polar(1.0, ang);
+  // Butterflies, twiddles served from the per-size cache.
+  const std::shared_ptr<const TwiddleTable> table = n >= 2 ? twiddles_for(n) : nullptr;
+  std::size_t stage = 0;
+  for (std::size_t len = 2; len <= n; len <<= 1, ++stage) {
+    const std::vector<cdouble>& tw =
+        inverse ? table->inverse[stage] : table->forward[stage];
     for (std::size_t i = 0; i < n; i += len) {
-      cdouble w{1.0, 0.0};
       for (std::size_t k = 0; k < len / 2; ++k) {
         const cdouble u = data[i + k];
-        const cdouble v = data[i + k + len / 2] * w;
+        const cdouble v = data[i + k + len / 2] * tw[k];
         data[i + k] = u + v;
         data[i + k + len / 2] = u - v;
-        w *= wl;
       }
     }
   }

@@ -12,6 +12,8 @@ using cdouble = std::complex<double>;
 
 // In-place radix-2 FFT. `data.size()` must be a power of two.
 // `inverse` applies the conjugate transform and divides by N.
+// Twiddle-factor tables are cached per size (thread-safe, process lifetime)
+// and reproduce the uncached recurrence bit for bit.
 void fft_radix2(std::vector<cdouble>& data, bool inverse = false);
 
 // Arbitrary-size FFT (Bluestein when N is not a power of two).

@@ -2,13 +2,50 @@
 
 #include <algorithm>
 #include <cmath>
+#include <map>
+#include <mutex>
 #include <stdexcept>
+#include <tuple>
 
 #include "dsp/eig.hpp"
+#include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "rf/steering.hpp"
 
 namespace m2ai::dsp {
+
+namespace {
+using SteeringKey = std::tuple<int, double, double, int>;
+std::mutex g_steering_mu;
+std::map<SteeringKey, std::shared_ptr<const SteeringTable>>& steering_cache() {
+  static auto* cache = new std::map<SteeringKey, std::shared_ptr<const SteeringTable>>();
+  return *cache;
+}
+}  // namespace
+
+std::shared_ptr<const SteeringTable> shared_steering_table(
+    int aperture, double effective_separation_m, double wavelength_m,
+    int num_angle_bins) {
+  const SteeringKey key{aperture, effective_separation_m, wavelength_m,
+                        num_angle_bins};
+  std::lock_guard<std::mutex> lock(g_steering_mu);
+  auto& cache = steering_cache();
+  const auto it = cache.find(key);
+  if (it != cache.end()) {
+    obs::registry().counter("dsp.steering_table.hit").add();
+    return it->second;
+  }
+  auto table = std::make_shared<SteeringTable>();
+  table->reserve(static_cast<std::size_t>(num_angle_bins));
+  for (int deg = 0; deg < num_angle_bins; ++deg) {
+    table->push_back(rf::steering_vector(static_cast<double>(deg), aperture,
+                                         effective_separation_m, wavelength_m));
+  }
+  auto entry = std::shared_ptr<const SteeringTable>(std::move(table));
+  cache.emplace(key, entry);
+  obs::registry().counter("dsp.steering_table.build").add();
+  return entry;
+}
 
 std::vector<int> find_peaks(const std::vector<double>& spectrum, int max_peaks,
                             double min_height) {
@@ -56,12 +93,8 @@ MusicEstimator::MusicEstimator(MusicOptions options) : options_(options) {
   const int aperture = options_.covariance.smoothing_subarray > 0
                            ? options_.covariance.smoothing_subarray
                            : options_.num_antennas;
-  steering_.reserve(static_cast<std::size_t>(options_.num_angle_bins));
-  for (int deg = 0; deg < options_.num_angle_bins; ++deg) {
-    steering_.push_back(rf::steering_vector(static_cast<double>(deg), aperture,
-                                            options_.effective_separation_m,
-                                            options_.wavelength_m));
-  }
+  steering_ = shared_steering_table(aperture, options_.effective_separation_m,
+                                    options_.wavelength_m, options_.num_angle_bins);
 }
 
 MusicResult MusicEstimator::estimate(
@@ -76,7 +109,7 @@ MusicResult MusicEstimator::estimate(
 
 MusicResult MusicEstimator::estimate_from_covariance(const CMatrix& r) const {
   const std::size_t n = r.rows();
-  if (n != steering_.front().size()) {
+  if (n != steering_->front().size()) {
     throw std::invalid_argument("MusicEstimator: covariance size mismatch");
   }
   const EigResult eig = [&r] {
@@ -102,10 +135,10 @@ MusicResult MusicEstimator::estimate_from_covariance(const CMatrix& r) const {
 
   // Noise-subspace projector Un Un^H applied per steering vector:
   // P(theta) = 1 / sum_{k=m..n-1} |u_k^H a(theta)|^2     (Eq. 12)
-  result.spectrum.resize(steering_.size());
+  result.spectrum.resize(steering_->size());
   double peak = 0.0;
-  for (std::size_t bin = 0; bin < steering_.size(); ++bin) {
-    const auto& a = steering_[bin];
+  for (std::size_t bin = 0; bin < steering_->size(); ++bin) {
+    const auto& a = (*steering_)[bin];
     double denom = 0.0;
     for (std::size_t k = static_cast<std::size_t>(m); k < n; ++k) {
       denom += std::norm(inner(eig.vectors.column(k), a));

@@ -6,12 +6,25 @@
 // at the arrival angles of the (multipath) rays.
 #pragma once
 
+#include <memory>
 #include <vector>
 
 #include "dsp/cmatrix.hpp"
 #include "dsp/covariance.hpp"
 
 namespace m2ai::dsp {
+
+// Steering vectors per angle bin for one (aperture, separation, wavelength,
+// grid) tuple. Tables are immutable and shared between estimators.
+using SteeringTable = std::vector<std::vector<cdouble>>;
+
+// Process-wide steering-table cache: estimators for the same array geometry
+// and angle grid share one precomputed matrix instead of rebuilding it per
+// pipeline sample. Thread-safe; values are bitwise-identical to a direct
+// per-bin rf::steering_vector loop.
+std::shared_ptr<const SteeringTable> shared_steering_table(
+    int aperture, double effective_separation_m, double wavelength_m,
+    int num_angle_bins);
 
 struct MusicOptions {
   int num_antennas = 4;
@@ -53,11 +66,18 @@ class MusicEstimator {
 
   const MusicOptions& options() const { return options_; }
 
+  // The shared steering table this estimator resolves angles against (for
+  // the subarray size actually used after smoothing). Exposed so tests can
+  // verify estimators with equal geometry share one table.
+  const std::shared_ptr<const SteeringTable>& steering_table() const {
+    return steering_;
+  }
+
  private:
   MusicOptions options_;
-  // Precomputed steering vectors per angle bin (for the subarray size
-  // actually used after smoothing).
-  std::vector<std::vector<cdouble>> steering_;
+  // Precomputed steering vectors per angle bin, shared across estimators
+  // with the same geometry via the process-wide cache.
+  std::shared_ptr<const SteeringTable> steering_;
 };
 
 }  // namespace m2ai::dsp

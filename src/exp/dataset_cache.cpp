@@ -1,0 +1,283 @@
+#include "exp/dataset_cache.hpp"
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+
+#include "exp/fingerprint.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "util/log.hpp"
+
+namespace m2ai::exp {
+
+namespace {
+
+constexpr char kMagic[8] = {'M', '2', 'A', 'I', 'D', 'S', '1', '\0'};
+
+// ---- binary primitives ----------------------------------------------------
+
+void put_u64(std::ofstream& out, std::uint64_t v) {
+  unsigned char le[8];
+  for (int i = 0; i < 8; ++i) le[i] = static_cast<unsigned char>((v >> (8 * i)) & 0xff);
+  out.write(reinterpret_cast<const char*>(le), 8);
+}
+
+void put_i32(std::ofstream& out, std::int32_t v) {
+  put_u64(out, static_cast<std::uint64_t>(static_cast<std::uint32_t>(v)));
+}
+
+bool get_u64(std::ifstream& in, std::uint64_t* v) {
+  unsigned char le[8];
+  if (!in.read(reinterpret_cast<char*>(le), 8)) return false;
+  std::uint64_t out = 0;
+  for (int i = 0; i < 8; ++i) out |= static_cast<std::uint64_t>(le[i]) << (8 * i);
+  *v = out;
+  return true;
+}
+
+bool get_i32(std::ifstream& in, std::int32_t* v) {
+  std::uint64_t raw = 0;
+  if (!get_u64(in, &raw)) return false;
+  *v = static_cast<std::int32_t>(static_cast<std::uint32_t>(raw & 0xffffffffULL));
+  return true;
+}
+
+// Tensors are stored as rank, dims, then the raw float payload. Raw IEEE
+// bytes keep the round trip bitwise exact.
+void put_tensor(std::ofstream& out, const nn::Tensor& t) {
+  put_u64(out, static_cast<std::uint64_t>(t.rank()));
+  for (int d = 0; d < t.rank(); ++d) put_i32(out, t.dim(d));
+  put_u64(out, static_cast<std::uint64_t>(t.size()));
+  out.write(reinterpret_cast<const char*>(t.data()),
+            static_cast<std::streamsize>(t.size() * sizeof(float)));
+}
+
+// Sanity ceilings so a corrupt length cannot trigger a huge allocation.
+constexpr std::uint64_t kMaxRank = 8;
+constexpr std::uint64_t kMaxElements = 1ULL << 28;  // 1 GiB of floats
+
+bool get_tensor(std::ifstream& in, nn::Tensor* t) {
+  std::uint64_t rank = 0;
+  if (!get_u64(in, &rank) || rank > kMaxRank) return false;
+  std::vector<int> shape;
+  std::uint64_t expected = rank == 0 ? 0 : 1;
+  for (std::uint64_t d = 0; d < rank; ++d) {
+    std::int32_t dim = 0;
+    if (!get_i32(in, &dim) || dim < 0) return false;
+    shape.push_back(dim);
+    expected *= static_cast<std::uint64_t>(dim);
+  }
+  std::uint64_t count = 0;
+  if (!get_u64(in, &count) || count != expected || count > kMaxElements) return false;
+  nn::Tensor tensor = rank == 0 ? nn::Tensor() : nn::Tensor(shape);
+  if (!in.read(reinterpret_cast<char*>(tensor.data()),
+               static_cast<std::streamsize>(count * sizeof(float)))) {
+    return false;
+  }
+  *t = std::move(tensor);
+  return true;
+}
+
+void put_sample(std::ofstream& out, const core::Sample& s) {
+  put_i32(out, s.label);
+  put_i32(out, s.activity_id);
+  put_u64(out, s.frames.size());
+  for (const core::SpectrumFrame& f : s.frames) {
+    put_u64(out, (f.has_pseudo ? 1ULL : 0ULL) | (f.has_aux ? 2ULL : 0ULL));
+    put_tensor(out, f.pseudo);
+    put_tensor(out, f.aux);
+  }
+}
+
+constexpr std::uint64_t kMaxFrames = 1ULL << 20;
+constexpr std::uint64_t kMaxSamples = 1ULL << 24;
+
+bool get_sample(std::ifstream& in, core::Sample* s) {
+  std::uint64_t num_frames = 0;
+  if (!get_i32(in, &s->label) || !get_i32(in, &s->activity_id) ||
+      !get_u64(in, &num_frames) || num_frames > kMaxFrames) {
+    return false;
+  }
+  s->frames.resize(num_frames);
+  for (core::SpectrumFrame& f : s->frames) {
+    std::uint64_t flags = 0;
+    if (!get_u64(in, &flags) || flags > 3) return false;
+    f.has_pseudo = (flags & 1) != 0;
+    f.has_aux = (flags & 2) != 0;
+    if (!get_tensor(in, &f.pseudo) || !get_tensor(in, &f.aux)) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+void DatasetCache::save_split(const std::string& path, const core::DataSplit& split) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) throw std::runtime_error("dataset cache: cannot open " + tmp);
+    out.write(kMagic, sizeof(kMagic));
+    put_i32(out, split.num_classes);
+    put_u64(out, split.train.size());
+    put_u64(out, split.test.size());
+    for (const core::Sample& s : split.train) put_sample(out, s);
+    for (const core::Sample& s : split.test) put_sample(out, s);
+    if (!out.good()) throw std::runtime_error("dataset cache: failed writing " + tmp);
+  }
+  std::filesystem::rename(tmp, path);
+}
+
+std::shared_ptr<const core::DataSplit> DatasetCache::load_split(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return nullptr;
+  char magic[sizeof(kMagic)];
+  if (!in.read(magic, sizeof(magic)) ||
+      !std::equal(std::begin(magic), std::end(magic), std::begin(kMagic))) {
+    return nullptr;
+  }
+  auto split = std::make_shared<core::DataSplit>();
+  std::uint64_t train_count = 0, test_count = 0;
+  if (!get_i32(in, &split->num_classes) || split->num_classes < 0 ||
+      !get_u64(in, &train_count) || train_count > kMaxSamples ||
+      !get_u64(in, &test_count) || test_count > kMaxSamples) {
+    return nullptr;
+  }
+  split->train.resize(train_count);
+  split->test.resize(test_count);
+  for (core::Sample& s : split->train) {
+    if (!get_sample(in, &s)) return nullptr;
+  }
+  for (core::Sample& s : split->test) {
+    if (!get_sample(in, &s)) return nullptr;
+  }
+  // Trailing garbage means the file is not one of ours.
+  if (in.peek() != std::ifstream::traits_type::eof()) return nullptr;
+  return split;
+}
+
+DatasetCache::DatasetCache(std::size_t capacity, std::string disk_dir)
+    : capacity_(capacity == 0 ? 1 : capacity), disk_dir_(std::move(disk_dir)) {}
+
+std::shared_ptr<const core::DataSplit> DatasetCache::get(
+    const core::ExperimentConfig& config) {
+  const std::string fingerprint = dataset_fingerprint(config);
+
+  std::shared_future<std::shared_ptr<const core::DataSplit>> future;
+  std::promise<std::shared_ptr<const core::DataSplit>> promise;
+  bool producer = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = entries_.find(fingerprint);
+    if (it != entries_.end()) {
+      ++stats_.hits;
+      obs::registry().counter("exp.cache.hit").add();
+      touch_locked(fingerprint);
+      future = it->second.future;
+    } else {
+      ++stats_.misses;
+      obs::registry().counter("exp.cache.miss").add();
+      producer = true;
+      Entry entry;
+      entry.future = promise.get_future().share();
+      future = entry.future;
+      entries_.emplace(fingerprint, std::move(entry));
+      lru_.push_front(fingerprint);
+      evict_locked();
+    }
+  }
+
+  if (producer) {
+    try {
+      promise.set_value(produce(config, fingerprint));
+      std::lock_guard<std::mutex> lock(mu_);
+      const auto it = entries_.find(fingerprint);
+      if (it != entries_.end()) it->second.ready = true;
+    } catch (...) {
+      promise.set_exception(std::current_exception());
+      std::lock_guard<std::mutex> lock(mu_);
+      entries_.erase(fingerprint);
+      lru_.remove(fingerprint);
+    }
+  }
+  return future.get();
+}
+
+std::shared_ptr<const core::DataSplit> DatasetCache::produce(
+    const core::ExperimentConfig& config, const std::string& fingerprint) {
+  M2AI_OBS_SPAN("dataset_cache_fill");
+  if (!disk_dir_.empty()) {
+    const std::string path = disk_dir_ + "/" + fingerprint + ".m2aids";
+    if (auto split = load_split(path)) {
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++stats_.disk_hits;
+      }
+      obs::registry().counter("exp.cache.disk_hit").add();
+      util::log_info() << "dataset " << fingerprint << " loaded from cache dir";
+      return split;
+    }
+  }
+
+  auto split = std::make_shared<core::DataSplit>(core::generate_dataset(config));
+
+  if (!disk_dir_.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(disk_dir_, ec);
+    try {
+      save_split(disk_dir_ + "/" + fingerprint + ".m2aids", *split);
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++stats_.disk_writes;
+      }
+      obs::registry().counter("exp.cache.disk_write").add();
+    } catch (const std::exception& e) {
+      // A full or read-only cache dir must not fail the experiment.
+      util::log_warn() << "dataset cache: " << e.what();
+    }
+  }
+  return split;
+}
+
+void DatasetCache::touch_locked(const std::string& fingerprint) {
+  lru_.remove(fingerprint);
+  lru_.push_front(fingerprint);
+}
+
+void DatasetCache::evict_locked() {
+  // Evict from the least recently used end; never evict in-flight builds
+  // (waiters hold their futures, but the map entry is what dedups new
+  // callers), so the cache may transiently exceed capacity.
+  while (entries_.size() > capacity_) {
+    bool evicted = false;
+    for (auto it = lru_.end(); it != lru_.begin();) {
+      --it;
+      const auto entry = entries_.find(*it);
+      if (entry != entries_.end() && entry->second.ready) {
+        entries_.erase(entry);
+        lru_.erase(it);
+        evicted = true;
+        break;
+      }
+    }
+    if (!evicted) break;
+  }
+}
+
+CacheStats DatasetCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+std::size_t DatasetCache::resident() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+void DatasetCache::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.clear();
+  lru_.clear();
+}
+
+}  // namespace m2ai::exp

@@ -1,0 +1,89 @@
+// Content-addressed cache of generated datasets.
+//
+// Dataset generation (per-sample multipath simulation + MUSIC/periodogram
+// framing) dominates the experiment suite's serial cost, and many sweep
+// cells share one (PipelineConfig, seed): every Fig. 9 baseline, every
+// Fig. 17 architecture, and each sweep's default cell reuse the default
+// split. The cache keys splits by exp::dataset_fingerprint and serves them
+// as shared_ptr<const DataSplit>, so a config is generated at most once per
+// process (in-memory LRU) and — with a cache dir — at most once per
+// machine (on-disk store, bitwise round trip).
+//
+// Concurrency: get() is single-flight. When several sweep cells running on
+// different threads ask for the same fingerprint, one generates and the
+// rest block on the same future; waiters count as hits (they regenerated
+// nothing).
+//
+// Observability: hits/misses are mirrored into the obs registry as
+// exp.cache.hit / exp.cache.miss / exp.cache.disk_hit / exp.cache.disk_write
+// counters (when the obs layer is enabled) and always tracked in the
+// internal stats() for the suite report.
+#pragma once
+
+#include <cstdint>
+#include <future>
+#include <list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "core/experiment.hpp"
+
+namespace m2ai::exp {
+
+struct CacheStats {
+  std::uint64_t hits = 0;        // served from memory (or a shared in-flight build)
+  std::uint64_t misses = 0;      // had to load from disk or generate
+  std::uint64_t disk_hits = 0;   // of the misses, loaded from the disk store
+  std::uint64_t disk_writes = 0; // freshly generated splits persisted to disk
+
+  double hit_rate() const {
+    const std::uint64_t total = hits + misses;
+    return total == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(total);
+  }
+};
+
+class DatasetCache {
+ public:
+  // `capacity` bounds the number of resident splits (>= 1). `disk_dir`
+  // (optional) enables the on-disk store: splits are written as
+  // <disk_dir>/<fingerprint>.m2aids and reloaded bitwise-identically.
+  explicit DatasetCache(std::size_t capacity = 16, std::string disk_dir = "");
+
+  // The split for `config`, generating it on first use. Thread-safe,
+  // single-flight per fingerprint. Exceptions from generation propagate to
+  // every waiter and the entry is dropped so a later call can retry.
+  std::shared_ptr<const core::DataSplit> get(const core::ExperimentConfig& config);
+
+  CacheStats stats() const;
+  std::size_t resident() const;
+  void clear();
+
+  // On-disk serialization, exposed for tests. Round trips are bitwise
+  // exact (raw IEEE floats). load returns nullptr on missing, truncated,
+  // or corrupt files (the cache then regenerates).
+  static void save_split(const std::string& path, const core::DataSplit& split);
+  static std::shared_ptr<const core::DataSplit> load_split(const std::string& path);
+
+ private:
+  struct Entry {
+    std::shared_future<std::shared_ptr<const core::DataSplit>> future;
+    bool ready = false;  // set once the producer fulfilled the promise
+  };
+
+  std::shared_ptr<const core::DataSplit> produce(
+      const core::ExperimentConfig& config, const std::string& fingerprint);
+  void touch_locked(const std::string& fingerprint);
+  void evict_locked();
+
+  const std::size_t capacity_;
+  const std::string disk_dir_;
+
+  mutable std::mutex mu_;
+  std::map<std::string, Entry> entries_;
+  std::list<std::string> lru_;  // front = most recently used
+  CacheStats stats_;
+};
+
+}  // namespace m2ai::exp

@@ -1,0 +1,38 @@
+#include "exp/experiment.hpp"
+
+#include <stdexcept>
+
+namespace m2ai::exp {
+
+Experiment& Registry::add(Experiment experiment) {
+  if (experiment.id.empty()) {
+    throw std::invalid_argument("exp::Registry: experiment id must be non-empty");
+  }
+  if (find(experiment.id) != nullptr) {
+    throw std::invalid_argument("exp::Registry: duplicate experiment id '" +
+                                experiment.id + "'");
+  }
+  for (const Cell& cell : experiment.cells) {
+    if (!cell.run) {
+      throw std::invalid_argument("exp::Registry: cell '" + cell.label +
+                                  "' of '" + experiment.id + "' has no run fn");
+    }
+  }
+  experiments_.push_back(std::move(experiment));
+  return experiments_.back();
+}
+
+const Experiment* Registry::find(const std::string& id) const {
+  for (const Experiment& e : experiments_) {
+    if (e.id == id) return &e;
+  }
+  return nullptr;
+}
+
+std::size_t Registry::total_cells() const {
+  std::size_t n = 0;
+  for (const Experiment& e : experiments_) n += e.cells.size();
+  return n;
+}
+
+}  // namespace m2ai::exp

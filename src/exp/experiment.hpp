@@ -1,0 +1,78 @@
+// Experiment registry for the evaluation suite (Figs. 9-17, Table I, and
+// the design ablations).
+//
+// An Experiment is a named sweep: an ordered list of Cells, each binding a
+// label, a full core::ExperimentConfig, and a function producing the CSV
+// rows for that cell. The standalone bench binaries and the m2ai_bench
+// suite driver both execute cells through exp::run_cells, so a figure's
+// CSV is byte-identical no matter how it was produced (serially, with any
+// --threads count, or merged from shards).
+//
+// Cells must be pure functions of (config, split, rng): no shared mutable
+// state, no ordering assumptions between cells. Randomness beyond the
+// config seeds comes from ctx.rng, seeded from the stable key
+// (suite_seed, experiment id, cell index, repetition) — the stream a cell
+// receives is the same for every shard/thread/selection configuration.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/experiment.hpp"
+#include "exp/dataset_cache.hpp"
+#include "util/rng.hpp"
+
+namespace m2ai::exp {
+
+using Rows = std::vector<std::vector<std::string>>;
+
+// What a cell body sees at run time.
+struct CellContext {
+  const core::ExperimentConfig& config;
+  DatasetCache& cache;
+  util::Rng rng;       // stable-keyed: shard- and selection-invariant
+  int repetition = 0;
+
+  // The (cached) dataset for `config`. Sweep cells sharing a pipeline
+  // config and seed receive the same generated split.
+  std::shared_ptr<const core::DataSplit> split() { return cache.get(config); }
+};
+
+struct Cell {
+  std::string label;
+  core::ExperimentConfig config;
+  int repetition = 0;
+  std::function<Rows(CellContext&)> run;
+};
+
+struct Experiment {
+  std::string id;        // CSV stem and --only key, e.g. "fig11_objects"
+  std::string figure;    // display tag, e.g. "Fig. 11"
+  std::string title;
+  std::vector<std::string> columns;  // CSV header
+  std::vector<Cell> cells;
+  // Standalone reports print the merged rows as an aligned table unless
+  // the summarize hook renders its own view (Table I's confusion grid).
+  bool table_in_report = true;
+  // Optional: printed after the table from the merged rows (paper
+  // comparison lines, derived statistics).
+  std::function<void(const Rows&)> summarize;
+};
+
+class Registry {
+ public:
+  // Registration order is the canonical cell order for sharding, RNG
+  // forking, and CSV merging. Throws on duplicate ids.
+  Experiment& add(Experiment experiment);
+
+  const std::vector<Experiment>& all() const { return experiments_; }
+  const Experiment* find(const std::string& id) const;
+  std::size_t total_cells() const;
+
+ private:
+  std::vector<Experiment> experiments_;
+};
+
+}  // namespace m2ai::exp

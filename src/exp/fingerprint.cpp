@@ -1,0 +1,116 @@
+#include "exp/fingerprint.hpp"
+
+#include <cstdio>
+#include <cstring>
+
+namespace m2ai::exp {
+
+namespace {
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ULL;
+constexpr std::uint64_t kFnvOffsetLo = 0xcbf29ce484222325ULL;
+// Second lane: a different, fixed offset basis decorrelates the two 64-bit
+// streams enough for cache keying.
+constexpr std::uint64_t kFnvOffsetHi = 0x6c62272e07bb0142ULL;
+
+// Field-boundary markers so ("ab", "c") cannot collide with ("a", "bc").
+constexpr unsigned char kNameEnd = 0x1f;
+constexpr unsigned char kFieldEnd = 0x1e;
+}  // namespace
+
+Fingerprinter::Fingerprinter() : lo_(kFnvOffsetLo), hi_(kFnvOffsetHi) {}
+
+void Fingerprinter::bytes(const void* data, std::size_t n) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < n; ++i) {
+    lo_ = (lo_ ^ p[i]) * kFnvPrime;
+    hi_ = (hi_ ^ p[i]) * kFnvPrime;
+    hi_ ^= hi_ >> 29;  // extra diffusion keeps the lanes from shadowing
+  }
+}
+
+void Fingerprinter::tagged(std::string_view name, char type_tag,
+                           const void* payload, std::size_t payload_size) {
+  bytes(name.data(), name.size());
+  bytes(&kNameEnd, 1);
+  bytes(&type_tag, 1);
+  bytes(payload, payload_size);
+  bytes(&kFieldEnd, 1);
+}
+
+void Fingerprinter::field(std::string_view name, bool v) {
+  const unsigned char b = v ? 1 : 0;
+  tagged(name, 'b', &b, 1);
+}
+
+void Fingerprinter::field(std::string_view name, int v) {
+  field(name, static_cast<std::int64_t>(v));
+}
+
+void Fingerprinter::field(std::string_view name, std::int64_t v) {
+  unsigned char le[8];
+  for (int i = 0; i < 8; ++i) {
+    le[i] = static_cast<unsigned char>((static_cast<std::uint64_t>(v) >> (8 * i)) & 0xff);
+  }
+  tagged(name, 'i', le, sizeof(le));
+}
+
+void Fingerprinter::field(std::string_view name, std::uint64_t v) {
+  unsigned char le[8];
+  for (int i = 0; i < 8; ++i) {
+    le[i] = static_cast<unsigned char>((v >> (8 * i)) & 0xff);
+  }
+  tagged(name, 'u', le, sizeof(le));
+}
+
+void Fingerprinter::field(std::string_view name, double v) {
+  // The IEEE-754 bit pattern, not a decimal rendering: no precision loss,
+  // no locale/format ambiguity. (-0.0 and 0.0 hash apart — acceptable for a
+  // cache key, where a spurious miss only costs a regeneration.)
+  static_assert(sizeof(double) == sizeof(std::uint64_t));
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &v, sizeof(bits));
+  unsigned char le[8];
+  for (int i = 0; i < 8; ++i) {
+    le[i] = static_cast<unsigned char>((bits >> (8 * i)) & 0xff);
+  }
+  tagged(name, 'd', le, sizeof(le));
+}
+
+void Fingerprinter::field(std::string_view name, std::string_view v) {
+  tagged(name, 's', v.data(), v.size());
+}
+
+std::string Fingerprinter::hex() const {
+  char buf[33];
+  std::snprintf(buf, sizeof(buf), "%016llx%016llx",
+                static_cast<unsigned long long>(hi_),
+                static_cast<unsigned long long>(lo_));
+  return buf;
+}
+
+std::string dataset_fingerprint(const core::ExperimentConfig& config) {
+  const core::PipelineConfig& p = config.pipeline;
+  Fingerprinter fp;
+  fp.field("schema", std::string_view("m2ai.dataset.v1"));
+  fp.field("environment", static_cast<int>(p.environment));
+  fp.field("num_persons", p.num_persons);
+  fp.field("tags_per_person", p.tags_per_person);
+  fp.field("distance_m", p.distance_m);
+  fp.field("num_antennas", p.num_antennas);
+  fp.field("frequency_hopping", p.frequency_hopping);
+  fp.field("phase_calibration", p.phase_calibration);
+  fp.field("bootstrap_sec", p.bootstrap_sec);
+  fp.field("feature_mode", static_cast<int>(p.feature_mode));
+  fp.field("cov.forward_backward", p.covariance.forward_backward);
+  fp.field("cov.smoothing_subarray", p.covariance.smoothing_subarray);
+  fp.field("cov.diagonal_loading", p.covariance.diagonal_loading);
+  fp.field("music_num_sources", p.music_num_sources);
+  fp.field("window_sec", p.window_sec);
+  fp.field("windows_per_sample", p.windows_per_sample);
+  fp.field("seed", config.seed);
+  fp.field("samples_per_class", config.samples_per_class);
+  fp.field("train_fraction", config.train_fraction);
+  return fp.hex();
+}
+
+}  // namespace m2ai::exp

@@ -1,0 +1,55 @@
+// Content-addressed fingerprints for experiment configurations.
+//
+// The dataset cache keys generated datasets by a stable fingerprint of
+// every field `core::generate_dataset` depends on: the full PipelineConfig,
+// the experiment seed, samples_per_class, and train_fraction. The hash is
+// canonical field by field — each field contributes its name plus the raw
+// little-endian bit pattern of its value (doubles via their IEEE-754 bits),
+// so there is no float-formatting ambiguity: configs that merely *print*
+// identically at low precision still hash apart, and equal configs hash
+// equal on every platform with IEEE doubles.
+//
+// Model and training fields are deliberately excluded: the dataset is a
+// pure function of the pipeline + seed, so architecture/epoch sweeps over
+// one dataset (Fig. 17) share a single cache entry.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "core/experiment.hpp"
+
+namespace m2ai::exp {
+
+// Streaming 128-bit field hasher (two independent FNV-1a-64 lanes over a
+// canonical byte encoding). Not cryptographic — collision resistance is
+// sized for cache keying, not adversaries.
+class Fingerprinter {
+ public:
+  Fingerprinter();
+
+  void field(std::string_view name, bool v);
+  void field(std::string_view name, int v);
+  void field(std::string_view name, std::int64_t v);
+  void field(std::string_view name, std::uint64_t v);
+  void field(std::string_view name, double v);
+  void field(std::string_view name, std::string_view v);
+
+  // 32 lowercase hex characters (128 bits).
+  std::string hex() const;
+
+ private:
+  void bytes(const void* data, std::size_t n);
+  void tagged(std::string_view name, char type_tag, const void* payload,
+              std::size_t payload_size);
+
+  std::uint64_t lo_;
+  std::uint64_t hi_;
+};
+
+// Fingerprint of everything dataset generation consumes. Two configs with
+// the same dataset fingerprint produce bitwise-identical DataSplits.
+std::string dataset_fingerprint(const core::ExperimentConfig& config);
+
+}  // namespace m2ai::exp

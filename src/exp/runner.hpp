@@ -1,0 +1,83 @@
+// Sharded experiment runner: flattens registered experiments into
+// (experiment, config, repetition) cells, dispatches them over the
+// deterministic parallel layer, and merges per-cell rows back into the
+// per-figure CSVs.
+//
+// Determinism contract: for a fixed registry and selection, the merged CSVs
+// are byte-identical at any --threads count and any shard split, and equal
+// to the serial standalone binaries. This holds because (a) every cell's
+// result is a pure function of its config and its pre-forked RNG, (b) the
+// underlying pipeline/trainer layers are thread-count-invariant (src/par),
+// and (c) rows are emitted in registration order regardless of completion
+// order.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "exp/experiment.hpp"
+
+namespace m2ai::exp {
+
+struct RunnerOptions {
+  // Shard selection: run cells whose global registration index i satisfies
+  // i % shard_count == shard_index.
+  int shard_index = 0;
+  int shard_count = 1;
+  // On-disk dataset store; empty = in-memory caching only.
+  std::string cache_dir;
+  std::size_t cache_capacity = 16;
+  // Mixed into every cell's stable RNG key.
+  std::uint64_t suite_seed = 0x4d32414942454e43ULL;  // "M2AIBENC"
+  bool verbose = true;
+};
+
+struct CellOutcome {
+  std::string experiment_id;
+  int cell_index = 0;  // within the experiment
+  int repetition = 0;
+  std::string label;
+  Rows rows;
+  double seconds = 0.0;
+};
+
+struct SuiteResult {
+  std::vector<CellOutcome> outcomes;  // global registration order
+  double wall_seconds = 0.0;
+  double cell_seconds = 0.0;  // sum over cells = serial-equivalent cost
+  CacheStats cache;
+};
+
+// Runs the selected experiments' cells (all of them when `ids` is empty)
+// under the current par::num_threads() setting. Throws on unknown ids or an
+// invalid shard spec.
+SuiteResult run_cells(const Registry& registry, const std::vector<std::string>& ids,
+                      const RunnerOptions& options);
+
+// Writes one CSV per experiment covered by `outcomes` into `out_dir`
+// (created on demand), named <id>.csv with the experiment's column header.
+// Throws if an experiment is only partially covered — merging all shards
+// first is the caller's job.
+void write_experiment_csvs(const Registry& registry,
+                           const std::vector<CellOutcome>& outcomes,
+                           const std::string& out_dir);
+
+// Shard interchange: a text file of cell outcomes that a later merge run
+// turns into the final CSVs. Round trips exactly (fields are escaped).
+void write_shard_file(const std::string& path, const SuiteResult& result);
+SuiteResult read_shard_file(const std::string& path);
+
+// Concatenates shard results and restores global registration order.
+// Throws on duplicate (experiment, cell, repetition) outcomes.
+SuiteResult merge_results(const Registry& registry,
+                          const std::vector<SuiteResult>& shards);
+
+// Suite-level report: per-experiment wall time, cache hit rate, speedup vs
+// the serial-equivalent cost.
+std::string suite_report_json(const Registry& registry, const SuiteResult& result,
+                              int threads, double scale, const std::string& label);
+void write_suite_report(const std::string& path, const Registry& registry,
+                        const SuiteResult& result, int threads, double scale,
+                        const std::string& label);
+
+}  // namespace m2ai::exp

@@ -59,6 +59,13 @@ void write_file(const std::string& path, const std::string& content) {
 
 }  // namespace
 
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  append_escaped(out, s);
+  return out;
+}
+
 std::string to_json() {
   std::string out = "{\n  \"schema_version\": 1,\n";
 

@@ -26,6 +26,10 @@ namespace m2ai::obs {
 std::string to_json();
 std::string to_csv();
 
+// JSON string escaping (quotes, backslashes, control characters) shared
+// with other JSON emitters (the experiment runner's suite report).
+std::string json_escape(const std::string& s);
+
 // Indented call tree of the recorded spans (count / total / p50 / p95).
 std::string span_tree();
 

@@ -45,6 +45,13 @@ int num_threads() {
 
 bool in_parallel_region() { return tl_in_region; }
 
+ScopedNumThreads::ScopedNumThreads(int n)
+    : previous_(g_threads.load(std::memory_order_relaxed)) {
+  set_num_threads(n);
+}
+
+ScopedNumThreads::~ScopedNumThreads() { set_num_threads(previous_); }
+
 void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn) {
   if (n == 0) return;
   const int threads = num_threads();

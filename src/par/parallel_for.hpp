@@ -33,6 +33,20 @@ void set_num_threads(int n);
 // Currently configured thread count (>= 1).
 int num_threads();
 
+// RAII override of the process-wide thread count: sets `n` on construction
+// and restores the previous setting on destruction. Used by the experiment
+// runner and by determinism tests that compare thread counts in-process.
+class ScopedNumThreads {
+ public:
+  explicit ScopedNumThreads(int n);
+  ~ScopedNumThreads();
+  ScopedNumThreads(const ScopedNumThreads&) = delete;
+  ScopedNumThreads& operator=(const ScopedNumThreads&) = delete;
+
+ private:
+  int previous_;  // raw setting (0 = hardware default), not the resolved count
+};
+
 // True while executing inside a parallel_for body (on any participating
 // thread, including the caller). Nested regions run serially.
 bool in_parallel_region();

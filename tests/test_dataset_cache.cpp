@@ -1,0 +1,223 @@
+#include "exp/dataset_cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <string>
+
+#include "exp/fingerprint.hpp"
+
+namespace m2ai::exp {
+namespace {
+
+namespace fs = std::filesystem;
+
+// A scratch directory per test, removed on teardown.
+class DatasetCacheFiles : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("m2ai_cache_test_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    fs::create_directories(dir_);
+  }
+  void TearDown() override {
+    std::error_code ec;
+    fs::remove_all(dir_, ec);
+  }
+  std::string path(const std::string& name) const { return (dir_ / name).string(); }
+  fs::path dir_;
+};
+
+// Synthetic split exercising every serialized feature: both tensor flags,
+// empty frames, rank-2 shapes, and awkward float values (signed zero,
+// denormal, infinity, NaN) that a text round trip would mangle.
+core::DataSplit synthetic_split() {
+  core::DataSplit split;
+  split.num_classes = 3;
+
+  core::Sample a;
+  a.label = 0;
+  a.activity_id = 1;
+  core::SpectrumFrame fa;
+  fa.has_pseudo = true;
+  fa.pseudo = nn::Tensor({2, 4});
+  const float weird[] = {0.0f, -0.0f, std::numeric_limits<float>::denorm_min(),
+                         std::numeric_limits<float>::infinity(),
+                         -std::numeric_limits<float>::infinity(),
+                         std::numeric_limits<float>::quiet_NaN(),
+                         1.0f / 3.0f, -2.5e-38f};
+  for (std::size_t i = 0; i < fa.pseudo.size(); ++i) fa.pseudo[i] = weird[i];
+  fa.has_aux = true;
+  fa.aux = nn::Tensor({1, 3});
+  for (std::size_t i = 0; i < fa.aux.size(); ++i) {
+    fa.aux[i] = static_cast<float>(i) * 0.1f;
+  }
+  a.frames.push_back(fa);
+
+  core::Sample b;  // aux-only frame plus a frame with no tensors at all
+  b.label = 2;
+  b.activity_id = 3;
+  core::SpectrumFrame fb;
+  fb.has_aux = true;
+  fb.aux = nn::Tensor({2, 2});
+  for (std::size_t i = 0; i < fb.aux.size(); ++i) fb.aux[i] = -static_cast<float>(i);
+  b.frames.push_back(fb);
+  b.frames.push_back(core::SpectrumFrame{});
+
+  split.train.push_back(a);
+  split.test.push_back(b);
+  return split;
+}
+
+void expect_bitwise_equal(const nn::Tensor& x, const nn::Tensor& y) {
+  ASSERT_EQ(x.shape(), y.shape());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    std::uint32_t xb = 0, yb = 0;
+    std::memcpy(&xb, &x.data()[i], sizeof(xb));
+    std::memcpy(&yb, &y.data()[i], sizeof(yb));
+    ASSERT_EQ(xb, yb) << "element " << i;
+  }
+}
+
+void expect_splits_equal(const core::DataSplit& x, const core::DataSplit& y) {
+  ASSERT_EQ(x.num_classes, y.num_classes);
+  const auto check_samples = [](const std::vector<core::Sample>& a,
+                                const std::vector<core::Sample>& b) {
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t s = 0; s < a.size(); ++s) {
+      ASSERT_EQ(a[s].label, b[s].label);
+      ASSERT_EQ(a[s].activity_id, b[s].activity_id);
+      ASSERT_EQ(a[s].frames.size(), b[s].frames.size());
+      for (std::size_t f = 0; f < a[s].frames.size(); ++f) {
+        ASSERT_EQ(a[s].frames[f].has_pseudo, b[s].frames[f].has_pseudo);
+        ASSERT_EQ(a[s].frames[f].has_aux, b[s].frames[f].has_aux);
+        if (a[s].frames[f].has_pseudo) {
+          expect_bitwise_equal(a[s].frames[f].pseudo, b[s].frames[f].pseudo);
+        }
+        if (a[s].frames[f].has_aux) {
+          expect_bitwise_equal(a[s].frames[f].aux, b[s].frames[f].aux);
+        }
+      }
+    }
+  };
+  check_samples(x.train, y.train);
+  check_samples(x.test, y.test);
+}
+
+TEST_F(DatasetCacheFiles, SaveLoadRoundTripsBitwise) {
+  const core::DataSplit split = synthetic_split();
+  DatasetCache::save_split(path("split.m2aids"), split);
+  const auto loaded = DatasetCache::load_split(path("split.m2aids"));
+  ASSERT_NE(loaded, nullptr);
+  expect_splits_equal(split, *loaded);
+}
+
+TEST_F(DatasetCacheFiles, LoadReturnsNullOnMissingFile) {
+  EXPECT_EQ(DatasetCache::load_split(path("nope.m2aids")), nullptr);
+}
+
+TEST_F(DatasetCacheFiles, LoadRejectsTruncatedFile) {
+  DatasetCache::save_split(path("split.m2aids"), synthetic_split());
+  const auto full_size = fs::file_size(path("split.m2aids"));
+  for (const std::uintmax_t keep : {full_size / 2, full_size - 1}) {
+    fs::copy_file(path("split.m2aids"), path("cut.m2aids"),
+                  fs::copy_options::overwrite_existing);
+    fs::resize_file(path("cut.m2aids"), keep);
+    EXPECT_EQ(DatasetCache::load_split(path("cut.m2aids")), nullptr)
+        << "kept " << keep << " of " << full_size << " bytes";
+  }
+}
+
+TEST_F(DatasetCacheFiles, LoadRejectsBadMagicAndTrailingGarbage) {
+  DatasetCache::save_split(path("split.m2aids"), synthetic_split());
+  {
+    std::fstream f(path("split.m2aids"), std::ios::in | std::ios::out | std::ios::binary);
+    f.seekp(0);
+    f.put('X');
+  }
+  EXPECT_EQ(DatasetCache::load_split(path("split.m2aids")), nullptr);
+
+  DatasetCache::save_split(path("split2.m2aids"), synthetic_split());
+  {
+    std::ofstream f(path("split2.m2aids"), std::ios::app | std::ios::binary);
+    f << "extra";
+  }
+  EXPECT_EQ(DatasetCache::load_split(path("split2.m2aids")), nullptr);
+}
+
+// Tiny real configuration so generation stays cheap; the suite's scaled
+// configs go through exactly this path.
+core::ExperimentConfig tiny_config() {
+  core::ExperimentConfig config;
+  config.samples_per_class = 4;
+  config.pipeline.windows_per_sample = 2;
+  return config;
+}
+
+TEST(DatasetCache, SecondGetIsAHitAndSharesThePointer) {
+  DatasetCache cache(4);
+  const core::ExperimentConfig config = tiny_config();
+  const auto first = cache.get(config);
+  const auto second = cache.get(config);
+  ASSERT_NE(first, nullptr);
+  EXPECT_EQ(first.get(), second.get());
+  EXPECT_EQ(cache.stats().misses, 1u);
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_EQ(cache.resident(), 1u);
+}
+
+TEST(DatasetCache, ModelSweepSharesOneEntry) {
+  DatasetCache cache(4);
+  core::ExperimentConfig cnn_lstm = tiny_config();
+  core::ExperimentConfig cnn_only = tiny_config();
+  cnn_only.model.arch = core::NetworkArch::kCnnOnly;
+  cnn_only.train.epochs = 3;
+  ASSERT_EQ(dataset_fingerprint(cnn_lstm), dataset_fingerprint(cnn_only));
+  const auto a = cache.get(cnn_lstm);
+  const auto b = cache.get(cnn_only);
+  EXPECT_EQ(a.get(), b.get());
+  EXPECT_EQ(cache.stats().misses, 1u);
+  EXPECT_EQ(cache.stats().hits, 1u);
+}
+
+TEST(DatasetCache, CapacityOneEvictsTheColdEntry) {
+  DatasetCache cache(1);
+  core::ExperimentConfig a = tiny_config();
+  core::ExperimentConfig b = tiny_config();
+  b.seed += 1;
+  (void)cache.get(a);
+  (void)cache.get(b);
+  EXPECT_EQ(cache.resident(), 1u);
+  // `a` was evicted: fetching it again is a fresh miss.
+  (void)cache.get(a);
+  EXPECT_EQ(cache.stats().misses, 3u);
+  EXPECT_EQ(cache.stats().hits, 0u);
+}
+
+TEST_F(DatasetCacheFiles, DiskStoreRoundTripsAcrossCacheInstances) {
+  const core::ExperimentConfig config = tiny_config();
+  std::shared_ptr<const core::DataSplit> generated;
+  {
+    DatasetCache writer(4, dir_.string());
+    generated = writer.get(config);
+    EXPECT_EQ(writer.stats().disk_writes, 1u);
+    EXPECT_EQ(writer.stats().disk_hits, 0u);
+  }
+  DatasetCache reader(4, dir_.string());
+  const auto reloaded = reader.get(config);
+  EXPECT_EQ(reader.stats().disk_hits, 1u);
+  EXPECT_EQ(reader.stats().disk_writes, 0u);
+  EXPECT_EQ(reader.stats().misses, 1u);  // a disk hit is still a memory miss
+  expect_splits_equal(*generated, *reloaded);
+}
+
+}  // namespace
+}  // namespace m2ai::exp

@@ -1,0 +1,236 @@
+#include "exp/runner.hpp"
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "par/parallel_for.hpp"
+
+namespace m2ai::exp {
+namespace {
+
+namespace fs = std::filesystem;
+
+// Synthetic experiments: cells are cheap pure functions of (config, rng),
+// so these tests exercise the runner's dispatch/merge machinery without
+// simulating or training anything.
+void register_synthetic(Registry& registry) {
+  Experiment a;
+  a.id = "alpha";
+  a.figure = "Fig. A";
+  a.title = "first synthetic experiment";
+  a.columns = {"cell", "draw"};
+  for (int i = 0; i < 5; ++i) {
+    Cell cell;
+    cell.label = "a" + std::to_string(i);
+    cell.config.samples_per_class = 4 + i;
+    cell.run = [label = cell.label](CellContext& ctx) {
+      return Rows{{label, std::to_string(ctx.rng.next_u64())}};
+    };
+    a.cells.push_back(std::move(cell));
+  }
+  registry.add(std::move(a));
+
+  Experiment b;
+  b.id = "beta";
+  b.figure = "Fig. B";
+  b.title = "second synthetic experiment";
+  b.columns = {"cell", "rep", "draw"};
+  for (int i = 0; i < 3; ++i) {
+    for (int rep = 0; rep < 2; ++rep) {
+      Cell cell;
+      cell.label = "b" + std::to_string(i);
+      cell.repetition = rep;
+      cell.config.samples_per_class = 10 + i;
+      cell.run = [label = cell.label, rep](CellContext& ctx) {
+        return Rows{{label, std::to_string(rep), std::to_string(ctx.rng.next_u64())}};
+      };
+      b.cells.push_back(std::move(cell));
+    }
+  }
+  registry.add(std::move(b));
+}
+
+RunnerOptions quiet_options() {
+  RunnerOptions options;
+  options.verbose = false;
+  return options;
+}
+
+std::vector<std::vector<std::string>> all_rows(const SuiteResult& result) {
+  std::vector<std::vector<std::string>> rows;
+  for (const CellOutcome& out : result.outcomes) {
+    for (const auto& row : out.rows) rows.push_back(row);
+  }
+  return rows;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+class ExpRunnerFiles : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("m2ai_exp_test_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    fs::create_directories(dir_);
+  }
+  void TearDown() override {
+    std::error_code ec;
+    fs::remove_all(dir_, ec);
+  }
+  std::string path(const std::string& name) const { return (dir_ / name).string(); }
+  fs::path dir_;
+};
+
+TEST(ExpRegistry, RejectsDuplicateIdsAndMissingRunFns) {
+  Registry registry;
+  register_synthetic(registry);
+  Experiment dup;
+  dup.id = "alpha";
+  EXPECT_THROW(registry.add(std::move(dup)), std::invalid_argument);
+
+  Experiment hollow;
+  hollow.id = "hollow";
+  hollow.cells.push_back(Cell{});  // no run fn
+  EXPECT_THROW(registry.add(std::move(hollow)), std::invalid_argument);
+
+  EXPECT_EQ(registry.all().size(), 2u);
+  EXPECT_EQ(registry.total_cells(), 11u);
+}
+
+TEST(ExpRunner, UnknownIdAndBadShardSpecThrow) {
+  Registry registry;
+  register_synthetic(registry);
+  EXPECT_THROW(run_cells(registry, {"nope"}, quiet_options()), std::invalid_argument);
+  RunnerOptions bad = quiet_options();
+  bad.shard_index = 2;
+  bad.shard_count = 2;
+  EXPECT_THROW(run_cells(registry, {}, bad), std::invalid_argument);
+}
+
+TEST(ExpRunner, RowsAreIdenticalAtAnyThreadCount) {
+  Registry registry;
+  register_synthetic(registry);
+  SuiteResult serial, threaded;
+  {
+    par::ScopedNumThreads one(1);
+    serial = run_cells(registry, {}, quiet_options());
+  }
+  {
+    par::ScopedNumThreads four(4);
+    threaded = run_cells(registry, {}, quiet_options());
+  }
+  EXPECT_EQ(all_rows(serial), all_rows(threaded));
+}
+
+TEST(ExpRunner, SelectionDoesNotChangeACellsRngStream) {
+  // The per-cell RNG comes from a stable key, so running `beta` alone must
+  // reproduce the exact rows a full-suite run produced for it.
+  Registry registry;
+  register_synthetic(registry);
+  const SuiteResult full = run_cells(registry, {}, quiet_options());
+  const SuiteResult only = run_cells(registry, {"beta"}, quiet_options());
+  std::vector<std::vector<std::string>> full_beta;
+  for (const CellOutcome& out : full.outcomes) {
+    if (out.experiment_id == "beta") {
+      for (const auto& row : out.rows) full_beta.push_back(row);
+    }
+  }
+  EXPECT_EQ(full_beta, all_rows(only));
+}
+
+TEST_F(ExpRunnerFiles, ShardedRunsMergeToTheUnshardedResult) {
+  Registry registry;
+  register_synthetic(registry);
+  const SuiteResult whole = run_cells(registry, {}, quiet_options());
+
+  const int shard_count = 3;
+  std::vector<SuiteResult> shards;
+  for (int s = 0; s < shard_count; ++s) {
+    RunnerOptions options = quiet_options();
+    options.shard_index = s;
+    options.shard_count = shard_count;
+    shards.push_back(run_cells(registry, {}, options));
+  }
+  const SuiteResult merged = merge_results(registry, shards);
+  EXPECT_EQ(all_rows(whole), all_rows(merged));
+
+  // And the CSV artifacts are byte-identical.
+  write_experiment_csvs(registry, whole.outcomes, path("whole"));
+  write_experiment_csvs(registry, merged.outcomes, path("merged"));
+  for (const char* name : {"alpha.csv", "beta.csv"}) {
+    const std::string a = read_file(path("whole") + "/" + name);
+    ASSERT_FALSE(a.empty());
+    EXPECT_EQ(a, read_file(path("merged") + "/" + name)) << name;
+  }
+}
+
+TEST_F(ExpRunnerFiles, ShardFileRoundTripsExactly) {
+  Registry registry;
+  register_synthetic(registry);
+  RunnerOptions options = quiet_options();
+  options.shard_index = 1;
+  options.shard_count = 2;
+  SuiteResult shard = run_cells(registry, {}, options);
+  // Awkward bytes a naive format would corrupt.
+  shard.outcomes[0].rows.push_back({"tab\there", "newline\nthere", "back\\slash\r"});
+
+  write_shard_file(path("shard.tsv"), shard);
+  const SuiteResult back = read_shard_file(path("shard.tsv"));
+  ASSERT_EQ(back.outcomes.size(), shard.outcomes.size());
+  for (std::size_t i = 0; i < shard.outcomes.size(); ++i) {
+    EXPECT_EQ(back.outcomes[i].experiment_id, shard.outcomes[i].experiment_id);
+    EXPECT_EQ(back.outcomes[i].cell_index, shard.outcomes[i].cell_index);
+    EXPECT_EQ(back.outcomes[i].repetition, shard.outcomes[i].repetition);
+    EXPECT_EQ(back.outcomes[i].label, shard.outcomes[i].label);
+    EXPECT_EQ(back.outcomes[i].rows, shard.outcomes[i].rows);
+  }
+  EXPECT_EQ(back.cache.hits, shard.cache.hits);
+  EXPECT_EQ(back.cache.misses, shard.cache.misses);
+}
+
+TEST(ExpRunner, MergeRejectsDuplicateOutcomes) {
+  Registry registry;
+  register_synthetic(registry);
+  const SuiteResult whole = run_cells(registry, {}, quiet_options());
+  EXPECT_THROW(merge_results(registry, {whole, whole}), std::runtime_error);
+}
+
+TEST_F(ExpRunnerFiles, CsvWriterRejectsPartialCoverage) {
+  Registry registry;
+  register_synthetic(registry);
+  RunnerOptions options = quiet_options();
+  options.shard_index = 0;
+  options.shard_count = 2;
+  const SuiteResult half = run_cells(registry, {}, options);
+  EXPECT_THROW(write_experiment_csvs(registry, half.outcomes, path("csv")),
+               std::runtime_error);
+}
+
+TEST_F(ExpRunnerFiles, SuiteReportCountsCellsAndCache) {
+  Registry registry;
+  register_synthetic(registry);
+  const SuiteResult whole = run_cells(registry, {}, quiet_options());
+  const std::string json = suite_report_json(registry, whole, 2, 1.0, "test");
+  EXPECT_NE(json.find("\"suite\": \"m2ai_bench\""), std::string::npos);
+  EXPECT_NE(json.find("\"cells_run\": 11"), std::string::npos);
+  EXPECT_NE(json.find("\"id\": \"alpha\""), std::string::npos);
+  EXPECT_NE(json.find("\"id\": \"beta\""), std::string::npos);
+  EXPECT_NE(json.find("\"label\": \"test\""), std::string::npos);
+  write_suite_report(path("nested/dir/report.json"), registry, whole, 2, 1.0, "test");
+  EXPECT_EQ(read_file(path("nested/dir/report.json")), json);
+}
+
+}  // namespace
+}  // namespace m2ai::exp

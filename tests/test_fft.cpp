@@ -162,6 +162,63 @@ TEST_P(PeriodogramAntennaSizes, BartlettAverageMatchesNaiveMean) {
 INSTANTIATE_TEST_SUITE_P(AntennaCounts, PeriodogramAntennaSizes,
                          ::testing::Values(3, 5, 6, 7));
 
+// The radix-2 butterflies now read twiddles from a per-size cached table.
+// The table is built with the same incremental recurrence (w *= wl) the
+// in-loop computation used, so the transform must stay BITWISE identical
+// to the uncached implementation — this reference reproduces that original
+// loop verbatim.
+std::vector<cdouble> uncached_radix2(std::vector<cdouble> data, bool inverse) {
+  const std::size_t n = data.size();
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(data[i], data[j]);
+  }
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double ang = (inverse ? 2.0 : -2.0) * M_PI / static_cast<double>(len);
+    const cdouble wl = std::polar(1.0, ang);
+    for (std::size_t i = 0; i < n; i += len) {
+      cdouble w{1.0, 0.0};
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        const cdouble u = data[i + k];
+        const cdouble v = data[i + k + len / 2] * w;
+        data[i + k] = u + v;
+        data[i + k + len / 2] = u - v;
+        w *= wl;
+      }
+    }
+  }
+  if (inverse) {
+    for (auto& x : data) x /= static_cast<double>(n);
+  }
+  return data;
+}
+
+class FftTwiddleCache : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(FftTwiddleCache, BitwiseIdenticalToUncachedRecurrence) {
+  const std::size_t n = GetParam();
+  for (const bool inverse : {false, true}) {
+    const auto x = random_signal(n, 6000 + n + (inverse ? 1 : 0));
+    const auto reference = uncached_radix2(x, inverse);
+    // Twice: a cold cache (first call builds the table) and a warm one.
+    for (int pass = 0; pass < 2; ++pass) {
+      std::vector<cdouble> cached = x;
+      fft_radix2(cached, inverse);
+      for (std::size_t i = 0; i < n; ++i) {
+        ASSERT_EQ(cached[i].real(), reference[i].real())
+            << "n=" << n << " inverse=" << inverse << " bin " << i;
+        ASSERT_EQ(cached[i].imag(), reference[i].imag())
+            << "n=" << n << " inverse=" << inverse << " bin " << i;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, FftTwiddleCache,
+                         ::testing::Values(2, 4, 8, 16, 64, 256, 1024));
+
 TEST(Dft, InverseRoundTrip) {
   const auto x = random_signal(9, 11);
   const auto back = dft(dft(x, false), true);

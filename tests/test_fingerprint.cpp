@@ -1,0 +1,124 @@
+#include "exp/fingerprint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <functional>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace m2ai::exp {
+namespace {
+
+TEST(Fingerprinter, HexIs32LowercaseHexChars) {
+  Fingerprinter fp;
+  fp.field("x", 1);
+  const std::string hex = fp.hex();
+  ASSERT_EQ(hex.size(), 32u);
+  for (char c : hex) {
+    EXPECT_TRUE((c >= '0' && c <= '9') || (c >= 'a' && c <= 'f')) << hex;
+  }
+}
+
+TEST(Fingerprinter, FieldNameAndOrderMatter) {
+  Fingerprinter a, b, c;
+  a.field("first", 1);
+  a.field("second", 2);
+  b.field("first", 2);
+  b.field("second", 1);
+  c.field("renamed", 1);
+  c.field("second", 2);
+  EXPECT_NE(a.hex(), b.hex());
+  EXPECT_NE(a.hex(), c.hex());
+}
+
+TEST(Fingerprinter, TypeTagSeparatesEqualBitPatterns) {
+  Fingerprinter as_int, as_uint;
+  as_int.field("v", std::int64_t{1});
+  as_uint.field("v", std::uint64_t{1});
+  EXPECT_NE(as_int.hex(), as_uint.hex());
+}
+
+TEST(Fingerprinter, StringBoundariesCannotShift) {
+  Fingerprinter a, b;
+  a.field("ab", std::string_view("c"));
+  b.field("a", std::string_view("bc"));
+  EXPECT_NE(a.hex(), b.hex());
+}
+
+TEST(DatasetFingerprint, EqualConfigsHashEqual) {
+  const core::ExperimentConfig a;
+  const core::ExperimentConfig b;
+  EXPECT_EQ(dataset_fingerprint(a), dataset_fingerprint(b));
+}
+
+TEST(DatasetFingerprint, EverySingleFieldPerturbationChangesTheHash) {
+  using Mutation = std::function<void(core::ExperimentConfig&)>;
+  const std::vector<std::pair<const char*, Mutation>> mutations = {
+      {"environment",
+       [](auto& c) { c.pipeline.environment = core::EnvironmentKind::kHall; }},
+      {"num_persons", [](auto& c) { c.pipeline.num_persons = 3; }},
+      {"tags_per_person", [](auto& c) { c.pipeline.tags_per_person = 1; }},
+      {"distance_m", [](auto& c) { c.pipeline.distance_m = 2.0; }},
+      {"num_antennas", [](auto& c) { c.pipeline.num_antennas = 3; }},
+      {"frequency_hopping", [](auto& c) { c.pipeline.frequency_hopping = false; }},
+      {"phase_calibration", [](auto& c) { c.pipeline.phase_calibration = false; }},
+      {"bootstrap_sec", [](auto& c) { c.pipeline.bootstrap_sec = 10.0; }},
+      {"feature_mode",
+       [](auto& c) { c.pipeline.feature_mode = core::FeatureMode::kFftOnly; }},
+      {"cov.forward_backward",
+       [](auto& c) { c.pipeline.covariance.forward_backward = false; }},
+      {"cov.smoothing_subarray",
+       [](auto& c) { c.pipeline.covariance.smoothing_subarray = 3; }},
+      {"cov.diagonal_loading",
+       [](auto& c) { c.pipeline.covariance.diagonal_loading *= 2.0; }},
+      {"music_num_sources", [](auto& c) { c.pipeline.music_num_sources = 3; }},
+      {"window_sec", [](auto& c) { c.pipeline.window_sec = 0.5; }},
+      {"windows_per_sample", [](auto& c) { c.pipeline.windows_per_sample = 24; }},
+      {"seed", [](auto& c) { c.seed += 1; }},
+      {"samples_per_class", [](auto& c) { c.samples_per_class += 1; }},
+      {"train_fraction", [](auto& c) { c.train_fraction = 0.75; }},
+  };
+
+  const core::ExperimentConfig base;
+  const std::string base_hash = dataset_fingerprint(base);
+  std::set<std::string> seen = {base_hash};
+  for (const auto& [name, mutate] : mutations) {
+    core::ExperimentConfig mutated = base;
+    mutate(mutated);
+    const std::string hash = dataset_fingerprint(mutated);
+    EXPECT_NE(hash, base_hash) << "perturbing " << name << " did not change the hash";
+    // And no two perturbations collide with each other either.
+    EXPECT_TRUE(seen.insert(hash).second) << name << " collided with another mutation";
+  }
+}
+
+TEST(DatasetFingerprint, FloatsThatPrintIdenticallyHashApart) {
+  // 4.0 and its next representable neighbour agree to 15 significant
+  // digits under %g — a decimal-rendered key would alias them. The
+  // bit-pattern hash must not.
+  core::ExperimentConfig a, b;
+  a.pipeline.distance_m = 4.0;
+  b.pipeline.distance_m = std::nextafter(4.0, 5.0);
+  char ra[64], rb[64];
+  std::snprintf(ra, sizeof(ra), "%.6g", a.pipeline.distance_m);
+  std::snprintf(rb, sizeof(rb), "%.6g", b.pipeline.distance_m);
+  ASSERT_STREQ(ra, rb);  // precondition: they really do print identically
+  EXPECT_NE(dataset_fingerprint(a), dataset_fingerprint(b));
+}
+
+TEST(DatasetFingerprint, ModelAndTrainFieldsAreExcluded) {
+  // The dataset is a pure function of the pipeline + seed: architecture and
+  // epoch sweeps over one dataset must share a cache entry.
+  core::ExperimentConfig a, b;
+  b.model.arch = core::NetworkArch::kCnnOnly;
+  b.model.lstm_hidden = 64;
+  b.train.epochs = 3;
+  b.train.learning_rate = 1.0;
+  EXPECT_EQ(dataset_fingerprint(a), dataset_fingerprint(b));
+}
+
+}  // namespace
+}  // namespace m2ai::exp

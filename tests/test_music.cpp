@@ -205,5 +205,48 @@ TEST(FindPeaks, EmptyInputAndZeroBudgetReturnNothing) {
   EXPECT_TRUE(find_peaks(spec, 0, 0.05).empty());
 }
 
+TEST(SteeringCache, EqualGeometryEstimatorsShareOneTable) {
+  const MusicOptions opts = default_options();
+  MusicEstimator a(opts);
+  MusicEstimator b(opts);
+  EXPECT_EQ(a.steering_table().get(), b.steering_table().get());
+
+  MusicOptions other = default_options();
+  other.wavelength_m = 0.34;
+  MusicEstimator c(other);
+  EXPECT_NE(a.steering_table().get(), c.steering_table().get());
+}
+
+TEST(SteeringCache, TableMatchesDirectSteeringLoopBitwise) {
+  // The cached table replaced a per-estimator rf::steering_vector loop; its
+  // entries must be the very same doubles that loop produced.
+  const auto table = shared_steering_table(4, 0.08, 0.33, 181);
+  ASSERT_EQ(table->size(), 181u);
+  for (int deg = 0; deg < 181; ++deg) {
+    const auto direct = rf::steering_vector(static_cast<double>(deg), 4, 0.08, 0.33);
+    const auto& cached = (*table)[static_cast<std::size_t>(deg)];
+    ASSERT_EQ(cached.size(), direct.size());
+    for (std::size_t i = 0; i < direct.size(); ++i) {
+      ASSERT_EQ(cached[i].real(), direct[i].real()) << "deg " << deg;
+      ASSERT_EQ(cached[i].imag(), direct[i].imag()) << "deg " << deg;
+    }
+  }
+}
+
+TEST(SteeringCache, PseudospectrumBitwiseStableAcrossEstimators) {
+  // The pseudospectrum is a pure function of (covariance, steering table):
+  // a fresh estimator served from the cache must reproduce the first
+  // estimator's spectrum bit for bit.
+  MusicOptions opts = default_options();
+  opts.num_sources = 2;
+  const auto snaps = incoherent_snapshots({50.0, 115.0}, {1.0, 0.8}, 4, 128, 0.02, 9);
+  const MusicResult first = MusicEstimator(opts).estimate(snaps);
+  const MusicResult second = MusicEstimator(opts).estimate(snaps);
+  ASSERT_EQ(first.spectrum.size(), second.spectrum.size());
+  for (std::size_t i = 0; i < first.spectrum.size(); ++i) {
+    ASSERT_EQ(first.spectrum[i], second.spectrum[i]) << "bin " << i;
+  }
+}
+
 }  // namespace
 }  // namespace m2ai::dsp

@@ -1,0 +1,259 @@
+// m2ai_bench — the whole Fig. 9-17 evaluation suite as one command.
+//
+// Runs the registered experiments (bench/experiments) through the sharded
+// runner: cells are dispatched over the deterministic parallel layer,
+// generated datasets are shared through the content-addressed cache, and
+// the merged per-figure CSVs in --out-dir are byte-identical to the serial
+// standalone binaries at any --threads count and any shard split.
+//
+//   m2ai_bench --list                      enumerate experiments
+//   m2ai_bench --all                       run the full suite
+//   m2ai_bench --only fig11_objects,fig15_tags
+//   m2ai_bench --all --threads 8           cell-level fan-out
+//   m2ai_bench --all --smoke               reduced budget (scale 0.1)
+//   m2ai_bench --all --scale 0.5           explicit budget scale
+//   m2ai_bench --all --cache-dir .m2ai-cache   persist datasets on disk
+//   m2ai_bench --all --shard 0/2 --shard-out a.tsv   run half the cells
+//   m2ai_bench --merge a.tsv b.tsv         merge shards -> CSVs + report
+//
+// Every run writes a machine-readable suite report (wall time, per-
+// experiment cell seconds, cache hit rate, speedup vs the serial-equivalent
+// cost) to --suite-json (default: <out-dir>/BENCH_suite_<date>.json).
+// --metrics-out/--trace expose the obs layer as in every bench binary.
+#include <cstdio>
+#include <cstring>
+#include <ctime>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "experiments/experiments.hpp"
+#include "obs/metrics.hpp"
+#include "par/parallel_for.hpp"
+
+using namespace m2ai;
+
+namespace {
+
+struct Options {
+  bool list = false;
+  bool run_all = false;
+  bool merge = false;
+  std::vector<std::string> only;
+  std::vector<std::string> shard_files;  // inputs for --merge
+  int shard_index = 0;
+  int shard_count = 1;
+  std::string shard_out;
+  std::string out_dir = "bench_results";
+  std::string cache_dir;
+  std::size_t cache_entries = 16;
+  double scale = 0.0;  // 0 = default (env)
+  std::string suite_json;
+  std::string label = "suite";
+};
+
+void usage() {
+  std::printf(
+      "usage: m2ai_bench [--list | --all | --only id[,id...] | --merge file...]\n"
+      "                  [--threads N] [--smoke | --scale X] [--shard I/N]\n"
+      "                  [--shard-out FILE] [--out-dir DIR] [--cache-dir DIR]\n"
+      "                  [--cache-entries N] [--suite-json FILE] [--label NAME]\n"
+      "                  [--metrics-out FILE] [--trace]\n");
+}
+
+std::vector<std::string> split_commas(const std::string& s) {
+  std::vector<std::string> out;
+  std::string current;
+  for (char c : s) {
+    if (c == ',') {
+      if (!current.empty()) out.push_back(current);
+      current.clear();
+    } else {
+      current += c;
+    }
+  }
+  if (!current.empty()) out.push_back(current);
+  return out;
+}
+
+Options parse(int argc, char** argv) {
+  Options opt;
+  auto value = [&](int& i, const char* flag) -> std::string {
+    if (i + 1 >= argc) throw std::invalid_argument(std::string(flag) + " needs a value");
+    return argv[++i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string token = argv[i];
+    if (token == "--list") {
+      opt.list = true;
+    } else if (token == "--all") {
+      opt.run_all = true;
+    } else if (token == "--only") {
+      for (auto& id : split_commas(value(i, "--only"))) opt.only.push_back(id);
+    } else if (token == "--merge") {
+      opt.merge = true;
+      while (i + 1 < argc && argv[i + 1][0] != '-') opt.shard_files.push_back(argv[++i]);
+    } else if (token == "--shard") {
+      const std::string spec = value(i, "--shard");
+      const std::size_t slash = spec.find('/');
+      if (slash == std::string::npos) {
+        throw std::invalid_argument("--shard expects I/N, got '" + spec + "'");
+      }
+      opt.shard_index = std::atoi(spec.substr(0, slash).c_str());
+      opt.shard_count = std::atoi(spec.substr(slash + 1).c_str());
+    } else if (token == "--shard-out") {
+      opt.shard_out = value(i, "--shard-out");
+    } else if (token == "--out-dir") {
+      opt.out_dir = value(i, "--out-dir");
+    } else if (token == "--cache-dir") {
+      opt.cache_dir = value(i, "--cache-dir");
+    } else if (token == "--cache-entries") {
+      opt.cache_entries = static_cast<std::size_t>(
+          std::atoll(value(i, "--cache-entries").c_str()));
+    } else if (token == "--smoke") {
+      opt.scale = 0.1;
+      opt.label = "smoke";
+    } else if (token == "--scale") {
+      opt.scale = std::atof(value(i, "--scale").c_str());
+    } else if (token == "--suite-json") {
+      opt.suite_json = value(i, "--suite-json");
+    } else if (token == "--label") {
+      opt.label = value(i, "--label");
+    } else if (token == "--help" || token == "-h") {
+      usage();
+      std::exit(0);
+    } else {
+      throw std::invalid_argument("unknown flag '" + token + "'");
+    }
+  }
+  return opt;
+}
+
+std::string default_suite_json(const std::string& out_dir) {
+  std::time_t now = std::time(nullptr);
+  std::tm tm{};
+  gmtime_r(&now, &tm);
+  char date[32];
+  std::strftime(date, sizeof(date), "%Y-%m-%d", &tm);
+  return out_dir + "/BENCH_suite_" + date + ".json";
+}
+
+void print_summary(const exp::SuiteResult& result) {
+  std::printf("\ncells run:            %zu\n", result.outcomes.size());
+  std::printf("wall time:            %.2f s\n", result.wall_seconds);
+  std::printf("serial-equivalent:    %.2f s\n", result.cell_seconds);
+  if (result.wall_seconds > 0.0) {
+    std::printf("speedup vs serial:    %.2fx\n",
+                result.cell_seconds / result.wall_seconds);
+  }
+  std::printf("dataset cache:        %llu hits / %llu misses (hit rate %.0f%%)"
+              ", disk %llu hits / %llu writes\n",
+              static_cast<unsigned long long>(result.cache.hits),
+              static_cast<unsigned long long>(result.cache.misses),
+              result.cache.hit_rate() * 100.0,
+              static_cast<unsigned long long>(result.cache.disk_hits),
+              static_cast<unsigned long long>(result.cache.disk_writes));
+}
+
+int run(const Options& opt) {
+  exp::Registry registry;
+  bench::register_all_experiments(registry);
+
+  if (opt.list) {
+    util::Table table({"id", "figure", "cells", "title"});
+    for (const exp::Experiment& e : registry.all()) {
+      table.add_row({e.id, e.figure, std::to_string(e.cells.size()), e.title});
+    }
+    table.print();
+    std::printf("total: %zu experiments, %zu cells\n", registry.all().size(),
+                registry.total_cells());
+    return 0;
+  }
+
+  const std::string suite_json =
+      opt.suite_json.empty() ? default_suite_json(opt.out_dir) : opt.suite_json;
+
+  if (opt.merge) {
+    if (opt.shard_files.empty()) {
+      std::fprintf(stderr, "--merge needs at least one shard file\n");
+      return 1;
+    }
+    std::vector<exp::SuiteResult> shards;
+    for (const std::string& path : opt.shard_files) {
+      shards.push_back(exp::read_shard_file(path));
+    }
+    const exp::SuiteResult merged = exp::merge_results(registry, shards);
+    exp::write_experiment_csvs(registry, merged.outcomes, opt.out_dir);
+    exp::write_suite_report(suite_json, registry, merged, par::num_threads(),
+                            bench::env_scale(), opt.label);
+    print_summary(merged);
+    std::printf("CSVs written to %s/, report to %s\n", opt.out_dir.c_str(),
+                suite_json.c_str());
+    return 0;
+  }
+
+  if (!opt.run_all && opt.only.empty()) {
+    usage();
+    return 1;
+  }
+
+  exp::RunnerOptions runner;
+  runner.shard_index = opt.shard_index;
+  runner.shard_count = opt.shard_count;
+  runner.cache_dir = opt.cache_dir;
+  runner.cache_capacity = opt.cache_entries;
+
+  bench::print_header("Suite", "Sharded experiment runner (" +
+                                   std::to_string(registry.total_cells()) +
+                                   " cells registered)");
+  const exp::SuiteResult result = exp::run_cells(registry, opt.only, runner);
+
+  if (opt.shard_count > 1) {
+    // A partial run: hand the outcome to a later --merge instead of CSVs.
+    const std::string shard_out =
+        opt.shard_out.empty()
+            ? opt.out_dir + "/shard_" + std::to_string(opt.shard_index) + "_of_" +
+                  std::to_string(opt.shard_count) + ".tsv"
+            : opt.shard_out;
+    exp::write_shard_file(shard_out, result);
+    print_summary(result);
+    std::printf("shard %d/%d written to %s — merge all shards with --merge\n",
+                opt.shard_index, opt.shard_count, shard_out.c_str());
+    return 0;
+  }
+
+  exp::write_experiment_csvs(registry, result.outcomes, opt.out_dir);
+  for (const exp::Experiment& e : registry.all()) {
+    bool covered = false;
+    for (const exp::CellOutcome& out : result.outcomes) {
+      if (out.experiment_id == e.id) { covered = true; break; }
+    }
+    if (!covered) continue;
+    std::printf("\n--- %s — %s ---\n", e.figure.c_str(), e.title.c_str());
+    bench::print_experiment_report(e, result.outcomes);
+  }
+  exp::write_suite_report(suite_json, registry, result, par::num_threads(),
+                          bench::env_scale(), opt.label);
+  print_summary(result);
+  std::printf("CSVs written to %s/, report to %s\n", opt.out_dir.c_str(),
+              suite_json.c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  argc = bench::init_observability(argc, argv);
+  // The suite always counts cache traffic and cell timings, independent of
+  // --metrics-out/--trace: the report JSON reads the same counters.
+  obs::set_enabled(true);
+  try {
+    const Options opt = parse(argc, argv);
+    if (opt.scale > 0.0) bench::set_scale_override(opt.scale);
+    return run(opt);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "m2ai_bench: %s\n", e.what());
+    return 1;
+  }
+}
