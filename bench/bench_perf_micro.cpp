@@ -18,8 +18,11 @@
 #include "dsp/music.hpp"
 #include "dsp/periodogram.hpp"
 #include "core/experiment.hpp"
+#include "kern/eig4.hpp"
+#include "kern/kernels.hpp"
 #include "nn/optimizer.hpp"
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "par/parallel_for.hpp"
 #include "rf/steering.hpp"
 #include "util/rng.hpp"
@@ -297,6 +300,148 @@ void run_training_scaling() {
               deterministic ? "bitwise-identical" : "MISMATCH");
 }
 
+// Kernel section: ns/op of each kern:: microkernel at the shapes the model
+// actually runs, plus an old-vs-new span comparison against the pre-kernel
+// tree. Gauges land under kern.* so --metrics-out exports them.
+
+template <typename F>
+double measure_ns_per_op(F&& body) {
+  // Warm up (first call touches cold caches / builds plans), then time
+  // enough iterations to dominate the clock reads.
+  body();
+  int iters = 1;
+  double seconds = 0.0;
+  for (;;) {
+    const auto start = std::chrono::steady_clock::now();
+    for (int i = 0; i < iters; ++i) body();
+    seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+    if (seconds > 0.02 || iters > (1 << 24)) break;
+    iters *= 4;
+  }
+  return seconds / static_cast<double>(iters) * 1e9;
+}
+
+void run_kernel_micro() {
+  std::printf("compute kernels — ns/op at the model's hot-path shapes\n");
+  util::Rng rng(42);
+
+  // LSTM gate GEMV: 4H x (I+H) at H=32 with the merge layer's 64 inputs.
+  const int rows = 128, cols = 96;
+  std::vector<float> w(static_cast<std::size_t>(rows) * cols), x(cols), b(rows), y(rows);
+  for (auto& v : w) v = static_cast<float>(rng.normal());
+  for (auto& v : x) v = static_cast<float>(rng.normal());
+  for (auto& v : b) v = static_cast<float>(rng.normal());
+  std::vector<float> wg(w.size(), 0.0f), g(rows, 0.5f), bg(rows, 0.0f), dx(cols, 0.0f);
+
+  // Conv1d row: the first pseudo-branch layer (L=180, K=7, stride 2, pad 3).
+  std::vector<float> cx(180), cw(7), cpartial(90);
+  for (auto& v : cx) v = static_cast<float>(rng.normal());
+  for (auto& v : cw) v = static_cast<float>(rng.normal());
+
+  // MUSIC projection: 1 noise vector x 4 antennas over 180 bins.
+  const auto steer_src = rf::steering_vector(50.0, 4, 0.08, 0.33);
+  std::vector<dsp::cdouble> steer(180 * 4), un(4);
+  for (std::size_t i = 0; i < steer.size(); ++i) {
+    steer[i] = steer_src[i % 4] * std::polar(1.0, 0.01 * static_cast<double>(i));
+  }
+  for (std::size_t i = 0; i < un.size(); ++i) un[i] = steer_src[i];
+  std::vector<double> denom(180);
+
+  // eig4: a real sample covariance.
+  const auto snaps = make_snapshots(4, 16, 11);
+  const auto cov = dsp::sample_covariance(snaps);
+  dsp::cdouble cov_flat[16], vecs[16];
+  for (std::size_t r = 0; r < 4; ++r) {
+    for (std::size_t c = 0; c < 4; ++c) cov_flat[r * 4 + c] = cov(r, c);
+  }
+  double values[4];
+
+  // FFT plan at the periodogram's snapshot length (4 antennas).
+  const auto plan = dsp::shared_fft_plan(4);
+  std::vector<dsp::cdouble> fin(4), fout(4), fscratch;
+  for (auto& v : fin) v = dsp::cdouble{rng.normal(), rng.normal()};
+
+  struct Row {
+    const char* name;
+    double ns;
+  };
+  const Row rows_out[] = {
+      {"gemv_128x96", measure_ns_per_op([&] {
+         kern::gemv(w.data(), x.data(), b.data(), y.data(), rows, cols);
+         benchmark::DoNotOptimize(y.data());
+       })},
+      {"gemv_backward_128x96", measure_ns_per_op([&] {
+         kern::gemv_backward_acc(w.data(), wg.data(), x.data(), g.data(), bg.data(),
+                                 dx.data(), rows, cols, true);
+         benchmark::DoNotOptimize(wg.data());
+       })},
+      {"conv1d_row_180_k7s2p3", measure_ns_per_op([&] {
+         std::memset(cpartial.data(), 0, cpartial.size() * sizeof(float));
+         kern::conv1d_row_acc(cx.data(), 180, cw.data(), 7, 2, 3, cpartial.data(), 90);
+         benchmark::DoNotOptimize(cpartial.data());
+       })},
+      {"noise_projection_1x4x180", measure_ns_per_op([&] {
+         kern::noise_projection(un.data(), 1, steer.data(), 180, 4, denom.data());
+         benchmark::DoNotOptimize(denom.data());
+       })},
+      {"eig_hermitian4", measure_ns_per_op([&] {
+         kern::eig_hermitian4(cov_flat, 1e-12, 64, values, vecs);
+         benchmark::DoNotOptimize(values);
+       })},
+      {"fft_plan_transform_4", measure_ns_per_op([&] {
+         plan->transform(fin.data(), fout.data(), false, fscratch);
+         benchmark::DoNotOptimize(fout.data());
+       })},
+  };
+  std::printf("%28s %12s\n", "kernel", "ns/op");
+  for (const Row& r : rows_out) {
+    std::printf("%28s %12.1f\n", r.name, r.ns);
+    obs::registry().gauge(std::string("kern.") + r.name + ".ns_per_op").set(r.ns);
+  }
+  std::printf("\n");
+}
+
+// Per-call span costs of the pre-kernel tree (PR 4, commit 001fcd4), measured
+// on the same host at the same bench workload right before the kernel layer
+// landed. The table below divides the current run's span totals by their
+// call counts so the comparison is robust to google-benchmark choosing a
+// different iteration count.
+struct SpanBaseline {
+  const char* name;
+  double us_per_call;
+};
+constexpr SpanBaseline kPreKernelBaseline[] = {
+    {"covariance", 1.960},   {"eig", 6.939},
+    {"music", 24.790},       {"periodogram", 2.199},
+    {"cnn_pseudo", 51.732},  {"cnn_pseudo_bwd", 87.058},
+    {"nn_forward", 1154.412}, {"nn_backward", 2176.045},
+    {"frame_assembly", 2914.735}, {"train_epoch", 51578.885},
+};
+
+void run_span_comparison() {
+  const auto spans = obs::spans().snapshot();
+  std::printf("kernel-layer span comparison (per call, vs pre-kernel tree)\n");
+  std::printf("%16s %10s %14s %14s %9s\n", "span", "calls", "now us/call",
+              "before us/call", "speedup");
+  for (const SpanBaseline& base : kPreKernelBaseline) {
+    const auto it = std::find_if(spans.begin(), spans.end(), [&](const auto& s) {
+      return s.name == base.name;
+    });
+    if (it == spans.end() || it->latency_ms.count == 0) continue;
+    const double now_us =
+        it->latency_ms.sum / static_cast<double>(it->latency_ms.count) * 1e3;
+    const double speedup = now_us > 0.0 ? base.us_per_call / now_us : 0.0;
+    std::printf("%16s %10llu %14.3f %14.3f %8.2fx\n", base.name,
+                static_cast<unsigned long long>(it->latency_ms.count), now_us,
+                base.us_per_call, speedup);
+    obs::registry()
+        .gauge(std::string("kern.span.") + base.name + ".speedup_vs_pre")
+        .set(speedup);
+  }
+  std::printf("\n");
+}
+
 }  // namespace
 
 // Custom main instead of BENCHMARK_MAIN(): --metrics-out/--trace are parsed
@@ -306,9 +451,14 @@ int main(int argc, char** argv) {
   argc = m2ai::bench::init_observability(argc, argv);
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  // The span-comparison table needs spans recorded during the scaling runs
+  // even when no --metrics-out/--trace flag was passed.
+  obs::set_enabled(true);
   run_parallel_scaling();
   run_training_scaling();
+  run_kernel_micro();
   benchmark::RunSpecifiedBenchmarks();
+  run_span_comparison();
   benchmark::Shutdown();
   return 0;
 }

@@ -52,11 +52,23 @@ FrameSequence FrameBuilder::build(const std::vector<sim::TagReport>& reports,
   std::vector<std::vector<TagWindow>> windows(
       static_cast<std::size_t>(num_windows),
       std::vector<TagWindow>(static_cast<std::size_t>(num_tags_)));
+  // Reports spread roughly evenly over (window, tag, antenna) cells;
+  // reserving the expected per-cell count up front keeps the per-report
+  // push_backs below from growing each vector through repeated reallocation.
+  const std::size_t cells = static_cast<std::size_t>(num_windows) *
+                            static_cast<std::size_t>(num_tags_) *
+                            static_cast<std::size_t>(num_ant);
+  const std::size_t expected = cells > 0 ? reports.size() / cells + 4 : 0;
   for (auto& per_window : windows) {
     for (auto& tw : per_window) {
       tw.phases.resize(static_cast<std::size_t>(num_ant));
       tw.amplitudes.resize(static_cast<std::size_t>(num_ant));
       tw.rssis.resize(static_cast<std::size_t>(num_ant));
+      for (int a = 0; a < num_ant; ++a) {
+        tw.phases[static_cast<std::size_t>(a)].reserve(expected);
+        tw.amplitudes[static_cast<std::size_t>(a)].reserve(expected);
+        tw.rssis[static_cast<std::size_t>(a)].reserve(expected);
+      }
     }
   }
 
@@ -101,6 +113,11 @@ SpectrumFrame FrameBuilder::make_frame(const std::vector<TagWindow>& tags) const
   if (frame.has_pseudo) frame.pseudo = nn::Tensor({num_tags_, rf::kNumAngleBins});
   if (frame.has_aux) frame.aux = nn::Tensor({num_tags_, num_ant});
 
+  // Snapshot matrix reused across tags (local, so parallel windows stay
+  // independent); tags in one window have near-identical snapshot counts,
+  // so after the first tag the buffers are usually exactly right.
+  std::vector<std::vector<dsp::cdouble>> snapshots;
+
   for (int tag = 0; tag < num_tags_; ++tag) {
     const TagWindow& tw = tags[static_cast<std::size_t>(tag)];
 
@@ -135,7 +152,7 @@ SpectrumFrame FrameBuilder::make_frame(const std::vector<TagWindow>& tags) const
     }
     if (num_snapshots == SIZE_MAX || num_snapshots < 2) continue;  // zero row
 
-    std::vector<std::vector<dsp::cdouble>> snapshots(num_snapshots);
+    snapshots.resize(num_snapshots);
     for (std::size_t k = 0; k < num_snapshots; ++k) {
       auto& snap = snapshots[k];
       snap.resize(static_cast<std::size_t>(num_ant));

@@ -6,24 +6,6 @@ namespace m2ai::dsp {
 
 namespace {
 
-// Plain covariance of full-aperture snapshots.
-CMatrix outer_average(const std::vector<std::vector<cdouble>>& snapshots,
-                      std::size_t offset, std::size_t len) {
-  CMatrix r(len, len);
-  for (const auto& snap : snapshots) {
-    for (std::size_t i = 0; i < len; ++i) {
-      for (std::size_t j = 0; j < len; ++j) {
-        r(i, j) += snap[offset + i] * std::conj(snap[offset + j]);
-      }
-    }
-  }
-  const double inv = 1.0 / static_cast<double>(snapshots.size());
-  for (std::size_t i = 0; i < len; ++i) {
-    for (std::size_t j = 0; j < len; ++j) r(i, j) *= inv;
-  }
-  return r;
-}
-
 // Backward (exchange-conjugate) transform: R_b = J * conj(R) * J where J is
 // the exchange matrix. Written out directly.
 CMatrix backward(const CMatrix& r) {
@@ -59,16 +41,46 @@ CMatrix sample_covariance(const std::vector<std::vector<cdouble>>& snapshots,
   }
 
   // Average covariances of all overlapping subarrays of length `sub`
-  // (sub == n reduces to the plain full-aperture covariance).
+  // (sub == n reduces to the plain full-aperture covariance). The subarray
+  // covariance is built in a reused buffer and folded into `r` element-wise
+  // — the same adds, in the same order, as the old `r = r + outer_average`
+  // chain of temporaries (including the 0 + x add for the first subarray,
+  // which canonicalizes -0.0 exactly like the old code did).
   const std::size_t num_sub = n - sub + 1;
   CMatrix r(sub, sub);
+  CMatrix tmp(sub, sub);
   for (std::size_t o = 0; o < num_sub; ++o) {
-    r = r + outer_average(snapshots, o, sub);
+    for (std::size_t i = 0; i < sub; ++i) {
+      for (std::size_t j = 0; j < sub; ++j) tmp(i, j) = cdouble{0.0, 0.0};
+    }
+    for (const auto& snap : snapshots) {
+      for (std::size_t i = 0; i < sub; ++i) {
+        for (std::size_t j = 0; j < sub; ++j) {
+          tmp(i, j) += snap[o + i] * std::conj(snap[o + j]);
+        }
+      }
+    }
+    const double inv = 1.0 / static_cast<double>(snapshots.size());
+    for (std::size_t i = 0; i < sub; ++i) {
+      for (std::size_t j = 0; j < sub; ++j) {
+        r(i, j) = r(i, j) + tmp(i, j) * inv;
+      }
+    }
   }
-  r = r * (1.0 / static_cast<double>(num_sub));
+  {
+    const double inv_sub = 1.0 / static_cast<double>(num_sub);
+    for (std::size_t i = 0; i < sub; ++i) {
+      for (std::size_t j = 0; j < sub; ++j) r(i, j) = r(i, j) * inv_sub;
+    }
+  }
 
   if (options.forward_backward) {
-    r = (r + backward(r)) * 0.5;
+    const CMatrix b = backward(r);
+    for (std::size_t i = 0; i < sub; ++i) {
+      for (std::size_t j = 0; j < sub; ++j) {
+        r(i, j) = (r(i, j) + b(i, j)) * 0.5;
+      }
+    }
   }
 
   if (options.diagonal_loading > 0.0) {

@@ -5,6 +5,8 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "kern/eig4.hpp"
+
 namespace m2ai::dsp {
 
 namespace {
@@ -56,6 +58,30 @@ void rotate(CMatrix& a, CMatrix& v, std::size_t p, std::size_t q) {
 }  // namespace
 
 EigResult eig_hermitian(const CMatrix& input, double tol, int max_sweeps) {
+  if (input.rows() != input.cols()) {
+    throw std::invalid_argument("eig_hermitian: matrix must be square");
+  }
+  if (input.rows() == 4) {
+    // Every 4-antenna covariance lands here; the stack kernel skips all the
+    // CMatrix temporaries that dominated this leaf's profile.
+    cdouble in[16];
+    cdouble vecs[16];
+    for (std::size_t r = 0; r < 4; ++r) {
+      for (std::size_t c = 0; c < 4; ++c) in[r * 4 + c] = input(r, c);
+    }
+    EigResult result;
+    result.values.resize(4);
+    result.vectors = CMatrix(4, 4);
+    kern::eig_hermitian4(in, tol, max_sweeps, result.values.data(), vecs);
+    for (std::size_t r = 0; r < 4; ++r) {
+      for (std::size_t c = 0; c < 4; ++c) result.vectors(r, c) = vecs[r * 4 + c];
+    }
+    return result;
+  }
+  return eig_hermitian_generic(input, tol, max_sweeps);
+}
+
+EigResult eig_hermitian_generic(const CMatrix& input, double tol, int max_sweeps) {
   if (input.rows() != input.cols()) {
     throw std::invalid_argument("eig_hermitian: matrix must be square");
   }

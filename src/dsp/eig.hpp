@@ -18,7 +18,14 @@ struct EigResult {
 
 // Decompose Hermitian `a`. Throws if `a` is not square. Symmetry is enforced
 // by averaging a with a^H before iterating, so mild numerical asymmetry in a
-// sample covariance is tolerated.
+// sample covariance is tolerated. 4x4 inputs (the default antenna count)
+// dispatch to a stack-array kernel (kern::eig_hermitian4) whose results are
+// bitwise-identical to the generic path below.
 EigResult eig_hermitian(const CMatrix& a, double tol = 1e-12, int max_sweeps = 64);
+
+// The generic any-size Jacobi path, kept public as the reference the n == 4
+// kernel is regression-tested against.
+EigResult eig_hermitian_generic(const CMatrix& a, double tol = 1e-12,
+                                int max_sweeps = 64);
 
 }  // namespace m2ai::dsp

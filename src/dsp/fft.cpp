@@ -1,5 +1,6 @@
 #include "dsp/fft.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <map>
 #include <memory>
@@ -71,13 +72,10 @@ std::shared_ptr<const TwiddleTable> twiddles_for(std::size_t n) {
   return entry;
 }
 
-}  // namespace
-
-void fft_radix2(std::vector<cdouble>& data, bool inverse) {
-  const std::size_t n = data.size();
-  if (!is_power_of_two(n)) {
-    throw std::invalid_argument("fft_radix2: size must be a power of two");
-  }
+// In-place radix-2 body shared by fft_radix2 and FftPlan::transform so the
+// cached-plan path is bitwise-identical to the ad-hoc one by construction.
+void radix2_apply(cdouble* data, std::size_t n, const TwiddleTable* table,
+                  bool inverse) {
   // Bit-reversal permutation.
   for (std::size_t i = 1, j = 0; i < n; ++i) {
     std::size_t bit = n >> 1;
@@ -85,8 +83,6 @@ void fft_radix2(std::vector<cdouble>& data, bool inverse) {
     j ^= bit;
     if (i < j) std::swap(data[i], data[j]);
   }
-  // Butterflies, twiddles served from the per-size cache.
-  const std::shared_ptr<const TwiddleTable> table = n >= 2 ? twiddles_for(n) : nullptr;
   std::size_t stage = 0;
   for (std::size_t len = 2; len <= n; len <<= 1, ++stage) {
     const std::vector<cdouble>& tw =
@@ -101,8 +97,20 @@ void fft_radix2(std::vector<cdouble>& data, bool inverse) {
     }
   }
   if (inverse) {
-    for (auto& x : data) x /= static_cast<double>(n);
+    for (std::size_t i = 0; i < n; ++i) data[i] /= static_cast<double>(n);
   }
+}
+
+}  // namespace
+
+void fft_radix2(std::vector<cdouble>& data, bool inverse) {
+  const std::size_t n = data.size();
+  if (!is_power_of_two(n)) {
+    throw std::invalid_argument("fft_radix2: size must be a power of two");
+  }
+  // Butterflies, twiddles served from the per-size cache.
+  const std::shared_ptr<const TwiddleTable> table = n >= 2 ? twiddles_for(n) : nullptr;
+  radix2_apply(data.data(), n, table.get(), inverse);
 }
 
 namespace {
@@ -144,6 +152,94 @@ std::vector<cdouble> fft(const std::vector<cdouble>& data, bool inverse) {
     return out;
   }
   return bluestein(data, inverse);
+}
+
+struct FftPlan::Impl {
+  std::size_t n = 0;
+  bool pow2 = true;
+  std::shared_ptr<const TwiddleTable> table;  // size n (pow2) or m (Bluestein)
+  // Bluestein state (pow2 == false). The chirp and the FFT of the filter b
+  // depend on the transform direction, so both are kept per direction.
+  std::size_t m = 0;
+  std::vector<cdouble> chirp[2];   // [0] forward, [1] inverse
+  std::vector<cdouble> filter[2];  // FFT of b, same indexing
+};
+
+FftPlan::FftPlan(std::size_t n) {
+  auto impl = std::make_unique<Impl>();
+  impl->n = n;
+  impl->pow2 = n == 0 || is_power_of_two(n);
+  if (impl->pow2) {
+    if (n >= 2) impl->table = twiddles_for(n);
+  } else {
+    impl->m = next_power_of_two(2 * n - 1);
+    impl->table = twiddles_for(impl->m);
+    for (int dir = 0; dir < 2; ++dir) {
+      const bool inverse = dir == 1;
+      // Same chirp recurrence as the per-call Bluestein path.
+      const double sign = inverse ? 1.0 : -1.0;
+      std::vector<cdouble>& chirp = impl->chirp[dir];
+      chirp.resize(n);
+      for (std::size_t k = 0; k < n; ++k) {
+        const std::size_t k2 = (k * k) % (2 * n);
+        chirp[k] =
+            std::polar(1.0, sign * M_PI * static_cast<double>(k2) / static_cast<double>(n));
+      }
+      std::vector<cdouble> b(impl->m, cdouble{0.0, 0.0});
+      b[0] = std::conj(chirp[0]);
+      for (std::size_t k = 1; k < n; ++k) b[k] = b[impl->m - k] = std::conj(chirp[k]);
+      fft_radix2(b, false);
+      impl->filter[dir] = std::move(b);
+    }
+  }
+  impl_ = std::move(impl);
+}
+
+FftPlan::~FftPlan() = default;
+
+std::size_t FftPlan::size() const { return impl_->n; }
+
+void FftPlan::transform(const cdouble* in, cdouble* out, bool inverse,
+                        std::vector<cdouble>& scratch) const {
+  const Impl& p = *impl_;
+  const std::size_t n = p.n;
+  if (n == 0) return;
+  if (p.pow2) {
+    if (out != in) std::copy(in, in + n, out);
+    radix2_apply(out, n, p.table.get(), inverse);
+    return;
+  }
+  const int dir = inverse ? 1 : 0;
+  const std::vector<cdouble>& chirp = p.chirp[dir];
+  const std::vector<cdouble>& filter = p.filter[dir];
+  scratch.assign(p.m, cdouble{0.0, 0.0});
+  cdouble* a = scratch.data();
+  for (std::size_t k = 0; k < n; ++k) a[k] = in[k] * chirp[k];
+  radix2_apply(a, p.m, p.table.get(), false);
+  for (std::size_t k = 0; k < p.m; ++k) a[k] *= filter[k];
+  radix2_apply(a, p.m, p.table.get(), true);
+  for (std::size_t k = 0; k < n; ++k) out[k] = a[k] * chirp[k];
+  if (inverse) {
+    for (std::size_t k = 0; k < n; ++k) out[k] /= static_cast<double>(n);
+  }
+}
+
+namespace {
+std::mutex g_plan_mu;
+std::map<std::size_t, std::shared_ptr<const FftPlan>>& plan_cache() {
+  static auto* cache = new std::map<std::size_t, std::shared_ptr<const FftPlan>>();
+  return *cache;
+}
+}  // namespace
+
+std::shared_ptr<const FftPlan> shared_fft_plan(std::size_t n) {
+  std::lock_guard<std::mutex> lock(g_plan_mu);
+  auto& cache = plan_cache();
+  const auto it = cache.find(n);
+  if (it != cache.end()) return it->second;
+  auto entry = std::shared_ptr<const FftPlan>(new FftPlan(n));
+  cache.emplace(n, entry);
+  return entry;
 }
 
 std::vector<cdouble> dft(const std::vector<cdouble>& data, bool inverse) {

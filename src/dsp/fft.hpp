@@ -4,6 +4,7 @@
 #pragma once
 
 #include <complex>
+#include <memory>
 #include <vector>
 
 namespace m2ai::dsp {
@@ -18,6 +19,39 @@ void fft_radix2(std::vector<cdouble>& data, bool inverse = false);
 
 // Arbitrary-size FFT (Bluestein when N is not a power of two).
 std::vector<cdouble> fft(const std::vector<cdouble>& data, bool inverse = false);
+
+// Precomputed per-length transform plan. Holds everything fft() would
+// (re)derive per call for one size — the butterfly twiddle stages and, for
+// non-power-of-two sizes, the Bluestein chirp sequence and the forward FFT
+// of its convolution filter — so the hot periodogram loop pays one cache
+// lookup per window instead of a mutex acquisition (plus, off the
+// power-of-two path, two full chirp/filter rebuilds) per snapshot.
+// transform() reproduces fft() bit for bit: the tables are built by the
+// same recurrences and the butterflies run through the same code.
+class FftPlan {
+ public:
+  ~FftPlan();
+  std::size_t size() const;
+
+  // out[0..n) = FFT(in[0..n)) (or the inverse transform). `in` and `out`
+  // may alias. `scratch` is caller-owned working memory, grown on demand
+  // and reusable across calls; the power-of-two path never touches it.
+  // const and lock-free, so one plan may serve many threads.
+  void transform(const cdouble* in, cdouble* out, bool inverse,
+                 std::vector<cdouble>& scratch) const;
+
+ private:
+  explicit FftPlan(std::size_t n);
+  friend std::shared_ptr<const FftPlan> shared_fft_plan(std::size_t n);
+
+  struct Impl;
+  std::unique_ptr<const Impl> impl_;
+};
+
+// Plan for size n from the process-wide cache (thread-safe, process
+// lifetime, like the twiddle tables). Callers keep the shared_ptr for as
+// long as they transform with it.
+std::shared_ptr<const FftPlan> shared_fft_plan(std::size_t n);
 
 // Direct O(N^2) DFT, definition Eq. 16 of the paper. Reference/check path.
 std::vector<cdouble> dft(const std::vector<cdouble>& data, bool inverse = false);

@@ -8,6 +8,7 @@
 #include <tuple>
 
 #include "dsp/eig.hpp"
+#include "kern/kernels.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "rf/steering.hpp"
@@ -95,6 +96,14 @@ MusicEstimator::MusicEstimator(MusicOptions options) : options_(options) {
                            : options_.num_antennas;
   steering_ = shared_steering_table(aperture, options_.effective_separation_m,
                                     options_.wavelength_m, options_.num_angle_bins);
+  const std::size_t bins = steering_->size();
+  const std::size_t n = bins > 0 ? steering_->front().size() : 0;
+  steering_flat_.resize(bins * n);
+  for (std::size_t bin = 0; bin < bins; ++bin) {
+    for (std::size_t i = 0; i < n; ++i) {
+      steering_flat_[bin * n + i] = (*steering_)[bin][i];
+    }
+  }
 }
 
 MusicResult MusicEstimator::estimate(
@@ -135,15 +144,26 @@ MusicResult MusicEstimator::estimate_from_covariance(const CMatrix& r) const {
 
   // Noise-subspace projector Un Un^H applied per steering vector:
   // P(theta) = 1 / sum_{k=m..n-1} |u_k^H a(theta)|^2     (Eq. 12)
-  result.spectrum.resize(steering_->size());
-  double peak = 0.0;
-  for (std::size_t bin = 0; bin < steering_->size(); ++bin) {
-    const auto& a = (*steering_)[bin];
-    double denom = 0.0;
-    for (std::size_t k = static_cast<std::size_t>(m); k < n; ++k) {
-      denom += std::norm(inner(eig.vectors.column(k), a));
+  // The noise eigenvectors are packed once (k-major, contiguous) and the
+  // whole scan runs through the fused kernel — the same sums in the same
+  // order as the per-bin column()/inner() loop, minus its num_bins *
+  // num_noise heap allocations per window.
+  const std::size_t bins = steering_->size();
+  const std::size_t num_noise = n - static_cast<std::size_t>(m);
+  std::vector<cdouble> un(num_noise * n);
+  for (std::size_t k = 0; k < num_noise; ++k) {
+    for (std::size_t i = 0; i < n; ++i) {
+      un[k * n + i] = eig.vectors(i, static_cast<std::size_t>(m) + k);
     }
-    const double p = 1.0 / std::max(denom, 1e-12);
+  }
+  result.spectrum.resize(bins);
+  std::vector<double> denom(bins);
+  kern::noise_projection(un.data(), static_cast<int>(num_noise),
+                         steering_flat_.data(), static_cast<int>(bins),
+                         static_cast<int>(n), denom.data());
+  double peak = 0.0;
+  for (std::size_t bin = 0; bin < bins; ++bin) {
+    const double p = 1.0 / std::max(denom[bin], 1e-12);
     result.spectrum[bin] = p;
     peak = std::max(peak, p);
   }

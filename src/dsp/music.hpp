@@ -78,6 +78,10 @@ class MusicEstimator {
   // Precomputed steering vectors per angle bin, shared across estimators
   // with the same geometry via the process-wide cache.
   std::shared_ptr<const SteeringTable> steering_;
+  // The same table packed row-major (bin-major, element-contiguous) for the
+  // fused pseudospectrum scan. Built once per estimator; immutable after
+  // construction, so estimate() stays safe to call from parallel windows.
+  std::vector<cdouble> steering_flat_;
 };
 
 }  // namespace m2ai::dsp

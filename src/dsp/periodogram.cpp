@@ -25,13 +25,22 @@ std::vector<double> averaged_periodogram(
     throw std::invalid_argument("averaged_periodogram: no snapshots");
   }
   const std::size_t n = snapshots.front().size();
+  if (n == 0) throw std::invalid_argument("periodogram: empty snapshot");
+  // One plan lookup per window instead of a twiddle-cache mutex (and, for
+  // non-power-of-two sizes, a chirp + filter rebuild) per snapshot; the
+  // transform itself is bitwise-identical to periodogram()'s fft() call.
+  const std::shared_ptr<const FftPlan> plan = shared_fft_plan(n);
   std::vector<double> acc(n, 0.0);
+  std::vector<cdouble> spec(n);
+  std::vector<cdouble> scratch;
   for (const auto& snap : snapshots) {
     if (snap.size() != n) {
       throw std::invalid_argument("averaged_periodogram: ragged snapshots");
     }
-    const std::vector<double> p = periodogram(snap);
-    for (std::size_t k = 0; k < n; ++k) acc[k] += p[k];
+    plan->transform(snap.data(), spec.data(), false, scratch);
+    for (std::size_t k = 0; k < n; ++k) {
+      acc[k] += std::norm(spec[k]) / static_cast<double>(n);
+    }
   }
   const double inv = 1.0 / static_cast<double>(snapshots.size());
   for (double& v : acc) v *= inv;

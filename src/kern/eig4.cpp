@@ -1,0 +1,104 @@
+#include "kern/eig4.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace m2ai::kern {
+
+namespace {
+
+using cdouble = std::complex<double>;
+constexpr std::size_t kN = 4;
+
+inline cdouble& at(cdouble* m, std::size_t r, std::size_t c) { return m[r * kN + c]; }
+
+// One complex Jacobi rotation annihilating a(p, q) — the same arithmetic, in
+// the same order, as the generic dsp::eig_hermitian rotation.
+void rotate(cdouble* a, cdouble* v, std::size_t p, std::size_t q) {
+  const cdouble apq = at(a, p, q);
+  const double mag = std::abs(apq);
+  if (mag == 0.0) return;
+  const double app = at(a, p, p).real();
+  const double aqq = at(a, q, q).real();
+  const double tau = (aqq - app) / (2.0 * mag);
+  double t;
+  if (tau >= 0.0) {
+    t = -1.0 / (tau + std::sqrt(1.0 + tau * tau));
+  } else {
+    t = 1.0 / (-tau + std::sqrt(1.0 + tau * tau));
+  }
+  const double c = 1.0 / std::sqrt(1.0 + t * t);
+  const double s = t * c;
+  const cdouble eip = apq / mag;
+
+  for (std::size_t k = 0; k < kN; ++k) {
+    const cdouble akp = at(a, k, p);
+    const cdouble akq = at(a, k, q);
+    at(a, k, p) = c * akp + s * std::conj(eip) * akq;
+    at(a, k, q) = -s * eip * akp + c * akq;
+  }
+  for (std::size_t k = 0; k < kN; ++k) {
+    const cdouble apk = at(a, p, k);
+    const cdouble aqk = at(a, q, k);
+    at(a, p, k) = c * apk + s * eip * aqk;
+    at(a, q, k) = -s * std::conj(eip) * apk + c * aqk;
+  }
+  for (std::size_t k = 0; k < kN; ++k) {
+    const cdouble vkp = at(v, k, p);
+    const cdouble vkq = at(v, k, q);
+    at(v, k, p) = c * vkp + s * std::conj(eip) * vkq;
+    at(v, k, q) = -s * eip * vkp + c * vkq;
+  }
+}
+
+// Frobenius norm of the strictly off-diagonal part, summed in the same
+// row-major order as CMatrix::offdiag_norm.
+double offdiag_norm(const cdouble* a) {
+  double s = 0.0;
+  for (std::size_t r = 0; r < kN; ++r) {
+    for (std::size_t c = 0; c < kN; ++c) {
+      if (r != c) s += std::norm(a[r * kN + c]);
+    }
+  }
+  return std::sqrt(s);
+}
+
+}  // namespace
+
+void eig_hermitian4(const cdouble* in, double tol, int max_sweeps,
+                    double* values, cdouble* vectors) {
+  // a <- (in + in^H) / 2, per element like the CMatrix expression.
+  cdouble a[kN * kN];
+  cdouble v[kN * kN];
+  for (std::size_t r = 0; r < kN; ++r) {
+    for (std::size_t c = 0; c < kN; ++c) {
+      a[r * kN + c] = (in[r * kN + c] + std::conj(in[c * kN + r])) * 0.5;
+      v[r * kN + c] = r == c ? cdouble{1.0, 0.0} : cdouble{0.0, 0.0};
+    }
+  }
+
+  for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+    if (offdiag_norm(a) < tol) break;
+    for (std::size_t p = 0; p + 1 < kN; ++p) {
+      for (std::size_t q = p + 1; q < kN; ++q) {
+        if (std::abs(at(a, p, q)) > tol / static_cast<double>(kN * kN)) {
+          rotate(a, v, p, q);
+        }
+      }
+    }
+  }
+
+  std::size_t order[kN];
+  std::iota(order, order + kN, 0);
+  std::sort(order, order + kN, [&](std::size_t i, std::size_t j) {
+    return a[i * kN + i].real() > a[j * kN + j].real();
+  });
+
+  for (std::size_t k = 0; k < kN; ++k) {
+    values[k] = a[order[k] * kN + order[k]].real();
+    for (std::size_t r = 0; r < kN; ++r) vectors[r * kN + k] = v[r * kN + order[k]];
+  }
+}
+
+}  // namespace m2ai::kern

@@ -1,0 +1,23 @@
+// Specialized 4x4 complex-Hermitian Jacobi eigendecomposition.
+//
+// The 4-antenna array makes every MUSIC covariance a 4x4 Hermitian matrix,
+// and dsp::eig_hermitian was the single most expensive leaf of the profiled
+// pipeline (~500 ms over 172k windows) — almost entirely CMatrix heap
+// traffic around a fixed-size computation. This kernel runs the identical
+// cyclic Jacobi iteration (same rotation order, same convergence tests, same
+// descending sort) on stack arrays; dsp::eig_hermitian dispatches to it for
+// n == 4 and its results are bitwise-identical to the generic path.
+#pragma once
+
+#include <complex>
+
+namespace m2ai::kern {
+
+// `in` is the 4x4 row-major input (symmetrized internally like the generic
+// path); on return `values` holds the eigenvalues descending and
+// `vectors[r*4 + k]` row-major eigenvector matrix (column k pairs with
+// values[k]).
+void eig_hermitian4(const std::complex<double>* in, double tol, int max_sweeps,
+                    double* values, std::complex<double>* vectors);
+
+}  // namespace m2ai::kern

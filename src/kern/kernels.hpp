@@ -1,0 +1,116 @@
+// Deterministic compute microkernels for the DSP and NN hot paths.
+//
+// Determinism contract: every kernel accumulates each OUTPUT ELEMENT in the
+// same serial order as the naive scalar loop it replaces (row-major, k
+// ascending, float/double accumulators of the same width). Restructuring is
+// only allowed ACROSS independent output elements — e.g. the k-outer /
+// output-inner conv loop — never within one element's reduction, so results
+// are bitwise-identical to the references at any thread count and (with
+// -ffp-contract=off, set project-wide) at any optimization level.
+//
+// Kernels take raw pointers; callers own shape validation and aliasing
+// rules (inputs must not alias outputs unless a kernel says otherwise).
+#pragma once
+
+#include <complex>
+#include <cstddef>
+
+namespace m2ai::kern {
+
+// y[r] = (bias ? bias[r] : 0) + sum_k w[r*cols + k] * x[k], k ascending.
+// Matches the naive Dense/LSTM-gate loops bit for bit.
+inline void gemv(const float* w, const float* x, const float* bias, float* y,
+                 int rows, int cols) {
+  for (int r = 0; r < rows; ++r) {
+    const float* wr = w + static_cast<std::size_t>(r) * cols;
+    float acc = bias != nullptr ? bias[r] : 0.0f;
+    for (int k = 0; k < cols; ++k) acc += wr[k] * x[k];
+    y[r] = acc;
+  }
+}
+
+// Backward of y = W x + b with gradient accumulation, replicating the naive
+// row loop exactly: per row r (optionally skipping g[r] == 0 rows, as the
+// LSTM BPTT loop does), bias_g[r] += g[r], then for k ascending
+// wg[r,k] += g[r]*x[k] and dx[k] += g[r]*w[r,k] — both updates inside the
+// same k iteration, matching the reference interleaving.
+inline void gemv_backward_acc(const float* w, float* wg, const float* x,
+                              const float* g, float* bias_g, float* dx,
+                              int rows, int cols, bool skip_zero_rows) {
+  for (int r = 0; r < rows; ++r) {
+    const float gr = g[r];
+    if (skip_zero_rows && gr == 0.0f) continue;
+    bias_g[r] += gr;
+    const float* wr = w + static_cast<std::size_t>(r) * cols;
+    float* wgr = wg + static_cast<std::size_t>(r) * cols;
+    for (int k = 0; k < cols; ++k) {
+      wgr[k] += gr * x[k];
+      dx[k] += gr * wr[k];
+    }
+  }
+}
+
+// C[i,j] = sum_k A[i,k] * B[k,j] (C is fully overwritten). The loop nest is
+// k-outer / j-inner so the compiler can vectorize over j, but each C[i,j]
+// still receives its k terms in ascending order — bitwise-identical to the
+// naive i/j/k triple loop with a scalar accumulator.
+inline void gemm(const float* a, const float* b, float* c, int m, int k, int n) {
+  for (int i = 0; i < m; ++i) {
+    float* ci = c + static_cast<std::size_t>(i) * n;
+    for (int j = 0; j < n; ++j) ci[j] = 0.0f;
+    const float* ai = a + static_cast<std::size_t>(i) * k;
+    for (int kk = 0; kk < k; ++kk) {
+      const float av = ai[kk];
+      const float* bk = b + static_cast<std::size_t>(kk) * n;
+      for (int j = 0; j < n; ++j) ci[j] += av * bk[j];
+    }
+  }
+}
+
+// One input-channel row of a strided/padded 1-D convolution:
+//   partial[ol] += w[k] * x[ol*stride - padding + k]
+// over exactly the taps that land inside [0, len). The k-outer / ol-inner
+// ordering turns the per-output bounds tests of the naive loop into two
+// integer bounds per tap, and each partial[ol] still accumulates its valid
+// k's in ascending order — bitwise-identical to the naive per-element loop.
+// `partial` must be zeroed (or hold the running per-channel partial sums the
+// caller wants to extend) before the first call for an output row.
+inline void conv1d_row_acc(const float* x, int len, const float* w, int kernel,
+                           int stride, int padding, float* partial, int out_len) {
+  for (int k = 0; k < kernel; ++k) {
+    const int off = k - padding;  // x index at ol == 0
+    int ol_lo = 0;
+    if (off < 0) ol_lo = (-off + stride - 1) / stride;
+    const int max_pos = len - 1 - off;
+    if (max_pos < 0) continue;
+    const int ol_hi = max_pos / stride + 1 < out_len ? max_pos / stride + 1 : out_len;
+    const float wk = w[k];
+    const float* xs = x + off;
+    for (int ol = ol_lo; ol < ol_hi; ++ol) {
+      partial[ol] += wk * xs[static_cast<std::size_t>(ol) * stride];
+    }
+  }
+}
+
+// MUSIC noise-subspace projection scan (Eq. 12 denominator):
+//   denom[bin] = sum over noise vectors u_k (k ascending) of
+//                |sum_i conj(un[k*n + i]) * steer[bin*n + i]|^2
+// with the inner product accumulated i-ascending — the same order as the
+// per-bin column()/inner() reference, minus its per-(bin, k) allocations.
+inline void noise_projection(const std::complex<double>* un, int num_noise,
+                             const std::complex<double>* steer, int num_bins,
+                             int n, double* denom) {
+  for (int bin = 0; bin < num_bins; ++bin) {
+    const std::complex<double>* a = steer + static_cast<std::size_t>(bin) * n;
+    double d = 0.0;
+    for (int k = 0; k < num_noise; ++k) {
+      const std::complex<double>* u = un + static_cast<std::size_t>(k) * n;
+      std::complex<double> s{0.0, 0.0};
+      for (int i = 0; i < n; ++i) s += std::conj(u[i]) * a[i];
+      d += std::norm(s);
+    }
+    denom[bin] = d;
+  }
+}
+
+}  // namespace m2ai::kern

@@ -1,0 +1,53 @@
+#include "kern/workspace.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+namespace m2ai::kern {
+
+namespace {
+constexpr std::size_t kMinBlockFloats = 4096;
+}
+
+float* Workspace::alloc(std::size_t n) {
+  if (n == 0) n = 1;  // keep returned pointers distinct and dereferenceable
+  while (active_ < blocks_.size()) {
+    Block& b = blocks_[active_];
+    if (b.capacity - b.used >= n) {
+      float* p = b.data.get() + b.used;
+      b.used += n;
+      return p;
+    }
+    // The active block is too full for this request; later blocks (from a
+    // previous, larger generation) may still fit it. Never backtrack: used
+    // regions of earlier blocks hold live pointers.
+    ++active_;
+  }
+  const std::size_t last_cap = blocks_.empty() ? 0 : blocks_.back().capacity;
+  Block b;
+  b.capacity = std::max({kMinBlockFloats, 2 * last_cap, n});
+  b.data = std::make_unique<float[]>(b.capacity);
+  b.used = n;
+  blocks_.push_back(std::move(b));
+  active_ = blocks_.size() - 1;
+  return blocks_.back().data.get();
+}
+
+float* Workspace::alloc_zero(std::size_t n) {
+  float* p = alloc(n);
+  std::memset(p, 0, (n == 0 ? 1 : n) * sizeof(float));
+  return p;
+}
+
+void Workspace::reset() {
+  for (Block& b : blocks_) b.used = 0;
+  active_ = 0;
+}
+
+std::size_t Workspace::floats_reserved() const {
+  std::size_t total = 0;
+  for (const Block& b : blocks_) total += b.capacity;
+  return total;
+}
+
+}  // namespace m2ai::kern

@@ -1,7 +1,10 @@
 #include "nn/conv1d.hpp"
 
 #include <cmath>
+#include <cstring>
 #include <stdexcept>
+
+#include "kern/kernels.hpp"
 
 namespace m2ai::nn {
 
@@ -38,6 +41,12 @@ Tensor Conv1d::forward(const Tensor& input, bool train) {
   const float* x = input.data();
   const float* w = weight_.value.data();
   float* out = y.data();
+  // Per input channel the valid taps are accumulated k-ascending into a
+  // zeroed partial row (kern::conv1d_row_acc), then folded into the output —
+  // the same per-element sums, in the same order, as the old per-output
+  // scalar loop, but with the bounds tests hoisted out of the inner loop.
+  ws_.reset();
+  float* partial = ws_.alloc(static_cast<std::size_t>(out_len));
   for (int oc = 0; oc < out_channels_; ++oc) {
     float* y_oc = out + static_cast<std::size_t>(oc) * out_len;
     const float b = bias_.value[static_cast<std::size_t>(oc)];
@@ -46,15 +55,10 @@ Tensor Conv1d::forward(const Tensor& input, bool train) {
       const float* x_ic = x + static_cast<std::size_t>(ic) * len;
       const float* w_row =
           w + (static_cast<std::size_t>(oc) * in_channels_ + ic) * kernel_;
-      for (int ol = 0; ol < out_len; ++ol) {
-        const int start = ol * stride_ - padding_;
-        const int k_lo = start < 0 ? -start : 0;
-        const int k_hi = std::min(kernel_, len - start);
-        float acc = 0.0f;
-        const float* xs = x_ic + start;
-        for (int k = k_lo; k < k_hi; ++k) acc += w_row[k] * xs[k];
-        y_oc[ol] += acc;
-      }
+      std::memset(partial, 0, static_cast<std::size_t>(out_len) * sizeof(float));
+      kern::conv1d_row_acc(x_ic, len, w_row, kernel_, stride_, padding_, partial,
+                           out_len);
+      for (int ol = 0; ol < out_len; ++ol) y_oc[ol] += partial[ol];
     }
   }
   if (train) cache_.push_back(input);
@@ -63,6 +67,17 @@ Tensor Conv1d::forward(const Tensor& input, bool train) {
 
 Tensor Conv1d::backward(const Tensor& grad_output) {
   if (cache_.empty()) throw std::logic_error("Conv1d::backward: no cached forward");
+  // Validate against the cached forward before consuming it: a mis-shaped
+  // gradient (wrong layer order, stale cache) used to read out of bounds
+  // here instead of failing like forward() does.
+  const int expect_len = output_length(cache_.back().dim(1));
+  if (grad_output.rank() != 2 || grad_output.dim(0) != out_channels_ ||
+      grad_output.dim(1) != expect_len) {
+    throw std::invalid_argument("Conv1d::backward: expected [" +
+                                std::to_string(out_channels_) + ", " +
+                                std::to_string(expect_len) + "], got " +
+                                grad_output.shape_string());
+  }
   const Tensor xt = std::move(cache_.back());
   cache_.pop_back();
 

@@ -5,6 +5,7 @@
 
 #include <deque>
 
+#include "kern/workspace.hpp"
 #include "nn/layer.hpp"
 
 namespace m2ai::nn {
@@ -32,6 +33,7 @@ class Conv1d : public Layer {
   Param weight_;  // [C_out, C_in, K]
   Param bias_;    // [C_out]
   std::deque<Tensor> cache_;
+  kern::Workspace ws_;  // per-channel partial-sum row, reused across calls
 };
 
 }  // namespace m2ai::nn

@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "kern/kernels.hpp"
+
 namespace m2ai::nn {
 
 Dense::Dense(int in_features, int out_features, util::Rng& rng)
@@ -22,33 +24,24 @@ Tensor Dense::forward(const Tensor& input, bool train) {
                                 " features, got " + x.shape_string());
   }
   Tensor y({out_});
-  for (int o = 0; o < out_; ++o) {
-    float acc = bias_.value.at(o);
-    const float* w = weight_.value.data() + static_cast<std::size_t>(o) * in_;
-    const float* xi = x.data();
-    for (int i = 0; i < in_; ++i) acc += w[i] * xi[i];
-    y.at(o) = acc;
-  }
+  kern::gemv(weight_.value.data(), x.data(), bias_.value.data(), y.data(), out_, in_);
   if (train) cache_.push_back(x);
   return y;
 }
 
 Tensor Dense::backward(const Tensor& grad_output) {
   if (cache_.empty()) throw std::logic_error("Dense::backward: no cached forward");
+  if (static_cast<int>(grad_output.size()) != out_) {
+    throw std::invalid_argument("Dense::backward: expected " + std::to_string(out_) +
+                                " gradients, got " + grad_output.shape_string());
+  }
   const Tensor x = std::move(cache_.back());
   cache_.pop_back();
 
   Tensor grad_in({in_});
-  for (int o = 0; o < out_; ++o) {
-    const float g = grad_output.at(o);
-    bias_.grad.at(o) += g;
-    float* wg = weight_.grad.data() + static_cast<std::size_t>(o) * in_;
-    const float* w = weight_.value.data() + static_cast<std::size_t>(o) * in_;
-    for (int i = 0; i < in_; ++i) {
-      wg[i] += g * x[static_cast<std::size_t>(i)];
-      grad_in.at(i) += g * w[i];
-    }
-  }
+  kern::gemv_backward_acc(weight_.value.data(), weight_.grad.data(), x.data(),
+                          grad_output.data(), bias_.grad.data(), grad_in.data(),
+                          out_, in_, /*skip_zero_rows=*/false);
   return grad_in;
 }
 

@@ -1,7 +1,10 @@
 #include "nn/lstm.hpp"
 
 #include <cmath>
+#include <cstring>
 #include <stdexcept>
+
+#include "kern/kernels.hpp"
 
 namespace m2ai::nn {
 
@@ -25,13 +28,33 @@ std::vector<Tensor> Lstm::forward(const std::vector<Tensor>& inputs, bool train)
   // is processed in one call). Any cache left behind — e.g. an exception
   // between a previous forward and its backward — would otherwise make the
   // next backward pair gradients with the wrong timesteps.
-  if (train) steps_.clear();
+  if (train) {
+    steps_.clear();
+    train_ws_.reset();
+  }
+  scratch_ws_.reset();
   const int h_size = hidden_size_;
   const int in_size = input_size_;
   const int joint = in_size + h_size;
+  const int rows = 4 * h_size;
 
-  Tensor h({h_size});
-  Tensor c({h_size});
+  kern::Workspace& ws = train ? train_ws_ : scratch_ws_;
+  // Pre-activations are transient either way; the zero initial state must
+  // outlive this call in training mode (backward reads step 0's c_prev).
+  float* z = scratch_ws_.alloc(static_cast<std::size_t>(rows));
+  const float* zeros = ws.alloc_zero(static_cast<std::size_t>(h_size));
+  // Evaluation reuses one packed input and one in-place cell buffer.
+  float* xh_eval = nullptr;
+  float* c_eval = nullptr;
+  float* tanh_eval = nullptr;
+  if (!train) {
+    xh_eval = scratch_ws_.alloc(static_cast<std::size_t>(joint));
+    c_eval = scratch_ws_.alloc_zero(static_cast<std::size_t>(h_size));
+    tanh_eval = scratch_ws_.alloc(static_cast<std::size_t>(h_size));
+  }
+
+  const float* h_prev = zeros;
+  const float* c_prev = zeros;
   std::vector<Tensor> outputs;
   outputs.reserve(inputs.size());
 
@@ -40,45 +63,34 @@ std::vector<Tensor> Lstm::forward(const std::vector<Tensor>& inputs, bool train)
     if (static_cast<int>(x.size()) != in_size) {
       throw std::invalid_argument("Lstm::forward: bad input size " + x.shape_string());
     }
-    StepCache step;
-    step.x = x;
-    step.h_prev = h;
-    step.c_prev = c;
-    step.i = Tensor({h_size});
-    step.f = Tensor({h_size});
-    step.g = Tensor({h_size});
-    step.o = Tensor({h_size});
-    step.c = Tensor({h_size});
-    step.tanh_c = Tensor({h_size});
+    float* xh = train ? ws.alloc(static_cast<std::size_t>(joint)) : xh_eval;
+    std::memcpy(xh, x.data(), static_cast<std::size_t>(in_size) * sizeof(float));
+    std::memcpy(xh + in_size, h_prev, static_cast<std::size_t>(h_size) * sizeof(float));
 
-    // z = W [x; h_prev] + b, gate blocks [i; f; g; o].
-    for (int gate = 0; gate < 4; ++gate) {
-      for (int u = 0; u < h_size; ++u) {
-        const int row = gate * h_size + u;
-        const float* w = weight_.value.data() + static_cast<std::size_t>(row) * joint;
-        float acc = bias_.value.at(row);
-        for (int k = 0; k < in_size; ++k) acc += w[k] * x[static_cast<std::size_t>(k)];
-        for (int k = 0; k < h_size; ++k) {
-          acc += w[in_size + k] * h[static_cast<std::size_t>(k)];
-        }
-        switch (gate) {
-          case 0: step.i.at(u) = sigmoid(acc); break;
-          case 1: step.f.at(u) = sigmoid(acc); break;
-          case 2: step.g.at(u) = std::tanh(acc); break;
-          case 3: step.o.at(u) = sigmoid(acc); break;
-        }
-      }
-    }
+    // z = W [x; h_prev] + b, gate blocks [i; f; g; o], one fused GEMV.
+    kern::gemv(weight_.value.data(), xh, bias_.value.data(), z, rows, joint);
+
+    float* gates = train ? ws.alloc(static_cast<std::size_t>(rows)) : z;
+    float* c = train ? ws.alloc(static_cast<std::size_t>(h_size)) : c_eval;
+    float* tanh_c = train ? ws.alloc(static_cast<std::size_t>(h_size)) : tanh_eval;
+    for (int u = 0; u < h_size; ++u) gates[u] = sigmoid(z[u]);
+    for (int u = 0; u < h_size; ++u) gates[h_size + u] = sigmoid(z[h_size + u]);
+    for (int u = 0; u < h_size; ++u) gates[2 * h_size + u] = std::tanh(z[2 * h_size + u]);
+    for (int u = 0; u < h_size; ++u) gates[3 * h_size + u] = sigmoid(z[3 * h_size + u]);
     for (int u = 0; u < h_size; ++u) {
-      step.c.at(u) = step.f.at(u) * c.at(u) + step.i.at(u) * step.g.at(u);
-      step.tanh_c.at(u) = std::tanh(step.c.at(u));
+      c[u] = gates[h_size + u] * c_prev[u] + gates[u] * gates[2 * h_size + u];
+      tanh_c[u] = std::tanh(c[u]);
     }
-    c = step.c;
     Tensor h_new({h_size});
-    for (int u = 0; u < h_size; ++u) h_new.at(u) = step.o.at(u) * step.tanh_c.at(u);
-    h = h_new;
-    outputs.push_back(h);
-    if (train) steps_.push_back(std::move(step));
+    float* h = h_new.data();
+    for (int u = 0; u < h_size; ++u) h[u] = gates[3 * h_size + u] * tanh_c[u];
+    if (train) steps_.push_back(StepView{xh, c_prev, gates, c, tanh_c});
+    outputs.push_back(std::move(h_new));
+    // Tensor storage is heap-allocated, so these stay valid as `outputs`
+    // grows; c (in eval mode) is updated in place, which is safe because
+    // c[u] reads only c_prev[u].
+    h_prev = outputs.back().data();
+    c_prev = c;
   }
   return outputs;
 }
@@ -90,58 +102,59 @@ std::vector<Tensor> Lstm::backward(const std::vector<Tensor>& grad_outputs) {
   const int h_size = hidden_size_;
   const int in_size = input_size_;
   const int joint = in_size + h_size;
+  const int rows = 4 * h_size;
   const std::size_t t_len = steps_.size();
 
+  scratch_ws_.reset();
+  float* dh = scratch_ws_.alloc(static_cast<std::size_t>(h_size));
+  float* dz = scratch_ws_.alloc(static_cast<std::size_t>(rows));
+  float* dc = scratch_ws_.alloc(static_cast<std::size_t>(h_size));
+  float* dxh = scratch_ws_.alloc(static_cast<std::size_t>(joint));
+  float* dh_next = scratch_ws_.alloc_zero(static_cast<std::size_t>(h_size));
+  float* dc_next = scratch_ws_.alloc_zero(static_cast<std::size_t>(h_size));
+
   std::vector<Tensor> grad_inputs(t_len);
-  Tensor dh_next({h_size});
-  Tensor dc_next({h_size});
 
   for (std::size_t rt = t_len; rt-- > 0;) {
-    const StepCache& step = steps_[rt];
-    Tensor dh = grad_outputs[rt];
-    dh.add_scaled(dh_next, 1.0f);
+    const StepView& step = steps_[rt];
+    if (static_cast<int>(grad_outputs[rt].size()) != h_size) {
+      throw std::invalid_argument("Tensor::add_scaled: size mismatch");
+    }
+    const float* go = grad_outputs[rt].data();
+    for (int u = 0; u < h_size; ++u) dh[u] = go[u] + 1.0f * dh_next[u];
 
     // Through h_t = o * tanh(c_t) and c_t = f*c_prev + i*g.
-    Tensor dz({4 * h_size});  // pre-activation gradients [di; df; dg; do]
-    Tensor dc({h_size});
     for (int u = 0; u < h_size; ++u) {
-      const float do_ = dh.at(u) * step.tanh_c.at(u);
-      const float dtanh_c = dh.at(u) * step.o.at(u);
-      const float dcu = dtanh_c * (1.0f - step.tanh_c.at(u) * step.tanh_c.at(u)) +
-                        dc_next.at(u);
-      dc.at(u) = dcu;
-      const float di = dcu * step.g.at(u);
-      const float df = dcu * step.c_prev.at(u);
-      const float dg = dcu * step.i.at(u);
-      dz.at(0 * h_size + u) = di * step.i.at(u) * (1.0f - step.i.at(u));
-      dz.at(1 * h_size + u) = df * step.f.at(u) * (1.0f - step.f.at(u));
-      dz.at(2 * h_size + u) = dg * (1.0f - step.g.at(u) * step.g.at(u));
-      dz.at(3 * h_size + u) = do_ * step.o.at(u) * (1.0f - step.o.at(u));
+      const float i_ = step.gates[u];
+      const float f_ = step.gates[h_size + u];
+      const float g_ = step.gates[2 * h_size + u];
+      const float o_ = step.gates[3 * h_size + u];
+      const float do_ = dh[u] * step.tanh_c[u];
+      const float dtanh_c = dh[u] * o_;
+      const float dcu = dtanh_c * (1.0f - step.tanh_c[u] * step.tanh_c[u]) + dc_next[u];
+      dc[u] = dcu;
+      const float di = dcu * g_;
+      const float df = dcu * step.c_prev[u];
+      const float dg = dcu * i_;
+      dz[0 * h_size + u] = di * i_ * (1.0f - i_);
+      dz[1 * h_size + u] = df * f_ * (1.0f - f_);
+      dz[2 * h_size + u] = dg * (1.0f - g_ * g_);
+      dz[3 * h_size + u] = do_ * o_ * (1.0f - o_);
     }
 
-    // Parameter and input/recurrent gradients: z = W [x; h_prev] + b.
+    // Parameter and input/recurrent gradients: z = W [x; h_prev] + b. The
+    // packed dxh = [dx; dh_prev] mirrors the packed forward input.
+    std::memset(dxh, 0, static_cast<std::size_t>(joint) * sizeof(float));
+    kern::gemv_backward_acc(weight_.value.data(), weight_.grad.data(), step.xh, dz,
+                            bias_.grad.data(), dxh, rows, joint,
+                            /*skip_zero_rows=*/true);
+
     Tensor dx({in_size});
-    Tensor dh_prev({h_size});
-    for (int row = 0; row < 4 * h_size; ++row) {
-      const float g = dz.at(row);
-      if (g == 0.0f) continue;
-      bias_.grad.at(row) += g;
-      float* wg = weight_.grad.data() + static_cast<std::size_t>(row) * joint;
-      const float* w = weight_.value.data() + static_cast<std::size_t>(row) * joint;
-      for (int k = 0; k < in_size; ++k) {
-        wg[k] += g * step.x[static_cast<std::size_t>(k)];
-        dx.at(k) += g * w[k];
-      }
-      for (int k = 0; k < h_size; ++k) {
-        wg[in_size + k] += g * step.h_prev[static_cast<std::size_t>(k)];
-        dh_prev.at(k) += g * w[in_size + k];
-      }
-    }
-
+    std::memcpy(dx.data(), dxh, static_cast<std::size_t>(in_size) * sizeof(float));
     grad_inputs[rt] = std::move(dx);
-    dh_next = std::move(dh_prev);
+    std::memcpy(dh_next, dxh + in_size, static_cast<std::size_t>(h_size) * sizeof(float));
     // dc_prev = dc * f.
-    for (int u = 0; u < h_size; ++u) dc_next.at(u) = dc.at(u) * step.f.at(u);
+    for (int u = 0; u < h_size; ++u) dc_next[u] = dc[u] * step.gates[h_size + u];
   }
   steps_.clear();
   return grad_inputs;

@@ -3,10 +3,16 @@
 // keep, and retrieval of the memory cell c_t; full backpropagation through
 // time. Stacked pairs of these (2 x 32 cells in the paper) encode the CNN
 // features frame by frame.
+//
+// All four gates of a timestep are computed as one 4H x (I+H) GEMV against
+// the packed [x; h_prev] vector (kern::gemv), and the per-step BPTT caches
+// live in a flat workspace arena instead of nine Tensors per step — both
+// bitwise-identical to the per-gate scalar loops they replaced.
 #pragma once
 
 #include <vector>
 
+#include "kern/workspace.hpp"
 #include "nn/layer.hpp"
 
 namespace m2ai::nn {
@@ -32,13 +38,15 @@ class Lstm {
   int hidden_size() const { return hidden_size_; }
 
  private:
-  struct StepCache {
-    Tensor x;       // [I]
-    Tensor h_prev;  // [H]
-    Tensor c_prev;  // [H]
-    Tensor i, f, g, o;  // gate activations, [H] each
-    Tensor c;       // [H]
-    Tensor tanh_c;  // [H]
+  // One BPTT step's cached activations, viewed into train_ws_. Pointers stay
+  // valid until the next training forward resets the arena (Workspace blocks
+  // never move on growth).
+  struct StepView {
+    const float* xh;      // packed GEMV input [x; h_prev], I+H
+    const float* c_prev;  // [H] (previous step's c, or the shared zero row)
+    const float* gates;   // activations [i; f; g; o], 4H
+    const float* c;       // [H]
+    const float* tanh_c;  // [H]
   };
 
   int input_size_;
@@ -47,7 +55,13 @@ class Lstm {
   // inputs ([x; h_prev]).
   Param weight_;  // [4H, I+H]
   Param bias_;    // [4H]
-  std::vector<StepCache> steps_;
+  std::vector<StepView> steps_;
+  // Step caches live in train_ws_ (reset only by the next training forward);
+  // transient per-call buffers come from scratch_ws_, so an evaluation
+  // forward between a training forward and its backward — the gradcheck
+  // pattern — cannot clobber the pending caches.
+  kern::Workspace train_ws_;
+  kern::Workspace scratch_ws_;
 };
 
 }  // namespace m2ai::nn

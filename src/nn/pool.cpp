@@ -16,19 +16,25 @@ Tensor MaxPool1d::forward(const Tensor& input, bool train) {
   cache.in_channels = channels;
   cache.in_len = len;
   cache.argmax.resize(static_cast<std::size_t>(channels) * out_len);
+  const float* in = input.data();
+  float* out = y.data();
+  int* am = cache.argmax.data();
   for (int c = 0; c < channels; ++c) {
+    const float* row = in + static_cast<std::size_t>(c) * len;
+    float* y_row = out + static_cast<std::size_t>(c) * out_len;
+    int* am_row = am + static_cast<std::size_t>(c) * out_len;
     for (int o = 0; o < out_len; ++o) {
       int best = o * stride_;
-      float best_v = input.at(c, best);
+      float best_v = row[best];
       for (int k = 1; k < window_; ++k) {
         const int pos = o * stride_ + k;
-        if (input.at(c, pos) > best_v) {
-          best_v = input.at(c, pos);
+        if (row[pos] > best_v) {
+          best_v = row[pos];
           best = pos;
         }
       }
-      y.at(c, o) = best_v;
-      cache.argmax[static_cast<std::size_t>(c) * out_len + o] = best;
+      y_row[o] = best_v;
+      am_row[o] = best;
     }
   }
   if (train) cache_.push_back(std::move(cache));
@@ -41,10 +47,14 @@ Tensor MaxPool1d::backward(const Tensor& grad_output) {
   cache_.pop_back();
   const int out_len = grad_output.dim(1);
   Tensor grad_in({cache.in_channels, cache.in_len});
+  const float* g = grad_output.data();
+  float* gi = grad_in.data();
   for (int c = 0; c < cache.in_channels; ++c) {
+    const float* g_row = g + static_cast<std::size_t>(c) * out_len;
+    float* gi_row = gi + static_cast<std::size_t>(c) * cache.in_len;
+    const int* am_row = cache.argmax.data() + static_cast<std::size_t>(c) * out_len;
     for (int o = 0; o < out_len; ++o) {
-      grad_in.at(c, cache.argmax[static_cast<std::size_t>(c) * out_len + o]) +=
-          grad_output.at(c, o);
+      gi_row[am_row[o]] += g_row[o];
     }
   }
   return grad_in;

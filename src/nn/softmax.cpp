@@ -7,15 +7,17 @@ namespace m2ai::nn {
 
 Tensor softmax(const Tensor& logits) {
   Tensor p = logits.flattened();
-  float mx = p[0];
-  for (std::size_t i = 1; i < p.size(); ++i) mx = std::max(mx, p[i]);
+  float* d = p.data();
+  const std::size_t n = p.size();
+  float mx = d[0];
+  for (std::size_t i = 1; i < n; ++i) mx = std::max(mx, d[i]);
   double z = 0.0;
-  for (std::size_t i = 0; i < p.size(); ++i) {
-    p[i] = std::exp(p[i] - mx);
-    z += p[i];
+  for (std::size_t i = 0; i < n; ++i) {
+    d[i] = std::exp(d[i] - mx);
+    z += d[i];
   }
   const float inv = static_cast<float>(1.0 / z);
-  for (std::size_t i = 0; i < p.size(); ++i) p[i] *= inv;
+  for (std::size_t i = 0; i < n; ++i) d[i] *= inv;
   return p;
 }
 

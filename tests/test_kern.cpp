@@ -1,0 +1,347 @@
+// Regression tests for the deterministic compute-kernel layer: every kernel
+// must be bitwise-identical to the naive reference loop it replaced, at any
+// shape (including degenerate ones) and any thread count.
+#include <gtest/gtest.h>
+
+#include <complex>
+#include <cstring>
+#include <vector>
+
+#include "core/frames.hpp"
+#include "core/pipeline.hpp"
+#include "dsp/cmatrix.hpp"
+#include "dsp/covariance.hpp"
+#include "dsp/eig.hpp"
+#include "dsp/fft.hpp"
+#include "kern/eig4.hpp"
+#include "kern/kernels.hpp"
+#include "kern/workspace.hpp"
+#include "nn/conv1d.hpp"
+#include "par/parallel_for.hpp"
+#include "util/rng.hpp"
+
+namespace m2ai {
+namespace {
+
+std::vector<float> random_floats(std::size_t n, util::Rng& rng) {
+  std::vector<float> v(n);
+  for (auto& x : v) x = static_cast<float>(rng.normal());
+  return v;
+}
+
+// The naive forward loop the GEMV kernel replaced (Dense/LSTM gates).
+std::vector<float> naive_gemv(const std::vector<float>& w,
+                              const std::vector<float>& x,
+                              const std::vector<float>& b, int rows, int cols) {
+  std::vector<float> y(static_cast<std::size_t>(rows));
+  for (int r = 0; r < rows; ++r) {
+    float acc = b.empty() ? 0.0f : b[static_cast<std::size_t>(r)];
+    for (int k = 0; k < cols; ++k) {
+      acc += w[static_cast<std::size_t>(r) * cols + k] * x[static_cast<std::size_t>(k)];
+    }
+    y[static_cast<std::size_t>(r)] = acc;
+  }
+  return y;
+}
+
+TEST(KernGemv, BitwiseMatchesNaiveAtOddShapes) {
+  util::Rng rng(7);
+  const int shapes[][2] = {{1, 1}, {3, 5}, {7, 13}, {31, 17}, {128, 96}, {5, 0}};
+  for (const auto& s : shapes) {
+    const int rows = s[0], cols = s[1];
+    const auto w = random_floats(static_cast<std::size_t>(rows) * cols, rng);
+    const auto x = random_floats(static_cast<std::size_t>(cols), rng);
+    const auto b = random_floats(static_cast<std::size_t>(rows), rng);
+    std::vector<float> y(static_cast<std::size_t>(rows), -1.0f);
+    kern::gemv(w.data(), x.data(), b.data(), y.data(), rows, cols);
+    const auto ref = naive_gemv(w, x, b, rows, cols);
+    ASSERT_EQ(0, std::memcmp(y.data(), ref.data(), y.size() * sizeof(float)))
+        << rows << "x" << cols;
+  }
+}
+
+TEST(KernGemv, NullBiasStartsFromZero) {
+  util::Rng rng(8);
+  const auto w = random_floats(6, rng);
+  const auto x = random_floats(3, rng);
+  std::vector<float> y(2);
+  kern::gemv(w.data(), x.data(), nullptr, y.data(), 2, 3);
+  const auto ref = naive_gemv(w, x, {}, 2, 3);
+  EXPECT_EQ(0, std::memcmp(y.data(), ref.data(), y.size() * sizeof(float)));
+}
+
+TEST(KernGemvBackward, BitwiseMatchesNaiveWithAndWithoutSkip) {
+  util::Rng rng(9);
+  const int rows = 12, cols = 7;
+  const auto w = random_floats(static_cast<std::size_t>(rows) * cols, rng);
+  const auto x = random_floats(cols, rng);
+  auto g = random_floats(rows, rng);
+  g[2] = 0.0f;  // exercise the skip branch
+  g[9] = 0.0f;
+
+  for (const bool skip : {true, false}) {
+    // Start all accumulators from nonzero state: the kernel accumulates.
+    auto wg_k = random_floats(w.size(), rng);
+    auto wg_n = wg_k;
+    auto bg_k = random_floats(rows, rng);
+    auto bg_n = bg_k;
+    auto dx_k = random_floats(cols, rng);
+    auto dx_n = dx_k;
+
+    kern::gemv_backward_acc(w.data(), wg_k.data(), x.data(), g.data(), bg_k.data(),
+                            dx_k.data(), rows, cols, skip);
+    for (int r = 0; r < rows; ++r) {
+      const float gr = g[static_cast<std::size_t>(r)];
+      if (skip && gr == 0.0f) continue;
+      bg_n[static_cast<std::size_t>(r)] += gr;
+      for (int k = 0; k < cols; ++k) {
+        wg_n[static_cast<std::size_t>(r) * cols + k] += gr * x[static_cast<std::size_t>(k)];
+        dx_n[static_cast<std::size_t>(k)] += gr * w[static_cast<std::size_t>(r) * cols + k];
+      }
+    }
+    EXPECT_EQ(0, std::memcmp(wg_k.data(), wg_n.data(), wg_k.size() * sizeof(float)));
+    EXPECT_EQ(0, std::memcmp(bg_k.data(), bg_n.data(), bg_k.size() * sizeof(float)));
+    EXPECT_EQ(0, std::memcmp(dx_k.data(), dx_n.data(), dx_k.size() * sizeof(float)));
+  }
+}
+
+TEST(KernGemm, BitwiseMatchesNaiveTripleLoop) {
+  util::Rng rng(10);
+  const int shapes[][3] = {{1, 1, 1}, {3, 5, 7}, {4, 4, 4}, {2, 0, 3}, {13, 11, 17}};
+  for (const auto& s : shapes) {
+    const int m = s[0], k = s[1], n = s[2];
+    const auto a = random_floats(static_cast<std::size_t>(m) * k, rng);
+    const auto b = random_floats(static_cast<std::size_t>(k) * n, rng);
+    std::vector<float> c(static_cast<std::size_t>(m) * n, -1.0f);
+    kern::gemm(a.data(), b.data(), c.data(), m, k, n);
+    std::vector<float> ref(c.size());
+    for (int i = 0; i < m; ++i) {
+      for (int j = 0; j < n; ++j) {
+        float acc = 0.0f;
+        for (int kk = 0; kk < k; ++kk) {
+          acc += a[static_cast<std::size_t>(i) * k + kk] *
+                 b[static_cast<std::size_t>(kk) * n + j];
+        }
+        ref[static_cast<std::size_t>(i) * n + j] = acc;
+      }
+    }
+    ASSERT_EQ(0, std::memcmp(c.data(), ref.data(), c.size() * sizeof(float)))
+        << m << "x" << k << "x" << n;
+  }
+}
+
+TEST(KernConv1dRow, BitwiseMatchesNaivePerElementLoop) {
+  util::Rng rng(11);
+  // (len, kernel, stride, padding) including kernel > len and zero padding.
+  const int shapes[][4] = {{19, 5, 2, 3}, {180, 7, 2, 3}, {10, 3, 1, 1},
+                           {4, 7, 1, 3},  {9, 3, 3, 0},   {1, 1, 1, 0}};
+  for (const auto& s : shapes) {
+    const int len = s[0], kernel = s[1], stride = s[2], padding = s[3];
+    const int out_len = (len + 2 * padding - kernel) / stride + 1;
+    ASSERT_GT(out_len, 0);
+    const auto x = random_floats(static_cast<std::size_t>(len), rng);
+    const auto w = random_floats(static_cast<std::size_t>(kernel), rng);
+    std::vector<float> partial(static_cast<std::size_t>(out_len), 0.0f);
+    kern::conv1d_row_acc(x.data(), len, w.data(), kernel, stride, padding,
+                         partial.data(), out_len);
+    for (int ol = 0; ol < out_len; ++ol) {
+      float acc = 0.0f;
+      for (int k = 0; k < kernel; ++k) {
+        const int pos = ol * stride - padding + k;
+        if (pos < 0 || pos >= len) continue;
+        acc += w[static_cast<std::size_t>(k)] * x[static_cast<std::size_t>(pos)];
+      }
+      ASSERT_EQ(partial[static_cast<std::size_t>(ol)], acc)
+          << "ol=" << ol << " len=" << len << " k=" << kernel;
+    }
+  }
+}
+
+TEST(KernNoiseProjection, BitwiseMatchesColumnInnerReference) {
+  util::Rng rng(12);
+  const int n = 4, num_noise = 3, num_bins = 37;
+  // Noise vectors as columns of a CMatrix, the way the old MUSIC loop held them.
+  dsp::CMatrix un_mat(static_cast<std::size_t>(n), static_cast<std::size_t>(num_noise));
+  for (std::size_t r = 0; r < static_cast<std::size_t>(n); ++r) {
+    for (std::size_t c = 0; c < static_cast<std::size_t>(num_noise); ++c) {
+      un_mat(r, c) = dsp::cdouble{rng.normal(), rng.normal()};
+    }
+  }
+  std::vector<dsp::cdouble> steer(static_cast<std::size_t>(num_bins) * n);
+  for (auto& v : steer) v = dsp::cdouble{rng.normal(), rng.normal()};
+
+  std::vector<dsp::cdouble> un_flat(static_cast<std::size_t>(num_noise) * n);
+  for (int k = 0; k < num_noise; ++k) {
+    for (int i = 0; i < n; ++i) {
+      un_flat[static_cast<std::size_t>(k) * n + i] =
+          un_mat(static_cast<std::size_t>(i), static_cast<std::size_t>(k));
+    }
+  }
+  std::vector<double> denom(static_cast<std::size_t>(num_bins), -1.0);
+  kern::noise_projection(un_flat.data(), num_noise, steer.data(), num_bins, n,
+                         denom.data());
+
+  for (int bin = 0; bin < num_bins; ++bin) {
+    std::vector<dsp::cdouble> a(steer.begin() + static_cast<std::ptrdiff_t>(bin) * n,
+                                steer.begin() + static_cast<std::ptrdiff_t>(bin + 1) * n);
+    double d = 0.0;
+    for (int k = 0; k < num_noise; ++k) {
+      d += std::norm(dsp::inner(un_mat.column(static_cast<std::size_t>(k)), a));
+    }
+    ASSERT_EQ(denom[static_cast<std::size_t>(bin)], d) << "bin " << bin;
+  }
+}
+
+TEST(KernEig4, BitwiseMatchesGenericJacobi) {
+  util::Rng rng(13);
+  for (int trial = 0; trial < 8; ++trial) {
+    // Hermitian 4x4 from a real sample covariance of noisy snapshots.
+    std::vector<std::vector<dsp::cdouble>> snaps(16);
+    for (auto& snap : snaps) {
+      snap.resize(4);
+      for (auto& v : snap) v = dsp::cdouble{rng.normal(), rng.normal()};
+    }
+    const dsp::CMatrix r = dsp::sample_covariance(snaps);
+    const dsp::EigResult fast = dsp::eig_hermitian(r);      // dispatches to eig4
+    const dsp::EigResult ref = dsp::eig_hermitian_generic(r);
+    ASSERT_EQ(fast.values.size(), ref.values.size());
+    for (std::size_t i = 0; i < ref.values.size(); ++i) {
+      ASSERT_EQ(fast.values[i], ref.values[i]) << "eigenvalue " << i;
+    }
+    for (std::size_t i = 0; i < 4; ++i) {
+      for (std::size_t j = 0; j < 4; ++j) {
+        ASSERT_EQ(fast.vectors(i, j), ref.vectors(i, j)) << i << "," << j;
+      }
+    }
+  }
+}
+
+TEST(KernFftPlan, BitwiseMatchesFftAtPow2AndBluesteinSizes) {
+  util::Rng rng(14);
+  for (const std::size_t n : {std::size_t{2}, std::size_t{4}, std::size_t{8},
+                              std::size_t{1024}, std::size_t{3}, std::size_t{25},
+                              std::size_t{180}}) {
+    std::vector<dsp::cdouble> x(n);
+    for (auto& v : x) v = dsp::cdouble{rng.normal(), rng.normal()};
+    const auto plan = dsp::shared_fft_plan(n);
+    ASSERT_EQ(plan->size(), n);
+    std::vector<dsp::cdouble> out(n), scratch;
+    for (const bool inverse : {false, true}) {
+      const auto ref = dsp::fft(x, inverse);
+      plan->transform(x.data(), out.data(), inverse, scratch);
+      for (std::size_t i = 0; i < n; ++i) {
+        ASSERT_EQ(out[i], ref[i]) << "n=" << n << " inverse=" << inverse << " i=" << i;
+      }
+      // In-place (aliased) transform must give the same bits.
+      std::vector<dsp::cdouble> inplace = x;
+      plan->transform(inplace.data(), inplace.data(), inverse, scratch);
+      for (std::size_t i = 0; i < n; ++i) ASSERT_EQ(inplace[i], ref[i]);
+    }
+    // The cache hands out one plan per size.
+    EXPECT_EQ(plan.get(), dsp::shared_fft_plan(n).get());
+  }
+}
+
+TEST(KernWorkspace, PointersStableAcrossGrowthAndReusedAfterReset) {
+  kern::Workspace ws;
+  float* a = ws.alloc(16);
+  for (int i = 0; i < 16; ++i) a[i] = static_cast<float>(i);
+  // Force a new block; the first allocation must not move.
+  float* big = ws.alloc(1 << 20);
+  big[0] = 1.0f;
+  for (int i = 0; i < 16; ++i) ASSERT_EQ(a[i], static_cast<float>(i));
+
+  const std::size_t reserved = ws.floats_reserved();
+  ws.reset();
+  EXPECT_EQ(ws.floats_reserved(), reserved);  // reset keeps the blocks
+  // Steady state: the same request sequence reuses the same memory.
+  EXPECT_EQ(ws.alloc(16), a);
+  EXPECT_EQ(ws.alloc(1 << 20), big);
+  EXPECT_EQ(ws.floats_reserved(), reserved);
+}
+
+TEST(KernWorkspace, AllocZeroZeroesReusedMemory) {
+  kern::Workspace ws;
+  float* p = ws.alloc(64);
+  for (int i = 0; i < 64; ++i) p[i] = 3.0f;
+  ws.reset();
+  const float* z = ws.alloc_zero(64);
+  EXPECT_EQ(z, p);
+  for (int i = 0; i < 64; ++i) ASSERT_EQ(z[i], 0.0f);
+  // Zero-length requests still return distinct usable pointers.
+  EXPECT_NE(ws.alloc(0), nullptr);
+}
+
+// Satellite: Conv1d::backward must validate grad_output against the cached
+// forward shape instead of reading out of bounds / silently misindexing.
+TEST(Conv1dBackward, RejectsGradShapeMismatch) {
+  util::Rng rng(15);
+  nn::Conv1d conv(2, 3, 3, 1, 1, rng);
+  nn::Tensor x({2, 10});
+  x.randomize_normal(rng, 1.0f);
+  conv.forward(x, true);
+  const int out_len = conv.output_length(10);
+
+  nn::Tensor wrong_rank({3 * out_len});
+  EXPECT_THROW(conv.backward(wrong_rank), std::invalid_argument);
+  conv.forward(x, true);
+  nn::Tensor wrong_channels({4, out_len});
+  EXPECT_THROW(conv.backward(wrong_channels), std::invalid_argument);
+  conv.forward(x, true);
+  nn::Tensor wrong_len({3, out_len + 1});
+  EXPECT_THROW(conv.backward(wrong_len), std::invalid_argument);
+
+  conv.forward(x, true);
+  nn::Tensor ok({3, out_len});
+  ok.randomize_normal(rng, 1.0f);
+  EXPECT_NO_THROW(conv.backward(ok));
+}
+
+// Spectrum frames must be bitwise-identical whether the windows are built on
+// one thread or fanned out — the kernels changed the code under the
+// parallel_map, not its determinism.
+TEST(KernThreading, FrameSpectraBitwiseIdenticalAcrossThreadCounts) {
+  core::PipelineConfig config;
+  config.windows_per_sample = 4;
+  core::FrameBuilder builder(config, nullptr, 3);
+  std::vector<sim::TagReport> reports;
+  util::Rng rng(16);
+  for (int w = 0; w < 4; ++w) {
+    for (int tag = 1; tag <= 3; ++tag) {
+      for (int ant = 0; ant < 4; ++ant) {
+        for (int k = 0; k < 6; ++k) {
+          sim::TagReport r;
+          r.time_sec = w * config.window_sec + 0.01 + 0.03 * k;
+          r.tag_id = static_cast<std::uint32_t>(tag);
+          r.antenna = ant;
+          r.channel = 9;
+          r.phase_rad = rng.uniform(0.0, 2.0 * M_PI);
+          r.rssi_dbm = -50.0 - rng.uniform(0.0, 10.0);
+          reports.push_back(r);
+        }
+      }
+    }
+  }
+
+  par::set_num_threads(1);
+  const auto frames_t1 = builder.build(reports, 0.0);
+  par::set_num_threads(4);
+  const auto frames_t4 = builder.build(reports, 0.0);
+  par::set_num_threads(0);  // restore default
+
+  ASSERT_EQ(frames_t1.size(), frames_t4.size());
+  for (std::size_t f = 0; f < frames_t1.size(); ++f) {
+    const auto& a = frames_t1[f];
+    const auto& b = frames_t4[f];
+    ASSERT_EQ(a.pseudo.size(), b.pseudo.size());
+    for (std::size_t i = 0; i < a.pseudo.size(); ++i) {
+      ASSERT_EQ(a.pseudo[i], b.pseudo[i]) << "frame " << f << " pseudo[" << i << "]";
+    }
+    for (std::size_t i = 0; i < a.aux.size(); ++i) {
+      ASSERT_EQ(a.aux[i], b.aux[i]) << "frame " << f << " aux[" << i << "]";
+    }
+  }
+}
+
+}  // namespace
+}  // namespace m2ai
