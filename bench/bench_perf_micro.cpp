@@ -22,6 +22,7 @@
 #include "kern/kernels.hpp"
 #include "nn/optimizer.hpp"
 #include "obs/metrics.hpp"
+#include "obs/timeline.hpp"
 #include "obs/trace.hpp"
 #include "par/parallel_for.hpp"
 #include "rf/steering.hpp"
@@ -402,6 +403,55 @@ void run_kernel_micro() {
   std::printf("\n");
 }
 
+// Timeline section: the flight recorder's contract is that a disabled
+// timeline costs one relaxed atomic load per call site — within 2x of the
+// no-op cost of a disabled ScopedSpan. The three gauges below let
+// m2ai_obsdiff (and a reader of the committed BENCH json) hold it to that.
+void run_timeline_overhead() {
+  const bool obs_was_enabled = obs::enabled();
+  const bool timeline_was_enabled = obs::timeline_enabled();
+  std::printf("timeline record cost — ns/op (disabled path must stay ~free)\n");
+
+  // Baseline: ScopedSpan with the whole obs layer off. One relaxed load.
+  obs::set_enabled(false);
+  obs::set_timeline_enabled(false);
+  const double span_off = measure_ns_per_op([] {
+    obs::ScopedSpan span("bench.noop");
+    benchmark::DoNotOptimize(&span);
+  });
+
+  // Timeline off: the free-function record path gated by timeline_enabled().
+  const double record_off = measure_ns_per_op([] {
+    obs::timeline_instant("bench.ev");
+  });
+
+  // Timeline on: a full event lands in this thread's ring every call.
+  obs::set_enabled(true);
+  obs::set_timeline_enabled(true);
+  const double record_on = measure_ns_per_op([] {
+    obs::timeline_instant("bench.ev");
+  });
+
+  // The hot loop wrapped the ring millions of times; drop those events and
+  // the dropped-event tally so they don't pollute the exported report.
+  obs::set_timeline_enabled(false);
+  obs::timeline_reset();
+  obs::registry().counter("obs.timeline.dropped_events").reset();
+  obs::set_enabled(obs_was_enabled);
+  obs::set_timeline_enabled(timeline_was_enabled);
+
+  std::printf("%28s %12.1f\n", "span_disabled", span_off);
+  std::printf("%28s %12.1f\n", "timeline_record_off", record_off);
+  std::printf("%28s %12.1f\n", "timeline_record_on", record_on);
+  const double ratio = span_off > 0.0 ? record_off / span_off : 0.0;
+  std::printf("disabled-path overhead vs no-op span: %.2fx (budget 2.00x)\n\n",
+              ratio);
+  obs::registry().gauge("obs.span.disabled.ns_per_op").set(span_off);
+  obs::registry().gauge("obs.timeline.record.off.ns_per_op").set(record_off);
+  obs::registry().gauge("obs.timeline.record.on.ns_per_op").set(record_on);
+  obs::registry().gauge("obs.timeline.disabled_overhead_ratio").set(ratio);
+}
+
 // Per-call span costs of the pre-kernel tree (PR 4, commit 001fcd4), measured
 // on the same host at the same bench workload right before the kernel layer
 // landed. The table below divides the current run's span totals by their
@@ -454,6 +504,8 @@ int main(int argc, char** argv) {
   // The span-comparison table needs spans recorded during the scaling runs
   // even when no --metrics-out/--trace flag was passed.
   obs::set_enabled(true);
+  // First so its ring reset can't discard events the later sections record.
+  run_timeline_overhead();
   run_parallel_scaling();
   run_training_scaling();
   run_kernel_micro();

@@ -8,6 +8,7 @@
 
 #include "obs/export.hpp"
 #include "obs/metrics.hpp"
+#include "obs/timeline.hpp"
 #include "par/parallel_for.hpp"
 #include "util/log.hpp"
 
@@ -31,6 +32,7 @@ double env_scale() {
 namespace {
 
 std::string g_metrics_out;
+std::string g_trace_out;
 bool g_trace = false;
 
 void export_observability() {
@@ -40,6 +42,15 @@ void export_observability() {
       std::fprintf(stderr, "metrics written to %s\n", g_metrics_out.c_str());
     } catch (const std::exception& e) {
       std::fprintf(stderr, "metrics export failed: %s\n", e.what());
+    }
+  }
+  if (!g_trace_out.empty()) {
+    try {
+      obs::write_chrome_trace(g_trace_out);
+      std::fprintf(stderr, "timeline written to %s (open in ui.perfetto.dev)\n",
+                   g_trace_out.c_str());
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "timeline export failed: %s\n", e.what());
     }
   }
   if (g_trace) {
@@ -65,6 +76,10 @@ int init_observability(int argc, char** argv) {
       g_metrics_out = argv[++i];
     } else if (token.rfind("--metrics-out=", 0) == 0) {
       g_metrics_out = token.substr(std::string("--metrics-out=").size());
+    } else if (token == "--trace-out" && i + 1 < argc) {
+      g_trace_out = argv[++i];
+    } else if (token.rfind("--trace-out=", 0) == 0) {
+      g_trace_out = token.substr(std::string("--trace-out=").size());
     } else if (token == "--threads" && i + 1 < argc) {
       par::set_num_threads(std::atoi(argv[++i]));
     } else if (token.rfind("--threads=", 0) == 0) {
@@ -74,9 +89,13 @@ int init_observability(int argc, char** argv) {
     }
   }
   argv[out] = nullptr;
-  if (g_trace || !g_metrics_out.empty()) {
+  if (g_trace || !g_metrics_out.empty() || !g_trace_out.empty()) {
     obs::set_enabled(true);
     std::atexit(export_observability);
+  }
+  if (!g_trace_out.empty()) {
+    obs::register_thread_name("main");
+    obs::set_timeline_enabled(true);
   }
   return out;
 }

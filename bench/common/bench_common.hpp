@@ -9,8 +9,11 @@
 //   --metrics-out <path>   write a machine-readable timing breakdown (JSON,
 //                          or CSV when the path ends in .csv) at exit
 //   --trace                print the span call tree to stderr at exit
-// Both flags enable the obs layer (off by default, so instrumented hot
-// paths cost one relaxed atomic load per call site).
+//   --trace-out <path>     write a Chrome trace-event JSON timeline at exit
+//                          (open in ui.perfetto.dev or chrome://tracing)
+// All flags enable the obs layer (off by default, so instrumented hot
+// paths cost one relaxed atomic load per call site); --trace-out also
+// enables the flight-recorder timeline.
 //
 // Parallelism: every bench binary accepts
 //   --threads <N>          worker threads for the deterministic parallel
@@ -38,7 +41,8 @@ double env_scale();
 // before building experiment configs — registration snapshots the scale.
 void set_scale_override(double scale);
 
-// Parses and strips --metrics-out/--trace/--threads from argv (argv is
+// Parses and strips --metrics-out/--trace/--trace-out/--threads from argv
+// (argv is
 // compacted in place and re-null-terminated; the new argc is returned).
 // When an obs flag is present, enables the obs layer and registers the
 // matching export to run at normal process exit; --threads configures the

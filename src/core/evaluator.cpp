@@ -4,6 +4,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "obs/trace.hpp"
 #include "par/parallel_for.hpp"
 #include "util/table.hpp"
 
@@ -72,6 +73,8 @@ std::string ConfusionMatrix::to_string(const std::vector<std::string>& labels) c
 }
 
 ConfusionMatrix evaluate(M2AINetwork& network, const std::vector<Sample>& test) {
+  obs::ScopedSpan span("evaluate");
+  span.arg("samples", static_cast<std::int64_t>(test.size()));
   int num_classes = 1;
   for (const Sample& s : test) num_classes = std::max(num_classes, s.label + 1);
   ConfusionMatrix cm(num_classes);
@@ -90,6 +93,9 @@ ConfusionMatrix evaluate(M2AINetwork& network, const std::vector<Sample>& test) 
     clones.reserve(static_cast<std::size_t>(workers));
     for (int w = 0; w < workers; ++w) clones.push_back(network.clone());
     par::parallel_chunks(n, workers, [&](int w, std::size_t begin, std::size_t end) {
+      obs::ScopedSpan chunk_span("evaluate_chunk");
+      chunk_span.arg("worker", w);
+      chunk_span.arg("samples", static_cast<std::int64_t>(end - begin));
       for (std::size_t i = begin; i < end; ++i) {
         predicted[i] = clones[static_cast<std::size_t>(w)]->predict(test[i].frames);
       }

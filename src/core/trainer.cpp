@@ -7,6 +7,7 @@
 #include "nn/optimizer.hpp"
 #include "obs/metrics.hpp"
 #include "obs/telemetry.hpp"
+#include "obs/timeline.hpp"
 #include "obs/trace.hpp"
 #include "par/parallel_for.hpp"
 #include "util/log.hpp"
@@ -47,6 +48,10 @@ void Trainer::process_batch(const std::vector<const Sample*>& batch,
   const std::size_t m = batch.size();
   if (m == 0) return;
 
+  obs::ScopedSpan batch_span("train_batch");
+  batch_span.arg("batch", batch_counter_++);
+  batch_span.arg("size", static_cast<std::int64_t>(m));
+
   // The worker count may vary with the thread setting, but chunk boundaries
   // only decide WHICH replica computes a sample — every sample's gradient is
   // a pure function of (synced weights, sample, its pre-forked RNG), so the
@@ -60,6 +65,9 @@ void Trainer::process_batch(const std::vector<const Sample*>& batch,
   std::vector<double> busy(static_cast<std::size_t>(workers), 0.0);
 
   par::parallel_chunks(m, workers, [&](int w, std::size_t begin, std::size_t end) {
+    obs::ScopedSpan chunk_span("train_chunk");
+    chunk_span.arg("worker", w);
+    chunk_span.arg("samples", static_cast<std::int64_t>(end - begin));
     const auto start = std::chrono::steady_clock::now();
     M2AINetwork& replica = *replicas_[static_cast<std::size_t>(w)];
     const std::vector<nn::Param*> rparams = replica.params();
@@ -116,7 +124,9 @@ void Trainer::process_batch(const std::vector<const Sample*>& batch,
 }
 
 EpochStats Trainer::run_epoch(const std::vector<Sample>& train) {
-  M2AI_OBS_SPAN("train_epoch");
+  obs::ScopedSpan span("train_epoch");
+  span.arg("epoch", current_epoch_);
+  batch_counter_ = 0;
   const std::vector<nn::Param*> params = network_.params();
   std::vector<std::size_t> order(train.size());
   std::iota(order.begin(), order.end(), 0);
@@ -193,7 +203,9 @@ EpochStats Trainer::fit(const std::vector<Sample>& train) {
       optimizer_->set_lr(lr);
     }
     const auto epoch_start = std::chrono::steady_clock::now();
+    current_epoch_ = epoch + 1;
     stats = run_epoch(train);
+    current_epoch_ = 0;
     const double epoch_seconds = std::chrono::duration<double>(
                                      std::chrono::steady_clock::now() - epoch_start)
                                      .count();

@@ -52,6 +52,10 @@ class Trainer {
 
   M2AINetwork& network_;
   TrainConfig config_;
+  // 1-based epoch currently running (0 outside fit()); annotates the
+  // train_epoch/train_batch timeline spans.
+  int current_epoch_ = 0;
+  int batch_counter_ = 0;  // batches flushed within the current epoch
   std::unique_ptr<nn::Optimizer> optimizer_;
   util::Rng rng_;          // shuffle + crop offsets (same stream as ever)
   util::Rng dropout_rng_;  // per-sample dropout streams, forked in epoch order

@@ -6,6 +6,7 @@
 
 #include "exp/fingerprint.hpp"
 #include "obs/metrics.hpp"
+#include "obs/timeline.hpp"
 #include "obs/trace.hpp"
 #include "util/log.hpp"
 
@@ -172,11 +173,13 @@ std::shared_ptr<const core::DataSplit> DatasetCache::get(
     if (it != entries_.end()) {
       ++stats_.hits;
       obs::registry().counter("exp.cache.hit").add();
+      obs::timeline_instant("cache.hit");
       touch_locked(fingerprint);
       future = it->second.future;
     } else {
       ++stats_.misses;
       obs::registry().counter("exp.cache.miss").add();
+      obs::timeline_instant("cache.miss");
       producer = true;
       Entry entry;
       entry.future = promise.get_future().share();
@@ -214,6 +217,7 @@ std::shared_ptr<const core::DataSplit> DatasetCache::produce(
         ++stats_.disk_hits;
       }
       obs::registry().counter("exp.cache.disk_hit").add();
+      obs::timeline_instant("cache.disk_hit");
       util::log_info() << "dataset " << fingerprint << " loaded from cache dir";
       return split;
     }

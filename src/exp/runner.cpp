@@ -3,14 +3,17 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <map>
 #include <set>
 #include <stdexcept>
+#include <thread>
 
 #include "obs/export.hpp"
 #include "obs/metrics.hpp"
+#include "obs/timeline.hpp"
 #include "obs/trace.hpp"
 #include "par/parallel_for.hpp"
 #include "util/csv.hpp"
@@ -167,15 +170,34 @@ SuiteResult run_cells(const Registry& registry, const std::vector<std::string>& 
   SuiteResult result;
   result.outcomes.resize(mine.size());
 
+  // CI perf-gate hook: an injected per-cell sleep makes every exp_cell span
+  // (and the suite's cell_seconds) regress by a known amount, proving the
+  // m2ai_obsdiff gate actually trips. Ignored unless the env var is set.
+  const char* inject_env = std::getenv("M2AI_PERF_INJECT_MS");
+  const int inject_ms = inject_env != nullptr ? std::atoi(inject_env) : 0;
+
+  // Flow arrows bind each dispatched cell to the worker that executes it
+  // (id = global cell index + 1; Chrome flow ids must be non-zero).
+  if (obs::timeline_enabled()) {
+    for (std::size_t i : mine) obs::timeline_flow_start("exp_cell", i + 1);
+  }
+
   const auto suite_start = std::chrono::steady_clock::now();
   auto run_one = [&](std::size_t slot) {
-    M2AI_OBS_SPAN("exp_cell");
+    obs::ScopedSpan span("exp_cell");
     const FlatCell& fc = flat[mine[slot]];
+    obs::timeline_flow_end("exp_cell", mine[slot] + 1);
+    span.arg("cell", fc.cell_index);
+    span.arg("rep", fc.cell->repetition);
+    span.arg_str("experiment", fc.experiment->id.c_str());
     if (options.verbose) {
       util::log_info() << "cell " << fc.experiment->id << "[" << fc.cell_index
                        << "] " << fc.cell->label;
     }
     const auto start = std::chrono::steady_clock::now();
+    if (inject_ms > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(inject_ms));
+    }
     CellContext ctx{fc.cell->config, cache, rngs[mine[slot]], fc.cell->repetition};
     Rows rows = fc.cell->run(ctx);
     CellOutcome& out = result.outcomes[slot];

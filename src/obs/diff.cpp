@@ -1,0 +1,124 @@
+#include "obs/diff.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <stdexcept>
+
+#include "util/json.hpp"
+
+namespace m2ai::obs {
+
+namespace {
+
+// name -> compared statistic, extracted per schema.
+std::map<std::string, double> extract(const util::JsonValue& doc,
+                                      const std::string& field, std::string* mode) {
+  std::map<std::string, double> out;
+  if (const util::JsonValue* spans = doc.find("spans")) {
+    *mode = "spans";
+    for (const util::JsonValue& span : spans->as_array()) {
+      const std::string& name = span.at("name").as_string();
+      const util::JsonValue* value = span.find(field);
+      if (value == nullptr) {
+        throw std::runtime_error("obsdiff: span '" + name + "' has no field '" +
+                                 field + "'");
+      }
+      out[name] = value->as_number();
+    }
+    return out;
+  }
+  if (const util::JsonValue* experiments = doc.find("experiments")) {
+    *mode = "experiments";
+    for (const util::JsonValue& e : experiments->as_array()) {
+      out[e.at("id").as_string()] = e.at("cell_seconds").as_number();
+    }
+    return out;
+  }
+  throw std::runtime_error(
+      "obsdiff: document is neither a metrics report (no \"spans\") nor a "
+      "suite report (no \"experiments\")");
+}
+
+}  // namespace
+
+DiffResult diff_reports(const std::string& baseline_json,
+                        const std::string& candidate_json,
+                        const DiffOptions& options) {
+  const util::JsonValue base_doc = util::json_parse(baseline_json);
+  const util::JsonValue cand_doc = util::json_parse(candidate_json);
+
+  std::string base_mode, cand_mode;
+  const auto base = extract(base_doc, options.field, &base_mode);
+  const auto cand = extract(cand_doc, options.field, &cand_mode);
+  if (base_mode != cand_mode) {
+    throw std::runtime_error("obsdiff: cannot compare a " + base_mode +
+                             " report against a " + cand_mode + " report");
+  }
+
+  DiffResult result;
+  result.mode = base_mode;
+  result.field = base_mode == "experiments" ? "cell_seconds" : options.field;
+
+  for (const auto& [name, base_value] : base) {
+    const auto it = cand.find(name);
+    if (it == cand.end()) {
+      result.only_baseline.push_back(name);
+      continue;
+    }
+    EntryDelta delta;
+    delta.name = name;
+    delta.baseline = base_value;
+    delta.candidate = it->second;
+    delta.delta_pct = base_value != 0.0
+                          ? (it->second - base_value) / base_value * 100.0
+                          : (it->second == 0.0 ? 0.0 : HUGE_VAL);
+    delta.regression = it->second > base_value * (1.0 + options.threshold) &&
+                       it->second - base_value > options.min_abs;
+    result.has_regression = result.has_regression || delta.regression;
+    result.entries.push_back(std::move(delta));
+  }
+  for (const auto& [name, value] : cand) {
+    if (base.find(name) == base.end()) result.only_candidate.push_back(name);
+  }
+
+  // Worst offenders first so the gate's culprit is the first line printed.
+  std::sort(result.entries.begin(), result.entries.end(),
+            [](const EntryDelta& a, const EntryDelta& b) {
+              if (a.regression != b.regression) return a.regression;
+              return a.delta_pct > b.delta_pct;
+            });
+  return result;
+}
+
+std::string render_diff(const DiffResult& result, const DiffOptions& options) {
+  char buf[256];
+  std::string out;
+  std::snprintf(buf, sizeof(buf),
+                "%-28s %14s %14s %9s\n", result.mode == "experiments"
+                                             ? "experiment (cell_seconds)"
+                                             : ("span (" + result.field + ")").c_str(),
+                "baseline", "candidate", "delta");
+  out += buf;
+  for (const EntryDelta& e : result.entries) {
+    std::snprintf(buf, sizeof(buf), "%-28s %14.4f %14.4f %+8.1f%%%s\n",
+                  e.name.c_str(), e.baseline, e.candidate, e.delta_pct,
+                  e.regression ? "  REGRESSED" : "");
+    out += buf;
+  }
+  for (const std::string& name : result.only_baseline) {
+    out += name + "  (baseline only)\n";
+  }
+  for (const std::string& name : result.only_candidate) {
+    out += name + "  (candidate only)\n";
+  }
+  std::snprintf(buf, sizeof(buf),
+                "gate: fail when candidate > baseline * %.2f and delta > %g\n",
+                1.0 + options.threshold, options.min_abs);
+  out += buf;
+  out += result.has_regression ? "RESULT: REGRESSION\n" : "RESULT: OK\n";
+  return out;
+}
+
+}  // namespace m2ai::obs

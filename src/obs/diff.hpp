@@ -1,0 +1,59 @@
+// Perf-regression diffing of two machine-readable reports.
+//
+// Understands both report schemas the repo commits:
+//   - obs metrics reports (obs::to_json): compares per-span latency
+//     statistics ("p50_ms" by default — any histogram field works);
+//   - m2ai_bench suite reports (exp::suite_report_json): compares
+//     per-experiment cell_seconds.
+// The schema is auto-detected from the document's keys, so
+// `m2ai_obsdiff old.json new.json` works on either artifact.
+//
+// A span regresses when BOTH hold:
+//   candidate > baseline * (1 + threshold)   (relative gate)
+//   candidate - baseline > min_abs           (absolute noise floor)
+// Spans present in only one report are listed but never gate — new
+// instrumentation must not fail CI, and deleted spans have nothing to
+// regress.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace m2ai::obs {
+
+struct DiffOptions {
+  // Histogram field compared in span mode (p50_ms, p95_ms, max_ms,
+  // total_ms, ...). Suite mode always compares cell_seconds.
+  std::string field = "p50_ms";
+  double threshold = 0.25;  // relative regression gate (0.25 = +25%)
+  double min_abs = 0.05;    // absolute floor, in the field's unit
+};
+
+struct EntryDelta {
+  std::string name;
+  double baseline = 0.0;
+  double candidate = 0.0;
+  double delta_pct = 0.0;  // (candidate - baseline) / baseline * 100
+  bool regression = false;
+};
+
+struct DiffResult {
+  std::string mode;   // "spans" or "experiments"
+  std::string field;  // the statistic actually compared
+  std::vector<EntryDelta> entries;        // names present in both reports
+  std::vector<std::string> only_baseline; // present only in the baseline
+  std::vector<std::string> only_candidate;
+  bool has_regression = false;
+};
+
+// Parses both documents and computes the deltas. Throws util::JsonError on
+// malformed input and std::runtime_error when a document matches neither
+// schema or lacks the requested field.
+DiffResult diff_reports(const std::string& baseline_json,
+                        const std::string& candidate_json,
+                        const DiffOptions& options = {});
+
+// Human-readable delta table (regressions flagged with "REGRESSED").
+std::string render_diff(const DiffResult& result, const DiffOptions& options);
+
+}  // namespace m2ai::obs

@@ -7,6 +7,7 @@
 #include <stdexcept>
 
 #include "obs/telemetry.hpp"
+#include "obs/timeline.hpp"
 #include "obs/trace.hpp"
 
 namespace m2ai::obs {
@@ -145,16 +146,33 @@ std::string to_json() {
   return out;
 }
 
+namespace {
+
+// RFC-4180 field quoting: a field containing a comma, quote, CR, or LF is
+// wrapped in quotes with embedded quotes doubled. Span/metric names are
+// usually identifier-like, but nothing enforces that — an unquoted name
+// with a comma or newline would corrupt every row after it.
+std::string csv_field(const std::string& s) {
+  if (s.find_first_of(",\"\r\n") == std::string::npos) return s;
+  std::string out;
+  out.reserve(s.size() + 2);
+  out += '"';
+  for (char c : s) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
 std::string to_csv() {
   std::string out = "kind,name,field,value\n";
   auto row = [&out](const std::string& kind, const std::string& name,
                     const std::string& field, const std::string& value) {
-    // Names are identifier-like; quote defensively if a comma sneaks in.
-    std::string safe = name;
-    if (safe.find(',') != std::string::npos) {
-      safe = "\"" + safe + "\"";
-    }
-    out += kind + "," + safe + "," + field + "," + value + "\n";
+    out += csv_field(kind) + "," + csv_field(name) + "," + csv_field(field) + "," +
+           csv_field(value) + "\n";
   };
   auto hist_rows = [&row](const std::string& kind, const std::string& name,
                           const HistogramSnapshot& h, const std::string& unit) {
@@ -260,9 +278,10 @@ void write_report(const std::string& path) {
 }
 
 void reset_all() {
-  registry().clear();
-  spans().clear();
+  registry().hard_clear();
+  spans().hard_clear();
   training().clear();
+  timeline_reset();
 }
 
 }  // namespace m2ai::obs

@@ -17,6 +17,8 @@
 // CSV is long-format with one scalar per row: kind,name,field,value — e.g.
 //   span,music,p95_ms,0.812
 //   epoch,3,loss,1.492
+// Fields are RFC-4180 quoted, so names containing commas, quotes, or
+// newlines round-trip through any compliant CSV reader.
 #pragma once
 
 #include <string>
@@ -39,7 +41,10 @@ void write_csv(const std::string& path);
 // Dispatch by extension: ".csv" writes CSV, anything else JSON.
 void write_report(const std::string& path);
 
-// Clears registry, spans, and telemetry (tests, repeated in-process runs).
+// Hard-clears registry, spans, telemetry, and the timeline (tests). This
+// drops registry/span entries entirely, invalidating cached instrument
+// references — for an in-place value reset that keeps references valid, use
+// registry().clear() / spans().clear().
 void reset_all();
 
 }  // namespace m2ai::obs

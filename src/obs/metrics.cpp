@@ -105,6 +105,13 @@ std::vector<std::pair<std::string, HistogramSnapshot>> Registry::histograms() co
 
 void Registry::clear() {
   std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, c] : counters_) c->reset();
+  for (auto& [name, g] : gauges_) g->reset();
+  for (auto& [name, h] : histograms_) h->reset();
+}
+
+void Registry::hard_clear() {
+  std::lock_guard<std::mutex> lock(mu_);
   counters_.clear();
   gauges_.clear();
   histograms_.clear();

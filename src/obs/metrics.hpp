@@ -102,8 +102,14 @@ class Registry {
   std::vector<std::pair<std::string, double>> gauges() const;
   std::vector<std::pair<std::string, HistogramSnapshot>> histograms() const;
 
-  // Drops all instruments (tests and repeated in-process runs).
+  // Resets every instrument's value in place. Entries (and therefore any
+  // references call sites cached) stay valid — this is the safe reset for
+  // repeated in-process runs.
   void clear();
+
+  // Drops all instruments (tests that need empty listings). Invalidates
+  // cached references; only safe while no other thread holds or uses one.
+  void hard_clear();
 
  private:
   mutable std::mutex mu_;

@@ -1,0 +1,331 @@
+#include "obs/timeline.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+
+namespace m2ai::obs {
+
+namespace {
+
+// One per thread; owned by the global registry so rings outlive their
+// threads (pool workers come and go, the exporter runs at process exit).
+// Exactly one thread ever writes `ring`/`head`; readers synchronize through
+// the acquire/release pair on `head`.
+struct ThreadTimeline {
+  int tid = 0;
+  std::string name;                 // guarded by g_mu
+  std::vector<TimelineEvent> ring;  // sized lazily on first record
+  std::atomic<std::uint64_t> head{0};     // total events ever written
+  std::atomic<std::uint64_t> dropped{0};  // overwritten by wrap-around
+  Counter* dropped_counter = nullptr;     // cached: registry entries are stable
+};
+
+std::mutex g_mu;
+std::vector<std::shared_ptr<ThreadTimeline>>& threads_locked() {
+  // Leaked so recording stays valid during static teardown (same pattern as
+  // the metrics registry).
+  static auto* list = new std::vector<std::shared_ptr<ThreadTimeline>>();
+  return *list;
+}
+
+std::atomic<std::size_t> g_capacity{8192};
+
+const std::chrono::steady_clock::time_point g_epoch = std::chrono::steady_clock::now();
+
+ThreadTimeline* this_thread() {
+  thread_local std::shared_ptr<ThreadTimeline> tl;
+  if (!tl) {
+    tl = std::make_shared<ThreadTimeline>();
+    std::lock_guard<std::mutex> lock(g_mu);
+    auto& list = threads_locked();
+    tl->tid = static_cast<int>(list.size());
+    tl->name = "thread-" + std::to_string(tl->tid);
+    list.push_back(tl);
+  }
+  return tl.get();
+}
+
+void record(ThreadTimeline* t, const TimelineEvent& ev) {
+  if (t->ring.empty()) {
+    t->ring.resize(g_capacity.load(std::memory_order_relaxed));
+  }
+  if (t->dropped_counter == nullptr) {
+    // Cached across records; registry entries are stable under clear() but
+    // not hard_clear(), so timeline_reset() nulls this out for a re-fetch.
+    t->dropped_counter = &registry().counter("obs.timeline.dropped_events");
+  }
+  const std::uint64_t h = t->head.load(std::memory_order_relaxed);
+  t->ring[static_cast<std::size_t>(h % t->ring.size())] = ev;
+  t->head.store(h + 1, std::memory_order_release);
+  if (h >= t->ring.size()) {
+    // The slot we just wrote held the oldest retained event.
+    t->dropped.fetch_add(1, std::memory_order_relaxed);
+    t->dropped_counter->add(1);
+  }
+}
+
+void set_name(TimelineEvent& ev, const char* name) {
+  std::strncpy(ev.name, name, sizeof(ev.name) - 1);
+  ev.name[sizeof(ev.name) - 1] = '\0';
+}
+
+void fill_args(TimelineEvent& ev, const TimelineArgs& args) {
+  ev.arg_key1 = args.key1;
+  ev.arg1 = args.value1;
+  ev.arg_key2 = args.key2;
+  ev.arg2 = args.value2;
+  ev.str_key = args.str_key;
+  if (args.str_key != nullptr && args.str_value != nullptr) {
+    std::strncpy(ev.str_value, args.str_value, sizeof(ev.str_value) - 1);
+    ev.str_value[sizeof(ev.str_value) - 1] = '\0';
+  }
+}
+
+std::string num_us(std::uint64_t ns) {
+  // Microseconds with sub-microsecond precision, the unit Chrome expects.
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.3f", static_cast<double>(ns) / 1e3);
+  return buf;
+}
+
+std::string num_double(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.10g", v);
+  return buf;
+}
+
+void append_event_args(std::string& out, const TimelineEvent& ev) {
+  bool any = false;
+  auto open = [&out, &any] {
+    out += any ? "," : ",\"args\":{";
+    any = true;
+  };
+  if (ev.str_key != nullptr) {
+    open();
+    out += "\"" + json_escape(ev.str_key) + "\":\"" + json_escape(ev.str_value) + "\"";
+  }
+  if (ev.arg_key1 != nullptr) {
+    open();
+    out += "\"" + json_escape(ev.arg_key1) + "\":" + std::to_string(ev.arg1);
+  }
+  if (ev.arg_key2 != nullptr) {
+    open();
+    out += "\"" + json_escape(ev.arg_key2) + "\":" + std::to_string(ev.arg2);
+  }
+  if (any) out += "}";
+}
+
+}  // namespace
+
+void set_timeline_enabled(bool on) {
+  detail::g_timeline_enabled.store(on, std::memory_order_relaxed);
+}
+
+void set_timeline_capacity(std::size_t events_per_thread) {
+  g_capacity.store(std::max<std::size_t>(events_per_thread, 16),
+                   std::memory_order_relaxed);
+}
+
+std::size_t timeline_capacity() {
+  return g_capacity.load(std::memory_order_relaxed);
+}
+
+std::chrono::steady_clock::time_point timeline_epoch() { return g_epoch; }
+
+std::uint64_t timeline_now_ns() {
+  return static_cast<std::uint64_t>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                        std::chrono::steady_clock::now() - g_epoch)
+                                        .count());
+}
+
+void register_thread_name(const std::string& name) {
+  ThreadTimeline* t = this_thread();
+  std::lock_guard<std::mutex> lock(g_mu);
+  t->name = name;
+}
+
+void timeline_complete(const char* name, std::uint64_t start_ns, std::uint64_t dur_ns,
+                       const TimelineArgs& args) {
+  if (!timeline_enabled() || name == nullptr) return;
+  TimelineEvent ev;
+  set_name(ev, name);
+  ev.type = TimelineEventType::kComplete;
+  ev.ts_ns = start_ns;
+  ev.dur_ns = dur_ns;
+  fill_args(ev, args);
+  record(this_thread(), ev);
+}
+
+void timeline_instant(const char* name, const TimelineArgs& args) {
+  if (!timeline_enabled() || name == nullptr) return;
+  TimelineEvent ev;
+  set_name(ev, name);
+  ev.type = TimelineEventType::kInstant;
+  ev.ts_ns = timeline_now_ns();
+  fill_args(ev, args);
+  record(this_thread(), ev);
+}
+
+void timeline_counter(const char* name, double value) {
+  if (!timeline_enabled() || name == nullptr) return;
+  TimelineEvent ev;
+  set_name(ev, name);
+  ev.type = TimelineEventType::kCounter;
+  ev.ts_ns = timeline_now_ns();
+  ev.value = value;
+  record(this_thread(), ev);
+}
+
+void timeline_flow_start(const char* name, std::uint64_t id) {
+  if (!timeline_enabled() || name == nullptr) return;
+  TimelineEvent ev;
+  set_name(ev, name);
+  ev.type = TimelineEventType::kFlowStart;
+  ev.ts_ns = timeline_now_ns();
+  ev.flow_id = id;
+  record(this_thread(), ev);
+}
+
+void timeline_flow_end(const char* name, std::uint64_t id) {
+  if (!timeline_enabled() || name == nullptr) return;
+  TimelineEvent ev;
+  set_name(ev, name);
+  ev.type = TimelineEventType::kFlowEnd;
+  ev.ts_ns = timeline_now_ns();
+  ev.flow_id = id;
+  record(this_thread(), ev);
+}
+
+std::vector<TimelineThreadSnapshot> timeline_snapshot() {
+  std::vector<std::shared_ptr<ThreadTimeline>> threads;
+  {
+    std::lock_guard<std::mutex> lock(g_mu);
+    threads = threads_locked();
+  }
+  std::vector<TimelineThreadSnapshot> out;
+  out.reserve(threads.size());
+  for (const auto& t : threads) {
+    TimelineThreadSnapshot snap;
+    snap.tid = t->tid;
+    {
+      std::lock_guard<std::mutex> lock(g_mu);
+      snap.name = t->name;
+    }
+    snap.dropped = t->dropped.load(std::memory_order_relaxed);
+    const std::uint64_t head = t->head.load(std::memory_order_acquire);
+    if (head > 0 && !t->ring.empty()) {
+      const std::uint64_t cap = t->ring.size();
+      const std::uint64_t count = std::min(head, cap);
+      snap.events.reserve(static_cast<std::size_t>(count));
+      for (std::uint64_t i = head - count; i < head; ++i) {
+        snap.events.push_back(t->ring[static_cast<std::size_t>(i % cap)]);
+      }
+    }
+    out.push_back(std::move(snap));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const TimelineThreadSnapshot& a, const TimelineThreadSnapshot& b) {
+              return a.tid < b.tid;
+            });
+  return out;
+}
+
+std::uint64_t timeline_dropped_total() {
+  std::uint64_t total = 0;
+  for (const TimelineThreadSnapshot& t : timeline_snapshot()) total += t.dropped;
+  return total;
+}
+
+std::string to_chrome_trace() {
+  const std::vector<TimelineThreadSnapshot> threads = timeline_snapshot();
+  std::string out = "{\"traceEvents\":[\n";
+  bool first = true;
+  auto emit = [&out, &first](const std::string& event) {
+    out += first ? "" : ",\n";
+    first = false;
+    out += event;
+  };
+
+  emit("{\"ph\":\"M\",\"pid\":1,\"tid\":0,\"name\":\"process_name\","
+       "\"args\":{\"name\":\"m2ai\"}}");
+  for (const TimelineThreadSnapshot& t : threads) {
+    const std::string tid = std::to_string(t.tid);
+    emit("{\"ph\":\"M\",\"pid\":1,\"tid\":" + tid +
+         ",\"name\":\"thread_name\",\"args\":{\"name\":\"" + json_escape(t.name) +
+         "\"}}");
+    emit("{\"ph\":\"M\",\"pid\":1,\"tid\":" + tid +
+         ",\"name\":\"thread_sort_index\",\"args\":{\"sort_index\":" + tid + "}}");
+  }
+
+  for (const TimelineThreadSnapshot& t : threads) {
+    const std::string common =
+        "\"pid\":1,\"tid\":" + std::to_string(t.tid) + ",\"cat\":\"m2ai\"";
+    for (const TimelineEvent& ev : t.events) {
+      std::string e = "{";
+      switch (ev.type) {
+        case TimelineEventType::kComplete:
+          e += "\"ph\":\"X\"," + common + ",\"name\":\"" + json_escape(ev.name) +
+               "\",\"ts\":" + num_us(ev.ts_ns) + ",\"dur\":" + num_us(ev.dur_ns);
+          append_event_args(e, ev);
+          break;
+        case TimelineEventType::kInstant:
+          e += "\"ph\":\"i\"," + common + ",\"name\":\"" + json_escape(ev.name) +
+               "\",\"ts\":" + num_us(ev.ts_ns) + ",\"s\":\"t\"";
+          append_event_args(e, ev);
+          break;
+        case TimelineEventType::kCounter:
+          e += "\"ph\":\"C\"," + common + ",\"name\":\"" + json_escape(ev.name) +
+               "\",\"ts\":" + num_us(ev.ts_ns) + ",\"args\":{\"value\":" +
+               num_double(ev.value) + "}";
+          break;
+        case TimelineEventType::kFlowStart:
+          e += "\"ph\":\"s\"," + common + ",\"name\":\"" + json_escape(ev.name) +
+               "\",\"ts\":" + num_us(ev.ts_ns) +
+               ",\"id\":" + std::to_string(ev.flow_id);
+          break;
+        case TimelineEventType::kFlowEnd:
+          // bp:"e" binds the arrow to the enclosing slice instead of the
+          // next one, which is where our cell spans live.
+          e += "\"ph\":\"f\",\"bp\":\"e\"," + common + ",\"name\":\"" +
+               json_escape(ev.name) + "\",\"ts\":" + num_us(ev.ts_ns) +
+               ",\"id\":" + std::to_string(ev.flow_id);
+          break;
+      }
+      e += "}";
+      emit(e);
+    }
+  }
+
+  out += "\n],\"displayTimeUnit\":\"ms\",\"otherData\":{\"dropped_events\":";
+  std::uint64_t dropped = 0;
+  for (const TimelineThreadSnapshot& t : threads) dropped += t.dropped;
+  out += std::to_string(dropped) + "}}\n";
+  return out;
+}
+
+void write_chrome_trace(const std::string& path) {
+  std::ofstream f(path, std::ios::binary | std::ios::trunc);
+  if (!f) throw std::runtime_error("obs: cannot open " + path + " for writing");
+  f << to_chrome_trace();
+  if (!f.good()) throw std::runtime_error("obs: failed writing " + path);
+}
+
+void timeline_reset() {
+  std::lock_guard<std::mutex> lock(g_mu);
+  for (const auto& t : threads_locked()) {
+    t->head.store(0, std::memory_order_release);
+    t->dropped.store(0, std::memory_order_relaxed);
+    t->dropped_counter = nullptr;  // registry may have been hard-cleared
+    std::fill(t->ring.begin(), t->ring.end(), TimelineEvent{});
+  }
+}
+
+}  // namespace m2ai::obs

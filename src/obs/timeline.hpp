@@ -1,0 +1,142 @@
+// Flight-recorder timeline: per-thread bounded ring buffers of raw events.
+//
+// The aggregated span histograms (obs/trace.hpp) answer "how long does X
+// take on average" but not "when did X happen, on which thread, overlapping
+// what". The timeline answers that: every participating thread owns a
+// fixed-capacity ring of raw events — span completions, instants, counter
+// samples, flow arrows — written without locks (each ring has exactly one
+// writer: its owner thread). When the ring is full the oldest events are
+// overwritten, so a long run keeps the most recent window instead of growing
+// without bound; each overwrite bumps the `obs.timeline.dropped_events`
+// counter and the ring's own dropped tally.
+//
+// Cost contract:
+//   - disabled (the default): one relaxed atomic load per call site, no
+//     clock reads, no allocation — same contract as the metrics layer;
+//   - enabled: one thread-local lookup, one steady_clock read (for events
+//     that need one), a struct store into the ring, and one release store
+//     of the head index. No locks, no allocation after the ring exists.
+//
+// Thread identity: threads are assigned small stable tids in first-touch
+// order and can register a human-readable name (par::ThreadPool workers
+// register as "worker-0…N"). The Chrome trace exporter emits the names as
+// thread_name metadata so Perfetto/chrome://tracing group events correctly.
+//
+// Export: write_chrome_trace() emits the Trace Event Format JSON
+// (ph:"X"/"i"/"C"/"s"/"f" events with pid/tid/ts/dur in microseconds),
+// loadable directly in ui.perfetto.dev or chrome://tracing.
+//
+// Concurrency: recording is safe from any thread at any time. Snapshots and
+// exports take the registration mutex and read rings with acquire loads;
+// taking one while writers are actively recording yields a best-effort view
+// (a wrapping writer may overwrite the tail being read). Call sites that
+// need an exact trace — the CLI/bench exporters, tests — export after the
+// parallel work has drained, which the drivers already do.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace m2ai::obs {
+
+enum class TimelineEventType : std::uint8_t {
+  kComplete,   // duration slice (Chrome ph "X")
+  kInstant,    // point-in-time marker (ph "i")
+  kCounter,    // sampled counter value (ph "C")
+  kFlowStart,  // flow arrow origin (ph "s")
+  kFlowEnd,    // flow arrow target (ph "f")
+};
+
+// Optional event arguments: up to two integer key/values plus one short
+// string. Keys must be string literals (they are stored as pointers); the
+// string value is copied and truncated to the inline buffer.
+struct TimelineArgs {
+  const char* key1 = nullptr;
+  std::int64_t value1 = 0;
+  const char* key2 = nullptr;
+  std::int64_t value2 = 0;
+  const char* str_key = nullptr;
+  const char* str_value = nullptr;
+};
+
+struct TimelineEvent {
+  // Copied, not referenced: span names can come from short-lived strings
+  // (e.g. a layer's trace label dying with its model) while ring events
+  // survive until process-exit export. Truncated, always NUL-terminated.
+  char name[40] = {};
+  TimelineEventType type = TimelineEventType::kInstant;
+  std::uint64_t ts_ns = 0;   // nanoseconds since the timeline epoch
+  std::uint64_t dur_ns = 0;  // kComplete only
+  double value = 0.0;        // kCounter only
+  std::uint64_t flow_id = 0; // kFlowStart/kFlowEnd only
+  const char* arg_key1 = nullptr;
+  std::int64_t arg1 = 0;
+  const char* arg_key2 = nullptr;
+  std::int64_t arg2 = 0;
+  const char* str_key = nullptr;
+  char str_value[32] = {};  // truncated copy, always NUL-terminated
+};
+
+namespace detail {
+inline std::atomic<bool> g_timeline_enabled{false};
+}  // namespace detail
+
+// Timeline switch, independent of the metrics/span switch so a run can
+// aggregate histograms without paying for raw-event recording. The CLI/bench
+// --trace-out flag turns both on.
+inline bool timeline_enabled() {
+  return detail::g_timeline_enabled.load(std::memory_order_relaxed);
+}
+void set_timeline_enabled(bool on);
+
+// Events retained per thread. Applies to rings allocated after the call
+// (rings are sized lazily on a thread's first recorded event); existing
+// rings keep their capacity. Clamped to >= 16.
+void set_timeline_capacity(std::size_t events_per_thread);
+std::size_t timeline_capacity();
+
+// Nanoseconds since the timeline epoch (a fixed steady_clock origin).
+std::uint64_t timeline_now_ns();
+// The epoch itself, for call sites that already hold a steady_clock sample.
+std::chrono::steady_clock::time_point timeline_epoch();
+
+// Names the calling thread in the trace ("worker-3", "main"). Cheap enough
+// for thread start-up; safe before the timeline is enabled.
+void register_thread_name(const std::string& name);
+
+// Raw recording. All are no-ops (one relaxed load) when disabled.
+void timeline_complete(const char* name, std::uint64_t start_ns, std::uint64_t dur_ns,
+                       const TimelineArgs& args = {});
+void timeline_instant(const char* name, const TimelineArgs& args = {});
+void timeline_counter(const char* name, double value);
+void timeline_flow_start(const char* name, std::uint64_t id);
+void timeline_flow_end(const char* name, std::uint64_t id);
+
+// Point-in-time view of one thread's ring, oldest event first.
+struct TimelineThreadSnapshot {
+  int tid = 0;
+  std::string name;
+  std::uint64_t dropped = 0;  // events overwritten by ring wrap-around
+  std::vector<TimelineEvent> events;
+};
+
+// All threads that ever recorded (or registered a name), in tid order.
+std::vector<TimelineThreadSnapshot> timeline_snapshot();
+
+// Sum of dropped events across every thread ring.
+std::uint64_t timeline_dropped_total();
+
+// Chrome Trace Event Format JSON of the current snapshot.
+std::string to_chrome_trace();
+// Writes to `path`; throws std::runtime_error if the file cannot be opened.
+void write_chrome_trace(const std::string& path);
+
+// Resets every ring (head, dropped tally, events) in place; thread entries
+// and names survive. Only call while no thread is recording (tests, between
+// in-process runs) — concurrent writers would race the reset.
+void timeline_reset();
+
+}  // namespace m2ai::obs

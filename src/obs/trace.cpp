@@ -1,5 +1,7 @@
 #include "obs/trace.hpp"
 
+#include "obs/timeline.hpp"
+
 namespace m2ai::obs {
 
 namespace {
@@ -45,6 +47,11 @@ std::vector<SpanStats> SpanRegistry::snapshot() const {
 
 void SpanRegistry::clear() {
   std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, agg] : spans_) agg->latency_ms.reset();
+}
+
+void SpanRegistry::hard_clear() {
+  std::lock_guard<std::mutex> lock(mu_);
   spans_.clear();
 }
 
@@ -62,13 +69,47 @@ ScopedSpan::ScopedSpan(const char* name) {
   start_ = std::chrono::steady_clock::now();
 }
 
+void ScopedSpan::arg(const char* key, std::int64_t value) {
+  if (name_ == nullptr || key == nullptr) return;
+  for (std::size_t i = 0; i < 2; ++i) {
+    if (arg_keys_[i] == nullptr) {
+      arg_keys_[i] = key;
+      arg_values_[i] = value;
+      return;
+    }
+  }
+}
+
+void ScopedSpan::arg_str(const char* key, const char* value) {
+  if (name_ == nullptr || key == nullptr) return;
+  str_key_ = key;
+  str_value_ = value;
+}
+
 ScopedSpan::~ScopedSpan() {
   if (name_ == nullptr) return;
-  const double ms = std::chrono::duration<double, std::milli>(
-                        std::chrono::steady_clock::now() - start_)
-                        .count();
+  const auto end = std::chrono::steady_clock::now();
+  const double ms = std::chrono::duration<double, std::milli>(end - start_).count();
   t_span_stack.pop_back();
   spans().record(name_, parent_, depth_, ms);
+  if (timeline_enabled()) {
+    const auto epoch = timeline_epoch();
+    TimelineArgs args;
+    args.key1 = arg_keys_[0];
+    args.value1 = arg_values_[0];
+    args.key2 = arg_keys_[1];
+    args.value2 = arg_values_[1];
+    args.str_key = str_key_;
+    args.str_value = str_value_;
+    timeline_complete(
+        name_,
+        static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(start_ - epoch)
+                .count()),
+        static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(end - start_).count()),
+        args);
+  }
 }
 
 }  // namespace m2ai::obs

@@ -8,9 +8,16 @@
 //
 // When obs::enabled() is false the constructor is a single relaxed atomic
 // load — no clock reads, no allocation, no locking.
+//
+// When the flight-recorder timeline (obs/timeline.hpp) is also enabled,
+// every span additionally lands as a raw Chrome-trace duration event on its
+// thread's ring, carrying any args attached via arg()/arg_str() — so the
+// same M2AI_OBS_SPAN call sites feed both the aggregated histograms and the
+// Perfetto-loadable timeline.
 #pragma once
 
 #include <chrono>
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -30,7 +37,13 @@ class SpanRegistry {
  public:
   void record(const char* name, const char* parent, int depth, double ms);
   std::vector<SpanStats> snapshot() const;
+  // Resets every span's latency histogram in place. Entries survive, so the
+  // internal histogram pointers record() briefly holds stay valid even if a
+  // clear races a record.
   void clear();
+  // Drops all entries (tests that need empty listings). Only safe while no
+  // span is being recorded concurrently.
+  void hard_clear();
 
  private:
   struct Agg {
@@ -54,11 +67,23 @@ class ScopedSpan {
   ScopedSpan(const ScopedSpan&) = delete;
   ScopedSpan& operator=(const ScopedSpan&) = delete;
 
+  // Attaches args to the span's timeline event (no effect on the aggregated
+  // histogram). Keys must be string literals; at most two integer args and
+  // one string arg are kept (extras are dropped). `value` for arg_str must
+  // stay alive until the span ends; the timeline copies (and truncates) it
+  // at that point. No-ops when the span is inactive.
+  void arg(const char* key, std::int64_t value);
+  void arg_str(const char* key, const char* value);
+
  private:
   const char* name_ = nullptr;  // null means inactive
   const char* parent_ = nullptr;
   int depth_ = 0;
   std::chrono::steady_clock::time_point start_;
+  const char* arg_keys_[2] = {nullptr, nullptr};
+  std::int64_t arg_values_[2] = {0, 0};
+  const char* str_key_ = nullptr;
+  const char* str_value_ = nullptr;
 };
 
 }  // namespace m2ai::obs

@@ -9,6 +9,7 @@
 #include <thread>
 
 #include "obs/metrics.hpp"
+#include "obs/timeline.hpp"
 #include "par/thread_pool.hpp"
 
 namespace m2ai::par {
@@ -108,6 +109,15 @@ void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn) {
   std::condition_variable done_cv;
   int remaining = drivers - 1;
 
+  if (obs::timeline_enabled()) {
+    obs::TimelineArgs args;
+    args.key1 = "items";
+    args.value1 = static_cast<std::int64_t>(n);
+    args.key2 = "drivers";
+    args.value2 = drivers;
+    obs::timeline_instant("par.dispatch", args);
+  }
+
   {
     std::lock_guard<std::mutex> lock(g_pool_mu);
     if (!g_pool || g_pool->size() != threads - 1) {
@@ -127,8 +137,17 @@ void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn) {
 
   drive();  // the caller is a worker too
 
-  std::unique_lock<std::mutex> lock(done_mu);
-  done_cv.wait(lock, [&] { return remaining == 0; });
+  // Drain: the caller ran out of indices and waits for pool-side drivers.
+  const bool record_drain = obs::timeline_enabled();
+  const std::uint64_t drain_start = record_drain ? obs::timeline_now_ns() : 0;
+  {
+    std::unique_lock<std::mutex> lock(done_mu);
+    done_cv.wait(lock, [&] { return remaining == 0; });
+  }
+  if (record_drain) {
+    obs::timeline_complete("par.drain", drain_start,
+                           obs::timeline_now_ns() - drain_start);
+  }
 
   if (first_error) std::rethrow_exception(first_error);
 }

@@ -1,6 +1,9 @@
 #include "par/thread_pool.hpp"
 
 #include <algorithm>
+#include <cstdio>
+
+#include "obs/timeline.hpp"
 
 namespace m2ai::par {
 
@@ -8,7 +11,7 @@ ThreadPool::ThreadPool(int num_threads) {
   const int n = std::max(1, num_threads);
   workers_.reserve(static_cast<std::size_t>(n));
   for (int i = 0; i < n; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, i] { worker_loop(i); });
   }
 }
 
@@ -22,11 +25,14 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::submit(std::function<void()> task) {
+  std::size_t depth;
   {
     std::lock_guard<std::mutex> lock(mu_);
     queue_.push_back(std::move(task));
     ++in_flight_;
+    depth = queue_.size();
   }
+  obs::timeline_counter("par.queue_depth", static_cast<double>(depth));
   cv_work_.notify_one();
 }
 
@@ -35,9 +41,15 @@ void ThreadPool::wait_idle() {
   cv_idle_.wait(lock, [this] { return in_flight_ == 0; });
 }
 
-void ThreadPool::worker_loop() {
+void ThreadPool::worker_loop(int worker_index) {
+  {
+    char name[32];
+    std::snprintf(name, sizeof(name), "worker-%d", worker_index);
+    obs::register_thread_name(name);
+  }
   for (;;) {
     std::function<void()> task;
+    std::size_t depth;
     {
       std::unique_lock<std::mutex> lock(mu_);
       cv_work_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
@@ -45,8 +57,17 @@ void ThreadPool::worker_loop() {
       if (queue_.empty()) return;
       task = std::move(queue_.front());
       queue_.pop_front();
+      depth = queue_.size();
     }
-    task();  // exceptions are handled inside the task wrapper (parallel_for)
+    obs::timeline_counter("par.queue_depth", static_cast<double>(depth));
+    if (obs::timeline_enabled()) {
+      const std::uint64_t start_ns = obs::timeline_now_ns();
+      task();
+      obs::timeline_complete("par.task", start_ns,
+                             obs::timeline_now_ns() - start_ns);
+    } else {
+      task();  // exceptions are handled inside the task wrapper (parallel_for)
+    }
     {
       std::lock_guard<std::mutex> lock(mu_);
       if (--in_flight_ == 0) cv_idle_.notify_all();

@@ -40,7 +40,7 @@ class ThreadPool {
   void wait_idle();
 
  private:
-  void worker_loop();
+  void worker_loop(int worker_index);
 
   std::vector<std::thread> workers_;
   std::deque<std::function<void()>> queue_;

@@ -1,0 +1,298 @@
+#include "util/json.hpp"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace m2ai::util {
+
+namespace {
+
+[[noreturn]] void fail(std::size_t pos, const std::string& what) {
+  throw JsonError("json: " + what + " at byte " + std::to_string(pos));
+}
+
+}  // namespace
+
+bool JsonValue::as_bool() const {
+  if (type_ != Type::kBool) throw JsonError("json: value is not a bool");
+  return bool_;
+}
+
+double JsonValue::as_number() const {
+  if (type_ != Type::kNumber) throw JsonError("json: value is not a number");
+  return number_;
+}
+
+const std::string& JsonValue::as_string() const {
+  if (type_ != Type::kString) throw JsonError("json: value is not a string");
+  return string_;
+}
+
+const JsonArray& JsonValue::as_array() const {
+  if (type_ != Type::kArray) throw JsonError("json: value is not an array");
+  return *array_;
+}
+
+const JsonObject& JsonValue::as_object() const {
+  if (type_ != Type::kObject) throw JsonError("json: value is not an object");
+  return *object_;
+}
+
+const JsonValue* JsonValue::find(const std::string& key) const {
+  if (type_ != Type::kObject) return nullptr;
+  const auto it = object_->find(key);
+  return it == object_->end() ? nullptr : &it->second;
+}
+
+const JsonValue& JsonValue::at(const std::string& key) const {
+  const JsonValue* v = find(key);
+  if (v == nullptr) throw JsonError("json: missing member '" + key + "'");
+  return *v;
+}
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  JsonValue parse_document() {
+    JsonValue v = parse_value();
+    skip_ws();
+    if (pos_ != text_.size()) fail(pos_, "trailing characters after document");
+    return v;
+  }
+
+ private:
+  // Nesting deeper than this is a malformed (or adversarial) document, not
+  // one of our reports; bail before the call stack does.
+  static constexpr int kMaxDepth = 128;
+
+  void skip_ws() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail(pos_, "unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) {
+      fail(pos_, std::string("expected '") + c + "', got '" + text_[pos_] + "'");
+    }
+    ++pos_;
+  }
+
+  void expect_literal(const char* lit) {
+    for (const char* p = lit; *p != '\0'; ++p) {
+      if (pos_ >= text_.size() || text_[pos_] != *p) {
+        fail(pos_, std::string("bad literal (expected '") + lit + "')");
+      }
+      ++pos_;
+    }
+  }
+
+  JsonValue parse_value() {
+    if (++depth_ > kMaxDepth) fail(pos_, "nesting too deep");
+    skip_ws();
+    JsonValue v;
+    switch (peek()) {
+      case '{': v = parse_object(); break;
+      case '[': v = parse_array(); break;
+      case '"':
+        v.type_ = JsonValue::Type::kString;
+        v.string_ = parse_string();
+        break;
+      case 't':
+        expect_literal("true");
+        v.type_ = JsonValue::Type::kBool;
+        v.bool_ = true;
+        break;
+      case 'f':
+        expect_literal("false");
+        v.type_ = JsonValue::Type::kBool;
+        v.bool_ = false;
+        break;
+      case 'n':
+        expect_literal("null");
+        break;
+      default: v = parse_number(); break;
+    }
+    --depth_;
+    return v;
+  }
+
+  JsonValue parse_object() {
+    JsonValue v;
+    v.type_ = JsonValue::Type::kObject;
+    v.object_ = std::make_shared<JsonObject>();
+    expect('{');
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return v;
+    }
+    for (;;) {
+      skip_ws();
+      std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      (*v.object_)[std::move(key)] = parse_value();
+      skip_ws();
+      const char c = peek();
+      ++pos_;
+      if (c == '}') return v;
+      if (c != ',') fail(pos_ - 1, "expected ',' or '}' in object");
+    }
+  }
+
+  JsonValue parse_array() {
+    JsonValue v;
+    v.type_ = JsonValue::Type::kArray;
+    v.array_ = std::make_shared<JsonArray>();
+    expect('[');
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return v;
+    }
+    for (;;) {
+      v.array_->push_back(parse_value());
+      skip_ws();
+      const char c = peek();
+      ++pos_;
+      if (c == ']') return v;
+      if (c != ',') fail(pos_ - 1, "expected ',' or ']' in array");
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    for (;;) {
+      if (pos_ >= text_.size()) fail(pos_, "unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20) {
+        fail(pos_ - 1, "unescaped control character in string");
+      }
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) fail(pos_, "unterminated escape");
+      const char e = text_[pos_++];
+      switch (e) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': out += parse_unicode_escape(); break;
+        default: fail(pos_ - 1, "invalid escape sequence");
+      }
+    }
+  }
+
+  // \uXXXX escapes, decoded to UTF-8. Surrogate pairs are combined; a lone
+  // surrogate is an error (our emitters only write BMP escapes).
+  std::string parse_unicode_escape() {
+    const unsigned first = parse_hex4();
+    unsigned code = first;
+    if (first >= 0xD800 && first <= 0xDBFF) {
+      if (pos_ + 1 >= text_.size() || text_[pos_] != '\\' || text_[pos_ + 1] != 'u') {
+        fail(pos_, "lone high surrogate");
+      }
+      pos_ += 2;
+      const unsigned low = parse_hex4();
+      if (low < 0xDC00 || low > 0xDFFF) fail(pos_, "invalid low surrogate");
+      code = 0x10000 + ((first - 0xD800) << 10) + (low - 0xDC00);
+    } else if (first >= 0xDC00 && first <= 0xDFFF) {
+      fail(pos_, "lone low surrogate");
+    }
+    std::string out;
+    if (code < 0x80) {
+      out += static_cast<char>(code);
+    } else if (code < 0x800) {
+      out += static_cast<char>(0xC0 | (code >> 6));
+      out += static_cast<char>(0x80 | (code & 0x3F));
+    } else if (code < 0x10000) {
+      out += static_cast<char>(0xE0 | (code >> 12));
+      out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (code & 0x3F));
+    } else {
+      out += static_cast<char>(0xF0 | (code >> 18));
+      out += static_cast<char>(0x80 | ((code >> 12) & 0x3F));
+      out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (code & 0x3F));
+    }
+    return out;
+  }
+
+  unsigned parse_hex4() {
+    unsigned value = 0;
+    for (int i = 0; i < 4; ++i) {
+      if (pos_ >= text_.size()) fail(pos_, "truncated \\u escape");
+      const char c = text_[pos_++];
+      value <<= 4;
+      if (c >= '0' && c <= '9') {
+        value |= static_cast<unsigned>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        value |= static_cast<unsigned>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        value |= static_cast<unsigned>(c - 'A' + 10);
+      } else {
+        fail(pos_ - 1, "bad hex digit in \\u escape");
+      }
+    }
+    return value;
+  }
+
+  JsonValue parse_number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    auto digits = [this] {
+      std::size_t n = 0;
+      while (pos_ < text_.size() && std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+        ++n;
+      }
+      return n;
+    };
+    // Integer part: a single 0, or a nonzero digit followed by more digits.
+    if (pos_ < text_.size() && text_[pos_] == '0') {
+      ++pos_;
+    } else if (digits() == 0) {
+      fail(start, "invalid number");
+    }
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      ++pos_;
+      if (digits() == 0) fail(pos_, "digits required after decimal point");
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) ++pos_;
+      if (digits() == 0) fail(pos_, "digits required in exponent");
+    }
+    JsonValue v;
+    v.type_ = JsonValue::Type::kNumber;
+    v.number_ = std::strtod(text_.substr(start, pos_ - start).c_str(), nullptr);
+    return v;
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+  int depth_ = 0;
+};
+
+JsonValue json_parse(const std::string& text) {
+  return JsonParser(text).parse_document();
+}
+
+}  // namespace m2ai::util

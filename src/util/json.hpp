@@ -1,0 +1,71 @@
+// Minimal recursive-descent JSON parser for the repo's own machine-readable
+// artifacts: obs metrics reports, Chrome trace files, and suite reports.
+//
+// Scope is deliberately small — parse a complete document into a Value tree,
+// with strict validation (balanced structures, escape sequences, no trailing
+// garbage). It is used by tools/m2ai_obsdiff to diff committed reports and by
+// the exporter-validity tests, so it favors clear error messages over speed.
+// No serializer lives here; emitters build their strings by hand (obs/export).
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace m2ai::util {
+
+// Thrown on any malformed input, with a byte offset in the message.
+class JsonError : public std::runtime_error {
+ public:
+  explicit JsonError(const std::string& what) : std::runtime_error(what) {}
+};
+
+class JsonValue;
+using JsonObject = std::map<std::string, JsonValue>;
+using JsonArray = std::vector<JsonValue>;
+
+class JsonValue {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  JsonValue() = default;
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_object() const { return type_ == Type::kObject; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_bool() const { return type_ == Type::kBool; }
+
+  // Typed accessors throw JsonError on a type mismatch.
+  bool as_bool() const;
+  double as_number() const;
+  const std::string& as_string() const;
+  const JsonArray& as_array() const;
+  const JsonObject& as_object() const;
+
+  // Object member lookup; returns nullptr when absent (or not an object).
+  const JsonValue* find(const std::string& key) const;
+  // Like find(), but throws JsonError when the member is missing.
+  const JsonValue& at(const std::string& key) const;
+
+ private:
+  friend class JsonParser;
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  // Heap-boxed so the recursive type has a bounded inline size.
+  std::shared_ptr<JsonArray> array_;
+  std::shared_ptr<JsonObject> object_;
+};
+
+// Parses a complete JSON document. Throws JsonError on syntax errors,
+// unterminated structures, bad escapes, or trailing non-whitespace.
+JsonValue json_parse(const std::string& text);
+
+}  // namespace m2ai::util

@@ -1,0 +1,86 @@
+#include "util/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace m2ai::util {
+namespace {
+
+TEST(Json, ParsesScalars) {
+  EXPECT_TRUE(json_parse("null").is_null());
+  EXPECT_TRUE(json_parse("true").as_bool());
+  EXPECT_FALSE(json_parse("false").as_bool());
+  EXPECT_DOUBLE_EQ(json_parse("42").as_number(), 42.0);
+  EXPECT_DOUBLE_EQ(json_parse("-3.5e2").as_number(), -350.0);
+  EXPECT_DOUBLE_EQ(json_parse("0.125").as_number(), 0.125);
+  EXPECT_EQ(json_parse("\"hi\"").as_string(), "hi");
+}
+
+TEST(Json, ParsesNestedStructures) {
+  const JsonValue v = json_parse(
+      R"({"spans":[{"name":"music","p50_ms":1.5},{"name":"eig","p50_ms":0.25}],)"
+      R"("ok":true,"n":null})");
+  const JsonArray& spans = v.at("spans").as_array();
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_EQ(spans[0].at("name").as_string(), "music");
+  EXPECT_DOUBLE_EQ(spans[1].at("p50_ms").as_number(), 0.25);
+  EXPECT_TRUE(v.at("ok").as_bool());
+  EXPECT_TRUE(v.at("n").is_null());
+  EXPECT_EQ(v.find("missing"), nullptr);
+  EXPECT_THROW(v.at("missing"), JsonError);
+}
+
+TEST(Json, DecodesEscapes) {
+  EXPECT_EQ(json_parse(R"("a\"b\\c\/d\n\t\r\b\f")").as_string(),
+            "a\"b\\c/d\n\t\r\b\f");
+  EXPECT_EQ(json_parse(R"("Aé")").as_string(), "A\xc3\xa9");
+  // Surrogate pair: U+1F600 combines and encodes to 4 UTF-8 bytes.
+  EXPECT_EQ(json_parse("\"\\ud83d\\ude00\"").as_string(), "\xf0\x9f\x98\x80");
+  // BMP escape: U+00E9 (é) encodes to 2 UTF-8 bytes.
+  EXPECT_EQ(json_parse("\"\\u00e9\"").as_string(), "\xc3\xa9");
+}
+
+TEST(Json, RejectsMalformedDocuments) {
+  EXPECT_THROW(json_parse(""), JsonError);
+  EXPECT_THROW(json_parse("{"), JsonError);
+  EXPECT_THROW(json_parse("[1,2"), JsonError);
+  EXPECT_THROW(json_parse("{\"a\":1,}"), JsonError);
+  EXPECT_THROW(json_parse("\"unterminated"), JsonError);
+  EXPECT_THROW(json_parse("\"bad \\x escape\""), JsonError);
+  EXPECT_THROW(json_parse("\"lone \\ud800 surrogate\""), JsonError);
+  EXPECT_THROW(json_parse("01"), JsonError);       // leading zero
+  EXPECT_THROW(json_parse("1."), JsonError);       // digits after point
+  EXPECT_THROW(json_parse("1e"), JsonError);       // digits in exponent
+  EXPECT_THROW(json_parse("{} trailing"), JsonError);
+  EXPECT_THROW(json_parse("truthy"), JsonError);
+}
+
+TEST(Json, RejectsExcessiveNesting) {
+  std::string deep;
+  for (int i = 0; i < 200; ++i) deep += '[';
+  deep += '1';
+  for (int i = 0; i < 200; ++i) deep += ']';
+  EXPECT_THROW(json_parse(deep), JsonError);
+}
+
+TEST(Json, TypeMismatchThrows) {
+  const JsonValue v = json_parse("[1]");
+  EXPECT_THROW(v.as_object(), JsonError);
+  EXPECT_THROW(v.as_string(), JsonError);
+  EXPECT_THROW(v.as_number(), JsonError);
+  EXPECT_THROW(v.as_bool(), JsonError);
+  EXPECT_THROW(json_parse("3").as_array(), JsonError);
+}
+
+TEST(Json, ErrorMessagesCarryByteOffsets) {
+  try {
+    json_parse("{\"a\": !}");
+    FAIL() << "expected JsonError";
+  } catch (const JsonError& e) {
+    EXPECT_NE(std::string(e.what()).find("byte"), std::string::npos) << e.what();
+  }
+}
+
+}  // namespace
+}  // namespace m2ai::util

@@ -137,6 +137,42 @@ TEST_F(MetricsTest, SnapshotListsAreSorted) {
   EXPECT_EQ(counters[1].first, "b");
 }
 
+TEST_F(MetricsTest, ClearResetsValuesButKeepsReferencesValid) {
+  // Regression: clear() used to drop the map entries, dangling any cached
+  // Counter&/Gauge&/Histogram& held by long-lived call sites. It now resets
+  // values in place.
+  Counter& c = registry().counter("kept.counter");
+  Gauge& g = registry().gauge("kept.gauge");
+  Histogram& h = registry().histogram("kept.hist");
+  c.add(5);
+  g.set(2.5);
+  h.record(1.0);
+
+  registry().clear();
+
+  // Entries survive (same addresses) with zeroed values...
+  EXPECT_EQ(&registry().counter("kept.counter"), &c);
+  EXPECT_EQ(&registry().gauge("kept.gauge"), &g);
+  EXPECT_EQ(&registry().histogram("kept.hist"), &h);
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_DOUBLE_EQ(g.value(), 0.0);
+  EXPECT_EQ(h.snapshot().count, 0u);
+
+  // ...and the old references still record.
+  c.add(3);
+  EXPECT_EQ(registry().counter("kept.counter").value(), 3u);
+}
+
+TEST_F(MetricsTest, HardClearDropsEntries) {
+  registry().counter("gone").add(1);
+  registry().gauge("gone.g").set(1.0);
+  registry().histogram("gone.h").record(1.0);
+  registry().hard_clear();
+  EXPECT_TRUE(registry().counters().empty());
+  EXPECT_TRUE(registry().gauges().empty());
+  EXPECT_TRUE(registry().histograms().empty());
+}
+
 TEST_F(MetricsTest, ResetAllClearsEverything) {
   registry().counter("x").add(7);
   registry().gauge("y").set(1.0);

@@ -1,0 +1,142 @@
+#include "obs/diff.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "util/json.hpp"
+
+namespace m2ai::obs {
+namespace {
+
+std::string metrics_report(double music_p50, double eig_p50) {
+  return R"({"schema_version":1,"spans":[)"
+         R"({"name":"music","p50_ms":)" + std::to_string(music_p50) +
+         R"(,"p95_ms":2.0},)"
+         R"({"name":"eig","p50_ms":)" + std::to_string(eig_p50) +
+         R"(,"p95_ms":0.5}]})";
+}
+
+std::string suite_report(double headline_seconds) {
+  return R"({"schema_version":1,"suite":"m2ai_bench","experiments":[)"
+         R"({"id":"fig9_headline","cell_seconds":)" +
+         std::to_string(headline_seconds) + R"(,"cells":4}]})";
+}
+
+TEST(ObsDiff, IdenticalReportsPass) {
+  const std::string report = metrics_report(1.0, 0.2);
+  const DiffResult result = diff_reports(report, report, {});
+  EXPECT_FALSE(result.has_regression);
+  EXPECT_EQ(result.mode, "spans");
+  EXPECT_EQ(result.field, "p50_ms");
+  ASSERT_EQ(result.entries.size(), 2u);
+  for (const EntryDelta& e : result.entries) {
+    EXPECT_FALSE(e.regression);
+    EXPECT_DOUBLE_EQ(e.delta_pct, 0.0);
+  }
+}
+
+TEST(ObsDiff, FlagsRegressionBeyondThreshold) {
+  // +100% on music trips the default +25% gate; eig stays flat.
+  const DiffResult result =
+      diff_reports(metrics_report(1.0, 0.2), metrics_report(2.0, 0.2), {});
+  EXPECT_TRUE(result.has_regression);
+  // Regressions sort first.
+  ASSERT_FALSE(result.entries.empty());
+  EXPECT_EQ(result.entries[0].name, "music");
+  EXPECT_TRUE(result.entries[0].regression);
+  EXPECT_NEAR(result.entries[0].delta_pct, 100.0, 1e-6);
+}
+
+TEST(ObsDiff, AbsoluteFloorSuppressesNoise) {
+  // +100% relative but only +0.02 absolute: under the default 0.05 floor.
+  const DiffResult result =
+      diff_reports(metrics_report(0.02, 0.2), metrics_report(0.04, 0.2), {});
+  EXPECT_FALSE(result.has_regression);
+}
+
+TEST(ObsDiff, ThresholdIsConfigurable) {
+  DiffOptions options;
+  options.threshold = 0.05;
+  options.min_abs = 0.0;
+  const DiffResult result =
+      diff_reports(metrics_report(1.0, 0.2), metrics_report(1.10, 0.2), options);
+  EXPECT_TRUE(result.has_regression);
+}
+
+TEST(ObsDiff, ImprovementNeverGates) {
+  const DiffResult result =
+      diff_reports(metrics_report(2.0, 0.2), metrics_report(0.5, 0.2), {});
+  EXPECT_FALSE(result.has_regression);
+}
+
+TEST(ObsDiff, ComparesSuiteReportsByCellSeconds) {
+  const DiffResult result =
+      diff_reports(suite_report(10.0), suite_report(20.0), {});
+  EXPECT_TRUE(result.has_regression);
+  EXPECT_EQ(result.mode, "experiments");
+  EXPECT_EQ(result.field, "cell_seconds");
+  ASSERT_EQ(result.entries.size(), 1u);
+  EXPECT_EQ(result.entries[0].name, "fig9_headline");
+}
+
+TEST(ObsDiff, NewAndDeletedSpansAreListedButNeverGate) {
+  const std::string base = R"({"spans":[{"name":"old_span","p50_ms":1.0}]})";
+  const std::string cand = R"({"spans":[{"name":"new_span","p50_ms":99.0}]})";
+  const DiffResult result = diff_reports(base, cand, {});
+  EXPECT_FALSE(result.has_regression);
+  EXPECT_TRUE(result.entries.empty());
+  ASSERT_EQ(result.only_baseline.size(), 1u);
+  EXPECT_EQ(result.only_baseline[0], "old_span");
+  ASSERT_EQ(result.only_candidate.size(), 1u);
+  EXPECT_EQ(result.only_candidate[0], "new_span");
+}
+
+TEST(ObsDiff, AlternateFieldSelectsThatStatistic) {
+  DiffOptions options;
+  options.field = "p95_ms";
+  const std::string base = R"({"spans":[{"name":"s","p50_ms":1.0,"p95_ms":1.0}]})";
+  const std::string cand = R"({"spans":[{"name":"s","p50_ms":1.0,"p95_ms":3.0}]})";
+  EXPECT_TRUE(diff_reports(base, cand, options).has_regression);
+  EXPECT_FALSE(diff_reports(base, cand, {}).has_regression);
+}
+
+TEST(ObsDiff, MismatchedSchemasThrow) {
+  EXPECT_THROW(diff_reports(metrics_report(1.0, 0.2), suite_report(1.0), {}),
+               std::runtime_error);
+}
+
+TEST(ObsDiff, UnknownSchemaThrows) {
+  EXPECT_THROW(diff_reports(R"({"other":1})", R"({"other":1})", {}),
+               std::runtime_error);
+}
+
+TEST(ObsDiff, MissingFieldThrows) {
+  DiffOptions options;
+  options.field = "p42_ms";
+  EXPECT_THROW(
+      diff_reports(metrics_report(1.0, 0.2), metrics_report(1.0, 0.2), options),
+      std::runtime_error);
+}
+
+TEST(ObsDiff, MalformedJsonThrows) {
+  EXPECT_THROW(diff_reports("{not json", metrics_report(1.0, 0.2), {}),
+               util::JsonError);
+}
+
+TEST(ObsDiff, RenderFlagsRegressions) {
+  const DiffOptions options;
+  const DiffResult result =
+      diff_reports(metrics_report(1.0, 0.2), metrics_report(2.0, 0.2), options);
+  const std::string text = render_diff(result, options);
+  EXPECT_NE(text.find("music"), std::string::npos);
+  EXPECT_NE(text.find("REGRESSED"), std::string::npos);
+  EXPECT_NE(text.find("RESULT: REGRESSION"), std::string::npos);
+
+  const DiffResult ok = diff_reports(metrics_report(1.0, 0.2),
+                                     metrics_report(1.0, 0.2), options);
+  EXPECT_NE(render_diff(ok, options).find("RESULT: OK"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace m2ai::obs

@@ -1,0 +1,293 @@
+#include "obs/timeline.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <condition_variable>
+#include <cstring>
+#include <map>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "par/thread_pool.hpp"
+#include "util/json.hpp"
+
+namespace m2ai::obs {
+namespace {
+
+// Timeline state is process-global and thread entries persist for the
+// binary's lifetime (rings are only reset, never removed), so each test
+// matches on event content rather than assuming an empty thread list.
+class TimelineTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    reset_all();
+    set_enabled(true);
+    set_timeline_enabled(true);
+  }
+  void TearDown() override {
+    set_timeline_enabled(false);
+    set_enabled(false);
+    set_timeline_capacity(8192);
+    reset_all();
+  }
+
+  // All events across every thread ring, oldest-first per thread.
+  static std::vector<TimelineEvent> all_events() {
+    std::vector<TimelineEvent> out;
+    for (const TimelineThreadSnapshot& t : timeline_snapshot()) {
+      out.insert(out.end(), t.events.begin(), t.events.end());
+    }
+    return out;
+  }
+
+  static const TimelineEvent* find_event(const std::vector<TimelineEvent>& events,
+                                         const std::string& name,
+                                         TimelineEventType type) {
+    for (const TimelineEvent& ev : events) {
+      if (name == ev.name && ev.type == type) return &ev;
+    }
+    return nullptr;
+  }
+};
+
+TEST_F(TimelineTest, DisabledRecordsNothing) {
+  set_timeline_enabled(false);
+  timeline_instant("ghost");
+  timeline_counter("ghost.counter", 1.0);
+  { M2AI_OBS_SPAN("ghost_span"); }
+  EXPECT_TRUE(all_events().empty());
+}
+
+TEST_F(TimelineTest, RecordsInstantCounterAndFlowEvents) {
+  timeline_instant("marker");
+  timeline_counter("depth", 3.5);
+  timeline_flow_start("hop", 7);
+  timeline_flow_end("hop", 7);
+
+  const auto events = all_events();
+  EXPECT_NE(find_event(events, "marker", TimelineEventType::kInstant), nullptr);
+  const TimelineEvent* counter =
+      find_event(events, "depth", TimelineEventType::kCounter);
+  ASSERT_NE(counter, nullptr);
+  EXPECT_DOUBLE_EQ(counter->value, 3.5);
+  const TimelineEvent* fs = find_event(events, "hop", TimelineEventType::kFlowStart);
+  const TimelineEvent* fe = find_event(events, "hop", TimelineEventType::kFlowEnd);
+  ASSERT_NE(fs, nullptr);
+  ASSERT_NE(fe, nullptr);
+  EXPECT_EQ(fs->flow_id, 7u);
+  EXPECT_EQ(fe->flow_id, 7u);
+}
+
+TEST_F(TimelineTest, ScopedSpanLandsOnTimelineWithArgs) {
+  {
+    ScopedSpan span("timed_work");
+    span.arg("cell", 4);
+    span.arg("rep", 2);
+    span.arg_str("experiment", "fig9_headline");
+  }
+  const auto events = all_events();
+  const TimelineEvent* ev =
+      find_event(events, "timed_work", TimelineEventType::kComplete);
+  ASSERT_NE(ev, nullptr);
+  ASSERT_NE(ev->arg_key1, nullptr);
+  EXPECT_STREQ(ev->arg_key1, "cell");
+  EXPECT_EQ(ev->arg1, 4);
+  ASSERT_NE(ev->arg_key2, nullptr);
+  EXPECT_STREQ(ev->arg_key2, "rep");
+  EXPECT_EQ(ev->arg2, 2);
+  ASSERT_NE(ev->str_key, nullptr);
+  EXPECT_STREQ(ev->str_key, "experiment");
+  EXPECT_STREQ(ev->str_value, "fig9_headline");
+}
+
+TEST_F(TimelineTest, SpanWithoutTimelineStillAggregates) {
+  set_timeline_enabled(false);
+  { M2AI_OBS_SPAN("agg_only"); }
+  EXPECT_TRUE(all_events().empty());
+  bool found = false;
+  for (const SpanStats& s : spans().snapshot()) found = found || s.name == "agg_only";
+  EXPECT_TRUE(found);
+}
+
+TEST_F(TimelineTest, RingOverflowDropsOldestAndCounts) {
+  set_timeline_capacity(16);
+  // A fresh thread gets a fresh ring sized at the new capacity.
+  std::thread recorder([] {
+    for (int i = 0; i < 40; ++i) {
+      timeline_counter("overflow.seq", static_cast<double>(i));
+    }
+  });
+  recorder.join();
+
+  const TimelineThreadSnapshot* ring = nullptr;
+  for (const TimelineThreadSnapshot& t : timeline_snapshot()) {
+    if (!t.events.empty() && std::string(t.events[0].name) == "overflow.seq") {
+      ring = &t;
+      break;
+    }
+  }
+  ASSERT_NE(ring, nullptr);
+  ASSERT_EQ(ring->events.size(), 16u);
+  EXPECT_EQ(ring->dropped, 24u);
+  // Oldest events were overwritten: the ring holds the newest 16, in order.
+  EXPECT_DOUBLE_EQ(ring->events.front().value, 24.0);
+  EXPECT_DOUBLE_EQ(ring->events.back().value, 39.0);
+  EXPECT_GE(timeline_dropped_total(), 24u);
+  EXPECT_GE(registry().counter("obs.timeline.dropped_events").value(), 24u);
+}
+
+TEST_F(TimelineTest, RegisteredThreadNamesAppearInSnapshot) {
+  std::thread named([] {
+    register_thread_name("unit-thread");
+    timeline_instant("named.marker");
+  });
+  named.join();
+  bool found = false;
+  for (const TimelineThreadSnapshot& t : timeline_snapshot()) {
+    found = found || t.name == "unit-thread";
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(TimelineTest, ResetClearsEventsAndDropCounts) {
+  set_timeline_capacity(16);
+  std::thread recorder([] {
+    for (int i = 0; i < 40; ++i) timeline_instant("reset.me");
+  });
+  recorder.join();
+  timeline_reset();
+  EXPECT_TRUE(all_events().empty());
+  EXPECT_EQ(timeline_dropped_total(), 0u);
+  // Recording still works after the reset (fresh dropped-events counter).
+  timeline_instant("after.reset");
+  EXPECT_EQ(all_events().size(), 1u);
+}
+
+// Validates the exporter output against the Chrome trace-event schema using
+// the in-repo JSON parser, with real pool workers supplying the events: the
+// trace must contain duration events from >= 2 distinct worker tids whose
+// registered names appear as thread_name metadata.
+TEST_F(TimelineTest, ChromeTraceValidatesWithWorkerThreads) {
+  {
+    par::ThreadPool pool(2);
+    std::mutex mu;
+    std::condition_variable cv;
+    int running = 0;
+    // Both tasks hold their worker until the other starts, so each of the
+    // two workers demonstrably records its own task event.
+    auto task = [&] {
+      const std::uint64_t start = timeline_now_ns();
+      {
+        std::unique_lock<std::mutex> lock(mu);
+        ++running;
+        cv.notify_all();
+        cv.wait(lock, [&] { return running >= 2; });
+      }
+      timeline_complete("both_running", start, timeline_now_ns() - start);
+    };
+    pool.submit(task);
+    pool.submit(task);
+    pool.wait_idle();
+  }
+  timeline_flow_start("arrow", 11);
+  timeline_flow_end("arrow", 11);
+
+  const util::JsonValue doc = util::json_parse(to_chrome_trace());
+  const util::JsonArray& events = doc.at("traceEvents").as_array();
+  EXPECT_EQ(doc.at("displayTimeUnit").as_string(), "ms");
+
+  std::map<double, std::string> thread_names;  // tid -> registered name
+  std::set<double> duration_tids;
+  std::set<std::string> phases;
+  for (const util::JsonValue& ev : events) {
+    const std::string ph = ev.at("ph").as_string();
+    phases.insert(ph);
+    // Schema: every event carries ph/pid/tid; non-metadata events carry
+    // name + ts; X events carry dur.
+    ev.at("pid").as_number();
+    const double tid = ev.at("tid").as_number();
+    if (ph == "M") {
+      if (ev.at("name").as_string() == "thread_name") {
+        thread_names[tid] = ev.at("args").at("name").as_string();
+      }
+      continue;
+    }
+    ev.at("name").as_string();
+    ev.at("ts").as_number();
+    if (ph == "X") {
+      EXPECT_GE(ev.at("dur").as_number(), 0.0);
+      if (ev.at("name").as_string() == "both_running") duration_tids.insert(tid);
+    }
+    if (ph == "C") ev.at("args").at("value").as_number();
+    if (ph == "s" || ph == "f") ev.at("id").as_number();
+  }
+
+  // >= 2 distinct worker tids recorded the barrier task, and both carry
+  // registered worker-N names.
+  ASSERT_GE(duration_tids.size(), 2u);
+  for (double tid : duration_tids) {
+    ASSERT_TRUE(thread_names.count(tid) > 0);
+    EXPECT_EQ(thread_names[tid].rfind("worker-", 0), 0u) << thread_names[tid];
+  }
+  EXPECT_TRUE(phases.count("s") > 0);
+  EXPECT_TRUE(phases.count("f") > 0);
+  EXPECT_EQ(doc.at("otherData").at("dropped_events").as_number(), 0.0);
+}
+
+TEST_F(TimelineTest, ChromeTraceArgsSurviveExport) {
+  {
+    ScopedSpan span("exported_span");
+    span.arg("cell", 9);
+    span.arg_str("experiment", "fig12_persons");
+  }
+  const util::JsonValue doc = util::json_parse(to_chrome_trace());
+  bool found = false;
+  for (const util::JsonValue& ev : doc.at("traceEvents").as_array()) {
+    if (ev.at("ph").as_string() != "X") continue;
+    if (ev.at("name").as_string() != "exported_span") continue;
+    const util::JsonValue& args = ev.at("args");
+    EXPECT_DOUBLE_EQ(args.at("cell").as_number(), 9.0);
+    EXPECT_EQ(args.at("experiment").as_string(), "fig12_persons");
+    found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(TimelineTest, NamesSurviveTheirSourceString) {
+  // Regression: events used to keep the caller's name pointer. A span named
+  // from a short-lived std::string (nn::Sequential's trace label dies with
+  // its model, long before export) left a dangling pointer in the ring and
+  // garbage — or worse — in the exported trace.
+  {
+    std::string ephemeral = "dynamic_label";
+    { ScopedSpan span(ephemeral.c_str()); }
+    // Clobber the storage before the snapshot reads the event back.
+    ephemeral.assign(ephemeral.size(), 'X');
+  }
+  const TimelineEvent* ev =
+      find_event(all_events(), "dynamic_label", TimelineEventType::kComplete);
+  ASSERT_NE(ev, nullptr);
+
+  // Over-long names truncate instead of overflowing the inline buffer.
+  const std::string long_name(100, 'n');
+  timeline_instant(long_name.c_str());
+  const auto events = all_events();
+  bool truncated = false;
+  for (const TimelineEvent& e : events) {
+    if (std::string(e.name).find("nnnn") == 0) {
+      EXPECT_LT(std::strlen(e.name), long_name.size());
+      truncated = true;
+    }
+  }
+  EXPECT_TRUE(truncated);
+}
+
+}  // namespace
+}  // namespace m2ai::obs

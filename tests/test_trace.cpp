@@ -7,6 +7,7 @@
 #include "obs/export.hpp"
 #include "obs/metrics.hpp"
 #include "obs/telemetry.hpp"
+#include "util/json.hpp"
 
 namespace m2ai::obs {
 namespace {
@@ -132,6 +133,54 @@ TEST_F(TraceTest, CsvExportIsLongFormat) {
   EXPECT_NE(csv.find("kind,name,field,value"), std::string::npos);
   EXPECT_NE(csv.find("counter,c1,value,4"), std::string::npos) << csv;
   EXPECT_NE(csv.find("span,s1,count,1"), std::string::npos) << csv;
+}
+
+TEST_F(TraceTest, CsvQuotesNamesPerRfc4180) {
+  // Regression: an unquoted comma/quote/newline in a metric name corrupted
+  // every row after it. Fields are now RFC-4180 quoted.
+  registry().counter("comma,name").add(1);
+  registry().counter("quote\"name").add(2);
+  registry().counter("newline\nname").add(3);
+  registry().counter("plain").add(4);
+  const std::string csv = to_csv();
+  EXPECT_NE(csv.find("counter,\"comma,name\",value,1"), std::string::npos) << csv;
+  EXPECT_NE(csv.find("counter,\"quote\"\"name\",value,2"), std::string::npos) << csv;
+  EXPECT_NE(csv.find("counter,\"newline\nname\",value,3"), std::string::npos) << csv;
+  // Identifier-like names stay unquoted.
+  EXPECT_NE(csv.find("counter,plain,value,4"), std::string::npos) << csv;
+}
+
+TEST_F(TraceTest, JsonExportParsesCleanly) {
+  // The report must be valid JSON even with hostile instrument names —
+  // validated with the in-repo parser rather than substring checks.
+  registry().counter("weird\"name\\with\nescapes").add(7);
+  registry().gauge("g").set(1.5);
+  { M2AI_OBS_SPAN("parsed_span"); }
+  training().record_epoch({1, 0.5, 0.8, 1.0, 1e-3, 0.1});
+
+  const util::JsonValue doc = util::json_parse(to_json());
+  EXPECT_DOUBLE_EQ(doc.at("schema_version").as_number(), 1.0);
+  EXPECT_DOUBLE_EQ(
+      doc.at("counters").at("weird\"name\\with\nescapes").as_number(), 7.0);
+  EXPECT_DOUBLE_EQ(doc.at("gauges").at("g").as_number(), 1.5);
+  const util::JsonArray& spans_json = doc.at("spans").as_array();
+  ASSERT_EQ(spans_json.size(), 1u);
+  EXPECT_EQ(spans_json[0].at("name").as_string(), "parsed_span");
+  EXPECT_GE(spans_json[0].at("p50_ms").as_number(), 0.0);
+  const util::JsonArray& epochs = doc.at("training").at("epochs").as_array();
+  ASSERT_EQ(epochs.size(), 1u);
+  EXPECT_DOUBLE_EQ(epochs[0].at("loss").as_number(), 0.5);
+}
+
+TEST_F(TraceTest, SpanRegistryClearKeepsEntriesHardClearDrops) {
+  { M2AI_OBS_SPAN("sticky"); }
+  spans().clear();
+  auto all = spans().snapshot();
+  ASSERT_EQ(all.size(), 1u);
+  EXPECT_EQ(all[0].name, "sticky");
+  EXPECT_EQ(all[0].latency_ms.count, 0u);
+  spans().hard_clear();
+  EXPECT_TRUE(spans().snapshot().empty());
 }
 
 }  // namespace

@@ -19,7 +19,9 @@
 // Every run writes a machine-readable suite report (wall time, per-
 // experiment cell seconds, cache hit rate, speedup vs the serial-equivalent
 // cost) to --suite-json (default: <out-dir>/BENCH_suite_<date>.json).
-// --metrics-out/--trace expose the obs layer as in every bench binary.
+// --metrics-out/--trace/--trace-out expose the obs layer as in every bench
+// binary; --trace-out additionally records a flight-recorder timeline and
+// writes it as Chrome trace-event JSON for ui.perfetto.dev.
 #include <cstdio>
 #include <cstring>
 #include <ctime>
@@ -59,7 +61,7 @@ void usage() {
       "                  [--threads N] [--smoke | --scale X] [--shard I/N]\n"
       "                  [--shard-out FILE] [--out-dir DIR] [--cache-dir DIR]\n"
       "                  [--cache-entries N] [--suite-json FILE] [--label NAME]\n"
-      "                  [--metrics-out FILE] [--trace]\n");
+      "                  [--metrics-out FILE] [--trace] [--trace-out FILE]\n");
 }
 
 std::vector<std::string> split_commas(const std::string& s) {

@@ -20,6 +20,7 @@
 #include "nn/serialize.hpp"
 #include "obs/export.hpp"
 #include "obs/metrics.hpp"
+#include "obs/timeline.hpp"
 #include "par/parallel_for.hpp"
 #include "sim/activities.hpp"
 #include "util/args.hpp"
@@ -43,8 +44,9 @@ int usage() {
                "all commands accept --threads N (worker threads for dataset\n"
                "generation, training, and evaluation; default: all hardware\n"
                "threads; results and checkpoints are identical at any N),\n"
-               "--metrics-out FILE (JSON, or CSV if FILE ends in .csv) and\n"
-               "--trace (span tree on stderr at exit)\n");
+               "--metrics-out FILE (JSON, or CSV if FILE ends in .csv),\n"
+               "--trace (span tree on stderr at exit), and\n"
+               "--trace-out FILE (Chrome trace-event JSON for ui.perfetto.dev)\n");
   return 2;
 }
 
@@ -74,7 +76,7 @@ int cmd_catalog() {
 
 int cmd_simulate(const util::Args& args) {
   args.require_known({"activity", "persons", "tags", "seed", "out", "distance",
-                      "windows", "antennas", "metrics-out", "trace", "threads"});
+                      "windows", "antennas", "metrics-out", "trace", "trace-out", "threads"});
   const int activity = args.get_int("activity", 1);
   core::ExperimentConfig config = config_from(args);
   core::Pipeline pipeline(config.pipeline, config.seed);
@@ -96,7 +98,7 @@ int cmd_simulate(const util::Args& args) {
 
 int cmd_spectrum(const util::Args& args) {
   args.require_known({"activity", "persons", "tags", "seed", "distance", "windows",
-                      "antennas", "metrics-out", "trace", "threads"});
+                      "antennas", "metrics-out", "trace", "trace-out", "threads"});
   const int activity = args.get_int("activity", 1);
   core::ExperimentConfig config = config_from(args);
   core::Pipeline pipeline(config.pipeline, config.seed);
@@ -123,7 +125,7 @@ int cmd_spectrum(const util::Args& args) {
 int cmd_train(const util::Args& args) {
   args.require_known({"samples", "epochs", "persons", "tags", "antennas", "seed",
                       "model", "verbose", "distance", "windows", "metrics-out",
-                      "trace", "threads"});
+                      "trace", "trace-out", "threads"});
   const core::ExperimentConfig config = config_from(args);
   util::log_info() << "simulating " << config.samples_per_class << " samples/class";
   const core::DataSplit split = core::generate_dataset(config);
@@ -147,7 +149,7 @@ int cmd_train(const util::Args& args) {
 
 int cmd_eval(const util::Args& args) {
   args.require_known({"model", "samples", "persons", "tags", "antennas", "seed",
-                      "distance", "windows", "epochs", "metrics-out", "trace", "threads"});
+                      "distance", "windows", "epochs", "metrics-out", "trace", "trace-out", "threads"});
   if (!args.has("model")) return usage();
   core::ExperimentConfig config = config_from(args);
   config.seed ^= 0x5eedu;  // evaluate on data the checkpoint never saw
@@ -174,16 +176,27 @@ int cmd_eval(const util::Args& args) {
   return 0;
 }
 
-// Enables the obs layer when --metrics-out/--trace are present; exports on
-// destruction so every command (and early return) gets the report.
+// Enables the obs layer when --metrics-out/--trace/--trace-out are present;
+// exports on destruction so every command (and early return) gets the report.
 class ObservabilityScope {
  public:
   explicit ObservabilityScope(const util::Args& args)
-      : metrics_out_(args.get("metrics-out", "")), trace_(args.has("trace")) {
+      : metrics_out_(args.get("metrics-out", "")),
+        trace_out_(args.get("trace-out", "")),
+        trace_(args.has("trace")) {
     if (args.has("metrics-out") && metrics_out_.empty()) {
       std::fprintf(stderr, "warning: --metrics-out requires a file path; ignoring\n");
     }
-    if (!metrics_out_.empty() || trace_) obs::set_enabled(true);
+    if (args.has("trace-out") && trace_out_.empty()) {
+      std::fprintf(stderr, "warning: --trace-out requires a file path; ignoring\n");
+    }
+    if (!metrics_out_.empty() || !trace_out_.empty() || trace_) {
+      obs::set_enabled(true);
+    }
+    if (!trace_out_.empty()) {
+      obs::register_thread_name("main");
+      obs::set_timeline_enabled(true);
+    }
   }
   ~ObservabilityScope() {
     if (!metrics_out_.empty()) {
@@ -194,11 +207,21 @@ class ObservabilityScope {
         std::fprintf(stderr, "metrics export failed: %s\n", e.what());
       }
     }
+    if (!trace_out_.empty()) {
+      try {
+        obs::write_chrome_trace(trace_out_);
+        std::fprintf(stderr, "timeline written to %s (open in ui.perfetto.dev)\n",
+                     trace_out_.c_str());
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "timeline export failed: %s\n", e.what());
+      }
+    }
     if (trace_) std::fputs(obs::span_tree().c_str(), stderr);
   }
 
  private:
   std::string metrics_out_;
+  std::string trace_out_;
   bool trace_;
 };
 

@@ -1,0 +1,87 @@
+// m2ai_obsdiff — perf-regression gate over two committed/emitted reports.
+//
+//   m2ai_obsdiff baseline.json candidate.json
+//       [--field p50_ms]      span statistic to compare (metrics reports)
+//       [--threshold 0.25]    relative regression gate (+25%)
+//       [--min-abs 0.05]      absolute noise floor in the field's unit
+//
+// Accepts either obs metrics reports (--metrics-out output) or m2ai_bench
+// suite reports (schema auto-detected). Prints a per-span delta table and
+// exits 1 when any span regresses past BOTH gates, 2 on usage/parse errors,
+// 0 otherwise — so CI can run it as-is as a perf gate.
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+#include "obs/diff.hpp"
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: m2ai_obsdiff BASELINE.json CANDIDATE.json\n"
+               "           [--field p50_ms] [--threshold 0.25] [--min-abs 0.05]\n"
+               "exit codes: 0 no regression, 1 regression, 2 bad input\n");
+  return 2;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string baseline, candidate;
+  m2ai::obs::DiffOptions options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string token = argv[i];
+    auto value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "m2ai_obsdiff: %s needs a value\n", token.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (token == "--field") {
+      options.field = value();
+    } else if (token == "--threshold") {
+      options.threshold = std::atof(value());
+    } else if (token == "--min-abs") {
+      options.min_abs = std::atof(value());
+    } else if (token == "--help" || token == "-h") {
+      return usage();
+    } else if (!token.empty() && token[0] == '-') {
+      std::fprintf(stderr, "m2ai_obsdiff: unknown flag '%s'\n", token.c_str());
+      return usage();
+    } else if (baseline.empty()) {
+      baseline = token;
+    } else if (candidate.empty()) {
+      candidate = token;
+    } else {
+      return usage();
+    }
+  }
+  if (baseline.empty() || candidate.empty()) return usage();
+  if (options.threshold < 0.0) {
+    std::fprintf(stderr, "m2ai_obsdiff: --threshold must be >= 0\n");
+    return 2;
+  }
+
+  try {
+    const m2ai::obs::DiffResult result = m2ai::obs::diff_reports(
+        read_file(baseline), read_file(candidate), options);
+    std::fputs(m2ai::obs::render_diff(result, options).c_str(), stdout);
+    return result.has_regression ? 1 : 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "m2ai_obsdiff: %s\n", e.what());
+    return 2;
+  }
+}
