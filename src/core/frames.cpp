@@ -25,16 +25,13 @@ dsp::MusicOptions music_options(const PipelineConfig& config) {
   return opts;
 }
 
-// RSSI (dBm) to a linear amplitude with a fixed reference so the
-// periodogram keeps absolute power information.
+}  // namespace
+
 double rssi_to_amplitude(double rssi_dbm) {
   return std::pow(10.0, (rssi_dbm + 60.0) / 20.0);
 }
 
-// Compress periodogram power for the network input.
 float compress_power(double p) { return static_cast<float>(std::log10(1.0 + p)); }
-
-}  // namespace
 
 FrameBuilder::FrameBuilder(const PipelineConfig& config,
                            const dsp::PhaseCalibrator* calibrator, int num_tags)

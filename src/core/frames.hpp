@@ -18,6 +18,15 @@
 
 namespace m2ai::core {
 
+// RSSI (dBm) to a linear amplitude with a fixed reference so the
+// periodogram keeps absolute power information. Shared by the batch
+// FrameBuilder and the streaming serve::StreamAssembler, which must build
+// bitwise-identical snapshots from the same report stream.
+double rssi_to_amplitude(double rssi_dbm);
+
+// Compress periodogram power for the network input (same sharing contract).
+float compress_power(double p);
+
 // One time step of the model input. Depending on FeatureMode either tensor
 // may be unused (size 0 is represented by an empty rank check on use).
 struct SpectrumFrame {

@@ -21,49 +21,60 @@ CMatrix backward(const CMatrix& r) {
 
 }  // namespace
 
-CMatrix sample_covariance(const std::vector<std::vector<cdouble>>& snapshots,
-                          const CovarianceOptions& options) {
-  if (snapshots.empty()) {
-    throw std::invalid_argument("sample_covariance: no snapshots");
+void accumulate_outer(CMatrix& sum, const std::vector<cdouble>& x) {
+  const std::size_t n = sum.rows();
+  if (x.size() != n || sum.cols() != n) {
+    throw std::invalid_argument("accumulate_outer: size mismatch");
   }
-  const std::size_t n = snapshots.front().size();
-  for (const auto& s : snapshots) {
-    if (s.size() != n) {
-      throw std::invalid_argument("sample_covariance: ragged snapshots");
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      sum(i, j) += x[i] * std::conj(x[j]);
     }
   }
+}
 
+void downdate_outer(CMatrix& sum, const std::vector<cdouble>& x) {
+  const std::size_t n = sum.rows();
+  if (x.size() != n || sum.cols() != n) {
+    throw std::invalid_argument("downdate_outer: size mismatch");
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      sum(i, j) -= x[i] * std::conj(x[j]);
+    }
+  }
+}
+
+CMatrix finalize_covariance(const CMatrix& sum, std::size_t count,
+                            const CovarianceOptions& options) {
+  if (count == 0) {
+    throw std::invalid_argument("finalize_covariance: no snapshots");
+  }
+  const std::size_t n = sum.rows();
+  if (sum.cols() != n) {
+    throw std::invalid_argument("finalize_covariance: sum must be square");
+  }
   const std::size_t sub = options.smoothing_subarray > 0
                               ? static_cast<std::size_t>(options.smoothing_subarray)
                               : n;
   if (sub > n) {
-    throw std::invalid_argument("sample_covariance: subarray larger than array");
+    throw std::invalid_argument("finalize_covariance: subarray larger than array");
   }
 
   // Average covariances of all overlapping subarrays of length `sub`
-  // (sub == n reduces to the plain full-aperture covariance). The subarray
-  // covariance is built in a reused buffer and folded into `r` element-wise
-  // — the same adds, in the same order, as the old `r = r + outer_average`
-  // chain of temporaries (including the 0 + x add for the first subarray,
-  // which canonicalizes -0.0 exactly like the old code did).
+  // (sub == n reduces to the plain full-aperture covariance). Each subarray
+  // covariance is the slice sum(o+i, o+j) of the full outer-product sum,
+  // folded into `r` element-wise — the same adds, in the same order, as the
+  // old per-subarray `r = r + outer_average` chain of temporaries (including
+  // the 0 + x add for the first subarray, which canonicalizes -0.0 exactly
+  // like the old code did).
   const std::size_t num_sub = n - sub + 1;
   CMatrix r(sub, sub);
-  CMatrix tmp(sub, sub);
+  const double inv = 1.0 / static_cast<double>(count);
   for (std::size_t o = 0; o < num_sub; ++o) {
     for (std::size_t i = 0; i < sub; ++i) {
-      for (std::size_t j = 0; j < sub; ++j) tmp(i, j) = cdouble{0.0, 0.0};
-    }
-    for (const auto& snap : snapshots) {
-      for (std::size_t i = 0; i < sub; ++i) {
-        for (std::size_t j = 0; j < sub; ++j) {
-          tmp(i, j) += snap[o + i] * std::conj(snap[o + j]);
-        }
-      }
-    }
-    const double inv = 1.0 / static_cast<double>(snapshots.size());
-    for (std::size_t i = 0; i < sub; ++i) {
       for (std::size_t j = 0; j < sub; ++j) {
-        r(i, j) = r(i, j) + tmp(i, j) * inv;
+        r(i, j) = r(i, j) + sum(o + i, o + j) * inv;
       }
     }
   }
@@ -90,6 +101,22 @@ CMatrix sample_covariance(const std::vector<std::vector<cdouble>>& snapshots,
     for (std::size_t i = 0; i < sub; ++i) r(i, i) += load;
   }
   return r;
+}
+
+CMatrix sample_covariance(const std::vector<std::vector<cdouble>>& snapshots,
+                          const CovarianceOptions& options) {
+  if (snapshots.empty()) {
+    throw std::invalid_argument("sample_covariance: no snapshots");
+  }
+  const std::size_t n = snapshots.front().size();
+  for (const auto& s : snapshots) {
+    if (s.size() != n) {
+      throw std::invalid_argument("sample_covariance: ragged snapshots");
+    }
+  }
+  CMatrix sum(n, n);
+  for (const auto& snap : snapshots) accumulate_outer(sum, snap);
+  return finalize_covariance(sum, snapshots.size(), options);
 }
 
 }  // namespace m2ai::dsp

@@ -29,4 +29,26 @@ struct CovarianceOptions {
 CMatrix sample_covariance(const std::vector<std::vector<cdouble>>& snapshots,
                           const CovarianceOptions& options = {});
 
+// Rank-1 outer-product accumulation: sum += x x^H, element-wise in row-major
+// order. sample_covariance() accumulates its snapshot sum through this exact
+// routine, so a streaming consumer that applies it per arriving snapshot
+// (serve::IncrementalCovariance) holds bitwise the same sum as a batch
+// recompute over the same snapshots in the same order.
+void accumulate_outer(CMatrix& sum, const std::vector<cdouble>& x);
+
+// Rank-1 downdate: sum -= x x^H. Sliding-window eviction. Subtraction does
+// not round-trip addition exactly, so a downdated sum drifts from the batch
+// sum by accumulated rounding — callers resynchronize with a periodic full
+// recompute (see serve::IncrementalCovariance::resync).
+void downdate_outer(CMatrix& sum, const std::vector<cdouble>& x);
+
+// Derives the final covariance (subarray smoothing, forward-backward
+// averaging, diagonal loading) from the N x N outer-product sum over `count`
+// snapshots. sample_covariance(snapshots, o) is exactly
+// finalize_covariance(sum_of_outer_products, snapshots.size(), o) — the
+// subarray sums the batch path used are element-wise slices of the full sum,
+// added in the same order, so the split is bitwise-neutral.
+CMatrix finalize_covariance(const CMatrix& sum, std::size_t count,
+                            const CovarianceOptions& options = {});
+
 }  // namespace m2ai::dsp

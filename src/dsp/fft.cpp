@@ -1,6 +1,7 @@
 #include "dsp/fft.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <map>
 #include <memory>
@@ -17,21 +18,18 @@ std::size_t next_power_of_two(std::size_t n) {
   return p;
 }
 
+// Twiddle factors for one transform size, per butterfly stage; see
+// twiddle_stages() for the generation contract. Forward and inverse tables
+// are built independently (conjugation is exact, but polar() symmetry across
+// libm implementations is not guaranteed).
 namespace {
-
-// Twiddle factors for one transform size, per butterfly stage:
-// stages[s][k] = w_len^k for len = 2^(s+1), k in [0, len/2). Values are
-// produced by the same incremental recurrence (w *= wl) the in-loop
-// computation used, so cached transforms are bitwise-identical to the
-// uncached ones. Forward and inverse tables are built independently for the
-// same reason (conjugation is exact, but polar() symmetry across libm
-// implementations is not guaranteed).
 struct TwiddleTable {
   std::vector<std::vector<cdouble>> forward;
   std::vector<std::vector<cdouble>> inverse;
 };
+}  // namespace
 
-std::vector<std::vector<cdouble>> build_stages(std::size_t n, bool inverse) {
+std::vector<std::vector<cdouble>> twiddle_stages(std::size_t n, bool inverse) {
   std::vector<std::vector<cdouble>> stages;
   for (std::size_t len = 2; len <= n; len <<= 1) {
     const double ang = (inverse ? 2.0 : -2.0) * M_PI / static_cast<double>(len);
@@ -47,28 +45,61 @@ std::vector<std::vector<cdouble>> build_stages(std::size_t n, bool inverse) {
   return stages;
 }
 
+std::vector<cdouble> bluestein_chirp(std::size_t n, bool inverse) {
+  const double sign = inverse ? 1.0 : -1.0;
+  std::vector<cdouble> chirp(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    // k^2 mod 2n keeps the angle argument bounded for large n.
+    const std::size_t k2 = (k * k) % (2 * n);
+    chirp[k] = std::polar(
+        1.0, sign * M_PI * static_cast<double>(k2) / static_cast<double>(n));
+  }
+  return chirp;
+}
+
+namespace {
+
 // Per-size table cache. The periodogram path calls the FFT once per window
 // per tag, always at the same handful of sizes; recomputing sin/cos chains
 // there dominated the per-window leaf profile. The cache is shared across
-// threads (dataset generation runs windows in parallel), hence the mutex;
-// callers hold a shared_ptr so an entry can never be destroyed under a
-// running transform.
-std::mutex g_twiddle_mu;
-std::map<std::size_t, std::shared_ptr<const TwiddleTable>>& twiddle_cache() {
-  static auto* cache = new std::map<std::size_t, std::shared_ptr<const TwiddleTable>>();
-  return *cache;
+// threads (dataset generation and the serve DSP stage run windows in
+// parallel). Lookups after warm-up are lock-free: readers take an atomic
+// snapshot of an immutable map; the mutex serializes writers only, each of
+// whom publishes a fresh copy with the new entry (copy-on-write — the map
+// holds a handful of sizes, so the copy is trivial next to the sin/cos
+// chains being cached). Callers hold a shared_ptr so an entry can never be
+// destroyed under a running transform.
+using TwiddleMap = std::map<std::size_t, std::shared_ptr<const TwiddleTable>>;
+std::mutex g_twiddle_mu;  // writers only
+std::atomic<std::shared_ptr<const TwiddleMap>>& twiddle_snapshot() {
+  static auto* snap = new std::atomic<std::shared_ptr<const TwiddleMap>>();
+  return *snap;
 }
 
 std::shared_ptr<const TwiddleTable> twiddles_for(std::size_t n) {
+  const std::shared_ptr<const TwiddleMap> snap =
+      twiddle_snapshot().load(std::memory_order_acquire);
+  if (snap) {
+    const auto it = snap->find(n);
+    if (it != snap->end()) return it->second;
+  }
   std::lock_guard<std::mutex> lock(g_twiddle_mu);
-  auto& cache = twiddle_cache();
-  const auto it = cache.find(n);
-  if (it != cache.end()) return it->second;
+  // Re-check under the lock: another writer may have published this size
+  // between our snapshot and the acquisition.
+  const std::shared_ptr<const TwiddleMap> latest =
+      twiddle_snapshot().load(std::memory_order_acquire);
+  if (latest) {
+    const auto it = latest->find(n);
+    if (it != latest->end()) return it->second;
+  }
   auto table = std::make_shared<TwiddleTable>();
-  table->forward = build_stages(n, false);
-  table->inverse = build_stages(n, true);
+  table->forward = twiddle_stages(n, false);
+  table->inverse = twiddle_stages(n, true);
   auto entry = std::shared_ptr<const TwiddleTable>(std::move(table));
-  cache.emplace(n, entry);
+  auto next = latest ? std::make_shared<TwiddleMap>(*latest)
+                     : std::make_shared<TwiddleMap>();
+  next->emplace(n, entry);
+  twiddle_snapshot().store(std::move(next), std::memory_order_release);
   return entry;
 }
 
@@ -118,13 +149,7 @@ namespace {
 // convolution, evaluated with a power-of-two FFT.
 std::vector<cdouble> bluestein(const std::vector<cdouble>& data, bool inverse) {
   const std::size_t n = data.size();
-  const double sign = inverse ? 1.0 : -1.0;
-  std::vector<cdouble> chirp(n);
-  for (std::size_t k = 0; k < n; ++k) {
-    // k^2 mod 2n keeps the angle argument bounded for large n.
-    const std::size_t k2 = (k * k) % (2 * n);
-    chirp[k] = std::polar(1.0, sign * M_PI * static_cast<double>(k2) / static_cast<double>(n));
-  }
+  const std::vector<cdouble> chirp = bluestein_chirp(n, inverse);
   const std::size_t m = next_power_of_two(2 * n - 1);
   std::vector<cdouble> a(m, cdouble{0.0, 0.0});
   std::vector<cdouble> b(m, cdouble{0.0, 0.0});
@@ -176,15 +201,9 @@ FftPlan::FftPlan(std::size_t n) {
     impl->table = twiddles_for(impl->m);
     for (int dir = 0; dir < 2; ++dir) {
       const bool inverse = dir == 1;
-      // Same chirp recurrence as the per-call Bluestein path.
-      const double sign = inverse ? 1.0 : -1.0;
+      // The exact chirp primitive the per-call Bluestein path uses.
       std::vector<cdouble>& chirp = impl->chirp[dir];
-      chirp.resize(n);
-      for (std::size_t k = 0; k < n; ++k) {
-        const std::size_t k2 = (k * k) % (2 * n);
-        chirp[k] =
-            std::polar(1.0, sign * M_PI * static_cast<double>(k2) / static_cast<double>(n));
-      }
+      chirp = bluestein_chirp(n, inverse);
       std::vector<cdouble> b(impl->m, cdouble{0.0, 0.0});
       b[0] = std::conj(chirp[0]);
       for (std::size_t k = 1; k < n; ++k) b[k] = b[impl->m - k] = std::conj(chirp[k]);
@@ -225,20 +244,36 @@ void FftPlan::transform(const cdouble* in, cdouble* out, bool inverse,
 }
 
 namespace {
-std::mutex g_plan_mu;
-std::map<std::size_t, std::shared_ptr<const FftPlan>>& plan_cache() {
-  static auto* cache = new std::map<std::size_t, std::shared_ptr<const FftPlan>>();
-  return *cache;
+// Same reader-lock-free copy-on-write scheme as the twiddle cache above:
+// the plan lookup sits on the per-window periodogram hot path, which the
+// serve layer runs from many DSP workers concurrently.
+using PlanMap = std::map<std::size_t, std::shared_ptr<const FftPlan>>;
+std::mutex g_plan_mu;  // writers only
+std::atomic<std::shared_ptr<const PlanMap>>& plan_snapshot() {
+  static auto* snap = new std::atomic<std::shared_ptr<const PlanMap>>();
+  return *snap;
 }
 }  // namespace
 
 std::shared_ptr<const FftPlan> shared_fft_plan(std::size_t n) {
+  const std::shared_ptr<const PlanMap> snap =
+      plan_snapshot().load(std::memory_order_acquire);
+  if (snap) {
+    const auto it = snap->find(n);
+    if (it != snap->end()) return it->second;
+  }
   std::lock_guard<std::mutex> lock(g_plan_mu);
-  auto& cache = plan_cache();
-  const auto it = cache.find(n);
-  if (it != cache.end()) return it->second;
+  const std::shared_ptr<const PlanMap> latest =
+      plan_snapshot().load(std::memory_order_acquire);
+  if (latest) {
+    const auto it = latest->find(n);
+    if (it != latest->end()) return it->second;
+  }
   auto entry = std::shared_ptr<const FftPlan>(new FftPlan(n));
-  cache.emplace(n, entry);
+  auto next = latest ? std::make_shared<PlanMap>(*latest)
+                     : std::make_shared<PlanMap>();
+  next->emplace(n, entry);
+  plan_snapshot().store(std::move(next), std::memory_order_release);
   return entry;
 }
 

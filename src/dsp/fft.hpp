@@ -56,6 +56,20 @@ std::shared_ptr<const FftPlan> shared_fft_plan(std::size_t n);
 // Direct O(N^2) DFT, definition Eq. 16 of the paper. Reference/check path.
 std::vector<cdouble> dft(const std::vector<cdouble>& data, bool inverse = false);
 
+// The single twiddle-generation routine behind every transform path: per
+// butterfly stage s (len = 2^(s+1)), stages[s][k] = w_len^k for k in
+// [0, len/2), produced by the incremental recurrence w *= polar(1, ±2π/len).
+// The cached tables, the ad-hoc fft_radix2 path, and any reference
+// implementation must all read twiddles from here (or reproduce this exact
+// recurrence) — two "equivalent" generation paths are how per-host bitwise
+// divergence sneaks in.
+std::vector<std::vector<cdouble>> twiddle_stages(std::size_t n, bool inverse);
+
+// The Bluestein chirp sequence c[k] = polar(1, ±π k² mod 2n / n), shared by
+// the per-call bluestein() path and FftPlan's precomputed state for the same
+// single-primitive reason as twiddle_stages().
+std::vector<cdouble> bluestein_chirp(std::size_t n, bool inverse);
+
 // True if n is a power of two (n >= 1).
 bool is_power_of_two(std::size_t n);
 

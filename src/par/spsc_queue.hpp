@@ -1,0 +1,90 @@
+// Bounded lock-free single-producer single-consumer ring queue.
+//
+// The serve layer moves data between pipeline stages (ingest -> DSP -> NN)
+// through exactly-one-writer/exactly-one-reader channels, so the classic
+// SPSC ring is the right primitive: one release store per push, one release
+// store per pop, no CAS loops, no locks, wait-free on both sides.
+//
+// Contract:
+//   * try_push may be called by ONE producer thread, try_pop by ONE consumer
+//     thread; the two may run concurrently. Violating single-writer is a
+//     data race (the TSan CI job runs the stress test to keep this honest).
+//   * Capacity is rounded up to a power of two (minimum 2) so index
+//     wrap-around is a mask, not a division.
+//   * Each side caches the opposite index and refreshes it only when the
+//     cached view says full/empty, so steady-state operation touches the
+//     shared indices once per refresh instead of once per call.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace m2ai::par {
+
+template <typename T>
+class SpscQueue {
+ public:
+  explicit SpscQueue(std::size_t capacity) {
+    std::size_t cap = 2;
+    while (cap < capacity) cap <<= 1;
+    slots_.resize(cap);
+    mask_ = cap - 1;
+  }
+
+  SpscQueue(const SpscQueue&) = delete;
+  SpscQueue& operator=(const SpscQueue&) = delete;
+
+  std::size_t capacity() const { return mask_ + 1; }
+
+  // Producer side. Returns false (leaving `value` unmoved-from only in the
+  // sense that the queue took nothing) when the ring is full.
+  bool try_push(T&& value) {
+    const std::size_t tail = tail_.load(std::memory_order_relaxed);
+    if (tail - cached_head_ > mask_) {
+      cached_head_ = head_.load(std::memory_order_acquire);
+      if (tail - cached_head_ > mask_) return false;
+    }
+    slots_[tail & mask_] = std::move(value);
+    tail_.store(tail + 1, std::memory_order_release);
+    return true;
+  }
+  bool try_push(const T& value) {
+    T copy = value;
+    return try_push(std::move(copy));
+  }
+
+  // Consumer side. Returns false when the ring is empty.
+  bool try_pop(T& out) {
+    const std::size_t head = head_.load(std::memory_order_relaxed);
+    if (head == cached_tail_) {
+      cached_tail_ = tail_.load(std::memory_order_acquire);
+      if (head == cached_tail_) return false;
+    }
+    out = std::move(slots_[head & mask_]);
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  // Racy size estimate for metrics/queue-depth sampling; exact only when
+  // both sides are quiescent.
+  std::size_t size_approx() const {
+    const std::size_t tail = tail_.load(std::memory_order_acquire);
+    const std::size_t head = head_.load(std::memory_order_acquire);
+    return tail >= head ? tail - head : 0;
+  }
+  bool empty_approx() const { return size_approx() == 0; }
+
+ private:
+  std::vector<T> slots_;
+  std::size_t mask_ = 1;
+  // Producer-owned line: write index + its cached view of the consumer.
+  alignas(64) std::atomic<std::size_t> tail_{0};
+  std::size_t cached_head_ = 0;
+  // Consumer-owned line: read index + its cached view of the producer.
+  alignas(64) std::atomic<std::size_t> head_{0};
+  std::size_t cached_tail_ = 0;
+};
+
+}  // namespace m2ai::par

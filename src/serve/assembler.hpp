@@ -1,0 +1,88 @@
+// Online frame assembly: the streaming counterpart of core::FrameBuilder.
+//
+// FrameBuilder takes the complete report vector of a sample and produces all
+// T frames in one call. At serving time reports arrive one at a time, so the
+// assembler keeps per-(tag, antenna) accumulators for the window in
+// progress, completes an aligned snapshot the moment every antenna has seen
+// its k-th reading (and applies it to the tag's IncrementalCovariance as a
+// rank-1 update right then), and emits the finished SpectrumFrame when a
+// report crosses the window boundary.
+//
+// Equivalence contract (tested by ServeAssembler.BitwiseMatchesFrameBuilder):
+// fed the same time-ordered reports, ingest()+flush() produce frames whose
+// tensors are bitwise identical to FrameBuilder::build over the same window
+// grid. The pseudospectrum comes from the incrementally maintained
+// covariance — exact because windows tumble, so the covariance only ever
+// sees push-order rank-1 additions (see serve/incremental.hpp).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/frames.hpp"
+#include "serve/incremental.hpp"
+
+namespace m2ai::serve {
+
+struct AssemblerStats {
+  std::uint64_t reports = 0;        // in-range reports accumulated
+  std::uint64_t late_dropped = 0;   // reports for an already-closed window
+  std::uint64_t snapshots = 0;      // aligned snapshots completed
+  std::uint64_t frames = 0;         // windows closed
+};
+
+class StreamAssembler {
+ public:
+  // Same construction contract as FrameBuilder; `t_begin` anchors window 0
+  // (reports before it are dropped as late).
+  StreamAssembler(const core::PipelineConfig& config,
+                  const dsp::PhaseCalibrator* calibrator, int num_tags,
+                  double t_begin);
+
+  // Feed one report. Reports must be time-ordered (the reader model emits
+  // them that way; a late report is dropped and counted). Returns the frames
+  // this arrival closed: empty while the report falls into the window in
+  // progress, one frame per boundary crossed otherwise (windows nobody
+  // reported in close as zero frames, exactly like FrameBuilder).
+  std::vector<core::SpectrumFrame> ingest(const sim::TagReport& report);
+
+  // Close the window in progress (end of stream). No-op before the first
+  // in-range report.
+  std::vector<core::SpectrumFrame> flush();
+
+  // Index of the window in progress (0-based; -1 before any in-range report).
+  long window_index() const { return started_ ? current_window_ : -1; }
+
+  const AssemblerStats& stats() const { return stats_; }
+
+ private:
+  // Streaming mirror of FrameBuilder::TagWindow plus the incremental state.
+  struct TagAccum {
+    std::vector<std::vector<double>> phases;      // [antenna][k], arrival order
+    std::vector<std::vector<double>> amplitudes;
+    std::vector<std::vector<double>> rssis;
+    std::vector<std::vector<dsp::cdouble>> snapshots;  // aligned, completed
+    IncrementalCovariance cov;
+    std::size_t pushed = 0;  // snapshots applied to cov == snapshots.size()
+
+    explicit TagAccum(int num_antennas);
+  };
+
+  core::SpectrumFrame close_window();
+  void reset_accums();
+
+  core::PipelineConfig config_;
+  const dsp::PhaseCalibrator* calibrator_;
+  int num_tags_;
+  double t_begin_;
+  // Supplies the MusicEstimator configured exactly as the batch path's (same
+  // options derivation), so estimate_from_covariance resolves angles against
+  // the identical steering table.
+  core::FrameBuilder builder_;
+  bool started_ = false;
+  long current_window_ = 0;
+  std::vector<TagAccum> tags_;
+  AssemblerStats stats_;
+};
+
+}  // namespace m2ai::serve

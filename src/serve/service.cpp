@@ -1,0 +1,247 @@
+#include "serve/service.hpp"
+
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+#include "obs/metrics.hpp"
+#include "obs/timeline.hpp"
+#include "obs/trace.hpp"
+
+namespace m2ai::serve {
+
+namespace {
+// Flow ids shared by the DSP-side "serve.request" origin and the NN-side
+// target so Perfetto draws an arrow from each window close to its
+// prediction. Offset keeps them clear of other flow id spaces.
+constexpr std::uint64_t kFlowBase = 0x5e12'0000'0000'0000ULL;
+}  // namespace
+
+Service::Service(ServeConfig serve, core::PipelineConfig pipeline,
+                 std::unique_ptr<core::M2AINetwork> network)
+    : serve_(serve), pipeline_(pipeline), network_(std::move(network)) {
+  if (serve_.dsp_workers < 1) {
+    throw std::invalid_argument("Service: dsp_workers must be >= 1");
+  }
+  if (network_ == nullptr) {
+    throw std::invalid_argument("Service: network must not be null");
+  }
+  sequence_frames_ = serve_.sequence_frames > 0 ? serve_.sequence_frames
+                                                : pipeline_.windows_per_sample;
+  if (sequence_frames_ < 1) {
+    throw std::invalid_argument("Service: sequence_frames must be >= 1");
+  }
+}
+
+Service::~Service() {
+  try {
+    finish();
+  } catch (...) {
+    // Destructor must not throw; finish() only throws on logic errors that
+    // would already have surfaced in normal use.
+  }
+}
+
+int Service::num_tags() const {
+  return pipeline_.num_persons * pipeline_.tags_per_person;
+}
+
+int Service::add_stream(const dsp::PhaseCalibrator* calibrator, double t_begin) {
+  if (started_) {
+    throw std::logic_error("Service::add_stream: call before start()");
+  }
+  auto stream = std::make_unique<Stream>();
+  stream->assembler = std::make_unique<StreamAssembler>(pipeline_, calibrator,
+                                                        num_tags(), t_begin);
+  stream->ingest =
+      std::make_unique<par::SpscQueue<StampedReport>>(serve_.ingest_capacity);
+  streams_.push_back(std::move(stream));
+  return static_cast<int>(streams_.size()) - 1;
+}
+
+void Service::start() {
+  if (started_) throw std::logic_error("Service::start: already started");
+  started_ = true;
+  const int workers = serve_.dsp_workers;
+  requests_.reserve(static_cast<std::size_t>(workers));
+  for (int w = 0; w < workers; ++w) {
+    requests_.push_back(
+        std::make_unique<par::SpscQueue<Request>>(serve_.request_capacity));
+  }
+  nn_thread_ = std::thread([this] { nn_loop(); });
+  dsp_threads_.reserve(static_cast<std::size_t>(workers));
+  for (int w = 0; w < workers; ++w) {
+    dsp_threads_.emplace_back([this, w] { dsp_loop(w); });
+  }
+}
+
+bool Service::offer(int stream, const sim::TagReport& report) {
+  Stream& s = *streams_[static_cast<std::size_t>(stream)];
+  return s.ingest->try_push(
+      StampedReport{report, obs::timeline_now_ns()});
+}
+
+void Service::push(int stream, const sim::TagReport& report) {
+  while (!offer(stream, report)) std::this_thread::yield();
+}
+
+void Service::finish() {
+  if (!started_ || finished_) {
+    finished_ = true;
+    return;
+  }
+  finished_ = true;
+  for (auto& s : streams_) s->producer_done.store(true, std::memory_order_release);
+  for (auto& t : dsp_threads_) t.join();
+  // All workers have flushed and bumped workers_done_; the NN thread exits
+  // once every request ring is empty.
+  nn_thread_.join();
+}
+
+const std::vector<Prediction>& Service::predictions(int stream) const {
+  return streams_[static_cast<std::size_t>(stream)]->predictions;
+}
+
+ServiceStats Service::stats() const {
+  ServiceStats st;
+  for (const auto& s : streams_) {
+    const AssemblerStats& a = s->assembler->stats();
+    st.reports += a.reports;
+    st.late_dropped += a.late_dropped;
+  }
+  st.frames = frames_total_.load(std::memory_order_relaxed);
+  st.predictions = predictions_total_.load(std::memory_order_relaxed);
+  st.batches = batches_total_.load(std::memory_order_relaxed);
+  return st;
+}
+
+void Service::enqueue_request(int worker, Request request) {
+  // Backpressure: a full request ring stalls this DSP worker (and, as its
+  // ingest rings fill, eventually the producers) instead of dropping work.
+  auto& ring = *requests_[static_cast<std::size_t>(worker)];
+  while (!ring.try_push(std::move(request))) std::this_thread::yield();
+}
+
+void Service::on_frames(int stream_index, int worker,
+                        std::vector<core::SpectrumFrame> frames,
+                        std::uint64_t enqueue_ns) {
+  Stream& s = *streams_[static_cast<std::size_t>(stream_index)];
+  const auto seq_len = static_cast<std::size_t>(sequence_frames_);
+  for (auto& frame : frames) {
+    s.recent.push_back(std::move(frame));
+    if (s.recent.size() > seq_len) s.recent.pop_front();
+    ++s.frames_closed;
+    frames_total_.fetch_add(1, std::memory_order_relaxed);
+    obs::registry().counter("serve.frames").add();
+    if (s.recent.size() < seq_len) continue;
+
+    Request request;
+    request.stream = stream_index;
+    request.frame_index = s.frames_closed - 1;
+    request.enqueue_ns = enqueue_ns;
+    request.flow = kFlowBase + flow_seq_.fetch_add(1, std::memory_order_relaxed);
+    request.frames.assign(s.recent.begin(), s.recent.end());
+    s.requested_any = true;
+    obs::timeline_flow_start("serve.request", request.flow);
+    enqueue_request(worker, std::move(request));
+  }
+}
+
+void Service::dsp_loop(int worker) {
+  obs::register_thread_name("serve-dsp-" + std::to_string(worker));
+  const auto owns = [this, worker](std::size_t i) {
+    return static_cast<int>(i % static_cast<std::size_t>(serve_.dsp_workers)) ==
+           worker;
+  };
+  bool all_done = false;
+  while (!all_done) {
+    all_done = true;
+    bool idle = true;
+    for (std::size_t i = 0; i < streams_.size(); ++i) {
+      if (!owns(i)) continue;
+      Stream& s = *streams_[i];
+      StampedReport sr;
+      // Bounded drain per visit keeps one hot stream from starving the
+      // worker's other streams.
+      for (int budget = 256; budget > 0 && s.ingest->try_pop(sr); --budget) {
+        idle = false;
+        on_frames(static_cast<int>(i), worker, s.assembler->ingest(sr.report),
+                  sr.enqueue_ns);
+      }
+      if (!(s.producer_done.load(std::memory_order_acquire) &&
+            s.ingest->empty_approx())) {
+        all_done = false;
+      }
+    }
+    if (idle && !all_done) std::this_thread::yield();
+  }
+  // End of every owned stream: close the in-progress window, and if a stream
+  // never accumulated a full sequence, predict once on what it has.
+  for (std::size_t i = 0; i < streams_.size(); ++i) {
+    if (!owns(i)) continue;
+    Stream& s = *streams_[i];
+    const std::uint64_t now = obs::timeline_now_ns();
+    on_frames(static_cast<int>(i), worker, s.assembler->flush(), now);
+    if (!s.requested_any && !s.recent.empty()) {
+      Request request;
+      request.stream = static_cast<int>(i);
+      request.frame_index = s.frames_closed - 1;
+      request.enqueue_ns = now;
+      request.flow = kFlowBase + flow_seq_.fetch_add(1, std::memory_order_relaxed);
+      request.frames.assign(s.recent.begin(), s.recent.end());
+      s.requested_any = true;
+      obs::timeline_flow_start("serve.request", request.flow);
+      enqueue_request(worker, std::move(request));
+    }
+  }
+  workers_done_.fetch_add(1, std::memory_order_release);
+}
+
+void Service::nn_loop() {
+  obs::register_thread_name("serve-nn");
+  obs::Histogram& e2e = obs::registry().histogram("serve.e2e_ms");
+  obs::Counter& predictions = obs::registry().counter("serve.predictions");
+  std::vector<Request> batch;
+  for (;;) {
+    batch.clear();
+    for (auto& ring : requests_) {
+      Request r;
+      while (batch.size() < serve_.max_batch && ring->try_pop(r)) {
+        batch.push_back(std::move(r));
+      }
+      if (batch.size() >= serve_.max_batch) break;
+    }
+    if (batch.empty()) {
+      if (workers_done_.load(std::memory_order_acquire) == serve_.dsp_workers) {
+        bool drained = true;
+        for (auto& ring : requests_) drained = drained && ring->empty_approx();
+        if (drained) break;
+      }
+      std::this_thread::yield();
+      continue;
+    }
+    M2AI_OBS_SPAN("serve.nn_batch");
+    batches_total_.fetch_add(1, std::memory_order_relaxed);
+    for (Request& request : batch) {
+      obs::timeline_flow_end("serve.request", request.flow);
+      int label = 0;
+      {
+        obs::ScopedSpan span("serve.predict");
+        span.arg("stream", request.stream);
+        span.arg("frame", static_cast<std::int64_t>(request.frame_index));
+        label = network_->predict(request.frames);
+      }
+      const double latency_ms =
+          static_cast<double>(obs::timeline_now_ns() - request.enqueue_ns) / 1e6;
+      // record_always: ServiceStats and the bench summary need the latency
+      // distribution even when the obs switch is off.
+      e2e.record_always(latency_ms);
+      predictions.add();
+      predictions_total_.fetch_add(1, std::memory_order_relaxed);
+      streams_[static_cast<std::size_t>(request.stream)]->predictions.push_back(
+          Prediction{request.frame_index, label, latency_ms});
+    }
+  }
+}
+
+}  // namespace m2ai::serve

@@ -1,0 +1,154 @@
+// Online inference service: many report streams -> one M2AINetwork.
+//
+// Topology (all channels are bounded lock-free SPSC rings, par/spsc_queue):
+//
+//   producer threads          DSP workers                 NN thread
+//   (one per stream) --ring-> (stream s owned by          (single model)
+//                              worker s % K)    --ring->
+//
+// Each DSP worker owns a disjoint set of streams: it drains their ingest
+// rings, feeds the per-stream StreamAssembler (incremental covariance +
+// frame assembly), keeps the sliding sequence of the last T frames, and —
+// every time a window closes with a full sequence available — enqueues an
+// inference request on its private ring to the NN thread. The NN thread
+// drains the worker rings in micro-batches (up to max_batch requests per
+// wake) so one network serves hundreds of streams without a lock anywhere on
+// the steady-state path.
+//
+// Determinism: a stream's predictions depend only on its own report
+// sequence — assembly is per-stream state, the network is pure per predict()
+// call, and the single NN thread serializes calls — so the labels for N
+// streams replaying the same reports are identical at any worker count or
+// stream count (ServeService.DeterministicAcrossStreamCounts).
+//
+// Latency accounting: every report is stamped at enqueue; a prediction's
+// end-to-end latency runs from the stamp of the report that closed its
+// window to the moment predict() returns, recorded in the
+// "serve.e2e_ms" histogram (recorded even when the obs switch is off, so
+// ServiceStats is always meaningful).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "core/model.hpp"
+#include "par/spsc_queue.hpp"
+#include "serve/assembler.hpp"
+
+namespace m2ai::serve {
+
+struct ServeConfig {
+  int dsp_workers = 2;
+  // Frames per inference sequence; 0 uses pipeline.windows_per_sample.
+  int sequence_frames = 0;
+  // NN micro-batch: max requests drained per wake of the NN thread.
+  std::size_t max_batch = 8;
+  std::size_t ingest_capacity = 4096;   // per-stream report ring
+  std::size_t request_capacity = 256;   // per-worker request ring
+};
+
+struct Prediction {
+  std::size_t frame_index = 0;  // window index whose close triggered this
+  int label = 0;
+  double latency_ms = 0.0;
+};
+
+struct ServiceStats {
+  std::uint64_t reports = 0;
+  std::uint64_t late_dropped = 0;
+  std::uint64_t frames = 0;
+  std::uint64_t predictions = 0;
+  std::uint64_t batches = 0;  // NN wakes that processed >= 1 request
+};
+
+class Service {
+ public:
+  // Takes ownership of the network; `pipeline` must match the configuration
+  // the reports were produced under (window_sec, antennas, tags, features).
+  Service(ServeConfig serve, core::PipelineConfig pipeline,
+          std::unique_ptr<core::M2AINetwork> network);
+  ~Service();
+
+  Service(const Service&) = delete;
+  Service& operator=(const Service&) = delete;
+
+  // Register a stream before start(). `calibrator` may be null and must
+  // outlive the service; `t_begin` anchors the stream's window 0. Returns
+  // the stream id used by offer()/push()/predictions().
+  int add_stream(const dsp::PhaseCalibrator* calibrator, double t_begin);
+
+  int num_tags() const;
+
+  void start();
+
+  // Non-blocking ingest; false when the stream's ring is full. At most one
+  // producer thread per stream (SPSC contract).
+  bool offer(int stream, const sim::TagReport& report);
+  // Blocking ingest (yields until the ring drains).
+  void push(int stream, const sim::TagReport& report);
+
+  // Ends ingest: flushes every assembler, drains all queues, joins all
+  // threads. Call after every producer has stopped pushing. Idempotent.
+  void finish();
+
+  // Per-stream predictions in frame order. Stable only after finish().
+  const std::vector<Prediction>& predictions(int stream) const;
+
+  // Aggregate counters. Exact after finish(); a racy snapshot before.
+  ServiceStats stats() const;
+
+ private:
+  struct StampedReport {
+    sim::TagReport report;
+    std::uint64_t enqueue_ns = 0;
+  };
+  struct Request {
+    int stream = 0;
+    std::size_t frame_index = 0;
+    std::uint64_t enqueue_ns = 0;
+    std::uint64_t flow = 0;  // timeline flow arrow: window close -> prediction
+    core::FrameSequence frames;
+  };
+  struct Stream {
+    std::unique_ptr<StreamAssembler> assembler;
+    std::unique_ptr<par::SpscQueue<StampedReport>> ingest;
+    std::atomic<bool> producer_done{false};
+    // DSP-worker-private sliding sequence state.
+    std::deque<core::SpectrumFrame> recent;
+    std::size_t frames_closed = 0;
+    bool requested_any = false;
+    // NN-thread-private until finish().
+    std::vector<Prediction> predictions;
+  };
+
+  void dsp_loop(int worker);
+  void nn_loop();
+  void on_frames(int stream_index, int worker,
+                 std::vector<core::SpectrumFrame> frames,
+                 std::uint64_t enqueue_ns);
+  void enqueue_request(int worker, Request request);
+
+  ServeConfig serve_;
+  core::PipelineConfig pipeline_;
+  std::unique_ptr<core::M2AINetwork> network_;
+  int sequence_frames_;
+
+  std::vector<std::unique_ptr<Stream>> streams_;
+  std::vector<std::unique_ptr<par::SpscQueue<Request>>> requests_;  // per worker
+  std::vector<std::thread> dsp_threads_;
+  std::thread nn_thread_;
+  std::atomic<int> workers_done_{0};
+  bool started_ = false;
+  bool finished_ = false;
+
+  std::atomic<std::uint64_t> frames_total_{0};
+  std::atomic<std::uint64_t> predictions_total_{0};
+  std::atomic<std::uint64_t> batches_total_{0};
+  std::atomic<std::uint64_t> flow_seq_{0};
+};
+
+}  // namespace m2ai::serve

@@ -1,0 +1,395 @@
+// Streaming serve layer:
+//   * SpscQueue — FIFO integrity single-threaded and under a concurrent
+//     producer/consumer (the TSan CI job runs these for the race contract);
+//   * IncrementalCovariance — push-only bitwise equality with the batch
+//     sample_covariance, epsilon drift under eviction, bitwise recovery at
+//     resync points (manual and automatic);
+//   * StreamAssembler — frames bitwise identical to core::FrameBuilder over
+//     a real simulated report stream, for the spectral and the ablation
+//     feature modes;
+//   * Service — end-to-end determinism: N streams replaying a sample give
+//     the offline prediction for that sample, independent of stream count,
+//     worker count, and batch size.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <complex>
+#include <thread>
+#include <vector>
+
+#include "core/model.hpp"
+#include "core/pipeline.hpp"
+#include "par/spsc_queue.hpp"
+#include "serve/assembler.hpp"
+#include "serve/incremental.hpp"
+#include "serve/service.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using m2ai::dsp::cdouble;
+
+std::vector<std::vector<cdouble>> random_snapshots(std::size_t count,
+                                                   std::size_t n,
+                                                   std::uint64_t seed) {
+  m2ai::util::Rng rng(seed);
+  std::vector<std::vector<cdouble>> out(count);
+  for (auto& snap : out) {
+    snap.resize(n);
+    for (auto& x : snap) {
+      x = cdouble{rng.uniform(-1.0, 1.0), rng.uniform(-1.0, 1.0)};
+    }
+  }
+  return out;
+}
+
+void expect_bitwise_equal(const m2ai::dsp::CMatrix& a, const m2ai::dsp::CMatrix& b) {
+  ASSERT_EQ(a.rows(), b.rows());
+  ASSERT_EQ(a.cols(), b.cols());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t j = 0; j < a.cols(); ++j) {
+      EXPECT_EQ(a(i, j).real(), b(i, j).real()) << "(" << i << "," << j << ")";
+      EXPECT_EQ(a(i, j).imag(), b(i, j).imag()) << "(" << i << "," << j << ")";
+    }
+  }
+}
+
+// ---------------------------------------------------------------- SpscQueue
+
+TEST(SpscQueue, RoundsCapacityUpToPowerOfTwo) {
+  m2ai::par::SpscQueue<int> q(5);
+  EXPECT_EQ(q.capacity(), 8u);
+  m2ai::par::SpscQueue<int> q2(1);
+  EXPECT_EQ(q2.capacity(), 2u);
+}
+
+TEST(SpscQueue, FifoAndFullEmptySingleThreaded) {
+  m2ai::par::SpscQueue<int> q(4);
+  int out = -1;
+  EXPECT_FALSE(q.try_pop(out));
+  for (int i = 0; i < 4; ++i) EXPECT_TRUE(q.try_push(i));
+  EXPECT_FALSE(q.try_push(99));  // full
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(q.try_pop(out));
+    EXPECT_EQ(out, i);
+  }
+  EXPECT_FALSE(q.try_pop(out));
+  // Wrap-around across the index mask.
+  for (int round = 0; round < 10; ++round) {
+    EXPECT_TRUE(q.try_push(round));
+    ASSERT_TRUE(q.try_pop(out));
+    EXPECT_EQ(out, round);
+  }
+}
+
+TEST(SpscQueue, ConcurrentProducerConsumerKeepsOrderAndCount) {
+  constexpr int kItems = 200000;
+  m2ai::par::SpscQueue<int> q(256);
+  std::atomic<bool> start{false};
+  std::uint64_t sum = 0;
+  int received = 0;
+  std::thread consumer([&] {
+    while (!start.load(std::memory_order_acquire)) std::this_thread::yield();
+    int expected = 0;
+    int v;
+    while (expected < kItems) {
+      if (q.try_pop(v)) {
+        ASSERT_EQ(v, expected);  // strict FIFO
+        sum += static_cast<std::uint64_t>(v);
+        ++expected;
+      } else {
+        std::this_thread::yield();
+      }
+    }
+    received = expected;
+  });
+  std::thread producer([&] {
+    start.store(true, std::memory_order_release);
+    for (int i = 0; i < kItems; ++i) {
+      while (!q.try_push(int(i))) std::this_thread::yield();
+    }
+  });
+  producer.join();
+  consumer.join();
+  EXPECT_EQ(received, kItems);
+  EXPECT_EQ(sum, static_cast<std::uint64_t>(kItems) * (kItems - 1) / 2);
+  EXPECT_TRUE(q.empty_approx());
+}
+
+TEST(SpscQueue, MoveOnlyPayload) {
+  m2ai::par::SpscQueue<std::unique_ptr<int>> q(2);
+  EXPECT_TRUE(q.try_push(std::make_unique<int>(42)));
+  std::unique_ptr<int> out;
+  ASSERT_TRUE(q.try_pop(out));
+  ASSERT_NE(out, nullptr);
+  EXPECT_EQ(*out, 42);
+}
+
+// ------------------------------------------------- IncrementalCovariance
+
+TEST(IncrementalCovariance, PushOnlyBitwiseMatchesBatch) {
+  const auto snaps = random_snapshots(40, 4, 0xc0f1);
+  m2ai::dsp::CovarianceOptions opts;  // defaults: FB on, loading on
+  m2ai::serve::IncrementalCovariance inc(4);
+  for (const auto& s : snaps) inc.push(s);
+  expect_bitwise_equal(inc.covariance(opts),
+                       m2ai::dsp::sample_covariance(snaps, opts));
+  // Smoothing subarray exercises the sliced finalization.
+  opts.smoothing_subarray = 3;
+  expect_bitwise_equal(inc.covariance(opts),
+                       m2ai::dsp::sample_covariance(snaps, opts));
+}
+
+TEST(IncrementalCovariance, SlidingDriftIsEpsilonAndResyncIsBitwise) {
+  const auto snaps = random_snapshots(128, 4, 0x51de);
+  m2ai::dsp::CovarianceOptions opts;
+  m2ai::serve::IncrementalCovariance inc(4, /*resync_every=*/0);  // manual
+  const std::size_t window = 32;
+  for (std::size_t i = 0; i < window; ++i) inc.push(snaps[i]);
+  bool saw_drift = false;
+  for (std::size_t i = window; i < snaps.size(); ++i) {
+    inc.evict_oldest();
+    inc.push(snaps[i]);
+    const std::vector<std::vector<cdouble>> ref(
+        snaps.begin() + static_cast<std::ptrdiff_t>(i + 1 - window),
+        snaps.begin() + static_cast<std::ptrdiff_t>(i + 1));
+    const auto drifted = inc.covariance(opts);
+    const auto exact = m2ai::dsp::sample_covariance(ref, opts);
+    double max_abs = 0.0;
+    for (std::size_t r = 0; r < 4; ++r) {
+      for (std::size_t c = 0; c < 4; ++c) {
+        max_abs = std::max(max_abs, std::abs(drifted(r, c) - exact(r, c)));
+        saw_drift = saw_drift || drifted(r, c) != exact(r, c);
+      }
+    }
+    // Downdates drift, but only at rounding scale.
+    EXPECT_LT(max_abs, 1e-10);
+  }
+  // Resync restores bitwise agreement with the batch recompute.
+  inc.resync();
+  const std::vector<std::vector<cdouble>> ref(snaps.end() - window, snaps.end());
+  expect_bitwise_equal(inc.covariance(opts),
+                       m2ai::dsp::sample_covariance(ref, opts));
+  EXPECT_EQ(inc.downdates_since_resync(), 0u);
+}
+
+TEST(IncrementalCovariance, AutomaticResyncEveryNDowndates) {
+  const auto snaps = random_snapshots(64, 4, 0xfeed);
+  m2ai::serve::IncrementalCovariance inc(4, /*resync_every=*/8);
+  for (std::size_t i = 0; i < 16; ++i) inc.push(snaps[i]);
+  for (std::size_t i = 16; i < 48; ++i) {
+    inc.evict_oldest();
+    inc.push(snaps[i]);
+  }
+  EXPECT_EQ(inc.resyncs(), 4u);  // 32 evictions / 8
+  EXPECT_EQ(inc.size(), 16u);
+  // 32 downdates happened but at most 7 since the last resync: the sum must
+  // sit bitwise on the batch value at each resync point. Force one more.
+  inc.resync();
+  const std::vector<std::vector<cdouble>> ref(snaps.begin() + 32,
+                                              snaps.begin() + 48);
+  expect_bitwise_equal(inc.covariance({}),
+                       m2ai::dsp::sample_covariance(ref, {}));
+}
+
+// --------------------------------------------------------- StreamAssembler
+
+class ServeAssembler : public ::testing::Test {
+ protected:
+  // One real simulated sample: reports + calibrator + the batch frames.
+  void run_mode(m2ai::core::FeatureMode mode) {
+    m2ai::core::PipelineConfig config;
+    config.windows_per_sample = 6;  // keep the sim cheap
+    config.feature_mode = mode;
+    m2ai::core::Pipeline pipeline(config, 917);
+    const m2ai::core::SampleRun run =
+        pipeline.run_sample(3, pipeline.fork_sample_rng());
+    const double t0 = config.bootstrap_sec + 0.5 * config.window_sec;
+
+    m2ai::serve::StreamAssembler assembler(config, run.calibrator.get(),
+                                           pipeline.num_tags(), t0);
+    std::vector<m2ai::core::SpectrumFrame> streamed;
+    for (const auto& report : run.reports) {
+      for (auto& f : assembler.ingest(report)) streamed.push_back(std::move(f));
+    }
+    for (auto& f : assembler.flush()) streamed.push_back(std::move(f));
+
+    ASSERT_EQ(streamed.size(), run.sample.frames.size());
+    for (std::size_t w = 0; w < streamed.size(); ++w) {
+      const auto& a = streamed[w];
+      const auto& b = run.sample.frames[w];
+      ASSERT_EQ(a.has_pseudo, b.has_pseudo);
+      ASSERT_EQ(a.has_aux, b.has_aux);
+      if (a.has_pseudo) {
+        ASSERT_EQ(a.pseudo.size(), b.pseudo.size());
+        for (std::size_t i = 0; i < a.pseudo.size(); ++i) {
+          // Bitwise: the incremental covariance path must not perturb a
+          // single mantissa bit relative to the batch FrameBuilder.
+          EXPECT_EQ(a.pseudo.data()[i], b.pseudo.data()[i])
+              << "pseudo window " << w << " flat index " << i;
+        }
+      }
+      if (a.has_aux) {
+        ASSERT_EQ(a.aux.size(), b.aux.size());
+        for (std::size_t i = 0; i < a.aux.size(); ++i) {
+          EXPECT_EQ(a.aux.data()[i], b.aux.data()[i])
+              << "aux window " << w << " flat index " << i;
+        }
+      }
+    }
+    EXPECT_EQ(assembler.stats().frames, streamed.size());
+    EXPECT_EQ(assembler.stats().late_dropped, 0u);
+  }
+};
+
+TEST_F(ServeAssembler, BitwiseMatchesFrameBuilder) {
+  run_mode(m2ai::core::FeatureMode::kM2AI);
+}
+
+TEST_F(ServeAssembler, BitwiseMatchesFrameBuilderMusicOnly) {
+  run_mode(m2ai::core::FeatureMode::kMusicOnly);
+}
+
+TEST_F(ServeAssembler, BitwiseMatchesFrameBuilderPhaseOnly) {
+  run_mode(m2ai::core::FeatureMode::kPhaseOnly);
+}
+
+TEST_F(ServeAssembler, BitwiseMatchesFrameBuilderRssiOnly) {
+  run_mode(m2ai::core::FeatureMode::kRssiOnly);
+}
+
+TEST(ServeAssemblerEdge, LateReportsDropAndEmptyWindowsCloseAsZero) {
+  m2ai::core::PipelineConfig config;
+  m2ai::serve::StreamAssembler assembler(config, nullptr, 1, /*t_begin=*/0.0);
+
+  m2ai::sim::TagReport r;
+  r.tag_id = 1;
+  r.antenna = 0;
+  r.rssi_dbm = -50.0;
+  r.time_sec = 0.1;  // window 0
+  EXPECT_TRUE(assembler.ingest(r).empty());
+
+  r.time_sec = 1.0;  // window 2: closes windows 0 and 1 (1 is empty)
+  const auto closed = assembler.ingest(r);
+  ASSERT_EQ(closed.size(), 2u);
+  for (const auto& frame : closed) {
+    ASSERT_TRUE(frame.has_pseudo);
+    for (std::size_t i = 0; i < frame.pseudo.size(); ++i) {
+      EXPECT_EQ(frame.pseudo.data()[i], 0.0f);  // < 2 snapshots -> zero row
+    }
+  }
+
+  r.time_sec = 0.2;  // back into the already-closed window 0
+  EXPECT_TRUE(assembler.ingest(r).empty());
+  EXPECT_EQ(assembler.stats().late_dropped, 1u);
+  EXPECT_EQ(assembler.window_index(), 2);
+}
+
+// ------------------------------------------------------------------ Service
+
+TEST(ServeService, DeterministicAcrossStreamCountsAndMatchesOffline) {
+  m2ai::core::PipelineConfig config;
+  config.windows_per_sample = 4;  // sequence length T = 4
+  m2ai::core::Pipeline pipeline(config, 2024);
+  const double t0 = config.bootstrap_sec + 0.5 * config.window_sec;
+
+  // Two distinct source samples; streams alternate between them.
+  std::vector<m2ai::core::SampleRun> runs;
+  runs.push_back(pipeline.run_sample(1, pipeline.fork_sample_rng()));
+  runs.push_back(pipeline.run_sample(5, pipeline.fork_sample_rng()));
+
+  m2ai::core::ModelConfig model_config;
+  m2ai::core::M2AINetwork reference(model_config, config.feature_mode,
+                                    pipeline.num_tags(), config.num_antennas, 12);
+  std::vector<int> offline;
+  for (const auto& run : runs) offline.push_back(reference.predict(run.sample.frames));
+
+  for (const int num_streams : {1, 64}) {
+    m2ai::serve::ServeConfig serve_config;
+    serve_config.dsp_workers = 3;
+    serve_config.max_batch = 4;
+    m2ai::serve::Service service(serve_config, config, reference.clone());
+    for (int s = 0; s < num_streams; ++s) {
+      service.add_stream(runs[static_cast<std::size_t>(s % 2)].calibrator.get(), t0);
+    }
+    service.start();
+    // One producer per batch of streams; each stream replays its sample.
+    std::vector<std::thread> producers;
+    for (int p = 0; p < 2; ++p) {
+      producers.emplace_back([&, p] {
+        for (int s = p; s < num_streams; s += 2) {
+          for (const auto& report : runs[static_cast<std::size_t>(s % 2)].reports) {
+            service.push(s, report);
+          }
+        }
+      });
+    }
+    for (auto& t : producers) t.join();
+    service.finish();
+
+    const m2ai::serve::ServiceStats stats = service.stats();
+    EXPECT_EQ(stats.late_dropped, 0u);
+    EXPECT_EQ(stats.frames,
+              static_cast<std::uint64_t>(num_streams * config.windows_per_sample));
+    for (int s = 0; s < num_streams; ++s) {
+      const auto& preds = service.predictions(s);
+      // T frames, sequence length T: exactly one full-sequence request,
+      // fired when window T-1 closed.
+      ASSERT_EQ(preds.size(), 1u) << "stream " << s;
+      EXPECT_EQ(preds[0].frame_index,
+                static_cast<std::size_t>(config.windows_per_sample - 1));
+      EXPECT_EQ(preds[0].label, offline[static_cast<std::size_t>(s % 2)])
+          << "stream " << s << " of " << num_streams;
+      EXPECT_GE(preds[0].latency_ms, 0.0);
+    }
+  }
+}
+
+// Wrong producer thread per stream is a race; this test stays within the
+// contract but hammers the full pipeline with more streams than workers so
+// ownership partitioning, backpressure, and shutdown interleave under TSan.
+TEST(ServeService, ManyStreamsFewWorkersDrainCleanly) {
+  m2ai::core::PipelineConfig config;
+  config.windows_per_sample = 3;
+  m2ai::core::Pipeline pipeline(config, 77);
+  const m2ai::core::SampleRun run =
+      pipeline.run_sample(2, pipeline.fork_sample_rng());
+  const double t0 = config.bootstrap_sec + 0.5 * config.window_sec;
+
+  m2ai::core::ModelConfig model_config;
+  auto network = std::make_unique<m2ai::core::M2AINetwork>(
+      model_config, config.feature_mode, pipeline.num_tags(),
+      config.num_antennas, 12);
+
+  m2ai::serve::ServeConfig serve_config;
+  serve_config.dsp_workers = 2;
+  serve_config.ingest_capacity = 64;  // tiny rings force backpressure
+  serve_config.request_capacity = 2;
+  const int num_streams = 9;
+  m2ai::serve::Service service(serve_config, config, std::move(network));
+  for (int s = 0; s < num_streams; ++s) {
+    service.add_stream(run.calibrator.get(), t0);
+  }
+  service.start();
+  std::vector<std::thread> producers;
+  for (int s = 0; s < num_streams; ++s) {
+    producers.emplace_back([&, s] {
+      for (const auto& report : run.reports) service.push(s, report);
+    });
+  }
+  for (auto& t : producers) t.join();
+  service.finish();
+
+  const m2ai::serve::ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.reports,
+            static_cast<std::uint64_t>(num_streams) * run.reports.size());
+  EXPECT_EQ(stats.frames,
+            static_cast<std::uint64_t>(num_streams * config.windows_per_sample));
+  EXPECT_EQ(stats.predictions, static_cast<std::uint64_t>(num_streams));
+  for (int s = 0; s < num_streams; ++s) {
+    EXPECT_EQ(service.predictions(s).size(), 1u);
+  }
+}
+
+}  // namespace

@@ -1,0 +1,307 @@
+// m2ai_serve — load generator + driver for the streaming inference service.
+//
+// Simulates a fleet of readers: each of --streams replays the LLRP report
+// stream of a real Pipeline sample (streams cycle over --activities distinct
+// samples, each with its own calibrator), paced at --rate reports/sec/stream
+// (0 = as fast as possible), for --duration wall seconds or --samples full
+// sample replays per stream, whichever the flags select. All reports flow
+// through serve::Service (SPSC ingest rings -> DSP workers -> micro-batched
+// NN thread) and the run ends with a latency/throughput summary:
+//
+//   m2ai_serve --streams 100 --rate 2000 --duration 5 --workers 4
+//              --bench-out bench_results/BENCH_serve.json
+//              [--metrics-out metrics.json] [--trace-out trace.json]
+//
+// The bench JSON carries end-to-end p50/p99, sustained report/prediction
+// rates, and streams-per-core (getrusage CPU time vs wall time) — the
+// committed bench_results/BENCH_serve_*.json baselines come from here.
+#include <sys/resource.h>
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/model.hpp"
+#include "core/pipeline.hpp"
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "obs/timeline.hpp"
+#include "par/parallel_for.hpp"
+#include "serve/service.hpp"
+#include "util/args.hpp"
+
+using namespace m2ai;
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: m2ai_serve [--streams N] [--rate HZ] [--duration S]\n"
+               "                  [--samples K] [--workers W] [--batch B]\n"
+               "                  [--producers P] [--activities A] [--windows T]\n"
+               "                  [--persons P] [--tags T] [--seed S]\n"
+               "                  [--bench-out FILE] [--metrics-out FILE]\n"
+               "                  [--trace-out FILE]\n"
+               "  --streams N    simulated reader streams (default 8)\n"
+               "  --rate HZ      reports/sec per stream, 0 = unthrottled (default 0)\n"
+               "  --duration S   wall-clock budget in seconds, 0 = no limit (default 0)\n"
+               "  --samples K    sample replays per stream (default 1)\n"
+               "  --workers W    DSP worker threads (default 2)\n"
+               "  --batch B      NN micro-batch size (default 8)\n"
+               "  --producers P  producer threads (default min(streams, 4))\n");
+  return 2;
+}
+
+double cpu_seconds() {
+  rusage ru{};
+  getrusage(RUSAGE_SELF, &ru);
+  const auto tv = [](const timeval& t) {
+    return static_cast<double>(t.tv_sec) + static_cast<double>(t.tv_usec) / 1e6;
+  };
+  return tv(ru.ru_utime) + tv(ru.ru_stime);
+}
+
+struct StreamSource {
+  const core::SampleRun* run = nullptr;
+  double t_begin = 0.0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Args args(argc, argv);
+  try {
+    args.require_known({"streams", "rate", "duration", "samples", "workers",
+                        "batch", "producers", "activities", "windows", "persons",
+                        "tags", "seed", "bench-out", "metrics-out", "trace-out",
+                        "help"});
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "m2ai_serve: %s\n", e.what());
+    return usage();
+  }
+  if (args.has("help")) return usage();
+
+  const int num_streams = args.get_int("streams", 8);
+  const double rate_hz = args.get_double("rate", 0.0);
+  const double duration_sec = args.get_double("duration", 0.0);
+  const int samples_per_stream = args.get_int("samples", 1);
+  const int activities = args.get_int("activities", 3);
+  if (num_streams < 1 || samples_per_stream < 1 || activities < 1) return usage();
+
+  serve::ServeConfig serve_config;
+  serve_config.dsp_workers = args.get_int("workers", 2);
+  serve_config.max_batch = static_cast<std::size_t>(args.get_int("batch", 8));
+
+  core::PipelineConfig pipeline_config;
+  pipeline_config.num_persons = args.get_int("persons", 2);
+  pipeline_config.tags_per_person = args.get_int("tags", 3);
+  pipeline_config.windows_per_sample = args.get_int("windows", 16);
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 20180545));
+
+  const std::string metrics_out = args.get("metrics-out", "");
+  const std::string trace_out = args.get("trace-out", "");
+  const std::string bench_out = args.get("bench-out", "");
+  if (!metrics_out.empty() || !trace_out.empty()) obs::set_enabled(true);
+  if (!trace_out.empty()) {
+    obs::register_thread_name("main");
+    obs::set_timeline_enabled(true);
+  }
+
+  // ---- Source material: a few real pipeline samples (reports + calibrator).
+  // Simulation is the expensive part, so every stream replays one of these.
+  std::printf("simulating %d source sample(s)...\n", activities);
+  core::Pipeline pipeline(pipeline_config, seed);
+  std::vector<core::SampleRun> runs;
+  runs.reserve(static_cast<std::size_t>(activities));
+  for (int a = 0; a < activities; ++a) {
+    runs.push_back(pipeline.run_sample(1 + (a % 12), pipeline.fork_sample_rng()));
+  }
+  std::vector<StreamSource> sources(static_cast<std::size_t>(num_streams));
+  for (int s = 0; s < num_streams; ++s) {
+    const core::SampleRun& run = runs[static_cast<std::size_t>(s % activities)];
+    sources[static_cast<std::size_t>(s)].run = &run;
+    // Window 0 anchor: the batch pipeline frames [t0, t0 + T*window) with
+    // t0 = bootstrap + half a window (see Pipeline::run_sample).
+    sources[static_cast<std::size_t>(s)].t_begin =
+        pipeline_config.phase_calibration
+            ? pipeline_config.bootstrap_sec + 0.5 * pipeline_config.window_sec
+            : 0.5 * pipeline_config.window_sec;
+  }
+
+  // ---- Service.
+  const int num_classes = 12;
+  core::ModelConfig model_config;
+  auto network = std::make_unique<core::M2AINetwork>(
+      model_config, pipeline_config.feature_mode,
+      pipeline_config.num_persons * pipeline_config.tags_per_person,
+      pipeline_config.num_antennas, num_classes);
+  serve::Service service(serve_config, pipeline_config, std::move(network));
+  for (int s = 0; s < num_streams; ++s) {
+    const StreamSource& src = sources[static_cast<std::size_t>(s)];
+    service.add_stream(src.run->calibrator.get(), src.t_begin);
+  }
+  service.start();
+
+  // ---- Producers: each owns a disjoint set of streams (SPSC: one producer
+  // per ingest ring) and replays reports paced to --rate.
+  const int num_producers =
+      std::max(1, std::min(args.get_int("producers", std::min(num_streams, 4)),
+                           num_streams));
+  std::printf("serving %d streams (%d producers, %d dsp workers, batch %zu)...\n",
+              num_streams, num_producers, serve_config.dsp_workers,
+              serve_config.max_batch);
+
+  using clock = std::chrono::steady_clock;
+  const auto t_start = clock::now();
+  const double cpu_start = cpu_seconds();
+  std::vector<std::uint64_t> sent(static_cast<std::size_t>(num_producers), 0);
+  std::vector<std::thread> producers;
+  producers.reserve(static_cast<std::size_t>(num_producers));
+  for (int p = 0; p < num_producers; ++p) {
+    producers.emplace_back([&, p] {
+      obs::register_thread_name("serve-gen-" + std::to_string(p));
+      struct Cursor {
+        int stream;
+        std::size_t next = 0;  // report index within the current replay
+        int replay = 0;        // completed replays
+        double t_offset = 0.0; // virtual-time shift of the current replay
+        std::uint64_t sent = 0;
+        bool done = false;
+      };
+      std::vector<Cursor> cursors;
+      for (int s = p; s < num_streams; s += num_producers) {
+        cursors.push_back(Cursor{s});
+      }
+      std::uint64_t total = 0;
+      bool running = true;
+      while (running) {
+        running = false;
+        const double elapsed =
+            std::chrono::duration<double>(clock::now() - t_start).count();
+        if (duration_sec > 0.0 && elapsed >= duration_sec) break;
+        bool progressed = false;
+        for (Cursor& c : cursors) {
+          if (c.done) continue;
+          running = true;
+          // Pacing: report k of this stream is due at wall time k / rate.
+          if (rate_hz > 0.0 &&
+              static_cast<double>(c.sent) / rate_hz > elapsed) {
+            continue;
+          }
+          const auto& reports =
+              sources[static_cast<std::size_t>(c.stream)].run->reports;
+          sim::TagReport report = reports[c.next];
+          report.time_sec += c.t_offset;
+          if (!service.offer(c.stream, report)) continue;  // ring full, retry
+          ++c.sent;
+          ++total;
+          progressed = true;
+          if (++c.next >= reports.size()) {
+            c.next = 0;
+            c.t_offset += pipeline_config.sample_duration_sec();
+            if (++c.replay >= samples_per_stream && duration_sec <= 0.0) {
+              c.done = true;
+            }
+          }
+        }
+        if (!progressed && running) std::this_thread::yield();
+      }
+      sent[static_cast<std::size_t>(p)] = total;
+    });
+  }
+  for (auto& t : producers) t.join();
+  service.finish();
+  const double wall_sec =
+      std::chrono::duration<double>(clock::now() - t_start).count();
+  const double cpu_sec = cpu_seconds() - cpu_start;
+
+  // ---- Summary.
+  const serve::ServiceStats stats = service.stats();
+  std::uint64_t reports_sent = 0;
+  for (std::uint64_t n : sent) reports_sent += n;
+  const obs::HistogramSnapshot e2e =
+      obs::registry().histogram("serve.e2e_ms").snapshot();
+  const double cores = wall_sec > 0.0 ? cpu_sec / wall_sec : 0.0;
+  const double streams_per_core =
+      cores > 0.0 ? static_cast<double>(num_streams) / cores : 0.0;
+  obs::registry().gauge("serve.streams").set(static_cast<double>(num_streams));
+  obs::registry().gauge("serve.streams_per_core").set(streams_per_core);
+  obs::registry().gauge("serve.reports_per_sec").set(
+      wall_sec > 0.0 ? static_cast<double>(reports_sent) / wall_sec : 0.0);
+
+  std::printf(
+      "done in %.2fs wall / %.2fs cpu (%.2f cores)\n"
+      "  reports   sent %llu, assembled %llu, late-dropped %llu\n"
+      "  frames    %llu closed, %llu predictions in %llu batches\n"
+      "  e2e       p50 %.3f ms, p99 %.3f ms, max %.3f ms\n"
+      "  capacity  %.1f streams/core at this load\n",
+      wall_sec, cpu_sec, cores, static_cast<unsigned long long>(reports_sent),
+      static_cast<unsigned long long>(stats.reports),
+      static_cast<unsigned long long>(stats.late_dropped),
+      static_cast<unsigned long long>(stats.frames),
+      static_cast<unsigned long long>(stats.predictions),
+      static_cast<unsigned long long>(stats.batches), e2e.p50, e2e.p99, e2e.max,
+      streams_per_core);
+
+  // Sustained = every enqueued report was assembled (none dropped late, and
+  // the drain finished); the serve-smoke CI job asserts on this field.
+  const bool sustained = stats.late_dropped == 0 && stats.reports == reports_sent;
+  if (!bench_out.empty()) {
+    std::ofstream out(bench_out);
+    if (!out) {
+      std::fprintf(stderr, "m2ai_serve: cannot write %s\n", bench_out.c_str());
+      return 1;
+    }
+    char buf[2048];
+    std::snprintf(
+        buf, sizeof(buf),
+        "{\n"
+        "  \"schema\": \"m2ai_serve_bench_v1\",\n"
+        "  \"config\": {\"streams\": %d, \"rate_hz\": %g, \"duration_sec\": %g,\n"
+        "             \"samples_per_stream\": %d, \"dsp_workers\": %d,\n"
+        "             \"max_batch\": %zu, \"windows_per_sample\": %d, \"seed\": %llu},\n"
+        "  \"wall_sec\": %.6f,\n"
+        "  \"cpu_sec\": %.6f,\n"
+        "  \"reports_sent\": %llu,\n"
+        "  \"reports_assembled\": %llu,\n"
+        "  \"late_dropped\": %llu,\n"
+        "  \"frames\": %llu,\n"
+        "  \"predictions\": %llu,\n"
+        "  \"batches\": %llu,\n"
+        "  \"reports_per_sec\": %.2f,\n"
+        "  \"e2e_ms\": {\"p50\": %.6f, \"p95\": %.6f, \"p99\": %.6f, \"max\": %.6f},\n"
+        "  \"streams_per_core\": %.3f,\n"
+        "  \"sustained\": %s\n"
+        "}\n",
+        num_streams, rate_hz, duration_sec, samples_per_stream,
+        serve_config.dsp_workers, serve_config.max_batch,
+        pipeline_config.windows_per_sample,
+        static_cast<unsigned long long>(seed), wall_sec, cpu_sec,
+        static_cast<unsigned long long>(reports_sent),
+        static_cast<unsigned long long>(stats.reports),
+        static_cast<unsigned long long>(stats.late_dropped),
+        static_cast<unsigned long long>(stats.frames),
+        static_cast<unsigned long long>(stats.predictions),
+        static_cast<unsigned long long>(stats.batches),
+        wall_sec > 0.0 ? static_cast<double>(reports_sent) / wall_sec : 0.0,
+        e2e.p50, e2e.p95, e2e.p99, e2e.max, streams_per_core,
+        sustained ? "true" : "false");
+    out << buf;
+    std::printf("bench summary written to %s\n", bench_out.c_str());
+  }
+  if (!metrics_out.empty()) {
+    obs::write_report(metrics_out);
+    std::printf("metrics written to %s\n", metrics_out.c_str());
+  }
+  if (!trace_out.empty()) {
+    obs::write_chrome_trace(trace_out);
+    std::printf("timeline written to %s (open in ui.perfetto.dev)\n",
+                trace_out.c_str());
+  }
+  return sustained ? 0 : 1;
+}
