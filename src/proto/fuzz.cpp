@@ -1,0 +1,203 @@
+#include "proto/fuzz.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace m2ai::proto {
+
+namespace {
+
+// Synthetic but reader-shaped reports: quantized phase/RSSI/Doppler,
+// monotone timestamps, small tag/antenna/channel ids.
+sim::TagReport random_report(util::Rng& rng, double& t) {
+  t += rng.uniform(1e-4, 5e-3);
+  sim::TagReport r;
+  r.time_sec = t;
+  r.tag_id = static_cast<std::uint32_t>(rng.uniform_int(1, 6));
+  r.antenna = rng.uniform_int(0, 3);
+  r.channel = rng.uniform_int(0, 49);
+  const double step = 2.0 * M_PI / kPhaseSteps;
+  r.phase_rad = static_cast<double>(rng.uniform_int(0, kPhaseSteps - 1)) * step;
+  r.rssi_dbm = static_cast<double>(rng.uniform_int(-180, -20)) / 2.0;
+  r.doppler_hz = static_cast<double>(rng.uniform_int(-800, 800)) / 16.0;
+  return r;
+}
+
+// The canary tag id is outside the random_report range, so recovery can be
+// asserted by identity, not by luck.
+constexpr std::uint32_t kCanaryTag = 0xC0FFEE01;
+
+sim::TagReport canary_report() {
+  sim::TagReport r;
+  r.time_sec = 123.456789012345;
+  r.tag_id = kCanaryTag;
+  r.antenna = 2;
+  r.channel = 31;
+  r.phase_rad = 1.5707963267948966;
+  r.rssi_dbm = -61.5;
+  r.doppler_hz = -3.1875;
+  return r;
+}
+
+bool bitwise_equal(const sim::TagReport& a, const sim::TagReport& b) {
+  return a.time_sec == b.time_sec && a.tag_id == b.tag_id &&
+         a.antenna == b.antenna && a.channel == b.channel &&
+         a.phase_rad == b.phase_rad && a.rssi_dbm == b.rssi_dbm &&
+         a.doppler_hz == b.doppler_hz;
+}
+
+WireOptions random_options(util::Rng& rng) {
+  WireOptions o;
+  o.profile = rng.bernoulli(0.7) ? WireProfile::kFull : WireProfile::kCompact;
+  o.epc_words = rng.uniform_int(2, 31);
+  o.vary_epc_length = rng.bernoulli(0.3);
+  o.records_per_frame = static_cast<std::size_t>(rng.uniform_int(1, 5));
+  o.trailing_extra_bytes =
+      rng.bernoulli(0.4) ? static_cast<std::size_t>(rng.uniform_int(1, 8)) : 0;
+  return o;
+}
+
+void mutate(std::vector<std::uint8_t>& bytes, util::Rng& rng) {
+  if (bytes.empty()) return;
+  const auto pick = [&] {
+    return static_cast<std::size_t>(rng.uniform_int(
+        static_cast<std::uint64_t>(bytes.size())));
+  };
+  switch (rng.uniform_int(0, 6)) {
+    case 0:  // flip one bit
+      bytes[pick()] ^= static_cast<std::uint8_t>(1u << rng.uniform_int(0, 7));
+      break;
+    case 1:  // stomp one byte
+      bytes[pick()] = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+      break;
+    case 2: {  // insert random bytes
+      std::vector<std::uint8_t> junk(
+          static_cast<std::size_t>(rng.uniform_int(1, 16)));
+      for (auto& b : junk) b = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+      const std::size_t at = pick();
+      bytes.insert(bytes.begin() + static_cast<std::ptrdiff_t>(at),
+                   junk.begin(), junk.end());
+      break;
+    }
+    case 3: {  // delete a slice
+      const std::size_t at = pick();
+      const std::size_t n = std::min<std::size_t>(
+          static_cast<std::size_t>(rng.uniform_int(1, 16)), bytes.size() - at);
+      bytes.erase(bytes.begin() + static_cast<std::ptrdiff_t>(at),
+                  bytes.begin() + static_cast<std::ptrdiff_t>(at + n));
+      break;
+    }
+    case 4: {  // duplicate a slice in place
+      const std::size_t at = pick();
+      const std::size_t n = std::min<std::size_t>(
+          static_cast<std::size_t>(rng.uniform_int(1, 24)), bytes.size() - at);
+      std::vector<std::uint8_t> dup(bytes.begin() + static_cast<std::ptrdiff_t>(at),
+                                    bytes.begin() +
+                                        static_cast<std::ptrdiff_t>(at + n));
+      bytes.insert(bytes.begin() + static_cast<std::ptrdiff_t>(at), dup.begin(),
+                   dup.end());
+      break;
+    }
+    case 5:  // truncate the tail
+      bytes.resize(pick());
+      break;
+    default: {  // swap two bytes
+      const std::size_t a = pick();
+      const std::size_t b = pick();
+      std::swap(bytes[a], bytes[b]);
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+FuzzResult run_mutation_corpus(const FuzzConfig& config) {
+  util::Rng rng(config.seed);
+  FuzzResult result;
+  WireOptions canary_options;  // defaults: full profile, bitwise transport
+  std::vector<std::uint8_t> canary_bytes;
+  append_report_frame(canary_report(), canary_options, canary_bytes);
+
+  for (int it = 0; it < config.iterations; ++it) {
+    ++result.iterations;
+    util::Rng iter_rng = rng.fork();
+
+    // 1. A valid stream under randomized wire options, with error frames
+    //    interleaved the way an idle poll interval would emit them.
+    const WireOptions options = random_options(iter_rng);
+    double t = iter_rng.uniform(0.0, 100.0);
+    std::vector<sim::TagReport> reports(
+        static_cast<std::size_t>(iter_rng.uniform_int(3, config.reports_max)));
+    for (auto& r : reports) r = random_report(iter_rng, t);
+    std::vector<std::uint8_t> bytes = serialize_stream(reports, options);
+    if (iter_rng.bernoulli(0.5)) append_error_frame(kErrInventoryFail, bytes);
+    if (iter_rng.bernoulli(0.2)) {
+      // Splice: a second stream glued on mid-buffer, as if two reader
+      // sessions were concatenated.
+      std::vector<std::uint8_t> other =
+          serialize_stream({canary_report()}, random_options(iter_rng));
+      const std::size_t at = static_cast<std::size_t>(
+          iter_rng.uniform_int(static_cast<std::uint64_t>(bytes.size() + 1)));
+      bytes.insert(bytes.begin() + static_cast<std::ptrdiff_t>(at),
+                   other.begin(), other.end());
+    }
+    result.frames_serialized +=
+        (reports.size() + options.records_per_frame - 1) /
+            options.records_per_frame +
+        2;  // + error/splice frames, approximate lower bound is fine
+
+    // 2. Seeded damage.
+    const int mutations = iter_rng.uniform_int(1, config.mutations_max);
+    for (int m = 0; m < mutations; ++m) mutate(bytes, iter_rng);
+
+    // 3. Zero gap + canary. The gap is as long as the largest legal frame,
+    //    so no bogus header manufactured by the damage can declare a length
+    //    that swallows the canary — its trailer position would fall inside
+    //    the zeros and fail. Canary recovery is therefore guaranteed if (and
+    //    only if) resync works.
+    bytes.insert(bytes.end(), kMaxFrameBytes, 0x00);
+    bytes.insert(bytes.end(), canary_bytes.begin(), canary_bytes.end());
+
+    // 4. Replay in random chunks.
+    FrameParser parser;
+    std::vector<sim::TagReport> out;
+    std::size_t fed = 0;
+    while (fed < bytes.size()) {
+      const std::size_t chunk = std::min<std::size_t>(
+          1 + static_cast<std::size_t>(
+                  iter_rng.uniform_int(static_cast<std::uint64_t>(config.max_chunk))),
+          bytes.size() - fed);
+      parser.feed(bytes.data() + fed, chunk, out);
+      fed += chunk;
+    }
+    parser.finish();
+
+    // 5. Invariants.
+    const ParserStats& st = parser.stats();
+    result.bytes_fed += st.bytes_fed;
+    if (st.bytes_fed != st.frame_bytes + st.resync_bytes + st.truncated_bytes ||
+        parser.buffered() != 0) {
+      ++result.accounting_failures;
+    }
+    const sim::TagReport canary = canary_report();
+    bool recovered = false;
+    for (const auto& r : out) {
+      if (r.tag_id == kCanaryTag && bitwise_equal(r, canary)) {
+        recovered = true;
+        break;
+      }
+    }
+    if (recovered) {
+      ++result.canaries_recovered;
+    } else {
+      ++result.canary_failures;
+    }
+    result.totals.add(st);
+  }
+  return result;
+}
+
+}  // namespace m2ai::proto

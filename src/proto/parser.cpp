@@ -1,0 +1,248 @@
+#include "proto/parser.hpp"
+
+#include <bit>
+#include <cmath>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace m2ai::proto {
+
+namespace {
+
+std::uint16_t get_u16(const std::uint8_t* p) {
+  return static_cast<std::uint16_t>((static_cast<std::uint16_t>(p[0]) << 8) |
+                                    p[1]);
+}
+
+std::uint32_t get_u32(const std::uint8_t* p) {
+  return (static_cast<std::uint32_t>(p[0]) << 24) |
+         (static_cast<std::uint32_t>(p[1]) << 16) |
+         (static_cast<std::uint32_t>(p[2]) << 8) | p[3];
+}
+
+std::uint64_t get_u64(const std::uint8_t* p) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v = (v << 8) | p[i];
+  return v;
+}
+
+double get_f64(const std::uint8_t* p) {
+  return std::bit_cast<double>(get_u64(p));
+}
+
+// Reader timestamps are session-relative seconds; anything beyond ~a century
+// of uptime is corruption that happened to pass the 1-byte frame checksum.
+// Bounding it here keeps downstream window arithmetic (floor + integer
+// conversion) well-defined.
+constexpr double kMaxPlausibleTimeSec = 4.0e9;
+
+}  // namespace
+
+void ParserStats::add(const ParserStats& other) {
+  bytes_fed += other.bytes_fed;
+  frame_bytes += other.frame_bytes;
+  resync_bytes += other.resync_bytes;
+  truncated_bytes += other.truncated_bytes;
+  frames += other.frames;
+  inventory_frames += other.inventory_frames;
+  error_frames += other.error_frames;
+  reports += other.reports;
+  bad_checksum += other.bad_checksum;
+  bad_trailer += other.bad_trailer;
+  oversized_length += other.oversized_length;
+  unknown_frame += other.unknown_frame;
+  bad_pc_length += other.bad_pc_length;
+  bad_tag_crc += other.bad_tag_crc;
+  bad_extension += other.bad_extension;
+  bad_epc += other.bad_epc;
+  bad_value += other.bad_value;
+  trailing_extra_bytes += other.trailing_extra_bytes;
+  if (other.last_error_code != 0) last_error_code = other.last_error_code;
+}
+
+void publish_stats(const ParserStats& stats) {
+  auto& reg = obs::registry();
+  reg.counter("proto.bytes").add(stats.bytes_fed);
+  reg.counter("proto.frames").add(stats.frames);
+  reg.counter("proto.inventory_frames").add(stats.inventory_frames);
+  reg.counter("proto.error_frames").add(stats.error_frames);
+  reg.counter("proto.reports").add(stats.reports);
+  reg.counter("proto.resync_bytes").add(stats.resync_bytes);
+  reg.counter("proto.truncated_bytes").add(stats.truncated_bytes);
+  reg.counter("proto.trailing_extra_bytes").add(stats.trailing_extra_bytes);
+  reg.counter("proto.rejected.bad_checksum").add(stats.bad_checksum);
+  reg.counter("proto.rejected.bad_trailer").add(stats.bad_trailer);
+  reg.counter("proto.rejected.oversized_length").add(stats.oversized_length);
+  reg.counter("proto.rejected.unknown_frame").add(stats.unknown_frame);
+  reg.counter("proto.rejected.bad_pc_length").add(stats.bad_pc_length);
+  reg.counter("proto.rejected.bad_tag_crc").add(stats.bad_tag_crc);
+  reg.counter("proto.rejected.bad_extension").add(stats.bad_extension);
+  reg.counter("proto.rejected.bad_epc").add(stats.bad_epc);
+  reg.counter("proto.rejected.bad_value").add(stats.bad_value);
+}
+
+std::size_t FrameParser::feed(const std::uint8_t* data, std::size_t n,
+                              std::vector<sim::TagReport>& out) {
+  M2AI_OBS_SPAN("proto.feed");
+  stats_.bytes_fed += n;
+  buf_.insert(buf_.end(), data, data + n);
+  const std::size_t before = out.size();
+  for (;;) {
+    // Hunt for a frame header; everything skipped is resync garbage.
+    while (pos_ < buf_.size() && buf_[pos_] != kHeader) {
+      ++pos_;
+      ++stats_.resync_bytes;
+    }
+    const std::size_t avail = buf_.size() - pos_;
+    if (avail < kFrameOverhead) break;  // shortest possible frame is 7 bytes
+    const std::uint8_t* f = buf_.data() + pos_;
+    const std::size_t len = get_u16(f + 3);
+    if (len > kMaxPayload) {
+      // A declared length beyond the cap can never complete: reject now
+      // instead of buffering forever, and resume the hunt one byte in.
+      ++stats_.oversized_length;
+      ++pos_;
+      ++stats_.resync_bytes;
+      continue;
+    }
+    const std::size_t total = kFrameOverhead + len;
+    if (avail < total) break;  // wait for the rest of the frame
+    std::uint32_t sum = 0;
+    for (std::size_t i = 1; i < 5 + len; ++i) sum += f[i];
+    if (static_cast<std::uint8_t>(sum & 0xFF) != f[5 + len]) {
+      ++stats_.bad_checksum;
+      ++pos_;
+      ++stats_.resync_bytes;
+      continue;
+    }
+    if (f[6 + len] != kTrailer) {
+      ++stats_.bad_trailer;
+      ++pos_;
+      ++stats_.resync_bytes;
+      continue;
+    }
+
+    // Structurally valid frame.
+    ++stats_.frames;
+    stats_.frame_bytes += total;
+    const std::uint8_t type = f[1];
+    const std::uint8_t cmd = f[2];
+    if (type == kTypeNotification && cmd == kCmdInventory) {
+      ++stats_.inventory_frames;
+      parse_inventory_payload(f + 5, len, out);
+    } else if (type == kTypeResponse && cmd == kCmdError && len >= 1) {
+      ++stats_.error_frames;
+      stats_.last_error_code = f[5];
+    } else {
+      ++stats_.unknown_frame;
+    }
+    pos_ += total;
+  }
+  compact();
+  return out.size() - before;
+}
+
+void FrameParser::parse_inventory_payload(const std::uint8_t* p,
+                                          std::size_t len,
+                                          std::vector<sim::TagReport>& out) {
+  // Shortest record: rssi(1) + pc(2) + 0-word epc + crc(2) + ext_len(1).
+  constexpr std::size_t kMinRecord = 6;
+  std::size_t off = 0;
+  while (len - off >= kMinRecord) {
+    const std::uint16_t pc = get_u16(p + off + 1);
+    const std::size_t epc_len = static_cast<std::size_t>((pc >> 11) & 0x1F) * 2;
+    const std::size_t fixed = 1 + 2 + epc_len + 2 + 1;
+    if (off + fixed > len) {
+      // PC-driven length overruns the payload: the record boundary is lost,
+      // so the rest of this frame's records are unrecoverable.
+      ++stats_.bad_pc_length;
+      return;
+    }
+    const std::uint8_t ext_len = p[off + fixed - 1];
+    if (off + fixed + ext_len > len) {
+      ++stats_.bad_extension;
+      return;
+    }
+    const std::size_t rec_total = fixed + ext_len;
+    if (crc16_gen2(p + off + 1, 2 + epc_len) != get_u16(p + off + 3 + epc_len)) {
+      ++stats_.bad_tag_crc;
+      off += rec_total;  // self-delimiting: only this record is lost
+      continue;
+    }
+    if (epc_len < 4) {
+      ++stats_.bad_epc;
+      off += rec_total;
+      continue;
+    }
+    if (ext_len != kExtLenFull && ext_len != kExtLenCompact) {
+      ++stats_.bad_extension;
+      off += rec_total;
+      continue;
+    }
+    sim::TagReport report;
+    if (!decode_record(p + off, epc_len, ext_len, report)) {
+      ++stats_.bad_value;
+      off += rec_total;
+      continue;
+    }
+    ++stats_.reports;
+    out.push_back(report);
+    off += rec_total;
+  }
+  stats_.trailing_extra_bytes += len - off;
+}
+
+bool FrameParser::decode_record(const std::uint8_t* rec, std::size_t epc_len,
+                                std::uint8_t ext_len,
+                                sim::TagReport& out) const {
+  const std::uint8_t* epc = rec + 3;
+  const std::uint8_t* ext = rec + 3 + epc_len + 2 + 1;
+  out.tag_id = get_u32(epc + epc_len - 4);
+  out.antenna = ext[0];
+  out.channel = ext[1];
+  if (ext_len == kExtLenFull) {
+    out.time_sec = get_f64(ext + 6);
+    out.phase_rad = get_f64(ext + 14);
+    out.rssi_dbm = get_f64(ext + 22);
+    out.doppler_hz = get_f64(ext + 30);
+  } else {
+    out.phase_rad = steps_to_phase(get_u16(ext + 2));
+    out.doppler_hz =
+        static_cast<double>(static_cast<std::int16_t>(get_u16(ext + 4))) / 16.0;
+    out.rssi_dbm = rssi_byte_to_dbm(rec[0]);
+    out.time_sec = static_cast<double>(get_u64(ext + 6)) / 1e6;
+  }
+  // Field sanity: corruption in extension bytes is covered only by the weak
+  // 1-byte frame checksum, so non-finite or absurd values do get this far.
+  if (!std::isfinite(out.time_sec) || !std::isfinite(out.phase_rad) ||
+      !std::isfinite(out.rssi_dbm) || !std::isfinite(out.doppler_hz)) {
+    return false;
+  }
+  if (std::abs(out.time_sec) > kMaxPlausibleTimeSec) return false;
+  return true;
+}
+
+void FrameParser::finish() {
+  stats_.truncated_bytes += buffered();
+  buf_.clear();
+  pos_ = 0;
+}
+
+void FrameParser::reset() {
+  buf_.clear();
+  pos_ = 0;
+  stats_ = ParserStats{};
+}
+
+void FrameParser::compact() {
+  if (pos_ == buf_.size()) {
+    buf_.clear();
+    pos_ = 0;
+  } else if (pos_ >= 4096) {
+    buf_.erase(buf_.begin(), buf_.begin() + static_cast<std::ptrdiff_t>(pos_));
+    pos_ = 0;
+  }
+}
+
+}  // namespace m2ai::proto

@@ -1,0 +1,122 @@
+// Incremental, resynchronizing parser for the JRD-4035-style wire protocol
+// (frame layout in proto/wire.hpp).
+//
+// The parser consumes arbitrary byte chunks — a serial link does not respect
+// frame boundaries — and yields sim::TagReports for every intact inventory
+// record. Its contract, enforced by the seeded mutation corpus in
+// tests/test_proto.cpp and tools/m2ai_proto_fuzz:
+//
+//   * never crashes and never reads outside the fed bytes, whatever the
+//     input (all access is bounds-checked; ASan/UBSan CI);
+//   * valid frames round-trip bitwise: serialize_stream -> feed reproduces
+//     the original TagReports exactly (full wire profile);
+//   * resynchronizes after garbage: bytes are skipped (and counted) until
+//     the next 0xBB that starts a verifiable frame;
+//   * every rejected byte and frame is attributed to a named counter — no
+//     silent drops. The byte-accounting identity
+//       bytes_fed == frame_bytes + resync_bytes + truncated_bytes + buffered()
+//     holds after every feed() and, with buffered() == 0, after finish().
+//
+// Failure handling is two-level. Frame-level damage (bad checksum, bad
+// trailer, oversized length) rejects the candidate frame and resumes the
+// header hunt one byte past the rejected 0xBB, so a frame inside garbage is
+// still found. Record-level damage inside a checksum-valid frame (PC word
+// disagreeing with the payload size, tag CRC mismatch, unknown extension
+// length, non-finite field bits) rejects the record; self-delimiting
+// failures skip just that record, length corruption drops the rest of the
+// frame's records.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "proto/wire.hpp"
+#include "sim/reader.hpp"
+
+namespace m2ai::proto {
+
+struct ParserStats {
+  // Byte accounting (see identity above).
+  std::uint64_t bytes_fed = 0;
+  std::uint64_t frame_bytes = 0;      // bytes of structurally valid frames
+  std::uint64_t resync_bytes = 0;     // skipped hunting for a frame start
+  std::uint64_t truncated_bytes = 0;  // partial frame dropped by finish()
+
+  // Structurally valid frames (header/length/checksum/trailer all good).
+  std::uint64_t frames = 0;
+  std::uint64_t inventory_frames = 0;
+  std::uint64_t error_frames = 0;
+  std::uint64_t reports = 0;  // decoded tag records
+
+  // Frame-level reject causes.
+  std::uint64_t bad_checksum = 0;
+  std::uint64_t bad_trailer = 0;
+  std::uint64_t oversized_length = 0;
+  std::uint64_t unknown_frame = 0;  // valid framing, unknown type/cmd
+
+  // Record-level reject causes (frame itself was intact).
+  std::uint64_t bad_pc_length = 0;  // PC-driven EPC length overruns payload
+  std::uint64_t bad_tag_crc = 0;
+  std::uint64_t bad_extension = 0;  // unknown EXT_LEN or EXT overruns payload
+  std::uint64_t bad_epc = 0;        // EPC too short to carry a tag id
+  std::uint64_t bad_value = 0;      // non-finite / absurd decoded field
+
+  // Bytes after the last full record in an inventory payload (tolerated).
+  std::uint64_t trailing_extra_bytes = 0;
+
+  std::uint8_t last_error_code = 0;
+
+  std::uint64_t rejected_frames() const {
+    return bad_checksum + bad_trailer + oversized_length + unknown_frame;
+  }
+  std::uint64_t rejected_records() const {
+    return bad_pc_length + bad_tag_crc + bad_extension + bad_epc + bad_value;
+  }
+
+  // Fold `other` in (aggregating per-stream parsers into service totals).
+  void add(const ParserStats& other);
+};
+
+// Mirror the stats into the obs registry as proto.* counters (one add per
+// field, so call once per parser lifetime — e.g. at service finish).
+void publish_stats(const ParserStats& stats);
+
+class FrameParser {
+ public:
+  FrameParser() = default;
+
+  // Consume a chunk; append every report completed by these bytes to `out`
+  // in wire order. Returns the number of reports appended. Malformed input
+  // never throws — it lands in the stats counters.
+  std::size_t feed(const std::uint8_t* data, std::size_t n,
+                   std::vector<sim::TagReport>& out);
+  std::size_t feed(const std::vector<std::uint8_t>& data,
+                   std::vector<sim::TagReport>& out) {
+    return feed(data.data(), data.size(), out);
+  }
+
+  // End of stream: a buffered partial frame can never complete, so drop and
+  // count it as truncated. The parser stays usable for a new stream.
+  void finish();
+
+  // Bytes held waiting for a frame to complete (< kMaxFrameBytes).
+  std::size_t buffered() const { return buf_.size() - pos_; }
+
+  const ParserStats& stats() const { return stats_; }
+
+  // Forget buffered bytes and zero the counters.
+  void reset();
+
+ private:
+  void parse_inventory_payload(const std::uint8_t* p, std::size_t len,
+                               std::vector<sim::TagReport>& out);
+  bool decode_record(const std::uint8_t* rec, std::size_t epc_len,
+                     std::uint8_t ext_len, sim::TagReport& out) const;
+  void compact();
+
+  std::vector<std::uint8_t> buf_;
+  std::size_t pos_ = 0;  // first unconsumed byte in buf_
+  ParserStats stats_;
+};
+
+}  // namespace m2ai::proto

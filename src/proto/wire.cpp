@@ -1,0 +1,188 @@
+#include "proto/wire.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <stdexcept>
+
+namespace m2ai::proto {
+
+namespace {
+
+void put_u16(std::uint16_t v, std::vector<std::uint8_t>& out) {
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v & 0xFF));
+}
+
+void put_u64(std::uint64_t v, std::vector<std::uint8_t>& out) {
+  for (int shift = 56; shift >= 0; shift -= 8) {
+    out.push_back(static_cast<std::uint8_t>((v >> shift) & 0xFF));
+  }
+}
+
+void put_f64(double v, std::vector<std::uint8_t>& out) {
+  put_u64(std::bit_cast<std::uint64_t>(v), out);
+}
+
+// Record size on the wire for one report under `options`.
+std::size_t record_bytes(std::uint32_t tag_id, const WireOptions& options) {
+  const std::size_t epc =
+      static_cast<std::size_t>(epc_words_for(tag_id, options)) * 2;
+  const std::size_t ext = options.profile == WireProfile::kFull
+                              ? kExtLenFull
+                              : kExtLenCompact;
+  return 1 + 2 + epc + 2 + 1 + ext;  // rssi, pc, epc, crc, ext_len, ext
+}
+
+void append_record(const sim::TagReport& r, const WireOptions& options,
+                   std::vector<std::uint8_t>& out) {
+  out.push_back(rssi_dbm_to_byte(r.rssi_dbm));
+
+  const int words = epc_words_for(r.tag_id, options);
+  const std::size_t pc_at = out.size();
+  put_u16(pc_for_words(words), out);
+  // EPC: "M2" fill pattern with the tag id in the last four bytes, so any
+  // EPC length in [2, 31] words carries the identity.
+  const int epc_len = words * 2;
+  for (int i = 0; i < epc_len - 4; ++i) {
+    out.push_back(static_cast<std::uint8_t>((i & 1) ? 0x32 : 0x4D));  // "M2"
+  }
+  put_u16(static_cast<std::uint16_t>(r.tag_id >> 16), out);
+  put_u16(static_cast<std::uint16_t>(r.tag_id & 0xFFFF), out);
+  put_u16(crc16_gen2(out.data() + pc_at, out.size() - pc_at), out);
+
+  const std::uint16_t steps = phase_to_steps(r.phase_rad);
+  const double dop = std::clamp(r.doppler_hz * 16.0, -32768.0, 32767.0);
+  const auto dop16 = static_cast<std::int16_t>(std::llround(dop));
+  if (options.profile == WireProfile::kFull) {
+    out.push_back(kExtLenFull);
+    out.push_back(static_cast<std::uint8_t>(r.antenna & 0xFF));
+    out.push_back(static_cast<std::uint8_t>(r.channel & 0xFF));
+    put_u16(steps, out);
+    put_u16(static_cast<std::uint16_t>(dop16), out);
+    put_f64(r.time_sec, out);
+    put_f64(r.phase_rad, out);
+    put_f64(r.rssi_dbm, out);
+    put_f64(r.doppler_hz, out);
+  } else {
+    out.push_back(kExtLenCompact);
+    out.push_back(static_cast<std::uint8_t>(r.antenna & 0xFF));
+    out.push_back(static_cast<std::uint8_t>(r.channel & 0xFF));
+    put_u16(steps, out);
+    put_u16(static_cast<std::uint16_t>(dop16), out);
+    const double us = std::clamp(r.time_sec * 1e6, 0.0, 1.8e19);
+    put_u64(static_cast<std::uint64_t>(std::llround(us)), out);
+  }
+}
+
+void append_frame(std::uint8_t type, std::uint8_t cmd,
+                  const std::uint8_t* payload, std::size_t len,
+                  std::vector<std::uint8_t>& out) {
+  if (len > kMaxPayload) {
+    throw std::invalid_argument("proto: payload exceeds kMaxPayload");
+  }
+  out.push_back(kHeader);
+  const std::size_t sum_at = out.size();
+  out.push_back(type);
+  out.push_back(cmd);
+  put_u16(static_cast<std::uint16_t>(len), out);
+  out.insert(out.end(), payload, payload + len);
+  std::uint32_t sum = 0;
+  for (std::size_t i = sum_at; i < out.size(); ++i) sum += out[i];
+  out.push_back(static_cast<std::uint8_t>(sum & 0xFF));
+  out.push_back(kTrailer);
+}
+
+}  // namespace
+
+std::uint16_t crc16_gen2(const std::uint8_t* data, std::size_t n) {
+  std::uint16_t crc = 0xFFFF;
+  for (std::size_t i = 0; i < n; ++i) {
+    crc ^= static_cast<std::uint16_t>(static_cast<std::uint16_t>(data[i]) << 8);
+    for (int b = 0; b < 8; ++b) {
+      crc = (crc & 0x8000)
+                ? static_cast<std::uint16_t>((crc << 1) ^ 0x1021)
+                : static_cast<std::uint16_t>(crc << 1);
+    }
+  }
+  return static_cast<std::uint16_t>(~crc);
+}
+
+std::uint8_t rssi_dbm_to_byte(double dbm) {
+  const double raw = std::llround((dbm + 128.0) * 2.0);
+  return static_cast<std::uint8_t>(std::clamp(raw, 0.0, 255.0));
+}
+
+double rssi_byte_to_dbm(std::uint8_t byte) {
+  return static_cast<double>(byte) / 2.0 - 128.0;
+}
+
+std::uint16_t phase_to_steps(double phase_rad) {
+  const double step = 2.0 * M_PI / kPhaseSteps;
+  const auto k = static_cast<long long>(std::llround(phase_rad / step));
+  // Mask wraps step 4096 (exactly 2*pi) to 0; callers pass wrapped phases so
+  // the mask is otherwise a no-op.
+  return static_cast<std::uint16_t>(k & (kPhaseSteps - 1));
+}
+
+double steps_to_phase(std::uint16_t steps) {
+  const double step = 2.0 * M_PI / kPhaseSteps;
+  return static_cast<double>(steps & (kPhaseSteps - 1)) * step;
+}
+
+std::uint16_t pc_for_words(int words) {
+  return static_cast<std::uint16_t>((words & 0x1F) << 11);
+}
+
+int epc_words_for(std::uint32_t tag_id, const WireOptions& options) {
+  const int words = options.vary_epc_length
+                        ? 2 + static_cast<int>(tag_id % 30)
+                        : options.epc_words;
+  if (words < 2 || words > 31) {
+    throw std::invalid_argument("proto: epc_words must be in [2, 31]");
+  }
+  return words;
+}
+
+void append_inventory_frame(const sim::TagReport* reports, std::size_t count,
+                            const WireOptions& options,
+                            std::vector<std::uint8_t>& out) {
+  if (count == 0) throw std::invalid_argument("proto: empty inventory frame");
+  std::vector<std::uint8_t> payload;
+  for (std::size_t i = 0; i < count; ++i) {
+    append_record(reports[i], options, payload);
+  }
+  for (std::size_t i = 0; i < options.trailing_extra_bytes; ++i) {
+    payload.push_back(static_cast<std::uint8_t>(0xA0 + (i & 0x0F)));
+  }
+  append_frame(kTypeNotification, kCmdInventory, payload.data(),
+               payload.size(), out);
+}
+
+void append_error_frame(std::uint8_t code, std::vector<std::uint8_t>& out) {
+  append_frame(kTypeResponse, kCmdError, &code, 1, out);
+}
+
+std::vector<std::uint8_t> serialize_stream(
+    const std::vector<sim::TagReport>& reports, const WireOptions& options) {
+  const std::size_t per_frame = std::max<std::size_t>(1, options.records_per_frame);
+  std::vector<std::uint8_t> out;
+  std::size_t begin = 0;
+  while (begin < reports.size()) {
+    // Group up to per_frame records, splitting early if the payload (with
+    // trailing extras) would overflow.
+    std::size_t bytes = options.trailing_extra_bytes;
+    std::size_t end = begin;
+    while (end < reports.size() && end - begin < per_frame) {
+      const std::size_t next = bytes + record_bytes(reports[end].tag_id, options);
+      if (next > kMaxPayload && end > begin) break;
+      bytes = next;
+      ++end;
+    }
+    append_inventory_frame(reports.data() + begin, end - begin, options, out);
+    begin = end;
+  }
+  return out;
+}
+
+}  // namespace m2ai::proto

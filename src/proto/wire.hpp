@@ -1,0 +1,140 @@
+// JRD-4035-style binary wire protocol for reader report streams.
+//
+// Real UHF readers do not hand the host in-memory structs: they emit framed
+// binary bytes over a serial link. This module implements the frame format
+// of the JRD-4035 module family (M5Stack UHF unit and friends) so the
+// serving layer can ingest what actual hardware produces:
+//
+//   +------+------+------+-------+-------+---------+------+------+
+//   | 0xBB | Type | Cmd  | PL_HI | PL_LO | payload | CS   | 0x7E |
+//   +------+------+------+-------+-------+---------+------+------+
+//
+//   * PL is the payload length in bytes, big-endian, capped at kMaxPayload.
+//   * CS is the additive checksum: low byte of the sum over Type, Cmd, both
+//     length bytes, and every payload byte.
+//   * Type 0x02 / Cmd 0x27 is the inventory notification; Type 0x01 /
+//     Cmd 0xFF is an error response whose 1-byte payload is the error code.
+//
+// An inventory payload is a sequence of tag records (multi-tag frames pack
+// several), optionally followed by trailing extra bytes some modules append
+// (the parser tolerates and counts them):
+//
+//   RSSI(1) | PC(2) | EPC(epc_words*2) | CRC(2) | EXT_LEN(1) | EXT(EXT_LEN)
+//
+//   * The PC word drives the EPC length: bits 15..11 are the EPC length in
+//     16-bit words (Gen2), so records are self-delimiting — and a corrupted
+//     PC word that disagrees with the payload size is detectable.
+//   * CRC is the Gen2-style CRC-16 (ISO/IEC 13239, poly 0x1021, init
+//     0xFFFF, complemented) over PC + EPC.
+//   * The RSSI byte maps to dBm as byte/2 - 128 (0.5 dB steps, [-128,
+//     -0.5] dBm) — half-dB values are exact in binary, so a quantized
+//     RSSI round-trips bitwise.
+//   * EXT is this simulator's vendor-extension block carrying the report
+//     fields a commercial reader exposes out-of-band (LLRP custom
+//     parameters on Impinj): antenna, hop channel, 12-bit phase, Doppler.
+//     Two profiles exist (see WireProfile); the full profile transports the
+//     exact IEEE-754 bits of every double field, which is what makes the
+//     serialize->parse round trip bitwise-identical.
+//
+// The serializer is the sim::Reader side of the link: it turns the reader
+// model's TagReports into byte streams. The receiving side lives in
+// proto/parser.hpp.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/reader.hpp"
+
+namespace m2ai::proto {
+
+inline constexpr std::uint8_t kHeader = 0xBB;
+inline constexpr std::uint8_t kTrailer = 0x7E;
+inline constexpr std::uint8_t kTypeCommand = 0x00;
+inline constexpr std::uint8_t kTypeResponse = 0x01;
+inline constexpr std::uint8_t kTypeNotification = 0x02;
+inline constexpr std::uint8_t kCmdInventory = 0x27;
+inline constexpr std::uint8_t kCmdError = 0xFF;
+// JRD-4035 "inventory fail" code: a poll interval in which no tag answered.
+inline constexpr std::uint8_t kErrInventoryFail = 0x15;
+
+inline constexpr std::size_t kMaxPayload = 1024;
+// Header(1) + type(1) + cmd(1) + len(2) + payload + checksum(1) + trailer(1).
+inline constexpr std::size_t kFrameOverhead = 7;
+inline constexpr std::size_t kMaxFrameBytes = kFrameOverhead + kMaxPayload;
+
+// Reported phase granularity: 1/4096 turn (12-bit), as the Impinj-class
+// reader model quantizes (sim/reader.cpp).
+inline constexpr int kPhaseSteps = 4096;
+
+// Extension block profiles, selected by the record's EXT_LEN byte.
+//   kFull (38 bytes): antenna u8 | channel u8 | phase steps u16 | doppler
+//     sixteenths i16 | time f64 | phase f64 | rssi f64 | doppler f64 —
+//     doubles as raw big-endian IEEE-754 bits; lossless.
+//   kCompact (14 bytes): antenna u8 | channel u8 | phase steps u16 |
+//     doppler sixteenths i16 | time u64 (microseconds) — what a bandwidth-
+//     frugal embedded reader would send; phase/RSSI/Doppler reconstruct
+//     bitwise when the reader quantized them, time is rounded to 1 us.
+enum class WireProfile { kFull, kCompact };
+inline constexpr std::uint8_t kExtLenFull = 38;
+inline constexpr std::uint8_t kExtLenCompact = 14;
+
+struct WireOptions {
+  WireProfile profile = WireProfile::kFull;
+  // EPC length in 16-bit words, [2, 31] (32..496 bits; >= 2 so the 4-byte
+  // tag id always fits). 6 words is the ubiquitous 96-bit EPC.
+  int epc_words = 6;
+  // Per-tag EPC lengths (2 + tag_id % 30 words) to exercise PC-word-driven
+  // variable-length parsing.
+  bool vary_epc_length = false;
+  // Tag records packed into one inventory notification frame.
+  std::size_t records_per_frame = 1;
+  // Extra bytes appended after the last record inside the payload, mimicking
+  // the status bytes some modules tack on. Parsers must tolerate them.
+  std::size_t trailing_extra_bytes = 0;
+};
+
+// Gen2-style CRC-16: ISO/IEC 13239, poly 0x1021 MSB-first, init 0xFFFF,
+// complemented output ("123456789" -> 0xD64E).
+std::uint16_t crc16_gen2(const std::uint8_t* data, std::size_t n);
+
+// RSSI byte <-> dBm mapping: dbm = byte/2 - 128. Values outside
+// [-128, -0.5] dBm clamp to the nearest encodable byte.
+std::uint8_t rssi_dbm_to_byte(double dbm);
+double rssi_byte_to_dbm(std::uint8_t byte);
+
+// Phase <-> 12-bit step index. Encoding rounds to the nearest step and wraps
+// step kPhaseSteps (exactly 2*pi) to 0, so decoded phase is always in
+// [0, 2*pi); a reader-quantized phase (k * 2*pi/4096) round-trips bitwise.
+std::uint16_t phase_to_steps(double phase_rad);
+double steps_to_phase(std::uint16_t steps);
+
+// PC word for an EPC of `words` 16-bit words (length in bits 15..11).
+std::uint16_t pc_for_words(int words);
+// EPC length this serializer uses for a tag under `options`.
+int epc_words_for(std::uint32_t tag_id, const WireOptions& options);
+
+// Append one inventory notification frame carrying `count` tag records.
+// Throws std::invalid_argument if the records (plus trailing extras) exceed
+// kMaxPayload or an option is out of range — serializer inputs are ours,
+// unlike parser inputs.
+void append_inventory_frame(const sim::TagReport* reports, std::size_t count,
+                            const WireOptions& options,
+                            std::vector<std::uint8_t>& out);
+
+inline void append_report_frame(const sim::TagReport& report,
+                                const WireOptions& options,
+                                std::vector<std::uint8_t>& out) {
+  append_inventory_frame(&report, 1, options, out);
+}
+
+// Append an error response frame (Type 0x01 / Cmd 0xFF, 1-byte code).
+void append_error_frame(std::uint8_t code, std::vector<std::uint8_t>& out);
+
+// Serialize a whole report stream: records grouped records_per_frame at a
+// time (splitting early if a group would overflow kMaxPayload). This is the
+// reader-side encoding of sim::Reader::run output.
+std::vector<std::uint8_t> serialize_stream(
+    const std::vector<sim::TagReport>& reports, const WireOptions& options);
+
+}  // namespace m2ai::proto

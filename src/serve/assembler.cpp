@@ -48,9 +48,16 @@ std::vector<core::SpectrumFrame> StreamAssembler::ingest(
     ++current_window_;
   }
 
+  // A report the stream cannot place is dropped with accounting, never
+  // silently: wire-ingested streams see corrupt-but-checksum-valid ids, and
+  // an out-of-range channel would throw inside the calibrator below.
   const int tag = static_cast<int>(report.tag_id) - 1;
-  if (tag < 0 || tag >= num_tags_) return closed;
-  if (report.antenna < 0 || report.antenna >= config_.num_antennas) return closed;
+  if (tag < 0 || tag >= num_tags_ || report.antenna < 0 ||
+      report.antenna >= config_.num_antennas || report.channel < 0 ||
+      report.channel >= rf::kNumChannels) {
+    ++stats_.invalid_dropped;
+    return closed;
+  }
 
   // Same calibration application as FrameBuilder::build (Eq. 1).
   double psi = report.phase_rad;

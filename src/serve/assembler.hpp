@@ -25,10 +25,11 @@
 namespace m2ai::serve {
 
 struct AssemblerStats {
-  std::uint64_t reports = 0;        // in-range reports accumulated
-  std::uint64_t late_dropped = 0;   // reports for an already-closed window
-  std::uint64_t snapshots = 0;      // aligned snapshots completed
-  std::uint64_t frames = 0;         // windows closed
+  std::uint64_t reports = 0;         // in-range reports accumulated
+  std::uint64_t late_dropped = 0;    // reports for an already-closed window
+  std::uint64_t invalid_dropped = 0; // out-of-range tag_id/antenna/channel
+  std::uint64_t snapshots = 0;       // aligned snapshots completed
+  std::uint64_t frames = 0;          // windows closed
 };
 
 class StreamAssembler {

@@ -85,6 +85,13 @@ void Service::push(int stream, const sim::TagReport& report) {
   while (!offer(stream, report)) std::this_thread::yield();
 }
 
+void Service::push_bytes(int stream, const std::uint8_t* data, std::size_t n) {
+  Stream& s = *streams_[static_cast<std::size_t>(stream)];
+  s.parse_buf.clear();
+  s.parser.feed(data, n, s.parse_buf);
+  for (const sim::TagReport& report : s.parse_buf) push(stream, report);
+}
+
 void Service::finish() {
   if (!started_ || finished_) {
     finished_ = true;
@@ -96,6 +103,23 @@ void Service::finish() {
   // All workers have flushed and bumped workers_done_; the NN thread exits
   // once every request ring is empty.
   nn_thread_.join();
+  // Producers are done (finish() contract), so the wire parsers are safe to
+  // close from here: a buffered partial frame becomes truncated_bytes.
+  for (auto& s : streams_) s->parser.finish();
+
+  // Export the aggregate as serve.* gauges and proto.* counters so every
+  // drop in the ingest path — late, invalid, or rejected on the wire — is
+  // visible in the metrics report, not just in per-call stats() snapshots.
+  const ServiceStats st = stats();
+  auto& reg = obs::registry();
+  reg.gauge("serve.reports").set(static_cast<double>(st.reports));
+  reg.gauge("serve.late_dropped").set(static_cast<double>(st.late_dropped));
+  reg.gauge("serve.invalid_dropped").set(static_cast<double>(st.invalid_dropped));
+  reg.gauge("serve.snapshots").set(static_cast<double>(st.snapshots));
+  reg.gauge("serve.frames").set(static_cast<double>(st.frames));
+  reg.gauge("serve.predictions_total").set(static_cast<double>(st.predictions));
+  reg.gauge("serve.batches").set(static_cast<double>(st.batches));
+  proto::publish_stats(st.wire);
 }
 
 const std::vector<Prediction>& Service::predictions(int stream) const {
@@ -105,9 +129,14 @@ const std::vector<Prediction>& Service::predictions(int stream) const {
 ServiceStats Service::stats() const {
   ServiceStats st;
   for (const auto& s : streams_) {
+    // Fold every assembler field — a counter that exists per stream but is
+    // dropped here would make its rejects invisible end to end.
     const AssemblerStats& a = s->assembler->stats();
     st.reports += a.reports;
     st.late_dropped += a.late_dropped;
+    st.invalid_dropped += a.invalid_dropped;
+    st.snapshots += a.snapshots;
+    st.wire.add(s->parser.stats());
   }
   st.frames = frames_total_.load(std::memory_order_relaxed);
   st.predictions = predictions_total_.load(std::memory_order_relaxed);

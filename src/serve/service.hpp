@@ -37,6 +37,7 @@
 
 #include "core/model.hpp"
 #include "par/spsc_queue.hpp"
+#include "proto/parser.hpp"
 #include "serve/assembler.hpp"
 
 namespace m2ai::serve {
@@ -57,12 +58,21 @@ struct Prediction {
   double latency_ms = 0.0;
 };
 
+// Aggregate over every per-stream assembler (all AssemblerStats fields — a
+// reject that is counted per stream but lost in the aggregate is still a
+// silent drop end to end) plus the NN-side totals and, when byte ingest is
+// used, the per-stream wire parsers.
 struct ServiceStats {
   std::uint64_t reports = 0;
   std::uint64_t late_dropped = 0;
+  std::uint64_t invalid_dropped = 0;
+  std::uint64_t snapshots = 0;
   std::uint64_t frames = 0;
   std::uint64_t predictions = 0;
   std::uint64_t batches = 0;  // NN wakes that processed >= 1 request
+  // Wire ingest (push_bytes): summed proto::FrameParser stats. All zero when
+  // every stream pushed in-memory reports.
+  proto::ParserStats wire;
 };
 
 class Service {
@@ -91,6 +101,15 @@ class Service {
   // Blocking ingest (yields until the ring drains).
   void push(int stream, const sim::TagReport& report);
 
+  // Wire ingest: feed a raw reader byte chunk (JRD-4035-style frames, see
+  // src/proto) through the stream's FrameParser and push every decoded
+  // report (blocking, like push()). Parser state is producer-private — the
+  // same one-producer-per-stream contract as offer()/push(); mixing
+  // push_bytes and push on one stream is allowed but chunk/report order is
+  // the caller's problem. Malformed bytes never throw; they land in the
+  // parser's per-cause counters, surfaced via stats().wire after finish().
+  void push_bytes(int stream, const std::uint8_t* data, std::size_t n);
+
   // Ends ingest: flushes every assembler, drains all queues, joins all
   // threads. Call after every producer has stopped pushing. Idempotent.
   void finish();
@@ -116,6 +135,10 @@ class Service {
   struct Stream {
     std::unique_ptr<StreamAssembler> assembler;
     std::unique_ptr<par::SpscQueue<StampedReport>> ingest;
+    // Wire ingest state, touched only by the stream's producer thread until
+    // finish() (which runs after all producers stopped).
+    proto::FrameParser parser;
+    std::vector<sim::TagReport> parse_buf;
     std::atomic<bool> producer_done{false};
     // DSP-worker-private sliding sequence state.
     std::deque<core::SpectrumFrame> recent;

@@ -11,6 +11,15 @@
 
 namespace m2ai::sim {
 
+double quantize_phase(double phase_rad) {
+  const double step = 2.0 * M_PI / 4096.0;
+  double q = std::round(phase_rad / step) * step;
+  // step is 2*pi scaled by a power of two, so 4096 steps is exactly 2*pi:
+  // wrap the boundary case to step 0 (bitwise what wrap_2pi would return).
+  if (q >= 2.0 * M_PI) q = 0.0;
+  return q;
+}
+
 Reader::Reader(ReaderConfig config, int num_antennas, int max_tags, util::Rng rng)
     : config_(config), num_antennas_(num_antennas), hops_(rng.fork()), rng_(rng.fork()) {
   if (num_antennas < 1) throw std::invalid_argument("Reader: need >= 1 antenna");
@@ -126,9 +135,9 @@ std::vector<TagReport> Reader::run(const Scene& scene, double t_begin, double t_
 
         if (config_.quantize) {
           // Impinj reports phase in 1/4096 turn steps, RSSI in 0.5 dB, and
-          // Doppler in 1/16 Hz.
-          const double step = 2.0 * M_PI / 4096.0;
-          phase = std::round(phase / step) * step;
+          // Doppler in 1/16 Hz. quantize_phase owns the boundary where a
+          // phase just under 2*pi rounds up to exactly 2*pi.
+          phase = quantize_phase(phase);
           rssi = std::round(rssi * 2.0) / 2.0;
           doppler = std::round(doppler * 16.0) / 16.0;
         }

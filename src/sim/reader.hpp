@@ -38,6 +38,12 @@ struct TagReport {
   double doppler_hz = 0.0;
 };
 
+// Quantize a wrapped phase to the Impinj report granularity (1/4096 turn).
+// A phase just under 2*pi rounds up to step 4096 — exactly 2*pi — which
+// must wrap back to step 0 so the result is always in [0, 2*pi), even if a
+// caller skips a later wrap_2pi. Input must already be in [0, 2*pi].
+double quantize_phase(double phase_rad);
+
 struct ReaderConfig {
   double slot_sec = rf::kAntennaSlotSec;
   double dwell_sec = rf::kDwellTimeSec;

@@ -1,0 +1,531 @@
+// Wire protocol (src/proto):
+//   * serializer golden layout — frame bytes, checksum, PC word, EPC fill,
+//     CRC-16 against the spec in proto/wire.hpp;
+//   * bitwise round trips — single reports, whole sim::Reader streams under
+//     every option combination, byte-dribble feeding;
+//   * damage taxonomy — truncation, flipped checksum, bad trailer, oversized
+//     length, PC/payload disagreement, tag CRC mismatch, garbage resync,
+//     non-finite field bits: each rejected into its named counter, never
+//     silently (the byte-accounting identity is asserted throughout);
+//   * the seeded mutation corpus (proto/fuzz.hpp) at CI scale;
+//   * serve integration — wire ingest equals direct ingest, and invalid
+//     reports land in AssemblerStats::invalid_dropped.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "core/model.hpp"
+#include "core/pipeline.hpp"
+#include "proto/fuzz.hpp"
+#include "proto/parser.hpp"
+#include "proto/wire.hpp"
+#include "serve/service.hpp"
+#include "sim/activities.hpp"
+#include "sim/reader.hpp"
+#include "util/rng.hpp"
+
+namespace m2ai::proto {
+namespace {
+
+sim::TagReport make_report(std::uint32_t tag_id = 3, int antenna = 1,
+                           int channel = 17) {
+  sim::TagReport r;
+  r.time_sec = 21.06253125;  // not representable in 1 us steps
+  r.tag_id = tag_id;
+  r.antenna = antenna;
+  r.channel = channel;
+  // Reader-quantized values: phase on the 2*pi/4096 grid, RSSI on the 0.5 dB
+  // grid, Doppler on the 1/16 Hz grid.
+  r.phase_rad = steps_to_phase(1234);
+  r.rssi_dbm = -61.5;
+  r.doppler_hz = -3.1875;
+  return r;
+}
+
+void expect_bitwise(const sim::TagReport& a, const sim::TagReport& b) {
+  EXPECT_EQ(a.time_sec, b.time_sec);
+  EXPECT_EQ(a.tag_id, b.tag_id);
+  EXPECT_EQ(a.antenna, b.antenna);
+  EXPECT_EQ(a.channel, b.channel);
+  EXPECT_EQ(a.phase_rad, b.phase_rad);
+  EXPECT_EQ(a.rssi_dbm, b.rssi_dbm);
+  EXPECT_EQ(a.doppler_hz, b.doppler_hz);
+}
+
+// bytes_fed == frame_bytes + resync_bytes + truncated_bytes + buffered():
+// every byte the parser ever saw is attributed somewhere.
+void expect_accounted(const FrameParser& parser) {
+  const ParserStats& s = parser.stats();
+  EXPECT_EQ(s.bytes_fed, s.frame_bytes + s.resync_bytes + s.truncated_bytes +
+                             parser.buffered());
+}
+
+// Recompute the additive checksum of a buffer holding exactly one frame —
+// used after deliberately patching payload bytes.
+void fix_frame_checksum(std::vector<std::uint8_t>& f) {
+  const std::size_t len = (static_cast<std::size_t>(f[3]) << 8) | f[4];
+  std::uint32_t sum = 0;
+  for (std::size_t i = 1; i < 5 + len; ++i) sum += f[i];
+  f[5 + len] = static_cast<std::uint8_t>(sum & 0xFF);
+}
+
+// ------------------------------------------------------------- primitives
+
+TEST(Wire, Crc16KnownVector) {
+  const std::uint8_t check[9] = {'1', '2', '3', '4', '5', '6', '7', '8', '9'};
+  EXPECT_EQ(crc16_gen2(check, 9), 0xD64E);  // CRC-16/GENIBUS check value
+}
+
+TEST(Wire, RssiByteMappingRoundTripsHalfDb) {
+  for (int b = 0; b <= 255; ++b) {
+    const auto byte = static_cast<std::uint8_t>(b);
+    const double dbm = rssi_byte_to_dbm(byte);
+    EXPECT_EQ(rssi_dbm_to_byte(dbm), byte);
+    EXPECT_EQ(dbm, static_cast<double>(b) / 2.0 - 128.0);  // exact in binary
+  }
+  EXPECT_EQ(rssi_dbm_to_byte(-200.0), 0);  // clamps below
+  EXPECT_EQ(rssi_dbm_to_byte(10.0), 255);  // clamps above
+}
+
+TEST(Wire, PhaseStepsRoundTripAndBoundaryWrap) {
+  for (int k = 0; k < kPhaseSteps; ++k) {
+    const auto steps = static_cast<std::uint16_t>(k);
+    EXPECT_EQ(phase_to_steps(steps_to_phase(steps)), steps);
+  }
+  // Step 4096 is exactly 2*pi and must encode as step 0.
+  EXPECT_EQ(phase_to_steps(2.0 * M_PI), 0);
+  EXPECT_LT(steps_to_phase(4095), 2.0 * M_PI);
+}
+
+TEST(Wire, ChecksumAndLayoutGolden) {
+  const sim::TagReport r = make_report(/*tag_id=*/0x01020304);
+  std::vector<std::uint8_t> f;
+  append_report_frame(r, WireOptions{}, f);
+
+  // Full profile, 6-word EPC: payload = 1+2+12+2+1+38 = 56, frame = 63.
+  ASSERT_EQ(f.size(), 63u);
+  EXPECT_EQ(f[0], kHeader);
+  EXPECT_EQ(f[1], kTypeNotification);
+  EXPECT_EQ(f[2], kCmdInventory);
+  EXPECT_EQ(f[3], 0x00);
+  EXPECT_EQ(f[4], 56);
+  EXPECT_EQ(f.back(), kTrailer);
+
+  EXPECT_EQ(f[5], rssi_dbm_to_byte(r.rssi_dbm));
+  EXPECT_EQ((f[6] << 8) | f[7], pc_for_words(6));  // PC: EPC length 6 words
+  // EPC: "M2" fill, tag id big-endian in the last four bytes.
+  EXPECT_EQ(f[8], 'M');
+  EXPECT_EQ(f[9], '2');
+  EXPECT_EQ(f[16], 0x01);
+  EXPECT_EQ(f[17], 0x02);
+  EXPECT_EQ(f[18], 0x03);
+  EXPECT_EQ(f[19], 0x04);
+  // Tag CRC covers PC + EPC.
+  EXPECT_EQ((f[20] << 8) | f[21], crc16_gen2(f.data() + 6, 14));
+  EXPECT_EQ(f[22], kExtLenFull);
+
+  std::uint32_t sum = 0;
+  for (std::size_t i = 1; i < f.size() - 2; ++i) sum += f[i];
+  EXPECT_EQ(f[f.size() - 2], static_cast<std::uint8_t>(sum & 0xFF));
+}
+
+// ------------------------------------------------------------ round trips
+
+TEST(Proto, SingleReportRoundTripsBitwise) {
+  const sim::TagReport r = make_report();
+  std::vector<std::uint8_t> bytes;
+  append_report_frame(r, WireOptions{}, bytes);
+
+  FrameParser parser;
+  std::vector<sim::TagReport> out;
+  EXPECT_EQ(parser.feed(bytes, out), 1u);
+  parser.finish();
+  ASSERT_EQ(out.size(), 1u);
+  expect_bitwise(r, out[0]);
+  EXPECT_EQ(parser.stats().frames, 1u);
+  EXPECT_EQ(parser.stats().rejected_frames(), 0u);
+  EXPECT_EQ(parser.stats().rejected_records(), 0u);
+  expect_accounted(parser);
+}
+
+TEST(Proto, CompactProfileReconstructsQuantizedFields) {
+  const sim::TagReport r = make_report();
+  WireOptions options;
+  options.profile = WireProfile::kCompact;
+  std::vector<std::uint8_t> bytes;
+  append_report_frame(r, options, bytes);
+
+  FrameParser parser;
+  std::vector<sim::TagReport> out;
+  parser.feed(bytes, out);
+  ASSERT_EQ(out.size(), 1u);
+  // Quantized fields reconstruct bitwise; time is lossy (1 us steps).
+  EXPECT_EQ(out[0].tag_id, r.tag_id);
+  EXPECT_EQ(out[0].antenna, r.antenna);
+  EXPECT_EQ(out[0].channel, r.channel);
+  EXPECT_EQ(out[0].phase_rad, r.phase_rad);
+  EXPECT_EQ(out[0].rssi_dbm, r.rssi_dbm);
+  EXPECT_EQ(out[0].doppler_hz, r.doppler_hz);
+  EXPECT_NEAR(out[0].time_sec, r.time_sec, 1e-6);
+  EXPECT_NE(out[0].time_sec, r.time_sec);  // chosen off the 1 us grid
+}
+
+TEST(Proto, SimStreamRoundTripsBitwiseEveryScenario) {
+  using sim::Scene;
+  for (const int activity : {1, 3, 5}) {
+    sim::Environment env = sim::Environment::laboratory();
+    sim::ArrayGeometry array;
+    array.center = sim::Vec3{env.width / 2.0, 0.4, 1.25};
+    util::Rng rng(static_cast<std::uint64_t>(100 + activity));
+    sim::PlacementOptions placement;
+    auto persons = sim::instantiate_activity(activity, 2, env, array.origin2d(),
+                                             placement, rng);
+    Scene scene(env, std::move(persons), array, 3);
+    sim::Reader reader(sim::ReaderConfig{}, 4, 6,
+                       util::Rng(static_cast<std::uint64_t>(activity)));
+    const std::vector<sim::TagReport> reports = reader.run(scene, 0.0, 1.5);
+    ASSERT_FALSE(reports.empty());
+
+    WireOptions variants[3];
+    variants[1].records_per_frame = 5;
+    variants[1].trailing_extra_bytes = 3;
+    variants[2].records_per_frame = 16;
+    variants[2].vary_epc_length = true;
+    for (const WireOptions& options : variants) {
+      const std::vector<std::uint8_t> bytes =
+          serialize_stream(reports, options);
+      FrameParser parser;
+      std::vector<sim::TagReport> out;
+      // Serial links do not respect frame boundaries: feed odd-sized chunks.
+      for (std::size_t at = 0; at < bytes.size(); at += 17) {
+        parser.feed(bytes.data() + at, std::min<std::size_t>(17, bytes.size() - at),
+                    out);
+      }
+      parser.finish();
+      ASSERT_EQ(out.size(), reports.size());
+      for (std::size_t i = 0; i < reports.size(); ++i) {
+        expect_bitwise(reports[i], out[i]);
+      }
+      EXPECT_EQ(parser.stats().rejected_frames(), 0u);
+      EXPECT_EQ(parser.stats().rejected_records(), 0u);
+      expect_accounted(parser);
+    }
+  }
+}
+
+TEST(Proto, ByteDribbleOneAtATime) {
+  std::vector<sim::TagReport> reports;
+  for (std::uint32_t id = 1; id <= 4; ++id) reports.push_back(make_report(id));
+  WireOptions options;
+  options.records_per_frame = 2;
+  const std::vector<std::uint8_t> bytes = serialize_stream(reports, options);
+
+  FrameParser parser;
+  std::vector<sim::TagReport> out;
+  for (const std::uint8_t b : bytes) parser.feed(&b, 1, out);
+  parser.finish();
+  ASSERT_EQ(out.size(), reports.size());
+  for (std::size_t i = 0; i < reports.size(); ++i) {
+    expect_bitwise(reports[i], out[i]);
+  }
+  expect_accounted(parser);
+}
+
+TEST(Proto, MultiTagPayloadWithTrailingExtras) {
+  std::vector<sim::TagReport> reports;
+  for (std::uint32_t id = 1; id <= 3; ++id) reports.push_back(make_report(id));
+  WireOptions options;
+  options.records_per_frame = 3;
+  options.trailing_extra_bytes = 5;
+  const std::vector<std::uint8_t> bytes = serialize_stream(reports, options);
+
+  FrameParser parser;
+  std::vector<sim::TagReport> out;
+  parser.feed(bytes, out);
+  parser.finish();
+  ASSERT_EQ(out.size(), 3u);  // one frame, three records
+  EXPECT_EQ(parser.stats().inventory_frames, 1u);
+  EXPECT_EQ(parser.stats().trailing_extra_bytes, 5u);
+  EXPECT_EQ(parser.stats().rejected_records(), 0u);
+  expect_accounted(parser);
+}
+
+TEST(Proto, ErrorFrameCounted) {
+  std::vector<std::uint8_t> bytes;
+  append_error_frame(kErrInventoryFail, bytes);
+  FrameParser parser;
+  std::vector<sim::TagReport> out;
+  EXPECT_EQ(parser.feed(bytes, out), 0u);
+  parser.finish();
+  EXPECT_EQ(parser.stats().frames, 1u);
+  EXPECT_EQ(parser.stats().error_frames, 1u);
+  EXPECT_EQ(parser.stats().last_error_code, kErrInventoryFail);
+  expect_accounted(parser);
+}
+
+// ------------------------------------------------------- damage taxonomy
+
+TEST(Proto, TruncatedFrameIsDroppedAndCounted) {
+  std::vector<std::uint8_t> bytes;
+  append_report_frame(make_report(), WireOptions{}, bytes);
+  FrameParser parser;
+  std::vector<sim::TagReport> out;
+  parser.feed(bytes.data(), 10, out);  // header + partial payload only
+  EXPECT_EQ(parser.buffered(), 10u);
+  parser.finish();  // end of stream: the partial frame can never complete
+  EXPECT_TRUE(out.empty());
+  EXPECT_EQ(parser.stats().truncated_bytes, 10u);
+  EXPECT_EQ(parser.buffered(), 0u);
+  expect_accounted(parser);
+}
+
+TEST(Proto, FlippedChecksumByteRejectsAndResyncs) {
+  const sim::TagReport r = make_report();
+  std::vector<std::uint8_t> corrupt;
+  append_report_frame(r, WireOptions{}, corrupt);
+  corrupt[corrupt.size() - 2] ^= 0xFF;  // flip the checksum byte
+
+  FrameParser parser;
+  std::vector<sim::TagReport> out;
+  parser.feed(corrupt, out);
+  // Flush padding guarantees any false header candidate inside the rejected
+  // frame fails too (its trailer position lands in zeros), then a pristine
+  // frame must be recovered.
+  const std::vector<std::uint8_t> zeros(kMaxFrameBytes, 0x00);
+  parser.feed(zeros, out);
+  std::vector<std::uint8_t> pristine;
+  append_report_frame(r, WireOptions{}, pristine);
+  parser.feed(pristine, out);
+  parser.finish();
+
+  ASSERT_EQ(out.size(), 1u);
+  expect_bitwise(r, out[0]);
+  EXPECT_GE(parser.stats().bad_checksum, 1u);
+  EXPECT_EQ(parser.stats().frames, 1u);
+  expect_accounted(parser);
+}
+
+TEST(Proto, BadTrailerRejects) {
+  std::vector<std::uint8_t> corrupt;
+  append_report_frame(make_report(), WireOptions{}, corrupt);
+  corrupt.back() = 0x00;
+
+  FrameParser parser;
+  std::vector<sim::TagReport> out;
+  parser.feed(corrupt, out);
+  parser.finish();
+  EXPECT_TRUE(out.empty());
+  EXPECT_GE(parser.stats().bad_trailer, 1u);
+  EXPECT_EQ(parser.stats().frames, 0u);
+  expect_accounted(parser);
+}
+
+TEST(Proto, OversizedLengthRejected) {
+  // Declared payload length above kMaxPayload can never complete; the parser
+  // must reject immediately rather than buffer forever.
+  std::vector<std::uint8_t> bytes = {kHeader, kTypeNotification, kCmdInventory,
+                                     0xFF,    0xFF,              0x00};
+  const std::vector<std::uint8_t> zeros(16, 0x00);
+  bytes.insert(bytes.end(), zeros.begin(), zeros.end());
+  const sim::TagReport r = make_report();
+  append_report_frame(r, WireOptions{}, bytes);
+
+  FrameParser parser;
+  std::vector<sim::TagReport> out;
+  parser.feed(bytes, out);
+  parser.finish();
+  ASSERT_EQ(out.size(), 1u);  // the valid frame after the junk is found
+  expect_bitwise(r, out[0]);
+  EXPECT_EQ(parser.stats().oversized_length, 1u);
+  expect_accounted(parser);
+}
+
+TEST(Proto, GarbagePrefixResync) {
+  std::vector<std::uint8_t> bytes(100, 0x55);  // no 0xBB anywhere in prefix
+  const sim::TagReport r = make_report();
+  append_report_frame(r, WireOptions{}, bytes);
+
+  FrameParser parser;
+  std::vector<sim::TagReport> out;
+  parser.feed(bytes, out);
+  parser.finish();
+  ASSERT_EQ(out.size(), 1u);
+  expect_bitwise(r, out[0]);
+  EXPECT_EQ(parser.stats().resync_bytes, 100u);
+  expect_accounted(parser);
+}
+
+TEST(Proto, PcWordDisagreesWithPayload) {
+  // Patch the PC word to claim a 31-word EPC inside a 6-word record, then
+  // re-fix the frame checksum so only the record-level check can catch it.
+  std::vector<std::uint8_t> bytes;
+  append_report_frame(make_report(), WireOptions{}, bytes);
+  bytes[6] = static_cast<std::uint8_t>(pc_for_words(31) >> 8);
+  fix_frame_checksum(bytes);
+
+  FrameParser parser;
+  std::vector<sim::TagReport> out;
+  parser.feed(bytes, out);
+  parser.finish();
+  EXPECT_TRUE(out.empty());
+  EXPECT_EQ(parser.stats().frames, 1u);  // frame itself is intact
+  EXPECT_EQ(parser.stats().bad_pc_length, 1u);
+  expect_accounted(parser);
+}
+
+TEST(Proto, TagCrcMismatchSkipsRecordOnly) {
+  // Two records in one frame; corrupt an EPC byte of the first (fixing the
+  // frame checksum): the second record must still decode.
+  const sim::TagReport first = make_report(1);
+  const sim::TagReport second = make_report(2);
+  std::vector<sim::TagReport> reports = {first, second};
+  WireOptions options;
+  options.records_per_frame = 2;
+  std::vector<std::uint8_t> bytes = serialize_stream(reports, options);
+  bytes[8] ^= 0xFF;  // first EPC byte of record 1
+  fix_frame_checksum(bytes);
+
+  FrameParser parser;
+  std::vector<sim::TagReport> out;
+  parser.feed(bytes, out);
+  parser.finish();
+  ASSERT_EQ(out.size(), 1u);
+  expect_bitwise(second, out[0]);
+  EXPECT_EQ(parser.stats().bad_tag_crc, 1u);
+  EXPECT_EQ(parser.stats().reports, 1u);
+  expect_accounted(parser);
+}
+
+TEST(Proto, NonFiniteFieldRejected) {
+  // Stomp the raw phase doubles with NaN bits; the 1-byte frame checksum is
+  // re-fixed so only the parser's field sanity check stands in the way.
+  std::vector<std::uint8_t> bytes;
+  append_report_frame(make_report(), WireOptions{}, bytes);
+  // Full-profile ext doubles start at payload offset 24 (time), phase at 32;
+  // frame offset = 5 + payload offset.
+  const std::size_t phase_at = 5 + 32;
+  bytes[phase_at] = 0x7F;
+  bytes[phase_at + 1] = 0xF8;
+  for (std::size_t i = 2; i < 8; ++i) bytes[phase_at + i] = 0x00;
+  fix_frame_checksum(bytes);
+
+  FrameParser parser;
+  std::vector<sim::TagReport> out;
+  parser.feed(bytes, out);
+  parser.finish();
+  EXPECT_TRUE(out.empty());
+  EXPECT_EQ(parser.stats().bad_value, 1u);
+  EXPECT_EQ(parser.stats().frames, 1u);
+  expect_accounted(parser);
+}
+
+// ------------------------------------------------------------ fuzz corpus
+
+TEST(ProtoFuzz, SeededMutationCorpusNeverCrashes) {
+  FuzzConfig config;
+  config.iterations = 2500;
+  const FuzzResult r = run_mutation_corpus(config);
+  EXPECT_TRUE(r.ok());
+  EXPECT_EQ(r.canary_failures, 0u);
+  EXPECT_EQ(r.accounting_failures, 0u);
+  EXPECT_EQ(r.canaries_recovered, r.iterations);
+  // The acceptance bar: >= 10k mutated frames replayed without a violation.
+  EXPECT_GE(r.frames_serialized, 10000u);
+}
+
+// ------------------------------------------------------- serve integration
+
+TEST(ServeWire, WireIngestMatchesDirectIngest) {
+  core::PipelineConfig config;
+  config.windows_per_sample = 3;
+  core::Pipeline pipeline(config, 4242);
+  const core::SampleRun run = pipeline.run_sample(2, pipeline.fork_sample_rng());
+  const double t0 = config.bootstrap_sec + 0.5 * config.window_sec;
+
+  core::ModelConfig model_config;
+  core::M2AINetwork reference(model_config, config.feature_mode,
+                              pipeline.num_tags(), config.num_antennas, 12);
+
+  serve::ServeConfig serve_config;
+  serve_config.dsp_workers = 2;
+
+  // Reference: structs pushed directly.
+  serve::Service direct(serve_config, config, reference.clone());
+  direct.add_stream(run.calibrator.get(), t0);
+  direct.start();
+  for (const auto& report : run.reports) direct.push(0, report);
+  direct.finish();
+
+  // Same reports through the reader-side serializer and the wire parser.
+  serve::Service wired(serve_config, config, reference.clone());
+  wired.add_stream(run.calibrator.get(), t0);
+  wired.start();
+  WireOptions options;
+  options.records_per_frame = 4;
+  const std::vector<std::uint8_t> bytes = serialize_stream(run.reports, options);
+  for (std::size_t at = 0; at < bytes.size(); at += 4096) {
+    wired.push_bytes(0, bytes.data() + at,
+                     std::min<std::size_t>(4096, bytes.size() - at));
+  }
+  wired.finish();
+
+  const auto& expected = direct.predictions(0);
+  const auto& got = wired.predictions(0);
+  ASSERT_EQ(got.size(), expected.size());
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(got[i].frame_index, expected[i].frame_index);
+    EXPECT_EQ(got[i].label, expected[i].label);
+  }
+
+  const serve::ServiceStats stats = wired.stats();
+  EXPECT_EQ(stats.reports, run.reports.size());
+  EXPECT_EQ(stats.invalid_dropped, 0u);
+  EXPECT_EQ(stats.wire.reports, run.reports.size());
+  EXPECT_EQ(stats.wire.rejected_frames(), 0u);
+  EXPECT_EQ(stats.wire.rejected_records(), 0u);
+  EXPECT_EQ(stats.wire.bytes_fed, bytes.size());
+}
+
+TEST(ServeWire, InvalidReportsAreCountedNotSilent) {
+  core::PipelineConfig config;
+  config.windows_per_sample = 2;
+  core::Pipeline pipeline(config, 99);
+  const core::SampleRun run = pipeline.run_sample(1, pipeline.fork_sample_rng());
+  const double t0 = config.bootstrap_sec + 0.5 * config.window_sec;
+
+  core::ModelConfig model_config;
+  auto network = std::make_unique<core::M2AINetwork>(
+      model_config, config.feature_mode, pipeline.num_tags(),
+      config.num_antennas, 12);
+
+  serve::Service service(serve::ServeConfig{}, config, std::move(network));
+  service.add_stream(run.calibrator.get(), t0);
+  service.start();
+  // A corrupt-but-checksum-valid wire stream can carry ids the stream cannot
+  // place; each must land in invalid_dropped, not crash the DSP worker.
+  sim::TagReport bad_tag = run.reports.front();
+  bad_tag.tag_id = 0;
+  sim::TagReport bad_tag2 = run.reports.front();
+  bad_tag2.tag_id = 999;
+  sim::TagReport bad_antenna = run.reports.front();
+  bad_antenna.antenna = 9;
+  sim::TagReport bad_channel = run.reports.front();
+  bad_channel.channel = 99;  // would throw inside the calibrator
+  service.push(0, bad_tag);
+  service.push(0, bad_tag2);
+  service.push(0, bad_antenna);
+  service.push(0, bad_channel);
+  for (const auto& report : run.reports) service.push(0, report);
+  service.finish();
+
+  const serve::ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.invalid_dropped, 4u);
+  EXPECT_EQ(stats.reports, run.reports.size());
+  EXPECT_EQ(service.predictions(0).size(), 1u);
+}
+
+}  // namespace
+}  // namespace m2ai::proto

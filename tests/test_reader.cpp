@@ -44,6 +44,23 @@ TEST(Reader, ReportsSortedByTime) {
   }
 }
 
+TEST(Reader, QuantizePhaseBoundaryWrapsToZero) {
+  const double step = 2.0 * M_PI / 4096.0;
+  // A phase just under 2*pi rounds up to step 4096 — exactly 2*pi — and must
+  // wrap to 0.0 so the report stays in [0, 2*pi) even without a later
+  // wrap_2pi.
+  EXPECT_EQ(quantize_phase(2.0 * M_PI - step / 4.0), 0.0);
+  EXPECT_EQ(quantize_phase(2.0 * M_PI), 0.0);
+  EXPECT_EQ(quantize_phase(0.0), 0.0);
+  // Mid-range values land on the nearest grid point.
+  EXPECT_EQ(quantize_phase(1.234), std::round(1.234 / step) * step);
+  for (int i = 0; i <= 4096; ++i) {
+    const double q = quantize_phase(i * (2.0 * M_PI / 4096.0));
+    EXPECT_GE(q, 0.0);
+    EXPECT_LT(q, 2.0 * M_PI);
+  }
+}
+
 TEST(Reader, PhaseInPrincipalRange) {
   Scene scene = make_scene();
   Reader reader(ReaderConfig{}, 4, 3, util::Rng(3));

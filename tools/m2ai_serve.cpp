@@ -32,6 +32,7 @@
 #include "obs/metrics.hpp"
 #include "obs/timeline.hpp"
 #include "par/parallel_for.hpp"
+#include "proto/wire.hpp"
 #include "serve/service.hpp"
 #include "util/args.hpp"
 
@@ -44,16 +45,19 @@ int usage() {
                "usage: m2ai_serve [--streams N] [--rate HZ] [--duration S]\n"
                "                  [--samples K] [--workers W] [--batch B]\n"
                "                  [--producers P] [--activities A] [--windows T]\n"
-               "                  [--persons P] [--tags T] [--seed S]\n"
-               "                  [--bench-out FILE] [--metrics-out FILE]\n"
-               "                  [--trace-out FILE]\n"
+               "                  [--persons P] [--tags T] [--seed S] [--wire]\n"
+               "                  [--wire-records R] [--bench-out FILE]\n"
+               "                  [--metrics-out FILE] [--trace-out FILE]\n"
                "  --streams N    simulated reader streams (default 8)\n"
                "  --rate HZ      reports/sec per stream, 0 = unthrottled (default 0)\n"
                "  --duration S   wall-clock budget in seconds, 0 = no limit (default 0)\n"
                "  --samples K    sample replays per stream (default 1)\n"
                "  --workers W    DSP worker threads (default 2)\n"
                "  --batch B      NN micro-batch size (default 8)\n"
-               "  --producers P  producer threads (default min(streams, 4))\n");
+               "  --producers P  producer threads (default min(streams, 4))\n"
+               "  --wire         serialize reports to JRD-4035-style frames and\n"
+               "                 ingest via the wire-protocol parser (src/proto)\n"
+               "  --wire-records R  tag records per inventory frame (default 1)\n");
   return 2;
 }
 
@@ -78,8 +82,8 @@ int main(int argc, char** argv) {
   try {
     args.require_known({"streams", "rate", "duration", "samples", "workers",
                         "batch", "producers", "activities", "windows", "persons",
-                        "tags", "seed", "bench-out", "metrics-out", "trace-out",
-                        "help"});
+                        "tags", "seed", "wire", "wire-records", "bench-out",
+                        "metrics-out", "trace-out", "help"});
   } catch (const std::exception& e) {
     std::fprintf(stderr, "m2ai_serve: %s\n", e.what());
     return usage();
@@ -91,7 +95,14 @@ int main(int argc, char** argv) {
   const double duration_sec = args.get_double("duration", 0.0);
   const int samples_per_stream = args.get_int("samples", 1);
   const int activities = args.get_int("activities", 3);
-  if (num_streams < 1 || samples_per_stream < 1 || activities < 1) return usage();
+  const bool wire = args.has("wire");
+  proto::WireOptions wire_options;
+  wire_options.records_per_frame =
+      static_cast<std::size_t>(args.get_int("wire-records", 1));
+  if (num_streams < 1 || samples_per_stream < 1 || activities < 1 ||
+      wire_options.records_per_frame < 1) {
+    return usage();
+  }
 
   serve::ServeConfig serve_config;
   serve_config.dsp_workers = args.get_int("workers", 2);
@@ -172,11 +183,24 @@ int main(int argc, char** argv) {
         double t_offset = 0.0; // virtual-time shift of the current replay
         std::uint64_t sent = 0;
         bool done = false;
+        std::vector<sim::TagReport> pending;  // wire mode: unframed reports
       };
       std::vector<Cursor> cursors;
       for (int s = p; s < num_streams; s += num_producers) {
-        cursors.push_back(Cursor{s});
+        Cursor c{};
+        c.stream = s;
+        cursors.push_back(std::move(c));
       }
+      // Wire mode: the producer is the reader-side serializer — reports are
+      // framed (records_per_frame per inventory frame) and the service
+      // ingests raw bytes through its per-stream FrameParser.
+      const auto flush_pending = [&](Cursor& c) {
+        if (c.pending.empty()) return;
+        const std::vector<std::uint8_t> bytes =
+            proto::serialize_stream(c.pending, wire_options);
+        service.push_bytes(c.stream, bytes.data(), bytes.size());
+        c.pending.clear();
+      };
       std::uint64_t total = 0;
       bool running = true;
       while (running) {
@@ -197,7 +221,14 @@ int main(int argc, char** argv) {
               sources[static_cast<std::size_t>(c.stream)].run->reports;
           sim::TagReport report = reports[c.next];
           report.time_sec += c.t_offset;
-          if (!service.offer(c.stream, report)) continue;  // ring full, retry
+          if (wire) {
+            c.pending.push_back(report);
+            if (c.pending.size() >= wire_options.records_per_frame) {
+              flush_pending(c);  // blocking while the ring drains
+            }
+          } else if (!service.offer(c.stream, report)) {
+            continue;  // ring full, retry this report next pass
+          }
           ++c.sent;
           ++total;
           progressed = true;
@@ -210,6 +241,11 @@ int main(int argc, char** argv) {
           }
         }
         if (!progressed && running) std::this_thread::yield();
+      }
+      // Sent-report accounting must be exact for the sustained check: frame
+      // out whatever a duration cutoff left unflushed.
+      if (wire) {
+        for (Cursor& c : cursors) flush_pending(c);
       }
       sent[static_cast<std::size_t>(p)] = total;
     });
@@ -236,21 +272,37 @@ int main(int argc, char** argv) {
 
   std::printf(
       "done in %.2fs wall / %.2fs cpu (%.2f cores)\n"
-      "  reports   sent %llu, assembled %llu, late-dropped %llu\n"
+      "  reports   sent %llu, assembled %llu, late-dropped %llu, "
+      "invalid-dropped %llu\n"
       "  frames    %llu closed, %llu predictions in %llu batches\n"
       "  e2e       p50 %.3f ms, p99 %.3f ms, max %.3f ms\n"
       "  capacity  %.1f streams/core at this load\n",
       wall_sec, cpu_sec, cores, static_cast<unsigned long long>(reports_sent),
       static_cast<unsigned long long>(stats.reports),
       static_cast<unsigned long long>(stats.late_dropped),
+      static_cast<unsigned long long>(stats.invalid_dropped),
       static_cast<unsigned long long>(stats.frames),
       static_cast<unsigned long long>(stats.predictions),
       static_cast<unsigned long long>(stats.batches), e2e.p50, e2e.p99, e2e.max,
       streams_per_core);
+  if (wire) {
+    std::printf(
+        "  wire      %llu bytes in %llu frames -> %llu reports "
+        "(%llu frame rejects, %llu record rejects, %llu resync bytes)\n",
+        static_cast<unsigned long long>(stats.wire.bytes_fed),
+        static_cast<unsigned long long>(stats.wire.frames),
+        static_cast<unsigned long long>(stats.wire.reports),
+        static_cast<unsigned long long>(stats.wire.rejected_frames()),
+        static_cast<unsigned long long>(stats.wire.rejected_records()),
+        static_cast<unsigned long long>(stats.wire.resync_bytes));
+  }
 
-  // Sustained = every enqueued report was assembled (none dropped late, and
-  // the drain finished); the serve-smoke CI job asserts on this field.
-  const bool sustained = stats.late_dropped == 0 && stats.reports == reports_sent;
+  // Sustained = every enqueued report was assembled (none dropped late or
+  // invalid, nothing lost on the wire, and the drain finished); the
+  // serve-smoke CI job asserts on this field.
+  const bool sustained = stats.late_dropped == 0 &&
+                         stats.invalid_dropped == 0 &&
+                         stats.reports == reports_sent;
   if (!bench_out.empty()) {
     std::ofstream out(bench_out);
     if (!out) {
@@ -264,12 +316,17 @@ int main(int argc, char** argv) {
         "  \"schema\": \"m2ai_serve_bench_v1\",\n"
         "  \"config\": {\"streams\": %d, \"rate_hz\": %g, \"duration_sec\": %g,\n"
         "             \"samples_per_stream\": %d, \"dsp_workers\": %d,\n"
-        "             \"max_batch\": %zu, \"windows_per_sample\": %d, \"seed\": %llu},\n"
+        "             \"max_batch\": %zu, \"windows_per_sample\": %d, \"seed\": %llu,\n"
+        "             \"wire\": %s},\n"
         "  \"wall_sec\": %.6f,\n"
         "  \"cpu_sec\": %.6f,\n"
         "  \"reports_sent\": %llu,\n"
         "  \"reports_assembled\": %llu,\n"
         "  \"late_dropped\": %llu,\n"
+        "  \"invalid_dropped\": %llu,\n"
+        "  \"wire_bytes\": %llu,\n"
+        "  \"wire_frames\": %llu,\n"
+        "  \"wire_rejects\": %llu,\n"
         "  \"frames\": %llu,\n"
         "  \"predictions\": %llu,\n"
         "  \"batches\": %llu,\n"
@@ -281,10 +338,16 @@ int main(int argc, char** argv) {
         num_streams, rate_hz, duration_sec, samples_per_stream,
         serve_config.dsp_workers, serve_config.max_batch,
         pipeline_config.windows_per_sample,
-        static_cast<unsigned long long>(seed), wall_sec, cpu_sec,
+        static_cast<unsigned long long>(seed), wire ? "true" : "false",
+        wall_sec, cpu_sec,
         static_cast<unsigned long long>(reports_sent),
         static_cast<unsigned long long>(stats.reports),
         static_cast<unsigned long long>(stats.late_dropped),
+        static_cast<unsigned long long>(stats.invalid_dropped),
+        static_cast<unsigned long long>(stats.wire.bytes_fed),
+        static_cast<unsigned long long>(stats.wire.frames),
+        static_cast<unsigned long long>(stats.wire.rejected_frames() +
+                                        stats.wire.rejected_records()),
         static_cast<unsigned long long>(stats.frames),
         static_cast<unsigned long long>(stats.predictions),
         static_cast<unsigned long long>(stats.batches),
