@@ -18,6 +18,7 @@
 #include "dsp/music.hpp"
 #include "dsp/periodogram.hpp"
 #include "core/experiment.hpp"
+#include "kern/backend.hpp"
 #include "kern/eig4.hpp"
 #include "kern/kernels.hpp"
 #include "nn/optimizer.hpp"
@@ -403,6 +404,102 @@ void run_kernel_micro() {
   std::printf("\n");
 }
 
+// Backend section: every dispatched kernel timed under the reference and
+// fast tables at the serving shapes. Exports
+// kern.<backend>.<name>.ns_per_op and kern.fast.<name>.speedup_vs_ref so
+// the committed BENCH json carries the ref-vs-fast story.
+void run_backend_comparison() {
+  if (!kern::fast_backend_supported()) {
+    std::printf("kernel backends — fast backend unsupported on this CPU "
+                "(reference only)\n\n");
+    obs::registry().gauge("kern.fast.supported").set(0.0);
+    return;
+  }
+  obs::registry().gauge("kern.fast.supported").set(1.0);
+  util::Rng rng(43);
+
+  // LSTM gate GEMV 4H x (I+H), H = I = 32; gate GEMM over a batch of 8.
+  const int rows = 128, cols = 64, batch = 8;
+  std::vector<float> w(static_cast<std::size_t>(rows) * cols), x(cols), b(rows),
+      y(rows);
+  for (auto& v : w) v = static_cast<float>(rng.normal());
+  for (auto& v : x) v = static_cast<float>(rng.normal());
+  for (auto& v : b) v = static_cast<float>(rng.normal());
+  std::vector<float> a(static_cast<std::size_t>(batch) * cols),
+      wt(static_cast<std::size_t>(cols) * rows),
+      c(static_cast<std::size_t>(batch) * rows), bias(rows);
+  for (auto& v : a) v = static_cast<float>(rng.normal());
+  for (auto& v : bias) v = static_cast<float>(rng.normal());
+  for (int j = 0; j < rows; ++j) {
+    for (int k = 0; k < cols; ++k) {
+      wt[static_cast<std::size_t>(k) * rows + j] = w[static_cast<std::size_t>(j) * cols + k];
+    }
+  }
+
+  // Conv1d row: first pseudo-branch layer (L=180, K=7, stride 2, pad 3).
+  std::vector<float> cx(180), cw(7), cpartial(90);
+  for (auto& v : cx) v = static_cast<float>(rng.normal());
+  for (auto& v : cw) v = static_cast<float>(rng.normal());
+
+  // MUSIC projection: 2 noise vectors x 4 antennas over 180 bins.
+  const auto steer_src = rf::steering_vector(50.0, 4, 0.08, 0.33);
+  std::vector<dsp::cdouble> steer(180 * 4), un(8);
+  for (std::size_t i = 0; i < steer.size(); ++i) {
+    steer[i] = steer_src[i % 4] * std::polar(1.0, 0.01 * static_cast<double>(i));
+  }
+  for (std::size_t i = 0; i < un.size(); ++i) un[i] = steer_src[i % 4];
+  std::vector<double> denom(180);
+
+  struct Row {
+    const char* name;
+    double ref_ns;
+    double fast_ns;
+  };
+  const auto time_backend = [&](const kern::Backend& be) {
+    struct Times {
+      double gemv, gemm_bias, conv, music;
+    } t{};
+    t.gemv = measure_ns_per_op([&] {
+      be.gemv(w.data(), x.data(), b.data(), y.data(), rows, cols);
+      benchmark::DoNotOptimize(y.data());
+    });
+    t.gemm_bias = measure_ns_per_op([&] {
+      be.gemm_bias(a.data(), wt.data(), bias.data(), c.data(), batch, cols, rows);
+      benchmark::DoNotOptimize(c.data());
+    });
+    t.conv = measure_ns_per_op([&] {
+      std::memset(cpartial.data(), 0, cpartial.size() * sizeof(float));
+      be.conv1d_row_acc(cx.data(), 180, cw.data(), 7, 2, 3, cpartial.data(), 90);
+      benchmark::DoNotOptimize(cpartial.data());
+    });
+    t.music = measure_ns_per_op([&] {
+      be.noise_projection(un.data(), 2, steer.data(), 180, 4, denom.data());
+      benchmark::DoNotOptimize(denom.data());
+    });
+    return t;
+  };
+  const auto ref = time_backend(kern::reference_backend());
+  const auto fast = time_backend(kern::fast_backend());
+  const Row rows_out[] = {
+      {"gemv_128x64", ref.gemv, fast.gemv},
+      {"gemm_bias_8x64x128", ref.gemm_bias, fast.gemm_bias},
+      {"conv1d_row_180_k7s2p3", ref.conv, fast.conv},
+      {"noise_projection_2x4x180", ref.music, fast.music},
+  };
+  std::printf("kernel backends — reference vs fast (ns/op)\n");
+  std::printf("%28s %12s %12s %9s\n", "kernel", "ref", "fast", "speedup");
+  for (const Row& r : rows_out) {
+    const double speedup = r.fast_ns > 0.0 ? r.ref_ns / r.fast_ns : 0.0;
+    std::printf("%28s %12.1f %12.1f %8.2fx\n", r.name, r.ref_ns, r.fast_ns,
+                speedup);
+    auto& reg = obs::registry();
+    reg.gauge(std::string("kern.ref.") + r.name + ".ns_per_op").set(r.ref_ns);
+    reg.gauge(std::string("kern.fast.") + r.name + ".ns_per_op").set(r.fast_ns);
+    reg.gauge(std::string("kern.fast.") + r.name + ".speedup_vs_ref").set(speedup);
+  }
+  std::printf("\n");
+}
+
 // Timeline section: the flight recorder's contract is that a disabled
 // timeline costs one relaxed atomic load per call site — within 2x of the
 // no-op cost of a disabled ScopedSpan. The three gauges below let
@@ -509,6 +606,7 @@ int main(int argc, char** argv) {
   run_parallel_scaling();
   run_training_scaling();
   run_kernel_micro();
+  run_backend_comparison();
   benchmark::RunSpecifiedBenchmarks();
   run_span_comparison();
   benchmark::Shutdown();

@@ -6,6 +6,7 @@
 #include <filesystem>
 #include <string>
 
+#include "kern/backend.hpp"
 #include "obs/export.hpp"
 #include "obs/metrics.hpp"
 #include "obs/timeline.hpp"
@@ -84,6 +85,10 @@ int init_observability(int argc, char** argv) {
       par::set_num_threads(std::atoi(argv[++i]));
     } else if (token.rfind("--threads=", 0) == 0) {
       par::set_num_threads(std::atoi(token.c_str() + std::string("--threads=").size()));
+    } else if (token == "--backend" && i + 1 < argc) {
+      kern::set_backend_by_name(argv[++i]);
+    } else if (token.rfind("--backend=", 0) == 0) {
+      kern::set_backend_by_name(token.substr(std::string("--backend=").size()));
     } else {
       argv[out++] = argv[i];
     }

@@ -21,6 +21,12 @@
 //                          gradient reduction), and evaluation (default:
 //                          hardware concurrency; results and trained
 //                          checkpoints are bitwise-identical at any N)
+//
+// Kernel backend: every bench binary accepts
+//   --backend <ref|fast>   kernel backend for inference hot paths (default
+//                          ref, or M2AI_KERN_BACKEND; `fast` falls back to
+//                          ref when the CPU lacks AVX2/FMA). Training
+//                          always uses ref — see DESIGN.md §11.
 #pragma once
 
 #include <string>
@@ -41,12 +47,12 @@ double env_scale();
 // before building experiment configs — registration snapshots the scale.
 void set_scale_override(double scale);
 
-// Parses and strips --metrics-out/--trace/--trace-out/--threads from argv
-// (argv is
-// compacted in place and re-null-terminated; the new argc is returned).
-// When an obs flag is present, enables the obs layer and registers the
-// matching export to run at normal process exit; --threads configures the
-// parallel layer. Call first thing in main().
+// Parses and strips --metrics-out/--trace/--trace-out/--threads/--backend
+// from argv (argv is compacted in place and re-null-terminated; the new
+// argc is returned). When an obs flag is present, enables the obs layer and
+// registers the matching export to run at normal process exit; --threads
+// configures the parallel layer; --backend selects the kernel backend.
+// Call first thing in main().
 int init_observability(int argc, char** argv);
 
 // Headline configuration (Fig. 9 / Table I): the paper's default setup.

@@ -1,5 +1,6 @@
 #include "core/model.hpp"
 
+#include <map>
 #include <stdexcept>
 
 #include "nn/activations.hpp"
@@ -202,9 +203,21 @@ M2AINetwork::StepResult M2AINetwork::train_step(const Sample& sample) {
   return result;
 }
 
-std::vector<double> M2AINetwork::predict_proba(const FrameSequence& frames) {
-  const std::vector<nn::Tensor> states =
-      forward_sequence(frames, /*train=*/false);
+std::vector<nn::Tensor> M2AINetwork::eval_features(const FrameSequence& frames) {
+  std::vector<nn::Tensor> feats;
+  feats.reserve(frames.size());
+  for (const SpectrumFrame& frame : frames) {
+    if (model_.arch == NetworkArch::kLstmOnly) {
+      feats.push_back(raw_features(frame));
+    } else {
+      feats.push_back(frame_features(frame, /*train=*/false));
+    }
+  }
+  return feats;
+}
+
+std::vector<double> M2AINetwork::proba_sum_from_states(
+    const std::vector<nn::Tensor>& states) {
   std::vector<double> prob_sum(static_cast<std::size_t>(num_classes_), 0.0);
   for (const nn::Tensor& s : states) {
     const nn::Tensor probs = nn::softmax(head_->forward(s, /*train=*/false));
@@ -212,6 +225,21 @@ std::vector<double> M2AINetwork::predict_proba(const FrameSequence& frames) {
       prob_sum[static_cast<std::size_t>(c)] += probs[static_cast<std::size_t>(c)];
     }
   }
+  return prob_sum;
+}
+
+int M2AINetwork::argmax_class(const std::vector<double>& probs) {
+  int best = 0;
+  for (std::size_t c = 1; c < probs.size(); ++c) {
+    if (probs[c] > probs[static_cast<std::size_t>(best)]) best = static_cast<int>(c);
+  }
+  return best;
+}
+
+std::vector<double> M2AINetwork::predict_proba(const FrameSequence& frames) {
+  const std::vector<nn::Tensor> states =
+      forward_sequence(frames, /*train=*/false);
+  std::vector<double> prob_sum = proba_sum_from_states(states);
   double total = 0.0;
   for (double p : prob_sum) total += p;
   if (total > 0.0) {
@@ -221,14 +249,54 @@ std::vector<double> M2AINetwork::predict_proba(const FrameSequence& frames) {
 }
 
 int M2AINetwork::predict(const FrameSequence& frames) {
-  const std::vector<double> probs = predict_proba(frames);
-  int best = 0;
-  for (int c = 1; c < num_classes_; ++c) {
-    if (probs[static_cast<std::size_t>(c)] > probs[static_cast<std::size_t>(best)]) {
-      best = c;
+  return argmax_class(predict_proba(frames));
+}
+
+std::vector<int> M2AINetwork::predict_batch(
+    const std::vector<const FrameSequence*>& batch) {
+  M2AI_OBS_SPAN("nn_batch");
+  const std::size_t n = batch.size();
+  std::vector<int> labels(n, 0);
+  if (n == 0) return labels;
+
+  // Per-frame CNN/merge features stay per-sample (the conv kernels vectorize
+  // internally); the LSTM stack — the dominant per-stream cost — batches.
+  std::vector<std::vector<nn::Tensor>> feats(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (batch[i] == nullptr) {
+      throw std::invalid_argument("M2AINetwork::predict_batch: null sequence");
+    }
+    feats[i] = eval_features(*batch[i]);
+  }
+
+  std::vector<std::vector<nn::Tensor>> states(n);
+  if (model_.arch == NetworkArch::kCnnOnly) {
+    states = std::move(feats);
+  } else {
+    // forward_batch needs equal-length sequences; serving batches are
+    // usually uniform (fixed window), so grouping is normally one group.
+    std::map<std::size_t, std::vector<std::size_t>> by_len;
+    for (std::size_t i = 0; i < n; ++i) by_len[feats[i].size()].push_back(i);
+    for (const auto& group : by_len) {
+      const std::vector<std::size_t>& idxs = group.second;
+      std::vector<const std::vector<nn::Tensor>*> in1;
+      in1.reserve(idxs.size());
+      for (std::size_t i : idxs) in1.push_back(&feats[i]);
+      const std::vector<std::vector<nn::Tensor>> h1 = lstm1_->forward_batch(in1);
+      std::vector<const std::vector<nn::Tensor>*> in2;
+      in2.reserve(h1.size());
+      for (const std::vector<nn::Tensor>& h : h1) in2.push_back(&h);
+      std::vector<std::vector<nn::Tensor>> h2 = lstm2_->forward_batch(in2);
+      for (std::size_t b = 0; b < idxs.size(); ++b) states[idxs[b]] = std::move(h2[b]);
     }
   }
-  return best;
+
+  // Unnormalized per-class sums argmax to the same label predict() returns
+  // from the normalized ones (positive scaling).
+  for (std::size_t i = 0; i < n; ++i) {
+    labels[i] = argmax_class(proba_sum_from_states(states[i]));
+  }
+  return labels;
 }
 
 std::vector<nn::Param*> M2AINetwork::params() {

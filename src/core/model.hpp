@@ -33,6 +33,13 @@ class M2AINetwork {
   int predict(const FrameSequence& frames);
   // Per-class summed probabilities (normalized); useful for examples.
   std::vector<double> predict_proba(const FrameSequence& frames);
+  // Batched inference for the serving micro-batch: one label per sequence.
+  // Sequences are grouped by length internally and each group's LSTM stack
+  // runs batched (nn::Lstm::forward_batch) — one gemm per timestep across
+  // the group instead of one gemv per stream. Per-sample math is otherwise
+  // identical to predict(), so under the reference backend the labels are
+  // bitwise-identical to sequential predict() calls.
+  std::vector<int> predict_batch(const std::vector<const FrameSequence*>& batch);
 
   std::vector<nn::Param*> params();
   std::size_t num_parameters();
@@ -68,6 +75,14 @@ class M2AINetwork {
 
   // Sequence forward shared by train/predict paths.
   std::vector<nn::Tensor> forward_sequence(const FrameSequence& frames, bool train);
+
+  // Per-frame feature stage of forward_sequence (everything before the
+  // LSTMs), eval mode.
+  std::vector<nn::Tensor> eval_features(const FrameSequence& frames);
+  // Softmax-head tail shared by predict_proba and predict_batch: per-frame
+  // probabilities summed over the sequence (unnormalized).
+  std::vector<double> proba_sum_from_states(const std::vector<nn::Tensor>& states);
+  static int argmax_class(const std::vector<double>& probs);
 
   ModelConfig model_;
   FeatureMode mode_;

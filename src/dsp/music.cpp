@@ -8,6 +8,7 @@
 #include <tuple>
 
 #include "dsp/eig.hpp"
+#include "kern/backend.hpp"
 #include "kern/kernels.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -158,9 +159,12 @@ MusicResult MusicEstimator::estimate_from_covariance(const CMatrix& r) const {
   }
   result.spectrum.resize(bins);
   std::vector<double> denom(bins);
-  kern::noise_projection(un.data(), static_cast<int>(num_noise),
-                         steering_flat_.data(), static_cast<int>(bins),
-                         static_cast<int>(n), denom.data());
+  // Dispatched: the MUSIC scan feeds inference/serving features, so the fast
+  // backend may take it; experiments run with the default reference backend
+  // and stay bitwise.
+  kern::active().noise_projection(un.data(), static_cast<int>(num_noise),
+                                  steering_flat_.data(), static_cast<int>(bins),
+                                  static_cast<int>(n), denom.data());
   double peak = 0.0;
   for (std::size_t bin = 0; bin < bins; ++bin) {
     const double p = 1.0 / std::max(denom[bin], 1e-12);

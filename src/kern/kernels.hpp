@@ -67,6 +67,29 @@ inline void gemm(const float* a, const float* b, float* c, int m, int k, int n) 
   }
 }
 
+// GEMM with a per-column bias: C[i,j] = (bias ? bias[j] : 0) + sum_k A[i,k] *
+// B[k,j]. Each output element starts from its bias and accumulates k
+// ascending — exactly gemv's per-element order — so batching B gemv calls
+// with the same weight matrix into one gemm_bias call (A = stacked inputs,
+// B = transposed weights) is bitwise-identical to the B separate gemv calls.
+inline void gemm_bias(const float* a, const float* b, const float* bias, float* c,
+                      int m, int k, int n) {
+  for (int i = 0; i < m; ++i) {
+    float* ci = c + static_cast<std::size_t>(i) * n;
+    if (bias != nullptr) {
+      for (int j = 0; j < n; ++j) ci[j] = bias[j];
+    } else {
+      for (int j = 0; j < n; ++j) ci[j] = 0.0f;
+    }
+    const float* ai = a + static_cast<std::size_t>(i) * k;
+    for (int kk = 0; kk < k; ++kk) {
+      const float av = ai[kk];
+      const float* bk = b + static_cast<std::size_t>(kk) * n;
+      for (int j = 0; j < n; ++j) ci[j] += av * bk[j];
+    }
+  }
+}
+
 // One input-channel row of a strided/padded 1-D convolution:
 //   partial[ol] += w[k] * x[ol*stride - padding + k]
 // over exactly the taps that land inside [0, len). The k-outer / ol-inner

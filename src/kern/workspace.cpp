@@ -1,20 +1,31 @@
 #include "kern/workspace.hpp"
 
 #include <algorithm>
+#include <cstdint>
 #include <cstring>
 
 namespace m2ai::kern {
 
 namespace {
 constexpr std::size_t kMinBlockFloats = 4096;
+constexpr std::size_t kAlignBytes = 64;
+constexpr std::size_t kAlignFloats = kAlignBytes / sizeof(float);
+
+// Round a float count up to a whole number of 64-byte lines. Keeping both
+// block capacities and individual requests line-granular means the bump
+// pointer (base + used) is 64-byte aligned before and after every alloc.
+std::size_t round_up(std::size_t n) {
+  return (n + kAlignFloats - 1) / kAlignFloats * kAlignFloats;
 }
+}  // namespace
 
 float* Workspace::alloc(std::size_t n) {
   if (n == 0) n = 1;  // keep returned pointers distinct and dereferenceable
+  n = round_up(n);
   while (active_ < blocks_.size()) {
     Block& b = blocks_[active_];
     if (b.capacity - b.used >= n) {
-      float* p = b.data.get() + b.used;
+      float* p = b.base + b.used;
       b.used += n;
       return p;
     }
@@ -26,11 +37,16 @@ float* Workspace::alloc(std::size_t n) {
   const std::size_t last_cap = blocks_.empty() ? 0 : blocks_.back().capacity;
   Block b;
   b.capacity = std::max({kMinBlockFloats, 2 * last_cap, n});
-  b.data = std::make_unique<float[]>(b.capacity);
+  // Over-allocate one line and slide to the first aligned float —
+  // make_unique only guarantees alignof(float).
+  b.raw = std::make_unique<float[]>(b.capacity + kAlignFloats);
+  const std::uintptr_t addr = reinterpret_cast<std::uintptr_t>(b.raw.get());
+  const std::uintptr_t aligned = (addr + kAlignBytes - 1) / kAlignBytes * kAlignBytes;
+  b.base = b.raw.get() + (aligned - addr) / sizeof(float);
   b.used = n;
   blocks_.push_back(std::move(b));
   active_ = blocks_.size() - 1;
-  return blocks_.back().data.get();
+  return blocks_.back().base;
 }
 
 float* Workspace::alloc_zero(std::size_t n) {

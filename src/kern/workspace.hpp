@@ -2,11 +2,15 @@
 //
 // Hot loops (LSTM timesteps, conv rows, spectrum scans) used to allocate
 // fresh Tensors/vectors on every call; the Workspace gives them reusable
-// memory with two guarantees the kernels rely on:
+// memory with three guarantees the kernels rely on:
 //   - pointers returned by alloc() stay valid until the next reset() —
-//     growth appends new blocks, existing blocks never move; and
+//     growth appends new blocks, existing blocks never move;
 //   - reset() keeps the blocks, so a steady-state loop performs no heap
-//     traffic at all after its first iteration.
+//     traffic at all after its first iteration; and
+//   - every returned pointer is 64-byte aligned (cache-line / AVX-512
+//     width), so the fast kernel backend can use aligned vector loads.
+//     Requests are rounded up to 64-byte multiples internally to keep the
+//     bump pointer aligned; floats_reserved() reports the rounded sizes.
 //
 // A Workspace is single-owner state (one per layer instance); it is NOT
 // thread-safe and must not be shared across replicas.
@@ -34,7 +38,8 @@ class Workspace {
 
  private:
   struct Block {
-    std::unique_ptr<float[]> data;
+    std::unique_ptr<float[]> raw;  // owns base + alignment slack
+    float* base = nullptr;         // first 64-byte-aligned float in raw
     std::size_t capacity = 0;
     std::size_t used = 0;
   };

@@ -4,6 +4,7 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "kern/backend.hpp"
 #include "kern/kernels.hpp"
 
 namespace m2ai::nn {
@@ -47,6 +48,15 @@ Tensor Conv1d::forward(const Tensor& input, bool train) {
   // scalar loop, but with the bounds tests hoisted out of the inner loop.
   ws_.reset();
   float* partial = ws_.alloc(static_cast<std::size_t>(out_len));
+  // Training pins the reference kernel (bitwise-reproducible checkpoints);
+  // evaluation dispatches to the active backend.
+  const kern::Backend& be = train ? kern::reference_backend() : kern::active();
+  // The fast backend is epsilon-equivalent anyway, so it may skip the
+  // partial row and accumulate taps straight into the bias-seeded output —
+  // dropping a zero + fold pass per (oc, ic) pair. The reference keeps the
+  // partial+fold structure, whose per-element order the bitwise contract
+  // pins.
+  const bool acc_in_place = &be != &kern::reference_backend();
   for (int oc = 0; oc < out_channels_; ++oc) {
     float* y_oc = out + static_cast<std::size_t>(oc) * out_len;
     const float b = bias_.value[static_cast<std::size_t>(oc)];
@@ -55,9 +65,14 @@ Tensor Conv1d::forward(const Tensor& input, bool train) {
       const float* x_ic = x + static_cast<std::size_t>(ic) * len;
       const float* w_row =
           w + (static_cast<std::size_t>(oc) * in_channels_ + ic) * kernel_;
+      if (acc_in_place) {
+        be.conv1d_row_acc(x_ic, len, w_row, kernel_, stride_, padding_, y_oc,
+                          out_len);
+        continue;
+      }
       std::memset(partial, 0, static_cast<std::size_t>(out_len) * sizeof(float));
-      kern::conv1d_row_acc(x_ic, len, w_row, kernel_, stride_, padding_, partial,
-                           out_len);
+      be.conv1d_row_acc(x_ic, len, w_row, kernel_, stride_, padding_, partial,
+                        out_len);
       for (int ol = 0; ol < out_len; ++ol) y_oc[ol] += partial[ol];
     }
   }

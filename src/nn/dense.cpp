@@ -3,6 +3,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "kern/backend.hpp"
 #include "kern/kernels.hpp"
 
 namespace m2ai::nn {
@@ -24,9 +25,28 @@ Tensor Dense::forward(const Tensor& input, bool train) {
                                 " features, got " + x.shape_string());
   }
   Tensor y({out_});
-  kern::gemv(weight_.value.data(), x.data(), bias_.value.data(), y.data(), out_, in_);
+  // Training is pinned to the reference backend so checkpoints stay bitwise
+  // reproducible no matter which backend is active; evaluation dispatches.
+  const kern::Backend& be = train ? kern::reference_backend() : kern::active();
+  be.gemv(weight_.value.data(), x.data(), bias_.value.data(), y.data(), out_, in_);
   if (train) cache_.push_back(x);
   return y;
+}
+
+void Dense::forward_batch(const float* x, int batch, float* y,
+                          kern::Workspace& ws) const {
+  // WT[k, j] = W[j, k]: gemm_bias wants the [in, out] operand so each output
+  // row accumulates k-ascending — the same per-element order as forward()'s
+  // gemv, making this bitwise-identical to `batch` forward() calls under the
+  // reference backend.
+  float* wt = ws.alloc(static_cast<std::size_t>(in_) * out_);
+  const float* w = weight_.value.data();
+  for (int j = 0; j < out_; ++j) {
+    for (int k = 0; k < in_; ++k) {
+      wt[static_cast<std::size_t>(k) * out_ + j] = w[static_cast<std::size_t>(j) * in_ + k];
+    }
+  }
+  kern::active().gemm_bias(x, wt, bias_.value.data(), y, batch, in_, out_);
 }
 
 Tensor Dense::backward(const Tensor& grad_output) {

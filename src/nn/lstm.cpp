@@ -4,6 +4,7 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "kern/backend.hpp"
 #include "kern/kernels.hpp"
 
 namespace m2ai::nn {
@@ -57,6 +58,9 @@ std::vector<Tensor> Lstm::forward(const std::vector<Tensor>& inputs, bool train)
   const float* c_prev = zeros;
   std::vector<Tensor> outputs;
   outputs.reserve(inputs.size());
+  // Training pins the reference kernel (bitwise-reproducible checkpoints);
+  // evaluation dispatches to the active backend.
+  const kern::Backend& be = train ? kern::reference_backend() : kern::active();
 
   for (const Tensor& input : inputs) {
     const Tensor x = input.rank() == 1 ? input : input.flattened();
@@ -68,7 +72,7 @@ std::vector<Tensor> Lstm::forward(const std::vector<Tensor>& inputs, bool train)
     std::memcpy(xh + in_size, h_prev, static_cast<std::size_t>(h_size) * sizeof(float));
 
     // z = W [x; h_prev] + b, gate blocks [i; f; g; o], one fused GEMV.
-    kern::gemv(weight_.value.data(), xh, bias_.value.data(), z, rows, joint);
+    be.gemv(weight_.value.data(), xh, bias_.value.data(), z, rows, joint);
 
     float* gates = train ? ws.alloc(static_cast<std::size_t>(rows)) : z;
     float* c = train ? ws.alloc(static_cast<std::size_t>(h_size)) : c_eval;
@@ -91,6 +95,83 @@ std::vector<Tensor> Lstm::forward(const std::vector<Tensor>& inputs, bool train)
     // c[u] reads only c_prev[u].
     h_prev = outputs.back().data();
     c_prev = c;
+  }
+  return outputs;
+}
+
+std::vector<std::vector<Tensor>> Lstm::forward_batch(
+    const std::vector<const std::vector<Tensor>*>& seqs) {
+  const std::size_t batch = seqs.size();
+  if (batch == 0) return {};
+  const std::size_t t_len = seqs[0]->size();
+  for (const std::vector<Tensor>* s : seqs) {
+    if (s == nullptr || s->size() != t_len) {
+      throw std::invalid_argument("Lstm::forward_batch: unequal sequence lengths");
+    }
+  }
+  const int h_size = hidden_size_;
+  const int in_size = input_size_;
+  const int joint = in_size + h_size;
+  const int rows = 4 * h_size;
+
+  scratch_ws_.reset();
+  // WT[k, j] = W[j, k]: the [joint, 4H] operand gemm_bias needs so each
+  // sample's gate row accumulates k-ascending — the same per-element order
+  // as forward()'s gemv, making this bitwise-identical to `batch` separate
+  // forward(·, false) calls under the reference backend.
+  float* wt = scratch_ws_.alloc(static_cast<std::size_t>(joint) * rows);
+  {
+    const float* w = weight_.value.data();
+    for (int j = 0; j < rows; ++j) {
+      for (int k = 0; k < joint; ++k) {
+        wt[static_cast<std::size_t>(k) * rows + j] = w[static_cast<std::size_t>(j) * joint + k];
+      }
+    }
+  }
+  float* xh = scratch_ws_.alloc(batch * static_cast<std::size_t>(joint));
+  float* z = scratch_ws_.alloc(batch * static_cast<std::size_t>(rows));
+  float* c = scratch_ws_.alloc_zero(batch * static_cast<std::size_t>(h_size));
+  const float* zeros = scratch_ws_.alloc_zero(static_cast<std::size_t>(h_size));
+
+  std::vector<const float*> h_prev(batch, zeros);
+  std::vector<std::vector<Tensor>> outputs(batch);
+  for (std::size_t b = 0; b < batch; ++b) outputs[b].reserve(t_len);
+
+  for (std::size_t t = 0; t < t_len; ++t) {
+    for (std::size_t b = 0; b < batch; ++b) {
+      const Tensor& input = (*seqs[b])[t];
+      const Tensor x = input.rank() == 1 ? input : input.flattened();
+      if (static_cast<int>(x.size()) != in_size) {
+        throw std::invalid_argument("Lstm::forward_batch: bad input size " +
+                                    x.shape_string());
+      }
+      float* row = xh + b * static_cast<std::size_t>(joint);
+      std::memcpy(row, x.data(), static_cast<std::size_t>(in_size) * sizeof(float));
+      std::memcpy(row + in_size, h_prev[b],
+                  static_cast<std::size_t>(h_size) * sizeof(float));
+    }
+    // Z = XH · WT + b over the whole micro-batch: one gemm instead of
+    // `batch` gemvs per timestep — the batched serving fast path.
+    kern::active().gemm_bias(xh, wt, bias_.value.data(), z,
+                             static_cast<int>(batch), joint, rows);
+    for (std::size_t b = 0; b < batch; ++b) {
+      float* zb = z + b * static_cast<std::size_t>(rows);
+      float* cb = c + b * static_cast<std::size_t>(h_size);
+      for (int u = 0; u < h_size; ++u) zb[u] = sigmoid(zb[u]);
+      for (int u = 0; u < h_size; ++u) zb[h_size + u] = sigmoid(zb[h_size + u]);
+      for (int u = 0; u < h_size; ++u) zb[2 * h_size + u] = std::tanh(zb[2 * h_size + u]);
+      for (int u = 0; u < h_size; ++u) zb[3 * h_size + u] = sigmoid(zb[3 * h_size + u]);
+      Tensor h_new({h_size});
+      float* h = h_new.data();
+      for (int u = 0; u < h_size; ++u) {
+        // Same in-place cell update as eval forward(): cb[u] reads only its
+        // own previous value.
+        cb[u] = zb[h_size + u] * cb[u] + zb[u] * zb[2 * h_size + u];
+        h[u] = zb[3 * h_size + u] * std::tanh(cb[u]);
+      }
+      outputs[b].push_back(std::move(h_new));
+      h_prev[b] = outputs[b].back().data();
+    }
   }
   return outputs;
 }

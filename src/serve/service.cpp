@@ -4,6 +4,7 @@
 #include <string>
 #include <utility>
 
+#include "kern/backend.hpp"
 #include "obs/metrics.hpp"
 #include "obs/timeline.hpp"
 #include "obs/trace.hpp"
@@ -251,10 +252,27 @@ void Service::nn_loop() {
     }
     M2AI_OBS_SPAN("serve.nn_batch");
     batches_total_.fetch_add(1, std::memory_order_relaxed);
-    for (Request& request : batch) {
+    // Under the fast backend the whole micro-batch runs as one batched
+    // inference — one gemm across streams per LSTM timestep. The reference
+    // path keeps the per-request predict() calls below so its serving
+    // behavior stays identical to the pre-backend code.
+    std::vector<int> batch_labels;
+    if (batch.size() > 1 &&
+        kern::active_backend_kind() == kern::BackendKind::kFast) {
+      std::vector<const core::FrameSequence*> seqs;
+      seqs.reserve(batch.size());
+      for (const Request& r : batch) seqs.push_back(&r.frames);
+      obs::ScopedSpan span("serve.predict_batch");
+      span.arg("requests", static_cast<std::int64_t>(batch.size()));
+      batch_labels = network_->predict_batch(seqs);
+    }
+    for (std::size_t bi = 0; bi < batch.size(); ++bi) {
+      Request& request = batch[bi];
       obs::timeline_flow_end("serve.request", request.flow);
       int label = 0;
-      {
+      if (!batch_labels.empty()) {
+        label = batch_labels[bi];
+      } else {
         obs::ScopedSpan span("serve.predict");
         span.arg("stream", request.stream);
         span.arg("frame", static_cast<std::int64_t>(request.frame_index));

@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <complex>
+#include <cstdint>
 #include <cstring>
 #include <vector>
 
@@ -258,6 +259,23 @@ TEST(KernWorkspace, PointersStableAcrossGrowthAndReusedAfterReset) {
   EXPECT_EQ(ws.alloc(16), a);
   EXPECT_EQ(ws.alloc(1 << 20), big);
   EXPECT_EQ(ws.floats_reserved(), reserved);
+}
+
+TEST(KernWorkspace, EveryAllocationIs64ByteAligned) {
+  // The fast kernel backend uses cache-line-aligned vector loads; the
+  // workspace guarantees 64-byte alignment for every returned pointer, not
+  // just the first per block, at any awkward request size.
+  kern::Workspace ws;
+  for (const std::size_t n : {1ul, 3ul, 16ul, 17ul, 63ul, 4096ul, 4097ul}) {
+    const float* p = ws.alloc(n);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(p) % 64, 0u) << "n=" << n;
+  }
+  ws.reset();
+  // Reuse after reset keeps the guarantee (same bump sequence, same blocks).
+  for (const std::size_t n : {5ul, 100ul, 7ul}) {
+    const float* p = ws.alloc_zero(n);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(p) % 64, 0u) << "n=" << n;
+  }
 }
 
 TEST(KernWorkspace, AllocZeroZeroesReusedMemory) {

@@ -12,14 +12,17 @@
 //     worker count, and batch size.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cmath>
 #include <complex>
+#include <functional>
 #include <thread>
 #include <vector>
 
 #include "core/model.hpp"
 #include "core/pipeline.hpp"
+#include "kern/backend.hpp"
 #include "par/spsc_queue.hpp"
 #include "serve/assembler.hpp"
 #include "serve/incremental.hpp"
@@ -343,6 +346,75 @@ TEST(ServeService, DeterministicAcrossStreamCountsAndMatchesOffline) {
           << "stream " << s << " of " << num_streams;
       EXPECT_GE(preds[0].latency_ms, 0.0);
     }
+  }
+}
+
+// End-to-end contract of the fast kernel backend: serving under
+// --backend fast yields the same activity labels as the offline reference
+// prediction. The fast path is epsilon-equivalent (SIMD/FMA reassociation in
+// both the MUSIC projection and the batched NN), so label equality is only
+// asserted where the reference posterior's top-2 margin is comfortably wider
+// than the kernel tolerance — a near-tie flipping is not a backend bug.
+TEST(ServeService, FastBackendMatchesReferenceLabels) {
+  if (!m2ai::kern::fast_backend_supported()) {
+    GTEST_SKIP() << "CPU lacks AVX2/FMA; fast backend falls back to ref";
+  }
+  const m2ai::kern::BackendKind saved = m2ai::kern::active_backend_kind();
+
+  m2ai::core::PipelineConfig config;
+  config.windows_per_sample = 4;
+  m2ai::core::Pipeline pipeline(config, 2024);
+  const double t0 = config.bootstrap_sec + 0.5 * config.window_sec;
+
+  std::vector<m2ai::core::SampleRun> runs;
+  runs.push_back(pipeline.run_sample(1, pipeline.fork_sample_rng()));
+  runs.push_back(pipeline.run_sample(5, pipeline.fork_sample_rng()));
+
+  m2ai::core::ModelConfig model_config;
+  m2ai::core::M2AINetwork reference(model_config, config.feature_mode,
+                                    pipeline.num_tags(), config.num_antennas, 12);
+  m2ai::kern::set_backend(m2ai::kern::BackendKind::kReference);
+  std::vector<int> offline;
+  std::vector<double> margin;
+  for (const auto& run : runs) {
+    offline.push_back(reference.predict(run.sample.frames));
+    std::vector<double> proba = reference.predict_proba(run.sample.frames);
+    std::sort(proba.begin(), proba.end(), std::greater<double>());
+    margin.push_back(proba.size() > 1 ? proba[0] - proba[1] : 1.0);
+  }
+
+  // Enough streams that the nn loop forms multi-request batches and takes
+  // the batched gemm path (exercised only under the fast backend).
+  m2ai::kern::set_backend(m2ai::kern::BackendKind::kFast);
+  const int num_streams = 16;
+  m2ai::serve::ServeConfig serve_config;
+  serve_config.dsp_workers = 3;
+  serve_config.max_batch = 4;
+  m2ai::serve::Service service(serve_config, config, reference.clone());
+  for (int s = 0; s < num_streams; ++s) {
+    service.add_stream(runs[static_cast<std::size_t>(s % 2)].calibrator.get(), t0);
+  }
+  service.start();
+  std::vector<std::thread> producers;
+  for (int p = 0; p < 2; ++p) {
+    producers.emplace_back([&, p] {
+      for (int s = p; s < num_streams; s += 2) {
+        for (const auto& report : runs[static_cast<std::size_t>(s % 2)].reports) {
+          service.push(s, report);
+        }
+      }
+    });
+  }
+  for (auto& t : producers) t.join();
+  service.finish();
+  m2ai::kern::set_backend(saved);
+
+  for (int s = 0; s < num_streams; ++s) {
+    const auto& preds = service.predictions(s);
+    ASSERT_EQ(preds.size(), 1u) << "stream " << s;
+    if (margin[static_cast<std::size_t>(s % 2)] < 1e-3) continue;
+    EXPECT_EQ(preds[0].label, offline[static_cast<std::size_t>(s % 2)])
+        << "stream " << s;
   }
 }
 

@@ -17,6 +17,7 @@
 
 #include "core/experiment.hpp"
 #include "dsp/music.hpp"
+#include "kern/backend.hpp"
 #include "nn/serialize.hpp"
 #include "obs/export.hpp"
 #include "obs/metrics.hpp"
@@ -45,8 +46,11 @@ int usage() {
                "generation, training, and evaluation; default: all hardware\n"
                "threads; results and checkpoints are identical at any N),\n"
                "--metrics-out FILE (JSON, or CSV if FILE ends in .csv),\n"
-               "--trace (span tree on stderr at exit), and\n"
-               "--trace-out FILE (Chrome trace-event JSON for ui.perfetto.dev)\n");
+               "--trace (span tree on stderr at exit),\n"
+               "--trace-out FILE (Chrome trace-event JSON for ui.perfetto.dev),\n"
+               "and --backend ref|fast (kernel backend for inference; fast\n"
+               "uses SIMD and falls back to ref without AVX2/FMA; training\n"
+               "always runs ref — env override M2AI_KERN_BACKEND)\n");
   return 2;
 }
 
@@ -76,7 +80,8 @@ int cmd_catalog() {
 
 int cmd_simulate(const util::Args& args) {
   args.require_known({"activity", "persons", "tags", "seed", "out", "distance",
-                      "windows", "antennas", "metrics-out", "trace", "trace-out", "threads"});
+                      "windows", "antennas", "metrics-out", "trace", "trace-out",
+                      "threads", "backend"});
   const int activity = args.get_int("activity", 1);
   core::ExperimentConfig config = config_from(args);
   core::Pipeline pipeline(config.pipeline, config.seed);
@@ -98,7 +103,8 @@ int cmd_simulate(const util::Args& args) {
 
 int cmd_spectrum(const util::Args& args) {
   args.require_known({"activity", "persons", "tags", "seed", "distance", "windows",
-                      "antennas", "metrics-out", "trace", "trace-out", "threads"});
+                      "antennas", "metrics-out", "trace", "trace-out", "threads",
+                      "backend"});
   const int activity = args.get_int("activity", 1);
   core::ExperimentConfig config = config_from(args);
   core::Pipeline pipeline(config.pipeline, config.seed);
@@ -125,7 +131,7 @@ int cmd_spectrum(const util::Args& args) {
 int cmd_train(const util::Args& args) {
   args.require_known({"samples", "epochs", "persons", "tags", "antennas", "seed",
                       "model", "verbose", "distance", "windows", "metrics-out",
-                      "trace", "trace-out", "threads"});
+                      "trace", "trace-out", "threads", "backend"});
   const core::ExperimentConfig config = config_from(args);
   util::log_info() << "simulating " << config.samples_per_class << " samples/class";
   const core::DataSplit split = core::generate_dataset(config);
@@ -149,7 +155,8 @@ int cmd_train(const util::Args& args) {
 
 int cmd_eval(const util::Args& args) {
   args.require_known({"model", "samples", "persons", "tags", "antennas", "seed",
-                      "distance", "windows", "epochs", "metrics-out", "trace", "trace-out", "threads"});
+                      "distance", "windows", "epochs", "metrics-out", "trace",
+                      "trace-out", "threads", "backend"});
   if (!args.has("model")) return usage();
   core::ExperimentConfig config = config_from(args);
   config.seed ^= 0x5eedu;  // evaluate on data the checkpoint never saw
@@ -236,6 +243,9 @@ int main(int argc, char** argv) {
   // thread count reproduces --threads 1 bit for bit.
   par::set_num_threads(args.get_int("threads", 0));
   try {
+    // CLI flag wins over M2AI_KERN_BACKEND (applied at static init).
+    // Training paths are pinned to ref regardless — see DESIGN.md §11.
+    if (args.has("backend")) kern::set_backend_by_name(args.get("backend", "ref"));
     if (command == "catalog") return cmd_catalog();
     if (command == "simulate") return cmd_simulate(args);
     if (command == "spectrum") return cmd_spectrum(args);

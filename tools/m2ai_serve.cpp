@@ -28,6 +28,7 @@
 
 #include "core/model.hpp"
 #include "core/pipeline.hpp"
+#include "kern/backend.hpp"
 #include "obs/export.hpp"
 #include "obs/metrics.hpp"
 #include "obs/timeline.hpp"
@@ -46,7 +47,8 @@ int usage() {
                "                  [--samples K] [--workers W] [--batch B]\n"
                "                  [--producers P] [--activities A] [--windows T]\n"
                "                  [--persons P] [--tags T] [--seed S] [--wire]\n"
-               "                  [--wire-records R] [--bench-out FILE]\n"
+               "                  [--wire-records R] [--backend ref|fast]\n"
+               "                  [--bench-out FILE]\n"
                "                  [--metrics-out FILE] [--trace-out FILE]\n"
                "  --streams N    simulated reader streams (default 8)\n"
                "  --rate HZ      reports/sec per stream, 0 = unthrottled (default 0)\n"
@@ -57,7 +59,11 @@ int usage() {
                "  --producers P  producer threads (default min(streams, 4))\n"
                "  --wire         serialize reports to JRD-4035-style frames and\n"
                "                 ingest via the wire-protocol parser (src/proto)\n"
-               "  --wire-records R  tag records per inventory frame (default 1)\n");
+               "  --wire-records R  tag records per inventory frame (default 1)\n"
+               "  --backend B    kernel backend for inference: ref (default,\n"
+               "                 bitwise-deterministic) or fast (SIMD + batched\n"
+               "                 NN micro-batch; falls back to ref without\n"
+               "                 AVX2/FMA). Env override: M2AI_KERN_BACKEND\n");
   return 2;
 }
 
@@ -75,6 +81,83 @@ struct StreamSource {
   double t_begin = 0.0;
 };
 
+// ns/op of one backend's dispatched kernels at serving-shaped inputs
+// (LSTM-gate gemv, micro-batch gemm, CONV-E1 row, MUSIC scan). Exported as
+// kern.<backend>.<kernel>.ns_per_op gauges and embedded in the bench JSON so
+// committed BENCH_serve_*.json runs are comparable across backends.
+struct KernMicro {
+  double gemv_ns = 0.0;
+  double gemm_bias_ns = 0.0;
+  double conv1d_row_ns = 0.0;
+  double noise_projection_ns = 0.0;
+};
+
+KernMicro measure_kern(const kern::Backend& be) {
+  using clock = std::chrono::steady_clock;
+  const auto time_ns = [](int iters, const auto& op) {
+    op();  // warm up / fault in
+    const auto t0 = clock::now();
+    for (int i = 0; i < iters; ++i) op();
+    return std::chrono::duration<double, std::nano>(clock::now() - t0).count() /
+           iters;
+  };
+  const auto fill = [](std::vector<float>& v) {
+    for (std::size_t i = 0; i < v.size(); ++i) {
+      v[i] = 0.01f * static_cast<float>(i % 23) - 0.1f;
+    }
+  };
+
+  KernMicro m;
+  {
+    // LSTM gate GEMV: [4H, I+H] with H = 32, I = 32.
+    const int rows = 128, cols = 64;
+    std::vector<float> w(static_cast<std::size_t>(rows) * cols), x(cols),
+        b(rows), y(rows);
+    fill(w), fill(x), fill(b);
+    m.gemv_ns = time_ns(
+        2000, [&] { be.gemv(w.data(), x.data(), b.data(), y.data(), rows, cols); });
+  }
+  {
+    // Micro-batch gate GEMM: 8 streams x [I+H] x [4H].
+    const int mm = 8, kk = 64, nn = 128;
+    std::vector<float> a(static_cast<std::size_t>(mm) * kk),
+        bmat(static_cast<std::size_t>(kk) * nn), bias(nn),
+        c(static_cast<std::size_t>(mm) * nn);
+    fill(a), fill(bmat), fill(bias);
+    m.gemm_bias_ns = time_ns(500, [&] {
+      be.gemm_bias(a.data(), bmat.data(), bias.data(), c.data(), mm, kk, nn);
+    });
+  }
+  {
+    // CONV-E1 row: 180 angle bins, kernel 7, stride 2, padding 3.
+    const int len = 180, kernel = 7, stride = 2, padding = 3, out_len = 90;
+    std::vector<float> x(len), w(kernel), partial(out_len, 0.0f);
+    fill(x), fill(w);
+    m.conv1d_row_ns = time_ns(2000, [&] {
+      be.conv1d_row_acc(x.data(), len, w.data(), kernel, stride, padding,
+                        partial.data(), out_len);
+    });
+  }
+  {
+    // MUSIC projection: 180 bins x 4 antennas, 2 noise vectors (paper's M=2).
+    const int bins = 180, n = 4, num_noise = 2;
+    std::vector<std::complex<double>> un(static_cast<std::size_t>(num_noise) * n),
+        steer(static_cast<std::size_t>(bins) * n);
+    for (std::size_t i = 0; i < un.size(); ++i) {
+      un[i] = {0.3 + 0.01 * static_cast<double>(i % 7), -0.2 + 0.02 * static_cast<double>(i % 5)};
+    }
+    for (std::size_t i = 0; i < steer.size(); ++i) {
+      steer[i] = {std::cos(0.1 * static_cast<double>(i)), std::sin(0.1 * static_cast<double>(i))};
+    }
+    std::vector<double> denom(bins);
+    m.noise_projection_ns = time_ns(1000, [&] {
+      be.noise_projection(un.data(), num_noise, steer.data(), bins, n,
+                          denom.data());
+    });
+  }
+  return m;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -82,8 +165,8 @@ int main(int argc, char** argv) {
   try {
     args.require_known({"streams", "rate", "duration", "samples", "workers",
                         "batch", "producers", "activities", "windows", "persons",
-                        "tags", "seed", "wire", "wire-records", "bench-out",
-                        "metrics-out", "trace-out", "help"});
+                        "tags", "seed", "wire", "wire-records", "backend",
+                        "bench-out", "metrics-out", "trace-out", "help"});
   } catch (const std::exception& e) {
     std::fprintf(stderr, "m2ai_serve: %s\n", e.what());
     return usage();
@@ -103,6 +186,19 @@ int main(int argc, char** argv) {
       wire_options.records_per_frame < 1) {
     return usage();
   }
+
+  // CLI flag wins over the M2AI_KERN_BACKEND environment override (already
+  // applied at static init). A fast request on a CPU without AVX2/FMA
+  // silently degrades to ref; the bench JSON records what actually ran.
+  if (args.has("backend")) {
+    try {
+      kern::set_backend_by_name(args.get("backend", "ref"));
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "m2ai_serve: %s\n", e.what());
+      return usage();
+    }
+  }
+  const char* backend_name = kern::active().name;
 
   serve::ServeConfig serve_config;
   serve_config.dsp_workers = args.get_int("workers", 2);
@@ -163,9 +259,11 @@ int main(int argc, char** argv) {
   const int num_producers =
       std::max(1, std::min(args.get_int("producers", std::min(num_streams, 4)),
                            num_streams));
-  std::printf("serving %d streams (%d producers, %d dsp workers, batch %zu)...\n",
-              num_streams, num_producers, serve_config.dsp_workers,
-              serve_config.max_batch);
+  std::printf(
+      "serving %d streams (%d producers, %d dsp workers, batch %zu, "
+      "backend %s)...\n",
+      num_streams, num_producers, serve_config.dsp_workers,
+      serve_config.max_batch, backend_name);
 
   using clock = std::chrono::steady_clock;
   const auto t_start = clock::now();
@@ -270,6 +368,19 @@ int main(int argc, char** argv) {
   obs::registry().gauge("serve.reports_per_sec").set(
       wall_sec > 0.0 ? static_cast<double>(reports_sent) / wall_sec : 0.0);
 
+  // Per-backend kernel micro-timings, measured in-process after the load so
+  // the run's own numbers carry their kernel context.
+  const KernMicro kern_micro = measure_kern(kern::active());
+  {
+    const std::string prefix = std::string("kern.") + backend_name + ".";
+    auto& reg = obs::registry();
+    reg.gauge(prefix + "gemv.ns_per_op").set(kern_micro.gemv_ns);
+    reg.gauge(prefix + "gemm_bias.ns_per_op").set(kern_micro.gemm_bias_ns);
+    reg.gauge(prefix + "conv1d_row.ns_per_op").set(kern_micro.conv1d_row_ns);
+    reg.gauge(prefix + "noise_projection.ns_per_op")
+        .set(kern_micro.noise_projection_ns);
+  }
+
   std::printf(
       "done in %.2fs wall / %.2fs cpu (%.2f cores)\n"
       "  reports   sent %llu, assembled %llu, late-dropped %llu, "
@@ -309,11 +420,12 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "m2ai_serve: cannot write %s\n", bench_out.c_str());
       return 1;
     }
-    char buf[2048];
+    char buf[3072];
     std::snprintf(
         buf, sizeof(buf),
         "{\n"
         "  \"schema\": \"m2ai_serve_bench_v1\",\n"
+        "  \"backend\": \"%s\",\n"
         "  \"config\": {\"streams\": %d, \"rate_hz\": %g, \"duration_sec\": %g,\n"
         "             \"samples_per_stream\": %d, \"dsp_workers\": %d,\n"
         "             \"max_batch\": %zu, \"windows_per_sample\": %d, \"seed\": %llu,\n"
@@ -332,10 +444,12 @@ int main(int argc, char** argv) {
         "  \"batches\": %llu,\n"
         "  \"reports_per_sec\": %.2f,\n"
         "  \"e2e_ms\": {\"p50\": %.6f, \"p95\": %.6f, \"p99\": %.6f, \"max\": %.6f},\n"
+        "  \"kern_ns_per_op\": {\"gemv\": %.1f, \"gemm_bias\": %.1f,\n"
+        "                     \"conv1d_row\": %.1f, \"noise_projection\": %.1f},\n"
         "  \"streams_per_core\": %.3f,\n"
         "  \"sustained\": %s\n"
         "}\n",
-        num_streams, rate_hz, duration_sec, samples_per_stream,
+        backend_name, num_streams, rate_hz, duration_sec, samples_per_stream,
         serve_config.dsp_workers, serve_config.max_batch,
         pipeline_config.windows_per_sample,
         static_cast<unsigned long long>(seed), wire ? "true" : "false",
@@ -352,7 +466,9 @@ int main(int argc, char** argv) {
         static_cast<unsigned long long>(stats.predictions),
         static_cast<unsigned long long>(stats.batches),
         wall_sec > 0.0 ? static_cast<double>(reports_sent) / wall_sec : 0.0,
-        e2e.p50, e2e.p95, e2e.p99, e2e.max, streams_per_core,
+        e2e.p50, e2e.p95, e2e.p99, e2e.max, kern_micro.gemv_ns,
+        kern_micro.gemm_bias_ns, kern_micro.conv1d_row_ns,
+        kern_micro.noise_projection_ns, streams_per_core,
         sustained ? "true" : "false");
     out << buf;
     std::printf("bench summary written to %s\n", bench_out.c_str());
