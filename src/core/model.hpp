@@ -7,8 +7,10 @@
 #include <memory>
 
 #include "core/frames.hpp"
+#include "kern/workspace.hpp"
 #include "nn/dense.hpp"
 #include "nn/lstm.hpp"
+#include "nn/quantize.hpp"
 #include "nn/sequential.hpp"
 #include "nn/softmax.hpp"
 
@@ -40,6 +42,28 @@ class M2AINetwork {
   // identical to predict(), so under the reference backend the labels are
   // bitwise-identical to sequential predict() calls.
   std::vector<int> predict_batch(const std::vector<const FrameSequence*>& batch);
+  // Normalized per-class probability sums, one vector per sequence — the
+  // proba counterpart of predict_batch (labels are its per-row argmax).
+  std::vector<std::vector<double>> predict_proba_batch(
+      const std::vector<const FrameSequence*>& batch);
+
+  // Post-training int8 calibration (DESIGN.md §12): runs `data` through the
+  // FLOAT network in eval mode, tracks the input-activation range of every
+  // quantized matmul (merge Dense, both LSTM xh packs, softmax head) plus
+  // every weight tensor, derives per-tensor symmetric scales per `opts`
+  // (max-abs or percentile), and prepares the layers' int8 weights. Returns
+  // the scale table for serialization alongside the float checkpoint.
+  nn::QuantScales calibrate(const std::vector<const FrameSequence*>& data,
+                            const nn::CalibrationOptions& opts);
+  // Re-applies a previously saved scale table (nn::load_quant_scales) —
+  // int8 weights are rebuilt from the current float weights, so the float
+  // checkpoint must already be loaded. Throws when the table is missing a
+  // required activation scale (wrong architecture).
+  void apply_quant_scales(const nn::QuantScales& scales);
+  // True when every quantized layer has prepared int8 weights; predict_batch
+  // uses the int8 path only when this holds AND the int8 backend is active.
+  bool quant_ready() const;
+  const nn::QuantScales& quant_scales() const { return quant_scales_; }
 
   std::vector<nn::Param*> params();
   std::size_t num_parameters();
@@ -63,9 +87,14 @@ class M2AINetwork {
   const ModelConfig& model_config() const { return model_; }
 
  private:
+  // CNN branches + concat for one frame (the merge Dense's input).
+  nn::Tensor frame_joined(const SpectrumFrame& frame, bool train);
   // CNN branches + merge for one frame. Returns the per-frame feature
   // vector; with train=true, caches are pushed for the matching backward.
   nn::Tensor frame_features(const SpectrumFrame& frame, bool train);
+  // Quantized merge: conv branches stay float, the merge Dense matmul runs
+  // int8, ReLU applied in float (eval-mode Dropout is identity).
+  nn::Tensor frame_features_quant(const SpectrumFrame& frame);
   // Backward through merge + branches for the most recent un-popped
   // frame_features(train=true) call.
   void frame_backward(const nn::Tensor& grad_features);
@@ -77,11 +106,13 @@ class M2AINetwork {
   std::vector<nn::Tensor> forward_sequence(const FrameSequence& frames, bool train);
 
   // Per-frame feature stage of forward_sequence (everything before the
-  // LSTMs), eval mode.
-  std::vector<nn::Tensor> eval_features(const FrameSequence& frames);
+  // LSTMs), eval mode; `quant` routes the merge Dense through int8.
+  std::vector<nn::Tensor> eval_features(const FrameSequence& frames, bool quant);
   // Softmax-head tail shared by predict_proba and predict_batch: per-frame
-  // probabilities summed over the sequence (unnormalized).
-  std::vector<double> proba_sum_from_states(const std::vector<nn::Tensor>& states);
+  // probabilities summed over the sequence (unnormalized); `quant` routes
+  // the head matmul through int8 (softmax stays float).
+  std::vector<double> proba_sum_from_states(const std::vector<nn::Tensor>& states,
+                                            bool quant);
   static int argmax_class(const std::vector<double>& probs);
 
   ModelConfig model_;
@@ -100,9 +131,13 @@ class M2AINetwork {
   std::unique_ptr<nn::Sequential> pseudo_branch_;
   std::unique_ptr<nn::Sequential> aux_branch_;
   std::unique_ptr<nn::Sequential> merge_;  // Dense + ReLU
+  nn::Dense* merge_dense_ = nullptr;  // the Dense inside merge_ (quant access)
   std::unique_ptr<nn::Lstm> lstm1_;
   std::unique_ptr<nn::Lstm> lstm2_;
   std::unique_ptr<nn::Dense> head_;
+
+  nn::QuantScales quant_scales_;  // empty until calibrate/apply_quant_scales
+  kern::Workspace quant_ws_;      // scratch for the quantized forwards
 };
 
 }  // namespace m2ai::core

@@ -11,6 +11,7 @@
 #include <stdexcept>
 #include <thread>
 
+#include "kern/backend.hpp"
 #include "obs/export.hpp"
 #include "obs/metrics.hpp"
 #include "obs/timeline.hpp"
@@ -384,6 +385,9 @@ std::string suite_report_json(const Registry& registry, const SuiteResult& resul
 
   std::string json = "{\n  \"schema_version\": 1,\n  \"suite\": \"m2ai_bench\",\n";
   json += "  \"label\": \"" + obs::json_escape(label) + "\",\n";
+  // Which kern backend produced these numbers — committed reports must be
+  // self-describing across ref/fast/int8 runs.
+  json += "  \"backend\": \"" + std::string(kern::active_backend_name()) + "\",\n";
   json += "  \"threads\": " + std::to_string(threads) + ",\n";
   json += "  \"scale\": " + num(scale) + ",\n";
   json += "  \"cells_run\": " + std::to_string(result.outcomes.size()) + ",\n";

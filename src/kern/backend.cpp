@@ -4,18 +4,43 @@
 #include <stdexcept>
 
 #include "kern/kernels.hpp"
+#include "util/log.hpp"
 
 namespace m2ai::kern {
 
 namespace detail {
 std::atomic<const Backend*> g_active{nullptr};
+
+// Defined here — the determinism-pinned TU — so the requantize epilogue can
+// never be FMA-contracted, keeping s8 results bitwise-identical across every
+// table that points at these (ref and fast).
+void ref_gemv_s8(const std::int8_t* w, const std::int8_t* x, const float* bias,
+                 float* y, int rows, int cols, float scale) {
+  gemv_s8(w, x, bias, y, rows, cols, scale);
+}
+
+void ref_gemm_bias_s8(const std::int8_t* a, const std::int8_t* bt,
+                      const float* bias, float* c, int m, int k, int n,
+                      float scale) {
+  gemm_bias_s8(a, bt, bias, c, m, k, n, scale);
+}
+
+void ref_quantize_s8(const float* x, std::size_t n, float scale,
+                     std::int8_t* q) {
+  quantize_s8(x, n, scale, q);
+}
 }  // namespace detail
 
 const Backend& reference_backend() {
   static const Backend kReference{
-      "ref",          &gemv,
-      &gemm_bias,     &conv1d_row_acc,
+      "ref",
+      &gemv,
+      &gemm_bias,
+      &conv1d_row_acc,
       &noise_projection,
+      &detail::ref_gemv_s8,
+      &detail::ref_gemm_bias_s8,
+      &detail::ref_quantize_s8,
   };
   return kReference;
 }
@@ -26,6 +51,9 @@ BackendKind set_backend(BackendKind requested) {
   if (requested == BackendKind::kFast && fast_backend_supported()) {
     table = &fast_backend();
     actual = BackendKind::kFast;
+  } else if (requested == BackendKind::kInt8 && int8_backend_supported()) {
+    table = &int8_backend();
+    actual = BackendKind::kInt8;
   }
   detail::g_active.store(table, std::memory_order_relaxed);
   return actual;
@@ -34,28 +62,44 @@ BackendKind set_backend(BackendKind requested) {
 BackendKind set_backend_by_name(const std::string& name) {
   if (name == "ref" || name == "reference") return set_backend(BackendKind::kReference);
   if (name == "fast") return set_backend(BackendKind::kFast);
+  if (name == "int8") return set_backend(BackendKind::kInt8);
   throw std::invalid_argument("unknown kernel backend '" + name +
-                              "' (expected 'ref' or 'fast')");
+                              "' (expected 'ref', 'fast', or 'int8')");
 }
 
 BackendKind active_backend_kind() {
   const Backend* b = detail::g_active.load(std::memory_order_relaxed);
-  return (b == &fast_backend()) ? BackendKind::kFast : BackendKind::kReference;
+  if (b == &fast_backend()) return BackendKind::kFast;
+  if (b == &int8_backend()) return BackendKind::kInt8;
+  return BackendKind::kReference;
+}
+
+const char* active_backend_name() { return active().name; }
+
+BackendKind apply_env_backend() {
+  const char* env = std::getenv("M2AI_KERN_BACKEND");
+  if (env == nullptr || env[0] == '\0') return active_backend_kind();
+  try {
+    const BackendKind actual = set_backend_by_name(env);
+    if (actual == BackendKind::kReference && std::string(env) != "ref" &&
+        std::string(env) != "reference") {
+      util::log_warn() << "M2AI_KERN_BACKEND='" << env
+                       << "' is not supported on this CPU; using reference backend";
+    }
+    return actual;
+  } catch (const std::invalid_argument&) {
+    util::log_warn() << "unknown M2AI_KERN_BACKEND value '" << env
+                     << "' (expected 'ref', 'fast', or 'int8'); "
+                     << "falling back to reference backend";
+    return set_backend(BackendKind::kReference);
+  }
 }
 
 namespace {
 // Applies M2AI_KERN_BACKEND before main() runs so even code that never
-// touches the CLI flag (tests, library embedders) honors the override. An
-// unparseable value is ignored — the tools re-apply and validate --backend
-// themselves, and a library must not abort on a stray variable.
+// touches the CLI flag (tests, library embedders) honors the override.
 const bool g_env_applied = [] {
-  const char* env = std::getenv("M2AI_KERN_BACKEND");
-  if (env != nullptr && env[0] != '\0') {
-    try {
-      set_backend_by_name(env);
-    } catch (const std::invalid_argument&) {
-    }
-  }
+  apply_env_backend();
   return true;
 }();
 }  // namespace

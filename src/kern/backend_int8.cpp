@@ -1,0 +1,287 @@
+// INT8 kernel backend. This translation unit keeps the project-wide
+// determinism pins (-ffp-contract=off, -fno-tree-slp-vectorize) and only
+// appends -mavx2 when the compiler supports it (see src/CMakeLists.txt) —
+// unlike backend_fast.cpp it does NOT enable contraction. That is deliberate:
+// the int8 kernels accumulate in int32 (exact, order-independent) and finish
+// with a single requantize epilogue `y = bias + scale * float(acc)` whose two
+// float operations must stay unfused, making the AVX2 path below
+// BITWISE-IDENTICAL to the scalar reference in kernels.hpp. The equivalence
+// suite (tests/test_kern_backend.cpp) asserts exact equality, not epsilon.
+//
+// The AVX2 kernels sign-extend both operands to int16 ONCE per call into
+// thread-local scratch (zero-padded to a 16-lane multiple, so the hot loops
+// have no tails) and then run pure _mm256_madd_epi16 dot loops — the signed
+// sibling of the maddubs idiom, no unsigned offset correction needed. The
+// widen-first layout matters: cvtepi8_epi16 is a shuffle-port op, and doing
+// it inside the dot loop makes the kernel shuffle-bound (2 shuffles per 16
+// products per output); hoisting it costs (rows+1)·k/16 shuffles total and
+// leaves the inner loop at loads+madd+add only. Register blocking (4 rows
+// per x load in gemv, 4 weight rows per activation load in gemm) amortizes
+// the shared operand's loads. Zero padding is exact (0·0 contributes 0) and
+// lane partials cannot overflow because callers bound the reduction depth
+// by kMaxS8Depth (see kernels.hpp).
+//
+// When the whole TU is built with AVX2 code generation, dispatch only
+// activates this table when int8_backend_supported() — the runtime CPUID
+// check — says the host can run it.
+
+#include "kern/backend.hpp"
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "kern/kernels.hpp"
+
+#if defined(__AVX2__)
+#include <immintrin.h>
+#define M2AI_INT8_AVX2 1
+#else
+#define M2AI_INT8_AVX2 0
+#endif
+
+namespace m2ai::kern {
+namespace {
+
+#if M2AI_INT8_AVX2
+
+// Per-thread widened-operand scratch. Reused across calls; each serving /
+// DSP / test thread gets its own copy, so kernels stay re-entrant.
+thread_local std::vector<std::int16_t> g_wide_lhs;
+thread_local std::vector<std::int16_t> g_wide_rhs;
+
+// Sign-extend `rows` s8 rows of length k (row stride k) into int16 rows of
+// padded stride kp (kp = k rounded up to a multiple of 16), zero-filling the
+// pad so the dot loops below need no tail handling.
+inline void widen_rows_s8_s16(const std::int8_t* src, int rows, int k, int kp,
+                              std::int16_t* dst) {
+  for (int r = 0; r < rows; ++r) {
+    const std::int8_t* s = src + static_cast<std::size_t>(r) * k;
+    std::int16_t* d = dst + static_cast<std::size_t>(r) * kp;
+    int i = 0;
+    for (; i + 16 <= k; i += 16) {
+      const __m128i v = _mm_loadu_si128(reinterpret_cast<const __m128i*>(s + i));
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(d + i),
+                          _mm256_cvtepi8_epi16(v));
+    }
+    for (; i < k; ++i) d[i] = s[i];
+    for (; i < kp; ++i) d[i] = 0;
+  }
+}
+
+// Horizontal int32 sum — exact, so lane order is irrelevant.
+inline std::int32_t hsum_epi32(__m256i v) {
+  __m128i s = _mm_add_epi32(_mm256_castsi256_si128(v),
+                            _mm256_extracti128_si256(v, 1));
+  s = _mm_add_epi32(s, _mm_shuffle_epi32(s, _MM_SHUFFLE(1, 0, 3, 2)));
+  s = _mm_add_epi32(s, _mm_shuffle_epi32(s, _MM_SHUFFLE(2, 3, 0, 1)));
+  return _mm_cvtsi128_si32(s);
+}
+
+void int8_gemv_s8(const std::int8_t* w, const std::int8_t* x, const float* bias,
+                  float* y, int rows, int cols, float scale) {
+  const int kp = (cols + 15) & ~15;
+  g_wide_lhs.resize(static_cast<std::size_t>(rows) * kp);
+  g_wide_rhs.resize(static_cast<std::size_t>(kp));
+  widen_rows_s8_s16(w, rows, cols, kp, g_wide_lhs.data());
+  widen_rows_s8_s16(x, 1, cols, kp, g_wide_rhs.data());
+  const std::int16_t* w16 = g_wide_lhs.data();
+  const std::int16_t* x16 = g_wide_rhs.data();
+
+  int r = 0;
+  for (; r + 4 <= rows; r += 4) {
+    const std::int16_t* w0 = w16 + static_cast<std::size_t>(r) * kp;
+    const std::int16_t* w1 = w0 + kp;
+    const std::int16_t* w2 = w1 + kp;
+    const std::int16_t* w3 = w2 + kp;
+    __m256i acc0 = _mm256_setzero_si256();
+    __m256i acc1 = _mm256_setzero_si256();
+    __m256i acc2 = _mm256_setzero_si256();
+    __m256i acc3 = _mm256_setzero_si256();
+    for (int i = 0; i < kp; i += 16) {
+      const __m256i xv =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(x16 + i));
+      acc0 = _mm256_add_epi32(
+          acc0, _mm256_madd_epi16(
+                    xv, _mm256_loadu_si256(
+                            reinterpret_cast<const __m256i*>(w0 + i))));
+      acc1 = _mm256_add_epi32(
+          acc1, _mm256_madd_epi16(
+                    xv, _mm256_loadu_si256(
+                            reinterpret_cast<const __m256i*>(w1 + i))));
+      acc2 = _mm256_add_epi32(
+          acc2, _mm256_madd_epi16(
+                    xv, _mm256_loadu_si256(
+                            reinterpret_cast<const __m256i*>(w2 + i))));
+      acc3 = _mm256_add_epi32(
+          acc3, _mm256_madd_epi16(
+                    xv, _mm256_loadu_si256(
+                            reinterpret_cast<const __m256i*>(w3 + i))));
+    }
+    const std::int32_t accs[4] = {hsum_epi32(acc0), hsum_epi32(acc1),
+                                  hsum_epi32(acc2), hsum_epi32(acc3)};
+    for (int t = 0; t < 4; ++t) {
+      // Same expression as the scalar reference: convert, multiply, add —
+      // identical IEEE operations in identical order, hence bitwise-equal.
+      const float deq = scale * static_cast<float>(accs[t]);
+      y[r + t] = (bias != nullptr ? bias[r + t] : 0.0f) + deq;
+    }
+  }
+  for (; r < rows; ++r) {
+    const std::int16_t* wr = w16 + static_cast<std::size_t>(r) * kp;
+    __m256i acc = _mm256_setzero_si256();
+    for (int i = 0; i < kp; i += 16) {
+      acc = _mm256_add_epi32(
+          acc, _mm256_madd_epi16(
+                   _mm256_loadu_si256(
+                       reinterpret_cast<const __m256i*>(x16 + i)),
+                   _mm256_loadu_si256(
+                       reinterpret_cast<const __m256i*>(wr + i))));
+    }
+    const float deq = scale * static_cast<float>(hsum_epi32(acc));
+    y[r] = (bias != nullptr ? bias[r] : 0.0f) + deq;
+  }
+}
+
+void int8_gemm_bias_s8(const std::int8_t* a, const std::int8_t* bt,
+                       const float* bias, float* c, int m, int k, int n,
+                       float scale) {
+  const int kp = (k + 15) & ~15;
+  g_wide_lhs.resize(static_cast<std::size_t>(m) * kp);
+  g_wide_rhs.resize(static_cast<std::size_t>(n) * kp);
+  widen_rows_s8_s16(a, m, k, kp, g_wide_lhs.data());
+  widen_rows_s8_s16(bt, n, k, kp, g_wide_rhs.data());
+  const std::int16_t* a16 = g_wide_lhs.data();
+  const std::int16_t* b16 = g_wide_rhs.data();
+
+  for (int i = 0; i < m; ++i) {
+    const std::int16_t* ai = a16 + static_cast<std::size_t>(i) * kp;
+    float* ci = c + static_cast<std::size_t>(i) * n;
+    int j = 0;
+    for (; j + 4 <= n; j += 4) {
+      const std::int16_t* b0 = b16 + static_cast<std::size_t>(j) * kp;
+      const std::int16_t* b1 = b0 + kp;
+      const std::int16_t* b2 = b1 + kp;
+      const std::int16_t* b3 = b2 + kp;
+      __m256i acc0 = _mm256_setzero_si256();
+      __m256i acc1 = _mm256_setzero_si256();
+      __m256i acc2 = _mm256_setzero_si256();
+      __m256i acc3 = _mm256_setzero_si256();
+      for (int p = 0; p < kp; p += 16) {
+        const __m256i av =
+            _mm256_loadu_si256(reinterpret_cast<const __m256i*>(ai + p));
+        acc0 = _mm256_add_epi32(
+            acc0, _mm256_madd_epi16(
+                      av, _mm256_loadu_si256(
+                              reinterpret_cast<const __m256i*>(b0 + p))));
+        acc1 = _mm256_add_epi32(
+            acc1, _mm256_madd_epi16(
+                      av, _mm256_loadu_si256(
+                              reinterpret_cast<const __m256i*>(b1 + p))));
+        acc2 = _mm256_add_epi32(
+            acc2, _mm256_madd_epi16(
+                      av, _mm256_loadu_si256(
+                              reinterpret_cast<const __m256i*>(b2 + p))));
+        acc3 = _mm256_add_epi32(
+            acc3, _mm256_madd_epi16(
+                      av, _mm256_loadu_si256(
+                              reinterpret_cast<const __m256i*>(b3 + p))));
+      }
+      const std::int32_t accs[4] = {hsum_epi32(acc0), hsum_epi32(acc1),
+                                    hsum_epi32(acc2), hsum_epi32(acc3)};
+      for (int t = 0; t < 4; ++t) {
+        const float deq = scale * static_cast<float>(accs[t]);
+        ci[j + t] = (bias != nullptr ? bias[j + t] : 0.0f) + deq;
+      }
+    }
+    for (; j < n; ++j) {
+      const std::int16_t* bj = b16 + static_cast<std::size_t>(j) * kp;
+      __m256i acc = _mm256_setzero_si256();
+      for (int p = 0; p < kp; p += 16) {
+        acc = _mm256_add_epi32(
+            acc, _mm256_madd_epi16(
+                     _mm256_loadu_si256(
+                         reinterpret_cast<const __m256i*>(ai + p)),
+                     _mm256_loadu_si256(
+                         reinterpret_cast<const __m256i*>(bj + p))));
+      }
+      const float deq = scale * static_cast<float>(hsum_epi32(acc));
+      ci[j] = (bias != nullptr ? bias[j] : 0.0f) + deq;
+    }
+  }
+}
+
+void int8_quantize_s8(const float* x, std::size_t n, float scale,
+                      std::int8_t* q) {
+  const float inv = scale > 0.0f ? 1.0f / scale : 0.0f;
+  const __m256 vinv = _mm256_set1_ps(inv);
+  const __m256 vmax = _mm256_set1_ps(127.0f);
+  const __m256 vmin = _mm256_set1_ps(-127.0f);
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    // Same op sequence as the scalar reference: multiply, round-to-nearest-
+    // even (static mode — matches nearbyint under the untouched default FP
+    // environment), clamp. The convert is exact because v is already
+    // integral in [-127, 127], and the signed packs cannot saturate.
+    __m256 v = _mm256_mul_ps(_mm256_loadu_ps(x + i), vinv);
+    v = _mm256_round_ps(v, _MM_FROUND_TO_NEAREST_INT | _MM_FROUND_NO_EXC);
+    v = _mm256_min_ps(v, vmax);
+    v = _mm256_max_ps(v, vmin);
+    const __m256i vi = _mm256_cvtps_epi32(v);
+    const __m128i p16 = _mm_packs_epi32(_mm256_castsi256_si128(vi),
+                                        _mm256_extracti128_si256(vi, 1));
+    const __m128i p8 = _mm_packs_epi16(p16, p16);
+    _mm_storel_epi64(reinterpret_cast<__m128i*>(q + i), p8);
+  }
+  for (; i < n; ++i) q[i] = quantize_one_s8(x[i], inv);
+}
+
+#else  // !M2AI_INT8_AVX2
+
+// Generic build (compiler lacked -mavx2, or non-x86 target): the scalar
+// kernels from kernels.hpp, compiled here under the same determinism pins as
+// backend.cpp — bitwise-identical by construction. Runs on any CPU.
+
+void int8_gemv_s8(const std::int8_t* w, const std::int8_t* x, const float* bias,
+                  float* y, int rows, int cols, float scale) {
+  gemv_s8(w, x, bias, y, rows, cols, scale);
+}
+
+void int8_gemm_bias_s8(const std::int8_t* a, const std::int8_t* bt,
+                       const float* bias, float* c, int m, int k, int n,
+                       float scale) {
+  gemm_bias_s8(a, bt, bias, c, m, k, n, scale);
+}
+
+void int8_quantize_s8(const float* x, std::size_t n, float scale,
+                      std::int8_t* q) {
+  quantize_s8(x, n, scale, q);
+}
+
+#endif  // M2AI_INT8_AVX2
+
+}  // namespace
+
+const Backend& int8_backend() {
+  // Float kernels alias the best float table the host supports — conv
+  // branches, gate nonlinearities, softmax, and MUSIC stay float under int8.
+  static const Backend kInt8 = [] {
+    Backend b = fast_backend_supported() ? fast_backend() : reference_backend();
+    b.name = "int8";
+    b.gemv_s8 = &int8_gemv_s8;
+    b.gemm_bias_s8 = &int8_gemm_bias_s8;
+    b.quantize_s8 = &int8_quantize_s8;
+    return b;
+  }();
+  return kInt8;
+}
+
+bool int8_backend_supported() {
+#if M2AI_INT8_AVX2
+  return __builtin_cpu_supports("avx2");
+#else
+  return true;
+#endif
+}
+
+}  // namespace m2ai::kern

@@ -1,0 +1,177 @@
+#include "nn/quantize.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "kern/kernels.hpp"
+
+namespace m2ai::nn {
+
+const char* calib_mode_name(CalibMode mode) {
+  return mode == CalibMode::kPercentile ? "percentile" : "max_abs";
+}
+
+CalibMode calib_mode_from_name(const std::string& name) {
+  if (name == "max_abs" || name == "maxabs") return CalibMode::kMaxAbs;
+  if (name == "percentile") return CalibMode::kPercentile;
+  throw std::invalid_argument("unknown calibration mode '" + name +
+                              "' (expected 'max_abs' or 'percentile')");
+}
+
+void RangeTracker::observe(const float* x, std::size_t n) {
+  abs_.reserve(abs_.size() + n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const float a = std::fabs(x[i]);
+    abs_.push_back(a);
+    if (a > max_abs_) max_abs_ = a;
+  }
+}
+
+float RangeTracker::scale(const CalibrationOptions& opts) const {
+  if (abs_.empty()) return 0.0f;
+  if (opts.mode == CalibMode::kMaxAbs) return scale_from_range(max_abs_);
+  // Percentile of the |x| distribution via nth_element on the retained
+  // samples (calibration sets are small — a handful of sequences).
+  const double p = std::min(100.0, std::max(0.0, opts.percentile));
+  const std::size_t idx = std::min(
+      abs_.size() - 1,
+      static_cast<std::size_t>(p / 100.0 * static_cast<double>(abs_.size() - 1) + 0.5));
+  std::nth_element(abs_.begin(), abs_.begin() + static_cast<std::ptrdiff_t>(idx),
+                   abs_.end());
+  return scale_from_range(abs_[idx]);
+}
+
+float scale_from_range(float range) {
+  return range > 0.0f ? range / 127.0f : 0.0f;
+}
+
+std::int8_t quantize_one_s8(float x, float inv_scale) {
+  // The scalar rounding semantics (RNE ties, ±127 clamp) live in
+  // kern/kernels.hpp next to the s8 matmuls that consume the result; the
+  // backend table can swap in an 8-wide SIMD version for the hot
+  // activation-quantization path (kern::active().quantize_s8).
+  return kern::quantize_one_s8(x, inv_scale);
+}
+
+void quantize_s8(const float* x, std::size_t n, float scale, std::int8_t* q) {
+  kern::quantize_s8(x, n, scale, q);
+}
+
+void check_s8_depth(int k, const std::string& what) {
+  if (k > kern::kMaxS8Depth) {
+    throw std::invalid_argument(
+        what + ": int8 reduction depth " + std::to_string(k) +
+        " exceeds kMaxS8Depth=" + std::to_string(kern::kMaxS8Depth) +
+        " (int32 accumulator could overflow)");
+  }
+}
+
+QuantTensor quantize_tensor(const Tensor& t, const CalibrationOptions& opts) {
+  RangeTracker tracker;
+  tracker.observe(t);
+  QuantTensor out;
+  out.scale = tracker.scale(opts);
+  out.q.resize(t.size());
+  quantize_s8(t.data(), t.size(), out.scale, out.q.data());
+  return out;
+}
+
+float QuantScales::at(const std::string& name) const {
+  const auto it = scales.find(name);
+  if (it == scales.end()) {
+    throw std::runtime_error("quant scale table has no entry '" + name +
+                             "' — calibrated for a different architecture?");
+  }
+  return it->second;
+}
+
+namespace {
+constexpr const char* kMagic = "m2ai-quant-v1";
+
+std::string hexfloat(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%a", v);
+  return buf;
+}
+
+double parse_hexfloat(const std::string& tok, const char* what) {
+  char* end = nullptr;
+  const double v = std::strtod(tok.c_str(), &end);
+  if (end == nullptr || *end != '\0' || end == tok.c_str()) {
+    throw std::runtime_error(std::string("quant scales: bad ") + what +
+                             " value '" + tok + "'");
+  }
+  return v;
+}
+}  // namespace
+
+void save_quant_scales(const std::string& path, const QuantScales& scales) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open '" + path + "' for writing");
+  out << kMagic << "\n";
+  out << "mode " << calib_mode_name(scales.mode) << " "
+      << hexfloat(scales.percentile) << "\n";
+  for (const auto& [name, scale] : scales.scales) {
+    // The format is whitespace-delimited; a name that embeds whitespace
+    // would silently corrupt the table on reload. Fail at save time.
+    if (name.empty() ||
+        name.find_first_of(" \t\n\r") != std::string::npos) {
+      throw std::invalid_argument("quant scales: invalid tensor name '" + name +
+                                  "' (must be non-empty, no whitespace)");
+    }
+    out << "scale " << name << " " << hexfloat(scale) << "\n";
+  }
+  out.flush();
+  if (!out) throw std::runtime_error("write failed for '" + path + "'");
+}
+
+QuantScales load_quant_scales(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open quant scales '" + path + "'");
+  std::string line;
+  if (!std::getline(in, line) || line != kMagic) {
+    throw std::runtime_error("'" + path + "' is not a quant scale table (bad magic)");
+  }
+  QuantScales out;
+  bool saw_mode = false;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::istringstream ls(line);
+    std::string kind;
+    ls >> kind;
+    if (kind == "mode") {
+      std::string mode_name, pct;
+      if (!(ls >> mode_name >> pct)) {
+        throw std::runtime_error("quant scales: malformed mode line '" + line + "'");
+      }
+      try {
+        out.mode = calib_mode_from_name(mode_name);
+      } catch (const std::invalid_argument& e) {
+        throw std::runtime_error(e.what());
+      }
+      out.percentile = parse_hexfloat(pct, "percentile");
+      saw_mode = true;
+    } else if (kind == "scale") {
+      std::string name, value;
+      if (!(ls >> name >> value)) {
+        throw std::runtime_error("quant scales: malformed scale line '" + line + "'");
+      }
+      const double v = parse_hexfloat(value, "scale");
+      if (!(v >= 0.0) || !std::isfinite(v)) {
+        throw std::runtime_error("quant scales: scale '" + name +
+                                 "' must be finite and non-negative");
+      }
+      out.scales[name] = static_cast<float>(v);
+    } else {
+      throw std::runtime_error("quant scales: unknown record '" + kind + "'");
+    }
+  }
+  if (!saw_mode) throw std::runtime_error("'" + path + "' has no mode record");
+  return out;
+}
+
+}  // namespace m2ai::nn

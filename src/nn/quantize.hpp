@@ -1,0 +1,102 @@
+// Post-training int8 quantization: calibration-derived per-tensor symmetric
+// scales and the quantize/dequantize helpers behind the int8 kernel backend.
+//
+// Scheme: symmetric linear quantization to [-127, 127] with round-to-nearest
+// -even — q = clamp(rne(x / scale)), x ≈ scale * q. A tensor's scale is
+// range / 127 where `range` comes from calibration: the max |x| observed
+// (kMaxAbs mode) or an upper percentile of the observed |x| distribution
+// (kPercentile mode, clipping outliers for tighter resolution). scale == 0
+// (an all-zero tensor) is a valid degenerate case: everything quantizes to
+// 0 and dequantizes to 0 — never a division by zero.
+//
+// A matmul y = W x + b runs as y = b + (sw * sx) * (Wq · xq) with the dot
+// product in int32 (kern gemv_s8/gemm_bias_s8); the combined scale sw*sx is
+// the single requantize factor. Accumulation depth is bounded by
+// kern::kMaxS8Depth so the int32 accumulator cannot overflow —
+// check_s8_depth() enforces it when weights are prepared.
+//
+// Calibration scales are serialized as a named table in a small text format
+// (hexfloat values, exact round-trip) alongside the float checkpoint; the
+// float weights stay the source of truth and quantized weights are rebuilt
+// from them on load.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "nn/tensor.hpp"
+
+namespace m2ai::nn {
+
+enum class CalibMode { kMaxAbs, kPercentile };
+
+const char* calib_mode_name(CalibMode mode);
+CalibMode calib_mode_from_name(const std::string& name);  // throws on unknown
+
+struct CalibrationOptions {
+  CalibMode mode = CalibMode::kMaxAbs;
+  // kPercentile: the |x| distribution percentile used as the clip range.
+  double percentile = 99.9;
+};
+
+// Accumulates the |x| distribution a tensor slot sees during calibration.
+class RangeTracker {
+ public:
+  void observe(const float* x, std::size_t n);
+  void observe(const Tensor& t) { observe(t.data(), t.size()); }
+  // range / 127 per the calibration mode; 0 when nothing (or only zeros)
+  // was observed.
+  float scale(const CalibrationOptions& opts) const;
+  std::size_t count() const { return abs_.size(); }
+  float max_abs() const { return max_abs_; }
+
+ private:
+  mutable std::vector<float> abs_;  // sorted lazily by scale()
+  float max_abs_ = 0.0f;
+};
+
+// range / 127, or 0 for a degenerate (empty / all-zero) range.
+float scale_from_range(float range);
+
+// Round-to-nearest-even quantization of one value at 1/scale (pass 0 for
+// the scale==0 degenerate case); result clamped to [-127, 127].
+std::int8_t quantize_one_s8(float x, float inv_scale);
+
+// Vector quantization; q must hold n values.
+void quantize_s8(const float* x, std::size_t n, float scale, std::int8_t* q);
+
+// Throws std::invalid_argument when an int8 reduction of depth `k` could
+// overflow the kernels' int32 accumulator (k > kern::kMaxS8Depth).
+void check_s8_depth(int k, const std::string& what);
+
+// An int8 tensor with its symmetric scale.
+struct QuantTensor {
+  std::vector<std::int8_t> q;
+  float scale = 0.0f;
+  bool ready() const { return !q.empty(); }
+};
+
+// Quantizes a weight tensor with a scale derived from its own values.
+QuantTensor quantize_tensor(const Tensor& t, const CalibrationOptions& opts);
+
+// Named calibration scales, serialized alongside the float checkpoint.
+struct QuantScales {
+  CalibMode mode = CalibMode::kMaxAbs;
+  double percentile = 99.9;
+  std::map<std::string, float> scales;
+
+  bool empty() const { return scales.empty(); }
+  // Throws std::runtime_error when `name` is missing — a scale table from a
+  // different architecture must fail loudly, not misquantize.
+  float at(const std::string& name) const;
+};
+
+// Text serialization (hexfloat — bitwise-exact round-trip). save throws on
+// I/O failure; load throws std::runtime_error on a missing/corrupt file.
+void save_quant_scales(const std::string& path, const QuantScales& scales);
+QuantScales load_quant_scales(const std::string& path);
+
+}  // namespace m2ai::nn

@@ -255,10 +255,13 @@ void Service::nn_loop() {
     // Under the fast backend the whole micro-batch runs as one batched
     // inference — one gemm across streams per LSTM timestep. The reference
     // path keeps the per-request predict() calls below so its serving
-    // behavior stays identical to the pre-backend code.
+    // behavior stays identical to the pre-backend code. The int8 backend
+    // batches even a single request: predict_batch is where the quantized
+    // forward lives, and the s8 gemm wins at any batch size.
     std::vector<int> batch_labels;
-    if (batch.size() > 1 &&
-        kern::active_backend_kind() == kern::BackendKind::kFast) {
+    const kern::BackendKind kind = kern::active_backend_kind();
+    if ((batch.size() > 1 && kind == kern::BackendKind::kFast) ||
+        (kind == kern::BackendKind::kInt8 && network_->quant_ready())) {
       std::vector<const core::FrameSequence*> seqs;
       seqs.reserve(batch.size());
       for (const Request& r : batch) seqs.push_back(&r.frames);

@@ -13,17 +13,22 @@
 #include <algorithm>
 #include <cmath>
 #include <complex>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
 #include <functional>
 #include <stdexcept>
 #include <string>
 #include <vector>
 
+#include "core/experiment.hpp"
 #include "core/model.hpp"
 #include "kern/backend.hpp"
 #include "kern/kernels.hpp"
 #include "kern/workspace.hpp"
 #include "nn/dense.hpp"
 #include "nn/lstm.hpp"
+#include "nn/quantize.hpp"
 #include "util/rng.hpp"
 
 namespace m2ai {
@@ -80,8 +85,62 @@ TEST(KernBackend, SetByNameParsesAndRejects) {
   const kern::BackendKind fast = kern::set_backend_by_name("fast");
   EXPECT_EQ(fast, kern::fast_backend_supported() ? kern::BackendKind::kFast
                                                  : kern::BackendKind::kReference);
+  const kern::BackendKind int8 = kern::set_backend_by_name("int8");
+  EXPECT_EQ(int8, kern::int8_backend_supported() ? kern::BackendKind::kInt8
+                                                 : kern::BackendKind::kReference);
   EXPECT_THROW(kern::set_backend_by_name("avx9000"), std::invalid_argument);
   EXPECT_THROW(kern::set_backend_by_name(""), std::invalid_argument);
+}
+
+TEST(KernBackend, Int8DispatchActivatesAndReportsItsName) {
+  BackendGuard guard;
+  const kern::BackendKind got = kern::set_backend(kern::BackendKind::kInt8);
+  if (kern::int8_backend_supported()) {
+    EXPECT_EQ(got, kern::BackendKind::kInt8);
+    EXPECT_STREQ(kern::active().name, "int8");
+    EXPECT_STREQ(kern::active_backend_name(), "int8");
+    EXPECT_EQ(kern::active().gemv_s8, kern::int8_backend().gemv_s8);
+    // Float kernels in the int8 table come from the fast table when the CPU
+    // supports it (the conv branches stay float and should not slow down).
+    if (kern::fast_backend_supported()) {
+      EXPECT_EQ(kern::active().gemm_bias, kern::fast_backend().gemm_bias);
+    }
+  } else {
+    EXPECT_EQ(got, kern::BackendKind::kReference);
+    EXPECT_STREQ(kern::active_backend_name(), "ref");
+  }
+  EXPECT_EQ(kern::active_backend_kind(), got);
+}
+
+// M2AI_KERN_BACKEND regression: an unknown value must not throw out of
+// static init or silently keep a stale backend — it logs a warning and
+// falls back to the reference, and apply_env_backend() reports the kind
+// actually active.
+TEST(KernBackend, EnvOverrideAppliesValidValuesAndRejectsUnknown) {
+  BackendGuard guard;
+
+  ASSERT_EQ(setenv("M2AI_KERN_BACKEND", "bogus-simd", 1), 0);
+  kern::set_backend(kern::BackendKind::kFast);  // poison: fallback must undo it
+  EXPECT_EQ(kern::apply_env_backend(), kern::BackendKind::kReference);
+  EXPECT_EQ(kern::active_backend_kind(), kern::BackendKind::kReference);
+
+  ASSERT_EQ(setenv("M2AI_KERN_BACKEND", "fast", 1), 0);
+  EXPECT_EQ(kern::apply_env_backend(),
+            kern::fast_backend_supported() ? kern::BackendKind::kFast
+                                           : kern::BackendKind::kReference);
+
+  ASSERT_EQ(setenv("M2AI_KERN_BACKEND", "int8", 1), 0);
+  EXPECT_EQ(kern::apply_env_backend(),
+            kern::int8_backend_supported() ? kern::BackendKind::kInt8
+                                           : kern::BackendKind::kReference);
+
+  ASSERT_EQ(setenv("M2AI_KERN_BACKEND", "ref", 1), 0);
+  EXPECT_EQ(kern::apply_env_backend(), kern::BackendKind::kReference);
+
+  // Unset: apply is a no-op and reports whatever is already active.
+  ASSERT_EQ(unsetenv("M2AI_KERN_BACKEND"), 0);
+  kern::set_backend(kern::BackendKind::kReference);
+  EXPECT_EQ(kern::apply_env_backend(), kern::BackendKind::kReference);
 }
 
 TEST(KernBackend, GemvEquivalence) {
@@ -368,6 +427,237 @@ TEST(KernBackend, PredictBatchMatchesPredict) {
     if (sorted.size() > 1 && sorted[0] - sorted[1] < 1e-4) continue;
     EXPECT_EQ(fast[i], batched[i]) << "sample " << i;
   }
+}
+
+// ---------------------------------------------------------------- int8
+
+std::vector<std::int8_t> random_s8(std::size_t n, util::Rng& rng) {
+  std::vector<std::int8_t> v(n);
+  for (auto& x : v) x = static_cast<std::int8_t>(rng.uniform_int(-127, 127));
+  return v;
+}
+
+// The int8 kernels' epilogue (convert, multiply, add — never contracted) and
+// exact int32 accumulation make the AVX2 path BITWISE-identical to the
+// scalar reference; equality here is exact, not epsilon.
+TEST(KernBackend, GemvS8BitwiseMatchesScalarReference) {
+  const kern::Backend& int8 = kern::int8_backend();
+  util::Rng rng(110);
+  // 1x1, primes, multiples/non-multiples of the 32- and 16-lane widths,
+  // empty depth.
+  const int shapes[][2] = {{1, 1},   {3, 5},   {7, 13},   {8, 32},
+                           {31, 17}, {33, 64}, {128, 96}, {5, 0},
+                           {2, 33},  {4, 48}};
+  for (const auto& s : shapes) {
+    const int rows = s[0], cols = s[1];
+    const auto w = random_s8(static_cast<std::size_t>(rows) * cols, rng);
+    const auto x = random_s8(static_cast<std::size_t>(cols), rng);
+    const auto b = random_floats(static_cast<std::size_t>(rows), rng);
+    const float scale = 0.01f + 0.001f * static_cast<float>(rows);
+    for (const bool with_bias : {true, false}) {
+      std::vector<float> y_ref(static_cast<std::size_t>(rows), -7.0f);
+      std::vector<float> y_int8(static_cast<std::size_t>(rows), 7.0f);
+      const float* bias = with_bias ? b.data() : nullptr;
+      kern::gemv_s8(w.data(), x.data(), bias, y_ref.data(), rows, cols, scale);
+      int8.gemv_s8(w.data(), x.data(), bias, y_int8.data(), rows, cols, scale);
+      for (int r = 0; r < rows; ++r) {
+        ASSERT_EQ(y_ref[static_cast<std::size_t>(r)],
+                  y_int8[static_cast<std::size_t>(r)])
+            << rows << "x" << cols << " r=" << r;
+      }
+    }
+  }
+}
+
+TEST(KernBackend, GemmBiasS8BitwiseMatchesScalarReference) {
+  const kern::Backend& int8 = kern::int8_backend();
+  util::Rng rng(111);
+  const int shapes[][3] = {{1, 1, 1},    {3, 5, 7},  {13, 11, 17},
+                           {8, 64, 128}, {2, 0, 3},  {4, 32, 4},
+                           {5, 9, 33},   {1, 80, 128}};
+  for (const auto& s : shapes) {
+    const int m = s[0], k = s[1], n = s[2];
+    const auto a = random_s8(static_cast<std::size_t>(m) * k, rng);
+    const auto bt = random_s8(static_cast<std::size_t>(n) * k, rng);
+    const auto bias = random_floats(static_cast<std::size_t>(n), rng);
+    const float scale = 3.7e-4f;
+    for (const bool with_bias : {true, false}) {
+      std::vector<float> c_ref(static_cast<std::size_t>(m) * n, -7.0f);
+      std::vector<float> c_int8(c_ref.size(), 7.0f);
+      const float* bp = with_bias ? bias.data() : nullptr;
+      kern::gemm_bias_s8(a.data(), bt.data(), bp, c_ref.data(), m, k, n, scale);
+      int8.gemm_bias_s8(a.data(), bt.data(), bp, c_int8.data(), m, k, n, scale);
+      for (std::size_t i = 0; i < c_ref.size(); ++i) {
+        ASSERT_EQ(c_ref[i], c_int8[i])
+            << m << "x" << k << "x" << n << " i=" << i;
+      }
+    }
+  }
+}
+
+// The fast table's s8 entries must point at the pinned-TU reference wrappers
+// (the fast TU compiles with -ffp-contract=fast, which would fuse the
+// requantize epilogue and break the bitwise int8 contract).
+TEST(KernBackend, FastTableS8EntriesAreThePinnedReference) {
+  EXPECT_EQ(kern::fast_backend().gemv_s8, kern::reference_backend().gemv_s8);
+  EXPECT_EQ(kern::fast_backend().gemm_bias_s8,
+            kern::reference_backend().gemm_bias_s8);
+  EXPECT_EQ(kern::fast_backend().quantize_s8,
+            kern::reference_backend().quantize_s8);
+}
+
+// The SIMD activation quantizer (8-wide mul / round-to-nearest-even / clamp /
+// pack) must agree BIT FOR BIT with the scalar nearbyint reference — it
+// produces the operands the bitwise s8 matmuls consume, so any divergence
+// here would cascade. Exercises RNE ties, clamp saturation in both
+// directions, the zero-scale degenerate case, and non-multiple-of-8 tails.
+TEST(KernBackend, QuantizeS8BitwiseMatchesScalarReference) {
+  const kern::Backend& int8 = kern::int8_backend();
+  util::Rng rng(112);
+  for (const std::size_t n : {std::size_t{1}, std::size_t{7}, std::size_t{8},
+                              std::size_t{15}, std::size_t{64},
+                              std::size_t{257}}) {
+    std::vector<float> x(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      switch (i % 4) {
+        case 0:  // in-range smooth values
+          x[i] = static_cast<float>(rng.uniform(-1.0, 1.0));
+          break;
+        case 1:  // exact .5 multiples of the scale — RNE tie cases
+          x[i] = 0.5f * 0.03125f * static_cast<float>(rng.uniform_int(-260, 260));
+          break;
+        case 2:  // far out of range — clamp to ±127
+          x[i] = static_cast<float>(rng.uniform(-900.0, 900.0));
+          break;
+        default:  // exact zeros and tiny denormal-adjacent values
+          x[i] = (i % 8 < 4) ? 0.0f : 1e-30f;
+          break;
+      }
+    }
+    for (const float scale : {0.03125f, 0.007f, 0.0f}) {
+      std::vector<std::int8_t> q_ref(n, std::int8_t{-42});
+      std::vector<std::int8_t> q_int8(n, std::int8_t{42});
+      kern::quantize_s8(x.data(), n, scale, q_ref.data());
+      int8.quantize_s8(x.data(), n, scale, q_int8.data());
+      for (std::size_t i = 0; i < n; ++i) {
+        ASSERT_EQ(q_ref[i], q_int8[i])
+            << "n=" << n << " scale=" << scale << " i=" << i << " x=" << x[i];
+      }
+    }
+  }
+}
+
+// The accuracy-degradation gate (ISSUE: int8 serving must keep >= 99%
+// end-to-end activity-label agreement with the float reference). A TRAINED
+// network is required: random weights give near-uniform posteriors where
+// label flips measure tie-breaking, not quantization quality.
+TEST(KernBackend, Int8AccuracyGateOnTrainedNetwork) {
+  BackendGuard guard;
+  kern::set_backend(kern::BackendKind::kReference);
+
+  core::ExperimentConfig config;
+  config.samples_per_class = 8;
+  config.pipeline.windows_per_sample = 12;
+  config.pipeline.bootstrap_sec = 4.0;
+  config.train.epochs = 14;
+  config.train.crop_frames = 10;
+  config.seed = 424242;
+  const core::DataSplit split = core::generate_dataset(config);
+  std::unique_ptr<core::M2AINetwork> network;
+  core::train_and_evaluate(config, split, &network);
+  ASSERT_NE(network, nullptr);
+
+  // Eval set: train + test sequences (96) plus fresh simulations (24) so a
+  // single borderline flip cannot fail a >= 99% gate vacuously (120 * 0.99
+  // = 118.8 -> one disagreement is tolerated).
+  std::vector<const core::FrameSequence*> eval_set;
+  for (const core::Sample& s : split.train) eval_set.push_back(&s.frames);
+  for (const core::Sample& s : split.test) eval_set.push_back(&s.frames);
+  std::vector<core::Sample> fresh;
+  {
+    core::PipelineConfig fresh_config = config.pipeline;
+    core::Pipeline pipeline(fresh_config, config.seed ^ 0xe5a1u);
+    for (int activity = 1; activity <= 12; ++activity) {
+      fresh.push_back(pipeline.simulate_sample(activity));
+      fresh.push_back(pipeline.simulate_sample(activity));
+    }
+  }
+  for (const core::Sample& s : fresh) eval_set.push_back(&s.frames);
+  ASSERT_GE(eval_set.size(), 100u);
+
+  // Calibrate on the training split only — the gate must hold on data the
+  // scales never saw.
+  std::vector<const core::FrameSequence*> calib;
+  for (const core::Sample& s : split.train) calib.push_back(&s.frames);
+  const nn::QuantScales scales =
+      network->calibrate(calib, nn::CalibrationOptions{});
+  EXPECT_FALSE(scales.empty());
+  ASSERT_TRUE(network->quant_ready());
+
+  // Float reference labels and per-class probabilities.
+  const std::vector<std::vector<double>> proba_ref =
+      network->predict_proba_batch(eval_set);
+  const std::vector<int> labels_ref = network->predict_batch(eval_set);
+
+  // Int8 labels and probabilities on the same set.
+  kern::set_backend(kern::BackendKind::kInt8);
+  ASSERT_EQ(kern::active_backend_kind(),
+            kern::int8_backend_supported() ? kern::BackendKind::kInt8
+                                           : kern::BackendKind::kReference);
+  const std::vector<std::vector<double>> proba_int8 =
+      network->predict_proba_batch(eval_set);
+  const std::vector<int> labels_int8 = network->predict_batch(eval_set);
+  kern::set_backend(kern::BackendKind::kReference);
+
+  ASSERT_EQ(labels_int8.size(), labels_ref.size());
+  std::size_t agree = 0;
+  double max_prob_err = 0.0;
+  for (std::size_t i = 0; i < labels_ref.size(); ++i) {
+    if (labels_int8[i] == labels_ref[i]) ++agree;
+    ASSERT_EQ(proba_int8[i].size(), proba_ref[i].size());
+    for (std::size_t c = 0; c < proba_ref[i].size(); ++c) {
+      max_prob_err =
+          std::max(max_prob_err, std::abs(proba_int8[i][c] - proba_ref[i][c]));
+    }
+  }
+  const double agreement =
+      static_cast<double>(agree) / static_cast<double>(labels_ref.size());
+  // Report the measured agreement in the suite output (the gate's margin is
+  // part of what a reviewer of a quantization change needs to see).
+  std::printf("[ int8gate ] label agreement %.2f%% (%zu/%zu), "
+              "max per-class probability error %.4f\n",
+              agreement * 100.0, agree, labels_ref.size(), max_prob_err);
+  EXPECT_GE(agreement, 0.99);
+  // Per-logit degradation bound: normalized per-class probabilities move by
+  // less than 0.05 absolute under int8.
+  EXPECT_LT(max_prob_err, 0.05);
+}
+
+// clone() must carry calibrated scales so serving replicas (Service clones
+// per worker) keep the quantized path ready.
+TEST(KernBackend, CloneCarriesQuantScales) {
+  BackendGuard guard;
+  kern::set_backend(kern::BackendKind::kReference);
+  core::ModelConfig model;
+  core::M2AINetwork net(model, core::FeatureMode::kM2AI, 6, 4, 12);
+  util::Rng rng(112);
+  std::vector<core::FrameSequence> sequences;
+  sequences.push_back(random_frames(5, rng));
+  sequences.push_back(random_frames(5, rng));
+  std::vector<const core::FrameSequence*> calib;
+  for (const auto& s : sequences) calib.push_back(&s);
+  net.calibrate(calib, nn::CalibrationOptions{});
+  ASSERT_TRUE(net.quant_ready());
+
+  const std::unique_ptr<core::M2AINetwork> copy = net.clone();
+  ASSERT_TRUE(copy->quant_ready());
+  EXPECT_EQ(copy->quant_scales().scales, net.quant_scales().scales);
+
+  // Identical float weights + identical scales -> identical int8 labels.
+  kern::set_backend(kern::BackendKind::kInt8);
+  std::vector<const core::FrameSequence*> batch;
+  for (const auto& s : sequences) batch.push_back(&s);
+  EXPECT_EQ(net.predict_batch(batch), copy->predict_batch(batch));
 }
 
 }  // namespace

@@ -1,0 +1,304 @@
+// Int8 quantization unit suite (DESIGN.md §12): rounding and saturation
+// edge cases of the symmetric per-tensor scheme, calibration range tracking
+// (max-abs and percentile), the int32-overflow depth guard, scale-table
+// serialization round-trips, and the layer-level quantized forwards against
+// their float counterparts.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "kern/backend.hpp"
+#include "kern/kernels.hpp"
+#include "kern/workspace.hpp"
+#include "nn/dense.hpp"
+#include "nn/lstm.hpp"
+#include "nn/quantize.hpp"
+#include "util/rng.hpp"
+
+namespace m2ai {
+namespace {
+
+struct BackendGuard {
+  kern::BackendKind saved = kern::active_backend_kind();
+  ~BackendGuard() { kern::set_backend(saved); }
+};
+
+// Unique-enough temp path per test; removed on scope exit.
+struct TempFile {
+  std::string path;
+  explicit TempFile(const std::string& name)
+      : path((std::filesystem::temp_directory_path() /
+              ("m2ai_quant_test_" + name)).string()) {}
+  ~TempFile() {
+    std::error_code ec;
+    std::filesystem::remove(path, ec);
+  }
+};
+
+TEST(Quantize, RoundsToNearestEvenAtTies) {
+  // scale 1.0 -> the quantization grid is the integers; .5 ties must go to
+  // the even neighbor (IEEE default rounding), not away from zero.
+  EXPECT_EQ(nn::quantize_one_s8(2.5f, 1.0f), 2);
+  EXPECT_EQ(nn::quantize_one_s8(3.5f, 1.0f), 4);
+  EXPECT_EQ(nn::quantize_one_s8(-2.5f, 1.0f), -2);
+  EXPECT_EQ(nn::quantize_one_s8(-3.5f, 1.0f), -4);
+  EXPECT_EQ(nn::quantize_one_s8(0.5f, 1.0f), 0);
+  EXPECT_EQ(nn::quantize_one_s8(1.5f, 1.0f), 2);
+}
+
+TEST(Quantize, SaturatesBeyondCalibratedRange) {
+  // Values past +-max_abs (scale = max_abs/127) clamp to +-127 instead of
+  // wrapping — the percentile mode depends on this.
+  const float scale = 2.0f / 127.0f;
+  const float inv = 1.0f / scale;
+  EXPECT_EQ(nn::quantize_one_s8(2.0f, inv), 127);
+  EXPECT_EQ(nn::quantize_one_s8(-2.0f, inv), -127);
+  EXPECT_EQ(nn::quantize_one_s8(1000.0f, inv), 127);
+  EXPECT_EQ(nn::quantize_one_s8(-1000.0f, inv), -127);
+  // Inside the range the mapping is monotone and symmetric.
+  EXPECT_EQ(nn::quantize_one_s8(1.0f, inv), 64);
+  EXPECT_EQ(nn::quantize_one_s8(-1.0f, inv), -64);
+}
+
+TEST(Quantize, AllZeroTensorQuantizesWithoutDivByZero) {
+  nn::Tensor t({4, 4});  // zero-initialized
+  const nn::QuantTensor q = nn::quantize_tensor(t, nn::CalibrationOptions{});
+  EXPECT_EQ(q.scale, 0.0f);
+  for (std::size_t i = 0; i < q.q.size(); ++i) EXPECT_EQ(q.q[i], 0);
+
+  // A zero-scale activation stream likewise quantizes to all-zero without
+  // NaN/inf: inv_scale is defined as 0 when scale == 0.
+  std::vector<float> x(8, 0.0f);
+  std::vector<std::int8_t> xq(8, 99);
+  nn::quantize_s8(x.data(), x.size(), /*scale=*/0.0f, xq.data());
+  for (std::int8_t v : xq) EXPECT_EQ(v, 0);
+}
+
+TEST(Quantize, ZeroScaleGemvOutputIsExactlyBias) {
+  // End-to-end zero-range case: the requantize epilogue multiplies the int32
+  // accumulator by scale 0, so the output must be bitwise the bias.
+  const int rows = 3, cols = 4;
+  std::vector<std::int8_t> w(static_cast<std::size_t>(rows) * cols, 13);
+  std::vector<std::int8_t> x(static_cast<std::size_t>(cols), 0);
+  const std::vector<float> bias = {0.25f, -3.5f, 1e-30f};
+  std::vector<float> y(static_cast<std::size_t>(rows), 42.0f);
+  kern::gemv_s8(w.data(), x.data(), bias.data(), y.data(), rows, cols,
+                /*scale=*/0.0f);
+  for (int r = 0; r < rows; ++r) {
+    EXPECT_EQ(y[static_cast<std::size_t>(r)], bias[static_cast<std::size_t>(r)]);
+  }
+}
+
+TEST(Quantize, DepthGuardRejectsOverflowableAccumulation) {
+  // kMaxS8Depth * 127 * 127 is the last depth whose worst-case |acc| fits
+  // int32; one past it must throw.
+  EXPECT_NO_THROW(nn::check_s8_depth(kern::kMaxS8Depth, "test"));
+  EXPECT_NO_THROW(nn::check_s8_depth(1, "test"));
+  EXPECT_THROW(nn::check_s8_depth(kern::kMaxS8Depth + 1, "test"),
+               std::invalid_argument);
+  // The bound itself is what the guard promises: worst case fits int32.
+  const std::int64_t worst =
+      static_cast<std::int64_t>(kern::kMaxS8Depth) * 127 * 127;
+  EXPECT_LE(worst, static_cast<std::int64_t>(2147483647));
+}
+
+TEST(Quantize, SaturatedInputsAccumulateExactlyAndMatchInt8Table) {
+  // All-(+-127) operands at a depth near the model's largest (merge Dense
+  // input) produce the worst-case int32 accumulator; the scalar reference
+  // and the int8 backend's kernels must agree BITWISE on the float output.
+  BackendGuard guard;
+  const int rows = 4, cols = 960;
+  std::vector<std::int8_t> w(static_cast<std::size_t>(rows) * cols);
+  std::vector<std::int8_t> x(static_cast<std::size_t>(cols));
+  for (std::size_t i = 0; i < w.size(); ++i) w[i] = (i % 2 == 0) ? 127 : -127;
+  for (std::size_t i = 0; i < x.size(); ++i) x[i] = (i % 3 == 0) ? -127 : 127;
+  const std::vector<float> bias = {0.1f, -0.2f, 0.3f, -0.4f};
+  const float scale = 1.7e-4f;
+
+  std::vector<float> y_ref(static_cast<std::size_t>(rows), -1.0f);
+  std::vector<float> y_int8(static_cast<std::size_t>(rows), 1.0f);
+  kern::gemv_s8(w.data(), x.data(), bias.data(), y_ref.data(), rows, cols, scale);
+  kern::int8_backend().gemv_s8(w.data(), x.data(), bias.data(), y_int8.data(),
+                               rows, cols, scale);
+  for (int r = 0; r < rows; ++r) {
+    EXPECT_EQ(y_ref[static_cast<std::size_t>(r)],
+              y_int8[static_cast<std::size_t>(r)])
+        << "row " << r;
+  }
+}
+
+TEST(Quantize, RangeTrackerMaxAbsAndPercentile) {
+  nn::RangeTracker tracker;
+  std::vector<float> xs;
+  // 999 values in [0.001, 0.999] plus one 100.0 outlier.
+  for (int i = 1; i < 1000; ++i) xs.push_back(static_cast<float>(i) / 1000.0f);
+  xs.push_back(100.0f);
+  tracker.observe(xs.data(), xs.size());
+  EXPECT_EQ(tracker.count(), xs.size());
+  EXPECT_FLOAT_EQ(tracker.max_abs(), 100.0f);
+
+  nn::CalibrationOptions max_abs;
+  max_abs.mode = nn::CalibMode::kMaxAbs;
+  EXPECT_FLOAT_EQ(tracker.scale(max_abs), 100.0f / 127.0f);
+
+  // The 99th percentile ignores the outlier: range is near 0.99, not 100.
+  nn::CalibrationOptions pct;
+  pct.mode = nn::CalibMode::kPercentile;
+  pct.percentile = 99.0;
+  const float pct_scale = tracker.scale(pct);
+  EXPECT_GT(pct_scale, 0.9f / 127.0f);
+  EXPECT_LT(pct_scale, 1.1f / 127.0f);
+}
+
+TEST(Quantize, QuantScalesSaveLoadRoundTripIsBitwise) {
+  nn::QuantScales scales;
+  scales.mode = nn::CalibMode::kPercentile;
+  scales.percentile = 99.9;
+  scales.scales["act.merge_in"] = 0.0123456789f;
+  scales.scales["act.lstm1_xh"] = 1.5e-30f;  // subnormal-ish magnitude
+  scales.scales["w.p0.pseudo.conv1.weight"] = 3.0f;
+  scales.scales["zero"] = 0.0f;
+
+  TempFile tmp("roundtrip.quant");
+  nn::save_quant_scales(tmp.path, scales);
+  const nn::QuantScales loaded = nn::load_quant_scales(tmp.path);
+  EXPECT_EQ(loaded.mode, scales.mode);
+  EXPECT_EQ(loaded.percentile, scales.percentile);
+  ASSERT_EQ(loaded.scales.size(), scales.scales.size());
+  for (const auto& [name, value] : scales.scales) {
+    // Hexfloat serialization: bitwise, not approximate.
+    ASSERT_TRUE(loaded.scales.count(name)) << name;
+    EXPECT_EQ(loaded.scales.at(name), value) << name;
+  }
+
+  // Whitespace in a name cannot survive the whitespace-delimited format;
+  // save must reject it rather than write a table that misloads.
+  nn::QuantScales bad;
+  bad.scales["has a space"] = 1.0f;
+  TempFile tmp_bad("bad_name.quant");
+  EXPECT_THROW(nn::save_quant_scales(tmp_bad.path, bad), std::invalid_argument);
+}
+
+TEST(Quantize, LoadRejectsCorruptFiles) {
+  const auto write_and_load = [](const std::string& name,
+                                 const std::string& contents) {
+    TempFile tmp(name);
+    std::ofstream out(tmp.path, std::ios::binary);
+    out << contents;
+    out.close();
+    return nn::load_quant_scales(tmp.path);
+  };
+  EXPECT_THROW(write_and_load("bad_magic", "not-a-quant-file\n"),
+               std::runtime_error);
+  EXPECT_THROW(write_and_load("bad_mode", "m2ai-quant-v1\nmode banana 0x1p0\n"),
+               std::runtime_error);
+  EXPECT_THROW(
+      write_and_load("bad_scale",
+                     "m2ai-quant-v1\nmode max_abs 0x1.8f9aa2p+6\nscale a nan\n"),
+      std::runtime_error);
+  EXPECT_THROW(
+      write_and_load("neg_scale",
+                     "m2ai-quant-v1\nmode max_abs 0x1.8f9aa2p+6\nscale a -0x1p0\n"),
+      std::runtime_error);
+  EXPECT_THROW(write_and_load("unknown_record",
+                              "m2ai-quant-v1\nmode max_abs 0x1.8f9aa2p+6\n"
+                              "frobnicate a 0x1p0\n"),
+               std::runtime_error);
+  EXPECT_THROW(nn::load_quant_scales("/nonexistent/path/x.quant"),
+               std::runtime_error);
+}
+
+TEST(Quantize, DenseForwardQuantTracksFloatWithinQuantizationError) {
+  BackendGuard guard;
+  kern::set_backend(kern::BackendKind::kInt8);
+  util::Rng rng(201);
+  const int in = 33, out = 17;  // non-multiples of the vector width
+  nn::Dense dense(in, out, rng);
+
+  nn::Tensor x({in});
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    x[i] = static_cast<float>(rng.normal());
+  }
+  nn::RangeTracker tracker;
+  tracker.observe(x);
+  nn::CalibrationOptions opts;
+  dense.prepare_quant(tracker.scale(opts), opts);
+  ASSERT_TRUE(dense.quant_ready());
+
+  kern::Workspace ws;
+  const nn::Tensor yq = dense.forward_quant(x, ws);
+  const nn::Tensor yf = dense.forward(x, /*train=*/false);
+  ASSERT_EQ(yq.size(), yf.size());
+  // Error budget: each of the `in` products carries ~(w_scale + x_scale)/2
+  // relative rounding; with unit-normal data the empirical bound is ~1e-1
+  // absolute. This is deliberately loose — the tight end-to-end statement is
+  // the label-agreement gate in test_kern_backend.
+  for (std::size_t i = 0; i < yf.size(); ++i) {
+    EXPECT_NEAR(yq[i], yf[i], 0.15f) << "out " << i;
+  }
+  dense.clear_quant();
+  EXPECT_FALSE(dense.quant_ready());
+}
+
+TEST(Quantize, LstmForwardBatchQuantTracksFloat) {
+  BackendGuard guard;
+  kern::set_backend(kern::BackendKind::kInt8);
+  util::Rng rng(202);
+  const int input = 12, hidden = 8, t_len = 6;
+  nn::Lstm lstm(input, hidden, rng);
+
+  std::vector<std::vector<nn::Tensor>> seqs(3);
+  nn::RangeTracker xh;
+  for (auto& seq : seqs) {
+    for (int t = 0; t < t_len; ++t) {
+      nn::Tensor x({input});
+      for (std::size_t i = 0; i < x.size(); ++i) {
+        x[i] = static_cast<float>(rng.normal());
+      }
+      xh.observe(x);
+      seq.push_back(std::move(x));
+    }
+  }
+  // Hidden states live in (-1, 1); cover them in the range without running
+  // the float forward first.
+  const std::vector<float> unit = {1.0f};
+  xh.observe(unit.data(), unit.size());
+
+  nn::CalibrationOptions opts;
+  lstm.prepare_quant(xh.scale(opts), opts);
+  ASSERT_TRUE(lstm.quant_ready());
+
+  std::vector<const std::vector<nn::Tensor>*> ptrs;
+  for (const auto& s : seqs) ptrs.push_back(&s);
+  const auto hq = lstm.forward_batch_quant(ptrs);
+  const auto hf = lstm.forward_batch(ptrs);
+  ASSERT_EQ(hq.size(), hf.size());
+  for (std::size_t b = 0; b < hf.size(); ++b) {
+    ASSERT_EQ(hq[b].size(), hf[b].size());
+    for (std::size_t t = 0; t < hf[b].size(); ++t) {
+      for (std::size_t u = 0; u < hf[b][t].size(); ++u) {
+        // Gate pre-activations carry quantization error through tanh/sigmoid
+        // (both 1-Lipschitz), recurrently over t_len steps.
+        EXPECT_NEAR(hq[b][t][u], hf[b][t][u], 0.2f)
+            << "seq " << b << " t " << t << " u " << u;
+      }
+    }
+  }
+}
+
+TEST(Quantize, CalibModeNamesRoundTripAndReject) {
+  EXPECT_STREQ(nn::calib_mode_name(nn::CalibMode::kMaxAbs), "max_abs");
+  EXPECT_STREQ(nn::calib_mode_name(nn::CalibMode::kPercentile), "percentile");
+  EXPECT_EQ(nn::calib_mode_from_name("max_abs"), nn::CalibMode::kMaxAbs);
+  EXPECT_EQ(nn::calib_mode_from_name("percentile"), nn::CalibMode::kPercentile);
+  EXPECT_THROW(nn::calib_mode_from_name("int4"), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace m2ai

@@ -23,6 +23,7 @@
 #include "core/model.hpp"
 #include "core/pipeline.hpp"
 #include "kern/backend.hpp"
+#include "nn/quantize.hpp"
 #include "par/spsc_queue.hpp"
 #include "serve/assembler.hpp"
 #include "serve/incremental.hpp"
@@ -413,6 +414,78 @@ TEST(ServeService, FastBackendMatchesReferenceLabels) {
     const auto& preds = service.predictions(s);
     ASSERT_EQ(preds.size(), 1u) << "stream " << s;
     if (margin[static_cast<std::size_t>(s % 2)] < 1e-3) continue;
+    EXPECT_EQ(preds[0].label, offline[static_cast<std::size_t>(s % 2)])
+        << "stream " << s;
+  }
+}
+
+// End-to-end contract of the int8 kernel backend: serving a calibrated
+// network under --backend int8 yields the same activity labels as the
+// offline float reference. Quantization error is larger than the fast
+// backend's epsilon, so the margin filter is wider; the statistical gate
+// (>= 99% agreement over a trained network) lives in test_kern_backend.
+// This test also covers the clone() contract: Service owns a clone and the
+// calibration must survive it.
+TEST(ServeService, Int8BackendMatchesReferenceLabels) {
+  const m2ai::kern::BackendKind saved = m2ai::kern::active_backend_kind();
+
+  m2ai::core::PipelineConfig config;
+  config.windows_per_sample = 4;
+  m2ai::core::Pipeline pipeline(config, 2024);
+  const double t0 = config.bootstrap_sec + 0.5 * config.window_sec;
+
+  std::vector<m2ai::core::SampleRun> runs;
+  runs.push_back(pipeline.run_sample(1, pipeline.fork_sample_rng()));
+  runs.push_back(pipeline.run_sample(5, pipeline.fork_sample_rng()));
+
+  m2ai::core::ModelConfig model_config;
+  m2ai::core::M2AINetwork reference(model_config, config.feature_mode,
+                                    pipeline.num_tags(), config.num_antennas, 12);
+  m2ai::kern::set_backend(m2ai::kern::BackendKind::kReference);
+  std::vector<int> offline;
+  std::vector<double> margin;
+  for (const auto& run : runs) {
+    offline.push_back(reference.predict(run.sample.frames));
+    std::vector<double> proba = reference.predict_proba(run.sample.frames);
+    std::sort(proba.begin(), proba.end(), std::greater<double>());
+    margin.push_back(proba.size() > 1 ? proba[0] - proba[1] : 1.0);
+  }
+
+  // Calibrate on the source sequences; the Service receives a CLONE, so the
+  // scales must propagate through clone() for the quantized path to engage.
+  std::vector<const m2ai::core::FrameSequence*> calib;
+  for (const auto& run : runs) calib.push_back(&run.sample.frames);
+  reference.calibrate(calib, m2ai::nn::CalibrationOptions{});
+  ASSERT_TRUE(reference.quant_ready());
+
+  m2ai::kern::set_backend(m2ai::kern::BackendKind::kInt8);
+  const int num_streams = 16;
+  m2ai::serve::ServeConfig serve_config;
+  serve_config.dsp_workers = 3;
+  serve_config.max_batch = 4;
+  m2ai::serve::Service service(serve_config, config, reference.clone());
+  for (int s = 0; s < num_streams; ++s) {
+    service.add_stream(runs[static_cast<std::size_t>(s % 2)].calibrator.get(), t0);
+  }
+  service.start();
+  std::vector<std::thread> producers;
+  for (int p = 0; p < 2; ++p) {
+    producers.emplace_back([&, p] {
+      for (int s = p; s < num_streams; s += 2) {
+        for (const auto& report : runs[static_cast<std::size_t>(s % 2)].reports) {
+          service.push(s, report);
+        }
+      }
+    });
+  }
+  for (auto& t : producers) t.join();
+  service.finish();
+  m2ai::kern::set_backend(saved);
+
+  for (int s = 0; s < num_streams; ++s) {
+    const auto& preds = service.predictions(s);
+    ASSERT_EQ(preds.size(), 1u) << "stream " << s;
+    if (margin[static_cast<std::size_t>(s % 2)] < 2e-2) continue;
     EXPECT_EQ(preds[0].label, offline[static_cast<std::size_t>(s % 2)])
         << "stream " << s;
   }

@@ -31,6 +31,8 @@
 
 #include "bench_common.hpp"
 #include "experiments/experiments.hpp"
+#include "kern/backend.hpp"
+#include "kern/micro.hpp"
 #include "obs/metrics.hpp"
 #include "par/parallel_for.hpp"
 
@@ -156,6 +158,15 @@ void print_summary(const exp::SuiteResult& result) {
               result.cache.hit_rate() * 100.0,
               static_cast<unsigned long long>(result.cache.disk_hits),
               static_cast<unsigned long long>(result.cache.disk_writes));
+  // Identify the kernel backend behind these numbers and its micro-costs so
+  // the printed summary (and the gauges it mirrors) is self-describing.
+  const char* backend_name = kern::active_backend_name();
+  const kern::KernMicro micro = kern::measure_micro(kern::active());
+  std::printf("kernel backend:       %s\n", backend_name);
+  for (const auto& [gauge_name, ns] : kern::micro_gauge_items(backend_name, micro)) {
+    obs::registry().gauge(gauge_name).set(ns);
+    std::printf("  %-36s %.0f\n", gauge_name.c_str(), ns);
+  }
 }
 
 int run(const Options& opt) {

@@ -29,6 +29,8 @@
 #include "core/model.hpp"
 #include "core/pipeline.hpp"
 #include "kern/backend.hpp"
+#include "kern/micro.hpp"
+#include "nn/quantize.hpp"
 #include "obs/export.hpp"
 #include "obs/metrics.hpp"
 #include "obs/timeline.hpp"
@@ -47,7 +49,8 @@ int usage() {
                "                  [--samples K] [--workers W] [--batch B]\n"
                "                  [--producers P] [--activities A] [--windows T]\n"
                "                  [--persons P] [--tags T] [--seed S] [--wire]\n"
-               "                  [--wire-records R] [--backend ref|fast]\n"
+               "                  [--wire-records R] [--backend ref|fast|int8]\n"
+               "                  [--quant-mode max_abs|percentile] [--quant-pct P]\n"
                "                  [--bench-out FILE]\n"
                "                  [--metrics-out FILE] [--trace-out FILE]\n"
                "  --streams N    simulated reader streams (default 8)\n"
@@ -61,9 +64,13 @@ int usage() {
                "                 ingest via the wire-protocol parser (src/proto)\n"
                "  --wire-records R  tag records per inventory frame (default 1)\n"
                "  --backend B    kernel backend for inference: ref (default,\n"
-               "                 bitwise-deterministic) or fast (SIMD + batched\n"
+               "                 bitwise-deterministic), fast (SIMD + batched\n"
                "                 NN micro-batch; falls back to ref without\n"
-               "                 AVX2/FMA). Env override: M2AI_KERN_BACKEND\n");
+               "                 AVX2/FMA), or int8 (quantized matmuls, network\n"
+               "                 calibrated in-process on the source samples).\n"
+               "                 Env override: M2AI_KERN_BACKEND\n"
+               "  --quant-mode M int8 calibration mode: max_abs (default) or\n"
+               "                 percentile (--quant-pct, default 99.9)\n");
   return 2;
 }
 
@@ -81,83 +88,6 @@ struct StreamSource {
   double t_begin = 0.0;
 };
 
-// ns/op of one backend's dispatched kernels at serving-shaped inputs
-// (LSTM-gate gemv, micro-batch gemm, CONV-E1 row, MUSIC scan). Exported as
-// kern.<backend>.<kernel>.ns_per_op gauges and embedded in the bench JSON so
-// committed BENCH_serve_*.json runs are comparable across backends.
-struct KernMicro {
-  double gemv_ns = 0.0;
-  double gemm_bias_ns = 0.0;
-  double conv1d_row_ns = 0.0;
-  double noise_projection_ns = 0.0;
-};
-
-KernMicro measure_kern(const kern::Backend& be) {
-  using clock = std::chrono::steady_clock;
-  const auto time_ns = [](int iters, const auto& op) {
-    op();  // warm up / fault in
-    const auto t0 = clock::now();
-    for (int i = 0; i < iters; ++i) op();
-    return std::chrono::duration<double, std::nano>(clock::now() - t0).count() /
-           iters;
-  };
-  const auto fill = [](std::vector<float>& v) {
-    for (std::size_t i = 0; i < v.size(); ++i) {
-      v[i] = 0.01f * static_cast<float>(i % 23) - 0.1f;
-    }
-  };
-
-  KernMicro m;
-  {
-    // LSTM gate GEMV: [4H, I+H] with H = 32, I = 32.
-    const int rows = 128, cols = 64;
-    std::vector<float> w(static_cast<std::size_t>(rows) * cols), x(cols),
-        b(rows), y(rows);
-    fill(w), fill(x), fill(b);
-    m.gemv_ns = time_ns(
-        2000, [&] { be.gemv(w.data(), x.data(), b.data(), y.data(), rows, cols); });
-  }
-  {
-    // Micro-batch gate GEMM: 8 streams x [I+H] x [4H].
-    const int mm = 8, kk = 64, nn = 128;
-    std::vector<float> a(static_cast<std::size_t>(mm) * kk),
-        bmat(static_cast<std::size_t>(kk) * nn), bias(nn),
-        c(static_cast<std::size_t>(mm) * nn);
-    fill(a), fill(bmat), fill(bias);
-    m.gemm_bias_ns = time_ns(500, [&] {
-      be.gemm_bias(a.data(), bmat.data(), bias.data(), c.data(), mm, kk, nn);
-    });
-  }
-  {
-    // CONV-E1 row: 180 angle bins, kernel 7, stride 2, padding 3.
-    const int len = 180, kernel = 7, stride = 2, padding = 3, out_len = 90;
-    std::vector<float> x(len), w(kernel), partial(out_len, 0.0f);
-    fill(x), fill(w);
-    m.conv1d_row_ns = time_ns(2000, [&] {
-      be.conv1d_row_acc(x.data(), len, w.data(), kernel, stride, padding,
-                        partial.data(), out_len);
-    });
-  }
-  {
-    // MUSIC projection: 180 bins x 4 antennas, 2 noise vectors (paper's M=2).
-    const int bins = 180, n = 4, num_noise = 2;
-    std::vector<std::complex<double>> un(static_cast<std::size_t>(num_noise) * n),
-        steer(static_cast<std::size_t>(bins) * n);
-    for (std::size_t i = 0; i < un.size(); ++i) {
-      un[i] = {0.3 + 0.01 * static_cast<double>(i % 7), -0.2 + 0.02 * static_cast<double>(i % 5)};
-    }
-    for (std::size_t i = 0; i < steer.size(); ++i) {
-      steer[i] = {std::cos(0.1 * static_cast<double>(i)), std::sin(0.1 * static_cast<double>(i))};
-    }
-    std::vector<double> denom(bins);
-    m.noise_projection_ns = time_ns(1000, [&] {
-      be.noise_projection(un.data(), num_noise, steer.data(), bins, n,
-                          denom.data());
-    });
-  }
-  return m;
-}
-
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -166,7 +96,8 @@ int main(int argc, char** argv) {
     args.require_known({"streams", "rate", "duration", "samples", "workers",
                         "batch", "producers", "activities", "windows", "persons",
                         "tags", "seed", "wire", "wire-records", "backend",
-                        "bench-out", "metrics-out", "trace-out", "help"});
+                        "quant-mode", "quant-pct", "bench-out", "metrics-out",
+                        "trace-out", "help"});
   } catch (const std::exception& e) {
     std::fprintf(stderr, "m2ai_serve: %s\n", e.what());
     return usage();
@@ -247,6 +178,24 @@ int main(int argc, char** argv) {
       model_config, pipeline_config.feature_mode,
       pipeline_config.num_persons * pipeline_config.tags_per_person,
       pipeline_config.num_antennas, num_classes);
+  // Int8 serving needs calibrated scales; the source samples double as the
+  // calibration set (they are exactly the distribution this run serves).
+  if (kern::active_backend_kind() == kern::BackendKind::kInt8) {
+    nn::CalibrationOptions quant_opts;
+    try {
+      quant_opts.mode = nn::calib_mode_from_name(args.get("quant-mode", "max_abs"));
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "m2ai_serve: %s\n", e.what());
+      return usage();
+    }
+    quant_opts.percentile = args.get_double("quant-pct", 99.9);
+    std::vector<const core::FrameSequence*> calib;
+    calib.reserve(runs.size());
+    for (const core::SampleRun& run : runs) calib.push_back(&run.sample.frames);
+    network->calibrate(calib, quant_opts);
+    std::printf("int8 calibration: %zu sequence(s), mode %s\n", calib.size(),
+                nn::calib_mode_name(quant_opts.mode));
+  }
   serve::Service service(serve_config, pipeline_config, std::move(network));
   for (int s = 0; s < num_streams; ++s) {
     const StreamSource& src = sources[static_cast<std::size_t>(s)];
@@ -370,15 +319,9 @@ int main(int argc, char** argv) {
 
   // Per-backend kernel micro-timings, measured in-process after the load so
   // the run's own numbers carry their kernel context.
-  const KernMicro kern_micro = measure_kern(kern::active());
-  {
-    const std::string prefix = std::string("kern.") + backend_name + ".";
-    auto& reg = obs::registry();
-    reg.gauge(prefix + "gemv.ns_per_op").set(kern_micro.gemv_ns);
-    reg.gauge(prefix + "gemm_bias.ns_per_op").set(kern_micro.gemm_bias_ns);
-    reg.gauge(prefix + "conv1d_row.ns_per_op").set(kern_micro.conv1d_row_ns);
-    reg.gauge(prefix + "noise_projection.ns_per_op")
-        .set(kern_micro.noise_projection_ns);
+  const kern::KernMicro kern_micro = kern::measure_micro(kern::active());
+  for (const auto& [gauge_name, ns] : kern::micro_gauge_items(backend_name, kern_micro)) {
+    obs::registry().gauge(gauge_name).set(ns);
   }
 
   std::printf(
@@ -387,7 +330,10 @@ int main(int argc, char** argv) {
       "invalid-dropped %llu\n"
       "  frames    %llu closed, %llu predictions in %llu batches\n"
       "  e2e       p50 %.3f ms, p99 %.3f ms, max %.3f ms\n"
-      "  capacity  %.1f streams/core at this load\n",
+      "  capacity  %.1f streams/core at this load\n"
+      "  backend   %s: kern.%s.*.ns_per_op gemv %.0f, gemm_bias %.0f,\n"
+      "            conv1d_row %.0f, noise_projection %.0f, gemv_s8 %.0f,\n"
+      "            gemm_bias_s8 %.0f\n",
       wall_sec, cpu_sec, cores, static_cast<unsigned long long>(reports_sent),
       static_cast<unsigned long long>(stats.reports),
       static_cast<unsigned long long>(stats.late_dropped),
@@ -395,7 +341,10 @@ int main(int argc, char** argv) {
       static_cast<unsigned long long>(stats.frames),
       static_cast<unsigned long long>(stats.predictions),
       static_cast<unsigned long long>(stats.batches), e2e.p50, e2e.p99, e2e.max,
-      streams_per_core);
+      streams_per_core, backend_name, backend_name, kern_micro.gemv_ns,
+      kern_micro.gemm_bias_ns, kern_micro.conv1d_row_ns,
+      kern_micro.noise_projection_ns, kern_micro.gemv_s8_ns,
+      kern_micro.gemm_bias_s8_ns);
   if (wire) {
     std::printf(
         "  wire      %llu bytes in %llu frames -> %llu reports "
@@ -445,7 +394,8 @@ int main(int argc, char** argv) {
         "  \"reports_per_sec\": %.2f,\n"
         "  \"e2e_ms\": {\"p50\": %.6f, \"p95\": %.6f, \"p99\": %.6f, \"max\": %.6f},\n"
         "  \"kern_ns_per_op\": {\"gemv\": %.1f, \"gemm_bias\": %.1f,\n"
-        "                     \"conv1d_row\": %.1f, \"noise_projection\": %.1f},\n"
+        "                     \"conv1d_row\": %.1f, \"noise_projection\": %.1f,\n"
+        "                     \"gemv_s8\": %.1f, \"gemm_bias_s8\": %.1f},\n"
         "  \"streams_per_core\": %.3f,\n"
         "  \"sustained\": %s\n"
         "}\n",
@@ -468,7 +418,8 @@ int main(int argc, char** argv) {
         wall_sec > 0.0 ? static_cast<double>(reports_sent) / wall_sec : 0.0,
         e2e.p50, e2e.p95, e2e.p99, e2e.max, kern_micro.gemv_ns,
         kern_micro.gemm_bias_ns, kern_micro.conv1d_row_ns,
-        kern_micro.noise_projection_ns, streams_per_core,
+        kern_micro.noise_projection_ns, kern_micro.gemv_s8_ns,
+        kern_micro.gemm_bias_s8_ns, streams_per_core,
         sustained ? "true" : "false");
     out << buf;
     std::printf("bench summary written to %s\n", bench_out.c_str());
